@@ -1,0 +1,78 @@
+// Flow-file compilation cost (section 4.1: "The flow file compilation
+// module is the heart of the platform"): parse + compile time as the
+// flow file grows. Editing responsiveness is what made the six-hour
+// hackathon iterate quickly, so compilation must stay interactive even
+// for large files.
+
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "compile/compiler.h"
+#include "flow/flow_file.h"
+
+using namespace shareinsights;
+
+namespace {
+
+// Generates a valid flow file with `n` chained groupby/filter flows.
+std::string SyntheticFlowFile(int n) {
+  std::ostringstream out;
+  out << "D:\n  src: [key, value, score]\n";
+  out << "D.src:\n  protocol: inline\n  format: csv\n"
+      << "  data: \"key,value,score\na,1,2.0\nb,2,3.0\n\"\n";
+  out << "F:\n";
+  for (int i = 0; i < n; ++i) {
+    const char* input = i == 0 ? "src" : nullptr;
+    out << "  D.sink" << i << ": D."
+        << (input != nullptr ? std::string(input)
+                             : "sink" + std::to_string(i - 1))
+        << " | T.t" << i << "\n";
+  }
+  out << "T:\n";
+  for (int i = 0; i < n; ++i) {
+    if (i % 2 == 0) {
+      out << "  t" << i << ":\n    type: filter_by\n"
+          << "    filter_expression: 'value >= 0'\n";
+    } else {
+      out << "  t" << i << ":\n    type: map\n    operator: expression\n"
+          << "    expression: 'value + " << i << "'\n    output: v" << i
+          << "\n";
+    }
+  }
+  return out.str();
+}
+
+void BM_ParseFlowFile(benchmark::State& state) {
+  std::string text = SyntheticFlowFile(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto file = ParseFlowFile(text);
+    benchmark::DoNotOptimize(file);
+  }
+  state.counters["bytes"] = static_cast<double>(text.size());
+}
+BENCHMARK(BM_ParseFlowFile)->Arg(5)->Arg(20)->Arg(80)->Arg(320);
+
+void BM_CompileFlowFile(benchmark::State& state) {
+  std::string text = SyntheticFlowFile(static_cast<int>(state.range(0)));
+  auto file = ParseFlowFile(text);
+  for (auto _ : state) {
+    auto plan = CompileFlowFile(*file);
+    benchmark::DoNotOptimize(plan);
+  }
+  state.counters["flows"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_CompileFlowFile)->Arg(5)->Arg(20)->Arg(80)->Arg(320);
+
+void BM_SerializeFlowFile(benchmark::State& state) {
+  auto file = ParseFlowFile(SyntheticFlowFile(static_cast<int>(state.range(0))));
+  for (auto _ : state) {
+    std::string text = file->ToText();
+    benchmark::DoNotOptimize(text);
+  }
+}
+BENCHMARK(BM_SerializeFlowFile)->Arg(20)->Arg(320);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,126 @@
+// Engine-substrate throughput sweeps (DESIGN.md "engine throughput"):
+// per-operator cost as row counts grow, for the operators the flow
+// compiler emits most (fig. 31's popular operators). The paper never
+// reports absolute engine numbers (its substrate was Pig/Spark); these
+// establish the substitute engine's behaviour and scaling shape.
+
+#include <benchmark/benchmark.h>
+
+#include "datagen/datagen.h"
+#include "expr/expr.h"
+#include "ops/project.h"
+#include "ops/filter.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/map_ops.h"
+#include "ops/sort_ops.h"
+
+using namespace shareinsights;
+
+namespace {
+
+TablePtr Input(int64_t rows, int64_t groups) {
+  static std::map<std::pair<int64_t, int64_t>, TablePtr> cache;
+  auto key = std::make_pair(rows, groups);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache
+             .emplace(key, GenerateBenchTable(static_cast<size_t>(rows),
+                                              static_cast<size_t>(groups), 1))
+             .first;
+  }
+  return it->second;
+}
+
+void BM_Filter(benchmark::State& state) {
+  TablePtr input = Input(state.range(0), 64);
+  auto op = FilterExpressionOp::Create("value > 500");
+  for (auto _ : state) {
+    auto out = (*op)->Execute({input});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Filter)->Range(1 << 10, 1 << 19);
+
+void BM_GroupBySum(benchmark::State& state) {
+  TablePtr input = Input(state.range(0), state.range(1));
+  auto op = GroupByOp::Create({"key"},
+                              {AggregateSpec{"sum", "value", "total"}});
+  for (auto _ : state) {
+    auto out = (*op)->Execute({input});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GroupBySum)
+    ->Args({1 << 12, 16})
+    ->Args({1 << 15, 16})
+    ->Args({1 << 18, 16})
+    ->Args({1 << 18, 4096});
+
+void BM_HashJoin(benchmark::State& state) {
+  TablePtr left = Input(state.range(0), 256);
+  // Right side: one row per group (a dimension table).
+  TablePtr right = [&] {
+    auto groupby = GroupByOp::Create(
+        {"key"}, {AggregateSpec{"count", "key", "members"}});
+    return *(*groupby)->Execute({Input(state.range(0), 256)});
+  }();
+  auto op = JoinOp::Create({"key"}, {"key"}, JoinKind::kLeftOuter, {});
+  for (auto _ : state) {
+    auto out = (*op)->Execute({left, right});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_HashJoin)->Range(1 << 12, 1 << 18);
+
+void BM_TopNPerGroup(benchmark::State& state) {
+  TablePtr input = Input(state.range(0), 64);
+  TopNOp op({"key"}, {SortKey{"value", true}}, 10);
+  for (auto _ : state) {
+    auto out = op.Execute({input});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TopNPerGroup)->Range(1 << 12, 1 << 18);
+
+void BM_ExtractWords(benchmark::State& state) {
+  TablePtr input = Input(state.range(0), 64);
+  MapExtractWordsOp op("text", "word");
+  for (auto _ : state) {
+    auto out = op.Execute({input});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExtractWords)->Range(1 << 10, 1 << 16);
+
+void BM_ExpressionEval(benchmark::State& state) {
+  TablePtr input = Input(state.range(0), 64);
+  auto op = ExpressionColumnOp::Create(
+      "derived", "value * 2 + score / 3 - if(value > 500, 10, 0)");
+  for (auto _ : state) {
+    auto out = (*op)->Execute({input});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ExpressionEval)->Range(1 << 12, 1 << 18);
+
+void BM_Sort(benchmark::State& state) {
+  TablePtr input = Input(state.range(0), 64);
+  SortOp op({SortKey{"score", true}, SortKey{"key", false}});
+  for (auto _ : state) {
+    auto out = op.Execute({input});
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sort)->Range(1 << 12, 1 << 17);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,256 @@
+// Headline-claim bench — unified flow file vs glue-code stack.
+//
+// Section 5.2 of the paper: "Teams produced extremely rich dashboards in
+// six hours. Prior to building this platform, equivalent dashboards took
+// four to six weeks to develop." Human build time cannot be re-measured,
+// so this bench quantifies the mechanisms behind the claim on the SAME
+// pipeline (the Apache activity dashboard) built both ways:
+//
+//   * specification size — flow-file bytes/lines vs hand-written glue
+//     LOC (each glue step's hand-coded size is what a developer types);
+//   * number of technologies stitched together (1 vs 4);
+//   * construction steps;
+//   * bytes crossing serialization boundaries at run time;
+//   * end-to-end wall time;
+//
+// and verifies both implementations produce numerically identical
+// results, so the comparison is apples to apples.
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iomanip>
+#include <iostream>
+#include <map>
+
+#include "baseline/apache_glue.h"
+#include "common/string_util.h"
+#include "dashboard/dashboard.h"
+#include "datagen/datagen.h"
+#include "flow/flow_file.h"
+#include "io/json.h"
+
+using namespace shareinsights;
+
+namespace {
+
+constexpr const char* kUnifiedFlow = R"(
+D:
+  svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+  stack_summary: [project, question, answer, tags]
+  releases: [project, year, noOfReleases]
+
+D.svn_jira_summary:
+  protocol: inline
+  format: csv
+  data: "__SVN__"
+D.stack_summary:
+  protocol: inline
+  format: csv
+  data: "__STACK__"
+D.releases:
+  protocol: inline
+  format: csv
+  data: "__RELEASES__"
+
+F:
+  D.checkin_jira_emails: D.svn_jira_summary | T.get_svn_jira_count
+  D.temp_release_count: D.releases | T.calculate_total_release
+  D.project_stats: (D.checkin_jira_emails, D.temp_release_count) | T.join_releases
+  D.with_questions: (D.project_stats, D.stack_summary) | T.join_questions
+  D.project_activity: D.with_questions | T.score
+  D.bubbles: D.project_activity | T.sum_by_project
+
+D.bubbles:
+  endpoint: true
+
+T:
+  get_svn_jira_count:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+      - operator: sum
+        apply_on: noOfCheckins
+        out_field: total_checkins
+      - operator: sum
+        apply_on: noOfBugs
+        out_field: total_jira
+      - operator: sum
+        apply_on: noOfEmailsTotal
+        out_field: total_emails
+  calculate_total_release:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+      - operator: sum
+        apply_on: noOfReleases
+        out_field: total_releases
+  join_releases:
+    type: join
+    left: checkin_jira_emails by project, year
+    right: temp_release_count by project, year
+    join_condition: left outer
+    project:
+      checkin_jira_emails_project: project
+      checkin_jira_emails_year: year
+      checkin_jira_emails_total_checkins: total_checkins
+      checkin_jira_emails_total_jira: total_jira
+      temp_release_count_total_releases: total_releases
+  join_questions:
+    type: join
+    left: project_stats by project
+    right: stack_summary by project
+    join_condition: left outer
+    project:
+      project_stats_project: project
+      project_stats_year: year
+      project_stats_total_checkins: total_checkins
+      project_stats_total_jira: total_jira
+      project_stats_total_releases: total_releases
+      stack_summary_question: questions
+  score:
+    type: map
+    operator: expression
+    expression: 'total_checkins * 0.4 + total_jira * 0.2 + total_releases * 0.2 * 100 + questions * 0.2 * 0.1'
+    output: total_wt
+  sum_by_project:
+    type: groupby
+    groupby: [project]
+    aggregates:
+      - operator: sum
+        apply_on: total_wt
+        out_field: total_wt
+)";
+
+int CountLines(const std::string& text) {
+  int lines = 0;
+  for (char c : text) {
+    if (c == '\n') ++lines;
+  }
+  return lines;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Unified flow file vs glue-code stack (Apache activity "
+               "pipeline) ===\n\n";
+  ApacheDataset data = GenerateApacheData(ApacheDataOptions{});
+
+  // ---------------- glue baseline ----------------
+  auto glue_start = std::chrono::steady_clock::now();
+  GlueNotebook glue = BuildApacheGlueNotebook(data);
+  if (Status s = glue.Run(); !s.ok()) {
+    std::cerr << "glue run failed: " << s << "\n";
+    return EXIT_FAILURE;
+  }
+  double glue_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - glue_start)
+                       .count();
+  auto glue_bubbles = glue.Payload(kGlueBubblesPayload);
+  if (!glue_bubbles.ok()) {
+    std::cerr << glue_bubbles.status() << "\n";
+    return EXIT_FAILURE;
+  }
+
+  // ---------------- unified platform ----------------
+  // The flow-file spec WITHOUT the inlined data payload is what the
+  // analyst writes; measure it before substitution.
+  std::string spec(kUnifiedFlow);
+  size_t spec_bytes = spec.size();
+  int spec_lines = CountLines(spec);
+  std::string flow_text = ReplaceAll(spec, "__SVN__", data.svn_jira_csv);
+  flow_text = ReplaceAll(flow_text, "__STACK__", data.stackoverflow_csv);
+  flow_text = ReplaceAll(flow_text, "__RELEASES__", data.releases_csv);
+
+  auto unified_start = std::chrono::steady_clock::now();
+  auto file = ParseFlowFile(flow_text, "apache_unified");
+  if (!file.ok()) {
+    std::cerr << "parse failed: " << file.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  int num_tasks = static_cast<int>(file->tasks.size());
+  int num_flows = static_cast<int>(file->flows.size());
+  auto dashboard = Dashboard::Create(std::move(*file));
+  if (!dashboard.ok()) {
+    std::cerr << "compile failed: " << dashboard.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto stats = (*dashboard)->Run();
+  if (!stats.ok()) {
+    std::cerr << "run failed: " << stats.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  double unified_ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - unified_start)
+                          .count();
+
+  // ---------------- equivalence check ----------------
+  auto bubbles = (*dashboard)->EndpointData("bubbles");
+  if (!bubbles.ok()) {
+    std::cerr << bubbles.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::map<std::string, double> unified_totals;
+  for (size_t r = 0; r < (*bubbles)->num_rows(); ++r) {
+    unified_totals[(*bubbles)->at(r, 0).ToString()] =
+        (*bubbles)->at(r, 1).AsDouble();
+  }
+  auto glue_json = ParseJson(*glue_bubbles);
+  if (!glue_json.ok()) {
+    std::cerr << "glue json: " << glue_json.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  int mismatches = 0;
+  int compared = 0;
+  for (const JsonValue& bubble : glue_json->array_items()) {
+    const JsonValue* text = bubble.Find("text");
+    const JsonValue* size = bubble.Find("size");
+    if (text == nullptr || size == nullptr) continue;
+    ++compared;
+    auto it = unified_totals.find(text->string_value());
+    if (it == unified_totals.end() ||
+        std::abs(it->second - size->number_value()) >
+            1e-6 * std::max(1.0, std::abs(it->second))) {
+      ++mismatches;
+    }
+  }
+
+  // ---------------- report ----------------
+  std::cout << std::fixed << std::setprecision(2);
+  std::cout << std::left << std::setw(42) << "metric" << std::setw(16)
+            << "unified" << std::setw(16) << "glue stack" << "\n";
+  std::cout << std::string(74, '-') << "\n";
+  auto row = [](const std::string& metric, const std::string& unified,
+                const std::string& glue) {
+    std::cout << std::left << std::setw(42) << metric << std::setw(16)
+              << unified << std::setw(16) << glue << "\n";
+  };
+  row("specification size (bytes)", std::to_string(spec_bytes),
+      std::to_string(glue.total_glue_loc() * 40) + " (est)");
+  row("specification size (lines / LOC)", std::to_string(spec_lines),
+      std::to_string(glue.total_glue_loc()));
+  row("languages / technologies", "1 (flow file)",
+      std::to_string(glue.num_technologies()) + " stacks");
+  row("construction steps",
+      std::to_string(num_tasks + num_flows) + " (tasks+flows)",
+      std::to_string(glue.num_steps()) + " hand-coded jobs");
+  row("serialization-boundary bytes", "0 (in-memory tables)",
+      std::to_string(glue.serialized_bytes()));
+  row("end-to-end wall time (ms)", std::to_string(unified_ms),
+      std::to_string(glue_ms));
+  std::cout << "\nresult equivalence: " << compared << " projects compared, "
+            << mismatches << " mismatches\n";
+  double loc_ratio =
+      static_cast<double>(glue.total_glue_loc()) / std::max(1, spec_lines);
+  std::cout << "hand-written effort ratio (glue LOC / flow-file lines): "
+            << loc_ratio << "x\n";
+  std::cout << "\npaper shape (unified spec is several times smaller, one "
+               "technology, no serialization boundaries, same results): "
+            << (mismatches == 0 && loc_ratio > 2.0 &&
+                        glue.num_technologies() >= 3
+                    ? "REPRODUCED"
+                    : "NOT REPRODUCED")
+            << "\n";
+  return mismatches == 0 ? EXIT_SUCCESS : EXIT_FAILURE;
+}

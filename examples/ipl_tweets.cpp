@@ -1,0 +1,500 @@
+// The paper's Appendix A flow group: IPL tweet analysis split into a
+// data-processing dashboard (ingests raw Gnip-style tweets over the
+// simulated HTTP connector, extracts players/teams/locations/words, and
+// publishes the processed data objects) and a data-consumption dashboard
+// (widgets + interaction only, sourcing the published objects by name).
+// This demonstrates section 3.7's data-sharing model and section 4.5.3's
+// flow-file groups.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+
+#include "dashboard/dashboard.h"
+#include "datagen/datagen.h"
+#include "flow/flow_file.h"
+#include "io/connector.h"
+#include "share/shared_registry.h"
+
+using namespace shareinsights;
+
+namespace {
+
+// --- Data-processing dashboard (Appendix A.1, condensed) -------------
+constexpr const char* kProcessingFlow = R"(
+D:
+  ipl_tweets: [
+    postedTime => created_at,
+    body => text,
+    displayName => user.location
+  ]
+  dim_teams: [team_number, team, team_fullName, sort_order, color]
+  team_players: [player, team_fullName, team, player_id]
+  lat_long: [state, point_one, point_two, point_three]
+  players_tweets: [date, player, count]
+  teams_tweets: [date, team, count]
+  team_tweets: [sort_order, date, color, team, team_fullName, noOfTweets]
+  player_tweets: [player, team, date, player_id, team_fullName, noOfTweets]
+  tm_rgn_raw_cnt: [date, team, state, count]
+  tm_rgn_tm_dtls: [sort_order, noOfTweets, color, state, team, date, team_fullName]
+  team_region_tweets: [point_one, point_two, point_three, state, team_fullName, team, color, sort_order, date, noOfTweets]
+  tagcloud_tweets_raw: [date, word, count]
+  tagcloud_tweets: [date, word, count]
+
+D.ipl_tweets:
+  source: 'https://api.gnip.sim/ipl/tweets'
+  protocol: https
+  format: json
+
+D.dim_teams:
+  source: 'dim_teams.csv'
+D.team_players:
+  source: 'team_players.csv'
+D.lat_long:
+  source: 'lat_long.csv'
+
+F:
+  D.players_tweets: D.ipl_tweets |
+    T.players_pipeline |
+    T.players_count
+  D.player_tweets: (D.players_tweets,
+    D.team_players
+  ) | T.join_player_team
+
+  D.teams_tweets: D.ipl_tweets |
+    T.teams_pipeline |
+    T.teams_count
+  D.team_tweets: (D.teams_tweets,
+    D.dim_teams
+  ) | T.join_dim_teams
+
+  D.tm_rgn_raw_cnt: D.ipl_tweets |
+    T.teams_pipeline_region |
+    T.teams_regions_count
+  D.tm_rgn_tm_dtls: (D.tm_rgn_raw_cnt,
+    D.dim_teams
+  ) | T.join_dim_teams_two
+  D.team_region_tweets: (D.tm_rgn_tm_dtls,
+    D.lat_long
+  ) | T.join_lat_long
+
+  D.tagcloud_tweets_raw: D.ipl_tweets |
+    T.word_date_extraction |
+    T.words_count
+  D.tagcloud_tweets: D.tagcloud_tweets_raw |
+    T.topwords
+
+D.players_tweets:
+  endpoint: true
+  publish: players_tweets
+D.player_tweets:
+  endpoint: true
+  publish: player_tweets
+D.team_tweets:
+  endpoint: true
+  publish: team_tweets
+D.team_region_tweets:
+  endpoint: true
+  publish: team_region_tweets
+D.tagcloud_tweets:
+  endpoint: true
+  publish: tagcloud_tweets
+D.dim_teams:
+  endpoint: true
+  publish: dim_teams
+
+T:
+  players_pipeline:
+    parallel: [
+      T.norm_ipldate,
+      T.extract_players
+    ]
+  teams_pipeline:
+    parallel: [
+      T.norm_ipldate,
+      T.extract_teams
+    ]
+  teams_pipeline_region:
+    parallel: [
+      T.norm_ipldate,
+      T.extract_location,
+      T.extract_teams
+    ]
+  word_date_extraction:
+    parallel: [
+      T.norm_ipldate,
+      T.extract_words
+    ]
+
+  norm_ipldate:
+    type: map
+    operator: date
+    transform: postedTime
+    input_format: 'E MMM dd HH:mm:ss Z yyyy'
+    output_format: yyyy-MM-dd
+    output: date
+
+  extract_players:
+    type: map
+    operator: extract
+    transform: body
+    dict: players.txt
+    output: player
+
+  extract_teams:
+    type: map
+    operator: extract
+    transform: body
+    dict: teams.csv
+    output: team
+
+  extract_location:
+    type: map
+    operator: extract_location
+    transform: displayName
+    match: city
+    country: IND
+    output: state
+
+  extract_words:
+    type: map
+    operator: extract_words
+    transform: body
+    output: word
+
+  players_count:
+    type: groupby
+    groupby: [date, player]
+
+  teams_count:
+    type: groupby
+    groupby: [date, team]
+
+  teams_regions_count:
+    type: groupby
+    groupby: [date, team, state]
+
+  words_count:
+    type: groupby
+    groupby: [date, word]
+
+  topwords:
+    type: topn
+    groupby: [date]
+    orderby_column: [count DESC]
+    limit: 20
+
+  join_player_team:
+    type: join
+    left: players_tweets by player
+    right: team_players by player
+    join_condition: left outer
+    project:
+      players_tweets_date: date
+      players_tweets_player: player
+      players_tweets_count: noOfTweets
+      team_players_team: team
+      team_players_team_fullName: team_fullName
+      team_players_player_id: player_id
+
+  join_dim_teams:
+    type: join
+    left: teams_tweets by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      teams_tweets_date: date
+      teams_tweets_team: team_fullName
+      teams_tweets_count: noOfTweets
+      dim_teams_team: team
+      dim_teams_sort_order: sort_order
+      dim_teams_color: color
+
+  join_dim_teams_two:
+    type: join
+    left: tm_rgn_raw_cnt by team
+    right: dim_teams by team_fullName
+    join_condition: left outer
+    project:
+      tm_rgn_raw_cnt_date: date
+      tm_rgn_raw_cnt_team: team_fullName
+      tm_rgn_raw_cnt_state: state
+      tm_rgn_raw_cnt_count: noOfTweets
+      dim_teams_team: team
+      dim_teams_sort_order: sort_order
+      dim_teams_color: color
+
+  join_lat_long:
+    type: join
+    left: tm_rgn_tm_dtls by state
+    right: lat_long by state
+    join_condition: LEFT OUTER
+    project:
+      tm_rgn_tm_dtls_team_fullName: team_fullName
+      tm_rgn_tm_dtls_state: state
+      tm_rgn_tm_dtls_date: date
+      tm_rgn_tm_dtls_noOfTweets: noOfTweets
+      tm_rgn_tm_dtls_team: team
+      tm_rgn_tm_dtls_sort_order: sort_order
+      tm_rgn_tm_dtls_color: color
+      lat_long_point_one: point_one
+      lat_long_point_two: point_two
+      lat_long_point_three: point_three
+)";
+
+// --- Data-consumption dashboard (Appendix A.2, condensed) ------------
+constexpr const char* kConsumptionFlow = R"(
+L:
+  description: Clash of Titans
+  rows:
+    - [span12: W.teams]
+    - [span11: W.ipl_duration]
+    - [span11: W.relative_teamtweets]
+    - [span6: W.word_team_player_tweets, span5: W.region_tweets]
+
+W:
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    static: true
+    range: true
+    slider_type: date
+
+  relative_teamtweets:
+    type: Streamgraph
+    source: D.team_tweets |
+      T.filter_by_date |
+      T.filter_by_team
+    x: date
+    y: noOfTweets
+    color: color
+    serie: team
+
+  teams:
+    type: List
+    source: D.dim_teams
+    text: team
+    image_position: right
+
+  player_tweets_cloud:
+    type: WordCloud
+    source: D.player_tweets |
+      T.filter_by_date |
+      T.filter_by_team |
+      T.aggregate_by_player
+    text: player
+    size: noOfTweets
+    show_tooltip: true
+    tooltip_text: [player, noOfTweets]
+
+  teamtweets_cloud:
+    type: WordCloud
+    source: D.team_tweets |
+      T.filter_by_date |
+      T.aggregate_by_team
+    text: team
+    size: noOfTweets
+    show_tooltip: true
+    tooltip_text: [team, noOfTweets]
+
+  wordtweets_cloud:
+    type: WordCloud
+    source: D.tagcloud_tweets |
+      T.filter_by_date |
+      T.aggregate_by_word
+    text: word
+    size: count
+    show_tooltip: true
+    tooltip_text: [word, count]
+
+  region_tweets:
+    type: MapMarker
+    source: D.team_region_tweets |
+      T.filter_by_date |
+      T.filter_by_team |
+      T.aggregate_by_team_region
+    country: IND
+    markers:
+      - marker1:
+          type: circle_marker
+          lat_long_value: point_one
+          markersize: noOfTweets
+          fill_color: color
+          tooltip_text: [state, team, noOfTweets]
+
+  playertweetstab:
+    type: Layout
+    rows:
+      - [span11: W.player_tweets_cloud]
+  teamtweetstab:
+    type: Layout
+    rows:
+      - [span11: W.teamtweets_cloud]
+  wordtweetstab:
+    type: Layout
+    rows:
+      - [span11: W.wordtweets_cloud]
+
+  word_team_player_tweets:
+    type: TabLayout
+    tabs:
+      - name: 'Player'
+        body: W.playertweetstab
+      - name: 'Word'
+        body: W.wordtweetstab
+      - name: 'Team'
+        body: W.teamtweetstab
+
+T:
+  aggregate_by_player:
+    type: groupby
+    groupby: [player]
+    aggregates:
+      - operator: sum
+        apply_on: noOfTweets
+        out_field: noOfTweets
+
+  aggregate_by_team:
+    type: groupby
+    groupby: [team]
+    aggregates:
+      - operator: sum
+        apply_on: noOfTweets
+        out_field: noOfTweets
+
+  aggregate_by_word:
+    type: groupby
+    groupby: [word]
+    aggregates:
+      - operator: sum
+        apply_on: count
+        out_field: count
+    orderby_aggregates: true
+
+  aggregate_by_team_region:
+    type: groupby
+    groupby: [team, point_one, state, color]
+    aggregates:
+      - operator: sum
+        apply_on: noOfTweets
+        out_field: noOfTweets
+
+  filter_by_date:
+    type: filter_by
+    filter_by: [date]
+    filter_source: W.ipl_duration
+
+  filter_by_team:
+    type: filter_by
+    filter_by: [team]
+    filter_source: W.teams
+    filter_val: [text]
+)";
+
+}  // namespace
+
+int main() {
+  // Stage the synthetic Gnip feed and reference files.
+  std::string data_dir =
+      (std::filesystem::temp_directory_path() / "si_ipl_data").string();
+  IplDataset data = GenerateIplTweets(IplDataOptions{});
+  if (Status s = data.WriteTo(data_dir); !s.ok()) {
+    std::cerr << "datagen failed: " << s << "\n";
+    return EXIT_FAILURE;
+  }
+  SimulatedRemoteStore::Get().Publish("https://api.gnip.sim/ipl/tweets",
+                                      data.tweets_json);
+
+  SharedDataRegistry registry;
+
+  // --- producer dashboard: process and publish --------------------
+  auto processing = ParseFlowFile(kProcessingFlow, "ipl_processing");
+  if (!processing.ok()) {
+    std::cerr << "processing parse failed: " << processing.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  if (!processing->IsDataProcessingOnly()) {
+    std::cerr << "expected a data-processing-only flow file\n";
+    return EXIT_FAILURE;
+  }
+  Dashboard::Options producer_options;
+  producer_options.base_dir = data_dir;
+  auto producer = Dashboard::Create(std::move(*processing), producer_options);
+  if (!producer.ok()) {
+    std::cerr << "processing compile failed: " << producer.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  auto producer_stats = (*producer)->Run();
+  if (!producer_stats.ok()) {
+    std::cerr << "processing run failed: " << producer_stats.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "processing dashboard: " << producer_stats->ToString() << "\n";
+  if (Status s = PublishDashboardOutputs(**producer, &registry); !s.ok()) {
+    std::cerr << "publish failed: " << s << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "published data objects:\n";
+  for (const auto& entry : registry.List()) {
+    std::cout << "  " << entry.name << " (" << entry.num_rows << " rows, by "
+              << entry.publisher << ")\n";
+  }
+  std::cout << "\n";
+
+  // --- consumer dashboard: widgets over shared objects ------------
+  auto consumption = ParseFlowFile(kConsumptionFlow, "clash_of_titans");
+  if (!consumption.ok()) {
+    std::cerr << "consumption parse failed: " << consumption.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  Dashboard::Options consumer_options;
+  consumer_options.shared_schemas = &registry;
+  consumer_options.shared_tables = &registry;
+  auto consumer =
+      Dashboard::Create(std::move(*consumption), consumer_options);
+  if (!consumer.ok()) {
+    std::cerr << "consumption compile failed: " << consumer.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  // No batch flows of its own: running it just resolves shared objects —
+  // which is why consumer teams get "extremely quick feedback" (§4.5.3).
+  auto consumer_stats = (*consumer)->Run();
+  if (!consumer_stats.ok()) {
+    std::cerr << "consumption run failed: " << consumer_stats.status()
+              << "\n";
+    return EXIT_FAILURE;
+  }
+  auto render = (*consumer)->RenderText();
+  if (!render.ok()) {
+    std::cerr << "render failed: " << render.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << *render << "\n";
+
+  // Interaction: pick two teams and narrow the date range; every
+  // dependent widget recomputes.
+  std::cout << "--- select teams CSK & MI, dates 2013-05-10..2013-05-20 ---\n";
+  (void)(*consumer)->Select("teams", {Value("CSK"), Value("MI")});
+  (void)(*consumer)->SelectRange("ipl_duration", Value("2013-05-10"),
+                                 Value("2013-05-20"));
+  std::cout << "widgets depending on 'teams': ";
+  for (const std::string& name : (*consumer)->Dependents("teams")) {
+    std::cout << name << " ";
+  }
+  std::cout << "\n\n";
+  auto players = (*consumer)->WidgetData("player_tweets_cloud");
+  if (!players.ok()) {
+    std::cerr << "interaction failed: " << players.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "player word cloud (CSK & MI only):\n"
+            << (*players)->ToDisplayString(10) << "\n";
+  auto stream = (*consumer)->WidgetData("relative_teamtweets");
+  if (!stream.ok()) {
+    std::cerr << "interaction failed: " << stream.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << "streamgraph rows (filtered): " << (*stream)->num_rows()
+            << "\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,167 @@
+#include "baseline/apache_glue.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace shareinsights {
+
+namespace {
+
+// Deliberately hand-rolled CSV helpers: every glue step re-implements
+// parsing because, in the stack this models, each technology has its own
+// I/O layer (the paper's "at every boundary, there remain integration
+// challenges").
+std::vector<std::vector<std::string>> ParseCsvRows(
+    const std::string& payload) {
+  std::vector<std::vector<std::string>> rows;
+  std::string line;
+  std::istringstream in(payload);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> cells;
+    std::string cell;
+    std::istringstream ls(line);
+    while (std::getline(ls, cell, ',')) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  return rows;
+}
+
+long long ToInt(const std::string& s) {
+  return s.empty() ? 0 : std::strtoll(s.c_str(), nullptr, 10);
+}
+
+}  // namespace
+
+GlueNotebook BuildApacheGlueNotebook(const ApacheDataset& data) {
+  GlueNotebook notebook;
+  notebook.AddSource("svn_jira_summary.csv", data.svn_jira_csv);
+  notebook.AddSource("stackoverflow.csv", data.stackoverflow_csv);
+  notebook.AddSource("releases.csv", data.releases_csv);
+
+  // Step 1 [ETL tool]: aggregate svn/jira activity per project+year.
+  notebook.AddStep(
+      {"aggregate_checkins", "etl", 120},
+      [](std::map<std::string, std::string>* context) -> Status {
+        auto rows = ParseCsvRows(context->at("svn_jira_summary.csv"));
+        std::map<std::pair<std::string, std::string>,
+                 std::array<long long, 3>>
+            totals;
+        for (size_t i = 1; i < rows.size(); ++i) {
+          const auto& row = rows[i];
+          if (row.size() < 5) continue;
+          auto& t = totals[{row[0], row[1]}];
+          t[0] += ToInt(row[3]);  // checkins
+          t[1] += ToInt(row[2]);  // bugs
+          t[2] += ToInt(row[4]);  // emails
+        }
+        std::ostringstream out;
+        out << "project,year,total_checkins,total_jira,total_emails\n";
+        for (const auto& [key, t] : totals) {
+          out << key.first << "," << key.second << "," << t[0] << "," << t[1]
+              << "," << t[2] << "\n";
+        }
+        (*context)["checkin_jira_emails.csv"] = out.str();
+        return Status::OK();
+      });
+
+  // Step 2 [ETL tool]: total releases per project+year.
+  notebook.AddStep(
+      {"aggregate_releases", "etl", 80},
+      [](std::map<std::string, std::string>* context) -> Status {
+        auto rows = ParseCsvRows(context->at("releases.csv"));
+        std::map<std::pair<std::string, std::string>, long long> totals;
+        for (size_t i = 1; i < rows.size(); ++i) {
+          if (rows[i].size() < 3) continue;
+          totals[{rows[i][0], rows[i][1]}] += ToInt(rows[i][2]);
+        }
+        std::ostringstream out;
+        out << "project,year,total_releases\n";
+        for (const auto& [key, total] : totals) {
+          out << key.first << "," << key.second << "," << total << "\n";
+        }
+        (*context)["release_count.csv"] = out.str();
+        return Status::OK();
+      });
+
+  // Step 3 [SQL warehouse]: join activity, releases, and stackoverflow
+  // traffic per project+year.
+  notebook.AddStep(
+      {"join_project_stats", "sql", 150},
+      [](std::map<std::string, std::string>* context) -> Status {
+        auto activity = ParseCsvRows(context->at("checkin_jira_emails.csv"));
+        auto releases = ParseCsvRows(context->at("release_count.csv"));
+        auto stack = ParseCsvRows(context->at("stackoverflow.csv"));
+        std::map<std::pair<std::string, std::string>, long long> rel;
+        for (size_t i = 1; i < releases.size(); ++i) {
+          if (releases[i].size() < 3) continue;
+          rel[{releases[i][0], releases[i][1]}] = ToInt(releases[i][2]);
+        }
+        std::map<std::string, long long> questions;
+        for (size_t i = 1; i < stack.size(); ++i) {
+          if (stack[i].size() < 2) continue;
+          questions[stack[i][0]] = ToInt(stack[i][1]);
+        }
+        std::ostringstream out;
+        out << "project,year,total_checkins,total_jira,total_emails,"
+               "total_releases,questions\n";
+        for (size_t i = 1; i < activity.size(); ++i) {
+          const auto& row = activity[i];
+          if (row.size() < 5) continue;
+          out << row[0] << "," << row[1] << "," << row[2] << "," << row[3]
+              << "," << row[4] << "," << rel[{row[0], row[1]}] << ","
+              << questions[row[0]] << "\n";
+        }
+        (*context)["project_stats.csv"] = out.str();
+        return Status::OK();
+      });
+
+  // Step 4 [map-reduce job]: weighted activity index per project+year.
+  notebook.AddStep(
+      {"score_activity", "mapreduce", 200},
+      [](std::map<std::string, std::string>* context) -> Status {
+        auto rows = ParseCsvRows(context->at("project_stats.csv"));
+        std::ostringstream out;
+        out << "project,year,total_wt\n";
+        for (size_t i = 1; i < rows.size(); ++i) {
+          const auto& row = rows[i];
+          if (row.size() < 7) continue;
+          double score = 0.4 * static_cast<double>(ToInt(row[2])) +
+                         0.2 * static_cast<double>(ToInt(row[3])) +
+                         0.2 * static_cast<double>(ToInt(row[5])) * 100.0 +
+                         0.2 * static_cast<double>(ToInt(row[6])) * 0.1;
+          out << row[0] << "," << row[1] << "," << score << "\n";
+        }
+        (*context)["project_activity.csv"] = out.str();
+        return Status::OK();
+      });
+
+  // Step 5 [browser JavaScript]: fold per-year scores into bubble-chart
+  // JSON (hand-built string, as dashboard glue usually is).
+  notebook.AddStep(
+      {"build_bubbles", "javascript", 180},
+      [](std::map<std::string, std::string>* context) -> Status {
+        auto rows = ParseCsvRows(context->at("project_activity.csv"));
+        std::map<std::string, double> totals;
+        for (size_t i = 1; i < rows.size(); ++i) {
+          if (rows[i].size() < 3) continue;
+          totals[rows[i][0]] += std::strtod(rows[i][2].c_str(), nullptr);
+        }
+        std::ostringstream out;
+        out << "[";
+        bool first = true;
+        for (const auto& [project, total] : totals) {
+          if (!first) out << ",";
+          first = false;
+          out << "{\"text\":\"" << project << "\",\"size\":" << total << "}";
+        }
+        out << "]";
+        (*context)["bubbles.json"] = out.str();
+        return Status::OK();
+      });
+
+  return notebook;
+}
+
+}  // namespace shareinsights

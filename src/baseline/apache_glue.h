@@ -1,0 +1,24 @@
+#ifndef SHAREINSIGHTS_BASELINE_APACHE_GLUE_H_
+#define SHAREINSIGHTS_BASELINE_APACHE_GLUE_H_
+
+#include "baseline/glue.h"
+#include "datagen/datagen.h"
+
+namespace shareinsights {
+
+/// Hand-coded implementation of the Apache project-activity pipeline
+/// (section 3's running example) in the style of a pre-ShareInsights
+/// stack: an ETL job, a SQL-ish join job, a map-reduce scoring job, and
+/// browser-side JavaScript aggregation, each exchanging serialized CSV /
+/// JSON across technology boundaries. The glue_loc numbers approximate
+/// the hand-written code each step stands for and feed the build-effort
+/// comparison in bench_unified_vs_glue.
+GlueNotebook BuildApacheGlueNotebook(const ApacheDataset& data);
+
+/// Names of the payloads the glue pipeline leaves in its context.
+inline constexpr const char* kGlueActivityPayload = "project_activity.csv";
+inline constexpr const char* kGlueBubblesPayload = "bubbles.json";
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_BASELINE_APACHE_GLUE_H_

@@ -1,0 +1,53 @@
+#include "baseline/glue.h"
+
+#include <set>
+
+namespace shareinsights {
+
+void GlueNotebook::AddSource(const std::string& name, std::string payload) {
+  serialized_bytes_ += payload.size();
+  context_[name] = std::move(payload);
+}
+
+void GlueNotebook::AddStep(StepInfo info, StepFn fn) {
+  steps_.emplace_back(std::move(info), std::move(fn));
+}
+
+Status GlueNotebook::Run() {
+  for (auto& [info, fn] : steps_) {
+    size_t before = 0;
+    for (const auto& [name, payload] : context_) before += payload.size();
+    Status status = fn(&context_);
+    if (!status.ok()) {
+      return status.WithContext("glue step '" + info.name + "' (" +
+                                info.technology + ")");
+    }
+    size_t after = 0;
+    for (const auto& [name, payload] : context_) after += payload.size();
+    if (after > before) serialized_bytes_ += after - before;
+  }
+  return Status::OK();
+}
+
+Result<std::string> GlueNotebook::Payload(const std::string& name) const {
+  auto it = context_.find(name);
+  if (it == context_.end()) {
+    return Status::NotFound("no payload named '" + name +
+                            "' in the glue pipeline context");
+  }
+  return it->second;
+}
+
+int GlueNotebook::total_glue_loc() const {
+  int total = 0;
+  for (const auto& [info, fn] : steps_) total += info.glue_loc;
+  return total;
+}
+
+int GlueNotebook::num_technologies() const {
+  std::set<std::string> technologies;
+  for (const auto& [info, fn] : steps_) technologies.insert(info.technology);
+  return static_cast<int>(technologies.size());
+}
+
+}  // namespace shareinsights

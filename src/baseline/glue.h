@@ -1,0 +1,65 @@
+#ifndef SHAREINSIGHTS_BASELINE_GLUE_H_
+#define SHAREINSIGHTS_BASELINE_GLUE_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shareinsights {
+
+/// Imperative "glue-code" pipeline: the baseline the paper's unified
+/// representation is pitched against (section 2's BI / Big-Data stacks).
+///
+/// Each step models one hand-written unit of work in a heterogeneous
+/// stack. Crucially, steps exchange data through *serialized payloads*
+/// (the context is a map name -> CSV/JSON string), reproducing the
+/// technology-boundary costs the paper calls out: "multiple technology
+/// stacks bring their attendant problems of data serialization,
+/// interface design and the like". Each step also records the hand-coded
+/// effort it stands for (approximate lines of code), which is the
+/// build-effort proxy used by bench_unified_vs_glue.
+class GlueNotebook {
+ public:
+  /// A step reads serialized inputs from the context and writes
+  /// serialized outputs back into it.
+  using StepFn =
+      std::function<Status(std::map<std::string, std::string>* context)>;
+
+  struct StepInfo {
+    std::string name;
+    std::string technology;  // "etl", "mapreduce", "sql", "javascript", ...
+    int glue_loc = 0;        // hand-written lines this step stands for
+  };
+
+  /// Registers an initial payload (raw source data).
+  void AddSource(const std::string& name, std::string payload);
+
+  /// Registers a pipeline step.
+  void AddStep(StepInfo info, StepFn fn);
+
+  /// Runs all steps in registration order.
+  Status Run();
+
+  /// Serialized payload produced under `name` (after Run).
+  Result<std::string> Payload(const std::string& name) const;
+
+  /// Build-effort metrics.
+  int num_steps() const { return static_cast<int>(steps_.size()); }
+  int total_glue_loc() const;
+  /// Number of distinct technologies stitched together.
+  int num_technologies() const;
+  /// Bytes crossing serialization boundaries during Run.
+  size_t serialized_bytes() const { return serialized_bytes_; }
+
+ private:
+  std::map<std::string, std::string> context_;
+  std::vector<std::pair<StepInfo, StepFn>> steps_;
+  size_t serialized_bytes_ = 0;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_BASELINE_GLUE_H_

@@ -1,0 +1,210 @@
+// shareinsights — command-line driver for the platform.
+//
+//   shareinsights run <flow-file> [--data-dir DIR]      compile + execute,
+//                                                       print stats & render
+//   shareinsights check <flow-file> [--data-dir DIR]    compile only; on
+//                                                       error, pin-point it
+//   shareinsights plan <flow-file> [--data-dir DIR]     dump the execution plan
+//   shareinsights explore <flow-file> <endpoint> [...]  data-explorer view
+//   shareinsights query <flow-file> <url-path> [...]    REST-style query, e.g.
+//       /ds/projects/groupby/technology/count/project  (fig. 30)
+//   shareinsights profile <flow-file> [--data-dir DIR]  column statistics of
+//                                                       every data object
+//
+// The flow file's relative sources resolve against --data-dir (default:
+// the flow file's directory), mirroring the dashboard data folder of
+// section 4.3.2.
+
+#include <cstdlib>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "compile/diagnostics.h"
+#include "dashboard/dashboard.h"
+#include "dashboard/profiler.h"
+#include "flow/flow_file.h"
+#include "io/csv.h"
+#include "server/api_server.h"
+
+namespace si = shareinsights;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::string flow_path;
+  std::vector<std::string> rest;
+  std::string data_dir;
+};
+
+void PrintUsage() {
+  std::cerr
+      << "usage: shareinsights <command> <flow-file> [args] [--data-dir DIR]\n"
+      << "commands: run | check | plan | explore <endpoint> | query <path> "
+         "| profile\n";
+}
+
+si::Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--data-dir") {
+      if (i + 1 >= argc) {
+        return si::Status::InvalidArgument("--data-dir needs a value");
+      }
+      args.data_dir = argv[++i];
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (positional.size() < 2) {
+    return si::Status::InvalidArgument("missing command or flow file");
+  }
+  args.command = positional[0];
+  args.flow_path = positional[1];
+  args.rest.assign(positional.begin() + 2, positional.end());
+  if (args.data_dir.empty()) {
+    args.data_dir =
+        std::filesystem::path(args.flow_path).parent_path().string();
+    if (args.data_dir.empty()) args.data_dir = ".";
+  }
+  return args;
+}
+
+si::Result<std::unique_ptr<si::Dashboard>> LoadDashboard(const Args& args) {
+  SI_ASSIGN_OR_RETURN(std::string text,
+                      si::ReadFileToString(args.flow_path));
+  std::string name =
+      std::filesystem::path(args.flow_path).stem().string();
+  SI_ASSIGN_OR_RETURN(si::FlowFile file, si::ParseFlowFile(text, name));
+  si::Dashboard::Options options;
+  options.base_dir = args.data_dir;
+  return si::Dashboard::Create(std::move(file), std::move(options));
+}
+
+// Prints the user-level diagnosis for a failure (the §6 pin-pointing
+// path), falling back to the raw status when the file itself is broken.
+int FailWithDiagnosis(const si::Status& status, const Args& args) {
+  auto text = si::ReadFileToString(args.flow_path);
+  if (text.ok()) {
+    auto file = si::ParseFlowFile(*text);
+    if (file.ok()) {
+      std::cerr << si::ExplainError(status, *file).ToString() << "\n";
+      return EXIT_FAILURE;
+    }
+  }
+  std::cerr << status << "\n";
+  return EXIT_FAILURE;
+}
+
+int CmdRun(const Args& args) {
+  auto dashboard = LoadDashboard(args);
+  if (!dashboard.ok()) return FailWithDiagnosis(dashboard.status(), args);
+  auto stats = (*dashboard)->Run();
+  if (!stats.ok()) return FailWithDiagnosis(stats.status(), args);
+  std::cout << "executed: " << stats->ToString() << "\n\n";
+  auto render = (*dashboard)->RenderText();
+  if (!render.ok()) {
+    std::cerr << render.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  std::cout << *render;
+  return EXIT_SUCCESS;
+}
+
+int CmdCheck(const Args& args) {
+  auto dashboard = LoadDashboard(args);
+  if (!dashboard.ok()) return FailWithDiagnosis(dashboard.status(), args);
+  const auto& plan = (*dashboard)->plan();
+  std::cout << "OK: " << plan.flows.size() << " flows, "
+            << plan.sources.size() << " sources, "
+            << plan.endpoints.size() << " endpoints, "
+            << (*dashboard)->flow_file().widgets.size() << " widgets\n";
+  return EXIT_SUCCESS;
+}
+
+int CmdPlan(const Args& args) {
+  auto dashboard = LoadDashboard(args);
+  if (!dashboard.ok()) return FailWithDiagnosis(dashboard.status(), args);
+  std::cout << (*dashboard)->plan().ToString();
+  return EXIT_SUCCESS;
+}
+
+int CmdExplore(const Args& args) {
+  if (args.rest.empty()) {
+    std::cerr << "explore needs an endpoint name\n";
+    return EXIT_FAILURE;
+  }
+  auto dashboard = LoadDashboard(args);
+  if (!dashboard.ok()) return FailWithDiagnosis(dashboard.status(), args);
+  if (auto stats = (*dashboard)->Run(); !stats.ok()) {
+    return FailWithDiagnosis(stats.status(), args);
+  }
+  auto table = (*dashboard)->EndpointData(args.rest[0]);
+  if (!table.ok()) return FailWithDiagnosis(table.status(), args);
+  std::cout << (*table)->ToDisplayString(50);
+  return EXIT_SUCCESS;
+}
+
+int CmdQuery(const Args& args) {
+  if (args.rest.empty()) {
+    std::cerr << "query needs a URL path, e.g. "
+                 "/ds/projects/groupby/technology/count/project\n";
+    return EXIT_FAILURE;
+  }
+  si::ApiServer server;
+  std::string name =
+      std::filesystem::path(args.flow_path).stem().string();
+  auto text = si::ReadFileToString(args.flow_path);
+  if (!text.ok()) {
+    std::cerr << text.status() << "\n";
+    return EXIT_FAILURE;
+  }
+  si::Dashboard::Options options;
+  options.base_dir = args.data_dir;
+  if (si::Status s = server.CreateDashboard(name, *text, options); !s.ok()) {
+    return FailWithDiagnosis(s, args);
+  }
+  si::HttpResponse run = server.Post("/dashboards/" + name + "/run", "");
+  if (!run.ok()) {
+    std::cerr << run.body << "\n";
+    return EXIT_FAILURE;
+  }
+  si::HttpResponse response = server.Get("/" + name + args.rest[0]);
+  std::cout << response.body << "\n";
+  return response.ok() ? EXIT_SUCCESS : EXIT_FAILURE;
+}
+
+int CmdProfile(const Args& args) {
+  auto dashboard = LoadDashboard(args);
+  if (!dashboard.ok()) return FailWithDiagnosis(dashboard.status(), args);
+  if (auto stats = (*dashboard)->Run(); !stats.ok()) {
+    return FailWithDiagnosis(stats.status(), args);
+  }
+  std::cout << si::RenderProfiles(
+      si::ProfileStore((*dashboard)->store()));
+  return EXIT_SUCCESS;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto args = ParseArgs(argc, argv);
+  if (!args.ok()) {
+    std::cerr << args.status() << "\n";
+    PrintUsage();
+    return EXIT_FAILURE;
+  }
+  if (args->command == "run") return CmdRun(*args);
+  if (args->command == "check") return CmdCheck(*args);
+  if (args->command == "plan") return CmdPlan(*args);
+  if (args->command == "explore") return CmdExplore(*args);
+  if (args->command == "query") return CmdQuery(*args);
+  if (args->command == "profile") return CmdProfile(*args);
+  std::cerr << "unknown command '" << args->command << "'\n";
+  PrintUsage();
+  return EXIT_FAILURE;
+}

@@ -1,0 +1,310 @@
+#include "common/date_util.h"
+
+#include <array>
+#include <cctype>
+#include <cstdio>
+
+namespace shareinsights {
+
+namespace {
+
+constexpr std::array<const char*, 12> kMonthNames = {
+    "Jan", "Feb", "Mar", "Apr", "May", "Jun",
+    "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+
+constexpr std::array<const char*, 7> kWeekdayNames = {
+    "Sun", "Mon", "Tue", "Wed", "Thu", "Fri", "Sat"};
+
+// Howard Hinnant's days-from-civil algorithm.
+int64_t DaysFromCivilImpl(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy = (153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 + d - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDaysImpl(int64_t z, int* year, int* month, int* day) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t y = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned d = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned m = mp + (mp < 10 ? 3 : -9);
+  *year = static_cast<int>(y + (m <= 2));
+  *month = static_cast<int>(m);
+  *day = static_cast<int>(d);
+}
+
+// Reads exactly `width` digits, or 1..`width` digits when greedy is false.
+bool ReadInt(const std::string& s, size_t* pos, int min_digits,
+             int max_digits, int* out) {
+  int value = 0;
+  int digits = 0;
+  while (*pos < s.size() && digits < max_digits &&
+         std::isdigit(static_cast<unsigned char>(s[*pos]))) {
+    value = value * 10 + (s[*pos] - '0');
+    ++(*pos);
+    ++digits;
+  }
+  if (digits < min_digits) return false;
+  *out = value;
+  return true;
+}
+
+bool MatchName(const std::string& s, size_t* pos, const char* name) {
+  size_t n = std::char_traits<char>::length(name);
+  if (s.compare(*pos, n, name) != 0) return false;
+  *pos += n;
+  return true;
+}
+
+// Counts the run length of pattern[i] starting at i.
+size_t RunLength(const std::string& pattern, size_t i) {
+  char c = pattern[i];
+  size_t n = 0;
+  while (i + n < pattern.size() && pattern[i + n] == c) ++n;
+  return n;
+}
+
+}  // namespace
+
+int64_t DaysFromCivil(int year, int month, int day) {
+  return DaysFromCivilImpl(year, month, day);
+}
+
+void CivilFromDays(int64_t days, int* year, int* month, int* day) {
+  CivilFromDaysImpl(days, year, month, day);
+}
+
+int64_t DateTime::ToUnixSeconds() const {
+  int64_t days = DaysFromCivilImpl(year, month, day);
+  int64_t secs = days * 86400 + hour * 3600 + minute * 60 + second;
+  return secs - static_cast<int64_t>(tz_offset_minutes) * 60;
+}
+
+DateTime DateTime::FromUnixSeconds(int64_t seconds) {
+  DateTime dt;
+  int64_t days = seconds / 86400;
+  int64_t rem = seconds % 86400;
+  if (rem < 0) {
+    rem += 86400;
+    days -= 1;
+  }
+  CivilFromDaysImpl(days, &dt.year, &dt.month, &dt.day);
+  dt.hour = static_cast<int>(rem / 3600);
+  dt.minute = static_cast<int>((rem % 3600) / 60);
+  dt.second = static_cast<int>(rem % 60);
+  return dt;
+}
+
+int DateTime::DayOfWeek() const {
+  int64_t days = DaysFromCivilImpl(year, month, day);
+  // 1970-01-01 was a Thursday (4).
+  int dow = static_cast<int>((days % 7 + 7 + 4) % 7);
+  return dow;
+}
+
+Result<DateTime> ParseDateTime(const std::string& text,
+                               const std::string& pattern) {
+  DateTime dt;
+  size_t ti = 0;
+  size_t pi = 0;
+  auto fail = [&](const std::string& what) -> Status {
+    return Status::ParseError("date '" + text + "' does not match pattern '" +
+                              pattern + "' (" + what + ")");
+  };
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '\'') {
+      // Quoted literal section.
+      ++pi;
+      while (pi < pattern.size() && pattern[pi] != '\'') {
+        if (ti >= text.size() || text[ti] != pattern[pi]) {
+          return fail("literal mismatch");
+        }
+        ++ti;
+        ++pi;
+      }
+      if (pi < pattern.size()) ++pi;  // closing quote
+      continue;
+    }
+    if (!std::isalpha(static_cast<unsigned char>(pc))) {
+      if (ti >= text.size() || text[ti] != pc) return fail("separator");
+      ++ti;
+      ++pi;
+      continue;
+    }
+    size_t run = RunLength(pattern, pi);
+    switch (pc) {
+      case 'y': {
+        int v = 0;
+        if (!ReadInt(text, &ti, run >= 4 ? 4 : 1, 4, &v)) return fail("year");
+        if (run <= 2 && v < 100) v += v < 70 ? 2000 : 1900;
+        dt.year = v;
+        break;
+      }
+      case 'M': {
+        if (run >= 3) {
+          bool matched = false;
+          for (size_t m = 0; m < kMonthNames.size(); ++m) {
+            if (MatchName(text, &ti, kMonthNames[m])) {
+              dt.month = static_cast<int>(m) + 1;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) return fail("month name");
+        } else {
+          int v = 0;
+          if (!ReadInt(text, &ti, run >= 2 ? 2 : 1, 2, &v)) {
+            return fail("month");
+          }
+          if (v < 1 || v > 12) return fail("month range");
+          dt.month = v;
+        }
+        break;
+      }
+      case 'd': {
+        int v = 0;
+        if (!ReadInt(text, &ti, run >= 2 ? 2 : 1, 2, &v)) return fail("day");
+        if (v < 1 || v > 31) return fail("day range");
+        dt.day = v;
+        break;
+      }
+      case 'H': {
+        int v = 0;
+        if (!ReadInt(text, &ti, run >= 2 ? 2 : 1, 2, &v)) return fail("hour");
+        if (v > 23) return fail("hour range");
+        dt.hour = v;
+        break;
+      }
+      case 'm': {
+        int v = 0;
+        if (!ReadInt(text, &ti, run >= 2 ? 2 : 1, 2, &v)) {
+          return fail("minute");
+        }
+        if (v > 59) return fail("minute range");
+        dt.minute = v;
+        break;
+      }
+      case 's': {
+        int v = 0;
+        if (!ReadInt(text, &ti, run >= 2 ? 2 : 1, 2, &v)) {
+          return fail("second");
+        }
+        if (v > 59) return fail("second range");
+        dt.second = v;
+        break;
+      }
+      case 'E': {
+        bool matched = false;
+        for (const char* name : kWeekdayNames) {
+          if (MatchName(text, &ti, name)) {
+            matched = true;
+            break;
+          }
+        }
+        if (!matched) return fail("weekday name");
+        break;
+      }
+      case 'Z': {
+        if (ti >= text.size() || (text[ti] != '+' && text[ti] != '-')) {
+          return fail("timezone sign");
+        }
+        int sign = text[ti] == '-' ? -1 : 1;
+        ++ti;
+        int hhmm = 0;
+        if (!ReadInt(text, &ti, 4, 4, &hhmm)) return fail("timezone digits");
+        dt.tz_offset_minutes = sign * ((hhmm / 100) * 60 + hhmm % 100);
+        break;
+      }
+      default:
+        return Status::InvalidArgument(
+            std::string("unsupported date pattern token '") + pc + "'");
+    }
+    pi += run;
+  }
+  if (ti != text.size()) return fail("trailing characters");
+  return dt;
+}
+
+std::string FormatDateTime(const DateTime& dt, const std::string& pattern) {
+  std::string out;
+  char buf[16];
+  size_t pi = 0;
+  while (pi < pattern.size()) {
+    char pc = pattern[pi];
+    if (pc == '\'') {
+      ++pi;
+      while (pi < pattern.size() && pattern[pi] != '\'') {
+        out.push_back(pattern[pi]);
+        ++pi;
+      }
+      if (pi < pattern.size()) ++pi;
+      continue;
+    }
+    if (!std::isalpha(static_cast<unsigned char>(pc))) {
+      out.push_back(pc);
+      ++pi;
+      continue;
+    }
+    size_t run = RunLength(pattern, pi);
+    switch (pc) {
+      case 'y':
+        if (run <= 2) {
+          std::snprintf(buf, sizeof(buf), "%02d", dt.year % 100);
+        } else {
+          std::snprintf(buf, sizeof(buf), "%04d", dt.year);
+        }
+        out += buf;
+        break;
+      case 'M':
+        if (run >= 3) {
+          out += kMonthNames[(dt.month - 1) % 12];
+        } else {
+          std::snprintf(buf, sizeof(buf), run >= 2 ? "%02d" : "%d", dt.month);
+          out += buf;
+        }
+        break;
+      case 'd':
+        std::snprintf(buf, sizeof(buf), run >= 2 ? "%02d" : "%d", dt.day);
+        out += buf;
+        break;
+      case 'H':
+        std::snprintf(buf, sizeof(buf), run >= 2 ? "%02d" : "%d", dt.hour);
+        out += buf;
+        break;
+      case 'm':
+        std::snprintf(buf, sizeof(buf), run >= 2 ? "%02d" : "%d", dt.minute);
+        out += buf;
+        break;
+      case 's':
+        std::snprintf(buf, sizeof(buf), run >= 2 ? "%02d" : "%d", dt.second);
+        out += buf;
+        break;
+      case 'E':
+        out += kWeekdayNames[dt.DayOfWeek()];
+        break;
+      case 'Z': {
+        int total = dt.tz_offset_minutes;
+        char sign = total < 0 ? '-' : '+';
+        if (total < 0) total = -total;
+        std::snprintf(buf, sizeof(buf), "%c%02d%02d", sign, total / 60,
+                      total % 60);
+        out += buf;
+        break;
+      }
+      default:
+        out.append(run, pc);
+    }
+    pi += run;
+  }
+  return out;
+}
+
+}  // namespace shareinsights

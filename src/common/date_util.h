@@ -1,0 +1,59 @@
+#ifndef SHAREINSIGHTS_COMMON_DATE_UTIL_H_
+#define SHAREINSIGHTS_COMMON_DATE_UTIL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+
+namespace shareinsights {
+
+/// A broken-down UTC timestamp. The flow engine's `map`/`date` operator
+/// parses source timestamps into this form and re-renders them in the
+/// requested output pattern (the paper's example converts Twitter's
+/// "E MMM dd HH:mm:ss Z yyyy" into "yyyy-MM-dd").
+struct DateTime {
+  int year = 1970;
+  int month = 1;   // 1..12
+  int day = 1;     // 1..31
+  int hour = 0;    // 0..23
+  int minute = 0;  // 0..59
+  int second = 0;  // 0..59
+  int tz_offset_minutes = 0;  // offset parsed from a Z field, e.g. +0530.
+
+  /// Seconds since the Unix epoch, interpreting the fields as UTC after
+  /// removing tz_offset_minutes.
+  int64_t ToUnixSeconds() const;
+
+  /// Inverse of ToUnixSeconds (tz_offset_minutes = 0 in the result).
+  static DateTime FromUnixSeconds(int64_t seconds);
+
+  /// ISO 8601 day-of-week, 0 = Sunday .. 6 = Saturday.
+  int DayOfWeek() const;
+
+  bool operator==(const DateTime& other) const {
+    return ToUnixSeconds() == other.ToUnixSeconds();
+  }
+};
+
+/// Parses `text` according to a Java-SimpleDateFormat-style `pattern`.
+///
+/// Supported pattern tokens: yyyy, yy, MMM (abbreviated month name), MM, M,
+/// dd, d, HH, H, mm, m, ss, s, E/EEE (abbreviated weekday name, validated
+/// but otherwise ignored), Z (+hhmm numeric offset). Literal characters
+/// (and quoted sections using single quotes) must match exactly.
+Result<DateTime> ParseDateTime(const std::string& text,
+                               const std::string& pattern);
+
+/// Formats `dt` using the same pattern language as ParseDateTime.
+std::string FormatDateTime(const DateTime& dt, const std::string& pattern);
+
+/// Days since 1970-01-01 for a civil date (proleptic Gregorian).
+int64_t DaysFromCivil(int year, int month, int day);
+
+/// Inverse of DaysFromCivil.
+void CivilFromDays(int64_t days, int* year, int* month, int* day);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_DATE_UTIL_H_

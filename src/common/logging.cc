@@ -1,0 +1,40 @@
+#include "common/logging.h"
+
+#include <iostream>
+#include <mutex>
+
+namespace shareinsights {
+
+namespace {
+std::mutex& LogMutex() {
+  static std::mutex* mu = new std::mutex;
+  return *mu;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+Logger& Logger::Get() {
+  static Logger* logger = new Logger;
+  return *logger;
+}
+
+void Logger::Log(LogLevel level, const std::string& message) {
+  if (level < level_) return;
+  std::lock_guard<std::mutex> lock(LogMutex());
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,52 @@
+#ifndef SHAREINSIGHTS_COMMON_LOGGING_H_
+#define SHAREINSIGHTS_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace shareinsights {
+
+enum class LogLevel { kDebug = 0, kInfo, kWarning, kError };
+
+/// Minimal leveled logger writing to stderr. The executor and server use
+/// it for diagnostics; tests raise the threshold to silence output.
+class Logger {
+ public:
+  static Logger& Get();
+
+  void SetLevel(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  void Log(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+};
+
+namespace logging_internal {
+
+/// Builds one log line from streamed parts and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logger::Get().Log(level_, stream_.str()); }
+
+  template <typename T>
+  LogMessage& operator<<(const T& part) {
+    stream_ << part;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+}  // namespace shareinsights
+
+#define SI_LOG(level) \
+  ::shareinsights::logging_internal::LogMessage(::shareinsights::LogLevel::level)
+
+#endif  // SHAREINSIGHTS_COMMON_LOGGING_H_

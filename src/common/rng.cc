@@ -1,0 +1,35 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace shareinsights {
+
+size_t Rng::NextZipf(size_t n, double s) {
+  if (n == 0) return 0;
+  // Inverse-CDF sampling over explicit weights; n stays small (tens to a
+  // few thousand) for all callers, so O(n) is fine.
+  double total = 0.0;
+  for (size_t r = 0; r < n; ++r) total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), s);
+    if (target <= acc) return r;
+  }
+  return n - 1;
+}
+
+size_t Rng::NextWeighted(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0) return 0;
+  double target = NextDouble() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (target <= acc) return i;
+  }
+  return weights.empty() ? 0 : weights.size() - 1;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,60 @@
+#ifndef SHAREINSIGHTS_COMMON_RNG_H_
+#define SHAREINSIGHTS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace shareinsights {
+
+/// Deterministic splitmix64-based RNG used by the synthetic data
+/// generators and the hackathon simulator so figure reproductions are
+/// bit-for-bit repeatable across runs.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed + 0x9e3779b97f4a7c15ULL) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound).
+  uint64_t NextBelow(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<int64_t>(NextBelow(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Approximately normal sample via the sum of 4 uniforms (Irwin-Hall),
+  /// scaled to the requested mean/stddev; cheap and good enough for
+  /// workload shaping.
+  double NextGaussian(double mean, double stddev) {
+    double sum = NextDouble() + NextDouble() + NextDouble() + NextDouble();
+    // Irwin-Hall(4): mean 2, variance 4/12.
+    double z = (sum - 2.0) / 0.57735026919;  // ≈ sqrt(1/3)
+    return mean + stddev * z;
+  }
+
+  /// Zipf-like index in [0, n): rank r selected with weight 1/(r+1)^s.
+  size_t NextZipf(size_t n, double s);
+
+  /// Picks an index according to the (non-negative) weights.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_RNG_H_

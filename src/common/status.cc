@@ -1,0 +1,56 @@
+#include "common/status.h"
+
+namespace shareinsights {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kParseError:
+      return "parse_error";
+    case StatusCode::kTypeError:
+      return "type_error";
+    case StatusCode::kSchemaError:
+      return "schema_error";
+    case StatusCode::kIoError:
+      return "io_error";
+    case StatusCode::kExecutionError:
+      return "execution_error";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kCycleError:
+      return "cycle_error";
+    case StatusCode::kPermissionDenied:
+      return "permission_denied";
+    case StatusCode::kConflict:
+      return "conflict";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+Status Status::WithContext(const std::string& context) const {
+  if (ok()) return *this;
+  return Status(code_, context + ": " + message_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace shareinsights

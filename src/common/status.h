@@ -1,0 +1,126 @@
+#ifndef SHAREINSIGHTS_COMMON_STATUS_H_
+#define SHAREINSIGHTS_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace shareinsights {
+
+/// Machine-readable error category carried by a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kParseError,
+  kTypeError,
+  kSchemaError,
+  kIoError,
+  kExecutionError,
+  kUnimplemented,
+  kInternal,
+  kCycleError,
+  kPermissionDenied,
+  kConflict,
+};
+
+/// Returns the canonical lowercase name for a status code, e.g.
+/// "invalid_argument".
+const char* StatusCodeName(StatusCode code);
+
+/// Error-or-success result of an operation that produces no value.
+///
+/// Mirrors the Arrow/RocksDB idiom: functions that can fail return a
+/// Status (or a Result<T>, see result.h), and callers propagate with
+/// SI_RETURN_IF_ERROR. A default-constructed Status is OK and carries no
+/// allocation.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status TypeError(std::string msg) {
+    return Status(StatusCode::kTypeError, std::move(msg));
+  }
+  static Status SchemaError(std::string msg) {
+    return Status(StatusCode::kSchemaError, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ExecutionError(std::string msg) {
+    return Status(StatusCode::kExecutionError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status CycleError(std::string msg) {
+    return Status(StatusCode::kCycleError, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "code: message" rendering ("OK" when ok()).
+  std::string ToString() const;
+
+  /// Prepends context to the message, keeping the code. No-op when ok().
+  Status WithContext(const std::string& context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+}  // namespace shareinsights
+
+/// Propagates a failing Status from the current function.
+#define SI_RETURN_IF_ERROR(expr)                            \
+  do {                                                      \
+    ::shareinsights::Status si_status__ = (expr);           \
+    if (!si_status__.ok()) return si_status__;              \
+  } while (false)
+
+#define SI_CONCAT_IMPL(a, b) a##b
+#define SI_CONCAT(a, b) SI_CONCAT_IMPL(a, b)
+
+/// Evaluates an expression returning Result<T>; on success binds the value
+/// to `lhs`, on failure propagates the Status.
+#define SI_ASSIGN_OR_RETURN(lhs, expr)                          \
+  auto SI_CONCAT(si_result__, __LINE__) = (expr);               \
+  if (!SI_CONCAT(si_result__, __LINE__).ok())                   \
+    return SI_CONCAT(si_result__, __LINE__).status();           \
+  lhs = std::move(SI_CONCAT(si_result__, __LINE__)).ValueOrDie()
+
+#endif  // SHAREINSIGHTS_COMMON_STATUS_H_

@@ -1,0 +1,49 @@
+#ifndef SHAREINSIGHTS_COMMON_STRING_UTIL_H_
+#define SHAREINSIGHTS_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace shareinsights {
+
+/// Splits `text` on every occurrence of `sep` (empty pieces preserved).
+std::vector<std::string> Split(std::string_view text, char sep);
+
+/// Splits on `sep` but honours single- and double-quoted segments; quotes
+/// are kept in the pieces. Used by the flow-file lexer.
+std::vector<std::string> SplitRespectingQuotes(std::string_view text,
+                                               char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+/// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True when `text` is a valid identifier per the flow-file grammar:
+/// [a-zA-Z_][a-zA-Z0-9_]*.
+bool IsIdentifier(std::string_view text);
+
+/// Tokenizes free text into lowercase words (runs of alphanumerics,
+/// apostrophes dropped). Used by the extract_words map operator.
+std::vector<std::string> ExtractWords(std::string_view text);
+
+/// Replaces every occurrence of `from` in `text` with `to`.
+std::string ReplaceAll(std::string text, const std::string& from,
+                       const std::string& to);
+
+/// Escapes a string for embedding in a JSON document (no surrounding
+/// quotes added).
+std::string JsonEscape(std::string_view text);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_STRING_UTIL_H_

@@ -1,0 +1,49 @@
+#ifndef SHAREINSIGHTS_COMMON_THREAD_POOL_H_
+#define SHAREINSIGHTS_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace shareinsights {
+
+/// Fixed-size worker pool used by the batch executor to run independent
+/// DAG nodes concurrently. Tasks are plain std::function<void()>; callers
+/// coordinate results themselves (the executor uses a countdown latch).
+class ThreadPool {
+ public:
+  /// Creates `num_threads` workers (at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains outstanding tasks, then joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished running.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable task_available_;
+  std::condition_variable idle_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_THREAD_POOL_H_

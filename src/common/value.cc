@@ -1,0 +1,253 @@
+#include "common/value.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <functional>
+#include <ostream>
+#include <sstream>
+
+namespace shareinsights {
+
+const char* ValueTypeName(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kBool:
+      return "bool";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+ValueType Value::type() const {
+  switch (data_.index()) {
+    case 0:
+      return ValueType::kNull;
+    case 1:
+      return ValueType::kBool;
+    case 2:
+      return ValueType::kInt64;
+    case 3:
+      return ValueType::kDouble;
+    default:
+      return ValueType::kString;
+  }
+}
+
+double Value::AsDouble() const {
+  if (is_int64()) return static_cast<double>(int64_value());
+  if (is_double()) return double_value();
+  return 0.0;
+}
+
+Result<int64_t> Value::ToInt64() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return int64_value();
+    case ValueType::kDouble:
+      return static_cast<int64_t>(double_value());
+    case ValueType::kBool:
+      return static_cast<int64_t>(bool_value() ? 1 : 0);
+    case ValueType::kString: {
+      const std::string& s = string_value();
+      char* end = nullptr;
+      errno = 0;
+      long long v = std::strtoll(s.c_str(), &end, 10);
+      if (end == s.c_str() || *end != '\0' || errno == ERANGE) {
+        return Status::TypeError("cannot convert '" + s + "' to int64");
+      }
+      return static_cast<int64_t>(v);
+    }
+    case ValueType::kNull:
+      return Status::TypeError("cannot convert null to int64");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<double> Value::ToDouble() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(int64_value());
+    case ValueType::kDouble:
+      return double_value();
+    case ValueType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case ValueType::kString: {
+      const std::string& s = string_value();
+      char* end = nullptr;
+      errno = 0;
+      double v = std::strtod(s.c_str(), &end);
+      if (end == s.c_str() || *end != '\0') {
+        return Status::TypeError("cannot convert '" + s + "' to double");
+      }
+      return v;
+    }
+    case ValueType::kNull:
+      return Status::TypeError("cannot convert null to double");
+  }
+  return Status::Internal("unreachable");
+}
+
+Result<bool> Value::ToBool() const {
+  switch (type()) {
+    case ValueType::kBool:
+      return bool_value();
+    case ValueType::kInt64:
+      return int64_value() != 0;
+    case ValueType::kDouble:
+      return double_value() != 0.0;
+    case ValueType::kString: {
+      const std::string& s = string_value();
+      if (s == "true" || s == "True" || s == "TRUE" || s == "1") return true;
+      if (s == "false" || s == "False" || s == "FALSE" || s == "0") {
+        return false;
+      }
+      return Status::TypeError("cannot convert '" + s + "' to bool");
+    }
+    case ValueType::kNull:
+      return Status::TypeError("cannot convert null to bool");
+  }
+  return Status::Internal("unreachable");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kBool:
+      return bool_value() ? "true" : "false";
+    case ValueType::kInt64:
+      return std::to_string(int64_value());
+    case ValueType::kDouble: {
+      double d = double_value();
+      if (std::isfinite(d) && d == std::floor(d) && std::abs(d) < 1e15) {
+        // Render integral doubles without a trailing ".000000".
+        std::ostringstream out;
+        out << static_cast<long long>(d);
+        return out.str();
+      }
+      std::ostringstream out;
+      out << d;
+      return out.str();
+    }
+    case ValueType::kString:
+      return string_value();
+  }
+  return "";
+}
+
+namespace {
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+// Rank used for cross-type ordering. Numeric types share a rank so that
+// int64 and double compare by value.
+int TypeRank(ValueType t) {
+  switch (t) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool:
+      return 1;
+    case ValueType::kInt64:
+    case ValueType::kDouble:
+      return 2;
+    case ValueType::kString:
+      return 3;
+  }
+  return 4;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  ValueType a = type();
+  ValueType b = other.type();
+  int ra = TypeRank(a);
+  int rb = TypeRank(b);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (a) {
+    case ValueType::kNull:
+      return 0;
+    case ValueType::kBool: {
+      int x = bool_value() ? 1 : 0;
+      int y = other.bool_value() ? 1 : 0;
+      return x - y;
+    }
+    case ValueType::kInt64:
+    case ValueType::kDouble: {
+      if (a == ValueType::kInt64 && b == ValueType::kInt64) {
+        int64_t x = int64_value();
+        int64_t y = other.int64_value();
+        if (x < y) return -1;
+        if (x > y) return 1;
+        return 0;
+      }
+      return CompareDoubles(AsDouble(), other.AsDouble());
+    }
+    case ValueType::kString:
+      return string_value().compare(other.string_value());
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case ValueType::kBool:
+      return bool_value() ? 0x1234567 : 0x7654321;
+    case ValueType::kInt64: {
+      // Hash int64 via its double representation when exactly representable
+      // so numerically-equal int64/double values collide, matching Compare.
+      double d = static_cast<double>(int64_value());
+      if (static_cast<int64_t>(d) == int64_value()) {
+        return std::hash<double>()(d);
+      }
+      return std::hash<int64_t>()(int64_value());
+    }
+    case ValueType::kDouble:
+      return std::hash<double>()(double_value());
+    case ValueType::kString:
+      return std::hash<std::string>()(string_value());
+  }
+  return 0;
+}
+
+Value Value::Infer(const std::string& text) {
+  if (text.empty()) return Value::Null();
+  {
+    char* end = nullptr;
+    errno = 0;
+    long long v = std::strtoll(text.c_str(), &end, 10);
+    if (end != text.c_str() && *end == '\0' && errno != ERANGE) {
+      return Value(static_cast<int64_t>(v));
+    }
+  }
+  {
+    char* end = nullptr;
+    double v = std::strtod(text.c_str(), &end);
+    if (end != text.c_str() && *end == '\0') {
+      return Value(v);
+    }
+  }
+  if (text == "true" || text == "TRUE" || text == "True") return Value(true);
+  if (text == "false" || text == "FALSE" || text == "False") {
+    return Value(false);
+  }
+  return Value(text);
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& value) {
+  return os << value.ToString();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,95 @@
+#ifndef SHAREINSIGHTS_COMMON_VALUE_H_
+#define SHAREINSIGHTS_COMMON_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/result.h"
+
+namespace shareinsights {
+
+/// Dynamic type tag for a Value / table column.
+enum class ValueType {
+  kNull = 0,
+  kBool,
+  kInt64,
+  kDouble,
+  kString,
+};
+
+/// Canonical lowercase name ("null", "bool", "int64", "double", "string").
+const char* ValueTypeName(ValueType type);
+
+/// A dynamically-typed scalar cell: the unit of data exchanged between the
+/// flow engine's operators. Values are small, copyable, and totally ordered
+/// (nulls sort first; cross-type comparisons order by type tag except that
+/// int64 and double compare numerically).
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(bool v) : data_(v) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const;
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_int64() const { return std::holds_alternative<int64_t>(data_); }
+  bool is_double() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_numeric() const { return is_int64() || is_double(); }
+
+  bool bool_value() const { return std::get<bool>(data_); }
+  int64_t int64_value() const { return std::get<int64_t>(data_); }
+  double double_value() const { return std::get<double>(data_); }
+  const std::string& string_value() const { return std::get<std::string>(data_); }
+
+  /// Numeric view of an int64 or double value; 0.0 for anything else.
+  double AsDouble() const;
+
+  /// Coercions used by CSV ingestion and the expression evaluator. These
+  /// fail with kTypeError instead of silently producing garbage.
+  Result<int64_t> ToInt64() const;
+  Result<double> ToDouble() const;
+  Result<bool> ToBool() const;
+
+  /// Renders the value for CSV/JSON output and display. Null renders as "".
+  std::string ToString() const;
+
+  /// Total order across all values; see class comment.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+  bool operator<=(const Value& other) const { return Compare(other) <= 0; }
+  bool operator>(const Value& other) const { return Compare(other) > 0; }
+  bool operator>=(const Value& other) const { return Compare(other) >= 0; }
+
+  /// Hash consistent with operator== (int64 and double hashing to the same
+  /// bucket when numerically equal).
+  size_t Hash() const;
+
+  /// Parses `text` into the most specific type: int64, then double, then
+  /// bool ("true"/"false"), falling back to string. Empty text is null.
+  static Value Infer(const std::string& text);
+
+ private:
+  std::variant<std::monostate, bool, int64_t, double, std::string> data_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& value);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_VALUE_H_

@@ -1,0 +1,56 @@
+#ifndef SHAREINSIGHTS_COMPILE_COMPILER_H_
+#define SHAREINSIGHTS_COMPILE_COMPILER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compile/plan.h"
+#include "compile/task_factory.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+
+/// Options controlling flow-file compilation.
+struct CompileOptions {
+  /// Dashboard data directory (anchors relative `source:` paths and task
+  /// `dict:` files — the SFTP 'data' folder of section 4.3.2).
+  std::string base_dir;
+
+  /// Resolver for widget-state references in tasks. Batch compilation
+  /// leaves this null, which makes widget-referencing tasks a compile
+  /// error in the F section (they belong to interaction flows).
+  WidgetValueResolver* widgets = nullptr;
+
+  /// Catalog of published data objects from other dashboards.
+  const SharedSchemaSource* shared = nullptr;
+
+  /// Master switch for the optimizer (ablation benches turn it off).
+  bool optimize = true;
+  /// Individual passes (meaningful when optimize is true).
+  bool filter_pushdown = true;
+  bool endpoint_projection = true;
+
+  /// Columns each endpoint actually needs downstream (computed by the
+  /// dashboard compiler from widget data bindings). Drives the
+  /// "minimize data transfers to the browser" projection pass.
+  std::map<std::string, std::vector<std::string>> endpoint_columns;
+
+  /// Registries (defaults when null).
+  AggregateRegistry* aggregates = nullptr;
+  ScalarOpRegistry* scalars = nullptr;
+};
+
+/// Compiles a flow file's D/T/F sections into an ExecutionPlan:
+///   1. binds every task against its flow context (schema-checked),
+///   2. assembles the flow DAG, rejecting multiple producers and cycles,
+///   3. propagates schemas from declared sources through every task,
+///   4. runs optimizer passes (filter pushdown, endpoint projection).
+/// Widget/Layout sections are compiled separately by the dashboard
+/// runtime, which calls back into BuildTask for interaction flows.
+Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
+                                      const CompileOptions& options = {});
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMPILE_COMPILER_H_

@@ -1,0 +1,208 @@
+#include "compile/diagnostics.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> previous(b.size() + 1);
+  std::vector<size_t> current(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) previous[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    current[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t substitution =
+          previous[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      current[j] =
+          std::min({previous[j] + 1, current[j - 1] + 1, substitution});
+    }
+    std::swap(previous, current);
+  }
+  return previous[b.size()];
+}
+
+std::string Diagnosis::ToString() const {
+  std::string out;
+  if (!section.empty()) {
+    out += "[" + section;
+    if (!entity.empty()) out += "." + entity;
+    out += "] ";
+  }
+  out += summary;
+  for (const std::string& suggestion : suggestions) {
+    out += "\n  hint: " + suggestion;
+  }
+  return out;
+}
+
+namespace {
+
+// The 'quoted' token immediately following `keyword`, or "".
+std::string TokenAfter(const std::string& message,
+                       const std::string& keyword) {
+  size_t at = message.find(keyword + " '");
+  if (at == std::string::npos) return "";
+  size_t open = at + keyword.size() + 1;
+  size_t close = message.find('\'', open + 1);
+  if (close == std::string::npos) return "";
+  return message.substr(open + 1, close - open - 1);
+}
+
+// Pulls every 'single-quoted' token out of an error message.
+std::vector<std::string> QuotedTokens(const std::string& message) {
+  std::vector<std::string> out;
+  size_t pos = 0;
+  while (true) {
+    size_t open = message.find('\'', pos);
+    if (open == std::string::npos) break;
+    size_t close = message.find('\'', open + 1);
+    if (close == std::string::npos) break;
+    out.push_back(message.substr(open + 1, close - open - 1));
+    pos = close + 1;
+  }
+  return out;
+}
+
+// All column names declared anywhere in the file (declared schemas plus
+// task outputs), used for near-miss suggestions.
+std::set<std::string> KnownColumns(const FlowFile& file) {
+  std::set<std::string> out;
+  for (const DataObjectDecl& decl : file.data_objects) {
+    for (const ColumnMapping& m : decl.columns) out.insert(m.column);
+  }
+  for (const TaskDecl& task : file.tasks) {
+    std::string output = task.config.GetString("output");
+    if (!output.empty()) out.insert(output);
+    const ConfigNode* aggs = task.config.Find("aggregates");
+    if (aggs != nullptr && aggs->is_list()) {
+      for (const ConfigNode& item : aggs->items()) {
+        std::string out_field = item.GetString("out_field");
+        if (!out_field.empty()) out.insert(out_field);
+      }
+    }
+  }
+  return out;
+}
+
+// Closest candidates to `target` within edit distance <= 1/3 of length
+// (at least 1), best first, up to three.
+std::vector<std::string> NearMisses(const std::string& target,
+                                    const std::set<std::string>& candidates) {
+  size_t budget = std::max<size_t>(1, target.size() / 3);
+  std::vector<std::pair<size_t, std::string>> scored;
+  for (const std::string& candidate : candidates) {
+    if (candidate == target) continue;
+    size_t distance = EditDistance(ToLower(target), ToLower(candidate));
+    if (distance <= budget) scored.emplace_back(distance, candidate);
+  }
+  std::sort(scored.begin(), scored.end());
+  std::vector<std::string> out;
+  for (size_t i = 0; i < scored.size() && i < 3; ++i) {
+    out.push_back(scored[i].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+Diagnosis ExplainError(const Status& status, const FlowFile& file) {
+  Diagnosis diagnosis;
+  diagnosis.summary = status.message();
+  if (status.ok()) {
+    diagnosis.summary = "no error";
+    return diagnosis;
+  }
+
+  const std::string& message = status.message();
+  std::vector<std::string> tokens = QuotedTokens(message);
+
+  // Locate the entity the message names, preferring tasks (most errors
+  // are task-config errors), then data objects, then widgets.
+  for (const std::string& token : tokens) {
+    if (file.FindTask(token) != nullptr) {
+      diagnosis.section = "T";
+      diagnosis.entity = token;
+      break;
+    }
+    if (file.FindData(token) != nullptr) {
+      diagnosis.section = "D";
+      diagnosis.entity = token;
+      break;
+    }
+    if (file.FindWidget(token) != nullptr) {
+      diagnosis.section = "W";
+      diagnosis.entity = token;
+      break;
+    }
+  }
+  if (diagnosis.section.empty() &&
+      message.find("flow") != std::string::npos) {
+    diagnosis.section = "F";
+  }
+  if (diagnosis.section.empty() && message.find("layout") != std::string::npos) {
+    diagnosis.section = "L";
+  }
+
+  // Near-miss suggestions for the token the message says is missing.
+  switch (status.code()) {
+    case StatusCode::kSchemaError: {
+      std::string column = TokenAfter(message, "column");
+      if (!column.empty()) {
+        std::set<std::string> columns = KnownColumns(file);
+        for (const std::string& miss : NearMisses(column, columns)) {
+          diagnosis.suggestions.push_back("did you mean column '" + miss +
+                                          "'?");
+        }
+        if (diagnosis.suggestions.empty()) {
+          diagnosis.suggestions.push_back(
+              "check the schema declared for the task's input data object "
+              "in the D section");
+        }
+      }
+      break;
+    }
+    case StatusCode::kNotFound: {
+      std::set<std::string> names;
+      std::string missing;
+      if (!(missing = TokenAfter(message, "task")).empty()) {
+        for (const TaskDecl& task : file.tasks) names.insert(task.name);
+      } else if (!(missing = TokenAfter(message, "data object")).empty()) {
+        for (const DataObjectDecl& decl : file.data_objects) {
+          names.insert(decl.name);
+        }
+        diagnosis.suggestions.push_back(
+            "if the object is published by another dashboard, make sure "
+            "the shared catalog is attached");
+      } else if (!(missing = TokenAfter(message, "widget")).empty()) {
+        for (const WidgetDecl& widget : file.widgets) {
+          names.insert(widget.name);
+        }
+      }
+      if (!missing.empty()) {
+        for (const std::string& miss : NearMisses(missing, names)) {
+          diagnosis.suggestions.push_back("did you mean '" + miss + "'?");
+        }
+      }
+      break;
+    }
+    case StatusCode::kCycleError:
+      diagnosis.section = "F";
+      diagnosis.suggestions.push_back(
+          "break the cycle by introducing an intermediate data object; "
+          "flows must form a DAG");
+      break;
+    case StatusCode::kParseError:
+      diagnosis.suggestions.push_back(
+          "revert to the last stable version and re-apply the edit "
+          "incrementally");
+      break;
+    default:
+      break;
+  }
+  return diagnosis;
+}
+
+}  // namespace shareinsights

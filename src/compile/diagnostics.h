@@ -1,0 +1,43 @@
+#ifndef SHAREINSIGHTS_COMPILE_DIAGNOSTICS_H_
+#define SHAREINSIGHTS_COMPILE_DIAGNOSTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+
+/// User-level explanation of a compile/run failure — the paper's §6
+/// direction: "more work needs to be done to enable users to pin-point
+/// errors quickly. (Without leaking the underlying engine errors or
+/// debug logs)". A Diagnosis names the flow-file entity at fault and
+/// suggests likely fixes instead of surfacing engine internals; it is
+/// what the editor would show next to the offending section.
+struct Diagnosis {
+  /// Flow-file section of the offending entity: "D", "T", "F", "W", "L",
+  /// or "" when the error is file-wide.
+  std::string section;
+  /// The named entity (data object / task / widget), when identifiable.
+  std::string entity;
+  /// One-sentence user-facing summary.
+  std::string summary;
+  /// Concrete suggestions ("did you mean 'noOfCheckins'?").
+  std::vector<std::string> suggestions;
+
+  std::string ToString() const;
+};
+
+/// Maps an error Status from compilation or execution back onto the flow
+/// file: identifies the section/entity the message refers to and
+/// produces near-miss suggestions (closest column, task, data object, or
+/// widget names by edit distance).
+Diagnosis ExplainError(const Status& status, const FlowFile& file);
+
+/// Damerau-free Levenshtein distance (helper, exposed for tests).
+size_t EditDistance(const std::string& a, const std::string& b);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMPILE_DIAGNOSTICS_H_

@@ -1,0 +1,36 @@
+#ifndef SHAREINSIGHTS_COMPILE_OPTIMIZER_H_
+#define SHAREINSIGHTS_COMPILE_OPTIMIZER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "compile/plan.h"
+
+namespace shareinsights {
+
+/// Pass switches for OptimizePlan (each independently ablatable).
+struct OptimizerOptions {
+  /// Moves filter_by stages ahead of row-local map stages so downstream
+  /// work sees fewer rows.
+  bool filter_pushdown = true;
+
+  /// Appends a projection to flows feeding endpoints, dropping columns no
+  /// widget consumes — the paper's "minimize data transfers to the
+  /// browser" optimization (section 4.1).
+  bool endpoint_projection = true;
+
+  /// Required columns per endpoint (from widget data bindings). Endpoints
+  /// absent from the map are left unprojected.
+  std::map<std::string, std::vector<std::string>> endpoint_columns;
+};
+
+/// Rewrites the plan in place. Safe by construction: every rewrite
+/// preserves flow semantics (filters only move across operators that
+/// neither produce nor consume the filtered columns; projections only
+/// drop columns proven unused). Updates plan->optimizer_report.
+Status OptimizePlan(ExecutionPlan* plan, const OptimizerOptions& options);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMPILE_OPTIMIZER_H_

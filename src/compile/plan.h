@@ -1,0 +1,78 @@
+#ifndef SHAREINSIGHTS_COMPILE_PLAN_H_
+#define SHAREINSIGHTS_COMPILE_PLAN_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "flow/flow_file.h"
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// A compiled F-section flow: the operator chain the executor runs to
+/// materialize the flow's output data object(s). ops[0] consumes every
+/// input table (joins/unions are always the first stage of a fan-in
+/// flow); subsequent operators are unary.
+struct CompiledFlow {
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<std::string> task_names;   // as written in the flow file
+  std::vector<TableOperatorPtr> ops;     // after optimization
+  Schema output_schema;
+
+  std::string ToString() const;
+};
+
+/// Supplies schemas for published data objects so a consumer dashboard
+/// can compile against objects it does not define (section 3.7.2: "the
+/// platform automatically searches the shared data objects"). Implemented
+/// by the share module's registry.
+class SharedSchemaSource {
+ public:
+  virtual ~SharedSchemaSource() = default;
+  virtual std::optional<Schema> SharedSchema(const std::string& name) const = 0;
+};
+
+/// Counters reported by the optimizer, used by the ablation benchmarks.
+struct OptimizerReport {
+  int filters_pushed = 0;
+  int projections_inserted = 0;
+  int columns_pruned = 0;
+};
+
+/// The compiled form of a flow file's batch portion: a validated,
+/// schema-annotated, topologically ordered DAG ready for the executor.
+/// (The paper compiles the same AST to a Pig/Spark job; our batch engine
+/// is the substitute substrate, per DESIGN.md.)
+struct ExecutionPlan {
+  /// Flows in a valid execution order (every input materialized before
+  /// the flow runs).
+  std::vector<CompiledFlow> flows;
+
+  /// External source data objects (have connector params), keyed by name.
+  std::map<std::string, DataObjectDecl> sources;
+
+  /// Data objects resolved from the shared catalog rather than this file.
+  std::set<std::string> shared_inputs;
+
+  /// Final schema of every data object in the plan.
+  std::map<std::string, Schema> schemas;
+
+  /// Data objects flagged `endpoint: true` (exposed to widgets/REST).
+  std::vector<std::string> endpoints;
+
+  /// publish-name -> data object name.
+  std::map<std::string, std::string> published;
+
+  /// Optimizer activity (zeroed when optimization is disabled).
+  OptimizerReport optimizer_report;
+
+  /// Human-readable plan dump for debugging and golden tests.
+  std::string ToString() const;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMPILE_PLAN_H_

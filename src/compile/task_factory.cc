@@ -1,0 +1,484 @@
+#include "compile/task_factory.h"
+
+#include "common/string_util.h"
+#include "ops/filter.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/project.h"
+#include "ops/sort_ops.h"
+
+namespace shareinsights {
+
+namespace {
+
+Status MissingKey(const TaskDecl& task, const std::string& key) {
+  return Status::InvalidArgument("task '" + task.name + "' (type " +
+                                 task.type + ") is missing '" + key + "'");
+}
+
+// ---------------------------------------------------------------------
+// filter_by
+// ---------------------------------------------------------------------
+
+Result<TableOperatorPtr> BuildFilter(const TaskDecl& task,
+                                     const TaskBindContext& context) {
+  std::string expression = task.config.GetString("filter_expression");
+  if (!expression.empty()) {
+    return FilterExpressionOp::Create(expression);
+  }
+  // Interaction-flow form: columns filtered by another widget's current
+  // selection (fig. 15).
+  std::vector<std::string> columns = task.config.GetStringList("filter_by");
+  if (columns.empty()) {
+    return MissingKey(task, "filter_expression or filter_by");
+  }
+  std::string source = task.config.GetString("filter_source");
+  if (source.empty()) {
+    return MissingKey(task, "filter_source");
+  }
+  if (!StartsWith(source, "W.")) {
+    return Status::InvalidArgument("task '" + task.name +
+                                   "': filter_source must reference a "
+                                   "widget (W.<name>), got '" +
+                                   source + "'");
+  }
+  if (context.widgets == nullptr) {
+    return Status::InvalidArgument(
+        "task '" + task.name +
+        "' references widget state (" + source +
+        ") and can only run inside a dashboard interaction flow");
+  }
+  std::string widget = source.substr(2);
+  std::vector<std::string> widget_columns =
+      task.config.GetStringList("filter_val");
+  std::vector<FilterValuesOp::ColumnFilter> filters;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    // filter_val pairs positionally with filter_by; when absent the
+    // widget's primary selection is used.
+    std::string widget_column =
+        i < widget_columns.size() ? widget_columns[i] : "";
+    SI_ASSIGN_OR_RETURN(WidgetValueResolver::Selection selection,
+                        context.widgets->Resolve(widget, widget_column));
+    filters.push_back(FilterValuesOp::ColumnFilter{
+        columns[i], std::move(selection.values), selection.is_range});
+  }
+  return TableOperatorPtr(
+      std::make_shared<FilterValuesOp>(std::move(filters)));
+}
+
+// ---------------------------------------------------------------------
+// groupby
+// ---------------------------------------------------------------------
+
+Result<TableOperatorPtr> BuildGroupBy(const TaskDecl& task,
+                                      const TaskBindContext& context) {
+  std::vector<std::string> keys = task.config.GetStringList("groupby");
+  if (keys.empty()) return MissingKey(task, "groupby");
+  std::vector<AggregateSpec> aggregates;
+  const ConfigNode* aggs = task.config.Find("aggregates");
+  if (aggs != nullptr) {
+    if (!aggs->is_list()) {
+      return Status::InvalidArgument("task '" + task.name +
+                                     "': aggregates must be a list");
+    }
+    for (const ConfigNode& item : aggs->items()) {
+      if (!item.is_map()) {
+        return Status::InvalidArgument(
+            "task '" + task.name +
+            "': each aggregate must be an {operator, apply_on, out_field} "
+            "map");
+      }
+      AggregateSpec spec;
+      spec.op = item.GetString("operator");
+      spec.apply_on = item.GetString("apply_on");
+      spec.out_field = item.GetString("out_field");
+      if (spec.op.empty()) return MissingKey(task, "aggregates[].operator");
+      if (spec.out_field.empty()) {
+        return MissingKey(task, "aggregates[].out_field");
+      }
+      aggregates.push_back(std::move(spec));
+    }
+  }
+  bool orderby_aggregates = task.config.GetBool("orderby_aggregates", false);
+  return GroupByOp::Create(std::move(keys), std::move(aggregates),
+                           orderby_aggregates, context.aggregates);
+}
+
+// ---------------------------------------------------------------------
+// join
+// ---------------------------------------------------------------------
+
+struct JoinSideSpec {
+  std::string input_name;
+  std::vector<std::string> keys;
+};
+
+Result<JoinSideSpec> ParseJoinSide(const TaskDecl& task,
+                                   const std::string& which) {
+  std::string text = task.config.GetString(which);
+  if (text.empty()) return MissingKey(task, which);
+  size_t by = text.find(" by ");
+  if (by == std::string::npos) {
+    return Status::InvalidArgument("task '" + task.name + "': '" + which +
+                                   "' must be '<input> by <column,...>', "
+                                   "got '" +
+                                   text + "'");
+  }
+  JoinSideSpec spec;
+  spec.input_name = Trim(text.substr(0, by));
+  for (const std::string& piece : Split(text.substr(by + 4), ',')) {
+    std::string key = Trim(piece);
+    if (!key.empty()) spec.keys.push_back(key);
+  }
+  if (spec.input_name.empty() || spec.keys.empty()) {
+    return Status::InvalidArgument("task '" + task.name + "': malformed '" +
+                                   which + "' clause '" + text + "'");
+  }
+  return spec;
+}
+
+Result<TableOperatorPtr> BuildJoin(const TaskDecl& task,
+                                   const TaskBindContext& context) {
+  SI_ASSIGN_OR_RETURN(JoinSideSpec left, ParseJoinSide(task, "left"));
+  SI_ASSIGN_OR_RETURN(JoinSideSpec right, ParseJoinSide(task, "right"));
+  SI_ASSIGN_OR_RETURN(JoinKind kind,
+                      ParseJoinKind(task.config.GetString("join_condition")));
+
+  // The flow context fixes which input is left and which is right.
+  if (context.input_names.size() != 2) {
+    return Status::InvalidArgument(
+        "task '" + task.name + "' is a join and needs a 2-input flow, got " +
+        std::to_string(context.input_names.size()) + " inputs");
+  }
+  if (context.input_names[0] != left.input_name ||
+      context.input_names[1] != right.input_name) {
+    return Status::SchemaError(
+        "task '" + task.name + "' joins (" + left.input_name + ", " +
+        right.input_name + ") but the flow supplies (" +
+        Join(context.input_names, ", ") + ")");
+  }
+  if (left.keys.size() != right.keys.size()) {
+    return Status::InvalidArgument("task '" + task.name +
+                                   "': left/right key arity differs");
+  }
+
+  // Projections: `<input>_<column>: <output>` entries (fig., App. A).
+  std::vector<JoinOp::Projection> projections;
+  const ConfigNode* project = task.config.Find("project");
+  if (project != nullptr) {
+    if (!project->is_map()) {
+      return Status::InvalidArgument("task '" + task.name +
+                                     "': project must be a map");
+    }
+    for (const auto& [qualified, output] : project->entries()) {
+      if (!output.is_scalar()) {
+        return Status::InvalidArgument("task '" + task.name +
+                                       "': project values must be names");
+      }
+      JoinOp::Projection p;
+      if (StartsWith(qualified, left.input_name + "_")) {
+        p.side = 0;
+        p.column = qualified.substr(left.input_name.size() + 1);
+      } else if (StartsWith(qualified, right.input_name + "_")) {
+        p.side = 1;
+        p.column = qualified.substr(right.input_name.size() + 1);
+      } else {
+        return Status::InvalidArgument(
+            "task '" + task.name + "': projection '" + qualified +
+            "' must be prefixed with one of the join inputs (" +
+            left.input_name + "_*, " + right.input_name + "_*)");
+      }
+      p.output = output.scalar();
+      projections.push_back(std::move(p));
+    }
+  }
+  return JoinOp::Create(left.keys, right.keys, kind, std::move(projections));
+}
+
+// ---------------------------------------------------------------------
+// map
+// ---------------------------------------------------------------------
+
+Result<Dictionary> LoadTaskDictionary(const TaskDecl& task,
+                                      const TaskBindContext& context) {
+  std::string dict = task.config.GetString("dict");
+  if (dict.empty()) return MissingKey(task, "dict");
+  std::string path = dict;
+  if (!context.base_dir.empty() && !StartsWith(dict, "/")) {
+    path = context.base_dir + "/" + dict;
+  }
+  Result<Dictionary> loaded = Dictionary::LoadFile(path);
+  if (!loaded.ok()) {
+    return loaded.status().WithContext("task '" + task.name + "'");
+  }
+  return loaded;
+}
+
+Result<TableOperatorPtr> BuildMap(const TaskDecl& task,
+                                  const TaskBindContext& context) {
+  std::string op = task.config.GetString("operator");
+  if (op.empty()) return MissingKey(task, "operator");
+  std::string transform = task.config.GetString("transform");
+  std::string output = task.config.GetString("output");
+  if (output.empty()) return MissingKey(task, "output");
+
+  if (op == "date") {
+    if (transform.empty()) return MissingKey(task, "transform");
+    std::string input_format = task.config.GetString("input_format");
+    std::string output_format = task.config.GetString("output_format");
+    if (input_format.empty()) return MissingKey(task, "input_format");
+    if (output_format.empty()) return MissingKey(task, "output_format");
+    return TableOperatorPtr(std::make_shared<MapDateOp>(
+        transform, input_format, output_format, output));
+  }
+  if (op == "extract") {
+    if (transform.empty()) return MissingKey(task, "transform");
+    SI_ASSIGN_OR_RETURN(Dictionary dict, LoadTaskDictionary(task, context));
+    return TableOperatorPtr(
+        std::make_shared<MapExtractOp>(transform, std::move(dict), output));
+  }
+  if (op == "extract_location") {
+    if (transform.empty()) return MissingKey(task, "transform");
+    Dictionary gazetteer;
+    if (task.config.Has("dict")) {
+      SI_ASSIGN_OR_RETURN(gazetteer, LoadTaskDictionary(task, context));
+    } else {
+      gazetteer = BuiltinIndiaGazetteer();
+    }
+    return TableOperatorPtr(std::make_shared<MapExtractLocationOp>(
+        transform, std::move(gazetteer), output));
+  }
+  if (op == "extract_words") {
+    if (transform.empty()) return MissingKey(task, "transform");
+    SI_ASSIGN_OR_RETURN(int64_t min_length,
+                        task.config.GetInt("min_length", 3));
+    return TableOperatorPtr(std::make_shared<MapExtractWordsOp>(
+        transform, output, static_cast<size_t>(min_length)));
+  }
+  if (op == "expression") {
+    std::string expression = task.config.GetString("expression");
+    if (expression.empty()) return MissingKey(task, "expression");
+    return ExpressionColumnOp::Create(output, expression);
+  }
+
+  // User-defined scalar operator (Tasks extension category 1).
+  ScalarOpRegistry* scalars =
+      context.scalars != nullptr ? context.scalars : &ScalarOpRegistry::Default();
+  Result<ScalarOpFn> fn = scalars->Get(op);
+  if (!fn.ok()) {
+    return Status::NotFound("task '" + task.name + "': map operator '" + op +
+                            "' is neither built-in nor registered");
+  }
+  if (transform.empty()) return MissingKey(task, "transform");
+  std::map<std::string, std::string> config;
+  for (const auto& [key, value] : task.config.entries()) {
+    if (value.is_scalar()) config[key] = value.scalar();
+  }
+  return TableOperatorPtr(std::make_shared<MapScalarOp>(
+      op, std::move(*fn), transform, output, std::move(config)));
+}
+
+// ---------------------------------------------------------------------
+// topn / orderby / distinct / limit / union
+// ---------------------------------------------------------------------
+
+Result<std::vector<SortKey>> ParseSortKeys(
+    const std::vector<std::string>& texts) {
+  std::vector<SortKey> keys;
+  for (const std::string& text : texts) {
+    SI_ASSIGN_OR_RETURN(SortKey key, ParseSortKey(text));
+    keys.push_back(std::move(key));
+  }
+  return keys;
+}
+
+Result<TableOperatorPtr> BuildTopN(const TaskDecl& task) {
+  std::vector<std::string> group_keys = task.config.GetStringList("groupby");
+  std::vector<std::string> orderby_texts =
+      task.config.GetStringList("orderby_column");
+  if (orderby_texts.empty()) return MissingKey(task, "orderby_column");
+  SI_ASSIGN_OR_RETURN(std::vector<SortKey> orderby,
+                      ParseSortKeys(orderby_texts));
+  SI_ASSIGN_OR_RETURN(int64_t limit, task.config.GetInt("limit", -1));
+  if (limit <= 0) return MissingKey(task, "limit");
+  return TableOperatorPtr(std::make_shared<TopNOp>(
+      std::move(group_keys), std::move(orderby), static_cast<size_t>(limit)));
+}
+
+Result<TableOperatorPtr> BuildOrderBy(const TaskDecl& task) {
+  std::vector<std::string> texts = task.config.GetStringList("orderby");
+  if (texts.empty()) texts = task.config.GetStringList("orderby_column");
+  if (texts.empty()) return MissingKey(task, "orderby");
+  SI_ASSIGN_OR_RETURN(std::vector<SortKey> keys, ParseSortKeys(texts));
+  return TableOperatorPtr(std::make_shared<SortOp>(std::move(keys)));
+}
+
+Result<TableOperatorPtr> BuildLimit(const TaskDecl& task) {
+  SI_ASSIGN_OR_RETURN(int64_t limit, task.config.GetInt("limit", -1));
+  if (limit < 0) return MissingKey(task, "limit");
+  SI_ASSIGN_OR_RETURN(int64_t offset, task.config.GetInt("offset", 0));
+  return TableOperatorPtr(std::make_shared<LimitOp>(
+      static_cast<size_t>(limit), static_cast<size_t>(offset)));
+}
+
+Result<TableOperatorPtr> BuildProject(const TaskDecl& task) {
+  const ConfigNode* project = task.config.Find("project");
+  if (project == nullptr) return MissingKey(task, "project");
+  std::vector<ProjectOp::Mapping> mappings;
+  if (project->is_list()) {
+    for (const ConfigNode& item : project->items()) {
+      if (!item.is_scalar()) {
+        return Status::InvalidArgument("task '" + task.name +
+                                       "': project entries must be names");
+      }
+      mappings.push_back(ProjectOp::Mapping{item.scalar(), item.scalar()});
+    }
+  } else if (project->is_map()) {
+    for (const auto& [input, output] : project->entries()) {
+      if (!output.is_scalar()) {
+        return Status::InvalidArgument("task '" + task.name +
+                                       "': project values must be names");
+      }
+      mappings.push_back(ProjectOp::Mapping{input, output.scalar()});
+    }
+  } else {
+    return Status::InvalidArgument("task '" + task.name +
+                                   "': project must be a list or map");
+  }
+  return TableOperatorPtr(std::make_shared<ProjectOp>(std::move(mappings)));
+}
+
+// ---------------------------------------------------------------------
+// parallel
+// ---------------------------------------------------------------------
+
+Result<TableOperatorPtr> BuildParallel(const TaskDecl& task,
+                                       const FlowFile& file,
+                                       const TaskBindContext& context) {
+  std::vector<std::string> members = task.config.GetStringList("parallel");
+  if (members.empty()) return MissingKey(task, "parallel");
+  std::vector<TableOperatorPtr> ops;
+  for (const std::string& raw : members) {
+    std::string name = Trim(raw);
+    if (StartsWith(name, "T.")) name = name.substr(2);
+    const TaskDecl* member = file.FindTask(name);
+    if (member == nullptr) {
+      return Status::NotFound("task '" + task.name +
+                              "' references unknown member task '" + name +
+                              "'");
+    }
+    if (member->name == task.name) {
+      return Status::InvalidArgument("task '" + task.name +
+                                     "' cannot contain itself");
+    }
+    SI_ASSIGN_OR_RETURN(TableOperatorPtr op,
+                        BuildTask(*member, file, context));
+    ops.push_back(std::move(op));
+  }
+  return TableOperatorPtr(std::make_shared<ParallelOp>(std::move(ops)));
+}
+
+}  // namespace
+
+Result<TableOperatorPtr> BuildTask(const TaskDecl& task, const FlowFile& file,
+                                   const TaskBindContext& context) {
+  if (task.type == "filter_by") return BuildFilter(task, context);
+  if (task.type == "groupby") return BuildGroupBy(task, context);
+  if (task.type == "join") return BuildJoin(task, context);
+  if (task.type == "map") return BuildMap(task, context);
+  if (task.type == "topn") return BuildTopN(task);
+  if (task.type == "orderby") return BuildOrderBy(task);
+  if (task.type == "project") return BuildProject(task);
+  if (task.type == "distinct") {
+    return TableOperatorPtr(
+        std::make_shared<DistinctOp>(task.config.GetStringList("columns")));
+  }
+  if (task.type == "limit") return BuildLimit(task);
+  if (task.type == "union") {
+    return TableOperatorPtr(
+        std::make_shared<UnionOp>(context.input_names.size()));
+  }
+  if (task.type == "parallel") return BuildParallel(task, file, context);
+
+  // User-registered task types look identical to built-ins.
+  Result<TaskTypeRegistry::Factory> factory =
+      TaskTypeRegistry::Default().Get(task.type);
+  if (!factory.ok()) {
+    return Status::NotFound("task '" + task.name + "' has unknown type '" +
+                            task.type + "'");
+  }
+  return (*factory)(task, file, context);
+}
+
+TaskTypeRegistry& TaskTypeRegistry::Default() {
+  static TaskTypeRegistry* registry = new TaskTypeRegistry;
+  return *registry;
+}
+
+Status TaskTypeRegistry::Register(const std::string& type, Factory factory) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (factories_.count(type) > 0) {
+    return Status::AlreadyExists("task type '" + type +
+                                 "' already registered");
+  }
+  factories_[type] = std::move(factory);
+  return Status::OK();
+}
+
+bool TaskTypeRegistry::Contains(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return factories_.count(type) > 0;
+}
+
+Result<TaskTypeRegistry::Factory> TaskTypeRegistry::Get(
+    const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = factories_.find(type);
+  if (it == factories_.end()) {
+    return Status::NotFound("no task type '" + type + "' registered");
+  }
+  return it->second;
+}
+
+std::vector<std::string> TaskTypeRegistry::Types() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [type, factory] : factories_) out.push_back(type);
+  return out;
+}
+
+const Dictionary& BuiltinIndiaGazetteer() {
+  static const Dictionary* gazetteer = [] {
+    auto* dict = new Dictionary;
+    const struct {
+      const char* city;
+      const char* state;
+    } kCities[] = {
+        {"mumbai", "Maharashtra"},      {"pune", "Maharashtra"},
+        {"nagpur", "Maharashtra"},      {"delhi", "Delhi"},
+        {"new delhi", "Delhi"},         {"bangalore", "Karnataka"},
+        {"bengaluru", "Karnataka"},     {"mysore", "Karnataka"},
+        {"chennai", "Tamil Nadu"},      {"madras", "Tamil Nadu"},
+        {"coimbatore", "Tamil Nadu"},   {"kolkata", "West Bengal"},
+        {"calcutta", "West Bengal"},    {"hyderabad", "Telangana"},
+        {"secunderabad", "Telangana"},  {"ahmedabad", "Gujarat"},
+        {"surat", "Gujarat"},           {"vadodara", "Gujarat"},
+        {"jaipur", "Rajasthan"},        {"jodhpur", "Rajasthan"},
+        {"lucknow", "Uttar Pradesh"},   {"kanpur", "Uttar Pradesh"},
+        {"varanasi", "Uttar Pradesh"},  {"chandigarh", "Punjab"},
+        {"amritsar", "Punjab"},         {"mohali", "Punjab"},
+        {"kochi", "Kerala"},            {"thiruvananthapuram", "Kerala"},
+        {"bhopal", "Madhya Pradesh"},   {"indore", "Madhya Pradesh"},
+        {"patna", "Bihar"},             {"ranchi", "Jharkhand"},
+        {"bhubaneswar", "Odisha"},      {"cuttack", "Odisha"},
+        {"guwahati", "Assam"},          {"dharamsala", "Himachal Pradesh"},
+        {"raipur", "Chhattisgarh"},     {"visakhapatnam", "Andhra Pradesh"},
+        {"vijayawada", "Andhra Pradesh"},
+    };
+    for (const auto& entry : kCities) dict->Add(entry.city, entry.state);
+    return dict;
+  }();
+  return *gazetteer;
+}
+
+}  // namespace shareinsights

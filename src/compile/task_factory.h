@@ -1,0 +1,86 @@
+#ifndef SHAREINSIGHTS_COMPILE_TASK_FACTORY_H_
+#define SHAREINSIGHTS_COMPILE_TASK_FACTORY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "flow/flow_file.h"
+#include "ops/aggregate.h"
+#include "ops/map_ops.h"
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// Resolves a widget reference inside an interaction task config
+/// (`filter_source: W.teams`, `filter_val: [text]`) to the widget's
+/// current selection. Supplied by the dashboard runtime; batch flows must
+/// not reference widgets, so the default (null) resolver errors.
+class WidgetValueResolver {
+ public:
+  virtual ~WidgetValueResolver() = default;
+
+  struct Selection {
+    std::vector<Value> values;
+    /// True for range widgets (sliders): `values` is [min, max].
+    bool is_range = false;
+  };
+
+  /// Current selection of `widget_column` on widget `widget_name`.
+  virtual Result<Selection> Resolve(const std::string& widget_name,
+                                    const std::string& widget_column) = 0;
+};
+
+/// Context for binding one task into a flow. Tasks "determine input data
+/// contextually" (section 3.3), so binding needs the names of the data
+/// objects feeding the flow (joins resolve `<input>_<column>` projection
+/// prefixes against them).
+struct TaskBindContext {
+  /// Names of the data objects entering the flow, in order.
+  std::vector<std::string> input_names;
+  /// Directory for task resources (dict files), per section 4.3.2.
+  std::string base_dir;
+  /// Widget state resolver; null outside a dashboard runtime.
+  WidgetValueResolver* widgets = nullptr;
+  /// Registries (default registries when null).
+  AggregateRegistry* aggregates = nullptr;
+  ScalarOpRegistry* scalars = nullptr;
+};
+
+/// Builds the executable operator for a T-section task declaration.
+/// Built-in types: filter_by, groupby, join, map, topn, orderby,
+/// distinct, limit, union, parallel. Unknown types fall through to the
+/// TaskTypeRegistry so user extensions "look no different from a platform
+/// provided task" (section 5.2.2).
+Result<TableOperatorPtr> BuildTask(const TaskDecl& task, const FlowFile& file,
+                                   const TaskBindContext& context);
+
+/// Extension registry for custom task types (the Tasks API, categories 3
+/// and 4: engine-level transforms and native map-reduce jobs).
+class TaskTypeRegistry {
+ public:
+  using Factory = std::function<Result<TableOperatorPtr>(
+      const TaskDecl&, const FlowFile&, const TaskBindContext&)>;
+
+  static TaskTypeRegistry& Default();
+
+  Status Register(const std::string& type, Factory factory);
+  bool Contains(const std::string& type) const;
+  Result<Factory> Get(const std::string& type) const;
+  std::vector<std::string> Types() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// The built-in gazetteer used by `extract_location` when the task gives
+/// no `dict:` — Indian cities to states, enough for the IPL dashboard.
+const Dictionary& BuiltinIndiaGazetteer();
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMPILE_TASK_FACTORY_H_

@@ -1,0 +1,145 @@
+#include "cube/data_cube.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace shareinsights {
+
+Result<std::shared_ptr<const DataCube>> DataCube::Build(
+    TablePtr table, size_t max_index_cardinality) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("DataCube::Build requires a table");
+  }
+  auto cube = std::shared_ptr<DataCube>(new DataCube(std::move(table)));
+  const Table& t = *cube->table_;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> index;
+    bool too_wide = false;
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      index[t.at(r, c)].push_back(static_cast<uint32_t>(r));
+      if (index.size() > max_index_cardinality) {
+        too_wide = true;
+        break;
+      }
+    }
+    if (!too_wide) cube->indexes_.emplace(c, std::move(index));
+  }
+  return std::shared_ptr<const DataCube>(cube);
+}
+
+Result<std::vector<uint32_t>> DataCube::SelectRows(
+    const std::vector<Filter>& filters) const {
+  const Table& t = *table_;
+  // Start with "all rows" implicitly; intersect filter by filter.
+  std::vector<uint32_t> selected;
+  bool initialized = false;
+
+  auto intersect_with = [&](std::vector<uint32_t> rows) {
+    if (!initialized) {
+      selected = std::move(rows);
+      initialized = true;
+      return;
+    }
+    std::vector<uint32_t> out;
+    std::set_intersection(selected.begin(), selected.end(), rows.begin(),
+                          rows.end(), std::back_inserter(out));
+    selected = std::move(out);
+  };
+
+  for (const Filter& filter : filters) {
+    if (filter.values.empty()) continue;  // no constraint
+    SI_ASSIGN_OR_RETURN(size_t col, t.schema().RequireIndex(filter.column));
+    if (filter.is_range) {
+      if (filter.values.size() != 2) {
+        return Status::InvalidArgument("range filter on '" + filter.column +
+                                       "' needs exactly 2 bounds");
+      }
+      const Value& lo = filter.values[0];
+      const Value& hi = filter.values[1];
+      std::vector<uint32_t> rows;
+      if (initialized) {
+        for (uint32_t r : selected) {
+          const Value& v = t.at(r, col);
+          if (!v.is_null() && v >= lo && v <= hi) rows.push_back(r);
+        }
+        selected = std::move(rows);
+      } else {
+        for (size_t r = 0; r < t.num_rows(); ++r) {
+          const Value& v = t.at(r, col);
+          if (!v.is_null() && v >= lo && v <= hi) {
+            rows.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        intersect_with(std::move(rows));
+      }
+      continue;
+    }
+    // Membership filter: use the inverted index when available.
+    auto index_it = indexes_.find(col);
+    if (index_it != indexes_.end()) {
+      std::vector<uint32_t> rows;
+      for (const Value& v : filter.values) {
+        auto rows_it = index_it->second.find(v);
+        if (rows_it != index_it->second.end()) {
+          rows.insert(rows.end(), rows_it->second.begin(),
+                      rows_it->second.end());
+        }
+      }
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      intersect_with(std::move(rows));
+    } else {
+      std::unordered_set<Value, ValueHash> allowed(filter.values.begin(),
+                                                   filter.values.end());
+      std::vector<uint32_t> rows;
+      if (initialized) {
+        for (uint32_t r : selected) {
+          if (allowed.count(t.at(r, col)) > 0) rows.push_back(r);
+        }
+        selected = std::move(rows);
+      } else {
+        for (size_t r = 0; r < t.num_rows(); ++r) {
+          if (allowed.count(t.at(r, col)) > 0) {
+            rows.push_back(static_cast<uint32_t>(r));
+          }
+        }
+        intersect_with(std::move(rows));
+      }
+    }
+  }
+
+  if (!initialized) {
+    selected.resize(t.num_rows());
+    for (size_t r = 0; r < t.num_rows(); ++r) {
+      selected[r] = static_cast<uint32_t>(r);
+    }
+  }
+  return selected;
+}
+
+Result<TablePtr> DataCube::Execute(const Query& query) const {
+  SI_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRows(query.filters));
+
+  // Materialize the filtered slice.
+  TableBuilder filtered_builder(table_->schema());
+  for (uint32_t r : rows) filtered_builder.AppendRowFrom(*table_, r);
+  SI_ASSIGN_OR_RETURN(TablePtr current, filtered_builder.Finish());
+
+  if (!query.group_by.empty()) {
+    SI_ASSIGN_OR_RETURN(TableOperatorPtr groupby,
+                        GroupByOp::Create(query.group_by, query.aggregates,
+                                          query.orderby_aggregates));
+    SI_ASSIGN_OR_RETURN(current, groupby->Execute({current}));
+  }
+  if (!query.order_by.empty()) {
+    SortOp sort(query.order_by);
+    SI_ASSIGN_OR_RETURN(current, sort.Execute({current}));
+  }
+  if (query.limit > 0) {
+    LimitOp limit(query.limit);
+    SI_ASSIGN_OR_RETURN(current, limit.Execute({current}));
+  }
+  return current;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,79 @@
+#ifndef SHAREINSIGHTS_CUBE_DATA_CUBE_H_
+#define SHAREINSIGHTS_CUBE_DATA_CUBE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ops/aggregate.h"
+#include "ops/groupby.h"
+#include "ops/sort_ops.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// In-memory cube over one endpoint data object.
+///
+/// The paper compiles widget interaction flows into "a data cube (in
+/// JavaScript) - for ad-hoc widget interaction (group, filter etc)"
+/// evaluated in the browser; this class is that runtime in C++. It holds
+/// the endpoint table plus per-column inverted indexes so selection-
+/// driven filters touch only matching rows instead of re-running the
+/// batch pipeline (bench_cube_latency quantifies the difference).
+class DataCube {
+ public:
+  /// One filter of a query. `values` non-empty: membership test (or an
+  /// inclusive [min,max] when `is_range`). Empty `values`: no constraint,
+  /// mirroring "nothing selected shows everything".
+  struct Filter {
+    std::string column;
+    std::vector<Value> values;
+    bool is_range = false;
+  };
+
+  /// A compiled interaction query: filters, then optional group-by with
+  /// aggregates, then optional ordering and limit. This is the target
+  /// the dashboard runtime lowers widget flows into.
+  struct Query {
+    std::vector<Filter> filters;
+    std::vector<std::string> group_by;
+    std::vector<AggregateSpec> aggregates;  // used when group_by non-empty
+    bool orderby_aggregates = false;
+    std::vector<SortKey> order_by;
+    size_t limit = 0;  // 0 = unlimited
+  };
+
+  /// Builds the cube, indexing every column whose distinct-value count is
+  /// at most `max_index_cardinality` (high-cardinality columns fall back
+  /// to scans; indexing them would cost more than it saves).
+  static Result<std::shared_ptr<const DataCube>> Build(
+      TablePtr table, size_t max_index_cardinality = 10000);
+
+  const TablePtr& table() const { return table_; }
+
+  /// Executes a query against the cube.
+  Result<TablePtr> Execute(const Query& query) const;
+
+  /// Number of indexed columns (exposed for tests/benches).
+  size_t num_indexed_columns() const { return indexes_.size(); }
+
+ private:
+  explicit DataCube(TablePtr table) : table_(std::move(table)) {}
+
+  /// Rows selected by the query's filters, in ascending order.
+  Result<std::vector<uint32_t>> SelectRows(
+      const std::vector<Filter>& filters) const;
+
+  TablePtr table_;
+  // column index -> (value -> sorted row ids)
+  std::unordered_map<size_t,
+                     std::unordered_map<Value, std::vector<uint32_t>,
+                                        ValueHash>>
+      indexes_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_CUBE_DATA_CUBE_H_

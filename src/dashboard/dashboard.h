@@ -1,0 +1,168 @@
+#ifndef SHAREINSIGHTS_DASHBOARD_DASHBOARD_H_
+#define SHAREINSIGHTS_DASHBOARD_DASHBOARD_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "cube/data_cube.h"
+#include "dashboard/widget.h"
+#include "exec/executor.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+
+/// A running dashboard instance: the compiled flow file, its
+/// materialized data store, per-endpoint data cubes, widget selection
+/// state, and the interaction machinery that re-evaluates widget flows
+/// when selections change.
+///
+/// This is the headless equivalent of the paper's generated single-page
+/// dashboard: widget data is computed exactly as specified by the W/T
+/// sections, without a browser.
+class Dashboard {
+ public:
+  struct Options {
+    std::string base_dir;
+    const SharedSchemaSource* shared_schemas = nullptr;
+    const SharedTableSource* shared_tables = nullptr;
+    size_t num_threads = 0;
+    bool optimize = true;
+    /// When true, widget flows that fit the cube's query shape run on the
+    /// per-endpoint DataCube; otherwise they run through the operators
+    /// directly. Exposed for the cube-vs-ops ablation bench.
+    bool use_cube = true;
+    AggregateRegistry* aggregates = nullptr;
+    ScalarOpRegistry* scalars = nullptr;
+    ConnectorRegistry* connectors = nullptr;
+    FormatRegistry* formats = nullptr;
+  };
+
+  /// Compiles the flow file (validating widgets, layout, and interaction
+  /// flows against propagated schemas) without executing anything.
+  static Result<std::unique_ptr<Dashboard>> Create(FlowFile file,
+                                                   Options options);
+
+  /// Create with default options.
+  static Result<std::unique_ptr<Dashboard>> Create(FlowFile file) {
+    return Create(std::move(file), Options());
+  }
+
+  /// Executes the batch plan: loads sources, runs every flow, builds the
+  /// endpoint cubes, and applies default widget selections.
+  Result<ExecutionStats> Run();
+
+  /// Incremental re-run after `dirty` data objects changed.
+  Result<ExecutionStats> RunIncremental(const std::set<std::string>& dirty);
+
+  // --- widget selection (interaction) ---------------------------------
+
+  /// Sets the selection of a selection-capable widget (e.g. clicking a
+  /// bubble, picking list entries). Values bind to the widget's primary
+  /// data attribute.
+  Status Select(const std::string& widget, std::vector<Value> values);
+
+  /// Sets a range selection (sliders / date sliders).
+  Status SelectRange(const std::string& widget, Value lo, Value hi);
+
+  /// Clears a widget's selection (back to "no constraint").
+  Status ClearSelection(const std::string& widget);
+
+  // --- data access -----------------------------------------------------
+
+  /// Evaluates a widget's source flow under the current selections and
+  /// returns the data the widget renders.
+  Result<TablePtr> WidgetData(const std::string& widget);
+
+  /// Materialized endpoint data object (post-batch).
+  Result<TablePtr> EndpointData(const std::string& name) const;
+
+  /// Re-evaluates every data-bearing widget; returns name -> data.
+  Result<std::map<std::string, TablePtr>> RefreshAll();
+
+  /// Widgets whose data depends (via filter_source) on `widget`'s
+  /// selection — the set a UI would repaint after an interaction.
+  std::vector<std::string> Dependents(const std::string& widget) const;
+
+  /// Rendering constraints from the client environment — §4.1: "the
+  /// generated output needs to be cognizant of the operating environment
+  /// settings (constraints) such as screen resolution and client
+  /// computing resources".
+  struct RenderOptions {
+    /// Terminal columns. Below 80, layout rows are stacked one cell per
+    /// line (the mobile form factor) and previews shrink.
+    int screen_columns = 120;
+    /// Rows of data shown per widget (scaled down on narrow screens).
+    size_t preview_rows = 5;
+    /// Low-powered client: interaction flows run through the batch
+    /// operators instead of building cubes ("JavaScript ... in the worst
+    /// case even turned off").
+    bool low_power = false;
+  };
+
+  /// Renders the dashboard as text: layout grid plus a type-appropriate
+  /// ASCII view of each widget's current data (the data explorer's
+  /// "headless mode").
+  Result<std::string> RenderText() { return RenderText(RenderOptions()); }
+  Result<std::string> RenderText(const RenderOptions& options);
+
+  const FlowFile& flow_file() const { return file_; }
+  const ExecutionPlan& plan() const { return plan_; }
+  const DataStore& store() const { return store_; }
+  DataStore* mutable_store() { return &store_; }
+
+  /// Count of widget-flow evaluations answered by a DataCube vs by
+  /// direct operator execution (ablation telemetry).
+  int cube_hits() const { return cube_hits_; }
+  int ops_fallbacks() const { return ops_fallbacks_; }
+
+ private:
+  class SelectionResolver;
+
+  Dashboard(FlowFile file, Options options)
+      : file_(std::move(file)), options_(std::move(options)) {}
+
+  Status Compile();
+  Status ValidateWidgets();
+  Status ApplyDefaultSelections();
+  Status RebuildCubes();
+
+  /// Evaluates a widget source chain against its root table.
+  Result<TablePtr> EvaluateWidgetFlow(const WidgetDecl& widget);
+
+  /// Tries to lower the widget's task chain onto the root's DataCube.
+  /// Returns nullopt when the chain doesn't fit the cube query shape.
+  Result<std::optional<TablePtr>> TryCube(const WidgetDecl& widget);
+
+  Result<TablePtr> RootTable(const std::string& name) const;
+
+  FlowFile file_;
+  Options options_;
+  ExecutionPlan plan_;
+  DataStore store_;
+  bool ran_ = false;
+
+  // Selection state per widget.
+  std::map<std::string, WidgetValueResolver::Selection> selections_;
+  // Endpoint cubes (rebuilt after each Run).
+  std::map<std::string, std::shared_ptr<const DataCube>> cubes_;
+  // widget -> widgets whose flows reference its selection.
+  std::map<std::string, std::vector<std::string>> dependents_;
+
+  int cube_hits_ = 0;
+  int ops_fallbacks_ = 0;
+};
+
+/// Computes the columns each endpoint must retain for the dashboard's
+/// widgets (data-attribute bindings plus columns consumed by interaction
+/// tasks). Feeds CompileOptions::endpoint_columns — the "minimize data
+/// transfers to the browser" optimization.
+std::map<std::string, std::vector<std::string>> ComputeEndpointColumns(
+    const FlowFile& file);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_DASHBOARD_DASHBOARD_H_

@@ -1,0 +1,147 @@
+#include "dashboard/profiler.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "io/csv.h"
+
+namespace shareinsights {
+
+std::vector<ColumnProfile> ProfileTable(const std::string& name,
+                                        const Table& table) {
+  std::vector<ColumnProfile> profiles;
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    ColumnProfile profile;
+    profile.data_object = name;
+    profile.column = table.schema().field(c).name;
+    profile.type = table.schema().field(c).type;
+    profile.rows = table.num_rows();
+
+    std::unordered_map<Value, size_t, ValueHash> counts;
+    double sum = 0;
+    size_t numeric = 0;
+    bool first = true;
+    for (const Value& v : table.column(c)) {
+      if (v.is_null()) {
+        ++profile.nulls;
+        continue;
+      }
+      ++counts[v];
+      if (first || v < profile.min) profile.min = v;
+      if (first || v > profile.max) profile.max = v;
+      first = false;
+      if (v.is_numeric()) {
+        sum += v.AsDouble();
+        ++numeric;
+      }
+    }
+    profile.distinct = counts.size();
+    if (numeric > 0) {
+      profile.mean = sum / static_cast<double>(numeric);
+      profile.has_mean = true;
+    }
+    // Top value by count; deterministic tie-break on the value order.
+    for (const auto& [value, count] : counts) {
+      if (count > profile.top_count ||
+          (count == profile.top_count && value < profile.top_value)) {
+        profile.top_value = value;
+        profile.top_count = count;
+      }
+    }
+    profiles.push_back(std::move(profile));
+  }
+  return profiles;
+}
+
+std::vector<ColumnProfile> ProfileStore(const DataStore& store) {
+  std::vector<ColumnProfile> all;
+  for (const std::string& name : store.Names()) {
+    Result<TablePtr> table = store.Get(name);
+    if (!table.ok()) continue;
+    std::vector<ColumnProfile> profiles = ProfileTable(name, **table);
+    all.insert(all.end(), profiles.begin(), profiles.end());
+  }
+  return all;
+}
+
+namespace {
+
+TablePtr ProfilesToTable(const std::vector<ColumnProfile>& profiles) {
+  Schema schema({Field{"data_object", ValueType::kString},
+                 Field{"column", ValueType::kString},
+                 Field{"type", ValueType::kString},
+                 Field{"rows", ValueType::kInt64},
+                 Field{"nulls", ValueType::kInt64},
+                 Field{"null_pct", ValueType::kDouble},
+                 Field{"distinct", ValueType::kInt64},
+                 Field{"min", ValueType::kString},
+                 Field{"max", ValueType::kString},
+                 Field{"top_value", ValueType::kString},
+                 Field{"top_count", ValueType::kInt64},
+                 Field{"mean", ValueType::kString}});
+  TableBuilder builder(schema);
+  for (const ColumnProfile& p : profiles) {
+    double null_pct =
+        p.rows == 0 ? 0.0
+                    : 100.0 * static_cast<double>(p.nulls) /
+                          static_cast<double>(p.rows);
+    (void)builder.AppendRow(
+        {Value(p.data_object), Value(p.column), Value(ValueTypeName(p.type)),
+         Value(static_cast<int64_t>(p.rows)),
+         Value(static_cast<int64_t>(p.nulls)), Value(null_pct),
+         Value(static_cast<int64_t>(p.distinct)), Value(p.min.ToString()),
+         Value(p.max.ToString()), Value(p.top_value.ToString()),
+         Value(static_cast<int64_t>(p.top_count)),
+         Value(p.has_mean ? Value(p.mean).ToString() : std::string())});
+  }
+  return *builder.Finish();
+}
+
+}  // namespace
+
+std::string RenderProfiles(const std::vector<ColumnProfile>& profiles) {
+  return ProfilesToTable(profiles)->ToDisplayString(profiles.size());
+}
+
+std::pair<std::string, std::string> BuildMetaDashboard(
+    const std::vector<ColumnProfile>& profiles) {
+  std::string csv = WriteCsvString(*ProfilesToTable(profiles));
+  // The meta-dashboard is itself an ordinary flow file: the platform
+  // analyzing its own pipeline.
+  std::string flow(R"(
+D:
+  profile: [data_object, column, type, rows, nulls, null_pct, distinct, min, max, top_value, top_count, mean]
+D.profile:
+  source: 'profile.csv'
+  format: csv
+  endpoint: true
+F:
+  D.worst_nulls: D.profile | T.by_null_pct
+D.worst_nulls:
+  endpoint: true
+T:
+  by_null_pct:
+    type: orderby
+    orderby: [null_pct DESC]
+  top_missing:
+    type: limit
+    limit: 10
+W:
+  columns_grid:
+    type: DataGrid
+    source: D.profile
+  null_chart:
+    type: BarChart
+    source: D.worst_nulls | T.top_missing
+    x: column
+    y: null_pct
+L:
+  description: Data Quality Meta-Dashboard
+  rows:
+    - [span12: W.null_chart]
+    - [span12: W.columns_grid]
+)");
+  return {flow, csv};
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,53 @@
+#ifndef SHAREINSIGHTS_DASHBOARD_PROFILER_H_
+#define SHAREINSIGHTS_DASHBOARD_PROFILER_H_
+
+#include <string>
+#include <vector>
+
+#include "exec/executor.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+
+/// Column-level profile of one data object — the paper's future-work
+/// "meta-dashboards which provide statistics and analysis of all the
+/// data columns used in the data pipeline" (section 6), aimed at the
+/// data-cleaning effort it calls non-trivial.
+struct ColumnProfile {
+  std::string data_object;
+  std::string column;
+  ValueType type = ValueType::kString;
+  size_t rows = 0;
+  size_t nulls = 0;
+  size_t distinct = 0;
+  Value min;
+  Value max;
+  /// Most frequent value and its count (ties broken by first encounter).
+  Value top_value;
+  size_t top_count = 0;
+  /// For numeric columns: mean of non-null values.
+  double mean = 0;
+  bool has_mean = false;
+};
+
+/// Profiles every column of one table.
+std::vector<ColumnProfile> ProfileTable(const std::string& name,
+                                        const Table& table);
+
+/// Profiles every materialized data object in a store.
+std::vector<ColumnProfile> ProfileStore(const DataStore& store);
+
+/// Renders profiles as an aligned text report (the meta-dashboard's
+/// tabular body).
+std::string RenderProfiles(const std::vector<ColumnProfile>& profiles);
+
+/// Auto-constructs a flow file that, when executed against the profile
+/// CSV, *is* the meta-dashboard: a DataGrid over per-column statistics
+/// plus a bar chart of null ratios. The returned pair is (flow-file
+/// text, profile CSV payload to stage as `profile.csv`).
+std::pair<std::string, std::string> BuildMetaDashboard(
+    const std::vector<ColumnProfile>& profiles);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_DASHBOARD_PROFILER_H_

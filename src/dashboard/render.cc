@@ -1,0 +1,249 @@
+#include "dashboard/render.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <iomanip>
+#include <map>
+#include <optional>
+#include <set>
+#include <sstream>
+
+namespace shareinsights {
+
+namespace {
+
+// Resolves a data-attribute binding to a column index, if configured.
+std::optional<size_t> BoundColumn(const WidgetDecl& widget,
+                                  const Table& data, const char* attribute) {
+  std::string column = widget.config.GetString(attribute);
+  if (column.empty()) return std::nullopt;
+  return data.schema().IndexOf(column);
+}
+
+double NumericAt(const Table& data, size_t row, size_t col) {
+  const Value& v = data.at(row, col);
+  return v.is_numeric() ? v.AsDouble() : 0.0;
+}
+
+std::string Bar(double value, double max_value, int width) {
+  if (max_value <= 0) return "";
+  int n = static_cast<int>(std::lround(width * value / max_value));
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<size_t>(n), '#');
+}
+
+// Shared shape: one labeled proportional bar per row (BarChart,
+// BubbleChart, PieChart).
+std::string RenderBars(const Table& data, size_t label_col, size_t value_col,
+                       size_t max_rows, bool show_share) {
+  size_t rows = std::min(max_rows, data.num_rows());
+  double max_value = 0;
+  double total = 0;
+  size_t label_width = 5;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    double v = NumericAt(data, r, value_col);
+    max_value = std::max(max_value, v);
+    total += v;
+    if (r < rows) {
+      label_width =
+          std::max(label_width, data.at(r, label_col).ToString().size());
+    }
+  }
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(1);
+  for (size_t r = 0; r < rows; ++r) {
+    double v = NumericAt(data, r, value_col);
+    out << "  " << std::left
+        << std::setw(static_cast<int>(label_width))
+        << data.at(r, label_col).ToString() << " |"
+        << Bar(v, max_value, 32) << " " << data.at(r, value_col).ToString();
+    if (show_share && total > 0) {
+      out << " (" << 100.0 * v / total << "%)";
+    }
+    out << "\n";
+  }
+  if (rows < data.num_rows()) {
+    out << "  (" << data.num_rows() - rows << " more)\n";
+  }
+  return out.str();
+}
+
+std::string RenderWordCloud(const WidgetDecl& widget, const Table& data,
+                            size_t max_rows) {
+  auto text_col = BoundColumn(widget, data, "text");
+  auto size_col = BoundColumn(widget, data, "size");
+  if (!text_col.has_value() || !size_col.has_value()) {
+    return data.ToDisplayString(max_rows);
+  }
+  // Emphasis tiers by relative weight: WORD ** / Word * / word.
+  double max_value = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    max_value = std::max(max_value, NumericAt(data, r, *size_col));
+  }
+  std::ostringstream out;
+  out << "  ";
+  size_t shown = std::min(max_rows * 4, data.num_rows());
+  for (size_t r = 0; r < shown; ++r) {
+    std::string word = data.at(r, *text_col).ToString();
+    double weight = max_value > 0 ? NumericAt(data, r, *size_col) / max_value
+                                  : 0;
+    if (weight > 0.66) {
+      std::string upper = word;
+      for (char& c : upper) c = static_cast<char>(std::toupper(
+                                static_cast<unsigned char>(c)));
+      out << upper << "** ";
+    } else if (weight > 0.33) {
+      out << word << "* ";
+    } else {
+      out << word << " ";
+    }
+    if ((r + 1) % 6 == 0) out << "\n  ";
+  }
+  out << "\n";
+  return out.str();
+}
+
+std::string RenderStreamgraph(const WidgetDecl& widget, const Table& data,
+                              size_t max_rows) {
+  auto x_col = BoundColumn(widget, data, "x");
+  auto y_col = BoundColumn(widget, data, "y");
+  auto serie_col = BoundColumn(widget, data, "serie");
+  if (!x_col.has_value() || !y_col.has_value() || !serie_col.has_value()) {
+    return data.ToDisplayString(max_rows);
+  }
+  // Per-series totals across the whole x range (the stream's area).
+  std::map<std::string, double> totals;
+  std::set<std::string> xs;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    totals[data.at(r, *serie_col).ToString()] += NumericAt(data, r, *y_col);
+    xs.insert(data.at(r, *x_col).ToString());
+  }
+  double max_total = 0;
+  for (const auto& [serie, total] : totals) {
+    max_total = std::max(max_total, total);
+  }
+  std::ostringstream out;
+  out << "  x range: " << (xs.empty() ? "-" : *xs.begin()) << " .. "
+      << (xs.empty() ? "-" : *xs.rbegin()) << " (" << xs.size()
+      << " points)\n";
+  size_t shown = 0;
+  for (const auto& [serie, total] : totals) {
+    if (shown++ >= max_rows) {
+      out << "  (" << totals.size() - max_rows << " more series)\n";
+      break;
+    }
+    out << "  " << std::left << std::setw(14) << serie << " ~"
+        << Bar(total, max_total, 30) << " " << total << "\n";
+  }
+  return out.str();
+}
+
+std::string RenderMapMarkers(const WidgetDecl& widget, const Table& data,
+                             size_t max_rows) {
+  // Marker bindings live under markers[0].<name>.
+  const ConfigNode* markers = widget.config.Find("markers");
+  std::string latlong, size_attr;
+  if (markers != nullptr && markers->is_list() && !markers->items().empty() &&
+      markers->items()[0].is_map() &&
+      !markers->items()[0].entries().empty()) {
+    const ConfigNode& marker = markers->items()[0].entries()[0].second;
+    latlong = marker.GetString("lat_long_value");
+    size_attr = marker.GetString("markersize");
+  }
+  std::optional<size_t> pos_col;
+  if (!latlong.empty()) pos_col = data.schema().IndexOf(latlong);
+  std::optional<size_t> size_col;
+  if (!size_attr.empty()) size_col = data.schema().IndexOf(size_attr);
+  if (!pos_col.has_value() || !size_col.has_value()) {
+    return data.ToDisplayString(max_rows);
+  }
+  double max_value = 0;
+  for (size_t r = 0; r < data.num_rows(); ++r) {
+    max_value = std::max(max_value, NumericAt(data, r, *size_col));
+  }
+  std::ostringstream out;
+  size_t rows = std::min(max_rows, data.num_rows());
+  for (size_t r = 0; r < rows; ++r) {
+    double weight = max_value > 0
+                        ? NumericAt(data, r, *size_col) / max_value
+                        : 0;
+    const char* dot = weight > 0.66 ? "(O)" : weight > 0.33 ? "(o)" : "(.)";
+    out << "  " << dot << " @" << data.at(r, *pos_col).ToString() << "  ";
+    // Remaining columns as the tooltip line.
+    for (size_t c = 0; c < data.num_columns(); ++c) {
+      if (c == *pos_col) continue;
+      out << data.schema().field(c).name << "="
+          << data.at(r, c).ToString() << " ";
+    }
+    out << "\n";
+  }
+  if (rows < data.num_rows()) {
+    out << "  (" << data.num_rows() - rows << " more markers)\n";
+  }
+  return out.str();
+}
+
+std::string RenderList(const WidgetDecl& widget, const Table& data,
+                       size_t max_rows) {
+  auto text_col = BoundColumn(widget, data, "text");
+  if (!text_col.has_value()) return data.ToDisplayString(max_rows);
+  std::ostringstream out;
+  size_t rows = std::min(max_rows, data.num_rows());
+  for (size_t r = 0; r < rows; ++r) {
+    out << "  [ ] " << data.at(r, *text_col).ToString() << "\n";
+  }
+  if (rows < data.num_rows()) {
+    out << "  (" << data.num_rows() - rows << " more)\n";
+  }
+  return out.str();
+}
+
+std::string RenderSlider(const Table& data) {
+  if (data.num_rows() < 2 || data.num_columns() < 1) {
+    return data.ToDisplayString(4);
+  }
+  std::ostringstream out;
+  out << "  " << data.at(0, 0).ToString() << " [=================] "
+      << data.at(data.num_rows() - 1, 0).ToString() << "\n";
+  return out.str();
+}
+
+}  // namespace
+
+std::string RenderWidgetAscii(const WidgetDecl& widget, const Table& data,
+                              size_t max_rows) {
+  const std::string& type = widget.type;
+  if (type == "BarChart") {
+    auto x = BoundColumn(widget, data, "x");
+    auto y = BoundColumn(widget, data, "y");
+    if (x.has_value() && y.has_value()) {
+      return RenderBars(data, *x, *y, max_rows, false);
+    }
+  } else if (type == "BubbleChart") {
+    auto text = BoundColumn(widget, data, "text");
+    auto size = BoundColumn(widget, data, "size");
+    if (text.has_value() && size.has_value()) {
+      return RenderBars(data, *text, *size, max_rows, false);
+    }
+  } else if (type == "PieChart") {
+    auto label = BoundColumn(widget, data, "label");
+    auto value = BoundColumn(widget, data, "value");
+    if (label.has_value() && value.has_value()) {
+      return RenderBars(data, *label, *value, max_rows, true);
+    }
+  } else if (type == "WordCloud") {
+    return RenderWordCloud(widget, data, max_rows);
+  } else if (type == "Streamgraph") {
+    return RenderStreamgraph(widget, data, max_rows);
+  } else if (type == "MapMarker") {
+    return RenderMapMarkers(widget, data, max_rows);
+  } else if (type == "List") {
+    return RenderList(widget, data, max_rows);
+  } else if (type == "Slider") {
+    return RenderSlider(data);
+  }
+  return data.ToDisplayString(max_rows);
+}
+
+}  // namespace shareinsights

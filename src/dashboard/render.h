@@ -1,0 +1,26 @@
+#ifndef SHAREINSIGHTS_DASHBOARD_RENDER_H_
+#define SHAREINSIGHTS_DASHBOARD_RENDER_H_
+
+#include <string>
+
+#include "flow/flow_file.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Renders one widget's data as type-appropriate ASCII — the headless
+/// stand-in for the platform's generated JavaScript visuals. BarChart and
+/// BubbleChart draw proportional bars, WordCloud scales word emphasis,
+/// PieChart shows share-of-total, Slider/List show selection surfaces,
+/// Streamgraph shows per-series totals over the x axis, MapMarker lists
+/// markers; anything else (DataGrid, HTML, unknown) falls back to the
+/// tabular view.
+///
+/// `widget` supplies the type and data-attribute bindings; `data` is the
+/// output of the widget's interaction flow. `max_rows` caps the body.
+std::string RenderWidgetAscii(const WidgetDecl& widget, const Table& data,
+                              size_t max_rows = 10);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_DASHBOARD_RENDER_H_

@@ -1,0 +1,132 @@
+#include "dashboard/style.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "dashboard/widget.h"
+
+namespace shareinsights {
+
+Result<StyleSheet> StyleSheet::Parse(const std::string& text) {
+  StyleSheet sheet;
+  // Strip /* ... */ comments (replace with spaces to keep line numbers).
+  std::string source = text;
+  size_t pos = 0;
+  while ((pos = source.find("/*", pos)) != std::string::npos) {
+    size_t end = source.find("*/", pos + 2);
+    if (end == std::string::npos) {
+      return Status::ParseError("stylesheet: unterminated /* comment");
+    }
+    for (size_t i = pos; i < end + 2; ++i) {
+      if (source[i] != '\n') source[i] = ' ';
+    }
+    pos = end + 2;
+  }
+
+  size_t cursor = 0;
+  auto line_of = [&](size_t at) {
+    return 1 + std::count(source.begin(),
+                          source.begin() + static_cast<ptrdiff_t>(at), '\n');
+  };
+  while (true) {
+    size_t open = source.find('{', cursor);
+    if (open == std::string::npos) {
+      // Only whitespace may remain.
+      if (!Trim(source.substr(cursor)).empty()) {
+        return Status::ParseError(
+            "stylesheet: selector without a { block at line " +
+            std::to_string(line_of(cursor)));
+      }
+      break;
+    }
+    size_t close = source.find('}', open);
+    if (close == std::string::npos) {
+      return Status::ParseError("stylesheet: missing '}' for block at line " +
+                                std::to_string(line_of(open)));
+    }
+    std::string selector = Trim(source.substr(cursor, open - cursor));
+    if (selector.empty()) {
+      return Status::ParseError("stylesheet: empty selector at line " +
+                                std::to_string(line_of(open)));
+    }
+    Rule rule;
+    if (selector == "*") {
+      rule.kind = Rule::Kind::kUniversal;
+    } else if (StartsWith(selector, "W.")) {
+      rule.kind = Rule::Kind::kName;
+      rule.target = selector.substr(2);
+    } else if (StartsWith(selector, ".")) {
+      rule.kind = Rule::Kind::kType;
+      rule.target = selector.substr(1);
+    } else {
+      return Status::ParseError(
+          "stylesheet: selector '" + selector +
+          "' must be '*', 'W.<widget>' or '.<WidgetType>' (line " +
+          std::to_string(line_of(cursor)) + ")");
+    }
+    for (const std::string& declaration :
+         Split(source.substr(open + 1, close - open - 1), ';')) {
+      std::string trimmed = Trim(declaration);
+      if (trimmed.empty()) continue;
+      size_t colon = trimmed.find(':');
+      if (colon == std::string::npos) {
+        return Status::ParseError("stylesheet: declaration '" + trimmed +
+                                  "' needs 'property: value'");
+      }
+      std::string property = Trim(trimmed.substr(0, colon));
+      std::string value = Trim(trimmed.substr(colon + 1));
+      if (property.empty() || value.empty()) {
+        return Status::ParseError("stylesheet: empty property or value in '" +
+                                  trimmed + "'");
+      }
+      rule.properties.emplace_back(property, value);
+    }
+    sheet.rules_.push_back(std::move(rule));
+    cursor = close + 1;
+  }
+  return sheet;
+}
+
+std::map<std::string, std::string> StyleSheet::Resolve(
+    const WidgetDecl& widget) const {
+  std::map<std::string, std::string> resolved;
+  // Cascade: universal, then type, then name — within each tier, file
+  // order (later wins via map assignment).
+  for (Rule::Kind kind : {Rule::Kind::kUniversal, Rule::Kind::kType,
+                          Rule::Kind::kName}) {
+    for (const Rule& rule : rules_) {
+      if (rule.kind != kind) continue;
+      if (kind == Rule::Kind::kType && rule.target != widget.type) continue;
+      if (kind == Rule::Kind::kName && rule.target != widget.name) continue;
+      for (const auto& [property, value] : rule.properties) {
+        resolved[property] = value;
+      }
+    }
+  }
+  return resolved;
+}
+
+void StyleSheet::ApplyTo(FlowFile* file) const {
+  for (WidgetDecl& widget : file->widgets) {
+    // Data-attribute bindings are the widget's data contract; styles may
+    // only touch visual attributes.
+    std::vector<std::string> protected_attributes = {"type", "source",
+                                                     "static"};
+    Result<WidgetTypeInfo> info =
+        WidgetTypeRegistry::Default().Get(widget.type);
+    if (info.ok()) {
+      protected_attributes.insert(protected_attributes.end(),
+                                  info->data_attributes.begin(),
+                                  info->data_attributes.end());
+    }
+    for (const auto& [property, value] : Resolve(widget)) {
+      if (std::find(protected_attributes.begin(), protected_attributes.end(),
+                    property) != protected_attributes.end()) {
+        continue;
+      }
+      widget.config.Set(property, ConfigNode::Scalar(value));
+    }
+  }
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,56 @@
+#ifndef SHAREINSIGHTS_DASHBOARD_STYLE_H_
+#define SHAREINSIGHTS_DASHBOARD_STYLE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+
+/// CSS-style sheet for dashboards — the paper's Styling extension point
+/// (§4.2): "The dashboard look and feel can be changed or enhanced using
+/// Cascading Style Sheets. Stylesheet authors can use widget names
+/// specified in the flow file as style targets."
+///
+/// Grammar (a CSS subset sufficient for visual-attribute overrides):
+///
+///   /* comment */
+///   W.project_bubble { color: #ec1c24; show_legends: true; }
+///   .BubbleChart     { legend_position: right; }   /* by widget type */
+///   *                { font: mono; }               /* every widget */
+///
+/// Later rules override earlier ones; name selectors (W.x) override type
+/// selectors (.Type), which override the universal selector (*) —
+/// specificity in the CSS spirit.
+class StyleSheet {
+ public:
+  /// Parses stylesheet text. Errors carry 1-based line numbers.
+  static Result<StyleSheet> Parse(const std::string& text);
+
+  /// Effective visual properties for one widget (after cascading).
+  std::map<std::string, std::string> Resolve(const WidgetDecl& widget) const;
+
+  /// Applies the sheet to a flow file in place: resolved properties are
+  /// merged into each widget's config (visual attributes only — data
+  /// attribute bindings like x/y/text/size are never overridden, so a
+  /// stylesheet cannot break a widget's data contract).
+  void ApplyTo(FlowFile* file) const;
+
+  size_t num_rules() const { return rules_.size(); }
+
+ private:
+  struct Rule {
+    enum class Kind { kUniversal, kType, kName };
+    Kind kind;
+    std::string target;  // type or widget name
+    std::vector<std::pair<std::string, std::string>> properties;
+  };
+  std::vector<Rule> rules_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_DASHBOARD_STYLE_H_

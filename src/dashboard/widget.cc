@@ -1,0 +1,61 @@
+#include "dashboard/widget.h"
+
+namespace shareinsights {
+
+WidgetTypeRegistry::WidgetTypeRegistry() {
+  auto add = [this](WidgetTypeInfo info) {
+    types_[info.type] = std::move(info);
+  };
+  add({"BubbleChart", {"text", "size", "legend_text", "color"}, false, true,
+       false});
+  add({"Slider", {}, false, true, true});
+  add({"List", {"text", "image"}, false, true, false});
+  add({"WordCloud", {"text", "size"}, false, true, false});
+  add({"Streamgraph", {"x", "y", "color", "serie"}, false, false, false});
+  add({"MapMarker", {}, false, false, false});  // markers carry bindings
+  add({"HTML", {}, false, false, false});
+  add({"LineChart", {"x", "y", "serie"}, false, false, false});
+  add({"BarChart", {"x", "y", "serie"}, false, true, false});
+  add({"PieChart", {"label", "value"}, false, true, false});
+  add({"DataGrid", {}, false, true, false});
+  add({"Layout", {}, true, false, false});
+  add({"TabLayout", {}, true, false, false});
+}
+
+WidgetTypeRegistry& WidgetTypeRegistry::Default() {
+  static WidgetTypeRegistry* registry = new WidgetTypeRegistry;
+  return *registry;
+}
+
+Status WidgetTypeRegistry::Register(WidgetTypeInfo info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (types_.count(info.type) > 0) {
+    return Status::AlreadyExists("widget type '" + info.type +
+                                 "' already registered");
+  }
+  types_[info.type] = std::move(info);
+  return Status::OK();
+}
+
+Result<WidgetTypeInfo> WidgetTypeRegistry::Get(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = types_.find(type);
+  if (it == types_.end()) {
+    return Status::NotFound("no widget type '" + type + "' registered");
+  }
+  return it->second;
+}
+
+bool WidgetTypeRegistry::Contains(const std::string& type) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return types_.count(type) > 0;
+}
+
+std::vector<std::string> WidgetTypeRegistry::Types() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [type, info] : types_) out.push_back(type);
+  return out;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,54 @@
+#ifndef SHAREINSIGHTS_DASHBOARD_WIDGET_H_
+#define SHAREINSIGHTS_DASHBOARD_WIDGET_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shareinsights {
+
+/// Static description of a widget type: which of its configuration
+/// properties are *data attributes* ("widget columns" binding to source
+/// columns, section 3.5) versus visual attributes, whether it is a
+/// container (Layout/TabLayout), and whether users can make selections
+/// on it that drive interaction flows.
+struct WidgetTypeInfo {
+  std::string type;
+  /// Properties whose values name columns of the widget's source data.
+  std::vector<std::string> data_attributes;
+  /// Containers host other widgets instead of data.
+  bool is_container = false;
+  /// Selection-capable widgets can appear as `filter_source: W.<name>`.
+  bool supports_selection = false;
+  /// Range widgets (sliders) select an inclusive [min, max] interval.
+  bool is_range_selector = false;
+};
+
+/// Registry of widget types — the paper's Widgets extension API
+/// ("Commercial and open source widgets can easily be made part of the
+/// platform by implementing this interface"). Pre-loaded with the
+/// platform set used across the paper's dashboards: BubbleChart, Slider,
+/// List, WordCloud, Streamgraph, MapMarker, HTML, LineChart, PieChart,
+/// BarChart, DataGrid, Layout, TabLayout.
+class WidgetTypeRegistry {
+ public:
+  static WidgetTypeRegistry& Default();
+
+  WidgetTypeRegistry();
+
+  Status Register(WidgetTypeInfo info);
+  Result<WidgetTypeInfo> Get(const std::string& type) const;
+  bool Contains(const std::string& type) const;
+  std::vector<std::string> Types() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, WidgetTypeInfo> types_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_DASHBOARD_WIDGET_H_

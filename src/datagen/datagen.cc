@@ -1,0 +1,374 @@
+#include "datagen/datagen.h"
+
+#include <array>
+#include <sstream>
+
+#include "common/date_util.h"
+#include "common/rng.h"
+#include "common/string_util.h"
+#include "io/csv.h"
+
+namespace shareinsights {
+
+namespace {
+
+constexpr std::array<const char*, 24> kApacheProjects = {
+    "pig",      "hive",      "hadoop",    "spark",    "kafka",   "storm",
+    "cassandra", "hbase",    "zookeeper", "flume",    "sqoop",   "oozie",
+    "mahout",   "lucene",    "solr",      "tika",     "nutch",   "avro",
+    "thrift",   "ambari",    "drill",     "phoenix",  "tez",     "flink"};
+
+constexpr std::array<const char*, 6> kTechnologies = {
+    "dataflow", "sql-on-hadoop", "storage", "coordination", "search",
+    "ingestion"};
+
+struct TeamSpec {
+  const char* code;
+  const char* full_name;
+  const char* color;
+  const char* home_state;
+};
+
+constexpr std::array<TeamSpec, 8> kTeams = {{
+    {"CSK", "Chennai Super Kings", "#f9cd05", "Tamil Nadu"},
+    {"MI", "Mumbai Indians", "#004ba0", "Maharashtra"},
+    {"RCB", "Royal Challengers Bangalore", "#ec1c24", "Karnataka"},
+    {"KKR", "Kolkata Knight Riders", "#3a225d", "West Bengal"},
+    {"RR", "Rajasthan Royals", "#ea1a85", "Rajasthan"},
+    {"SRH", "Sunrisers Hyderabad", "#ff822a", "Telangana"},
+    {"KXIP", "Kings XI Punjab", "#d71920", "Punjab"},
+    {"DD", "Delhi Daredevils", "#00008b", "Delhi"},
+}};
+
+struct PlayerSpec {
+  const char* name;      // canonical
+  const char* alias;     // popular nickname / short form
+  const char* team;      // team code
+};
+
+constexpr std::array<PlayerSpec, 16> kPlayers = {{
+    {"MS Dhoni", "dhoni", "CSK"},
+    {"Suresh Raina", "raina", "CSK"},
+    {"Rohit Sharma", "rohit", "MI"},
+    {"Kieron Pollard", "pollard", "MI"},
+    {"Virat Kohli", "kohli", "RCB"},
+    {"Chris Gayle", "gayle", "RCB"},
+    {"Gautam Gambhir", "gambhir", "KKR"},
+    {"Sunil Narine", "narine", "KKR"},
+    {"Shane Watson", "watson", "RR"},
+    {"Ajinkya Rahane", "rahane", "RR"},
+    {"Shikhar Dhawan", "dhawan", "SRH"},
+    {"Dale Steyn", "steyn", "SRH"},
+    {"David Miller", "miller", "KXIP"},
+    {"Glenn Maxwell", "maxwell", "KXIP"},
+    {"Virender Sehwag", "sehwag", "DD"},
+    {"David Warner", "warner", "DD"},
+}};
+
+constexpr std::array<const char*, 12> kCities = {
+    "Mumbai",    "Pune",      "Delhi",     "Bangalore", "Chennai",
+    "Kolkata",   "Hyderabad", "Jaipur",    "Chandigarh", "Ahmedabad",
+    "Lucknow",   "Nagpur"};
+
+constexpr std::array<const char*, 10> kTweetPhrases = {
+    "what a match today",
+    "brilliant innings by",
+    "bowling masterclass from",
+    "cannot believe that catch by",
+    "six after six from",
+    "huge win for",
+    "heartbreak for the fans of",
+    "player of the match must be",
+    "superb death overs by",
+    "opening partnership magic from"};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Apache
+// ---------------------------------------------------------------------
+
+ApacheDataset GenerateApacheData(const ApacheDataOptions& options) {
+  Rng rng(options.seed);
+  ApacheDataset out;
+  int projects =
+      std::min<int>(options.num_projects, kApacheProjects.size());
+
+  {
+    std::ostringstream csv;
+    csv << "project,question,answer,tags\n";
+    for (int p = 0; p < projects; ++p) {
+      // Popularity follows a Zipf-like curve over project rank.
+      double popularity = 1.0 / (1.0 + p);
+      int64_t questions =
+          rng.NextInRange(50, 200) +
+          static_cast<int64_t>(4000 * popularity);
+      int64_t answers =
+          static_cast<int64_t>(static_cast<double>(questions) *
+                               (0.8 + 0.4 * rng.NextDouble()));
+      int64_t tags = rng.NextInRange(3, 40);
+      csv << kApacheProjects[p] << "," << questions << "," << answers << ","
+          << tags << "\n";
+    }
+    out.stackoverflow_csv = csv.str();
+  }
+  {
+    std::ostringstream csv;
+    csv << "project,year,noOfBugs,noOfCheckins,noOfEmailsTotal\n";
+    for (int p = 0; p < projects; ++p) {
+      for (int year = options.start_year; year <= options.end_year; ++year) {
+        double popularity = 1.0 / (1.0 + p);
+        double growth =
+            1.0 + 0.3 * (year - options.start_year) * rng.NextDouble();
+        int64_t checkins = static_cast<int64_t>(
+            (200 + 5000 * popularity) * growth * (0.7 + 0.6 * rng.NextDouble()));
+        int64_t bugs = static_cast<int64_t>(
+            static_cast<double>(checkins) * (0.1 + 0.2 * rng.NextDouble()));
+        int64_t emails = static_cast<int64_t>(
+            static_cast<double>(checkins) * (1.5 + rng.NextDouble()));
+        csv << kApacheProjects[p] << "," << year << "," << bugs << ","
+            << checkins << "," << emails << "\n";
+      }
+    }
+    out.svn_jira_csv = csv.str();
+  }
+  {
+    std::ostringstream csv;
+    csv << "project,year,noOfReleases\n";
+    for (int p = 0; p < projects; ++p) {
+      for (int year = options.start_year; year <= options.end_year; ++year) {
+        csv << kApacheProjects[p] << "," << year << ","
+            << rng.NextInRange(0, 6) << "\n";
+      }
+    }
+    out.releases_csv = csv.str();
+  }
+  {
+    std::ostringstream csv;
+    csv << "project,technology\n";
+    for (int p = 0; p < projects; ++p) {
+      csv << kApacheProjects[p] << ","
+          << kTechnologies[static_cast<size_t>(p) % kTechnologies.size()]
+          << "\n";
+    }
+    out.projects_csv = csv.str();
+  }
+  return out;
+}
+
+Status ApacheDataset::WriteTo(const std::string& dir) const {
+  SI_RETURN_IF_ERROR(
+      WriteStringToFile(stackoverflow_csv, dir + "/stackoverflow.csv"));
+  SI_RETURN_IF_ERROR(
+      WriteStringToFile(svn_jira_csv, dir + "/svn_jira_summary.csv"));
+  SI_RETURN_IF_ERROR(WriteStringToFile(releases_csv, dir + "/releases.csv"));
+  return WriteStringToFile(projects_csv, dir + "/projects.csv");
+}
+
+// ---------------------------------------------------------------------
+// IPL
+// ---------------------------------------------------------------------
+
+IplDataset GenerateIplTweets(const IplDataOptions& options) {
+  Rng rng(options.seed);
+  IplDataset out;
+
+  // Tournament day range.
+  Result<DateTime> start = ParseDateTime(options.start_date, "yyyy-MM-dd");
+  Result<DateTime> end = ParseDateTime(options.end_date, "yyyy-MM-dd");
+  int64_t start_day = start.ok() ? DaysFromCivil(start->year, start->month,
+                                                 start->day)
+                                 : 15827;
+  int64_t end_day =
+      end.ok() ? DaysFromCivil(end->year, end->month, end->day) : start_day + 25;
+  if (end_day < start_day) end_day = start_day;
+
+  // Team buzz follows a Zipf curve; a team's players inherit its buzz.
+  std::ostringstream tweets;
+  for (int i = 0; i < options.num_tweets; ++i) {
+    size_t team_idx = rng.NextZipf(kTeams.size(), 0.8);
+    const TeamSpec& team = kTeams[team_idx];
+    int64_t day = rng.NextInRange(start_day, end_day);
+    DateTime dt = DateTime::FromUnixSeconds(day * 86400 +
+                                            rng.NextInRange(0, 86399));
+    dt.tz_offset_minutes = 0;
+    std::string created =
+        FormatDateTime(dt, "E MMM dd HH:mm:ss Z yyyy");
+
+    std::string body(kTweetPhrases[rng.NextBelow(kTweetPhrases.size())]);
+    // 70%: name a player of the team (by canonical name or alias).
+    if (rng.NextDouble() < 0.7) {
+      std::vector<size_t> roster;
+      for (size_t p = 0; p < kPlayers.size(); ++p) {
+        if (std::string(kPlayers[p].team) == team.code) roster.push_back(p);
+      }
+      const PlayerSpec& player = kPlayers[roster[rng.NextBelow(roster.size())]];
+      body += " ";
+      body += rng.NextDouble() < 0.5 ? player.name : player.alias;
+    }
+    body += " ";
+    body += rng.NextDouble() < 0.5 ? team.code : team.full_name;
+    body += " #ipl";
+
+    std::string location;
+    if (rng.NextDouble() < 0.8) {
+      location = kCities[rng.NextBelow(kCities.size())];
+      if (rng.NextDouble() < 0.5) location += ", India";
+    }
+
+    tweets << "{\"created_at\":\"" << created << "\",\"text\":\""
+           << JsonEscape(body) << "\",\"user\":{\"location\":\""
+           << JsonEscape(location) << "\"}}\n";
+  }
+  out.tweets_json = tweets.str();
+
+  {
+    std::ostringstream txt;
+    for (const PlayerSpec& player : kPlayers) {
+      txt << player.name << ": " << player.alias << "\n";
+    }
+    out.players_txt = txt.str();
+  }
+  {
+    std::ostringstream csv;
+    csv << "alias,canonical\n";
+    for (const TeamSpec& team : kTeams) {
+      csv << ToLower(team.code) << "," << team.full_name << "\n";
+      csv << ToLower(team.full_name) << "," << team.full_name << "\n";
+    }
+    out.teams_csv = csv.str();
+  }
+  {
+    std::ostringstream csv;
+    csv << "team_number,team,team_fullName,sort_order,color\n";
+    for (size_t t = 0; t < kTeams.size(); ++t) {
+      csv << (t + 1) << "," << kTeams[t].code << "," << kTeams[t].full_name
+          << "," << (t + 1) << "," << kTeams[t].color << "\n";
+    }
+    out.dim_teams_csv = csv.str();
+  }
+  {
+    std::ostringstream csv;
+    csv << "player,team_fullName,team,player_id\n";
+    for (size_t p = 0; p < kPlayers.size(); ++p) {
+      const TeamSpec* team = nullptr;
+      for (const TeamSpec& t : kTeams) {
+        if (std::string(t.code) == kPlayers[p].team) team = &t;
+      }
+      csv << kPlayers[p].name << "," << (team ? team->full_name : "") << ","
+          << kPlayers[p].team << "," << (p + 1) << "\n";
+    }
+    out.team_players_csv = csv.str();
+  }
+  {
+    // Simplified polygon anchors per state (three lat,long points).
+    std::ostringstream csv;
+    csv << "state,point_one,point_two,point_three\n";
+    const struct {
+      const char* state;
+      const char* p1;
+      const char* p2;
+      const char* p3;
+    } kStates[] = {
+        {"Maharashtra", "19.07;72.87", "18.52;73.85", "21.14;79.08"},
+        {"Delhi", "28.61;77.20", "28.70;77.10", "28.50;77.30"},
+        {"Karnataka", "12.97;77.59", "15.31;75.71", "12.29;76.63"},
+        {"Tamil Nadu", "13.08;80.27", "11.01;76.95", "9.92;78.11"},
+        {"West Bengal", "22.57;88.36", "23.68;86.96", "26.72;88.39"},
+        {"Telangana", "17.38;78.48", "17.99;79.53", "18.43;79.12"},
+        {"Punjab", "30.73;76.77", "31.63;74.87", "30.90;75.85"},
+        {"Rajasthan", "26.91;75.78", "26.23;73.02", "24.57;73.69"},
+        {"Gujarat", "23.02;72.57", "21.17;72.83", "22.30;73.19"},
+        {"Uttar Pradesh", "26.84;80.94", "26.44;80.33", "25.31;82.97"},
+    };
+    for (const auto& s : kStates) {
+      csv << s.state << "," << s.p1 << "," << s.p2 << "," << s.p3 << "\n";
+    }
+    out.lat_long_csv = csv.str();
+  }
+  return out;
+}
+
+Status IplDataset::WriteTo(const std::string& dir) const {
+  SI_RETURN_IF_ERROR(WriteStringToFile(tweets_json, dir + "/ipl_tweets.json"));
+  SI_RETURN_IF_ERROR(WriteStringToFile(players_txt, dir + "/players.txt"));
+  SI_RETURN_IF_ERROR(WriteStringToFile(teams_csv, dir + "/teams.csv"));
+  SI_RETURN_IF_ERROR(WriteStringToFile(dim_teams_csv, dir + "/dim_teams.csv"));
+  SI_RETURN_IF_ERROR(
+      WriteStringToFile(team_players_csv, dir + "/team_players.csv"));
+  return WriteStringToFile(lat_long_csv, dir + "/lat_long.csv");
+}
+
+// ---------------------------------------------------------------------
+// Tickets
+// ---------------------------------------------------------------------
+
+TicketDataset GenerateTickets(const TicketDataOptions& options) {
+  Rng rng(options.seed);
+  const char* kCategories[] = {"network", "hardware", "software", "access",
+                               "email"};
+  const char* kKeywords[] = {"outage",  "crash",   "slow",    "password",
+                             "upgrade", "install", "vpn",     "printer",
+                             "disk",    "login"};
+  std::ostringstream csv;
+  csv << "ticket_id,created,category,priority,description,resolution_days\n";
+  for (int i = 0; i < options.num_tickets; ++i) {
+    int64_t day = 15700 + rng.NextInRange(0, 360);
+    DateTime dt = DateTime::FromUnixSeconds(day * 86400);
+    std::string category =
+        kCategories[rng.NextBelow(std::size(kCategories))];
+    int priority = static_cast<int>(rng.NextInRange(1, 4));
+    std::string description = "issue with ";
+    description += kKeywords[rng.NextBelow(std::size(kKeywords))];
+    description += " and ";
+    description += kKeywords[rng.NextBelow(std::size(kKeywords))];
+    // Resolution time correlates with priority plus noise — the signal
+    // the hackathon team's custom prediction task recovered.
+    double days = priority * 2.0 + rng.NextGaussian(1.0, 1.0);
+    if (days < 0) days = 0.5;
+    csv << (100000 + i) << "," << FormatDateTime(dt, "yyyy-MM-dd") << ","
+        << category << "," << priority << "," << description << ","
+        << static_cast<int>(days * 10) / 10.0 << "\n";
+  }
+  TicketDataset out;
+  out.tickets_csv = csv.str();
+  return out;
+}
+
+Status TicketDataset::WriteTo(const std::string& dir) const {
+  return WriteStringToFile(tickets_csv, dir + "/tickets.csv");
+}
+
+// ---------------------------------------------------------------------
+// Bench tables
+// ---------------------------------------------------------------------
+
+TablePtr GenerateBenchTable(size_t rows, size_t num_groups, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Value> keys;
+  std::vector<Value> values;
+  std::vector<Value> scores;
+  std::vector<Value> texts;
+  keys.reserve(rows);
+  values.reserve(rows);
+  scores.reserve(rows);
+  texts.reserve(rows);
+  for (size_t r = 0; r < rows; ++r) {
+    size_t group = rng.NextBelow(num_groups == 0 ? 1 : num_groups);
+    keys.push_back(Value("group_" + std::to_string(group)));
+    values.push_back(Value(rng.NextInRange(0, 1000)));
+    scores.push_back(Value(rng.NextDouble() * 100.0));
+    texts.push_back(Value(std::string(kTweetPhrases[r % kTweetPhrases.size()]) +
+                          " group_" + std::to_string(group)));
+  }
+  Schema schema({Field{"key", ValueType::kString},
+                 Field{"value", ValueType::kInt64},
+                 Field{"score", ValueType::kDouble},
+                 Field{"text", ValueType::kString}});
+  auto table = Table::Create(
+      schema, {std::move(keys), std::move(values), std::move(scores),
+               std::move(texts)});
+  return table.ok() ? *table : Table::Empty(schema);
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,107 @@
+#ifndef SHAREINSIGHTS_DATAGEN_DATAGEN_H_
+#define SHAREINSIGHTS_DATAGEN_DATAGEN_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Synthetic stand-ins for the paper's data sources (Apache project
+/// activity, Gnip IPL tweets, service-desk tickets). Generators are
+/// seeded and deterministic; payloads match the schemas the paper's flow
+/// files declare, so the example dashboards ingest them through the same
+/// connectors/formats a live deployment would use.
+
+// ---------------------------------------------------------------------
+// Apache open-source project analysis (section 3's running example)
+// ---------------------------------------------------------------------
+
+struct ApacheDataOptions {
+  int num_projects = 24;
+  int start_year = 2010;
+  int end_year = 2014;
+  uint64_t seed = 42;
+};
+
+struct ApacheDataset {
+  /// stackoverflow.csv: project, question, answer, tags
+  std::string stackoverflow_csv;
+  /// svn_jira_summary.csv: project, year, noOfBugs, noOfCheckins,
+  /// noOfEmailsTotal
+  std::string svn_jira_csv;
+  /// releases.csv: project, year, noOfReleases
+  std::string releases_csv;
+  /// projects.csv: project, technology
+  std::string projects_csv;
+
+  /// Writes the four files into `dir` with their canonical names.
+  Status WriteTo(const std::string& dir) const;
+};
+
+ApacheDataset GenerateApacheData(const ApacheDataOptions& options);
+
+// ---------------------------------------------------------------------
+// IPL tweet analysis (section 3.7 and Appendix A)
+// ---------------------------------------------------------------------
+
+struct IplDataOptions {
+  int num_tweets = 20000;
+  /// Tournament window (yyyy-MM-dd).
+  std::string start_date = "2013-05-02";
+  std::string end_date = "2013-05-27";
+  uint64_t seed = 7;
+};
+
+struct IplDataset {
+  /// Newline-delimited Gnip-style JSON tweets:
+  /// {created_at, text, user:{location}}.
+  std::string tweets_json;
+  /// players.txt: canonical: alias1, alias2 lines.
+  std::string players_txt;
+  /// teams.csv: alias,canonical dictionary.
+  std::string teams_csv;
+  /// dim_teams.csv: team_number, team, team_fullName, sort_order, color
+  std::string dim_teams_csv;
+  /// team_players.csv: player, team_fullName, team, player_id
+  std::string team_players_csv;
+  /// lat_long.csv: state, point_one, point_two, point_three
+  std::string lat_long_csv;
+
+  Status WriteTo(const std::string& dir) const;
+};
+
+IplDataset GenerateIplTweets(const IplDataOptions& options);
+
+// ---------------------------------------------------------------------
+// Service-desk tickets (fig. 33's dashboard; exercises custom tasks)
+// ---------------------------------------------------------------------
+
+struct TicketDataOptions {
+  int num_tickets = 5000;
+  uint64_t seed = 11;
+};
+
+struct TicketDataset {
+  /// tickets.csv: ticket_id, created, category, priority, description,
+  /// resolution_days
+  std::string tickets_csv;
+
+  Status WriteTo(const std::string& dir) const;
+};
+
+TicketDataset GenerateTickets(const TicketDataOptions& options);
+
+// ---------------------------------------------------------------------
+// Generic tables for engine benchmarks
+// ---------------------------------------------------------------------
+
+/// Rows of (key: one of `num_groups` strings, value: int64, score:
+/// double, text: short sentence). Deterministic per seed.
+TablePtr GenerateBenchTable(size_t rows, size_t num_groups, uint64_t seed);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_DATAGEN_DATAGEN_H_

@@ -1,0 +1,298 @@
+#include "exec/executor.h"
+
+#include <chrono>
+#include <condition_variable>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "common/thread_pool.h"
+
+namespace shareinsights {
+
+void DataStore::Put(const std::string& name, TablePtr table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_[name] = std::move(table);
+}
+
+Result<TablePtr> DataStore::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("data object '" + name +
+                            "' is not materialized");
+  }
+  return it->second;
+}
+
+bool DataStore::Has(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tables_.count(name) > 0;
+}
+
+void DataStore::Erase(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.erase(name);
+}
+
+void DataStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  tables_.clear();
+}
+
+std::vector<std::string> DataStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, table] : tables_) out.push_back(name);
+  return out;
+}
+
+std::string ExecutionStats::ToString() const {
+  std::ostringstream out;
+  out << "sources=" << sources_loaded << " flows=" << flows_executed
+      << " skipped=" << flows_skipped << " rows=" << rows_produced
+      << " endpoint_bytes=" << endpoint_bytes << " wall_ms=" << wall_ms;
+  return out.str();
+}
+
+std::string ExecutionStats::ProfileString() const {
+  std::vector<FlowTiming> sorted = flow_timings;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const FlowTiming& a, const FlowTiming& b) {
+              return a.ms > b.ms;
+            });
+  double total = 0;
+  for (const FlowTiming& timing : sorted) total += timing.ms;
+  std::ostringstream out;
+  out << "flow profile (total " << total << " ms):\n";
+  double cumulative = 0;
+  for (const FlowTiming& timing : sorted) {
+    cumulative += timing.ms;
+    out << "  " << timing.ms << " ms  (" << timing.rows << " rows, "
+        << (total > 0 ? static_cast<int>(100.0 * cumulative / total) : 0)
+        << "% cum)  " << timing.flow << "\n";
+  }
+  return out.str();
+}
+
+Executor::Executor(ExecuteOptions options) : options_(std::move(options)) {}
+
+Result<ExecutionStats> Executor::Execute(const ExecutionPlan& plan,
+                                         DataStore* store) {
+  return Run(plan, store, nullptr);
+}
+
+Result<ExecutionStats> Executor::ExecuteIncremental(
+    const ExecutionPlan& plan, DataStore* store,
+    const std::set<std::string>& dirty) {
+  return Run(plan, store, &dirty);
+}
+
+Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
+                                     DataStore* store,
+                                     const std::set<std::string>* dirty) {
+  auto start = std::chrono::steady_clock::now();
+  ExecutionStats stats;
+
+  // ------------------------------------------------------------------
+  // Decide which flows must run. A full run executes everything; an
+  // incremental run propagates dirtiness through the DAG.
+  // ------------------------------------------------------------------
+  size_t n = plan.flows.size();
+  std::vector<bool> must_run(n, dirty == nullptr);
+  std::set<std::string> dirty_objects;
+  if (dirty != nullptr) {
+    dirty_objects = *dirty;
+    // plan.flows is topologically ordered, so one forward sweep settles
+    // transitive dirtiness.
+    for (size_t i = 0; i < n; ++i) {
+      const CompiledFlow& flow = plan.flows[i];
+      bool run = false;
+      for (const std::string& input : flow.inputs) {
+        if (dirty_objects.count(input) > 0) run = true;
+      }
+      for (const std::string& output : flow.outputs) {
+        if (!store->Has(output) || dirty_objects.count(output) > 0) {
+          run = true;
+        }
+      }
+      if (run) {
+        must_run[i] = true;
+        for (const std::string& output : flow.outputs) {
+          dirty_objects.insert(output);
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------------------------
+  // Load sources (all on a full run; dirty/missing ones incrementally).
+  // ------------------------------------------------------------------
+  for (const auto& [name, decl] : plan.sources) {
+    bool need = dirty == nullptr || !store->Has(name) ||
+                dirty->count(name) > 0;
+    if (!need) continue;
+    DataSourceParams params = decl.params;
+    if (!params.Has("base_dir") && !options_.base_dir.empty()) {
+      params.Set("base_dir", options_.base_dir);
+    }
+    std::optional<Schema> declared;
+    if (!decl.columns.empty()) declared = decl.DeclaredSchema();
+    Result<TablePtr> table =
+        LoadDataObject(params, declared, decl.columns, options_.connectors,
+                       options_.formats);
+    if (!table.ok()) {
+      return table.status().WithContext("loading source '" + name + "'");
+    }
+    store->Put(name, std::move(*table));
+    ++stats.sources_loaded;
+  }
+
+  // Resolve shared inputs through the platform catalog.
+  for (const std::string& name : plan.shared_inputs) {
+    if (dirty != nullptr && store->Has(name) && dirty->count(name) == 0) {
+      continue;
+    }
+    if (options_.shared == nullptr) {
+      return Status::NotFound("flow needs shared data object '" + name +
+                              "' but no shared catalog is configured");
+    }
+    Result<TablePtr> table = options_.shared->SharedTable(name);
+    if (!table.ok()) {
+      return table.status().WithContext("resolving shared data object '" +
+                                        name + "'");
+    }
+    store->Put(name, std::move(*table));
+  }
+
+  // ------------------------------------------------------------------
+  // Schedule flows over the pool, releasing dependents as inputs land.
+  // ------------------------------------------------------------------
+  std::unordered_map<std::string, size_t> producer;
+  for (size_t i = 0; i < n; ++i) {
+    for (const std::string& output : plan.flows[i].outputs) {
+      producer[output] = i;
+    }
+  }
+  std::vector<std::vector<size_t>> dependents(n);
+  std::vector<int> pending(n, 0);
+  for (size_t i = 0; i < n; ++i) {
+    for (const std::string& input : plan.flows[i].inputs) {
+      auto it = producer.find(input);
+      if (it != producer.end()) {
+        dependents[it->second].push_back(i);
+        ++pending[i];
+      }
+    }
+  }
+
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  ThreadPool pool(threads);
+
+  std::mutex mu;
+  std::condition_variable done_cv;
+  size_t completed = 0;
+  Status first_error;
+
+  // Runs one flow; returns its row count on success.
+  auto run_flow = [&](size_t index) -> Result<int64_t> {
+    const CompiledFlow& flow = plan.flows[index];
+    std::vector<TablePtr> inputs;
+    for (const std::string& input : flow.inputs) {
+      SI_ASSIGN_OR_RETURN(TablePtr table, store->Get(input));
+      inputs.push_back(std::move(table));
+    }
+    TablePtr current;
+    for (size_t t = 0; t < flow.ops.size(); ++t) {
+      std::vector<TablePtr> stage_inputs =
+          t == 0 ? inputs : std::vector<TablePtr>{current};
+      Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs);
+      if (!out.ok()) {
+        return out.status().WithContext("executing task '" +
+                                        flow.task_names[t] + "' of flow '" +
+                                        flow.ToString() + "'");
+      }
+      current = std::move(*out);
+    }
+    for (const std::string& output : flow.outputs) {
+      store->Put(output, current);
+    }
+    return static_cast<int64_t>(current->num_rows());
+  };
+
+  // The scheduling closure: submit a flow (or mark a skipped one done).
+  std::function<void(size_t)> submit = [&](size_t index) {
+    pool.Submit([&, index] {
+      Result<int64_t> rows(static_cast<int64_t>(0));
+      bool ran = false;
+      double flow_ms = 0;
+      if (must_run[index]) {
+        auto flow_start = std::chrono::steady_clock::now();
+        rows = run_flow(index);
+        flow_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - flow_start)
+                      .count();
+        ran = true;
+      }
+      std::unique_lock<std::mutex> lock(mu);
+      if (!rows.ok()) {
+        if (first_error.ok()) first_error = rows.status();
+      } else {
+        if (ran) {
+          ++stats.flows_executed;
+          stats.rows_produced += *rows;
+          stats.flow_timings.push_back(
+              FlowTiming{plan.flows[index].ToString(), flow_ms, *rows});
+        } else {
+          ++stats.flows_skipped;
+        }
+        for (size_t dep : dependents[index]) {
+          if (--pending[dep] == 0 && first_error.ok()) submit(dep);
+        }
+      }
+      ++completed;
+      done_cv.notify_all();
+    });
+  };
+
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    size_t roots = 0;
+    for (size_t i = 0; i < n; ++i) {
+      if (pending[i] == 0) {
+        submit(i);
+        ++roots;
+      }
+    }
+    if (n > 0 && roots == 0) {
+      return Status::Internal("plan has flows but no runnable roots");
+    }
+    done_cv.wait(lock, [&] {
+      if (!first_error.ok()) return true;
+      return completed == n;
+    });
+  }
+  pool.WaitIdle();
+  if (!first_error.ok()) return first_error;
+
+  // Endpoint transfer accounting.
+  for (const std::string& endpoint : plan.endpoints) {
+    Result<TablePtr> table = store->Get(endpoint);
+    if (table.ok()) {
+      stats.endpoint_bytes +=
+          static_cast<int64_t>((*table)->ApproxBytes());
+    }
+  }
+
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  SI_LOG(kInfo) << "executed plan: " << stats.ToString();
+  return stats;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,112 @@
+#ifndef SHAREINSIGHTS_EXEC_EXECUTOR_H_
+#define SHAREINSIGHTS_EXEC_EXECUTOR_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "compile/plan.h"
+#include "io/connector.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Thread-safe store of materialized data objects (name -> Table). One
+/// store backs a dashboard instance: the executor writes flow outputs,
+/// the cube/REST layers read endpoints, and incremental runs reuse what
+/// is already here.
+class DataStore {
+ public:
+  void Put(const std::string& name, TablePtr table);
+  Result<TablePtr> Get(const std::string& name) const;
+  bool Has(const std::string& name) const;
+  void Erase(const std::string& name);
+  void Clear();
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, TablePtr> tables_;
+};
+
+/// Supplies materialized tables for shared data objects published by
+/// other dashboards (the execution-side counterpart of
+/// SharedSchemaSource). Implemented by the share module.
+class SharedTableSource {
+ public:
+  virtual ~SharedTableSource() = default;
+  virtual Result<TablePtr> SharedTable(const std::string& name) const = 0;
+};
+
+/// Wall time and output size of one executed flow — the raw material for
+/// the §6 future-work "tools to identify performance bottlenecks".
+struct FlowTiming {
+  std::string flow;  // CompiledFlow::ToString()
+  double ms = 0;
+  int64_t rows = 0;
+};
+
+/// Per-run execution telemetry. The sharing/incremental/ablation benches
+/// report these numbers.
+struct ExecutionStats {
+  int sources_loaded = 0;
+  int flows_executed = 0;
+  int flows_skipped = 0;  // clean in an incremental run
+  int64_t rows_produced = 0;
+  /// Total bytes materialized at endpoint data objects — the proxy for
+  /// "data transferred to the browser".
+  int64_t endpoint_bytes = 0;
+  double wall_ms = 0;
+  /// Per-flow timings (executed flows only, unordered).
+  std::vector<FlowTiming> flow_timings;
+
+  std::string ToString() const;
+
+  /// Bottleneck report: flows sorted by cost, with cumulative share.
+  std::string ProfileString() const;
+};
+
+/// Execution knobs.
+struct ExecuteOptions {
+  /// Worker threads for independent flows (0 = hardware concurrency).
+  size_t num_threads = 0;
+  /// Anchors relative source paths when a source lacks `base_dir`.
+  std::string base_dir;
+  ConnectorRegistry* connectors = nullptr;
+  FormatRegistry* formats = nullptr;
+  const SharedTableSource* shared = nullptr;
+};
+
+/// Runs ExecutionPlans against a DataStore: loads sources, schedules
+/// flows respecting DAG dependencies (independent flows run concurrently
+/// on a thread pool), and materializes every data object.
+class Executor {
+ public:
+  explicit Executor(ExecuteOptions options = {});
+
+  /// Full run: (re)loads every source and executes every flow.
+  Result<ExecutionStats> Execute(const ExecutionPlan& plan, DataStore* store);
+
+  /// Incremental run: `dirty` names the data objects whose content or
+  /// definition changed (edited sources, modified upstream flows). Only
+  /// flows transitively downstream of a dirty object — or whose outputs
+  /// are missing from the store — re-run; everything else is reused.
+  /// This is what makes the edit-run loop of flow-file groups fast
+  /// (section 4.5.3, benefits 3 and 4).
+  Result<ExecutionStats> ExecuteIncremental(const ExecutionPlan& plan,
+                                            DataStore* store,
+                                            const std::set<std::string>& dirty);
+
+ private:
+  Result<ExecutionStats> Run(const ExecutionPlan& plan, DataStore* store,
+                             const std::set<std::string>* dirty);
+
+  ExecuteOptions options_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_EXEC_EXECUTOR_H_

@@ -1,0 +1,781 @@
+#include "expr/expr.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+const char* ExprOpName(ExprOp op) {
+  switch (op) {
+    case ExprOp::kEq:
+      return "==";
+    case ExprOp::kNe:
+      return "!=";
+    case ExprOp::kLt:
+      return "<";
+    case ExprOp::kLe:
+      return "<=";
+    case ExprOp::kGt:
+      return ">";
+    case ExprOp::kGe:
+      return ">=";
+    case ExprOp::kAnd:
+      return "&&";
+    case ExprOp::kOr:
+      return "||";
+    case ExprOp::kNot:
+      return "!";
+    case ExprOp::kAdd:
+      return "+";
+    case ExprOp::kSub:
+      return "-";
+    case ExprOp::kMul:
+      return "*";
+    case ExprOp::kDiv:
+      return "/";
+    case ExprOp::kMod:
+      return "%";
+    case ExprOp::kNeg:
+      return "-";
+  }
+  return "?";
+}
+
+std::string LiteralExpr::ToString() const {
+  if (value_.is_string()) return "'" + value_.string_value() + "'";
+  return value_.ToString();
+}
+
+std::string UnaryExpr::ToString() const {
+  return std::string(ExprOpName(op_)) + "(" + child_->ToString() + ")";
+}
+
+std::string BinaryExpr::ToString() const {
+  return "(" + left_->ToString() + " " + ExprOpName(op_) + " " +
+         right_->ToString() + ")";
+}
+
+std::string InListExpr::ToString() const {
+  std::vector<std::string> parts;
+  for (const Value& v : items_) {
+    parts.push_back(v.is_string() ? "'" + v.string_value() + "'"
+                                  : v.ToString());
+  }
+  return "(" + operand_->ToString() + " in [" + Join(parts, ", ") + "])";
+}
+
+std::string CallExpr::ToString() const {
+  std::vector<std::string> parts;
+  for (const auto& a : args_) parts.push_back(a->ToString());
+  return name_ + "(" + Join(parts, ", ") + ")";
+}
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------
+
+enum class TokKind {
+  kEnd,
+  kNumber,
+  kString,
+  kIdent,
+  kOp,      // one of the punctuation operators
+  kLParen,
+  kRParen,
+  kLBracket,
+  kRBracket,
+  kComma,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;
+  Value value;  // for kNumber / kString
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& source) : src_(source) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> out;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c)) ||
+          (c == '.' && pos_ + 1 < src_.size() &&
+           std::isdigit(static_cast<unsigned char>(src_[pos_ + 1])))) {
+        SI_RETURN_IF_ERROR(LexNumber(&out));
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        SI_RETURN_IF_ERROR(LexString(&out));
+        continue;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = pos_;
+        while (pos_ < src_.size() &&
+               (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+                src_[pos_] == '_' || src_[pos_] == '.')) {
+          ++pos_;
+        }
+        out.push_back({TokKind::kIdent, src_.substr(start, pos_ - start), {}});
+        continue;
+      }
+      switch (c) {
+        case '(':
+          out.push_back({TokKind::kLParen, "(", {}});
+          ++pos_;
+          break;
+        case ')':
+          out.push_back({TokKind::kRParen, ")", {}});
+          ++pos_;
+          break;
+        case '[':
+          out.push_back({TokKind::kLBracket, "[", {}});
+          ++pos_;
+          break;
+        case ']':
+          out.push_back({TokKind::kRBracket, "]", {}});
+          ++pos_;
+          break;
+        case ',':
+          out.push_back({TokKind::kComma, ",", {}});
+          ++pos_;
+          break;
+        default: {
+          // Multi-char punctuation operators.
+          static const char* kOps[] = {"==", "!=", "<=", ">=", "&&", "||",
+                                       "<",  ">",  "=",  "!",  "+",  "-",
+                                       "*",  "/",  "%"};
+          bool matched = false;
+          for (const char* op : kOps) {
+            size_t n = std::char_traits<char>::length(op);
+            if (src_.compare(pos_, n, op) == 0) {
+              out.push_back({TokKind::kOp, op, {}});
+              pos_ += n;
+              matched = true;
+              break;
+            }
+          }
+          if (!matched) {
+            return Status::ParseError(std::string("unexpected character '") +
+                                      c + "' in expression: " + src_);
+          }
+        }
+      }
+    }
+    out.push_back({TokKind::kEnd, "", {}});
+    return out;
+  }
+
+ private:
+  Status LexNumber(std::vector<Token>* out) {
+    size_t start = pos_;
+    bool is_double = false;
+    while (pos_ < src_.size() &&
+           (std::isdigit(static_cast<unsigned char>(src_[pos_])) ||
+            src_[pos_] == '.')) {
+      if (src_[pos_] == '.') is_double = true;
+      ++pos_;
+    }
+    std::string text = src_.substr(start, pos_ - start);
+    Token tok;
+    tok.kind = TokKind::kNumber;
+    tok.text = text;
+    if (is_double) {
+      tok.value = Value(std::stod(text));
+    } else {
+      tok.value = Value(static_cast<int64_t>(std::stoll(text)));
+    }
+    out->push_back(std::move(tok));
+    return Status::OK();
+  }
+
+  Status LexString(std::vector<Token>* out) {
+    char quote = src_[pos_];
+    ++pos_;
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != quote) {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        ++pos_;
+      }
+      text.push_back(src_[pos_]);
+      ++pos_;
+    }
+    if (pos_ >= src_.size()) {
+      return Status::ParseError("unterminated string literal in: " + src_);
+    }
+    ++pos_;  // closing quote
+    Token tok;
+    tok.kind = TokKind::kString;
+    tok.text = text;
+    tok.value = Value(text);
+    out->push_back(std::move(tok));
+    return Status::OK();
+  }
+
+  const std::string& src_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------
+// Parser (recursive descent, precedence per the header comment)
+// ---------------------------------------------------------------------
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ExprPtr> Parse() {
+    SI_ASSIGN_OR_RETURN(ExprPtr expr, ParseOr());
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::ParseError("unexpected trailing token '" + Peek().text +
+                                "' in expression");
+    }
+    return expr;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  bool MatchOp(const std::string& text) {
+    if (Peek().kind == TokKind::kOp && Peek().text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool MatchIdent(const std::string& text) {
+    if (Peek().kind == TokKind::kIdent && Peek().text == text) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ExprPtr> ParseOr() {
+    SI_ASSIGN_OR_RETURN(ExprPtr left, ParseAnd());
+    while (MatchOp("||") || MatchIdent("or")) {
+      SI_ASSIGN_OR_RETURN(ExprPtr right, ParseAnd());
+      left = std::make_shared<BinaryExpr>(ExprOp::kOr, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    SI_ASSIGN_OR_RETURN(ExprPtr left, ParseNot());
+    while (MatchOp("&&") || MatchIdent("and")) {
+      SI_ASSIGN_OR_RETURN(ExprPtr right, ParseNot());
+      left = std::make_shared<BinaryExpr>(ExprOp::kAnd, left, right);
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseNot() {
+    if (MatchOp("!") || MatchIdent("not")) {
+      SI_ASSIGN_OR_RETURN(ExprPtr child, ParseNot());
+      return ExprPtr(std::make_shared<UnaryExpr>(ExprOp::kNot, child));
+    }
+    return ParseCmp();
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    SI_ASSIGN_OR_RETURN(ExprPtr left, ParseSum());
+    if (MatchIdent("in")) {
+      if (Peek().kind != TokKind::kLBracket) {
+        return Status::ParseError("expected '[' after 'in'");
+      }
+      Advance();
+      std::vector<Value> items;
+      if (Peek().kind != TokKind::kRBracket) {
+        for (;;) {
+          const Token& tok = Peek();
+          if (tok.kind != TokKind::kNumber && tok.kind != TokKind::kString) {
+            return Status::ParseError("expected literal in 'in' list, got '" +
+                                      tok.text + "'");
+          }
+          items.push_back(tok.value);
+          Advance();
+          if (Peek().kind == TokKind::kComma) {
+            Advance();
+            continue;
+          }
+          break;
+        }
+      }
+      if (Peek().kind != TokKind::kRBracket) {
+        return Status::ParseError("expected ']' to close 'in' list");
+      }
+      Advance();
+      return ExprPtr(std::make_shared<InListExpr>(left, std::move(items)));
+    }
+    struct OpMap {
+      const char* text;
+      ExprOp op;
+    };
+    static const OpMap kCmps[] = {
+        {"==", ExprOp::kEq}, {"=", ExprOp::kEq},  {"!=", ExprOp::kNe},
+        {"<=", ExprOp::kLe}, {">=", ExprOp::kGe}, {"<", ExprOp::kLt},
+        {">", ExprOp::kGt}};
+    for (const OpMap& m : kCmps) {
+      if (MatchOp(m.text)) {
+        SI_ASSIGN_OR_RETURN(ExprPtr right, ParseSum());
+        return ExprPtr(std::make_shared<BinaryExpr>(m.op, left, right));
+      }
+    }
+    return left;
+  }
+
+  Result<ExprPtr> ParseSum() {
+    SI_ASSIGN_OR_RETURN(ExprPtr left, ParseTerm());
+    for (;;) {
+      if (MatchOp("+")) {
+        SI_ASSIGN_OR_RETURN(ExprPtr right, ParseTerm());
+        left = std::make_shared<BinaryExpr>(ExprOp::kAdd, left, right);
+      } else if (MatchOp("-")) {
+        SI_ASSIGN_OR_RETURN(ExprPtr right, ParseTerm());
+        left = std::make_shared<BinaryExpr>(ExprOp::kSub, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseTerm() {
+    SI_ASSIGN_OR_RETURN(ExprPtr left, ParseUnary());
+    for (;;) {
+      if (MatchOp("*")) {
+        SI_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = std::make_shared<BinaryExpr>(ExprOp::kMul, left, right);
+      } else if (MatchOp("/")) {
+        SI_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = std::make_shared<BinaryExpr>(ExprOp::kDiv, left, right);
+      } else if (MatchOp("%")) {
+        SI_ASSIGN_OR_RETURN(ExprPtr right, ParseUnary());
+        left = std::make_shared<BinaryExpr>(ExprOp::kMod, left, right);
+      } else {
+        return left;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (MatchOp("-")) {
+      SI_ASSIGN_OR_RETURN(ExprPtr child, ParseUnary());
+      return ExprPtr(std::make_shared<UnaryExpr>(ExprOp::kNeg, child));
+    }
+    return ParsePrimary();
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case TokKind::kNumber:
+      case TokKind::kString: {
+        Advance();
+        return ExprPtr(std::make_shared<LiteralExpr>(tok.value));
+      }
+      case TokKind::kIdent: {
+        std::string name = tok.text;
+        Advance();
+        if (name == "true") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value(true)));
+        }
+        if (name == "false") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value(false)));
+        }
+        if (name == "null") {
+          return ExprPtr(std::make_shared<LiteralExpr>(Value::Null()));
+        }
+        if (Peek().kind == TokKind::kLParen) {
+          Advance();
+          std::vector<ExprPtr> args;
+          if (Peek().kind != TokKind::kRParen) {
+            for (;;) {
+              SI_ASSIGN_OR_RETURN(ExprPtr arg, ParseOr());
+              args.push_back(arg);
+              if (Peek().kind == TokKind::kComma) {
+                Advance();
+                continue;
+              }
+              break;
+            }
+          }
+          if (Peek().kind != TokKind::kRParen) {
+            return Status::ParseError("expected ')' after arguments to " +
+                                      name);
+          }
+          Advance();
+          return ExprPtr(std::make_shared<CallExpr>(name, std::move(args)));
+        }
+        return ExprPtr(std::make_shared<ColumnExpr>(name));
+      }
+      case TokKind::kLParen: {
+        Advance();
+        SI_ASSIGN_OR_RETURN(ExprPtr inner, ParseOr());
+        if (Peek().kind != TokKind::kRParen) {
+          return Status::ParseError("expected ')'");
+        }
+        Advance();
+        return inner;
+      }
+      default:
+        return Status::ParseError("unexpected token '" + tok.text +
+                                  "' in expression");
+    }
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ExprPtr> ParseExpression(const std::string& source) {
+  Lexer lexer(source);
+  SI_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  Result<ExprPtr> parsed = parser.Parse();
+  if (!parsed.ok()) {
+    return parsed.status().WithContext("while parsing '" + source + "'");
+  }
+  return parsed;
+}
+
+// ---------------------------------------------------------------------
+// Binding and evaluation
+// ---------------------------------------------------------------------
+
+struct BoundExpr::Node {
+  Expr::Kind kind;
+  // kLiteral
+  Value literal;
+  // kColumn
+  size_t column_index = 0;
+  // kUnary / kBinary
+  ExprOp op = ExprOp::kEq;
+  std::vector<std::shared_ptr<const Node>> children;
+  // kInList
+  std::vector<Value> items;
+  // kCall
+  std::string call_name;
+};
+
+namespace {
+
+const char* const kKnownFunctions[] = {"length",   "lower",  "upper",
+                                       "abs",      "contains", "starts_with",
+                                       "ends_with", "year",   "month",
+                                       "round",    "min",    "max",
+                                       "if"};
+
+bool IsKnownFunction(const std::string& name) {
+  for (const char* fn : kKnownFunctions) {
+    if (name == fn) return true;
+  }
+  return false;
+}
+
+Result<Value> EvalCall(const std::string& name,
+                       const std::vector<Value>& args) {
+  auto arity = [&](size_t n) -> Status {
+    if (args.size() != n) {
+      return Status::InvalidArgument(name + "() expects " +
+                                     std::to_string(n) + " arguments, got " +
+                                     std::to_string(args.size()));
+    }
+    return Status::OK();
+  };
+  if (name == "length") {
+    SI_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value(static_cast<int64_t>(args[0].ToString().size()));
+  }
+  if (name == "lower") {
+    SI_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value(ToLower(args[0].ToString()));
+  }
+  if (name == "upper") {
+    SI_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    return Value(ToUpper(args[0].ToString()));
+  }
+  if (name == "abs") {
+    SI_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    if (args[0].is_int64()) return Value(std::abs(args[0].int64_value()));
+    SI_ASSIGN_OR_RETURN(double d, args[0].ToDouble());
+    return Value(std::abs(d));
+  }
+  if (name == "contains") {
+    SI_RETURN_IF_ERROR(arity(2));
+    if (args[0].is_null() || args[1].is_null()) return Value(false);
+    return Value(args[0].ToString().find(args[1].ToString()) !=
+                 std::string::npos);
+  }
+  if (name == "starts_with") {
+    SI_RETURN_IF_ERROR(arity(2));
+    if (args[0].is_null() || args[1].is_null()) return Value(false);
+    return Value(StartsWith(args[0].ToString(), args[1].ToString()));
+  }
+  if (name == "ends_with") {
+    SI_RETURN_IF_ERROR(arity(2));
+    if (args[0].is_null() || args[1].is_null()) return Value(false);
+    return Value(EndsWith(args[0].ToString(), args[1].ToString()));
+  }
+  if (name == "year" || name == "month") {
+    SI_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    // Dates flow through the engine as "yyyy-MM-dd..." strings.
+    const std::string text = args[0].ToString();
+    if (text.size() < 7 || text[4] != '-') {
+      return Status::TypeError(name + "() expects a yyyy-MM-dd date, got '" +
+                               text + "'");
+    }
+    if (name == "year") {
+      return Value(static_cast<int64_t>(std::stoll(text.substr(0, 4))));
+    }
+    return Value(static_cast<int64_t>(std::stoll(text.substr(5, 2))));
+  }
+  if (name == "round") {
+    SI_RETURN_IF_ERROR(arity(1));
+    if (args[0].is_null()) return Value::Null();
+    SI_ASSIGN_OR_RETURN(double d, args[0].ToDouble());
+    return Value(static_cast<int64_t>(std::llround(d)));
+  }
+  if (name == "min" || name == "max") {
+    SI_RETURN_IF_ERROR(arity(2));
+    if (args[0].is_null()) return args[1];
+    if (args[1].is_null()) return args[0];
+    bool first = name == "min" ? args[0] <= args[1] : args[0] >= args[1];
+    return first ? args[0] : args[1];
+  }
+  if (name == "if") {
+    SI_RETURN_IF_ERROR(arity(3));
+    SI_ASSIGN_OR_RETURN(bool cond,
+                        args[0].is_null() ? Result<bool>(false)
+                                          : args[0].ToBool());
+    return cond ? args[1] : args[2];
+  }
+  return Status::NotFound("unknown function '" + name + "'");
+}
+
+Result<Value> EvalArithmetic(ExprOp op, const Value& l, const Value& r) {
+  if (l.is_null() || r.is_null()) return Value::Null();
+  // String concatenation via '+'.
+  if (op == ExprOp::kAdd && (l.is_string() || r.is_string())) {
+    return Value(l.ToString() + r.ToString());
+  }
+  if (l.is_int64() && r.is_int64() && op != ExprOp::kDiv) {
+    int64_t a = l.int64_value();
+    int64_t b = r.int64_value();
+    switch (op) {
+      case ExprOp::kAdd:
+        return Value(a + b);
+      case ExprOp::kSub:
+        return Value(a - b);
+      case ExprOp::kMul:
+        return Value(a * b);
+      case ExprOp::kMod:
+        if (b == 0) return Status::ExecutionError("modulo by zero");
+        return Value(a % b);
+      default:
+        break;
+    }
+  }
+  SI_ASSIGN_OR_RETURN(double a, l.ToDouble());
+  SI_ASSIGN_OR_RETURN(double b, r.ToDouble());
+  switch (op) {
+    case ExprOp::kAdd:
+      return Value(a + b);
+    case ExprOp::kSub:
+      return Value(a - b);
+    case ExprOp::kMul:
+      return Value(a * b);
+    case ExprOp::kDiv:
+      if (b == 0.0) return Status::ExecutionError("division by zero");
+      return Value(a / b);
+    case ExprOp::kMod:
+      if (b == 0.0) return Status::ExecutionError("modulo by zero");
+      return Value(std::fmod(a, b));
+    default:
+      return Status::Internal("not an arithmetic op");
+  }
+}
+
+}  // namespace
+
+Result<BoundExpr> BoundExpr::Bind(ExprPtr expr, const Schema& schema) {
+  struct Binder {
+    const Schema& schema;
+    Result<std::shared_ptr<const Node>> Visit(const Expr& e) {
+      auto node = std::make_shared<Node>();
+      node->kind = e.kind();
+      switch (e.kind()) {
+        case Expr::Kind::kLiteral:
+          node->literal = static_cast<const LiteralExpr&>(e).value();
+          break;
+        case Expr::Kind::kColumn: {
+          const auto& col = static_cast<const ColumnExpr&>(e);
+          SI_ASSIGN_OR_RETURN(node->column_index,
+                              schema.RequireIndex(col.name()));
+          break;
+        }
+        case Expr::Kind::kUnary: {
+          const auto& un = static_cast<const UnaryExpr&>(e);
+          node->op = un.op();
+          SI_ASSIGN_OR_RETURN(auto child, Visit(*un.child()));
+          node->children.push_back(std::move(child));
+          break;
+        }
+        case Expr::Kind::kBinary: {
+          const auto& bin = static_cast<const BinaryExpr&>(e);
+          node->op = bin.op();
+          SI_ASSIGN_OR_RETURN(auto left, Visit(*bin.left()));
+          SI_ASSIGN_OR_RETURN(auto right, Visit(*bin.right()));
+          node->children.push_back(std::move(left));
+          node->children.push_back(std::move(right));
+          break;
+        }
+        case Expr::Kind::kInList: {
+          const auto& in = static_cast<const InListExpr&>(e);
+          SI_ASSIGN_OR_RETURN(auto child, Visit(*in.operand()));
+          node->children.push_back(std::move(child));
+          node->items = in.items();
+          break;
+        }
+        case Expr::Kind::kCall: {
+          const auto& call = static_cast<const CallExpr&>(e);
+          if (!IsKnownFunction(call.name())) {
+            return Status::NotFound("unknown function '" + call.name() +
+                                    "' in expression");
+          }
+          node->call_name = call.name();
+          for (const auto& arg : call.args()) {
+            SI_ASSIGN_OR_RETURN(auto child, Visit(*arg));
+            node->children.push_back(std::move(child));
+          }
+          break;
+        }
+      }
+      return std::shared_ptr<const Node>(node);
+    }
+  };
+  Binder binder{schema};
+  BoundExpr bound;
+  bound.expr_ = expr;
+  SI_ASSIGN_OR_RETURN(bound.root_, binder.Visit(*expr));
+  return bound;
+}
+
+namespace {
+
+Result<Value> EvalNode(const BoundExpr::Node& node, const Table& table,
+                       size_t row);
+
+}  // namespace
+
+// Definition must see the Node type; keep it a member-adjacent helper.
+namespace {
+
+Result<Value> EvalNode(const BoundExpr::Node& node, const Table& table,
+                       size_t row) {
+  using Kind = Expr::Kind;
+  switch (node.kind) {
+    case Kind::kLiteral:
+      return node.literal;
+    case Kind::kColumn:
+      return table.at(row, node.column_index);
+    case Kind::kUnary: {
+      SI_ASSIGN_OR_RETURN(Value child, EvalNode(*node.children[0], table, row));
+      if (node.op == ExprOp::kNot) {
+        if (child.is_null()) return Value::Null();
+        SI_ASSIGN_OR_RETURN(bool b, child.ToBool());
+        return Value(!b);
+      }
+      // kNeg
+      if (child.is_null()) return Value::Null();
+      if (child.is_int64()) return Value(-child.int64_value());
+      SI_ASSIGN_OR_RETURN(double d, child.ToDouble());
+      return Value(-d);
+    }
+    case Kind::kBinary: {
+      // Short-circuit logical operators.
+      if (node.op == ExprOp::kAnd || node.op == ExprOp::kOr) {
+        SI_ASSIGN_OR_RETURN(Value lv, EvalNode(*node.children[0], table, row));
+        bool l = false;
+        if (!lv.is_null()) {
+          SI_ASSIGN_OR_RETURN(l, lv.ToBool());
+        }
+        if (node.op == ExprOp::kAnd && !l) return Value(false);
+        if (node.op == ExprOp::kOr && l) return Value(true);
+        SI_ASSIGN_OR_RETURN(Value rv, EvalNode(*node.children[1], table, row));
+        bool r = false;
+        if (!rv.is_null()) {
+          SI_ASSIGN_OR_RETURN(r, rv.ToBool());
+        }
+        return Value(r);
+      }
+      SI_ASSIGN_OR_RETURN(Value l, EvalNode(*node.children[0], table, row));
+      SI_ASSIGN_OR_RETURN(Value r, EvalNode(*node.children[1], table, row));
+      switch (node.op) {
+        case ExprOp::kEq:
+          return Value(l == r);
+        case ExprOp::kNe:
+          return Value(l != r);
+        case ExprOp::kLt:
+          return Value(l < r);
+        case ExprOp::kLe:
+          return Value(l <= r);
+        case ExprOp::kGt:
+          return Value(l > r);
+        case ExprOp::kGe:
+          return Value(l >= r);
+        default:
+          return EvalArithmetic(node.op, l, r);
+      }
+    }
+    case Kind::kInList: {
+      SI_ASSIGN_OR_RETURN(Value v, EvalNode(*node.children[0], table, row));
+      for (const Value& item : node.items) {
+        if (v == item) return Value(true);
+      }
+      return Value(false);
+    }
+    case Kind::kCall: {
+      std::vector<Value> args;
+      args.reserve(node.children.size());
+      for (const auto& child : node.children) {
+        SI_ASSIGN_OR_RETURN(Value v, EvalNode(*child, table, row));
+        args.push_back(std::move(v));
+      }
+      return EvalCall(node.call_name, args);
+    }
+  }
+  return Status::Internal("unreachable expr kind");
+}
+
+}  // namespace
+
+Result<Value> BoundExpr::Eval(const Table& table, size_t row) const {
+  return EvalNode(*root_, table, row);
+}
+
+Result<bool> BoundExpr::EvalPredicate(const Table& table, size_t row) const {
+  SI_ASSIGN_OR_RETURN(Value v, Eval(table, row));
+  if (v.is_null()) return false;
+  return v.ToBool();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,200 @@
+#ifndef SHAREINSIGHTS_EXPR_EXPR_H_
+#define SHAREINSIGHTS_EXPR_EXPR_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Operators of the filter-expression language used in task configs such
+/// as `filter_expression: rating < 3` (figure 7 of the paper). The same
+/// language powers the `map`/`expression` operator for derived columns.
+enum class ExprOp {
+  // Binary comparisons.
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  // Logical.
+  kAnd,
+  kOr,
+  kNot,
+  // Arithmetic.
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kMod,
+  // Unary arithmetic.
+  kNeg,
+};
+
+const char* ExprOpName(ExprOp op);
+
+/// AST node of a parsed expression. Nodes are immutable after parse;
+/// binding to a schema happens per-evaluation-context via BoundExpr.
+class Expr {
+ public:
+  enum class Kind { kLiteral, kColumn, kUnary, kBinary, kInList, kCall };
+
+  virtual ~Expr() = default;
+  virtual Kind kind() const = 0;
+
+  /// Appends the names of every column referenced anywhere in the tree
+  /// (the optimizer uses this for filter pushdown / projection pruning).
+  virtual void CollectColumns(std::vector<std::string>* out) const = 0;
+
+  /// Unparses back to source form (stable round-trip used in tests).
+  virtual std::string ToString() const = 0;
+};
+
+using ExprPtr = std::shared_ptr<const Expr>;
+
+class LiteralExpr : public Expr {
+ public:
+  explicit LiteralExpr(Value value) : value_(std::move(value)) {}
+  Kind kind() const override { return Kind::kLiteral; }
+  const Value& value() const { return value_; }
+  void CollectColumns(std::vector<std::string>*) const override {}
+  std::string ToString() const override;
+
+ private:
+  Value value_;
+};
+
+class ColumnExpr : public Expr {
+ public:
+  explicit ColumnExpr(std::string name) : name_(std::move(name)) {}
+  Kind kind() const override { return Kind::kColumn; }
+  const std::string& name() const { return name_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    out->push_back(name_);
+  }
+  std::string ToString() const override { return name_; }
+
+ private:
+  std::string name_;
+};
+
+class UnaryExpr : public Expr {
+ public:
+  UnaryExpr(ExprOp op, ExprPtr child) : op_(op), child_(std::move(child)) {}
+  Kind kind() const override { return Kind::kUnary; }
+  ExprOp op() const { return op_; }
+  const ExprPtr& child() const { return child_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    child_->CollectColumns(out);
+  }
+  std::string ToString() const override;
+
+ private:
+  ExprOp op_;
+  ExprPtr child_;
+};
+
+class BinaryExpr : public Expr {
+ public:
+  BinaryExpr(ExprOp op, ExprPtr left, ExprPtr right)
+      : op_(op), left_(std::move(left)), right_(std::move(right)) {}
+  Kind kind() const override { return Kind::kBinary; }
+  ExprOp op() const { return op_; }
+  const ExprPtr& left() const { return left_; }
+  const ExprPtr& right() const { return right_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    left_->CollectColumns(out);
+    right_->CollectColumns(out);
+  }
+  std::string ToString() const override;
+
+ private:
+  ExprOp op_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// `col in [v1, v2, ...]` membership test.
+class InListExpr : public Expr {
+ public:
+  InListExpr(ExprPtr operand, std::vector<Value> items)
+      : operand_(std::move(operand)), items_(std::move(items)) {}
+  Kind kind() const override { return Kind::kInList; }
+  const ExprPtr& operand() const { return operand_; }
+  const std::vector<Value>& items() const { return items_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    operand_->CollectColumns(out);
+  }
+  std::string ToString() const override;
+
+ private:
+  ExprPtr operand_;
+  std::vector<Value> items_;
+};
+
+/// Built-in scalar function call, e.g. length(s), lower(s), abs(x),
+/// contains(s, sub), year(d) over "yyyy-MM-dd" strings.
+class CallExpr : public Expr {
+ public:
+  CallExpr(std::string name, std::vector<ExprPtr> args)
+      : name_(std::move(name)), args_(std::move(args)) {}
+  Kind kind() const override { return Kind::kCall; }
+  const std::string& name() const { return name_; }
+  const std::vector<ExprPtr>& args() const { return args_; }
+  void CollectColumns(std::vector<std::string>* out) const override {
+    for (const auto& a : args_) a->CollectColumns(out);
+  }
+  std::string ToString() const override;
+
+ private:
+  std::string name_;
+  std::vector<ExprPtr> args_;
+};
+
+/// Parses the expression language:
+///   expr    := or
+///   or      := and (("||" | "or") and)*
+///   and     := not (("&&" | "and") not)*
+///   not     := ("!" | "not") not | cmp
+///   cmp     := sum (("=="|"="|"!="|"<"|"<="|">"|">=") sum)?
+///            | sum "in" "[" literal ("," literal)* "]"
+///   sum     := term (("+"|"-") term)*
+///   term    := unary (("*"|"/"|"%") unary)*
+///   unary   := "-" unary | primary
+///   primary := literal | identifier | identifier "(" args ")" | "(" expr ")"
+Result<ExprPtr> ParseExpression(const std::string& source);
+
+/// An expression bound to a concrete schema: column references resolved
+/// to indices so per-row evaluation does no string lookups.
+class BoundExpr {
+ public:
+  /// Binds `expr` against `schema`; fails with kSchemaError when a column
+  /// is missing or a function is unknown.
+  static Result<BoundExpr> Bind(ExprPtr expr, const Schema& schema);
+
+  /// Evaluates against one row of `table` (whose schema matched Bind).
+  Result<Value> Eval(const Table& table, size_t row) const;
+
+  /// Evaluates as a predicate: null results are treated as false.
+  Result<bool> EvalPredicate(const Table& table, size_t row) const;
+
+  const ExprPtr& expr() const { return expr_; }
+
+  /// Implementation detail exposed for the evaluator; not part of the API.
+  struct Node;
+
+ private:
+  BoundExpr() = default;
+
+  ExprPtr expr_;
+  std::shared_ptr<const Node> root_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_EXPR_EXPR_H_

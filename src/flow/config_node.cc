@@ -1,0 +1,509 @@
+#include "flow/config_node.h"
+
+#include <cctype>
+
+#include "common/string_util.h"
+#include "common/value.h"
+
+namespace shareinsights {
+
+ConfigNode ConfigNode::Scalar(std::string value) {
+  ConfigNode node;
+  node.kind_ = Kind::kScalar;
+  node.scalar_ = std::move(value);
+  return node;
+}
+
+ConfigNode ConfigNode::List() {
+  ConfigNode node;
+  node.kind_ = Kind::kList;
+  return node;
+}
+
+ConfigNode ConfigNode::Map() {
+  ConfigNode node;
+  node.kind_ = Kind::kMap;
+  return node;
+}
+
+const ConfigNode* ConfigNode::Find(const std::string& key) const {
+  for (const auto& [k, v] : entries_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string ConfigNode::GetString(const std::string& key,
+                                  const std::string& fallback) const {
+  const ConfigNode* node = Find(key);
+  if (node == nullptr || !node->is_scalar()) return fallback;
+  return node->scalar();
+}
+
+bool ConfigNode::GetBool(const std::string& key, bool fallback) const {
+  const ConfigNode* node = Find(key);
+  if (node == nullptr || !node->is_scalar()) return fallback;
+  const std::string& s = node->scalar();
+  if (s == "true" || s == "True" || s == "TRUE") return true;
+  if (s == "false" || s == "False" || s == "FALSE") return false;
+  return fallback;
+}
+
+Result<int64_t> ConfigNode::GetInt(const std::string& key,
+                                   int64_t fallback) const {
+  const ConfigNode* node = Find(key);
+  if (node == nullptr) return fallback;
+  if (!node->is_scalar()) {
+    return Status::ParseError("config key '" + key + "' is not a scalar");
+  }
+  SI_ASSIGN_OR_RETURN(int64_t v, Value(node->scalar()).ToInt64());
+  return v;
+}
+
+std::vector<std::string> ConfigNode::GetStringList(
+    const std::string& key) const {
+  std::vector<std::string> out;
+  const ConfigNode* node = Find(key);
+  if (node == nullptr) return out;
+  if (node->is_scalar()) {
+    if (!node->scalar().empty()) out.push_back(node->scalar());
+    return out;
+  }
+  if (node->is_list()) {
+    for (const ConfigNode& item : node->items()) {
+      if (item.is_scalar()) out.push_back(item.scalar());
+    }
+  }
+  return out;
+}
+
+void ConfigNode::Set(const std::string& key, ConfigNode value) {
+  kind_ = Kind::kMap;
+  for (auto& [k, v] : entries_) {
+    if (k == key) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(key, std::move(value));
+}
+
+namespace {
+
+struct Line {
+  int indent;
+  std::string content;
+  int number;  // 1-based source line for diagnostics
+};
+
+// Strips a '#' comment unless it is inside a quoted span.
+std::string StripComment(const std::string& line) {
+  char quote = '\0';
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == '#') return line.substr(0, i);
+  }
+  return line;
+}
+
+// Net bracket depth contribution of `text` ('[', '(' vs ']', ')'),
+// ignoring brackets inside quotes.
+int BracketDelta(const std::string& text) {
+  int depth = 0;
+  char quote = '\0';
+  for (char c : text) {
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+    } else if (c == '[' || c == '(') {
+      ++depth;
+    } else if (c == ']' || c == ')') {
+      --depth;
+    }
+  }
+  return depth;
+}
+
+// Returns the quote character left open at the end of `text` given the
+// quote state at its start ('\0' = none).
+char QuoteStateAfter(const std::string& text, char initial) {
+  char quote = initial;
+  for (char c : text) {
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+    } else if (c == '\'' || c == '"') {
+      quote = c;
+    }
+  }
+  return quote;
+}
+
+// Lexes the raw text into logical lines: comments stripped, blanks
+// dropped, and continuations joined (a quote left open across lines —
+// multi-line quoted scalars keep their embedded newlines — unbalanced
+// brackets, trailing '|' or ',', or a following line that begins with
+// '|').
+std::vector<Line> LexLines(const std::string& text) {
+  std::vector<Line> raw;
+  int number = 0;
+  char open_quote = '\0';
+  for (const std::string& src : Split(text, '\n')) {
+    ++number;
+    if (open_quote != '\0') {
+      // Inside a multi-line quoted scalar: append verbatim (newline
+      // preserved), no comment stripping.
+      std::string content = src;
+      while (!content.empty() &&
+             (content.back() == '\r' || content.back() == ' ')) {
+        content.pop_back();
+      }
+      raw.back().content += "\n" + content;
+      open_quote = QuoteStateAfter(content, open_quote);
+      continue;
+    }
+    std::string stripped = StripComment(src);
+    // Measure indent before trimming.
+    int indent = 0;
+    for (char c : stripped) {
+      if (c == ' ') {
+        ++indent;
+      } else if (c == '\t') {
+        indent += 8;
+      } else {
+        break;
+      }
+    }
+    std::string content = Trim(stripped);
+    if (content.empty()) continue;
+    open_quote = QuoteStateAfter(content, '\0');
+    raw.push_back(Line{indent, std::move(content), number});
+  }
+
+  std::vector<Line> joined;
+  for (size_t i = 0; i < raw.size(); ++i) {
+    Line line = raw[i];
+    int depth = BracketDelta(line.content);
+    while (i + 1 < raw.size()) {
+      const Line& next = raw[i + 1];
+      bool continues = depth > 0 || EndsWith(line.content, "|") ||
+                       EndsWith(line.content, ",") ||
+                       StartsWith(next.content, "|");
+      if (!continues) break;
+      line.content += " " + next.content;
+      depth += BracketDelta(next.content);
+      ++i;
+    }
+    joined.push_back(std::move(line));
+  }
+  return joined;
+}
+
+// Removes one level of matching surrounding quotes.
+std::string Unquote(const std::string& text) {
+  if (text.size() >= 2 &&
+      ((text.front() == '\'' && text.back() == '\'') ||
+       (text.front() == '"' && text.back() == '"'))) {
+    return text.substr(1, text.size() - 2);
+  }
+  return text;
+}
+
+// Splits inline-list content on top-level commas (quotes and nested
+// brackets respected).
+std::vector<std::string> SplitTopLevel(const std::string& text) {
+  std::vector<std::string> out;
+  std::string current;
+  int depth = 0;
+  char quote = '\0';
+  for (char c : text) {
+    if (quote != '\0') {
+      current.push_back(c);
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      current.push_back(c);
+      continue;
+    }
+    if (c == '[' || c == '(') ++depth;
+    if (c == ']' || c == ')') --depth;
+    if (c == ',' && depth == 0) {
+      out.push_back(current);
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  out.push_back(current);
+  return out;
+}
+
+// Parses a scalar-or-inline-list value.
+ConfigNode ParseValue(const std::string& raw) {
+  std::string text = Trim(raw);
+  if (StartsWith(text, "[") && EndsWith(text, "]")) {
+    ConfigNode list = ConfigNode::List();
+    std::string inner = text.substr(1, text.size() - 2);
+    for (const std::string& piece : SplitTopLevel(inner)) {
+      std::string item = Trim(piece);
+      if (item.empty()) continue;  // tolerate trailing commas (fig. 6)
+      list.Append(ConfigNode::Scalar(Unquote(item)));
+    }
+    return list;
+  }
+  return ConfigNode::Scalar(Unquote(text));
+}
+
+// Finds the first ':' outside quotes that separates a key from a value.
+size_t FindKeySeparator(const std::string& content) {
+  char quote = '\0';
+  for (size_t i = 0; i < content.size(); ++i) {
+    char c = content[i];
+    if (quote != '\0') {
+      if (c == quote) quote = '\0';
+      continue;
+    }
+    if (c == '\'' || c == '"') {
+      quote = c;
+      continue;
+    }
+    if (c == ':') return i;
+  }
+  return std::string::npos;
+}
+
+class BlockParser {
+ public:
+  explicit BlockParser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  Result<ConfigNode> ParseRoot() {
+    if (lines_.empty()) return ConfigNode::Map();
+    SI_ASSIGN_OR_RETURN(ConfigNode root, ParseBlock(lines_[0].indent));
+    if (pos_ < lines_.size()) {
+      return Error(lines_[pos_],
+                   "inconsistent indentation (line is shallower than its "
+                   "section but deeper than the section's parent)");
+    }
+    return root;
+  }
+
+ private:
+  Status Error(const Line& line, const std::string& what) const {
+    return Status::ParseError("line " + std::to_string(line.number) + ": " +
+                              what + " — '" + line.content + "'");
+  }
+
+  // Parses the run of lines whose indent is exactly `indent` (descending
+  // into deeper lines for nested blocks). Stops at a shallower line.
+  Result<ConfigNode> ParseBlock(int indent) {
+    if (pos_ >= lines_.size()) return ConfigNode::Map();
+    if (IsListItem(lines_[pos_])) return ParseList(indent);
+    // A lone bracketed (or otherwise key-less) line is a value block:
+    // `stack_summary:` followed by an indented `[a, b, c]` (fig. 5).
+    const Line& first = lines_[pos_];
+    if (StartsWith(first.content, "[") ||
+        FindKeySeparator(first.content) == std::string::npos) {
+      ConfigNode value = ParseValue(first.content);
+      ++pos_;
+      if (pos_ < lines_.size() && lines_[pos_].indent >= indent) {
+        return Error(lines_[pos_], "unexpected line after scalar block");
+      }
+      return value;
+    }
+    return ParseMap(indent);
+  }
+
+  static bool IsListItem(const Line& line) {
+    return line.content == "-" || StartsWith(line.content, "- ");
+  }
+
+  Result<ConfigNode> ParseList(int indent) {
+    ConfigNode list = ConfigNode::List();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent &&
+           IsListItem(lines_[pos_])) {
+      Line dash = lines_[pos_];
+      ++pos_;
+      std::string rest =
+          dash.content == "-" ? "" : Trim(dash.content.substr(2));
+      // Gather the item's child lines (deeper than the dash).
+      size_t child_begin = pos_;
+      while (pos_ < lines_.size() && lines_[pos_].indent > indent) ++pos_;
+      std::vector<Line> children(lines_.begin() + child_begin,
+                                 lines_.begin() + pos_);
+      SI_ASSIGN_OR_RETURN(ConfigNode item,
+                          ParseListItem(dash, rest, std::move(children)));
+      list.Append(std::move(item));
+    }
+    return list;
+  }
+
+  Result<ConfigNode> ParseListItem(const Line& dash, const std::string& rest,
+                                   std::vector<Line> children) {
+    bool rest_is_entry = !rest.empty() && rest[0] != '\'' && rest[0] != '"' &&
+                         rest[0] != '[' &&
+                         FindKeySeparator(rest) != std::string::npos;
+    if (rest_is_entry) {
+      // `- key: value` (+ sibling keys on deeper lines): the deeper lines
+      // are siblings of `key`, so the synthetic first line shares their
+      // indent. `- key:` with no value: the deeper lines are the key's
+      // nested block, so the synthetic line sits shallower.
+      bool rest_has_value = FindKeySeparator(rest) + 1 < rest.size() &&
+                            !Trim(rest.substr(FindKeySeparator(rest) + 1))
+                                 .empty();
+      std::vector<Line> sub;
+      int sub_indent;
+      if (children.empty()) {
+        sub_indent = dash.indent + 2;
+      } else if (rest_has_value) {
+        sub_indent = children[0].indent;
+      } else {
+        sub_indent = dash.indent + 1;
+      }
+      sub.push_back(Line{sub_indent, rest, dash.number});
+      for (Line& child : children) sub.push_back(std::move(child));
+      BlockParser nested(std::move(sub));
+      return nested.ParseRoot();
+    }
+    if (!rest.empty()) {
+      if (!children.empty()) {
+        return Error(dash, "scalar list item cannot have nested lines");
+      }
+      return ParseValue(rest);
+    }
+    if (children.empty()) return ConfigNode::Scalar("");
+    BlockParser nested(std::move(children));
+    return nested.ParseRoot();
+  }
+
+  Result<ConfigNode> ParseMap(int indent) {
+    ConfigNode map = ConfigNode::Map();
+    while (pos_ < lines_.size() && lines_[pos_].indent == indent) {
+      Line line = lines_[pos_];
+      if (IsListItem(line)) {
+        return Error(line, "unexpected list item inside a map block");
+      }
+      size_t sep = FindKeySeparator(line.content);
+      if (sep == std::string::npos) {
+        return Error(line, "expected 'key: value'");
+      }
+      std::string key = Trim(line.content.substr(0, sep));
+      std::string value = Trim(line.content.substr(sep + 1));
+      if (key.empty()) return Error(line, "empty key");
+      ++pos_;
+      if (!value.empty()) {
+        map.entries().emplace_back(key, ParseValue(value));
+        continue;
+      }
+      // Nested block (or empty map) from deeper lines.
+      if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+        int child_indent = lines_[pos_].indent;
+        SI_ASSIGN_OR_RETURN(ConfigNode child, ParseBlock(child_indent));
+        map.entries().emplace_back(key, std::move(child));
+      } else {
+        map.entries().emplace_back(key, ConfigNode::Map());
+      }
+    }
+    if (pos_ < lines_.size() && lines_[pos_].indent > indent) {
+      return Error(lines_[pos_], "unexpected deeper indentation");
+    }
+    return map;
+  }
+
+  std::vector<Line> lines_;
+  size_t pos_ = 0;
+};
+
+bool ScalarNeedsQuotes(const std::string& text) {
+  if (text.empty()) return true;
+  if (text != Trim(text)) return true;
+  for (char c : text) {
+    if (c == ':' || c == '#' || c == '[' || c == ']' || c == ',' ||
+        c == '\n') {
+      return true;
+    }
+  }
+  if (StartsWith(text, "- ") || StartsWith(text, "'") ||
+      StartsWith(text, "\"")) {
+    return true;
+  }
+  return false;
+}
+
+std::string RenderScalar(const std::string& text) {
+  if (!ScalarNeedsQuotes(text)) return text;
+  // Double quotes for payloads with embedded newlines or apostrophes.
+  if (text.find('\n') != std::string::npos ||
+      text.find('\'') != std::string::npos) {
+    return "\"" + text + "\"";
+  }
+  return "'" + text + "'";
+}
+
+void SerializeNode(const ConfigNode& node, int indent, std::string* out);
+
+void SerializeMapEntries(const ConfigNode& node, int indent,
+                         std::string* out) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  for (const auto& [key, value] : node.entries()) {
+    *out += pad + key + ":";
+    if (value.is_scalar()) {
+      *out += " " + RenderScalar(value.scalar()) + "\n";
+    } else if (value.is_map() && value.entries().empty()) {
+      *out += "\n";
+    } else {
+      *out += "\n";
+      SerializeNode(value, indent + 2, out);
+    }
+  }
+}
+
+void SerializeNode(const ConfigNode& node, int indent, std::string* out) {
+  std::string pad(static_cast<size_t>(indent), ' ');
+  switch (node.kind()) {
+    case ConfigNode::Kind::kScalar:
+      *out += pad + RenderScalar(node.scalar()) + "\n";
+      return;
+    case ConfigNode::Kind::kList: {
+      // All-scalar lists render inline only when short; block otherwise.
+      for (const ConfigNode& item : node.items()) {
+        if (item.is_scalar()) {
+          *out += pad + "- " + RenderScalar(item.scalar()) + "\n";
+        } else {
+          *out += pad + "-\n";
+          SerializeNode(item, indent + 2, out);
+        }
+      }
+      return;
+    }
+    case ConfigNode::Kind::kMap:
+      SerializeMapEntries(node, indent, out);
+      return;
+  }
+}
+
+}  // namespace
+
+Result<ConfigNode> ParseConfig(const std::string& text) {
+  BlockParser parser(LexLines(text));
+  return parser.ParseRoot();
+}
+
+std::string SerializeConfig(const ConfigNode& root) {
+  std::string out;
+  SerializeNode(root, 0, &out);
+  return out;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,89 @@
+#ifndef SHAREINSIGHTS_FLOW_CONFIG_NODE_H_
+#define SHAREINSIGHTS_FLOW_CONFIG_NODE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shareinsights {
+
+/// Generic configuration tree produced by the flow-file surface parser.
+///
+/// The flow-file syntax is an indentation-structured configuration
+/// language (see the paper's listings and the Appendix B grammar):
+/// nested `key: value` maps, block lists introduced by `- `, inline
+/// `[a, b, c]` lists, `#` comments, and single-quoted strings. The
+/// surface parser produces this untyped tree; section interpreters in
+/// flow_file.cc turn it into the typed FlowFile AST.
+class ConfigNode {
+ public:
+  enum class Kind { kScalar, kList, kMap };
+
+  ConfigNode() : kind_(Kind::kScalar) {}
+  static ConfigNode Scalar(std::string value);
+  static ConfigNode List();
+  static ConfigNode Map();
+
+  Kind kind() const { return kind_; }
+  bool is_scalar() const { return kind_ == Kind::kScalar; }
+  bool is_list() const { return kind_ == Kind::kList; }
+  bool is_map() const { return kind_ == Kind::kMap; }
+
+  /// Scalar payload (unquoted).
+  const std::string& scalar() const { return scalar_; }
+
+  /// List items.
+  const std::vector<ConfigNode>& items() const { return items_; }
+  std::vector<ConfigNode>& items() { return items_; }
+
+  /// Map entries in declaration order (duplicate keys preserved; the
+  /// F-section uses repeated `D.x:` keys for multiple flows).
+  const std::vector<std::pair<std::string, ConfigNode>>& entries() const {
+    return entries_;
+  }
+  std::vector<std::pair<std::string, ConfigNode>>& entries() {
+    return entries_;
+  }
+
+  /// First entry with `key`, or nullptr.
+  const ConfigNode* Find(const std::string& key) const;
+  bool Has(const std::string& key) const { return Find(key) != nullptr; }
+
+  /// Scalar string at `key`, or `fallback` when missing. Non-scalar
+  /// values also return `fallback`.
+  std::string GetString(const std::string& key,
+                        const std::string& fallback = "") const;
+
+  /// Scalar at `key` as bool ("true"/"false"); `fallback` when missing.
+  bool GetBool(const std::string& key, bool fallback = false) const;
+
+  /// Scalar at `key` as int64; error when present but unparseable.
+  Result<int64_t> GetInt(const std::string& key, int64_t fallback) const;
+
+  /// List of scalar strings at `key`; a scalar value is treated as a
+  /// single-element list. Missing key yields an empty vector.
+  std::vector<std::string> GetStringList(const std::string& key) const;
+
+  void Append(ConfigNode item) { items_.push_back(std::move(item)); }
+  void Set(const std::string& key, ConfigNode value);
+
+ private:
+  Kind kind_;
+  std::string scalar_;
+  std::vector<ConfigNode> items_;
+  std::vector<std::pair<std::string, ConfigNode>> entries_;
+};
+
+/// Parses flow-file surface syntax into a root map node. See the class
+/// comment for the accepted grammar; errors carry 1-based line numbers.
+Result<ConfigNode> ParseConfig(const std::string& text);
+
+/// Serializes a config tree back to flow-file surface syntax. Parsing the
+/// output yields an equivalent tree (round-trip property, tested).
+std::string SerializeConfig(const ConfigNode& root);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_FLOW_CONFIG_NODE_H_

@@ -1,0 +1,571 @@
+#include "flow/flow_file.h"
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+Schema DataObjectDecl::DeclaredSchema() const {
+  std::vector<std::string> names;
+  names.reserve(columns.size());
+  for (const ColumnMapping& m : columns) names.push_back(m.column);
+  return Schema::FromNames(names);
+}
+
+std::string FlowDecl::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < outputs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "D." + outputs[i];
+  }
+  out += " : ";
+  if (inputs.size() > 1) out += "(";
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "D." + inputs[i];
+  }
+  if (inputs.size() > 1) out += ")";
+  for (const std::string& task : tasks) out += " | T." + task;
+  return out;
+}
+
+const DataObjectDecl* FlowFile::FindData(const std::string& name) const {
+  for (const DataObjectDecl& d : data_objects) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+DataObjectDecl* FlowFile::FindData(const std::string& name) {
+  for (DataObjectDecl& d : data_objects) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+const TaskDecl* FlowFile::FindTask(const std::string& name) const {
+  for (const TaskDecl& t : tasks) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+const WidgetDecl* FlowFile::FindWidget(const std::string& name) const {
+  for (const WidgetDecl& w : widgets) {
+    if (w.name == name) return &w;
+  }
+  return nullptr;
+}
+
+namespace {
+
+// Strips an optional "D." / "T." / "W." qualifier.
+std::string StripQualifier(const std::string& name, const char* prefix) {
+  std::string trimmed = Trim(name);
+  if (StartsWith(trimmed, prefix)) return trimmed.substr(2);
+  return trimmed;
+}
+
+Status ParseColumnList(const ConfigNode& node, DataObjectDecl* decl) {
+  if (!node.is_list()) {
+    return Status::ParseError("data object '" + decl->name +
+                              "' schema must be a [column, ...] list");
+  }
+  for (const ConfigNode& item : node.items()) {
+    if (!item.is_scalar()) {
+      return Status::ParseError("data object '" + decl->name +
+                                "' schema entries must be scalars");
+    }
+    const std::string& text = item.scalar();
+    size_t arrow = text.find("=>");
+    ColumnMapping mapping;
+    if (arrow == std::string::npos) {
+      mapping.column = Trim(text);
+    } else {
+      mapping.column = Trim(text.substr(0, arrow));
+      mapping.path = Trim(text.substr(arrow + 2));
+    }
+    if (mapping.column.empty()) {
+      return Status::ParseError("empty column name in data object '" +
+                                decl->name + "'");
+    }
+    decl->columns.push_back(std::move(mapping));
+  }
+  return Status::OK();
+}
+
+// Applies a details block (source/protocol/format/endpoint/publish/...)
+// onto a data object declaration. Nested maps flatten with dotted keys
+// (http_headers: {X: y} -> "http_headers.X").
+Status ApplyDataDetails(const ConfigNode& details, DataObjectDecl* decl) {
+  if (!details.is_map()) {
+    return Status::ParseError("details of data object '" + decl->name +
+                              "' must be a map");
+  }
+  for (const auto& [key, value] : details.entries()) {
+    if (key == "endpoint") {
+      decl->endpoint = value.is_scalar() && (value.scalar() == "true" ||
+                                             value.scalar() == "True");
+      continue;
+    }
+    if (key == "publish") {
+      if (!value.is_scalar()) {
+        return Status::ParseError("publish of '" + decl->name +
+                                  "' must be a name");
+      }
+      decl->publish = value.scalar();
+      continue;
+    }
+    if (value.is_scalar()) {
+      decl->params.Set(key, value.scalar());
+    } else if (value.is_map()) {
+      for (const auto& [sub_key, sub_value] : value.entries()) {
+        if (!sub_value.is_scalar()) {
+          return Status::ParseError("nested detail '" + key + "." + sub_key +
+                                    "' of '" + decl->name +
+                                    "' must be scalar");
+        }
+        decl->params.Set(key + "." + sub_key, sub_value.scalar());
+      }
+    } else {
+      return Status::ParseError("detail '" + key + "' of '" + decl->name +
+                                "' has unsupported list value");
+    }
+  }
+  return Status::OK();
+}
+
+DataObjectDecl* FindOrAddData(FlowFile* file, const std::string& name) {
+  if (DataObjectDecl* existing = file->FindData(name)) return existing;
+  DataObjectDecl decl;
+  decl.name = name;
+  file->data_objects.push_back(std::move(decl));
+  return &file->data_objects.back();
+}
+
+Result<LayoutCell> ParseLayoutCell(const std::string& text) {
+  size_t colon = text.find(':');
+  if (colon == std::string::npos) {
+    return Status::ParseError("layout cell '" + text +
+                              "' must be 'spanN: W.widget'");
+  }
+  std::string span_text = Trim(text.substr(0, colon));
+  std::string widget = StripQualifier(text.substr(colon + 1), "W.");
+  if (!StartsWith(span_text, "span")) {
+    return Status::ParseError("layout cell '" + text +
+                              "' must begin with spanN");
+  }
+  LayoutCell cell;
+  SI_ASSIGN_OR_RETURN(int64_t span, Value(span_text.substr(4)).ToInt64());
+  if (span < 1 || span > 12) {
+    return Status::ParseError("layout span must be 1..12, got " +
+                              std::to_string(span));
+  }
+  cell.span = static_cast<int>(span);
+  cell.widget = widget;
+  if (cell.widget.empty()) {
+    return Status::ParseError("layout cell '" + text + "' names no widget");
+  }
+  return cell;
+}
+
+}  // namespace
+
+Result<std::vector<std::vector<LayoutCell>>> ParseLayoutRows(
+    const ConfigNode& rows) {
+  std::vector<std::vector<LayoutCell>> out;
+  if (!rows.is_list()) {
+    return Status::ParseError("layout rows must be a list");
+  }
+  for (const ConfigNode& row : rows.items()) {
+    std::vector<LayoutCell> cells;
+    if (row.is_list()) {
+      for (const ConfigNode& cell : row.items()) {
+        if (!cell.is_scalar()) {
+          return Status::ParseError("layout cells must be scalars");
+        }
+        SI_ASSIGN_OR_RETURN(LayoutCell parsed, ParseLayoutCell(cell.scalar()));
+        cells.push_back(std::move(parsed));
+      }
+    } else if (row.is_scalar()) {
+      SI_ASSIGN_OR_RETURN(LayoutCell parsed, ParseLayoutCell(row.scalar()));
+      cells.push_back(std::move(parsed));
+    } else {
+      return Status::ParseError("layout row must be a [spanN: W.x, ...] list");
+    }
+    int total = 0;
+    for (const LayoutCell& cell : cells) total += cell.span;
+    if (total > 12) {
+      return Status::ParseError("layout row spans total " +
+                                std::to_string(total) +
+                                ", exceeding the 12-column grid");
+    }
+    out.push_back(std::move(cells));
+  }
+  return out;
+}
+
+Result<FlowDecl> ParseFlowExpression(const std::string& outputs_key,
+                                     const std::string& expression) {
+  FlowDecl flow;
+  // Outputs: "D.a" or "D.a, D.b", each optionally prefixed with '+'
+  // (the endpoint alias handled by the caller).
+  for (const std::string& piece : Split(outputs_key, ',')) {
+    std::string name = Trim(piece);
+    if (StartsWith(name, "+")) name = Trim(name.substr(1));
+    name = StripQualifier(name, "D.");
+    if (!IsIdentifier(name)) {
+      return Status::ParseError("invalid flow output name '" + piece + "'");
+    }
+    flow.outputs.push_back(name);
+  }
+  if (flow.outputs.empty()) {
+    return Status::ParseError("flow has no outputs");
+  }
+
+  // Split the right-hand side on top-level '|'.
+  std::vector<std::string> stages;
+  {
+    std::string current;
+    int depth = 0;
+    char quote = '\0';
+    for (char c : expression) {
+      if (quote != '\0') {
+        current.push_back(c);
+        if (c == quote) quote = '\0';
+        continue;
+      }
+      if (c == '\'' || c == '"') {
+        quote = c;
+        current.push_back(c);
+        continue;
+      }
+      if (c == '(') ++depth;
+      if (c == ')') --depth;
+      if (c == '|' && depth == 0) {
+        stages.push_back(current);
+        current.clear();
+        continue;
+      }
+      current.push_back(c);
+    }
+    stages.push_back(current);
+  }
+  if (stages.empty() || Trim(stages[0]).empty()) {
+    return Status::ParseError("flow '" + outputs_key + "' has no input");
+  }
+
+  // Stage 0: inputs, possibly parenthesized fan-in.
+  std::string inputs_text = Trim(stages[0]);
+  if (StartsWith(inputs_text, "(") && EndsWith(inputs_text, ")")) {
+    inputs_text = inputs_text.substr(1, inputs_text.size() - 2);
+  }
+  for (const std::string& piece : Split(inputs_text, ',')) {
+    std::string name = Trim(piece);
+    if (name.empty()) continue;
+    if (!StartsWith(name, "D.")) {
+      return Status::ParseError("flow input '" + name +
+                                "' must be a data object (D.<name>)");
+    }
+    name = name.substr(2);
+    if (!IsIdentifier(name)) {
+      return Status::ParseError("invalid flow input name '" + piece + "'");
+    }
+    flow.inputs.push_back(name);
+  }
+  if (flow.inputs.empty()) {
+    return Status::ParseError("flow '" + outputs_key + "' has no inputs");
+  }
+
+  // Remaining stages: tasks.
+  for (size_t i = 1; i < stages.size(); ++i) {
+    std::string name = Trim(stages[i]);
+    if (!StartsWith(name, "T.")) {
+      return Status::ParseError("flow stage '" + name +
+                                "' must be a task (T.<name>)");
+    }
+    name = name.substr(2);
+    if (!IsIdentifier(name)) {
+      return Status::ParseError("invalid task name '" + stages[i] + "'");
+    }
+    flow.tasks.push_back(name);
+  }
+  if (flow.tasks.empty()) {
+    return Status::ParseError(
+        "flow '" + outputs_key +
+        "' must apply at least one task (grammar: ('|' T.task)+)");
+  }
+  return flow;
+}
+
+namespace {
+
+Result<WidgetSource> ParseWidgetSource(const ConfigNode& widget_config) {
+  WidgetSource source;
+  const ConfigNode* node = widget_config.Find("source");
+  if (node == nullptr) return source;  // source-less widgets allowed
+  if (node->is_list()) {
+    for (const ConfigNode& item : node->items()) {
+      if (!item.is_scalar()) {
+        return Status::ParseError("static widget source must list scalars");
+      }
+      source.static_values.push_back(item.scalar());
+    }
+    return source;
+  }
+  if (!node->is_scalar()) {
+    return Status::ParseError("widget source must be a flow or a list");
+  }
+  // `D.x | T.a | T.b`
+  std::vector<std::string> stages = SplitRespectingQuotes(node->scalar(), '|');
+  std::string root = Trim(stages[0]);
+  if (!StartsWith(root, "D.")) {
+    return Status::ParseError("widget source '" + root +
+                              "' must start from a data object (D.<name>)");
+  }
+  source.root = root.substr(2);
+  for (size_t i = 1; i < stages.size(); ++i) {
+    std::string task = Trim(stages[i]);
+    if (!StartsWith(task, "T.")) {
+      return Status::ParseError("widget source stage '" + task +
+                                "' must be a task (T.<name>)");
+    }
+    source.tasks.push_back(task.substr(2));
+  }
+  return source;
+}
+
+Status InterpretDataSection(const ConfigNode& section, FlowFile* file) {
+  for (const auto& [raw_key, value] : section.entries()) {
+    bool endpoint_alias = StartsWith(raw_key, "+");
+    std::string key = endpoint_alias ? Trim(raw_key.substr(1)) : raw_key;
+    key = StripQualifier(key, "D.");
+    DataObjectDecl* decl = FindOrAddData(file, key);
+    if (endpoint_alias) decl->endpoint = true;
+    if (value.is_list()) {
+      SI_RETURN_IF_ERROR(ParseColumnList(value, decl));
+    } else if (value.is_map()) {
+      SI_RETURN_IF_ERROR(ApplyDataDetails(value, decl));
+    } else {
+      return Status::ParseError("data object '" + key +
+                                "' must declare a schema list or details");
+    }
+  }
+  return Status::OK();
+}
+
+Status InterpretFlowSection(const ConfigNode& section, FlowFile* file) {
+  for (const auto& [raw_key, value] : section.entries()) {
+    bool endpoint_alias = StartsWith(raw_key, "+");
+    std::string key = endpoint_alias ? Trim(raw_key.substr(1)) : raw_key;
+    if (value.is_map()) {
+      // Data details interleaved in the F section (fig. 19).
+      std::string name = StripQualifier(key, "D.");
+      DataObjectDecl* decl = FindOrAddData(file, name);
+      if (endpoint_alias) decl->endpoint = true;
+      SI_RETURN_IF_ERROR(ApplyDataDetails(value, decl));
+      continue;
+    }
+    if (!value.is_scalar()) {
+      return Status::ParseError("flow '" + key +
+                                "' must be a pipe expression");
+    }
+    SI_ASSIGN_OR_RETURN(FlowDecl flow,
+                        ParseFlowExpression(key, value.scalar()));
+    for (const std::string& output : flow.outputs) {
+      DataObjectDecl* decl = FindOrAddData(file, output);
+      if (endpoint_alias) decl->endpoint = true;
+    }
+    file->flows.push_back(std::move(flow));
+  }
+  return Status::OK();
+}
+
+Status InterpretTaskSection(const ConfigNode& section, FlowFile* file) {
+  for (const auto& [key, value] : section.entries()) {
+    if (!value.is_map()) {
+      return Status::ParseError("task '" + key + "' must be a config map");
+    }
+    TaskDecl task;
+    task.name = StripQualifier(key, "T.");
+    task.config = value;
+    task.type = value.GetString("type");
+    if (task.type.empty() && value.Has("parallel")) {
+      task.type = "parallel";
+    }
+    if (task.type.empty()) {
+      return Status::ParseError("task '" + task.name +
+                                "' is missing a 'type'");
+    }
+    if (file->FindTask(task.name) != nullptr) {
+      return Status::ParseError("duplicate task '" + task.name + "'");
+    }
+    file->tasks.push_back(std::move(task));
+  }
+  return Status::OK();
+}
+
+Status InterpretWidgetSection(const ConfigNode& section, FlowFile* file) {
+  for (const auto& [key, value] : section.entries()) {
+    if (!value.is_map()) {
+      return Status::ParseError("widget '" + key + "' must be a config map");
+    }
+    WidgetDecl widget;
+    widget.name = StripQualifier(key, "W.");
+    widget.type = value.GetString("type");
+    if (widget.type.empty()) {
+      return Status::ParseError("widget '" + widget.name +
+                                "' is missing a 'type'");
+    }
+    SI_ASSIGN_OR_RETURN(widget.source, ParseWidgetSource(value));
+    widget.config = value;
+    if (file->FindWidget(widget.name) != nullptr) {
+      return Status::ParseError("duplicate widget '" + widget.name + "'");
+    }
+    file->widgets.push_back(std::move(widget));
+  }
+  return Status::OK();
+}
+
+Status InterpretLayoutSection(const ConfigNode& section, FlowFile* file) {
+  file->layout.description = section.GetString("description");
+  const ConfigNode* rows = section.Find("rows");
+  if (rows != nullptr) {
+    SI_ASSIGN_OR_RETURN(file->layout.rows, ParseLayoutRows(*rows));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<FlowFile> ParseFlowFile(const std::string& text,
+                               const std::string& name) {
+  SI_ASSIGN_OR_RETURN(ConfigNode root, ParseConfig(text));
+  if (!root.is_map()) {
+    return Status::ParseError("flow file must be a map of sections");
+  }
+  FlowFile file;
+  file.name = name;
+  for (const auto& [key, value] : root.entries()) {
+    if (key == "D") {
+      SI_RETURN_IF_ERROR(InterpretDataSection(value, &file));
+    } else if (key == "F") {
+      SI_RETURN_IF_ERROR(InterpretFlowSection(value, &file));
+    } else if (key == "T") {
+      SI_RETURN_IF_ERROR(InterpretTaskSection(value, &file));
+    } else if (key == "W") {
+      SI_RETURN_IF_ERROR(InterpretWidgetSection(value, &file));
+    } else if (key == "L") {
+      SI_RETURN_IF_ERROR(InterpretLayoutSection(value, &file));
+    } else if (key == "name") {
+      if (value.is_scalar()) file.name = value.scalar();
+    } else if (StartsWith(key, "D.") || StartsWith(key, "+D.")) {
+      // Top-level data details block (fig. 4 / Appendix B data-details).
+      bool endpoint_alias = StartsWith(key, "+");
+      std::string data_name =
+          StripQualifier(endpoint_alias ? key.substr(1) : key, "D.");
+      DataObjectDecl* decl = FindOrAddData(&file, data_name);
+      if (endpoint_alias) decl->endpoint = true;
+      if (value.is_list()) {
+        SI_RETURN_IF_ERROR(ParseColumnList(value, decl));
+      } else {
+        SI_RETURN_IF_ERROR(ApplyDataDetails(value, decl));
+      }
+    } else {
+      return Status::ParseError("unknown top-level section '" + key + "'");
+    }
+  }
+  return file;
+}
+
+std::string FlowFile::ToText() const {
+  ConfigNode root = ConfigNode::Map();
+  if (!name.empty()) root.Set("name", ConfigNode::Scalar(name));
+
+  // D section: schemas.
+  ConfigNode d = ConfigNode::Map();
+  for (const DataObjectDecl& decl : data_objects) {
+    if (decl.columns.empty()) continue;
+    ConfigNode list = ConfigNode::List();
+    for (const ColumnMapping& m : decl.columns) {
+      list.Append(ConfigNode::Scalar(
+          m.path.empty() ? m.column : m.column + " => " + m.path));
+    }
+    d.Set(decl.name, std::move(list));
+  }
+  if (!d.entries().empty()) root.Set("D", std::move(d));
+
+  // F section: flows.
+  if (!flows.empty()) {
+    ConfigNode f = ConfigNode::Map();
+    for (const FlowDecl& flow : flows) {
+      std::string key;
+      for (size_t i = 0; i < flow.outputs.size(); ++i) {
+        if (i > 0) key += ", ";
+        key += "D." + flow.outputs[i];
+      }
+      std::string expr;
+      if (flow.inputs.size() > 1) expr += "(";
+      for (size_t i = 0; i < flow.inputs.size(); ++i) {
+        if (i > 0) expr += ", ";
+        expr += "D." + flow.inputs[i];
+      }
+      if (flow.inputs.size() > 1) expr += ")";
+      for (const std::string& task : flow.tasks) expr += " | T." + task;
+      f.entries().emplace_back(key, ConfigNode::Scalar(expr));
+    }
+    root.Set("F", std::move(f));
+  }
+
+  // T section.
+  if (!tasks.empty()) {
+    ConfigNode t = ConfigNode::Map();
+    for (const TaskDecl& task : tasks) t.Set(task.name, task.config);
+    root.Set("T", std::move(t));
+  }
+
+  // W section.
+  if (!widgets.empty()) {
+    ConfigNode w = ConfigNode::Map();
+    for (const WidgetDecl& widget : widgets) w.Set(widget.name, widget.config);
+    root.Set("W", std::move(w));
+  }
+
+  // L section.
+  if (!layout.rows.empty() || !layout.description.empty()) {
+    ConfigNode l = ConfigNode::Map();
+    if (!layout.description.empty()) {
+      l.Set("description", ConfigNode::Scalar(layout.description));
+    }
+    ConfigNode rows = ConfigNode::List();
+    for (const auto& row : layout.rows) {
+      ConfigNode cells = ConfigNode::List();
+      for (const LayoutCell& cell : row) {
+        cells.Append(ConfigNode::Scalar("span" + std::to_string(cell.span) +
+                                        ": W." + cell.widget));
+      }
+      rows.Append(std::move(cells));
+    }
+    l.Set("rows", std::move(rows));
+    root.Set("L", std::move(l));
+  }
+
+  // Data details blocks.
+  for (const DataObjectDecl& decl : data_objects) {
+    if (decl.params.all().empty() && !decl.endpoint && decl.publish.empty()) {
+      continue;
+    }
+    ConfigNode details = ConfigNode::Map();
+    for (const auto& [key, value] : decl.params.all()) {
+      details.Set(key, ConfigNode::Scalar(value));
+    }
+    if (decl.endpoint) details.Set("endpoint", ConfigNode::Scalar("true"));
+    if (!decl.publish.empty()) {
+      details.Set("publish", ConfigNode::Scalar(decl.publish));
+    }
+    root.Set("D." + decl.name, std::move(details));
+  }
+
+  return SerializeConfig(root);
+}
+
+}  // namespace shareinsights

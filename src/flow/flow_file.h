@@ -1,0 +1,140 @@
+#ifndef SHAREINSIGHTS_FLOW_FLOW_FILE_H_
+#define SHAREINSIGHTS_FLOW_FLOW_FILE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flow/config_node.h"
+#include "io/connector.h"
+#include "table/schema.h"
+
+namespace shareinsights {
+
+/// A D-section data object declaration: schema (column list with optional
+/// `=>` payload-path mappings), protocol/format details, and sharing
+/// flags (`endpoint: true` exposes the object to the dashboard / REST
+/// API; `publish: <name>` shares it with other dashboards).
+struct DataObjectDecl {
+  std::string name;
+  std::vector<ColumnMapping> columns;
+  DataSourceParams params;
+  bool endpoint = false;
+  std::string publish;  // empty = not published
+
+  /// True when the object is backed by an external source (has a
+  /// `source`/`data` detail) rather than being produced by a flow.
+  bool IsSource() const {
+    return params.Has("source") || params.Has("data");
+  }
+
+  /// Declared schema from the column list (all-string until data or the
+  /// compiler refines types). Empty columns -> empty schema (formats with
+  /// self-describing headers fill it at load).
+  Schema DeclaredSchema() const;
+};
+
+/// A T-section task declaration. `type` selects the operator family
+/// (filter_by, groupby, join, map, topn, parallel, or a user-registered
+/// custom type); all remaining properties stay in `config` and are
+/// interpreted by the task factory at compile time.
+struct TaskDecl {
+  std::string name;
+  std::string type;
+  ConfigNode config;
+};
+
+/// One F-section flow: `D.out1, D.out2 : (D.in1, D.in2) | T.t1 | T.t2`.
+/// Flows are linear by construction ("the user can only specify simple
+/// (as in linear) flows"); the compiler chains them into a DAG because
+/// sinks can feed later flows.
+struct FlowDecl {
+  std::vector<std::string> outputs;  // data object names (sans "D.")
+  std::vector<std::string> inputs;   // data object names (sans "D.")
+  std::vector<std::string> tasks;    // task names (sans "T.")
+
+  std::string ToString() const;
+};
+
+/// A widget's data source: a root data object (or a static literal list)
+/// piped through interaction tasks — "identical in all respects to flows
+/// in the Flow (F) section" (fig. 14).
+struct WidgetSource {
+  std::string root;                 // data object name; empty if static
+  std::vector<std::string> tasks;   // task names applied to the root
+  std::vector<std::string> static_values;  // for `static: true` widgets
+
+  bool IsStatic() const { return root.empty(); }
+};
+
+/// A W-section widget declaration. `bindings` are the data attributes
+/// (widget columns) — properties whose values name columns of the source
+/// data; everything else stays in `config` as visual attributes.
+struct WidgetDecl {
+  std::string name;
+  std::string type;
+  WidgetSource source;
+  ConfigNode config;  // full property map (visual + data attributes)
+};
+
+/// One cell of a layout row: `span4: W.year_slider_layout`.
+struct LayoutCell {
+  int span = 12;
+  std::string widget;  // widget (or sub-layout widget) name, sans "W."
+};
+
+/// L-section: dashboard description plus a grid of rows; every row's
+/// spans should total at most 12 ("every row ... is broken into twelve
+/// columns").
+struct LayoutDecl {
+  std::string description;
+  std::vector<std::vector<LayoutCell>> rows;
+};
+
+/// The parsed flow file: the single-artifact representation of an entire
+/// data pipeline, dashboard included.
+struct FlowFile {
+  std::string name;
+  std::vector<DataObjectDecl> data_objects;
+  std::vector<TaskDecl> tasks;
+  std::vector<FlowDecl> flows;
+  std::vector<WidgetDecl> widgets;
+  LayoutDecl layout;
+
+  const DataObjectDecl* FindData(const std::string& name) const;
+  DataObjectDecl* FindData(const std::string& name);
+  const TaskDecl* FindTask(const std::string& name) const;
+  const WidgetDecl* FindWidget(const std::string& name) const;
+
+  /// True when the file is a data-processing-only dashboard (no widgets
+  /// or layout — section 3.7.1).
+  bool IsDataProcessingOnly() const {
+    return widgets.empty() && layout.rows.empty();
+  }
+
+  /// Serializes back to flow-file text (stable; reparsing yields an
+  /// equivalent FlowFile). Used by the collaboration repository, fork
+  /// telemetry (fig. 35 measures flow-file bytes), and tests.
+  std::string ToText() const;
+};
+
+/// Parses flow-file text into the typed AST. Validation here is purely
+/// syntactic; semantic checks (task/data references, schema propagation)
+/// happen in the compiler.
+Result<FlowFile> ParseFlowFile(const std::string& text,
+                               const std::string& name = "");
+
+/// Parses a flow expression: `(D.a, D.b) | T.t1 | T.t2` (the part to the
+/// right of the ':' in an F-section entry), per the Appendix B grammar.
+Result<FlowDecl> ParseFlowExpression(const std::string& outputs_key,
+                                     const std::string& expression);
+
+/// Parses a `rows:` config node (from the L section or a Layout-typed
+/// widget) into layout rows, enforcing the 12-column grid invariant.
+Result<std::vector<std::vector<LayoutCell>>> ParseLayoutRows(
+    const ConfigNode& rows);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_FLOW_FLOW_FILE_H_

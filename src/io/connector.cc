@@ -1,0 +1,335 @@
+#include "io/connector.h"
+
+#include "common/string_util.h"
+#include "io/csv.h"
+#include "io/json.h"
+
+namespace shareinsights {
+
+// ---------------------------------------------------------------------
+// SimulatedRemoteStore
+// ---------------------------------------------------------------------
+
+SimulatedRemoteStore& SimulatedRemoteStore::Get() {
+  static SimulatedRemoteStore* store = new SimulatedRemoteStore;
+  return *store;
+}
+
+void SimulatedRemoteStore::Publish(const std::string& url,
+                                   std::string payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  payloads_[url] = std::move(payload);
+}
+
+void SimulatedRemoteStore::SetResponder(
+    std::function<Result<std::string>(const std::string&,
+                                      const DataSourceParams&)>
+        responder) {
+  std::lock_guard<std::mutex> lock(mu_);
+  responder_ = std::move(responder);
+}
+
+Result<std::string> SimulatedRemoteStore::Fetch(
+    const std::string& url, const DataSourceParams& params) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = payloads_.find(url);
+  if (it != payloads_.end()) return it->second;
+  if (responder_) return responder_(url, params);
+  return Status::NotFound("no payload published for URL '" + url + "'");
+}
+
+void SimulatedRemoteStore::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  payloads_.clear();
+  responder_ = nullptr;
+}
+
+// ---------------------------------------------------------------------
+// Built-in connectors
+// ---------------------------------------------------------------------
+
+namespace {
+
+/// Local (or mounted remote) file system, the `file` protocol. `base_dir`
+/// in the params — set by the dashboard runtime to the dashboard's data
+/// folder — anchors relative paths (section 4.3.2 of the paper).
+class FileConnector : public Connector {
+ public:
+  std::string protocol() const override { return "file"; }
+  Result<std::string> Fetch(const DataSourceParams& params) override {
+    std::string source = params.Get("source");
+    if (source.empty()) {
+      return Status::InvalidArgument("file connector requires 'source'");
+    }
+    std::string base = params.Get("base_dir");
+    std::string path = source;
+    if (!base.empty() && !StartsWith(source, "/")) {
+      path = base + "/" + source;
+    }
+    return ReadFileToString(path);
+  }
+};
+
+/// Simulated network protocols: http/https/ftp resolve against the
+/// SimulatedRemoteStore so the exact same D-section configurations from
+/// the paper (figure 6) run without a network.
+class RemoteConnector : public Connector {
+ public:
+  explicit RemoteConnector(std::string protocol)
+      : protocol_(std::move(protocol)) {}
+  std::string protocol() const override { return protocol_; }
+  Result<std::string> Fetch(const DataSourceParams& params) override {
+    std::string source = params.Get("source");
+    if (source.empty()) {
+      return Status::InvalidArgument(protocol_ + " connector requires 'source'");
+    }
+    return SimulatedRemoteStore::Get().Fetch(source, params);
+  }
+
+ private:
+  std::string protocol_;
+};
+
+/// Simulated JDBC: `source` is the connection string, `query` the ad-hoc
+/// SQL; both concatenate into the remote-store key so tests can stage
+/// distinct result sets per query.
+class JdbcConnector : public Connector {
+ public:
+  std::string protocol() const override { return "jdbc"; }
+  Result<std::string> Fetch(const DataSourceParams& params) override {
+    std::string source = params.Get("source");
+    if (source.empty()) {
+      return Status::InvalidArgument("jdbc connector requires 'source'");
+    }
+    std::string key = source;
+    if (params.Has("query")) key += "?query=" + params.Get("query");
+    return SimulatedRemoteStore::Get().Fetch(key, params);
+  }
+};
+
+/// Inline payloads: `data:` carries the payload directly in the flow
+/// file. Handy for tests and tiny reference tables.
+class InlineConnector : public Connector {
+ public:
+  std::string protocol() const override { return "inline"; }
+  Result<std::string> Fetch(const DataSourceParams& params) override {
+    if (!params.Has("data")) {
+      return Status::InvalidArgument("inline connector requires 'data'");
+    }
+    return params.Get("data");
+  }
+};
+
+// ---------------------------------------------------------------------
+// Built-in formats
+// ---------------------------------------------------------------------
+
+class CsvFormat : public Format {
+ public:
+  explicit CsvFormat(std::string name, char separator)
+      : name_(std::move(name)), separator_(separator) {}
+  std::string name() const override { return name_; }
+  Result<TablePtr> Parse(const std::string& payload,
+                         const DataSourceParams& params,
+                         const std::optional<Schema>& declared,
+                         const std::vector<ColumnMapping>& mappings) override {
+    (void)mappings;  // CSV columns bind by name/position, not by path.
+    CsvOptions options;
+    options.separator = separator_;
+    std::string sep = params.Get("separator");
+    if (!sep.empty()) options.separator = sep[0];
+    options.has_header = params.Get("header", "true") != "false";
+    return ReadCsvString(payload, options, declared);
+  }
+
+ private:
+  std::string name_;
+  char separator_;
+};
+
+class JsonFormat : public Format {
+ public:
+  std::string name() const override { return "json"; }
+  Result<TablePtr> Parse(const std::string& payload,
+                         const DataSourceParams& params,
+                         const std::optional<Schema>& declared,
+                         const std::vector<ColumnMapping>& mappings) override {
+    // An optional `records_path` selects the array of records inside a
+    // wrapper document (e.g. stackexchange's {"items": [...]}).
+    std::string records_path = params.Get("records_path");
+    std::vector<JsonValue> records;
+    if (!records_path.empty()) {
+      SI_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(payload));
+      const JsonValue* array = doc.ResolvePath(records_path);
+      if (array == nullptr || !array->is_array()) {
+        return Status::ParseError("records_path '" + records_path +
+                                  "' does not resolve to an array");
+      }
+      records = array->array_items();
+    } else {
+      SI_ASSIGN_OR_RETURN(records, ParseJsonRecords(payload));
+    }
+
+    // Columns come from mappings when present, else from the declared
+    // schema (paths defaulting to the column names).
+    std::vector<ColumnMapping> effective = mappings;
+    if (effective.empty()) {
+      if (!declared.has_value()) {
+        return Status::InvalidArgument(
+            "json format requires a declared schema or => mappings");
+      }
+      for (const std::string& name : declared->names()) {
+        effective.push_back(ColumnMapping{name, name});
+      }
+    }
+    std::vector<std::string> names;
+    names.reserve(effective.size());
+    for (const auto& m : effective) names.push_back(m.column);
+    TableBuilder builder(Schema::FromNames(names));
+    for (const JsonValue& record : records) {
+      std::vector<Value> row;
+      row.reserve(effective.size());
+      for (const auto& m : effective) {
+        const std::string& path = m.path.empty() ? m.column : m.path;
+        const JsonValue* node = record.ResolvePath(path);
+        row.push_back(node == nullptr ? Value::Null() : node->ToTableValue());
+      }
+      SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+    }
+    return builder.Finish();
+  }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Registries
+// ---------------------------------------------------------------------
+
+ConnectorRegistry::ConnectorRegistry() {
+  connectors_["file"] = std::make_shared<FileConnector>();
+  connectors_["http"] = std::make_shared<RemoteConnector>("http");
+  connectors_["https"] = std::make_shared<RemoteConnector>("https");
+  connectors_["ftp"] = std::make_shared<RemoteConnector>("ftp");
+  connectors_["jdbc"] = std::make_shared<JdbcConnector>();
+  connectors_["inline"] = std::make_shared<InlineConnector>();
+}
+
+ConnectorRegistry& ConnectorRegistry::Default() {
+  static ConnectorRegistry* registry = new ConnectorRegistry;
+  return *registry;
+}
+
+Status ConnectorRegistry::Register(std::shared_ptr<Connector> connector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string protocol = connector->protocol();
+  if (connectors_.count(protocol) > 0) {
+    return Status::AlreadyExists("connector for protocol '" + protocol +
+                                 "' already registered");
+  }
+  connectors_[protocol] = std::move(connector);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Connector>> ConnectorRegistry::Get(
+    const std::string& protocol) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = connectors_.find(protocol);
+  if (it == connectors_.end()) {
+    return Status::NotFound("no connector for protocol '" + protocol + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> ConnectorRegistry::Protocols() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [protocol, connector] : connectors_) {
+    out.push_back(protocol);
+  }
+  return out;
+}
+
+FormatRegistry::FormatRegistry() {
+  formats_["csv"] = std::make_shared<CsvFormat>("csv", ',');
+  formats_["tsv"] = std::make_shared<CsvFormat>("tsv", '\t');
+  formats_["json"] = std::make_shared<JsonFormat>();
+}
+
+FormatRegistry& FormatRegistry::Default() {
+  static FormatRegistry* registry = new FormatRegistry;
+  return *registry;
+}
+
+Status FormatRegistry::Register(std::shared_ptr<Format> format) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string name = format->name();
+  if (formats_.count(name) > 0) {
+    return Status::AlreadyExists("format '" + name + "' already registered");
+  }
+  formats_[name] = std::move(format);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<Format>> FormatRegistry::Get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = formats_.find(name);
+  if (it == formats_.end()) {
+    return Status::NotFound("no format named '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> FormatRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, format] : formats_) out.push_back(name);
+  return out;
+}
+
+// ---------------------------------------------------------------------
+// LoadDataObject
+// ---------------------------------------------------------------------
+
+namespace {
+
+std::string InferProtocol(const DataSourceParams& params) {
+  std::string protocol = params.Get("protocol");
+  if (!protocol.empty()) return protocol;
+  std::string source = params.Get("source");
+  if (params.Has("data")) return "inline";
+  if (StartsWith(source, "https://")) return "https";
+  if (StartsWith(source, "http://")) return "http";
+  if (StartsWith(source, "ftp://")) return "ftp";
+  if (StartsWith(source, "jdbc:")) return "jdbc";
+  return "file";
+}
+
+std::string InferFormat(const DataSourceParams& params) {
+  std::string format = params.Get("format");
+  if (!format.empty()) return format;
+  std::string source = params.Get("source");
+  if (EndsWith(source, ".json")) return "json";
+  if (EndsWith(source, ".tsv")) return "tsv";
+  return "csv";
+}
+
+}  // namespace
+
+Result<TablePtr> LoadDataObject(const DataSourceParams& params,
+                                const std::optional<Schema>& declared,
+                                const std::vector<ColumnMapping>& mappings,
+                                ConnectorRegistry* connectors,
+                                FormatRegistry* formats) {
+  if (connectors == nullptr) connectors = &ConnectorRegistry::Default();
+  if (formats == nullptr) formats = &FormatRegistry::Default();
+  SI_ASSIGN_OR_RETURN(std::shared_ptr<Connector> connector,
+                      connectors->Get(InferProtocol(params)));
+  SI_ASSIGN_OR_RETURN(std::string payload, connector->Fetch(params));
+  SI_ASSIGN_OR_RETURN(std::shared_ptr<Format> format,
+                      formats->Get(InferFormat(params)));
+  return format->Parse(payload, params, declared, mappings);
+}
+
+}  // namespace shareinsights

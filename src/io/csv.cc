@@ -1,0 +1,214 @@
+#include "io/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+namespace {
+
+// Splits a CSV payload into rows of fields, honouring RFC 4180 quoting.
+std::vector<std::vector<std::string>> SplitCsv(const std::string& payload,
+                                               char sep) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> row;
+  std::string field;
+  bool in_quotes = false;
+  bool row_has_content = false;
+  for (size_t i = 0; i < payload.size(); ++i) {
+    char c = payload[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < payload.size() && payload[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      row_has_content = true;
+      continue;
+    }
+    if (c == sep) {
+      row.push_back(std::move(field));
+      field.clear();
+      row_has_content = true;
+      continue;
+    }
+    if (c == '\r') continue;
+    if (c == '\n') {
+      if (row_has_content || !field.empty() || !row.empty()) {
+        row.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(row));
+        row.clear();
+      }
+      row_has_content = false;
+      continue;
+    }
+    field.push_back(c);
+    row_has_content = true;
+  }
+  if (row_has_content || !field.empty() || !row.empty()) {
+    row.push_back(std::move(field));
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+Value CellToValue(const std::string& text) {
+  if (text.empty()) return Value::Null();
+  return Value(text);
+}
+
+}  // namespace
+
+Result<TablePtr> ReadCsvString(const std::string& payload,
+                               const CsvOptions& options,
+                               const std::optional<Schema>& declared) {
+  std::vector<std::vector<std::string>> rows =
+      SplitCsv(payload, options.separator);
+
+  Schema schema;
+  size_t first_data_row = 0;
+  // Maps output column -> payload column (SIZE_MAX = always null).
+  std::vector<size_t> source_index;
+
+  if (options.has_header) {
+    if (rows.empty()) {
+      if (declared.has_value()) return Table::Empty(*declared);
+      return Status::ParseError("CSV payload is empty and no schema declared");
+    }
+    std::vector<std::string> header;
+    header.reserve(rows[0].size());
+    for (const std::string& h : rows[0]) header.push_back(Trim(h));
+    first_data_row = 1;
+    if (declared.has_value()) {
+      schema = *declared;
+      source_index.resize(schema.num_fields(), SIZE_MAX);
+      for (size_t c = 0; c < schema.num_fields(); ++c) {
+        for (size_t h = 0; h < header.size(); ++h) {
+          if (header[h] == schema.field(c).name) {
+            source_index[c] = h;
+            break;
+          }
+        }
+        if (source_index[c] == SIZE_MAX) {
+          return Status::SchemaError("declared column '" +
+                                     schema.field(c).name +
+                                     "' not present in CSV header [" +
+                                     Join(header, ", ") + "]");
+        }
+      }
+    } else {
+      schema = Schema::FromNames(header);
+      source_index.resize(header.size());
+      for (size_t c = 0; c < header.size(); ++c) source_index[c] = c;
+    }
+  } else {
+    if (!declared.has_value()) {
+      return Status::InvalidArgument(
+          "CSV without a header requires a declared schema");
+    }
+    schema = *declared;
+    source_index.resize(schema.num_fields());
+    for (size_t c = 0; c < schema.num_fields(); ++c) source_index[c] = c;
+  }
+
+  TableBuilder builder(schema);
+  for (size_t r = first_data_row; r < rows.size(); ++r) {
+    const auto& raw = rows[r];
+    std::vector<Value> row;
+    row.reserve(schema.num_fields());
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      size_t src = source_index[c];
+      if (src == SIZE_MAX || src >= raw.size()) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(CellToValue(raw[src]));
+      }
+    }
+    SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+  }
+  SI_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
+  if (options.infer_types) return InferColumnTypes(table);
+  return table;
+}
+
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options,
+                             const std::optional<Schema>& declared) {
+  SI_ASSIGN_OR_RETURN(std::string payload, ReadFileToString(path));
+  Result<TablePtr> table = ReadCsvString(payload, options, declared);
+  if (!table.ok()) return table.status().WithContext("reading " + path);
+  return table;
+}
+
+std::string WriteCsvString(const Table& table, char separator) {
+  std::ostringstream out;
+  auto write_field = [&](const std::string& text) {
+    bool needs_quote = text.find(separator) != std::string::npos ||
+                       text.find('"') != std::string::npos ||
+                       text.find('\n') != std::string::npos;
+    if (!needs_quote) {
+      out << text;
+      return;
+    }
+    out << '"';
+    for (char c : text) {
+      if (c == '"') out << '"';
+      out << c;
+    }
+    out << '"';
+  };
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    if (c > 0) out << separator;
+    write_field(table.schema().field(c).name);
+  }
+  out << '\n';
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out << separator;
+      write_field(table.at(r, c).ToString());
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char separator) {
+  return WriteStringToFile(WriteCsvString(table, separator), path);
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Status WriteStringToFile(const std::string& text, const std::string& path) {
+  std::filesystem::path p(path);
+  if (p.has_parent_path()) {
+    std::error_code ec;
+    std::filesystem::create_directories(p.parent_path(), ec);
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot open '" + path + "' for writing");
+  out << text;
+  if (!out.good()) return Status::IoError("write to '" + path + "' failed");
+  return Status::OK();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,56 @@
+#ifndef SHAREINSIGHTS_IO_CSV_H_
+#define SHAREINSIGHTS_IO_CSV_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Options for CSV/TSV ingestion, mirroring the D-section knobs
+/// (`separator: ','`, declared schema).
+struct CsvOptions {
+  char separator = ',';
+  /// When true the first row is a header naming columns; a declared
+  /// schema, if also present, must match by name (order may differ).
+  bool has_header = true;
+  /// Infer int64/double/bool column types after reading (on by default;
+  /// the engine's tasks want typed numeric columns).
+  bool infer_types = true;
+};
+
+/// Parses a CSV payload. Quoting follows RFC 4180: fields may be wrapped
+/// in double quotes, with "" as an embedded quote; separators and newlines
+/// inside quotes are literal.
+///
+/// When `declared` is provided it fixes the output schema: with a header,
+/// columns are matched by name (extra payload columns dropped); without a
+/// header, columns bind positionally and the payload arity must match.
+Result<TablePtr> ReadCsvString(const std::string& payload,
+                               const CsvOptions& options,
+                               const std::optional<Schema>& declared);
+
+/// Reads and parses a CSV file from disk.
+Result<TablePtr> ReadCsvFile(const std::string& path,
+                             const CsvOptions& options,
+                             const std::optional<Schema>& declared);
+
+/// Serializes a table to CSV with a header row, quoting fields that
+/// contain the separator, quotes, or newlines.
+std::string WriteCsvString(const Table& table, char separator = ',');
+
+/// Writes WriteCsvString output to a file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    char separator = ',');
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Writes a string to a file, creating parent directories if needed.
+Status WriteStringToFile(const std::string& text, const std::string& path);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_IO_CSV_H_

@@ -1,0 +1,49 @@
+#ifndef SHAREINSIGHTS_OPS_AGGREGATE_H_
+#define SHAREINSIGHTS_OPS_AGGREGATE_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace shareinsights {
+
+/// Streaming accumulator for one aggregate over one group: "transforming
+/// a bag of values into a point value" (the paper's extension category 2,
+/// user-defined aggregates). A fresh instance is created per group.
+class Aggregator {
+ public:
+  virtual ~Aggregator() = default;
+  virtual Status Update(const Value& value) = 0;
+  virtual Result<Value> Finalize() = 0;
+};
+
+using AggregatorFactory = std::function<std::unique_ptr<Aggregator>()>;
+
+/// Registry of aggregate operators. Pre-loaded with sum, count, avg, min,
+/// max, count_distinct, first, last; extendable with user-defined
+/// aggregates which are "treated on par with system provided tasks".
+class AggregateRegistry {
+ public:
+  static AggregateRegistry& Default();
+
+  AggregateRegistry();
+
+  Status Register(const std::string& name, AggregatorFactory factory);
+  Result<AggregatorFactory> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, AggregatorFactory> factories_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_AGGREGATE_H_

@@ -1,0 +1,90 @@
+#include "ops/filter.h"
+
+#include <unordered_set>
+
+namespace shareinsights {
+
+Result<TableOperatorPtr> FilterExpressionOp::Create(
+    const std::string& expression) {
+  SI_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(expression));
+  return TableOperatorPtr(new FilterExpressionOp(std::move(expr)));
+}
+
+Result<Schema> FilterExpressionOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("filter_by expects exactly 1 input");
+  }
+  // Validate column references against the input schema now.
+  SI_RETURN_IF_ERROR(BoundExpr::Bind(expr_, inputs[0]).status());
+  return inputs[0];
+}
+
+Result<TablePtr> FilterExpressionOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(BoundExpr bound,
+                      BoundExpr::Bind(expr_, input->schema()));
+  TableBuilder builder(input->schema());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    SI_ASSIGN_OR_RETURN(bool keep, bound.EvalPredicate(*input, r));
+    if (keep) builder.AppendRowFrom(*input, r);
+  }
+  return builder.Finish();
+}
+
+Result<Schema> FilterValuesOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("filter_by expects exactly 1 input");
+  }
+  for (const ColumnFilter& f : filters_) {
+    SI_RETURN_IF_ERROR(inputs[0].RequireIndex(f.column).status());
+  }
+  return inputs[0];
+}
+
+Result<TablePtr> FilterValuesOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  struct Bound {
+    size_t index;
+    const ColumnFilter* filter;
+    std::unordered_set<Value, ValueHash> allowed;
+  };
+  std::vector<Bound> bound;
+  for (const ColumnFilter& f : filters_) {
+    if (f.allowed.empty()) continue;  // no selection = no constraint
+    SI_ASSIGN_OR_RETURN(size_t idx, input->schema().RequireIndex(f.column));
+    Bound b{idx, &f, {}};
+    if (!f.is_range) {
+      b.allowed.insert(f.allowed.begin(), f.allowed.end());
+    } else if (f.allowed.size() != 2) {
+      return Status::InvalidArgument(
+          "range filter on '" + f.column + "' needs exactly 2 bounds, got " +
+          std::to_string(f.allowed.size()));
+    }
+    bound.push_back(std::move(b));
+  }
+  TableBuilder builder(input->schema());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    bool keep = true;
+    for (const Bound& b : bound) {
+      const Value& v = input->at(r, b.index);
+      if (b.filter->is_range) {
+        if (v.is_null() || v < b.filter->allowed[0] ||
+            v > b.filter->allowed[1]) {
+          keep = false;
+          break;
+        }
+      } else if (b.allowed.count(v) == 0) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) builder.AppendRowFrom(*input, r);
+  }
+  return builder.Finish();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,61 @@
+#ifndef SHAREINSIGHTS_OPS_FILTER_H_
+#define SHAREINSIGHTS_OPS_FILTER_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// `filter_by` with a `filter_expression`, e.g. `rating < 3` (fig. 7).
+/// Keeps rows where the predicate is true; schema is preserved.
+class FilterExpressionOp : public TableOperator {
+ public:
+  /// Parses the expression eagerly so configuration errors surface at
+  /// compile time, not run time.
+  static Result<TableOperatorPtr> Create(const std::string& expression);
+
+  std::string name() const override { return "filter_by"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+  const ExprPtr& expression() const { return expr_; }
+
+ private:
+  explicit FilterExpressionOp(ExprPtr expr) : expr_(std::move(expr)) {}
+  ExprPtr expr_;
+};
+
+/// `filter_by` with explicit allowed values per column — the run-time
+/// shape of an interaction-flow filter (fig. 15), where the values come
+/// from another widget's current selection. An empty value list for a
+/// column means "no constraint" (nothing selected = show everything),
+/// matching dashboard semantics.
+class FilterValuesOp : public TableOperator {
+ public:
+  struct ColumnFilter {
+    std::string column;
+    std::vector<Value> allowed;
+    /// When true, `allowed` is interpreted as an inclusive [min, max]
+    /// range (2 values) — how sliders and date-range widgets filter.
+    bool is_range = false;
+  };
+
+  explicit FilterValuesOp(std::vector<ColumnFilter> filters)
+      : filters_(std::move(filters)) {}
+
+  std::string name() const override { return "filter_by"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+  const std::vector<ColumnFilter>& filters() const { return filters_; }
+
+ private:
+  std::vector<ColumnFilter> filters_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_FILTER_H_

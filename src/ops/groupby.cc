@@ -1,0 +1,155 @@
+#include "ops/groupby.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace shareinsights {
+
+namespace {
+
+/// Hash over a row's key columns, combined with boost-style mixing.
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+ValueType AggregateOutputType(const std::string& op, ValueType input_type) {
+  if (op == "count" || op == "count_distinct") return ValueType::kInt64;
+  if (op == "avg") return ValueType::kDouble;
+  return input_type;
+}
+
+}  // namespace
+
+Result<TableOperatorPtr> GroupByOp::Create(
+    std::vector<std::string> keys, std::vector<AggregateSpec> aggregates,
+    bool orderby_aggregates, AggregateRegistry* registry) {
+  if (registry == nullptr) registry = &AggregateRegistry::Default();
+  if (keys.empty()) {
+    return Status::InvalidArgument("groupby requires at least one key");
+  }
+  if (aggregates.empty()) {
+    aggregates.push_back(AggregateSpec{"count", "", "count"});
+  }
+  for (const AggregateSpec& spec : aggregates) {
+    if (!registry->Contains(spec.op)) {
+      return Status::NotFound("no aggregate operator named '" + spec.op +
+                              "'");
+    }
+    if (spec.out_field.empty()) {
+      return Status::InvalidArgument("aggregate '" + spec.op +
+                                     "' needs an out_field");
+    }
+  }
+  return TableOperatorPtr(new GroupByOp(std::move(keys), std::move(aggregates),
+                                        orderby_aggregates, registry));
+}
+
+Result<Schema> GroupByOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("groupby expects exactly 1 input");
+  }
+  const Schema& in = inputs[0];
+  std::vector<Field> fields;
+  for (const std::string& key : keys_) {
+    SI_ASSIGN_OR_RETURN(size_t idx, in.RequireIndex(key));
+    fields.push_back(in.field(idx));
+  }
+  for (const AggregateSpec& spec : aggregates_) {
+    ValueType input_type = ValueType::kInt64;
+    if (!spec.apply_on.empty()) {
+      SI_ASSIGN_OR_RETURN(size_t idx, in.RequireIndex(spec.apply_on));
+      input_type = in.field(idx).type;
+    }
+    fields.push_back(
+        Field{spec.out_field, AggregateOutputType(spec.op, input_type)});
+  }
+  return Schema(std::move(fields));
+}
+
+Result<TablePtr> GroupByOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema({input->schema()}));
+
+  std::vector<size_t> key_idx(keys_.size());
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    SI_ASSIGN_OR_RETURN(key_idx[k], input->schema().RequireIndex(keys_[k]));
+  }
+  // apply_on column index per aggregate; SIZE_MAX = count over the first
+  // key column (counts rows).
+  std::vector<size_t> agg_idx(aggregates_.size(), SIZE_MAX);
+  std::vector<AggregatorFactory> factories;
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (!aggregates_[a].apply_on.empty()) {
+      SI_ASSIGN_OR_RETURN(agg_idx[a],
+                          input->schema().RequireIndex(aggregates_[a].apply_on));
+    }
+    SI_ASSIGN_OR_RETURN(AggregatorFactory factory,
+                        registry_->Get(aggregates_[a].op));
+    factories.push_back(std::move(factory));
+  }
+
+  struct Group {
+    size_t order;
+    std::vector<std::unique_ptr<Aggregator>> aggs;
+  };
+  std::unordered_map<std::vector<Value>, Group, KeyHash> groups;
+  std::vector<const std::vector<Value>*> ordered_keys;
+
+  std::vector<Value> key(keys_.size());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    for (size_t k = 0; k < key_idx.size(); ++k) {
+      key[k] = input->at(r, key_idx[k]);
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) {
+      it->second.order = ordered_keys.size();
+      ordered_keys.push_back(&it->first);
+      for (const AggregatorFactory& factory : factories) {
+        it->second.aggs.push_back(factory());
+      }
+    }
+    for (size_t a = 0; a < aggregates_.size(); ++a) {
+      const Value& v = agg_idx[a] == SIZE_MAX
+                           ? input->at(r, key_idx[0])
+                           : input->at(r, agg_idx[a]);
+      SI_RETURN_IF_ERROR(it->second.aggs[a]->Update(v));
+    }
+  }
+
+  // Materialize rows in group-encounter order.
+  TableBuilder builder(out_schema);
+  for (const std::vector<Value>* group_key : ordered_keys) {
+    Group& group = groups.at(*group_key);
+    std::vector<Value> row = *group_key;
+    for (auto& agg : group.aggs) {
+      SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+      row.push_back(std::move(v));
+    }
+    SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+  }
+  SI_ASSIGN_OR_RETURN(TablePtr result, builder.Finish());
+
+  if (orderby_aggregates_ && !aggregates_.empty()) {
+    // Sort descending by the first aggregate column.
+    size_t agg_col = keys_.size();
+    std::vector<size_t> order(result->num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return result->at(b, agg_col) < result->at(a, agg_col);
+    });
+    TableBuilder sorted(result->schema());
+    for (size_t i : order) sorted.AppendRowFrom(*result, i);
+    return sorted.Finish();
+  }
+  return result;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,166 @@
+#include "ops/join.h"
+
+#include <unordered_map>
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+Result<JoinKind> ParseJoinKind(const std::string& text) {
+  std::string norm = ToLower(Trim(text));
+  norm = ReplaceAll(norm, " ", "_");
+  if (norm.empty() || norm == "inner") return JoinKind::kInner;
+  if (norm == "left_outer" || norm == "left") return JoinKind::kLeftOuter;
+  if (norm == "right_outer" || norm == "right") return JoinKind::kRightOuter;
+  if (norm == "full_outer" || norm == "full" || norm == "outer") {
+    return JoinKind::kFullOuter;
+  }
+  return Status::InvalidArgument("unknown join_condition '" + text + "'");
+}
+
+Result<TableOperatorPtr> JoinOp::Create(std::vector<std::string> left_keys,
+                                        std::vector<std::string> right_keys,
+                                        JoinKind kind,
+                                        std::vector<Projection> projections) {
+  if (left_keys.empty() || left_keys.size() != right_keys.size()) {
+    return Status::InvalidArgument(
+        "join requires equal, non-empty key lists on both sides");
+  }
+  for (const Projection& p : projections) {
+    if (p.side != 0 && p.side != 1) {
+      return Status::InvalidArgument("join projection side must be 0 or 1");
+    }
+  }
+  return TableOperatorPtr(new JoinOp(std::move(left_keys),
+                                     std::move(right_keys), kind,
+                                     std::move(projections)));
+}
+
+Result<std::vector<JoinOp::Projection>> JoinOp::EffectiveProjections(
+    const Schema& left, const Schema& right) const {
+  if (!projections_.empty()) {
+    for (const Projection& p : projections_) {
+      const Schema& side = p.side == 0 ? left : right;
+      SI_RETURN_IF_ERROR(side.RequireIndex(p.column).status());
+    }
+    return projections_;
+  }
+  std::vector<Projection> out;
+  for (const std::string& name : left.names()) {
+    out.push_back(Projection{0, name, name});
+  }
+  for (const std::string& name : right.names()) {
+    if (!left.Contains(name)) out.push_back(Projection{1, name, name});
+  }
+  return out;
+}
+
+Result<Schema> JoinOp::OutputSchema(const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 2) {
+    return Status::SchemaError("join expects exactly 2 inputs");
+  }
+  for (const std::string& key : left_keys_) {
+    SI_RETURN_IF_ERROR(inputs[0].RequireIndex(key).status());
+  }
+  for (const std::string& key : right_keys_) {
+    SI_RETURN_IF_ERROR(inputs[1].RequireIndex(key).status());
+  }
+  SI_ASSIGN_OR_RETURN(std::vector<Projection> projections,
+                      EffectiveProjections(inputs[0], inputs[1]));
+  std::vector<Field> fields;
+  for (const Projection& p : projections) {
+    const Schema& side = p.side == 0 ? inputs[0] : inputs[1];
+    SI_ASSIGN_OR_RETURN(size_t idx, side.RequireIndex(p.column));
+    fields.push_back(Field{p.output, side.field(idx).type});
+  }
+  return Schema(std::move(fields));
+}
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+}  // namespace
+
+Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs) const {
+  const TablePtr& left = inputs[0];
+  const TablePtr& right = inputs[1];
+  SI_ASSIGN_OR_RETURN(Schema out_schema,
+                      OutputSchema({left->schema(), right->schema()}));
+  SI_ASSIGN_OR_RETURN(std::vector<Projection> projections,
+                      EffectiveProjections(left->schema(), right->schema()));
+
+  std::vector<size_t> lk(left_keys_.size());
+  std::vector<size_t> rk(right_keys_.size());
+  for (size_t k = 0; k < left_keys_.size(); ++k) {
+    SI_ASSIGN_OR_RETURN(lk[k], left->schema().RequireIndex(left_keys_[k]));
+    SI_ASSIGN_OR_RETURN(rk[k], right->schema().RequireIndex(right_keys_[k]));
+  }
+  std::vector<std::pair<int, size_t>> proj_idx;  // (side, column index)
+  for (const Projection& p : projections) {
+    const Schema& side = p.side == 0 ? left->schema() : right->schema();
+    SI_ASSIGN_OR_RETURN(size_t idx, side.RequireIndex(p.column));
+    proj_idx.emplace_back(p.side, idx);
+  }
+
+  // Build a hash index over the right side (rows per key).
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash> index;
+  std::vector<Value> key(rk.size());
+  for (size_t r = 0; r < right->num_rows(); ++r) {
+    for (size_t k = 0; k < rk.size(); ++k) key[k] = right->at(r, rk[k]);
+    index[key].push_back(r);
+  }
+
+  std::vector<bool> right_matched(right->num_rows(), false);
+  TableBuilder builder(out_schema);
+
+  auto emit = [&](ptrdiff_t lrow, ptrdiff_t rrow) -> Status {
+    std::vector<Value> row;
+    row.reserve(proj_idx.size());
+    for (const auto& [side, idx] : proj_idx) {
+      if (side == 0) {
+        row.push_back(lrow < 0 ? Value::Null()
+                               : left->at(static_cast<size_t>(lrow), idx));
+      } else {
+        row.push_back(rrow < 0 ? Value::Null()
+                               : right->at(static_cast<size_t>(rrow), idx));
+      }
+    }
+    return builder.AppendRow(std::move(row));
+  };
+
+  key.assign(lk.size(), Value());
+  for (size_t l = 0; l < left->num_rows(); ++l) {
+    for (size_t k = 0; k < lk.size(); ++k) key[k] = left->at(l, lk[k]);
+    auto it = index.find(key);
+    if (it == index.end()) {
+      if (kind_ == JoinKind::kLeftOuter || kind_ == JoinKind::kFullOuter) {
+        SI_RETURN_IF_ERROR(emit(static_cast<ptrdiff_t>(l), -1));
+      }
+      continue;
+    }
+    for (size_t r : it->second) {
+      right_matched[r] = true;
+      SI_RETURN_IF_ERROR(
+          emit(static_cast<ptrdiff_t>(l), static_cast<ptrdiff_t>(r)));
+    }
+  }
+  if (kind_ == JoinKind::kRightOuter || kind_ == JoinKind::kFullOuter) {
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      if (!right_matched[r]) {
+        SI_RETURN_IF_ERROR(emit(-1, static_cast<ptrdiff_t>(r)));
+      }
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace shareinsights

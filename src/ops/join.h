@@ -1,0 +1,70 @@
+#ifndef SHAREINSIGHTS_OPS_JOIN_H_
+#define SHAREINSIGHTS_OPS_JOIN_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// Join condition keywords accepted by the `join` task ("LEFT OUTER" in
+/// the paper's listings; normalized to lowercase with underscores).
+enum class JoinKind { kInner, kLeftOuter, kRightOuter, kFullOuter };
+
+Result<JoinKind> ParseJoinKind(const std::string& text);
+
+/// Hash join of two inputs (fig. of the IPL appendix):
+///   left:  players_tweets by player
+///   right: team_players by player
+///   join_condition: left outer
+///   project:
+///     players_tweets_date: date      # <input>_<column>: <output name>
+///     team_players_team:   team
+///
+/// Projections name input columns with the `<input-name>_<column>` prefix
+/// convention from the paper; Create() takes them pre-resolved to a side.
+class JoinOp : public TableOperator {
+ public:
+  struct Projection {
+    int side;            // 0 = left input, 1 = right input
+    std::string column;  // column in that input
+    std::string output;  // output column name
+  };
+
+  /// `left_keys`/`right_keys` are positional composite-key columns; when
+  /// `projections` is empty every left column is emitted followed by
+  /// right columns whose names don't collide.
+  static Result<TableOperatorPtr> Create(std::vector<std::string> left_keys,
+                                         std::vector<std::string> right_keys,
+                                         JoinKind kind,
+                                         std::vector<Projection> projections);
+
+  std::string name() const override { return "join"; }
+  size_t num_inputs() const override { return 2; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+  JoinKind kind() const { return kind_; }
+
+ private:
+  JoinOp(std::vector<std::string> left_keys,
+         std::vector<std::string> right_keys, JoinKind kind,
+         std::vector<Projection> projections)
+      : left_keys_(std::move(left_keys)),
+        right_keys_(std::move(right_keys)),
+        kind_(kind),
+        projections_(std::move(projections)) {}
+
+  Result<std::vector<Projection>> EffectiveProjections(
+      const Schema& left, const Schema& right) const;
+
+  std::vector<std::string> left_keys_;
+  std::vector<std::string> right_keys_;
+  JoinKind kind_;
+  std::vector<Projection> projections_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_JOIN_H_

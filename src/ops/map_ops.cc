@@ -1,0 +1,330 @@
+#include "ops/map_ops.h"
+
+#include <unordered_set>
+
+#include "common/date_util.h"
+#include "common/string_util.h"
+#include "io/csv.h"
+
+namespace shareinsights {
+
+// ---------------------------------------------------------------------
+// Dictionary
+// ---------------------------------------------------------------------
+
+void Dictionary::Add(const std::string& alias, const std::string& canonical) {
+  aliases_[ToLower(Trim(alias))] = canonical;
+}
+
+Result<Dictionary> Dictionary::LoadFile(const std::string& path) {
+  SI_ASSIGN_OR_RETURN(std::string text, ReadFileToString(path));
+  if (EndsWith(path, ".csv")) {
+    Dictionary dict;
+    for (const std::string& line : Split(text, '\n')) {
+      std::string trimmed = Trim(line);
+      if (trimmed.empty() || trimmed[0] == '#') continue;
+      std::vector<std::string> cells = Split(trimmed, ',');
+      if (cells.size() < 2) {
+        return Status::ParseError("dictionary row '" + trimmed +
+                                  "' in " + path +
+                                  " needs 'alias,canonical'");
+      }
+      if (Trim(cells[0]) == "alias" && Trim(cells[1]) == "canonical") {
+        continue;  // header
+      }
+      dict.Add(cells[0], Trim(cells[1]));
+    }
+    return dict;
+  }
+  return FromText(text);
+}
+
+Result<Dictionary> Dictionary::FromText(const std::string& text) {
+  Dictionary dict;
+  for (const std::string& line : Split(text, '\n')) {
+    std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    size_t colon = trimmed.find(':');
+    if (colon == std::string::npos) {
+      dict.Add(trimmed, trimmed);
+      continue;
+    }
+    std::string canonical = Trim(trimmed.substr(0, colon));
+    dict.Add(canonical, canonical);
+    for (const std::string& alias : Split(trimmed.substr(colon + 1), ',')) {
+      std::string a = Trim(alias);
+      if (!a.empty()) dict.Add(a, canonical);
+    }
+  }
+  return dict;
+}
+
+std::vector<std::string> Dictionary::Extract(const std::string& text) const {
+  // Tokenize the text, then match aliases of 1..3 consecutive words
+  // (multi-word aliases like "rohit sharma" are common in gazetteers).
+  std::vector<std::string> words = ExtractWords(text);
+  std::vector<std::string> found;
+  std::unordered_set<std::string> seen;
+  for (size_t i = 0; i < words.size(); ++i) {
+    std::string candidate;
+    for (size_t len = 1; len <= 3 && i + len <= words.size(); ++len) {
+      if (len > 1) candidate += ' ';
+      candidate += words[i + len - 1];
+      auto it = aliases_.find(candidate);
+      if (it != aliases_.end() && seen.insert(it->second).second) {
+        found.push_back(it->second);
+      }
+    }
+  }
+  return found;
+}
+
+// ---------------------------------------------------------------------
+// Shared helpers
+// ---------------------------------------------------------------------
+
+namespace {
+
+Result<Schema> AppendColumnSchema(const std::vector<Schema>& inputs,
+                                  const std::string& op_name,
+                                  const std::string& transform_column,
+                                  const std::string& output_column,
+                                  ValueType output_type) {
+  if (inputs.size() != 1) {
+    return Status::SchemaError(op_name + " expects exactly 1 input");
+  }
+  SI_RETURN_IF_ERROR(inputs[0].RequireIndex(transform_column).status());
+  Schema out = inputs[0];
+  out.AddField(Field{output_column, output_type});
+  return out;
+}
+
+// Rebuilds a row-preserving table with one appended/overwritten column.
+Result<TablePtr> AppendColumn(const TablePtr& input,
+                              const std::string& output_column,
+                              ValueType output_type,
+                              std::vector<Value> values) {
+  Schema out_schema = input->schema();
+  out_schema.AddField(Field{output_column, output_type});
+  std::vector<std::vector<Value>> columns;
+  auto existing = input->schema().IndexOf(output_column);
+  for (size_t c = 0; c < input->num_columns(); ++c) {
+    if (existing.has_value() && c == *existing) {
+      columns.push_back(std::move(values));
+    } else {
+      columns.push_back(input->column(c));
+    }
+  }
+  if (!existing.has_value()) columns.push_back(std::move(values));
+  return Table::Create(std::move(out_schema), std::move(columns));
+}
+
+// Explode: every source row yields len(matches[r]) output rows with the
+// output column set to each match.
+Result<TablePtr> ExplodeColumn(const TablePtr& input,
+                               const std::string& output_column,
+                               const std::vector<std::vector<std::string>>&
+                                   matches) {
+  Schema out_schema = input->schema();
+  out_schema.AddField(Field{output_column, ValueType::kString});
+  TableBuilder builder(out_schema);
+  bool appends = !input->schema().Contains(output_column);
+  auto out_idx = out_schema.IndexOf(output_column);
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    for (const std::string& match : matches[r]) {
+      std::vector<Value> row = input->Row(r);
+      if (appends) {
+        row.push_back(Value(match));
+      } else {
+        row[*out_idx] = Value(match);
+      }
+      SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+    }
+  }
+  return builder.Finish();
+}
+
+const std::unordered_set<std::string>& Stopwords() {
+  static const auto* words = new std::unordered_set<std::string>{
+      "the", "and", "for", "are", "but", "not", "you", "all", "can", "had",
+      "her", "was", "one", "our", "out", "day", "get", "has", "him", "his",
+      "how", "now", "see", "two", "who", "with", "this", "that", "from",
+      "they", "will", "have", "what", "when", "your", "just", "about",
+      "there", "their", "them", "then", "than", "were", "been", "being",
+      "http", "https", "www", "com"};
+  return *words;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// MapDateOp
+// ---------------------------------------------------------------------
+
+Result<Schema> MapDateOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  return AppendColumnSchema(inputs, name(), transform_column_, output_column_,
+                            ValueType::kString);
+}
+
+Result<TablePtr> MapDateOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(size_t idx,
+                      input->schema().RequireIndex(transform_column_));
+  std::vector<Value> out;
+  out.reserve(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    const Value& v = input->at(r, idx);
+    if (v.is_null()) {
+      out.push_back(Value::Null());
+      continue;
+    }
+    Result<DateTime> parsed = ParseDateTime(v.ToString(), input_format_);
+    if (!parsed.ok()) {
+      return parsed.status().WithContext("map:date on column '" +
+                                         transform_column_ + "' row " +
+                                         std::to_string(r));
+    }
+    out.push_back(Value(FormatDateTime(*parsed, output_format_)));
+  }
+  return AppendColumn(input, output_column_, ValueType::kString,
+                      std::move(out));
+}
+
+// ---------------------------------------------------------------------
+// MapExtractOp
+// ---------------------------------------------------------------------
+
+Result<Schema> MapExtractOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  return AppendColumnSchema(inputs, name(), transform_column_, output_column_,
+                            ValueType::kString);
+}
+
+Result<TablePtr> MapExtractOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(size_t idx,
+                      input->schema().RequireIndex(transform_column_));
+  std::vector<std::vector<std::string>> matches(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    const Value& v = input->at(r, idx);
+    if (!v.is_null()) matches[r] = dict_.Extract(v.ToString());
+  }
+  return ExplodeColumn(input, output_column_, matches);
+}
+
+// ---------------------------------------------------------------------
+// MapExtractLocationOp
+// ---------------------------------------------------------------------
+
+Result<Schema> MapExtractLocationOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  return AppendColumnSchema(inputs, name(), transform_column_, output_column_,
+                            ValueType::kString);
+}
+
+Result<TablePtr> MapExtractLocationOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(size_t idx,
+                      input->schema().RequireIndex(transform_column_));
+  std::vector<std::vector<std::string>> matches(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    const Value& v = input->at(r, idx);
+    if (v.is_null()) continue;
+    // A location string geocodes to at most one region: first match wins.
+    std::vector<std::string> found = gazetteer_.Extract(v.ToString());
+    if (!found.empty()) matches[r].push_back(found[0]);
+  }
+  return ExplodeColumn(input, output_column_, matches);
+}
+
+// ---------------------------------------------------------------------
+// MapExtractWordsOp
+// ---------------------------------------------------------------------
+
+Result<Schema> MapExtractWordsOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  return AppendColumnSchema(inputs, name(), transform_column_, output_column_,
+                            ValueType::kString);
+}
+
+Result<TablePtr> MapExtractWordsOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(size_t idx,
+                      input->schema().RequireIndex(transform_column_));
+  std::vector<std::vector<std::string>> matches(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    const Value& v = input->at(r, idx);
+    if (v.is_null()) continue;
+    for (std::string& word : ExtractWords(v.ToString())) {
+      if (word.size() < min_length_) continue;
+      if (Stopwords().count(word) > 0) continue;
+      matches[r].push_back(std::move(word));
+    }
+  }
+  return ExplodeColumn(input, output_column_, matches);
+}
+
+// ---------------------------------------------------------------------
+// MapScalarOp
+// ---------------------------------------------------------------------
+
+Result<Schema> MapScalarOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  return AppendColumnSchema(inputs, name(), transform_column_, output_column_,
+                            ValueType::kString);
+}
+
+Result<TablePtr> MapScalarOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(size_t idx,
+                      input->schema().RequireIndex(transform_column_));
+  std::vector<Value> out;
+  out.reserve(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    Result<Value> v = fn_(input->at(r, idx), config_);
+    if (!v.ok()) {
+      return v.status().WithContext(name() + " row " + std::to_string(r));
+    }
+    out.push_back(std::move(*v));
+  }
+  return AppendColumn(input, output_column_, ValueType::kString,
+                      std::move(out));
+}
+
+// ---------------------------------------------------------------------
+// ParallelOp
+// ---------------------------------------------------------------------
+
+Result<Schema> ParallelOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("parallel expects exactly 1 input");
+  }
+  Schema schema = inputs[0];
+  for (const TableOperatorPtr& member : members_) {
+    SI_ASSIGN_OR_RETURN(schema, member->OutputSchema({schema}));
+  }
+  return schema;
+}
+
+Result<TablePtr> ParallelOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  TablePtr table = inputs[0];
+  for (const TableOperatorPtr& member : members_) {
+    Result<TablePtr> next = member->Execute({table});
+    if (!next.ok()) {
+      return next.status().WithContext("in parallel member " +
+                                       member->name());
+    }
+    table = std::move(*next);
+  }
+  return table;
+}
+
+}  // namespace shareinsights

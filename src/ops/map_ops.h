@@ -1,0 +1,174 @@
+#ifndef SHAREINSIGHTS_OPS_MAP_OPS_H_
+#define SHAREINSIGHTS_OPS_MAP_OPS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// Alias -> canonical-name dictionary backing the `extract` operator
+/// ("which maps the multitude of player names - abbreviations, nick names
+/// etc - to a standardized player name"). Matching is case-insensitive on
+/// word boundaries.
+class Dictionary {
+ public:
+  /// Adds one alias for a canonical name.
+  void Add(const std::string& alias, const std::string& canonical);
+
+  /// Loads a dictionary file. Two layouts are recognized:
+  ///  *.csv — rows of `alias,canonical` (header optional: detected when
+  ///          the first row is exactly `alias,canonical`);
+  ///  *.txt — lines of `canonical: alias1, alias2, ...` or a bare
+  ///          `name` (its own alias).
+  static Result<Dictionary> LoadFile(const std::string& path);
+
+  /// Parses dictionary content in the *.txt layout from a string.
+  static Result<Dictionary> FromText(const std::string& text);
+
+  /// Scans free text and returns each distinct canonical name whose alias
+  /// occurs as a whole word (lowercased), in first-occurrence order.
+  std::vector<std::string> Extract(const std::string& text) const;
+
+  size_t size() const { return aliases_.size(); }
+
+ private:
+  // alias (lowercase) -> canonical.
+  std::map<std::string, std::string> aliases_;
+};
+
+/// `map` task, `operator: date` — reformats a timestamp column, appending
+/// the result as `output` (fig. 21: postedTime -> date).
+class MapDateOp : public TableOperator {
+ public:
+  MapDateOp(std::string transform_column, std::string input_format,
+            std::string output_format, std::string output_column)
+      : transform_column_(std::move(transform_column)),
+        input_format_(std::move(input_format)),
+        output_format_(std::move(output_format)),
+        output_column_(std::move(output_column)) {}
+
+  std::string name() const override { return "map:date"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::string transform_column_;
+  std::string input_format_;
+  std::string output_format_;
+  std::string output_column_;
+};
+
+/// `map` task, `operator: extract` — dictionary extraction. Emits one
+/// output row per canonical match (a tweet naming two players yields two
+/// rows); rows with no match are dropped, matching the downstream
+/// mention-counting group-bys of the IPL pipeline.
+class MapExtractOp : public TableOperator {
+ public:
+  MapExtractOp(std::string transform_column, Dictionary dict,
+               std::string output_column)
+      : transform_column_(std::move(transform_column)),
+        dict_(std::move(dict)),
+        output_column_(std::move(output_column)) {}
+
+  std::string name() const override { return "map:extract"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::string transform_column_;
+  Dictionary dict_;
+  std::string output_column_;
+};
+
+/// `map` task, `operator: extract_location` — geocodes free-text location
+/// strings to a region (state) using a city->state gazetteer filtered to
+/// one country (fig.: `match: city, country: IND`). Unlocated rows drop.
+class MapExtractLocationOp : public TableOperator {
+ public:
+  MapExtractLocationOp(std::string transform_column, Dictionary gazetteer,
+                       std::string output_column)
+      : transform_column_(std::move(transform_column)),
+        gazetteer_(std::move(gazetteer)),
+        output_column_(std::move(output_column)) {}
+
+  std::string name() const override { return "map:extract_location"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::string transform_column_;
+  Dictionary gazetteer_;
+  std::string output_column_;
+};
+
+/// `map` task, `operator: extract_words` — tokenizes text into words,
+/// one output row per (non-stopword) token.
+class MapExtractWordsOp : public TableOperator {
+ public:
+  MapExtractWordsOp(std::string transform_column, std::string output_column,
+                    size_t min_length = 3)
+      : transform_column_(std::move(transform_column)),
+        output_column_(std::move(output_column)),
+        min_length_(min_length) {}
+
+  std::string name() const override { return "map:extract_words"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::string transform_column_;
+  std::string output_column_;
+  size_t min_length_;
+};
+
+/// `map` task with a user-registered scalar operator (extension category
+/// 1): applies `fn` to `transform` per row, appending `output`.
+class MapScalarOp : public TableOperator {
+ public:
+  MapScalarOp(std::string op_name, ScalarOpFn fn,
+              std::string transform_column, std::string output_column,
+              std::map<std::string, std::string> config)
+      : op_name_(std::move(op_name)),
+        fn_(std::move(fn)),
+        transform_column_(std::move(transform_column)),
+        output_column_(std::move(output_column)),
+        config_(std::move(config)) {}
+
+  std::string name() const override { return "map:" + op_name_; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::string op_name_;
+  ScalarOpFn fn_;
+  std::string transform_column_;
+  std::string output_column_;
+  std::map<std::string, std::string> config_;
+};
+
+/// The `parallel:` composite task (fig. 20): a list of member tasks over
+/// the same input. Members that are pure column-adders are independent,
+/// so the composition is evaluated left-to-right with identical results —
+/// "parallel" is an engine-parallelism hint, not a semantic fork.
+class ParallelOp : public TableOperator {
+ public:
+  explicit ParallelOp(std::vector<TableOperatorPtr> members)
+      : members_(std::move(members)) {}
+
+  std::string name() const override { return "parallel"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+  const std::vector<TableOperatorPtr>& members() const { return members_; }
+
+ private:
+  std::vector<TableOperatorPtr> members_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_MAP_OPS_H_

@@ -1,0 +1,58 @@
+#include "ops/mapreduce.h"
+
+#include <unordered_map>
+
+namespace shareinsights {
+
+Result<Schema> NativeMapReduceOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError(name() + " expects exactly 1 input");
+  }
+  return output_schema_;
+}
+
+Result<TablePtr> NativeMapReduceOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+
+  // Map phase.
+  std::vector<std::pair<Value, std::vector<Value>>> emitted;
+  std::vector<std::pair<Value, std::vector<Value>>> buffer;
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    buffer.clear();
+    Status s = map_fn_(input->Row(r), input->schema(), &buffer);
+    if (!s.ok()) {
+      return s.WithContext(name() + " map phase, row " + std::to_string(r));
+    }
+    for (auto& pair : buffer) emitted.push_back(std::move(pair));
+  }
+
+  // Shuffle: group records by key, preserving first-emission key order so
+  // job output is deterministic.
+  std::unordered_map<Value, std::vector<std::vector<Value>>, ValueHash>
+      shuffled;
+  std::vector<Value> key_order;
+  for (auto& [key, record] : emitted) {
+    auto [it, inserted] = shuffled.try_emplace(key);
+    if (inserted) key_order.push_back(key);
+    it->second.push_back(std::move(record));
+  }
+
+  // Reduce phase.
+  TableBuilder builder(output_schema_);
+  std::vector<std::vector<Value>> out_rows;
+  for (const Value& key : key_order) {
+    out_rows.clear();
+    Status s = reduce_fn_(key, shuffled.at(key), &out_rows);
+    if (!s.ok()) {
+      return s.WithContext(name() + " reduce phase, key " + key.ToString());
+    }
+    for (auto& row : out_rows) {
+      SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,55 @@
+#ifndef SHAREINSIGHTS_OPS_MAPREDUCE_H_
+#define SHAREINSIGHTS_OPS_MAPREDUCE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// Native map-reduce task — the paper's extension category (4):
+/// "Transforming a data object via a native map reduce job. ... many
+/// organizations have existing map reduce jobs and they can be part of
+/// the platform through this route."
+///
+/// A job is a map function that emits (key, record) pairs per input row,
+/// a shuffle by key (handled by the harness), and a reduce function that
+/// emits output rows per key group. The output schema is declared up
+/// front so the compiler can propagate it through the rest of the flow.
+class NativeMapReduceOp : public TableOperator {
+ public:
+  /// Map: called once per input row; emits zero or more (key, record)
+  /// pairs into `emit`.
+  using MapFn = std::function<Status(
+      const std::vector<Value>& row, const Schema& input_schema,
+      std::vector<std::pair<Value, std::vector<Value>>>* emit)>;
+
+  /// Reduce: called once per distinct key with the shuffled records;
+  /// emits zero or more output rows (matching the declared schema).
+  using ReduceFn = std::function<Status(
+      const Value& key, const std::vector<std::vector<Value>>& records,
+      std::vector<std::vector<Value>>* emit)>;
+
+  NativeMapReduceOp(std::string job_name, Schema output_schema, MapFn map_fn,
+                    ReduceFn reduce_fn)
+      : job_name_(std::move(job_name)),
+        output_schema_(std::move(output_schema)),
+        map_fn_(std::move(map_fn)),
+        reduce_fn_(std::move(reduce_fn)) {}
+
+  std::string name() const override { return "mapreduce:" + job_name_; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::string job_name_;
+  Schema output_schema_;
+  MapFn map_fn_;
+  ReduceFn reduce_fn_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_MAPREDUCE_H_

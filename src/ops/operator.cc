@@ -1,0 +1,41 @@
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+ScalarOpRegistry& ScalarOpRegistry::Default() {
+  static ScalarOpRegistry* registry = new ScalarOpRegistry;
+  return *registry;
+}
+
+Status ScalarOpRegistry::Register(const std::string& name, ScalarOpFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (ops_.count(name) > 0) {
+    return Status::AlreadyExists("scalar operator '" + name +
+                                 "' already registered");
+  }
+  ops_[name] = std::move(fn);
+  return Status::OK();
+}
+
+Result<ScalarOpFn> ScalarOpRegistry::Get(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = ops_.find(name);
+  if (it == ops_.end()) {
+    return Status::NotFound("no scalar operator named '" + name + "'");
+  }
+  return it->second;
+}
+
+bool ScalarOpRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_.count(name) > 0;
+}
+
+std::vector<std::string> ScalarOpRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, fn] : ops_) out.push_back(name);
+  return out;
+}
+
+}  // namespace shareinsights

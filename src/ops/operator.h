@@ -1,0 +1,70 @@
+#ifndef SHAREINSIGHTS_OPS_OPERATOR_H_
+#define SHAREINSIGHTS_OPS_OPERATOR_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// A bound, executable transformation: the run-time form of a T-section
+/// task. Operators are pure functions from input tables to an output
+/// table; the executor may run independent operators concurrently, so
+/// implementations must be thread-compatible (no mutable shared state).
+class TableOperator {
+ public:
+  virtual ~TableOperator() = default;
+
+  /// Display name used in plans, error messages, and usage telemetry
+  /// (the Fig. 31 operator-popularity dashboard counts these).
+  virtual std::string name() const = 0;
+
+  /// Number of input tables this operator consumes (1 for most; joins
+  /// take 2; unions take N).
+  virtual size_t num_inputs() const { return 1; }
+
+  /// Static schema propagation: given input schemas, the output schema.
+  /// This is how the compiler type-checks a whole flow file before any
+  /// data is read (tasks "assume they will be used in a context where the
+  /// data source has the column" — checked here).
+  virtual Result<Schema> OutputSchema(
+      const std::vector<Schema>& inputs) const = 0;
+
+  /// Executes the transformation.
+  virtual Result<TablePtr> Execute(
+      const std::vector<TablePtr>& inputs) const = 0;
+};
+
+using TableOperatorPtr = std::shared_ptr<const TableOperator>;
+
+/// A scalar column transform usable from the `map` task via
+/// `operator: <name>` — the paper's extension category (1): "transforming
+/// a column value into another value". Config delivers the remaining task
+/// parameters (dict path, formats, ...).
+using ScalarOpFn = std::function<Result<Value>(
+    const Value& input, const std::map<std::string, std::string>& config)>;
+
+/// Registry of user-defined scalar operators (Tasks extension API).
+class ScalarOpRegistry {
+ public:
+  static ScalarOpRegistry& Default();
+
+  Status Register(const std::string& name, ScalarOpFn fn);
+  Result<ScalarOpFn> Get(const std::string& name) const;
+  bool Contains(const std::string& name) const;
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, ScalarOpFn> ops_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_OPERATOR_H_

@@ -1,0 +1,95 @@
+#include "ops/project.h"
+
+namespace shareinsights {
+
+TableOperatorPtr ProjectOp::Keep(const std::vector<std::string>& columns) {
+  std::vector<Mapping> mappings;
+  mappings.reserve(columns.size());
+  for (const std::string& c : columns) mappings.push_back(Mapping{c, c});
+  return std::make_shared<ProjectOp>(std::move(mappings));
+}
+
+Result<Schema> ProjectOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("project expects exactly 1 input");
+  }
+  std::vector<Field> fields;
+  fields.reserve(mappings_.size());
+  for (const Mapping& m : mappings_) {
+    SI_ASSIGN_OR_RETURN(size_t idx, inputs[0].RequireIndex(m.input));
+    fields.push_back(Field{m.output, inputs[0].field(idx).type});
+  }
+  return Schema(std::move(fields));
+}
+
+Result<TablePtr> ProjectOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema({input->schema()}));
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(mappings_.size());
+  for (const Mapping& m : mappings_) {
+    SI_ASSIGN_OR_RETURN(size_t idx, input->schema().RequireIndex(m.input));
+    columns.push_back(input->column(idx));
+  }
+  return Table::Create(std::move(out_schema), std::move(columns));
+}
+
+Result<TableOperatorPtr> ExpressionColumnOp::Create(
+    const std::string& output_column, const std::string& expression) {
+  if (output_column.empty()) {
+    return Status::InvalidArgument("expression map requires an output column");
+  }
+  SI_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(expression));
+  return TableOperatorPtr(
+      new ExpressionColumnOp(output_column, std::move(expr)));
+}
+
+Result<Schema> ExpressionColumnOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("map expects exactly 1 input");
+  }
+  SI_RETURN_IF_ERROR(BoundExpr::Bind(expr_, inputs[0]).status());
+  Schema out = inputs[0];
+  // Expression output type is data-dependent; publish as string unless it
+  // already exists (overwrite keeps the prior declared type).
+  if (!out.Contains(output_column_)) {
+    out.AddField(Field{output_column_, ValueType::kString});
+  }
+  return out;
+}
+
+Result<TablePtr> ExpressionColumnOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(BoundExpr bound,
+                      BoundExpr::Bind(expr_, input->schema()));
+  std::vector<Value> computed;
+  computed.reserve(input->num_rows());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    SI_ASSIGN_OR_RETURN(Value v, bound.Eval(*input, r));
+    computed.push_back(std::move(v));
+  }
+  // Rebuild columns, replacing or appending the output column.
+  std::vector<std::vector<Value>> columns;
+  Schema in_schema = input->schema();
+  std::vector<Field> fields;
+  auto existing = in_schema.IndexOf(output_column_);
+  for (size_t c = 0; c < input->num_columns(); ++c) {
+    fields.push_back(in_schema.field(c));
+    if (existing.has_value() && c == *existing) {
+      columns.push_back(std::move(computed));
+    } else {
+      columns.push_back(input->column(c));
+    }
+  }
+  if (!existing.has_value()) {
+    fields.push_back(Field{output_column_, ValueType::kString});
+    columns.push_back(std::move(computed));
+  }
+  return Table::Create(Schema(std::move(fields)), std::move(columns));
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,59 @@
+#ifndef SHAREINSIGHTS_OPS_PROJECT_H_
+#define SHAREINSIGHTS_OPS_PROJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "expr/expr.h"
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// Column selection with optional renaming: output column `output` takes
+/// input column `input`. The compiler also inserts Project nodes during
+/// projection pruning (dropping columns no downstream task consumes).
+class ProjectOp : public TableOperator {
+ public:
+  struct Mapping {
+    std::string input;
+    std::string output;
+  };
+
+  explicit ProjectOp(std::vector<Mapping> mappings)
+      : mappings_(std::move(mappings)) {}
+
+  /// Keep-only projection without renames.
+  static TableOperatorPtr Keep(const std::vector<std::string>& columns);
+
+  std::string name() const override { return "project"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+  const std::vector<Mapping>& mappings() const { return mappings_; }
+
+ private:
+  std::vector<Mapping> mappings_;
+};
+
+/// Adds (or overwrites) a column computed by an expression over the other
+/// columns of the same row: the `map` task with `operator: expression`.
+class ExpressionColumnOp : public TableOperator {
+ public:
+  static Result<TableOperatorPtr> Create(const std::string& output_column,
+                                         const std::string& expression);
+
+  std::string name() const override { return "map:expression"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  ExpressionColumnOp(std::string output_column, ExprPtr expr)
+      : output_column_(std::move(output_column)), expr_(std::move(expr)) {}
+
+  std::string output_column_;
+  ExprPtr expr_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_PROJECT_H_

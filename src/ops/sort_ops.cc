@@ -1,0 +1,231 @@
+#include "ops/sort_ops.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+Result<SortKey> ParseSortKey(const std::string& text) {
+  std::vector<std::string> parts;
+  for (const std::string& p : Split(Trim(text), ' ')) {
+    if (!p.empty()) parts.push_back(p);
+  }
+  if (parts.empty()) {
+    return Status::InvalidArgument("empty sort key");
+  }
+  SortKey key;
+  key.column = parts[0];
+  if (parts.size() == 2) {
+    std::string dir = ToUpper(parts[1]);
+    if (dir == "DESC") {
+      key.descending = true;
+    } else if (dir != "ASC") {
+      return Status::InvalidArgument("sort direction must be ASC or DESC, got '" +
+                                     parts[1] + "'");
+    }
+  } else if (parts.size() > 2) {
+    return Status::InvalidArgument("malformed sort key '" + text + "'");
+  }
+  return key;
+}
+
+namespace {
+
+struct KeyHash {
+  size_t operator()(const std::vector<Value>& key) const {
+    size_t h = 0;
+    for (const Value& v : key) {
+      h ^= v.Hash() + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+Result<std::vector<size_t>> ResolveColumns(
+    const Schema& schema, const std::vector<std::string>& names) {
+  std::vector<size_t> out(names.size());
+  for (size_t i = 0; i < names.size(); ++i) {
+    SI_ASSIGN_OR_RETURN(out[i], schema.RequireIndex(names[i]));
+  }
+  return out;
+}
+
+// Comparator over row indices for a list of (column index, descending).
+struct RowLess {
+  const Table* table;
+  const std::vector<std::pair<size_t, bool>>* keys;
+  bool operator()(size_t a, size_t b) const {
+    for (const auto& [col, desc] : *keys) {
+      int cmp = table->at(a, col).Compare(table->at(b, col));
+      if (cmp != 0) return desc ? cmp > 0 : cmp < 0;
+    }
+    return false;
+  }
+};
+
+Result<std::vector<std::pair<size_t, bool>>> BindSortKeys(
+    const Schema& schema, const std::vector<SortKey>& keys) {
+  std::vector<std::pair<size_t, bool>> out;
+  out.reserve(keys.size());
+  for (const SortKey& key : keys) {
+    SI_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndex(key.column));
+    out.emplace_back(idx, key.descending);
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Schema> SortOp::OutputSchema(const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("orderby expects exactly 1 input");
+  }
+  for (const SortKey& key : keys_) {
+    SI_RETURN_IF_ERROR(inputs[0].RequireIndex(key.column).status());
+  }
+  return inputs[0];
+}
+
+Result<TablePtr> SortOp::Execute(const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(auto bound, BindSortKeys(input->schema(), keys_));
+  std::vector<size_t> order(input->num_rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), RowLess{input.get(), &bound});
+  TableBuilder builder(input->schema());
+  for (size_t i : order) builder.AppendRowFrom(*input, i);
+  return builder.Finish();
+}
+
+Result<Schema> TopNOp::OutputSchema(const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("topn expects exactly 1 input");
+  }
+  for (const std::string& key : group_keys_) {
+    SI_RETURN_IF_ERROR(inputs[0].RequireIndex(key).status());
+  }
+  for (const SortKey& key : orderby_) {
+    SI_RETURN_IF_ERROR(inputs[0].RequireIndex(key.column).status());
+  }
+  return inputs[0];
+}
+
+Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(auto group_idx,
+                      ResolveColumns(input->schema(), group_keys_));
+  SI_ASSIGN_OR_RETURN(auto bound, BindSortKeys(input->schema(), orderby_));
+
+  // Partition rows by group (first-encounter order preserved).
+  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash> groups;
+  std::vector<const std::vector<Value>*> ordered_keys;
+  std::vector<Value> key(group_idx.size());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    for (size_t k = 0; k < group_idx.size(); ++k) {
+      key[k] = input->at(r, group_idx[k]);
+    }
+    auto [it, inserted] = groups.try_emplace(key);
+    if (inserted) ordered_keys.push_back(&it->first);
+    it->second.push_back(r);
+  }
+
+  TableBuilder builder(input->schema());
+  for (const std::vector<Value>* group_key : ordered_keys) {
+    std::vector<size_t>& rows = groups.at(*group_key);
+    size_t keep = std::min(limit_, rows.size());
+    std::partial_sort(rows.begin(),
+                      rows.begin() + static_cast<ptrdiff_t>(keep), rows.end(),
+                      RowLess{input.get(), &bound});
+    for (size_t i = 0; i < keep; ++i) builder.AppendRowFrom(*input, rows[i]);
+  }
+  return builder.Finish();
+}
+
+Result<Schema> DistinctOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("distinct expects exactly 1 input");
+  }
+  for (const std::string& c : columns_) {
+    SI_RETURN_IF_ERROR(inputs[0].RequireIndex(c).status());
+  }
+  return inputs[0];
+}
+
+Result<TablePtr> DistinctOp::Execute(
+    const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  std::vector<size_t> cols;
+  if (columns_.empty()) {
+    cols.resize(input->num_columns());
+    for (size_t c = 0; c < cols.size(); ++c) cols[c] = c;
+  } else {
+    SI_ASSIGN_OR_RETURN(cols, ResolveColumns(input->schema(), columns_));
+  }
+  std::unordered_set<std::vector<Value>, KeyHash> seen;
+  TableBuilder builder(input->schema());
+  std::vector<Value> key(cols.size());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    for (size_t k = 0; k < cols.size(); ++k) key[k] = input->at(r, cols[k]);
+    if (seen.insert(key).second) builder.AppendRowFrom(*input, r);
+  }
+  return builder.Finish();
+}
+
+Result<Schema> LimitOp::OutputSchema(const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("limit expects exactly 1 input");
+  }
+  return inputs[0];
+}
+
+Result<TablePtr> LimitOp::Execute(const std::vector<TablePtr>& inputs) const {
+  const TablePtr& input = inputs[0];
+  TableBuilder builder(input->schema());
+  size_t end = std::min(input->num_rows(), offset_ + count_);
+  for (size_t r = offset_; r < end; ++r) builder.AppendRowFrom(*input, r);
+  return builder.Finish();
+}
+
+Result<Schema> UnionOp::OutputSchema(const std::vector<Schema>& inputs) const {
+  if (inputs.size() != num_inputs_ || inputs.empty()) {
+    return Status::SchemaError("union expects " + std::to_string(num_inputs_) +
+                               " inputs, got " +
+                               std::to_string(inputs.size()));
+  }
+  return inputs[0];
+}
+
+Result<TablePtr> UnionOp::Execute(const std::vector<TablePtr>& inputs) const {
+  SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema([&] {
+                        std::vector<Schema> schemas;
+                        for (const auto& t : inputs) {
+                          schemas.push_back(t->schema());
+                        }
+                        return schemas;
+                      }()));
+  TableBuilder builder(out_schema);
+  for (const TablePtr& input : inputs) {
+    // Bind this input's columns to the output schema by name.
+    std::vector<ptrdiff_t> src(out_schema.num_fields(), -1);
+    for (size_t c = 0; c < out_schema.num_fields(); ++c) {
+      auto idx = input->schema().IndexOf(out_schema.field(c).name);
+      if (idx.has_value()) src[c] = static_cast<ptrdiff_t>(*idx);
+    }
+    for (size_t r = 0; r < input->num_rows(); ++r) {
+      std::vector<Value> row;
+      row.reserve(src.size());
+      for (ptrdiff_t s : src) {
+        row.push_back(s < 0 ? Value::Null()
+                            : input->at(r, static_cast<size_t>(s)));
+      }
+      SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+    }
+  }
+  return builder.Finish();
+}
+
+}  // namespace shareinsights

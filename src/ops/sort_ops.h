@@ -1,0 +1,101 @@
+#ifndef SHAREINSIGHTS_OPS_SORT_OPS_H_
+#define SHAREINSIGHTS_OPS_SORT_OPS_H_
+
+#include <string>
+#include <vector>
+
+#include "ops/operator.h"
+
+namespace shareinsights {
+
+/// One sort key: `count DESC` in a topn's orderby_column list.
+struct SortKey {
+  std::string column;
+  bool descending = false;
+};
+
+/// Parses "col", "col ASC", or "col DESC".
+Result<SortKey> ParseSortKey(const std::string& text);
+
+/// Stable multi-key sort.
+class SortOp : public TableOperator {
+ public:
+  explicit SortOp(std::vector<SortKey> keys) : keys_(std::move(keys)) {}
+
+  std::string name() const override { return "orderby"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::vector<SortKey> keys_;
+};
+
+/// `topn` task (fig.: topwords): within each group (by `groupby` keys),
+/// keep the first `limit` rows ordered by `orderby`. With no groupby keys
+/// it is a global top-N.
+class TopNOp : public TableOperator {
+ public:
+  TopNOp(std::vector<std::string> group_keys, std::vector<SortKey> orderby,
+         size_t limit)
+      : group_keys_(std::move(group_keys)),
+        orderby_(std::move(orderby)),
+        limit_(limit) {}
+
+  std::string name() const override { return "topn"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::vector<std::string> group_keys_;
+  std::vector<SortKey> orderby_;
+  size_t limit_;
+};
+
+/// Row deduplication; with `columns` non-empty, keeps the first row per
+/// distinct combination of those columns.
+class DistinctOp : public TableOperator {
+ public:
+  explicit DistinctOp(std::vector<std::string> columns = {})
+      : columns_(std::move(columns)) {}
+
+  std::string name() const override { return "distinct"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  std::vector<std::string> columns_;
+};
+
+/// `limit` task: rows [offset, offset+count).
+class LimitOp : public TableOperator {
+ public:
+  explicit LimitOp(size_t count, size_t offset = 0)
+      : count_(count), offset_(offset) {}
+
+  std::string name() const override { return "limit"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  size_t count_;
+  size_t offset_;
+};
+
+/// `union` task: concatenates N inputs, matching columns by name against
+/// the first input's schema (missing columns fill with null).
+class UnionOp : public TableOperator {
+ public:
+  explicit UnionOp(size_t num_inputs) : num_inputs_(num_inputs) {}
+
+  std::string name() const override { return "union"; }
+  size_t num_inputs() const override { return num_inputs_; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+
+ private:
+  size_t num_inputs_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_SORT_OPS_H_

@@ -1,0 +1,289 @@
+#include "server/api_server.h"
+
+#include <algorithm>
+
+#include "common/string_util.h"
+#include "ops/groupby.h"
+
+namespace shareinsights {
+
+HttpRequest HttpRequest::Get(const std::string& url) {
+  HttpRequest request;
+  request.method = "GET";
+  size_t qmark = url.find('?');
+  request.path = url.substr(0, qmark);
+  if (qmark != std::string::npos) {
+    for (const std::string& pair : Split(url.substr(qmark + 1), '&')) {
+      size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        request.query[pair] = "";
+      } else {
+        request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+      }
+    }
+  }
+  return request;
+}
+
+HttpRequest HttpRequest::Post(const std::string& url, std::string body) {
+  HttpRequest request = Get(url);
+  request.method = "POST";
+  request.body = std::move(body);
+  return request;
+}
+
+JsonValue TableToJson(const Table& table, size_t limit, size_t offset) {
+  JsonValue rows = JsonValue::MakeArray();
+  size_t end = table.num_rows();
+  if (limit > 0) end = std::min(end, offset + limit);
+  for (size_t r = offset; r < end; ++r) {
+    JsonValue row = JsonValue::MakeObject();
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      row.Set(table.schema().field(c).name,
+              JsonValue::FromValue(table.at(r, c)));
+    }
+    rows.Append(std::move(row));
+  }
+  return rows;
+}
+
+namespace {
+
+HttpResponse JsonResponse(int status, JsonValue body) {
+  HttpResponse response;
+  response.status = status;
+  response.body = body.SerializePretty();
+  return response;
+}
+
+HttpResponse ErrorResponse(const Status& status) {
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("error", JsonValue::MakeString(StatusCodeName(status.code())));
+  body.Set("message", JsonValue::MakeString(status.message()));
+  int http = 500;
+  switch (status.code()) {
+    case StatusCode::kNotFound:
+      http = 404;
+      break;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kParseError:
+    case StatusCode::kSchemaError:
+      http = 400;
+      break;
+    case StatusCode::kAlreadyExists:
+    case StatusCode::kConflict:
+      http = 409;
+      break;
+    default:
+      http = 500;
+  }
+  return JsonResponse(http, std::move(body));
+}
+
+HttpResponse TextResponse(std::string text) {
+  HttpResponse response;
+  response.content_type = "text/plain";
+  response.body = std::move(text);
+  return response;
+}
+
+std::vector<std::string> PathSegments(const std::string& path) {
+  std::vector<std::string> out;
+  for (const std::string& piece : Split(path, '/')) {
+    if (!piece.empty()) out.push_back(piece);
+  }
+  return out;
+}
+
+size_t QuerySize(const HttpRequest& request, const std::string& key,
+                 size_t fallback) {
+  auto it = request.query.find(key);
+  if (it == request.query.end()) return fallback;
+  Result<int64_t> parsed = Value(it->second).ToInt64();
+  if (!parsed.ok() || *parsed < 0) return fallback;
+  return static_cast<size_t>(*parsed);
+}
+
+}  // namespace
+
+Status ApiServer::CreateDashboard(const std::string& name,
+                                  const std::string& flow_text,
+                                  Dashboard::Options options) {
+  SI_ASSIGN_OR_RETURN(FlowFile file, ParseFlowFile(flow_text, name));
+  if (options.shared_schemas == nullptr && shared_ != nullptr) {
+    options.shared_schemas = shared_;
+    options.shared_tables = shared_;
+  }
+  SI_ASSIGN_OR_RETURN(std::unique_ptr<Dashboard> dashboard,
+                      Dashboard::Create(std::move(file), std::move(options)));
+  std::lock_guard<std::mutex> lock(mu_);
+  dashboards_[name] = std::move(dashboard);
+  return Status::OK();
+}
+
+Result<Dashboard*> ApiServer::GetDashboard(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dashboards_.find(name);
+  if (it == dashboards_.end()) {
+    return Status::NotFound("no dashboard named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> ApiServer::DashboardNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, dashboard] : dashboards_) out.push_back(name);
+  return out;
+}
+
+HttpResponse ApiServer::Handle(const HttpRequest& request) {
+  std::vector<std::string> segments = PathSegments(request.path);
+  if (segments.empty()) {
+    return ErrorResponse(Status::NotFound("empty path"));
+  }
+
+  if (segments[0] == "dashboards") {
+    return HandleDashboards(segments, request);
+  }
+
+  if (segments[0] == "shared") {
+    JsonValue list = JsonValue::MakeArray();
+    if (shared_ != nullptr) {
+      for (const SharedDataRegistry::Entry& entry : shared_->List()) {
+        JsonValue item = JsonValue::MakeObject();
+        item.Set("name", JsonValue::MakeString(entry.name));
+        item.Set("publisher", JsonValue::MakeString(entry.publisher));
+        item.Set("rows", JsonValue::MakeNumber(
+                             static_cast<double>(entry.num_rows)));
+        list.Append(std::move(item));
+      }
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("shared", std::move(list));
+    return JsonResponse(200, std::move(body));
+  }
+
+  // /<dashboard>/ds[...], /<dashboard>/explore/<dataset>
+  Result<Dashboard*> dashboard = GetDashboard(segments[0]);
+  if (!dashboard.ok()) return ErrorResponse(dashboard.status());
+  return HandleDatasets(*dashboard,
+                        {segments.begin() + 1, segments.end()}, request);
+}
+
+HttpResponse ApiServer::HandleDashboards(
+    const std::vector<std::string>& segments, const HttpRequest& request) {
+  if (segments.size() == 1) {
+    JsonValue list = JsonValue::MakeArray();
+    for (const std::string& name : DashboardNames()) {
+      list.Append(JsonValue::MakeString(name));
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("dashboards", std::move(list));
+    return JsonResponse(200, std::move(body));
+  }
+  const std::string& name = segments[1];
+  if (segments.size() == 3 && segments[2] == "create" &&
+      request.method == "POST") {
+    Status created = CreateDashboard(name, request.body, Dashboard::Options());
+    if (!created.ok()) return ErrorResponse(created);
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("created", JsonValue::MakeString(name));
+    return JsonResponse(201, std::move(body));
+  }
+  if (segments.size() == 3 && segments[2] == "run" &&
+      request.method == "POST") {
+    Result<Dashboard*> dashboard = GetDashboard(name);
+    if (!dashboard.ok()) return ErrorResponse(dashboard.status());
+    Result<ExecutionStats> stats = (*dashboard)->Run();
+    if (!stats.ok()) return ErrorResponse(stats.status());
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("flows_executed",
+             JsonValue::MakeNumber(stats->flows_executed));
+    body.Set("rows_produced", JsonValue::MakeNumber(
+                                  static_cast<double>(stats->rows_produced)));
+    body.Set("wall_ms", JsonValue::MakeNumber(stats->wall_ms));
+    return JsonResponse(200, std::move(body));
+  }
+  if (segments.size() == 2 && request.method == "GET") {
+    Result<Dashboard*> dashboard = GetDashboard(name);
+    if (!dashboard.ok()) return ErrorResponse(dashboard.status());
+    return TextResponse((*dashboard)->flow_file().ToText());
+  }
+  return ErrorResponse(Status::NotFound("unknown dashboards route"));
+}
+
+HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
+                                       const std::vector<std::string>& segments,
+                                       const HttpRequest& request) {
+  if (segments.empty()) {
+    return ErrorResponse(Status::NotFound("unknown route"));
+  }
+
+  // /<dash>/explore/<dataset> — the data explorer's tabular view.
+  if (segments[0] == "explore" && segments.size() == 2) {
+    Result<TablePtr> table = dashboard->EndpointData(segments[1]);
+    if (!table.ok()) return ErrorResponse(table.status());
+    size_t limit = QuerySize(request, "limit", 20);
+    return TextResponse((*table)->ToDisplayString(limit));
+  }
+
+  if (segments[0] != "ds") {
+    return ErrorResponse(Status::NotFound("unknown route"));
+  }
+
+  // /<dash>/ds — list endpoint data objects (fig. 27).
+  if (segments.size() == 1) {
+    JsonValue list = JsonValue::MakeArray();
+    for (const std::string& endpoint : dashboard->plan().endpoints) {
+      list.Append(JsonValue::MakeString(endpoint));
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("ds", std::move(list));
+    return JsonResponse(200, std::move(body));
+  }
+
+  const std::string& dataset = segments[1];
+  // Endpoint-only exposure: non-endpoint objects are not served.
+  const auto& endpoints = dashboard->plan().endpoints;
+  if (std::find(endpoints.begin(), endpoints.end(), dataset) ==
+      endpoints.end()) {
+    return ErrorResponse(Status::NotFound(
+        "'" + dataset + "' is not an endpoint data object"));
+  }
+  Result<TablePtr> table = dashboard->EndpointData(dataset);
+  if (!table.ok()) return ErrorResponse(table.status());
+
+  // /<dash>/ds/<dataset> — browse rows (fig. 28).
+  if (segments.size() == 2) {
+    size_t limit = QuerySize(request, "limit", 100);
+    size_t offset = QuerySize(request, "offset", 0);
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("name", JsonValue::MakeString(dataset));
+    body.Set("rows", TableToJson(**table, limit, offset));
+    body.Set("total_rows", JsonValue::MakeNumber(
+                               static_cast<double>((*table)->num_rows())));
+    return JsonResponse(200, std::move(body));
+  }
+
+  // /<dash>/ds/<dataset>/groupby/<col>/<agg>/<col> — ad-hoc query
+  // (fig. 30's simplified query language).
+  if (segments.size() == 6 && segments[2] == "groupby") {
+    const std::string& group_col = segments[3];
+    const std::string& agg_fn = segments[4];
+    const std::string& agg_col = segments[5];
+    Result<TableOperatorPtr> groupby = GroupByOp::Create(
+        {group_col}, {AggregateSpec{agg_fn, agg_col,
+                                    agg_fn + "_" + agg_col}});
+    if (!groupby.ok()) return ErrorResponse(groupby.status());
+    Result<TablePtr> result = (*groupby)->Execute({*table});
+    if (!result.ok()) return ErrorResponse(result.status());
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("rows", TableToJson(**result));
+    return JsonResponse(200, std::move(body));
+  }
+
+  return ErrorResponse(Status::NotFound("unknown ds route"));
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,91 @@
+#ifndef SHAREINSIGHTS_SERVER_API_SERVER_H_
+#define SHAREINSIGHTS_SERVER_API_SERVER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "dashboard/dashboard.h"
+#include "io/json.h"
+#include "share/shared_registry.h"
+
+namespace shareinsights {
+
+/// A parsed request to the platform API. Transport-agnostic: the paper's
+/// platform serves these over HTTP; here the router is called in-process
+/// with identical URL grammar and JSON payloads (see DESIGN.md).
+struct HttpRequest {
+  std::string method = "GET";
+  std::string path;  // e.g. "/apache/ds/projects/groupby/category/count/project"
+  std::map<std::string, std::string> query;
+  std::string body;
+
+  /// Parses "path?k=v&k2=v2" into path + query.
+  static HttpRequest Get(const std::string& url);
+  static HttpRequest Post(const std::string& url, std::string body);
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "application/json";
+  std::string body;
+
+  bool ok() const { return status >= 200 && status < 300; }
+};
+
+/// The platform's REST API surface (section 4.3.1 / 4.4):
+///
+///   GET  /dashboards                                  list dashboards
+///   POST /dashboards/<name>/create                    body = flow file
+///   GET  /dashboards/<name>                           flow-file text
+///   POST /dashboards/<name>/run                       execute pipeline
+///   GET  /<dash>/ds                                   endpoint names
+///   GET  /<dash>/ds/<dataset>?limit=&offset=          browse rows
+///   GET  /<dash>/ds/<dataset>/groupby/<col>/<agg>/<col>   ad-hoc query
+///   GET  /<dash>/explore/<dataset>                    data explorer (text)
+///   GET  /shared                                      shared data objects
+class ApiServer {
+ public:
+  explicit ApiServer(SharedDataRegistry* shared = nullptr)
+      : shared_(shared) {}
+
+  /// Routes one request.
+  HttpResponse Handle(const HttpRequest& request);
+
+  /// Convenience wrappers mirroring curl usage in the paper's figures.
+  HttpResponse Get(const std::string& url) {
+    return Handle(HttpRequest::Get(url));
+  }
+  HttpResponse Post(const std::string& url, std::string body) {
+    return Handle(HttpRequest::Post(url, std::move(body)));
+  }
+
+  /// Programmatic dashboard management (the create/run routes call
+  /// these; tests and examples may too).
+  Status CreateDashboard(const std::string& name, const std::string& flow_text,
+                         Dashboard::Options options);
+  Result<Dashboard*> GetDashboard(const std::string& name);
+  std::vector<std::string> DashboardNames() const;
+
+ private:
+  HttpResponse HandleDashboards(const std::vector<std::string>& segments,
+                                const HttpRequest& request);
+  HttpResponse HandleDatasets(Dashboard* dashboard,
+                              const std::vector<std::string>& segments,
+                              const HttpRequest& request);
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Dashboard>> dashboards_;
+  SharedDataRegistry* shared_;
+};
+
+/// Serializes table rows as a JSON array of objects (REST data shape),
+/// honouring limit (0 = all) and offset.
+JsonValue TableToJson(const Table& table, size_t limit = 0,
+                      size_t offset = 0);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_SERVER_API_SERVER_H_

@@ -1,0 +1,411 @@
+#include "share/repository.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+#include "common/string_util.h"
+#include "flow/config_node.h"
+
+namespace shareinsights {
+
+namespace {
+
+std::string Fnv1aHex(const std::string& text) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ULL;
+  }
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buf;
+}
+
+// Canonical serialization of one data object declaration (schema +
+// details) for entity-level comparison.
+std::string DataRepr(const DataObjectDecl& decl) {
+  std::string out = "columns:";
+  for (const ColumnMapping& m : decl.columns) {
+    out += m.column + "=>" + m.path + ";";
+  }
+  out += "|params:";
+  for (const auto& [key, value] : decl.params.all()) {
+    out += key + "=" + value + ";";
+  }
+  out += "|endpoint:" + std::string(decl.endpoint ? "1" : "0");
+  out += "|publish:" + decl.publish;
+  return out;
+}
+
+std::string LayoutRepr(const LayoutDecl& layout) {
+  std::string out = layout.description + "|";
+  for (const auto& row : layout.rows) {
+    for (const LayoutCell& cell : row) {
+      out += std::to_string(cell.span) + ":" + cell.widget + ",";
+    }
+    out += ";";
+  }
+  return out;
+}
+
+// Generic three-way entity merge over (name -> repr) maps. `pick`
+// receives the winning side for each surviving name: 0 = ours, 1 =
+// theirs. Returns conflicting names.
+struct MergeDecision {
+  std::vector<std::pair<std::string, int>> kept;  // name, side
+  std::vector<std::string> conflicts;
+};
+
+MergeDecision MergeEntities(
+    const std::vector<std::pair<std::string, std::string>>& base,
+    const std::vector<std::pair<std::string, std::string>>& ours,
+    const std::vector<std::pair<std::string, std::string>>& theirs) {
+  auto find = [](const std::vector<std::pair<std::string, std::string>>& v,
+                 const std::string& name) -> const std::string* {
+    for (const auto& [n, repr] : v) {
+      if (n == name) return &repr;
+    }
+    return nullptr;
+  };
+
+  MergeDecision decision;
+  std::unordered_set<std::string> handled;
+  auto resolve = [&](const std::string& name) {
+    if (!handled.insert(name).second) return;
+    const std::string* b = find(base, name);
+    const std::string* o = find(ours, name);
+    const std::string* t = find(theirs, name);
+    std::string bs = b ? *b : "";
+    std::string os = o ? *o : "";
+    std::string ts = t ? *t : "";
+    if (os == ts) {
+      if (o != nullptr) decision.kept.emplace_back(name, 0);
+      return;  // identical (or both deleted)
+    }
+    if (bs == os) {
+      // Only theirs changed (or deleted).
+      if (t != nullptr) decision.kept.emplace_back(name, 1);
+      return;
+    }
+    if (bs == ts) {
+      if (o != nullptr) decision.kept.emplace_back(name, 0);
+      return;
+    }
+    decision.conflicts.push_back(name);
+  };
+  // Ours order first, then new names from theirs, then deletions present
+  // only in base (no-ops, but resolve for conflict detection).
+  for (const auto& [name, repr] : ours) resolve(name);
+  for (const auto& [name, repr] : theirs) resolve(name);
+  for (const auto& [name, repr] : base) resolve(name);
+  return decision;
+}
+
+}  // namespace
+
+Result<std::string> MergeFlowFiles(const std::string& base,
+                                   const std::string& ours,
+                                   const std::string& theirs) {
+  SI_ASSIGN_OR_RETURN(FlowFile base_file, ParseFlowFile(base));
+  SI_ASSIGN_OR_RETURN(FlowFile ours_file, ParseFlowFile(ours));
+  SI_ASSIGN_OR_RETURN(FlowFile theirs_file, ParseFlowFile(theirs));
+
+  std::vector<std::string> conflicts;
+  FlowFile merged;
+  merged.name = ours_file.name.empty() ? theirs_file.name : ours_file.name;
+
+  // --- data objects ---
+  {
+    auto reprs = [](const FlowFile& f) {
+      std::vector<std::pair<std::string, std::string>> out;
+      for (const DataObjectDecl& d : f.data_objects) {
+        out.emplace_back(d.name, DataRepr(d));
+      }
+      return out;
+    };
+    MergeDecision decision =
+        MergeEntities(reprs(base_file), reprs(ours_file), reprs(theirs_file));
+    for (const std::string& name : decision.conflicts) {
+      conflicts.push_back("D." + name);
+    }
+    for (const auto& [name, side] : decision.kept) {
+      const FlowFile& source = side == 0 ? ours_file : theirs_file;
+      merged.data_objects.push_back(*source.FindData(name));
+    }
+  }
+  // --- tasks ---
+  {
+    auto reprs = [](const FlowFile& f) {
+      std::vector<std::pair<std::string, std::string>> out;
+      for (const TaskDecl& t : f.tasks) {
+        out.emplace_back(t.name, SerializeConfig(t.config));
+      }
+      return out;
+    };
+    MergeDecision decision =
+        MergeEntities(reprs(base_file), reprs(ours_file), reprs(theirs_file));
+    for (const std::string& name : decision.conflicts) {
+      conflicts.push_back("T." + name);
+    }
+    for (const auto& [name, side] : decision.kept) {
+      const FlowFile& source = side == 0 ? ours_file : theirs_file;
+      merged.tasks.push_back(*source.FindTask(name));
+    }
+  }
+  // --- flows (keyed by their output list) ---
+  {
+    auto reprs = [](const FlowFile& f) {
+      std::vector<std::pair<std::string, std::string>> out;
+      for (const FlowDecl& flow : f.flows) {
+        out.emplace_back(Join(flow.outputs, ","), flow.ToString());
+      }
+      return out;
+    };
+    auto find_flow = [](const FlowFile& f,
+                        const std::string& key) -> const FlowDecl* {
+      for (const FlowDecl& flow : f.flows) {
+        if (Join(flow.outputs, ",") == key) return &flow;
+      }
+      return nullptr;
+    };
+    MergeDecision decision =
+        MergeEntities(reprs(base_file), reprs(ours_file), reprs(theirs_file));
+    for (const std::string& name : decision.conflicts) {
+      conflicts.push_back("F." + name);
+    }
+    for (const auto& [name, side] : decision.kept) {
+      const FlowFile& source = side == 0 ? ours_file : theirs_file;
+      merged.flows.push_back(*find_flow(source, name));
+    }
+  }
+  // --- widgets ---
+  {
+    auto reprs = [](const FlowFile& f) {
+      std::vector<std::pair<std::string, std::string>> out;
+      for (const WidgetDecl& w : f.widgets) {
+        out.emplace_back(w.name, SerializeConfig(w.config));
+      }
+      return out;
+    };
+    MergeDecision decision =
+        MergeEntities(reprs(base_file), reprs(ours_file), reprs(theirs_file));
+    for (const std::string& name : decision.conflicts) {
+      conflicts.push_back("W." + name);
+    }
+    for (const auto& [name, side] : decision.kept) {
+      const FlowFile& source = side == 0 ? ours_file : theirs_file;
+      merged.widgets.push_back(*source.FindWidget(name));
+    }
+  }
+  // --- layout (whole-section granularity) ---
+  {
+    std::string b = LayoutRepr(base_file.layout);
+    std::string o = LayoutRepr(ours_file.layout);
+    std::string t = LayoutRepr(theirs_file.layout);
+    if (o == t || b == t) {
+      merged.layout = ours_file.layout;
+    } else if (b == o) {
+      merged.layout = theirs_file.layout;
+    } else {
+      conflicts.push_back("L");
+    }
+  }
+
+  if (!conflicts.empty()) {
+    return Status::Conflict("merge conflicts in: " + Join(conflicts, ", "));
+  }
+  return merged.ToText();
+}
+
+// ---------------------------------------------------------------------
+// FlowFileRepository
+// ---------------------------------------------------------------------
+
+Result<std::string> FlowFileRepository::Commit(const std::string& branch,
+                                               const std::string& author,
+                                               const std::string& message,
+                                               const std::string& content) {
+  // Validate before accepting (CRUD operations map to source commits;
+  // the platform refuses syntactically broken files).
+  SI_RETURN_IF_ERROR(ParseFlowFile(content).status());
+  std::lock_guard<std::mutex> lock(mu_);
+  FlowCommit commit;
+  auto head = branches_.find(branch);
+  if (head != branches_.end()) {
+    const FlowCommit& parent = commits_.at(head->second);
+    if (parent.content == content) return parent.id;  // no-op commit
+    commit.parents.push_back(parent.id);
+  }
+  commit.author = author;
+  commit.message = message;
+  commit.content = content;
+  commit.sequence = ++clock_;
+  commit.id = Fnv1aHex(content + "|" + Join(commit.parents, ",") + "|" +
+                       message + "|" + std::to_string(commit.sequence));
+  branches_[branch] = commit.id;
+  commits_[commit.id] = std::move(commit);
+  return branches_[branch];
+}
+
+Result<std::string> FlowFileRepository::Fork(const std::string& new_branch,
+                                             const std::string& from_branch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto from = branches_.find(from_branch);
+  if (from == branches_.end()) {
+    return Status::NotFound("no branch named '" + from_branch + "'");
+  }
+  if (branches_.count(new_branch) > 0) {
+    return Status::AlreadyExists("branch '" + new_branch +
+                                 "' already exists");
+  }
+  branches_[new_branch] = from->second;
+  return from->second;
+}
+
+Result<const FlowCommit*> FlowFileRepository::CommitById(
+    const std::string& id) const {
+  auto it = commits_.find(id);
+  if (it == commits_.end()) {
+    return Status::NotFound("no commit with id '" + id + "'");
+  }
+  return &it->second;
+}
+
+Result<std::string> FlowFileRepository::MergeBase(const std::string& a,
+                                                  const std::string& b) const {
+  // Collect all ancestors of `a`, then walk `b`'s ancestors picking the
+  // one with the highest sequence number that is also an ancestor of a.
+  std::set<std::string> ancestors_a;
+  std::vector<std::string> frontier{a};
+  while (!frontier.empty()) {
+    std::string id = frontier.back();
+    frontier.pop_back();
+    if (!ancestors_a.insert(id).second) continue;
+    SI_ASSIGN_OR_RETURN(const FlowCommit* commit, CommitById(id));
+    for (const std::string& parent : commit->parents) {
+      frontier.push_back(parent);
+    }
+  }
+  std::string best;
+  int64_t best_sequence = -1;
+  std::set<std::string> seen;
+  frontier.push_back(b);
+  while (!frontier.empty()) {
+    std::string id = frontier.back();
+    frontier.pop_back();
+    if (!seen.insert(id).second) continue;
+    SI_ASSIGN_OR_RETURN(const FlowCommit* commit, CommitById(id));
+    if (ancestors_a.count(id) > 0 && commit->sequence > best_sequence) {
+      best = id;
+      best_sequence = commit->sequence;
+    }
+    for (const std::string& parent : commit->parents) {
+      frontier.push_back(parent);
+    }
+  }
+  if (best.empty()) {
+    return Status::NotFound("commits share no common ancestor");
+  }
+  return best;
+}
+
+Result<std::string> FlowFileRepository::Merge(const std::string& into_branch,
+                                              const std::string& from_branch,
+                                              const std::string& author) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto into = branches_.find(into_branch);
+  auto from = branches_.find(from_branch);
+  if (into == branches_.end()) {
+    return Status::NotFound("no branch named '" + into_branch + "'");
+  }
+  if (from == branches_.end()) {
+    return Status::NotFound("no branch named '" + from_branch + "'");
+  }
+  std::string into_id = into->second;
+  std::string from_id = from->second;
+  if (into_id == from_id) return into_id;  // already up to date
+  SI_ASSIGN_OR_RETURN(std::string base_id, MergeBase(into_id, from_id));
+  if (base_id == from_id) return into_id;  // nothing to merge
+  SI_ASSIGN_OR_RETURN(const FlowCommit* base, CommitById(base_id));
+  SI_ASSIGN_OR_RETURN(const FlowCommit* ours, CommitById(into_id));
+  SI_ASSIGN_OR_RETURN(const FlowCommit* theirs, CommitById(from_id));
+
+  if (base_id == into_id) {
+    // Fast-forward.
+    branches_[into_branch] = from_id;
+    return from_id;
+  }
+
+  SI_ASSIGN_OR_RETURN(
+      std::string merged,
+      MergeFlowFiles(base->content, ours->content, theirs->content));
+
+  FlowCommit commit;
+  commit.parents = {into_id, from_id};
+  commit.author = author;
+  commit.message = "merge " + from_branch + " into " + into_branch;
+  commit.content = merged;
+  commit.sequence = ++clock_;
+  commit.id = Fnv1aHex(merged + "|" + Join(commit.parents, ",") + "|" +
+                       commit.message + "|" + std::to_string(commit.sequence));
+  branches_[into_branch] = commit.id;
+  commits_[commit.id] = std::move(commit);
+  return branches_[into_branch];
+}
+
+Result<std::string> FlowFileRepository::Read(const std::string& branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no branch named '" + branch + "'");
+  }
+  SI_ASSIGN_OR_RETURN(const FlowCommit* commit, CommitById(it->second));
+  return commit->content;
+}
+
+Result<std::string> FlowFileRepository::Head(const std::string& branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no branch named '" + branch + "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<FlowCommit>> FlowFileRepository::Log(
+    const std::string& branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = branches_.find(branch);
+  if (it == branches_.end()) {
+    return Status::NotFound("no branch named '" + branch + "'");
+  }
+  std::vector<FlowCommit> out;
+  std::string id = it->second;
+  while (!id.empty()) {
+    SI_ASSIGN_OR_RETURN(const FlowCommit* commit, CommitById(id));
+    out.push_back(*commit);
+    id = commit->parents.empty() ? "" : commit->parents[0];
+  }
+  return out;
+}
+
+std::vector<std::string> FlowFileRepository::Branches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [branch, head] : branches_) out.push_back(branch);
+  return out;
+}
+
+bool FlowFileRepository::HasBranch(const std::string& branch) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return branches_.count(branch) > 0;
+}
+
+Result<size_t> FlowFileRepository::HeadSize(const std::string& branch) const {
+  SI_ASSIGN_OR_RETURN(std::string content, Read(branch));
+  return content.size();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,88 @@
+#ifndef SHAREINSIGHTS_SHARE_REPOSITORY_H_
+#define SHAREINSIGHTS_SHARE_REPOSITORY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+
+/// One commit in a flow-file repository.
+struct FlowCommit {
+  std::string id;                    // content hash
+  std::vector<std::string> parents;  // 0 (root), 1, or 2 (merge)
+  std::string author;
+  std::string message;
+  int64_t sequence = 0;  // monotonically increasing logical clock
+  std::string content;   // full flow-file text
+};
+
+/// DVCS-style store for flow files (section 4.5.1 "Branch and Merge
+/// Model"): "since the entire data pipeline is represented as a single
+/// text file, it makes it very amenable to manage via a source control
+/// system". Supports commits, branches, forks, history, and a three-way
+/// merge that exploits the flow file's "clearly demarcated sections" to
+/// merge at data-object/task/flow/widget granularity instead of by line.
+class FlowFileRepository {
+ public:
+  /// Commits `content` (flow-file text, validated by parsing) onto
+  /// `branch`, creating the branch at the root if absent. Returns the
+  /// commit id. A commit identical to the branch head is a no-op
+  /// returning the head id.
+  Result<std::string> Commit(const std::string& branch,
+                             const std::string& author,
+                             const std::string& message,
+                             const std::string& content);
+
+  /// Creates `new_branch` pointing at `from_branch`'s head — the 'fork'
+  /// operation teams used to start from sample dashboards (fig. 35).
+  Result<std::string> Fork(const std::string& new_branch,
+                           const std::string& from_branch);
+
+  /// Three-way merges `from_branch` into `into_branch` using their most
+  /// recent common ancestor as base. Section-aware: concurrent edits to
+  /// different data objects/tasks/flows/widgets merge cleanly; divergent
+  /// edits to the same named entity return kConflict naming it.
+  Result<std::string> Merge(const std::string& into_branch,
+                            const std::string& from_branch,
+                            const std::string& author);
+
+  /// Head content of a branch.
+  Result<std::string> Read(const std::string& branch) const;
+  /// Head commit id of a branch.
+  Result<std::string> Head(const std::string& branch) const;
+  /// History from head to root (merges follow the first parent).
+  Result<std::vector<FlowCommit>> Log(const std::string& branch) const;
+
+  std::vector<std::string> Branches() const;
+  bool HasBranch(const std::string& branch) const;
+
+  /// Size in bytes of a branch's head content — the fig. 35 metric.
+  Result<size_t> HeadSize(const std::string& branch) const;
+
+ private:
+  Result<const FlowCommit*> CommitById(const std::string& id) const;
+  /// Most recent common ancestor of two commits (by sequence number).
+  Result<std::string> MergeBase(const std::string& a,
+                                const std::string& b) const;
+
+  mutable std::mutex mu_;
+  std::map<std::string, FlowCommit> commits_;   // id -> commit
+  std::map<std::string, std::string> branches_; // branch -> head id
+  int64_t clock_ = 0;
+};
+
+/// Three-way, section-aware merge of flow-file texts. Exposed separately
+/// for tests and for merge tooling. On conflict returns kConflict with a
+/// message naming every conflicting entity.
+Result<std::string> MergeFlowFiles(const std::string& base,
+                                   const std::string& ours,
+                                   const std::string& theirs);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_SHARE_REPOSITORY_H_

@@ -1,0 +1,115 @@
+#include "share/shared_registry.h"
+
+#include <algorithm>
+
+#include "dashboard/dashboard.h"
+
+namespace shareinsights {
+
+Status SharedDataRegistry::Publish(const std::string& name, TablePtr table,
+                                   const std::string& publisher) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("cannot publish a null table as '" + name +
+                                   "'");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[name] = Published{std::move(table), publisher};
+  return Status::OK();
+}
+
+Status SharedDataRegistry::Unpublish(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.erase(name) == 0) {
+    return Status::NotFound("no shared data object named '" + name + "'");
+  }
+  return Status::OK();
+}
+
+void SharedDataRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+std::optional<Schema> SharedDataRegistry::SharedSchema(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.table->schema();
+}
+
+Result<TablePtr> SharedDataRegistry::SharedTable(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) {
+    return Status::NotFound("no shared data object named '" + name + "'");
+  }
+  return it->second.table;
+}
+
+bool SharedDataRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+std::vector<SharedDataRegistry::Entry> SharedDataRegistry::List() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<Entry> out;
+  for (const auto& [name, published] : entries_) {
+    Entry entry;
+    entry.name = name;
+    entry.publisher = published.publisher;
+    entry.num_rows = published.table->num_rows();
+    entry.approx_bytes = published.table->ApproxBytes();
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+std::vector<SharedDataRegistry::DiscoveryMatch> SharedDataRegistry::Discover(
+    const Schema& schema) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<DiscoveryMatch> matches;
+  for (const auto& [name, published] : entries_) {
+    DiscoveryMatch match;
+    match.name = name;
+    match.publisher = published.publisher;
+    for (const Field& field : published.table->schema().fields()) {
+      if (schema.Contains(field.name)) {
+        match.join_columns.push_back(field.name);
+      } else {
+        match.new_columns.push_back(field.name);
+      }
+    }
+    // Something to join on AND something new to gain.
+    if (!match.join_columns.empty() && !match.new_columns.empty()) {
+      matches.push_back(std::move(match));
+    }
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const DiscoveryMatch& a, const DiscoveryMatch& b) {
+              if (a.join_columns.size() != b.join_columns.size()) {
+                return a.join_columns.size() > b.join_columns.size();
+              }
+              return a.name < b.name;
+            });
+  return matches;
+}
+
+Status PublishDashboardOutputs(const Dashboard& dashboard,
+                               SharedDataRegistry* registry) {
+  for (const auto& [publish_name, data_name] : dashboard.plan().published) {
+    Result<TablePtr> table = dashboard.store().Get(data_name);
+    if (!table.ok()) {
+      return table.status().WithContext(
+          "publishing '" + publish_name +
+          "' (run the dashboard before publishing)");
+    }
+    SI_RETURN_IF_ERROR(registry->Publish(publish_name, std::move(*table),
+                                         dashboard.flow_file().name));
+  }
+  return Status::OK();
+}
+
+}  // namespace shareinsights

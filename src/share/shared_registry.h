@@ -1,0 +1,79 @@
+#ifndef SHAREINSIGHTS_SHARE_SHARED_REGISTRY_H_
+#define SHAREINSIGHTS_SHARE_SHARED_REGISTRY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "compile/plan.h"
+#include "exec/executor.h"
+
+namespace shareinsights {
+
+class Dashboard;
+
+/// The platform's shared data object catalog (section 3.4.1 "Enable
+/// Group Access"): dashboards publish processed data objects under a
+/// name; other dashboards reference them by that name and "the platform
+/// searches for this data object in the shared objects list". The
+/// registry implements both the compile-time (schema) and run-time
+/// (table) lookup interfaces.
+class SharedDataRegistry : public SharedSchemaSource,
+                           public SharedTableSource {
+ public:
+  struct Entry {
+    std::string name;
+    std::string publisher;  // dashboard that published it
+    size_t num_rows = 0;
+    size_t approx_bytes = 0;
+  };
+
+  /// Publishes (or republishes) a table under `name`.
+  Status Publish(const std::string& name, TablePtr table,
+                 const std::string& publisher);
+
+  Status Unpublish(const std::string& name);
+  void Clear();
+
+  std::optional<Schema> SharedSchema(const std::string& name) const override;
+  Result<TablePtr> SharedTable(const std::string& name) const override;
+
+  bool Contains(const std::string& name) const;
+  std::vector<Entry> List() const;
+
+  /// A shared data object that could enrich a pipeline consuming data of
+  /// shape `schema` — §6's future-work dataset discovery ("since data is
+  /// published on the platform, it potentially allows for discovery of
+  /// data-sets to enrich an existing data pipeline").
+  struct DiscoveryMatch {
+    std::string name;
+    std::string publisher;
+    /// Columns shared with the probe schema — candidate join keys.
+    std::vector<std::string> join_columns;
+    /// Columns the shared object would add.
+    std::vector<std::string> new_columns;
+  };
+
+  /// Ranks shared objects by how many columns they share with `schema`
+  /// (at least one required — something to join on), most joinable
+  /// first.
+  std::vector<DiscoveryMatch> Discover(const Schema& schema) const;
+
+ private:
+  mutable std::mutex mu_;
+  struct Published {
+    TablePtr table;
+    std::string publisher;
+  };
+  std::map<std::string, Published> entries_;
+};
+
+/// Publishes every `publish:`-flagged output of a ran dashboard into the
+/// registry — the handoff step of a flow-file group (section 4.5.3).
+Status PublishDashboardOutputs(const Dashboard& dashboard,
+                               SharedDataRegistry* registry);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_SHARE_SHARED_REGISTRY_H_

@@ -1,0 +1,84 @@
+#ifndef SHAREINSIGHTS_SIM_HACKATHON_H_
+#define SHAREINSIGHTS_SIM_HACKATHON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace shareinsights {
+
+/// Parameters of the Race2Insights simulation (section 5): 52 teams of
+/// five, five practice days, a six-hour competition, panel judging.
+struct HackathonOptions {
+  int num_teams = 52;
+  uint64_t seed = 2015;
+  /// Practice window before competition day (days).
+  int practice_days = 5;
+  /// Competition duration (hours).
+  int competition_hours = 6;
+  /// Finalist / winner counts from the paper (7 finalists, 3 winners).
+  int num_finalists = 7;
+  int num_winners = 3;
+};
+
+/// One platform event mined for the paper's dashboards ("application
+/// logs, flow file growth, error messages, execution logs").
+struct HackathonEvent {
+  int team = 0;
+  std::string phase;   // "practice" | "competition"
+  std::string kind;    // "fork" | "edit" | "run" | "error"
+  int64_t minute = 0;  // minutes since phase start
+  std::string detail;  // operator/widget/template involved, if any
+};
+
+/// Per-team outcome.
+struct TeamStats {
+  int id = 0;
+  double skill = 0;           // latent, drives practice and error rates
+  int practice_runs = 0;
+  int competition_runs = 0;
+  int errors = 0;
+  size_t fork_size_bytes = 0;   // flow-file size at competition start
+  size_t final_size_bytes = 0;  // flow-file size at the end
+  int num_widgets = 0;
+  int num_flows = 0;
+  double score = 0;  // judging score
+  bool finalist = false;
+  bool winner = false;
+};
+
+/// Aggregate results: everything the figure benches need.
+struct HackathonResult {
+  std::vector<TeamStats> teams;
+  std::vector<HackathonEvent> events;
+  /// Operator usage across every executed plan (fig. 31 left): operator
+  /// display name -> execution count.
+  std::map<std::string, int> operator_usage;
+  /// Widget usage across every dashboard run (fig. 31 right).
+  std::map<std::string, int> widget_usage;
+  int total_runs = 0;
+  int total_errors = 0;
+
+  /// The events as a CSV payload (team,phase,kind,minute,detail) so the
+  /// figure benches can feed the simulation's own telemetry through a
+  /// ShareInsights dashboard — exactly how the paper produced fig. 31.
+  std::string EventsCsv() const;
+  /// Teams as CSV (id,practice_runs,competition_runs,fork_size,
+  /// final_size,score,finalist,winner).
+  std::string TeamsCsv() const;
+};
+
+/// Runs the simulation. Each simulated team forks a real sample
+/// dashboard out of a FlowFileRepository, then iterates edit-run cycles
+/// where every edit mutates the actual flow-file AST and every run
+/// compiles and executes the file on the real engine — so operator and
+/// widget usage, flow-file sizes, and error counts are measured, not
+/// assumed. See DESIGN.md for the substitution argument.
+Result<HackathonResult> SimulateHackathon(const HackathonOptions& options);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_SIM_HACKATHON_H_

@@ -1,0 +1,70 @@
+#include "table/schema.h"
+
+#include "common/string_util.h"
+
+namespace shareinsights {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  Reindex();
+}
+
+Schema Schema::FromNames(const std::vector<std::string>& names) {
+  std::vector<Field> fields;
+  fields.reserve(names.size());
+  for (const std::string& name : names) {
+    fields.push_back(Field{name, ValueType::kString});
+  }
+  return Schema(std::move(fields));
+}
+
+std::optional<size_t> Schema::IndexOf(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) return std::nullopt;
+  return it->second;
+}
+
+Result<size_t> Schema::RequireIndex(const std::string& name) const {
+  auto idx = IndexOf(name);
+  if (!idx.has_value()) {
+    return Status::SchemaError("column '" + name +
+                               "' not found; available columns: [" +
+                               Join(names(), ", ") + "]");
+  }
+  return *idx;
+}
+
+void Schema::AddField(const Field& field) {
+  auto it = index_.find(field.name);
+  if (it != index_.end()) {
+    fields_[it->second].type = field.type;
+    return;
+  }
+  index_[field.name] = fields_.size();
+  fields_.push_back(field);
+}
+
+std::vector<std::string> Schema::names() const {
+  std::vector<std::string> out;
+  out.reserve(fields_.size());
+  for (const Field& f : fields_) out.push_back(f.name);
+  return out;
+}
+
+std::string Schema::ToString() const {
+  std::vector<std::string> parts;
+  parts.reserve(fields_.size());
+  for (const Field& f : fields_) {
+    parts.push_back(f.name + ":" + ValueTypeName(f.type));
+  }
+  return Join(parts, ", ");
+}
+
+void Schema::Reindex() {
+  index_.clear();
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    // First declaration wins on duplicate names, matching lookup order.
+    index_.emplace(fields_[i].name, i);
+  }
+}
+
+}  // namespace shareinsights

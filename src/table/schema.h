@@ -1,0 +1,73 @@
+#ifndef SHAREINSIGHTS_TABLE_SCHEMA_H_
+#define SHAREINSIGHTS_TABLE_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+
+namespace shareinsights {
+
+/// A named, optionally typed column in a schema. Flow-file data sections
+/// declare columns by name only ("users need to explicitly call out the
+/// schema of the payload"); types are attached when data is materialized
+/// or propagated by the compiler.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kString;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// Ordered list of fields with O(1) lookup by name. Schemas are value
+/// types: the compiler copies and rewrites them while propagating through
+/// tasks.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  /// Convenience: all-string schema from bare column names (how schemas
+  /// appear in the D section).
+  static Schema FromNames(const std::vector<std::string>& names);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the column named `name`, or nullopt.
+  std::optional<size_t> IndexOf(const std::string& name) const;
+  bool Contains(const std::string& name) const {
+    return IndexOf(name).has_value();
+  }
+
+  /// Index of `name` or a kSchemaError naming the missing column and
+  /// listing what is available — the error users see when a task is wired
+  /// to a data object lacking the column it consumes.
+  Result<size_t> RequireIndex(const std::string& name) const;
+
+  /// Appends a field; replaces the type if the name already exists.
+  void AddField(const Field& field);
+
+  std::vector<std::string> names() const;
+
+  /// "name:type, name:type, ..." for diagnostics.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const { return fields_ == other.fields_; }
+
+ private:
+  void Reindex();
+
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_TABLE_SCHEMA_H_

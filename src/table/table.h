@@ -1,0 +1,97 @@
+#ifndef SHAREINSIGHTS_TABLE_TABLE_H_
+#define SHAREINSIGHTS_TABLE_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/value.h"
+#include "table/schema.h"
+
+namespace shareinsights {
+
+class Table;
+using TablePtr = std::shared_ptr<const Table>;
+
+/// In-memory columnar table: the materialized form of every data object
+/// (source, sink, endpoint) in a flow. Tables are immutable once built;
+/// operators produce new tables, which makes caching and concurrent reads
+/// by the executor and the data cube safe without locking.
+class Table {
+ public:
+  /// Builds a table from columns. Every column must match num_rows.
+  static Result<TablePtr> Create(Schema schema,
+                                 std::vector<std::vector<Value>> columns);
+
+  /// Zero-row table with the given schema.
+  static TablePtr Empty(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  const std::vector<Value>& column(size_t i) const { return columns_[i]; }
+
+  /// Cell accessor. Bounds are the caller's responsibility (operators
+  /// iterate within num_rows/num_columns).
+  const Value& at(size_t row, size_t col) const { return columns_[col][row]; }
+
+  /// Column by name, or kSchemaError.
+  Result<const std::vector<Value>*> ColumnByName(const std::string& name) const;
+
+  /// Copies one row out (test/display convenience).
+  std::vector<Value> Row(size_t row) const;
+
+  /// Approximate in-memory footprint, used by the optimizer's transfer-
+  /// minimization cost model and the sharing benchmarks.
+  size_t ApproxBytes() const;
+
+  /// Renders up to `max_rows` rows as an aligned ASCII table (the data
+  /// explorer's tabular view).
+  std::string ToDisplayString(size_t max_rows = 20) const;
+
+ private:
+  Table(Schema schema, std::vector<std::vector<Value>> columns,
+        size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Row-at-a-time builder used by readers, generators, and operators.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  /// Appends a row; must have exactly one value per schema field.
+  Status AppendRow(std::vector<Value> row);
+
+  /// Appends row `src_row` of `source` (schemas must be compatible by
+  /// position; used by filter/limit-style operators).
+  void AppendRowFrom(const Table& source, size_t src_row);
+
+  /// Finishes the table; the builder must not be reused afterwards.
+  Result<TablePtr> Finish();
+
+ private:
+  Schema schema_;
+  std::vector<std::vector<Value>> columns_;
+  size_t num_rows_ = 0;
+};
+
+/// Infers per-column types from the data (all-int64 column => kInt64,
+/// numeric mix => kDouble, etc.) and returns a table whose string cells
+/// are parsed accordingly. Readers call this after loading raw text.
+Result<TablePtr> InferColumnTypes(const TablePtr& table);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_TABLE_TABLE_H_

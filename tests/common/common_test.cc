@@ -1,0 +1,232 @@
+// Tests for Status/Result, string utilities, the thread pool, and the
+// deterministic RNG.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+
+namespace shareinsights {
+namespace {
+
+// ---------------------------------------------------------------------
+// Status / Result
+// ---------------------------------------------------------------------
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoriesCarryCodeAndMessage) {
+  Status s = Status::NotFound("missing thing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kNotFound);
+  EXPECT_EQ(s.message(), "missing thing");
+  EXPECT_EQ(s.ToString(), "not_found: missing thing");
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IoError("disk gone").WithContext("loading x");
+  EXPECT_EQ(s.message(), "loading x: disk gone");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  // No-op on OK.
+  EXPECT_TRUE(Status::OK().WithContext("ctx").ok());
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Result<int> Doubled(int v) {
+  SI_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  return parsed * 2;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*Doubled(21), 42);
+  Result<int> failed = Doubled(-1);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  EXPECT_EQ(ParsePositive(5).ValueOr(-1), 5);
+  EXPECT_EQ(ParsePositive(0).ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 9);
+}
+
+// ---------------------------------------------------------------------
+// String utilities
+// ---------------------------------------------------------------------
+
+TEST(StringUtilTest, SplitPreservesEmptyPieces) {
+  auto pieces = Split("a,,b,", ',');
+  ASSERT_EQ(pieces.size(), 4u);
+  EXPECT_EQ(pieces[1], "");
+  EXPECT_EQ(pieces[3], "");
+}
+
+TEST(StringUtilTest, SplitRespectingQuotes) {
+  auto pieces = SplitRespectingQuotes("a|'b|c'|d", '|');
+  ASSERT_EQ(pieces.size(), 3u);
+  EXPECT_EQ(pieces[1], "'b|c'");
+}
+
+TEST(StringUtilTest, TrimBothEnds) {
+  EXPECT_EQ(Trim("  x y  "), "x y");
+  EXPECT_EQ(Trim("\t\n"), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(StringUtilTest, JoinRoundTripsSplit) {
+  std::vector<std::string> parts = {"a", "b", "c"};
+  EXPECT_EQ(Join(parts, ", "), "a, b, c");
+  EXPECT_EQ(Split(Join(parts, ","), ','), parts);
+}
+
+TEST(StringUtilTest, CaseConversion) {
+  EXPECT_EQ(ToLower("MiXeD"), "mixed");
+  EXPECT_EQ(ToUpper("MiXeD"), "MIXED");
+}
+
+TEST(StringUtilTest, PrefixSuffix) {
+  EXPECT_TRUE(StartsWith("D.object", "D."));
+  EXPECT_FALSE(StartsWith("D", "D."));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith("csv", ".csv"));
+}
+
+TEST(StringUtilTest, IdentifierValidation) {
+  EXPECT_TRUE(IsIdentifier("abc_123"));
+  EXPECT_TRUE(IsIdentifier("_hidden"));
+  EXPECT_FALSE(IsIdentifier("1abc"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier(""));
+}
+
+TEST(StringUtilTest, ExtractWordsLowercasesAndSplits) {
+  auto words = ExtractWords("What a MATCH, Dhoni's six!");
+  ASSERT_EQ(words.size(), 5u);
+  EXPECT_EQ(words[0], "what");
+  EXPECT_EQ(words[2], "match");
+  EXPECT_EQ(words[3], "dhonis");  // apostrophe dropped
+}
+
+TEST(StringUtilTest, ReplaceAllNonOverlapping) {
+  EXPECT_EQ(ReplaceAll("aaa", "aa", "b"), "ba");
+  EXPECT_EQ(ReplaceAll("x__y__z", "__", "-"), "x-y-z");
+  EXPECT_EQ(ReplaceAll("abc", "", "x"), "abc");
+}
+
+TEST(StringUtilTest, JsonEscape) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+// ---------------------------------------------------------------------
+// ThreadPool
+// ---------------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count] { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksCanSubmitMoreTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&] {
+    count.fetch_add(1);
+    pool.Submit([&] { count.fetch_add(1); });
+  });
+  // WaitIdle covers transitively submitted work too.
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 2);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampsToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::atomic<int> count{0};
+  pool.Submit([&count] { count.fetch_add(1); });
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 1);
+}
+
+// ---------------------------------------------------------------------
+// Rng
+// ---------------------------------------------------------------------
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7), b(7), c(8);
+  EXPECT_EQ(a.Next(), b.Next());
+  EXPECT_NE(a.Next(), c.Next());
+}
+
+TEST(RngTest, RangesRespectBounds) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.NextInRange(5, 10);
+    EXPECT_GE(v, 5);
+    EXPECT_LE(v, 10);
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    EXPECT_LT(rng.NextBelow(3), 3u);
+  }
+  EXPECT_EQ(rng.NextInRange(4, 4), 4);
+  EXPECT_EQ(rng.NextBelow(0), 0u);
+}
+
+TEST(RngTest, ZipfFavorsLowRanks) {
+  Rng rng(2);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 20000; ++i) {
+    ++counts[rng.NextZipf(10, 1.0)];
+  }
+  EXPECT_GT(counts[0], counts[4]);
+  EXPECT_GT(counts[4], counts[9]);
+}
+
+TEST(RngTest, WeightedRespectsZeroWeights) {
+  Rng rng(3);
+  std::vector<double> weights = {0.0, 1.0, 0.0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(rng.NextWeighted(weights), 1u);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyCentered) {
+  Rng rng(4);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.NextGaussian(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.1);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,134 @@
+#include "common/date_util.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+TEST(DateUtilTest, ParsesIsoDate) {
+  auto dt = ParseDateTime("2013-05-02", "yyyy-MM-dd");
+  ASSERT_TRUE(dt.ok()) << dt.status();
+  EXPECT_EQ(dt->year, 2013);
+  EXPECT_EQ(dt->month, 5);
+  EXPECT_EQ(dt->day, 2);
+}
+
+TEST(DateUtilTest, ParsesTwitterTimestamp) {
+  // The Gnip/Twitter format from fig. 21 of the paper.
+  auto dt = ParseDateTime("Fri May 10 18:30:45 +0530 2013",
+                          "E MMM dd HH:mm:ss Z yyyy");
+  ASSERT_TRUE(dt.ok()) << dt.status();
+  EXPECT_EQ(dt->year, 2013);
+  EXPECT_EQ(dt->month, 5);
+  EXPECT_EQ(dt->day, 10);
+  EXPECT_EQ(dt->hour, 18);
+  EXPECT_EQ(dt->minute, 30);
+  EXPECT_EQ(dt->second, 45);
+  EXPECT_EQ(dt->tz_offset_minutes, 330);
+}
+
+TEST(DateUtilTest, ReformatsTwitterToIso) {
+  auto dt = ParseDateTime("Fri May 10 18:30:45 +0000 2013",
+                          "E MMM dd HH:mm:ss Z yyyy");
+  ASSERT_TRUE(dt.ok()) << dt.status();
+  EXPECT_EQ(FormatDateTime(*dt, "yyyy-MM-dd"), "2013-05-10");
+  EXPECT_EQ(FormatDateTime(*dt, "yyyy-MM-dd HH:mm:ss"),
+            "2013-05-10 18:30:45");
+}
+
+TEST(DateUtilTest, RejectsMismatchedText) {
+  EXPECT_FALSE(ParseDateTime("2013/05/02", "yyyy-MM-dd").ok());
+  EXPECT_FALSE(ParseDateTime("2013-13-02", "yyyy-MM-dd").ok());
+  EXPECT_FALSE(ParseDateTime("2013-05-32", "yyyy-MM-dd").ok());
+  EXPECT_FALSE(ParseDateTime("2013-05-02x", "yyyy-MM-dd").ok());
+  EXPECT_FALSE(ParseDateTime("Xyz May 10 18:30:45 +0000 2013",
+                             "E MMM dd HH:mm:ss Z yyyy")
+                   .ok());
+}
+
+TEST(DateUtilTest, QuotedLiteralSections) {
+  auto dt = ParseDateTime("year 2014!", "'year 'yyyy'!'");
+  ASSERT_TRUE(dt.ok()) << dt.status();
+  EXPECT_EQ(dt->year, 2014);
+  EXPECT_EQ(FormatDateTime(*dt, "'y='yyyy"), "y=2014");
+}
+
+TEST(DateUtilTest, UnixRoundTrip) {
+  DateTime dt;
+  dt.year = 2013;
+  dt.month = 5;
+  dt.day = 27;
+  dt.hour = 23;
+  dt.minute = 59;
+  dt.second = 59;
+  DateTime back = DateTime::FromUnixSeconds(dt.ToUnixSeconds());
+  EXPECT_EQ(back.year, 2013);
+  EXPECT_EQ(back.month, 5);
+  EXPECT_EQ(back.day, 27);
+  EXPECT_EQ(back.hour, 23);
+  EXPECT_EQ(back.second, 59);
+}
+
+TEST(DateUtilTest, TimezoneOffsetNormalizesInUnixSeconds) {
+  auto ist = ParseDateTime("Fri May 10 05:30:00 +0530 2013",
+                           "E MMM dd HH:mm:ss Z yyyy");
+  auto utc = ParseDateTime("Fri May 10 00:00:00 +0000 2013",
+                           "E MMM dd HH:mm:ss Z yyyy");
+  ASSERT_TRUE(ist.ok() && utc.ok());
+  EXPECT_EQ(ist->ToUnixSeconds(), utc->ToUnixSeconds());
+}
+
+TEST(DateUtilTest, DayOfWeek) {
+  auto dt = ParseDateTime("2013-05-10", "yyyy-MM-dd");  // a Friday
+  ASSERT_TRUE(dt.ok());
+  EXPECT_EQ(dt->DayOfWeek(), 5);
+  EXPECT_EQ(FormatDateTime(*dt, "E"), "Fri");
+  auto epoch = ParseDateTime("1970-01-01", "yyyy-MM-dd");  // Thursday
+  EXPECT_EQ(epoch->DayOfWeek(), 4);
+}
+
+TEST(DateUtilTest, CivilDayConversionRoundTrip) {
+  EXPECT_EQ(DaysFromCivil(1970, 1, 1), 0);
+  EXPECT_EQ(DaysFromCivil(1970, 1, 2), 1);
+  EXPECT_EQ(DaysFromCivil(1969, 12, 31), -1);
+  int y, m, d;
+  CivilFromDays(DaysFromCivil(2016, 2, 29), &y, &m, &d);  // leap year
+  EXPECT_EQ(y, 2016);
+  EXPECT_EQ(m, 2);
+  EXPECT_EQ(d, 29);
+}
+
+class DateRoundTripProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DateRoundTripProperty, DaysRoundTrip) {
+  int64_t days = GetParam();
+  int y, m, d;
+  CivilFromDays(days, &y, &m, &d);
+  EXPECT_EQ(DaysFromCivil(y, m, d), days);
+  EXPECT_GE(m, 1);
+  EXPECT_LE(m, 12);
+  EXPECT_GE(d, 1);
+  EXPECT_LE(d, 31);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DateRoundTripProperty,
+                         ::testing::Values(-100000, -1, 0, 1, 59, 365, 10957,
+                                           15827, 16861, 20000, 100000));
+
+class DateFormatRoundTripProperty
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DateFormatRoundTripProperty, ParseFormatFixpoint) {
+  const char* text = GetParam();
+  auto dt = ParseDateTime(text, "yyyy-MM-dd");
+  ASSERT_TRUE(dt.ok()) << dt.status();
+  EXPECT_EQ(FormatDateTime(*dt, "yyyy-MM-dd"), text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DateFormatRoundTripProperty,
+                         ::testing::Values("2013-05-02", "2000-02-29",
+                                           "1999-12-31", "2020-01-01",
+                                           "1970-01-01"));
+
+}  // namespace
+}  // namespace shareinsights

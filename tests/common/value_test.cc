@@ -1,0 +1,132 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace shareinsights {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(true).type(), ValueType::kBool);
+  EXPECT_EQ(Value(static_cast<int64_t>(42)).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("hi").type(), ValueType::kString);
+}
+
+TEST(ValueTest, NumericCrossTypeEquality) {
+  EXPECT_EQ(Value(static_cast<int64_t>(3)), Value(3.0));
+  EXPECT_NE(Value(static_cast<int64_t>(3)), Value(3.5));
+  EXPECT_LT(Value(static_cast<int64_t>(3)), Value(3.5));
+  EXPECT_GT(Value(4.5), Value(static_cast<int64_t>(4)));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  // Numerically equal int64/double must land in the same hash bucket.
+  EXPECT_EQ(Value(static_cast<int64_t>(7)).Hash(), Value(7.0).Hash());
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value(static_cast<int64_t>(7)));
+  EXPECT_EQ(set.count(Value(7.0)), 1u);
+}
+
+TEST(ValueTest, NullsSortFirst) {
+  EXPECT_LT(Value::Null(), Value(false));
+  EXPECT_LT(Value::Null(), Value(static_cast<int64_t>(-100)));
+  EXPECT_LT(Value::Null(), Value(""));
+  EXPECT_EQ(Value::Null(), Value::Null());
+}
+
+TEST(ValueTest, CrossTypeOrderingIsStable) {
+  // null < bool < numeric < string.
+  EXPECT_LT(Value(true), Value(static_cast<int64_t>(0)));
+  EXPECT_LT(Value(static_cast<int64_t>(999)), Value("0"));
+}
+
+TEST(ValueTest, StringComparison) {
+  EXPECT_LT(Value("apple"), Value("banana"));
+  EXPECT_EQ(Value("x"), Value("x"));
+}
+
+TEST(ValueTest, ToInt64Conversions) {
+  EXPECT_EQ(*Value("123").ToInt64(), 123);
+  EXPECT_EQ(*Value(4.9).ToInt64(), 4);
+  EXPECT_EQ(*Value(true).ToInt64(), 1);
+  EXPECT_FALSE(Value("12x").ToInt64().ok());
+  EXPECT_FALSE(Value::Null().ToInt64().ok());
+}
+
+TEST(ValueTest, ToDoubleConversions) {
+  EXPECT_DOUBLE_EQ(*Value("2.5").ToDouble(), 2.5);
+  EXPECT_DOUBLE_EQ(*Value(static_cast<int64_t>(4)).ToDouble(), 4.0);
+  EXPECT_FALSE(Value("abc").ToDouble().ok());
+}
+
+TEST(ValueTest, ToBoolConversions) {
+  EXPECT_TRUE(*Value("true").ToBool());
+  EXPECT_FALSE(*Value("0").ToBool());
+  EXPECT_TRUE(*Value(static_cast<int64_t>(5)).ToBool());
+  EXPECT_FALSE(Value("maybe").ToBool().ok());
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value(static_cast<int64_t>(42)).ToString(), "42");
+  EXPECT_EQ(Value(true).ToString(), "true");
+  // Integral doubles render without decimals.
+  EXPECT_EQ(Value(5.0).ToString(), "5");
+  EXPECT_EQ(Value("text").ToString(), "text");
+}
+
+TEST(ValueTest, InferPicksMostSpecificType) {
+  EXPECT_EQ(Value::Infer("42").type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Infer("-17").type(), ValueType::kInt64);
+  EXPECT_EQ(Value::Infer("3.25").type(), ValueType::kDouble);
+  EXPECT_EQ(Value::Infer("true").type(), ValueType::kBool);
+  EXPECT_EQ(Value::Infer("hello").type(), ValueType::kString);
+  EXPECT_TRUE(Value::Infer("").is_null());
+  // Leading zeros and mixed content stay strings... "2x" is a string.
+  EXPECT_EQ(Value::Infer("2x").type(), ValueType::kString);
+}
+
+TEST(ValueTest, InferDateStaysString) {
+  EXPECT_EQ(Value::Infer("2013-05-02").type(), ValueType::kString);
+}
+
+class ValueCompareProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ValueCompareProperty, TotalOrderAxioms) {
+  // Build a small universe and check antisymmetry/transitivity pairwise.
+  std::vector<Value> universe = {
+      Value::Null(),  Value(false),       Value(true),
+      Value(static_cast<int64_t>(-3)),    Value(static_cast<int64_t>(0)),
+      Value(static_cast<int64_t>(7)),     Value(-2.5),
+      Value(7.0),     Value(100.25),      Value(""),
+      Value("a"),     Value("abc"),       Value("z")};
+  int i = GetParam();
+  const Value& a = universe[static_cast<size_t>(i) % universe.size()];
+  for (const Value& b : universe) {
+    int ab = a.Compare(b);
+    int ba = b.Compare(a);
+    EXPECT_EQ(ab, -ba) << a << " vs " << b;
+    if (ab == 0) {
+      EXPECT_EQ(a.Hash(), b.Hash()) << a << " vs " << b;
+    }
+    for (const Value& c : universe) {
+      if (ab <= 0 && b.Compare(c) <= 0) {
+        EXPECT_LE(a.Compare(c), 0) << a << " " << b << " " << c;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Universe, ValueCompareProperty,
+                         ::testing::Range(0, 13));
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,205 @@
+#include "compile/compiler.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/executor.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+namespace {
+
+// Inline-data rendition of the paper's fig. 8 flow: group the svn/jira
+// summary by (project, year) and sum three measures.
+constexpr const char* kGroupFlow = R"(
+D:
+  svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+  checkin_jira_emails: [project, year, total_checkins, total_jira, total_emails]
+
+D.svn_jira_summary:
+  protocol: inline
+  format: csv
+  data: "project,year,noOfBugs,noOfCheckins,noOfEmailsTotal
+pig,2013,4,10,100
+pig,2013,6,20,50
+pig,2014,1,5,10
+hive,2013,2,8,30
+"
+
+F:
+  D.checkin_jira_emails: D.svn_jira_summary | T.get_svn_jira_count
+
+D.checkin_jira_emails:
+  endpoint: true
+
+T:
+  get_svn_jira_count:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+      - operator: sum
+        apply_on: noOfCheckins
+        out_field: total_checkins
+      - operator: sum
+        apply_on: noOfBugs
+        out_field: total_jira
+      - operator: sum
+        apply_on: noOfEmailsTotal
+        out_field: total_emails
+)";
+
+TEST(CompilerTest, CompilesAndExecutesGroupFlow) {
+  auto file = ParseFlowFile(kGroupFlow, "apache");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ASSERT_EQ(plan->flows.size(), 1u);
+  EXPECT_EQ(plan->flows[0].output_schema.names(),
+            (std::vector<std::string>{"project", "year", "total_checkins",
+                                      "total_jira", "total_emails"}));
+  ASSERT_EQ(plan->endpoints.size(), 1u);
+
+  DataStore store;
+  Executor executor;
+  auto stats = executor.Execute(*plan, &store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->sources_loaded, 1);
+  EXPECT_EQ(stats->flows_executed, 1);
+
+  auto table = store.Get("checkin_jira_emails");
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 3u);  // (pig,2013), (pig,2014), (hive,2013)
+  // First group is (pig, 2013): 10+20 checkins, 4+6 bugs, 100+50 emails.
+  EXPECT_EQ((*table)->at(0, 2), Value(static_cast<int64_t>(30)));
+  EXPECT_EQ((*table)->at(0, 3), Value(static_cast<int64_t>(10)));
+  EXPECT_EQ((*table)->at(0, 4), Value(static_cast<int64_t>(150)));
+}
+
+TEST(CompilerTest, SchemaErrorNamesMissingColumn) {
+  std::string broken(kGroupFlow);
+  // Reference a column the source does not have.
+  size_t pos = broken.find("apply_on: noOfCheckins");
+  ASSERT_NE(pos, std::string::npos);
+  broken.replace(pos, 22, "apply_on: noSuchColumn");
+  auto file = ParseFlowFile(broken);
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kSchemaError);
+  EXPECT_NE(plan.status().message().find("noSuchColumn"), std::string::npos)
+      << plan.status();
+}
+
+TEST(CompilerTest, RejectsCyclicFlows) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.a: D.b | T.t
+  D.b: D.a | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kCycleError);
+}
+
+TEST(CompilerTest, RejectsDuplicateProducers) {
+  auto file = ParseFlowFile(R"(
+D:
+  src: [a]
+D.src:
+  protocol: inline
+  data: "a
+1
+"
+F:
+  D.out: D.src | T.t
+  D.out: D.src | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("more than one flow"),
+            std::string::npos);
+}
+
+TEST(CompilerTest, RejectsUnknownDataObject) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.out: D.missing | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CompilerTest, WidgetFilterRejectedInBatchFlows) {
+  auto file = ParseFlowFile(R"(
+D:
+  src: [team]
+D.src:
+  protocol: inline
+  data: "team
+csk
+"
+F:
+  D.out: D.src | T.by_widget
+T:
+  by_widget:
+    type: filter_by
+    filter_by: [team]
+    filter_source: W.teams
+    filter_val: [text]
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_NE(plan.status().message().find("dashboard interaction flow"),
+            std::string::npos)
+      << plan.status();
+}
+
+TEST(CompilerTest, IncrementalSkipsCleanFlows) {
+  auto file = ParseFlowFile(kGroupFlow);
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  DataStore store;
+  Executor executor;
+  ASSERT_TRUE(executor.Execute(*plan, &store).ok());
+
+  // Nothing dirty: the single flow is skipped.
+  auto stats = executor.ExecuteIncremental(*plan, &store, {});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->flows_executed, 0);
+  EXPECT_EQ(stats->flows_skipped, 1);
+  EXPECT_EQ(stats->sources_loaded, 0);
+
+  // Source dirty: downstream flow re-runs.
+  stats = executor.ExecuteIncremental(*plan, &store, {"svn_jira_summary"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->flows_executed, 1);
+  EXPECT_EQ(stats->sources_loaded, 1);
+}
+
+TEST(CompilerTest, PlanToStringMentionsFlowsAndEndpoints) {
+  auto file = ParseFlowFile(kGroupFlow);
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  std::string text = plan->ToString();
+  EXPECT_NE(text.find("checkin_jira_emails"), std::string::npos);
+  EXPECT_NE(text.find("groupby"), std::string::npos);
+  EXPECT_NE(text.find("endpoints: checkin_jira_emails"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shareinsights

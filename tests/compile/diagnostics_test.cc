@@ -1,0 +1,132 @@
+#include "compile/diagnostics.h"
+
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+namespace {
+
+constexpr const char* kFlow = R"(
+D:
+  svn_jira_summary: [project, year, noOfBugs, noOfCheckins]
+D.svn_jira_summary:
+  protocol: inline
+  format: csv
+  data: "project,year,noOfBugs,noOfCheckins
+pig,2013,1,2
+"
+F:
+  D.out: D.svn_jira_summary | T.get_counts
+T:
+  get_counts:
+    type: groupby
+    groupby: [project]
+    aggregates:
+      - operator: sum
+        apply_on: noOfChekins
+        out_field: total
+)";
+
+TEST(EditDistanceTest, BasicCases) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0u);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1u);
+  EXPECT_EQ(EditDistance("abc", "ab"), 1u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("", "xyz"), 3u);
+}
+
+TEST(DiagnosticsTest, MisspelledColumnSuggestsNearMiss) {
+  auto file = ParseFlowFile(kFlow);
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+
+  Diagnosis diagnosis = ExplainError(plan.status(), *file);
+  // Pin-pointed to the offending task.
+  EXPECT_EQ(diagnosis.section, "T");
+  EXPECT_EQ(diagnosis.entity, "get_counts");
+  // Suggests the real column.
+  ASSERT_FALSE(diagnosis.suggestions.empty());
+  EXPECT_NE(diagnosis.suggestions[0].find("noOfCheckins"),
+            std::string::npos)
+      << diagnosis.ToString();
+  std::string rendered = diagnosis.ToString();
+  EXPECT_NE(rendered.find("[T.get_counts]"), std::string::npos);
+  EXPECT_NE(rendered.find("hint:"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, UnknownTaskSuggestsExistingTasks) {
+  auto file = ParseFlowFile(R"(
+D:
+  src: [a]
+D.src:
+  protocol: inline
+  data: "a
+1
+"
+F:
+  D.out: D.src | T.get_count
+T:
+  get_counts:
+    type: groupby
+    groupby: [a]
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  Diagnosis diagnosis = ExplainError(plan.status(), *file);
+  ASSERT_FALSE(diagnosis.suggestions.empty());
+  EXPECT_NE(diagnosis.suggestions[0].find("get_counts"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, UnknownDataObjectMentionsSharedCatalog) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.out: D.playr_tweets | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok());
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  Diagnosis diagnosis = ExplainError(plan.status(), *file);
+  bool mentions_catalog = false;
+  for (const std::string& hint : diagnosis.suggestions) {
+    if (hint.find("shared catalog") != std::string::npos) {
+      mentions_catalog = true;
+    }
+  }
+  EXPECT_TRUE(mentions_catalog) << diagnosis.ToString();
+}
+
+TEST(DiagnosticsTest, CycleErrorPointsAtFlowSection) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.a: D.b | T.t
+  D.b: D.a | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok());
+  auto plan = CompileFlowFile(*file);
+  ASSERT_FALSE(plan.ok());
+  Diagnosis diagnosis = ExplainError(plan.status(), *file);
+  EXPECT_EQ(diagnosis.section, "F");
+  ASSERT_FALSE(diagnosis.suggestions.empty());
+  EXPECT_NE(diagnosis.suggestions[0].find("DAG"), std::string::npos);
+}
+
+TEST(DiagnosticsTest, OkStatusIsNoError) {
+  FlowFile file;
+  Diagnosis diagnosis = ExplainError(Status::OK(), file);
+  EXPECT_EQ(diagnosis.summary, "no error");
+  EXPECT_TRUE(diagnosis.suggestions.empty());
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,159 @@
+#include "cube/data_cube.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/datagen.h"
+#include "ops/filter.h"
+
+namespace shareinsights {
+namespace {
+
+TablePtr Endpoint() { return GenerateBenchTable(500, 8, 21); }
+
+TEST(DataCubeTest, BuildIndexesLowCardinalityColumns) {
+  auto cube = DataCube::Build(Endpoint());
+  ASSERT_TRUE(cube.ok()) << cube.status();
+  // key (8 distinct) certainly indexed; all columns fit under the default
+  // cap for 500 rows.
+  EXPECT_GE((*cube)->num_indexed_columns(), 1u);
+}
+
+TEST(DataCubeTest, CardinalityCapSkipsWideColumns) {
+  auto cube = DataCube::Build(Endpoint(), /*max_index_cardinality=*/4);
+  ASSERT_TRUE(cube.ok());
+  // 'key' has 8 distinct values > 4, so nothing indexable remains except
+  // possibly none.
+  EXPECT_EQ((*cube)->num_indexed_columns(), 0u);
+}
+
+TEST(DataCubeTest, EmptyQueryReturnsWholeTable) {
+  auto cube = *DataCube::Build(Endpoint());
+  auto out = cube->Execute(DataCube::Query{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), Endpoint()->num_rows());
+}
+
+TEST(DataCubeTest, MembershipFilter) {
+  auto cube = *DataCube::Build(Endpoint());
+  DataCube::Query query;
+  query.filters.push_back({"key", {Value("group_2")}, false});
+  auto out = cube->Execute(query);
+  ASSERT_TRUE(out.ok());
+  for (size_t r = 0; r < (*out)->num_rows(); ++r) {
+    EXPECT_EQ((*out)->at(r, 0), Value("group_2"));
+  }
+  EXPECT_GT((*out)->num_rows(), 0u);
+}
+
+TEST(DataCubeTest, EmptyFilterValuesMeanNoConstraint) {
+  auto cube = *DataCube::Build(Endpoint());
+  DataCube::Query query;
+  query.filters.push_back({"key", {}, false});
+  auto out = cube->Execute(query);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), Endpoint()->num_rows());
+}
+
+TEST(DataCubeTest, GroupByWithAggregates) {
+  auto cube = *DataCube::Build(Endpoint());
+  DataCube::Query query;
+  query.group_by = {"key"};
+  query.aggregates = {AggregateSpec{"sum", "value", "total"}};
+  auto out = cube->Execute(query);
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_LE((*out)->num_rows(), 8u);
+  EXPECT_EQ((*out)->schema().names(),
+            (std::vector<std::string>{"key", "total"}));
+}
+
+TEST(DataCubeTest, OrderByAndLimit) {
+  auto cube = *DataCube::Build(Endpoint());
+  DataCube::Query query;
+  query.group_by = {"key"};
+  query.aggregates = {AggregateSpec{"sum", "value", "total"}};
+  query.order_by = {SortKey{"total", true}};
+  query.limit = 3;
+  auto out = cube->Execute(query);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ((*out)->num_rows(), 3u);
+  EXPECT_GE((*out)->at(0, 1), (*out)->at(1, 1));
+  EXPECT_GE((*out)->at(1, 1), (*out)->at(2, 1));
+}
+
+TEST(DataCubeTest, UnknownFilterColumnErrors) {
+  auto cube = *DataCube::Build(Endpoint());
+  DataCube::Query query;
+  query.filters.push_back({"nope", {Value("x")}, false});
+  EXPECT_FALSE(cube->Execute(query).ok());
+}
+
+TEST(DataCubeTest, RangeFilterExcludesNulls) {
+  TableBuilder builder(Schema({Field{"v", ValueType::kInt64}}));
+  (void)builder.AppendRow({Value(static_cast<int64_t>(5))});
+  (void)builder.AppendRow({Value::Null()});
+  (void)builder.AppendRow({Value(static_cast<int64_t>(15))});
+  auto cube = *DataCube::Build(*builder.Finish());
+  DataCube::Query query;
+  query.filters.push_back({"v",
+                           {Value(static_cast<int64_t>(0)),
+                            Value(static_cast<int64_t>(10))},
+                           true});
+  auto out = cube->Execute(query);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 1u);
+}
+
+// Property: cube answers match direct operator execution exactly.
+class CubeEquivalenceProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CubeEquivalenceProperty, MatchesOperatorPipeline) {
+  auto [rows, groups] = GetParam();
+  TablePtr table = GenerateBenchTable(static_cast<size_t>(rows),
+                                      static_cast<size_t>(groups),
+                                      static_cast<uint64_t>(rows + groups));
+  auto cube = *DataCube::Build(table);
+
+  DataCube::Query query;
+  query.filters.push_back(
+      {"key", {Value("group_0"), Value("group_2")}, false});
+  query.filters.push_back({"value",
+                           {Value(static_cast<int64_t>(100)),
+                            Value(static_cast<int64_t>(800))},
+                           true});
+  query.group_by = {"key"};
+  query.aggregates = {AggregateSpec{"sum", "value", "total"},
+                      AggregateSpec{"count", "value", "n"}};
+  auto via_cube = cube->Execute(query);
+  ASSERT_TRUE(via_cube.ok()) << via_cube.status();
+
+  // Same computation through the batch operators.
+  FilterValuesOp filter(
+      {{"key", {Value("group_0"), Value("group_2")}, false},
+       {"value",
+        {Value(static_cast<int64_t>(100)), Value(static_cast<int64_t>(800))},
+        true}});
+  auto filtered = filter.Execute({table});
+  ASSERT_TRUE(filtered.ok());
+  auto groupby = GroupByOp::Create(
+      {"key"}, {AggregateSpec{"sum", "value", "total"},
+                AggregateSpec{"count", "value", "n"}});
+  auto via_ops = (*groupby)->Execute({*filtered});
+  ASSERT_TRUE(via_ops.ok());
+
+  ASSERT_EQ((*via_cube)->num_rows(), (*via_ops)->num_rows());
+  for (size_t r = 0; r < (*via_cube)->num_rows(); ++r) {
+    for (size_t c = 0; c < (*via_cube)->num_columns(); ++c) {
+      EXPECT_EQ((*via_cube)->at(r, c), (*via_ops)->at(r, c))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CubeEquivalenceProperty,
+                         ::testing::Combine(::testing::Values(0, 1, 64, 999,
+                                                              4096),
+                                            ::testing::Values(1, 8, 64)));
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,96 @@
+#include "dashboard/profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dashboard/dashboard.h"
+#include "io/csv.h"
+
+namespace shareinsights {
+namespace {
+
+TablePtr SampleTable() {
+  TableBuilder builder(Schema({Field{"city", ValueType::kString},
+                               Field{"pop", ValueType::kInt64}}));
+  (void)builder.AppendRow({Value("pune"), Value(static_cast<int64_t>(30))});
+  (void)builder.AppendRow({Value("pune"), Value(static_cast<int64_t>(70))});
+  (void)builder.AppendRow({Value("mumbai"), Value::Null()});
+  (void)builder.AppendRow({Value::Null(), Value(static_cast<int64_t>(20))});
+  return *builder.Finish();
+}
+
+TEST(ProfilerTest, ComputesColumnStatistics) {
+  auto profiles = ProfileTable("cities", *SampleTable());
+  ASSERT_EQ(profiles.size(), 2u);
+
+  const ColumnProfile& city = profiles[0];
+  EXPECT_EQ(city.column, "city");
+  EXPECT_EQ(city.rows, 4u);
+  EXPECT_EQ(city.nulls, 1u);
+  EXPECT_EQ(city.distinct, 2u);
+  EXPECT_EQ(city.top_value, Value("pune"));
+  EXPECT_EQ(city.top_count, 2u);
+  EXPECT_EQ(city.min, Value("mumbai"));
+  EXPECT_EQ(city.max, Value("pune"));
+  EXPECT_FALSE(city.has_mean);
+
+  const ColumnProfile& pop = profiles[1];
+  EXPECT_EQ(pop.nulls, 1u);
+  EXPECT_EQ(pop.distinct, 3u);
+  EXPECT_TRUE(pop.has_mean);
+  EXPECT_DOUBLE_EQ(pop.mean, 40.0);
+  EXPECT_EQ(pop.min, Value(static_cast<int64_t>(20)));
+  EXPECT_EQ(pop.max, Value(static_cast<int64_t>(70)));
+}
+
+TEST(ProfilerTest, EmptyTableProfiles) {
+  auto profiles =
+      ProfileTable("empty", *Table::Empty(Schema::FromNames({"a"})));
+  ASSERT_EQ(profiles.size(), 1u);
+  EXPECT_EQ(profiles[0].rows, 0u);
+  EXPECT_EQ(profiles[0].distinct, 0u);
+  EXPECT_TRUE(profiles[0].min.is_null());
+}
+
+TEST(ProfilerTest, ProfileStoreCoversEveryObject) {
+  DataStore store;
+  store.Put("a", SampleTable());
+  store.Put("b", SampleTable());
+  auto profiles = ProfileStore(store);
+  EXPECT_EQ(profiles.size(), 4u);
+}
+
+TEST(ProfilerTest, RenderContainsColumnsAndPercentages) {
+  std::string text = RenderProfiles(ProfileTable("cities", *SampleTable()));
+  EXPECT_NE(text.find("null_pct"), std::string::npos);
+  EXPECT_NE(text.find("pune"), std::string::npos);
+  EXPECT_NE(text.find("25"), std::string::npos);  // 25% nulls
+}
+
+TEST(ProfilerTest, MetaDashboardIsARunnableFlowFile) {
+  auto [flow_text, profile_csv] =
+      BuildMetaDashboard(ProfileTable("cities", *SampleTable()));
+
+  // Stage the CSV where the flow file's file connector expects it.
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "si_meta_dash").string();
+  ASSERT_TRUE(WriteStringToFile(profile_csv, dir + "/profile.csv").ok());
+
+  auto file = ParseFlowFile(flow_text, "meta");
+  ASSERT_TRUE(file.ok()) << file.status();
+  Dashboard::Options options;
+  options.base_dir = dir;
+  auto dashboard = Dashboard::Create(std::move(*file), options);
+  ASSERT_TRUE(dashboard.ok()) << dashboard.status();
+  ASSERT_TRUE((*dashboard)->Run().ok());
+  auto chart = (*dashboard)->WidgetData("null_chart");
+  ASSERT_TRUE(chart.ok()) << chart.status();
+  EXPECT_EQ((*chart)->num_rows(), 2u);
+  // Worst-null column first.
+  EXPECT_GE((*chart)->ColumnByName("null_pct").ValueOrDie()->at(0),
+            (*chart)->ColumnByName("null_pct").ValueOrDie()->at(1));
+}
+
+}  // namespace
+}  // namespace shareinsights

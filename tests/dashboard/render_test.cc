@@ -1,0 +1,117 @@
+#include "dashboard/render.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+WidgetDecl MakeWidget(const std::string& type,
+                      std::vector<std::pair<std::string, std::string>>
+                          attributes) {
+  WidgetDecl widget;
+  widget.name = "w";
+  widget.type = type;
+  widget.config = ConfigNode::Map();
+  widget.config.Set("type", ConfigNode::Scalar(type));
+  for (auto& [key, value] : attributes) {
+    widget.config.Set(key, ConfigNode::Scalar(value));
+  }
+  return widget;
+}
+
+TablePtr KeyValueTable() {
+  TableBuilder builder(Schema({Field{"label", ValueType::kString},
+                               Field{"n", ValueType::kInt64}}));
+  (void)builder.AppendRow({Value("alpha"), Value(static_cast<int64_t>(90))});
+  (void)builder.AppendRow({Value("beta"), Value(static_cast<int64_t>(45))});
+  (void)builder.AppendRow({Value("gamma"), Value(static_cast<int64_t>(9))});
+  return *builder.Finish();
+}
+
+TEST(RenderTest, BarChartDrawsProportionalBars) {
+  WidgetDecl widget = MakeWidget("BarChart", {{"x", "label"}, {"y", "n"}});
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable());
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  // Largest value gets the longest bar.
+  size_t alpha_hashes = 0, gamma_hashes = 0;
+  std::istringstream lines(out);
+  std::string line;
+  while (std::getline(lines, line)) {
+    size_t hashes = static_cast<size_t>(
+        std::count(line.begin(), line.end(), '#'));
+    if (line.find("alpha") != std::string::npos) alpha_hashes = hashes;
+    if (line.find("gamma") != std::string::npos) gamma_hashes = hashes;
+  }
+  EXPECT_GT(alpha_hashes, gamma_hashes);
+  EXPECT_GT(gamma_hashes, 0u);
+}
+
+TEST(RenderTest, PieChartShowsShares) {
+  WidgetDecl widget =
+      MakeWidget("PieChart", {{"label", "label"}, {"value", "n"}});
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable());
+  EXPECT_NE(out.find("%"), std::string::npos);
+  EXPECT_NE(out.find("62.5%"), std::string::npos);  // 90/144
+}
+
+TEST(RenderTest, WordCloudEmphasizesHeavyWords) {
+  WidgetDecl widget = MakeWidget("WordCloud", {{"text", "label"},
+                                               {"size", "n"}});
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable());
+  EXPECT_NE(out.find("ALPHA**"), std::string::npos);  // > 66% weight
+  EXPECT_NE(out.find("beta*"), std::string::npos);    // mid weight
+  EXPECT_NE(out.find("gamma "), std::string::npos);   // light weight
+}
+
+TEST(RenderTest, ListShowsCheckboxes) {
+  WidgetDecl widget = MakeWidget("List", {{"text", "label"}});
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable());
+  EXPECT_NE(out.find("[ ] alpha"), std::string::npos);
+}
+
+TEST(RenderTest, TruncationNote) {
+  WidgetDecl widget = MakeWidget("List", {{"text", "label"}});
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable(), 2);
+  EXPECT_NE(out.find("(1 more)"), std::string::npos);
+}
+
+TEST(RenderTest, StreamgraphSummarizesSeries) {
+  TableBuilder builder(Schema({Field{"date", ValueType::kString},
+                               Field{"count", ValueType::kInt64},
+                               Field{"team", ValueType::kString}}));
+  (void)builder.AppendRow({Value("2013-05-02"),
+                           Value(static_cast<int64_t>(5)), Value("CSK")});
+  (void)builder.AppendRow({Value("2013-05-03"),
+                           Value(static_cast<int64_t>(7)), Value("CSK")});
+  (void)builder.AppendRow({Value("2013-05-02"),
+                           Value(static_cast<int64_t>(3)), Value("MI")});
+  WidgetDecl widget = MakeWidget(
+      "Streamgraph", {{"x", "date"}, {"y", "count"}, {"serie", "team"}});
+  std::string out = RenderWidgetAscii(widget, **builder.Finish());
+  EXPECT_NE(out.find("2013-05-02 .. 2013-05-03"), std::string::npos);
+  EXPECT_NE(out.find("CSK"), std::string::npos);
+  EXPECT_NE(out.find("12"), std::string::npos);  // CSK total
+}
+
+TEST(RenderTest, UnboundWidgetFallsBackToTable) {
+  WidgetDecl widget = MakeWidget("BarChart", {});  // no x/y bindings
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable());
+  EXPECT_NE(out.find("| label |"), std::string::npos);
+}
+
+TEST(RenderTest, DataGridIsTabular) {
+  WidgetDecl widget = MakeWidget("DataGrid", {});
+  std::string out = RenderWidgetAscii(widget, *KeyValueTable());
+  EXPECT_NE(out.find("+"), std::string::npos);
+  EXPECT_NE(out.find("| label |"), std::string::npos);
+}
+
+TEST(RenderTest, EmptyDataDoesNotCrash) {
+  WidgetDecl widget = MakeWidget("BarChart", {{"x", "label"}, {"y", "n"}});
+  TablePtr empty = Table::Empty(KeyValueTable()->schema());
+  std::string out = RenderWidgetAscii(widget, *empty);
+  EXPECT_TRUE(out.empty() || out.find('#') == std::string::npos);
+}
+
+}  // namespace
+}  // namespace shareinsights

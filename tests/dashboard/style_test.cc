@@ -1,0 +1,97 @@
+#include "dashboard/style.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+FlowFile WidgetsFile() {
+  auto file = ParseFlowFile(R"(
+W:
+  bubble:
+    type: BubbleChart
+    text: project
+    size: total_wt
+  grid:
+    type: DataGrid
+)");
+  EXPECT_TRUE(file.ok()) << file.status();
+  return *file;
+}
+
+TEST(StyleSheetTest, ParsesRulesAndComments) {
+  auto sheet = StyleSheet::Parse(R"(
+/* dashboard theme */
+* { font: mono; }
+.BubbleChart { color: #ec1c24; show_legends: true; }
+W.bubble { color: gold; }
+)");
+  ASSERT_TRUE(sheet.ok()) << sheet.status();
+  EXPECT_EQ(sheet->num_rules(), 3u);
+}
+
+TEST(StyleSheetTest, CascadeSpecificity) {
+  auto sheet = StyleSheet::Parse(
+      "* { color: grey; font: mono; }\n"
+      ".BubbleChart { color: red; legend: on; }\n"
+      "W.bubble { color: gold; }\n");
+  ASSERT_TRUE(sheet.ok());
+  FlowFile file = WidgetsFile();
+  auto bubble = sheet->Resolve(*file.FindWidget("bubble"));
+  // Name beats type beats universal.
+  EXPECT_EQ(bubble.at("color"), "gold");
+  EXPECT_EQ(bubble.at("legend"), "on");
+  EXPECT_EQ(bubble.at("font"), "mono");
+  auto grid = sheet->Resolve(*file.FindWidget("grid"));
+  EXPECT_EQ(grid.at("color"), "grey");
+  EXPECT_EQ(grid.count("legend"), 0u);
+}
+
+TEST(StyleSheetTest, LaterRuleOfSameTierWins) {
+  auto sheet = StyleSheet::Parse(
+      ".DataGrid { rows: 10; }\n.DataGrid { rows: 20; }\n");
+  ASSERT_TRUE(sheet.ok());
+  FlowFile file = WidgetsFile();
+  EXPECT_EQ(sheet->Resolve(*file.FindWidget("grid")).at("rows"), "20");
+}
+
+TEST(StyleSheetTest, ApplyToMergesVisualAttributesOnly) {
+  auto sheet = StyleSheet::Parse(
+      "W.bubble { border: gold; text: HIJACKED; source: D.evil; "
+      "color: HIJACKED; type: HTML; }\n");
+  ASSERT_TRUE(sheet.ok());
+  FlowFile file = WidgetsFile();
+  sheet->ApplyTo(&file);
+  const WidgetDecl* bubble = file.FindWidget("bubble");
+  EXPECT_EQ(bubble->config.GetString("border"), "gold");
+  // Data attributes (text, and for BubbleChart also color) and
+  // structural keys are protected.
+  EXPECT_EQ(bubble->config.GetString("text"), "project");
+  EXPECT_FALSE(bubble->config.Has("color"));
+  EXPECT_EQ(bubble->config.GetString("type"), "BubbleChart");
+  EXPECT_FALSE(bubble->config.Has("source"));
+}
+
+TEST(StyleSheetTest, ParseErrors) {
+  EXPECT_FALSE(StyleSheet::Parse("W.x { color red }").ok());   // no colon
+  EXPECT_FALSE(StyleSheet::Parse("W.x { color: red;").ok());   // no close
+  EXPECT_FALSE(StyleSheet::Parse("W.x color: red;").ok());     // no open
+  EXPECT_FALSE(StyleSheet::Parse("bubble { a: b; }").ok());    // bad selector
+  EXPECT_FALSE(StyleSheet::Parse("/* unterminated").ok());
+  EXPECT_FALSE(StyleSheet::Parse("W.x { : red; }").ok());      // empty prop
+  auto err = StyleSheet::Parse("\n\nW.x { broken }");
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kParseError);
+}
+
+TEST(StyleSheetTest, EmptySheetIsValid) {
+  auto sheet = StyleSheet::Parse("  /* nothing */  ");
+  ASSERT_TRUE(sheet.ok()) << sheet.status();
+  EXPECT_EQ(sheet->num_rules(), 0u);
+  FlowFile file = WidgetsFile();
+  sheet->ApplyTo(&file);  // no-op, no crash
+  EXPECT_TRUE(sheet->Resolve(*file.FindWidget("grid")).empty());
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,166 @@
+// Tests for the synthetic data generators and the glue-code baseline.
+
+#include <gtest/gtest.h>
+
+#include "baseline/apache_glue.h"
+#include "baseline/glue.h"
+#include "datagen/datagen.h"
+#include "io/connector.h"
+#include "ops/map_ops.h"
+#include "io/csv.h"
+#include "io/json.h"
+
+namespace shareinsights {
+namespace {
+
+TEST(DatagenTest, ApacheDataHasDeclaredSchemas) {
+  ApacheDataset data = GenerateApacheData(ApacheDataOptions{});
+  auto stack = ReadCsvString(data.stackoverflow_csv, CsvOptions{},
+                             std::nullopt);
+  ASSERT_TRUE(stack.ok());
+  EXPECT_EQ((*stack)->schema().names(),
+            (std::vector<std::string>{"project", "question", "answer",
+                                      "tags"}));
+  auto svn = ReadCsvString(data.svn_jira_csv, CsvOptions{}, std::nullopt);
+  ASSERT_TRUE(svn.ok());
+  EXPECT_EQ((*svn)->num_columns(), 5u);
+  // One row per project-year.
+  ApacheDataOptions options;
+  EXPECT_EQ((*svn)->num_rows(),
+            static_cast<size_t>(options.num_projects *
+                                (options.end_year - options.start_year + 1)));
+  // Numeric columns inferred as integers.
+  EXPECT_EQ((*svn)->schema().field(2).type, ValueType::kInt64);
+}
+
+TEST(DatagenTest, ApacheDataDeterministicPerSeed) {
+  ApacheDataOptions options;
+  EXPECT_EQ(GenerateApacheData(options).svn_jira_csv,
+            GenerateApacheData(options).svn_jira_csv);
+  options.seed = 99;
+  EXPECT_NE(GenerateApacheData(options).svn_jira_csv,
+            GenerateApacheData(ApacheDataOptions{}).svn_jira_csv);
+}
+
+TEST(DatagenTest, IplTweetsAreValidGnipJson) {
+  IplDataOptions options;
+  options.num_tweets = 200;
+  IplDataset data = GenerateIplTweets(options);
+  auto records = ParseJsonRecords(data.tweets_json);
+  ASSERT_TRUE(records.ok()) << records.status();
+  EXPECT_EQ(records->size(), 200u);
+  int located = 0;
+  for (const JsonValue& tweet : *records) {
+    ASSERT_NE(tweet.Find("created_at"), nullptr);
+    ASSERT_NE(tweet.Find("text"), nullptr);
+    const JsonValue* location = tweet.ResolvePath("user.location");
+    ASSERT_NE(location, nullptr);
+    if (!location->string_value().empty()) ++located;
+  }
+  // ~80% of tweets carry a location.
+  EXPECT_GT(located, 100);
+}
+
+TEST(DatagenTest, IplDictionariesParse) {
+  IplDataset data = GenerateIplTweets(IplDataOptions{.num_tweets = 10});
+  auto players = Dictionary::FromText(data.players_txt);
+  ASSERT_TRUE(players.ok());
+  EXPECT_GT(players->size(), 10u);
+  EXPECT_EQ(players->Extract("dhoni finishes in style")[0], "MS Dhoni");
+  auto teams = ReadCsvString(data.teams_csv, CsvOptions{}, std::nullopt);
+  ASSERT_TRUE(teams.ok());
+  EXPECT_EQ((*teams)->schema().names(),
+            (std::vector<std::string>{"alias", "canonical"}));
+}
+
+TEST(DatagenTest, TicketsCorrelatePriorityWithResolution) {
+  TicketDataset data = GenerateTickets(TicketDataOptions{.num_tickets = 2000});
+  auto table = ReadCsvString(data.tickets_csv, CsvOptions{}, std::nullopt);
+  ASSERT_TRUE(table.ok());
+  auto priority = *(*table)->ColumnByName("priority");
+  auto days = *(*table)->ColumnByName("resolution_days");
+  double low_sum = 0, high_sum = 0;
+  int low_n = 0, high_n = 0;
+  for (size_t r = 0; r < (*table)->num_rows(); ++r) {
+    if ((*priority)[r].int64_value() == 1) {
+      low_sum += (*days)[r].AsDouble();
+      ++low_n;
+    } else if ((*priority)[r].int64_value() == 4) {
+      high_sum += (*days)[r].AsDouble();
+      ++high_n;
+    }
+  }
+  ASSERT_GT(low_n, 0);
+  ASSERT_GT(high_n, 0);
+  EXPECT_LT(low_sum / low_n, high_sum / high_n);
+}
+
+TEST(DatagenTest, BenchTableShape) {
+  TablePtr table = GenerateBenchTable(1000, 16, 5);
+  EXPECT_EQ(table->num_rows(), 1000u);
+  EXPECT_EQ(table->schema().names(),
+            (std::vector<std::string>{"key", "value", "score", "text"}));
+  EXPECT_EQ(table->schema().field(1).type, ValueType::kInt64);
+  std::set<Value> keys;
+  for (const Value& v : table->column(0)) keys.insert(v);
+  EXPECT_LE(keys.size(), 16u);
+  EXPECT_GT(keys.size(), 8u);
+}
+
+// ---------------------------------------------------------------------
+// Glue baseline
+// ---------------------------------------------------------------------
+
+TEST(GlueTest, NotebookTracksMetrics) {
+  GlueNotebook notebook;
+  notebook.AddSource("in.csv", "a\n1\n");
+  notebook.AddStep({"step1", "etl", 50},
+                   [](std::map<std::string, std::string>* context) {
+                     (*context)["out.csv"] = context->at("in.csv") + "2\n";
+                     return Status::OK();
+                   });
+  notebook.AddStep({"step2", "javascript", 70},
+                   [](std::map<std::string, std::string>* context) {
+                     (*context)["final.json"] = "[" + context->at("out.csv") +
+                                                "]";
+                     return Status::OK();
+                   });
+  ASSERT_TRUE(notebook.Run().ok());
+  EXPECT_EQ(notebook.num_steps(), 2);
+  EXPECT_EQ(notebook.total_glue_loc(), 120);
+  EXPECT_EQ(notebook.num_technologies(), 2);
+  EXPECT_GT(notebook.serialized_bytes(), 0u);
+  EXPECT_TRUE(notebook.Payload("final.json").ok());
+  EXPECT_FALSE(notebook.Payload("ghost").ok());
+}
+
+TEST(GlueTest, StepErrorNamesStepAndTechnology) {
+  GlueNotebook notebook;
+  notebook.AddStep({"broken", "sql", 10},
+                   [](std::map<std::string, std::string>*) {
+                     return Status::ExecutionError("query failed");
+                   });
+  Status status = notebook.Run();
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("broken"), std::string::npos);
+  EXPECT_NE(status.message().find("sql"), std::string::npos);
+}
+
+TEST(GlueTest, ApacheGlueProducesActivityAndBubbles) {
+  ApacheDataset data = GenerateApacheData(ApacheDataOptions{});
+  GlueNotebook notebook = BuildApacheGlueNotebook(data);
+  ASSERT_TRUE(notebook.Run().ok());
+  auto activity = notebook.Payload(kGlueActivityPayload);
+  ASSERT_TRUE(activity.ok());
+  EXPECT_EQ(activity->find("project,year,total_wt"), 0u);
+  auto bubbles = notebook.Payload(kGlueBubblesPayload);
+  ASSERT_TRUE(bubbles.ok());
+  auto json = ParseJson(*bubbles);
+  ASSERT_TRUE(json.ok()) << json.status();
+  EXPECT_EQ(json->array_items().size(), 24u);  // one bubble per project
+  EXPECT_GE(notebook.num_technologies(), 4);
+  EXPECT_GT(notebook.total_glue_loc(), 500);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,275 @@
+#include "exec/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "compile/compiler.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+namespace {
+
+// Fan-out pipeline: src feeds two independent chains plus a fan-in join.
+constexpr const char* kDiamond = R"(
+D:
+  src: [key, value]
+D.src:
+  protocol: inline
+  format: csv
+  data: "key,value
+a,1
+a,2
+b,5
+"
+F:
+  D.sums: D.src | T.sum_by_key
+  D.counts: D.src | T.count_by_key
+  D.joined: (D.sums, D.counts) | T.join_both
+D.joined:
+  endpoint: true
+T:
+  sum_by_key:
+    type: groupby
+    groupby: [key]
+    aggregates:
+      - operator: sum
+        apply_on: value
+        out_field: total
+  count_by_key:
+    type: groupby
+    groupby: [key]
+    aggregates:
+      - operator: count
+        apply_on: value
+        out_field: n
+  join_both:
+    type: join
+    left: sums by key
+    right: counts by key
+    join_condition: inner
+    project:
+      sums_key: key
+      sums_total: total
+      counts_n: n
+)";
+
+ExecutionPlan Plan() {
+  auto file = ParseFlowFile(kDiamond, "diamond");
+  EXPECT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+TEST(DataStoreTest, PutGetEraseClear) {
+  DataStore store;
+  EXPECT_FALSE(store.Get("x").ok());
+  store.Put("x", Table::Empty(Schema::FromNames({"a"})));
+  EXPECT_TRUE(store.Has("x"));
+  EXPECT_TRUE(store.Get("x").ok());
+  EXPECT_EQ(store.Names(), (std::vector<std::string>{"x"}));
+  store.Erase("x");
+  EXPECT_FALSE(store.Has("x"));
+  store.Put("y", Table::Empty(Schema::FromNames({"a"})));
+  store.Clear();
+  EXPECT_TRUE(store.Names().empty());
+}
+
+TEST(ExecutorTest, RunsDiamondAndJoins) {
+  ExecutionPlan plan = Plan();
+  DataStore store;
+  Executor executor;
+  auto stats = executor.Execute(plan, &store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->flows_executed, 3);
+  EXPECT_EQ(stats->sources_loaded, 1);
+  EXPECT_GT(stats->endpoint_bytes, 0);
+  auto joined = store.Get("joined");
+  ASSERT_TRUE(joined.ok());
+  EXPECT_EQ((*joined)->num_rows(), 2u);
+  // a: total 3, n 2.
+  EXPECT_EQ((*joined)->at(0, 1), Value(static_cast<int64_t>(3)));
+  EXPECT_EQ((*joined)->at(0, 2), Value(static_cast<int64_t>(2)));
+}
+
+TEST(ExecutorTest, MultiThreadedMatchesSingleThreaded) {
+  ExecutionPlan plan = Plan();
+  DataStore store1, store4;
+  ExecuteOptions opts1;
+  opts1.num_threads = 1;
+  ExecuteOptions opts4;
+  opts4.num_threads = 4;
+  ASSERT_TRUE(Executor(opts1).Execute(plan, &store1).ok());
+  ASSERT_TRUE(Executor(opts4).Execute(plan, &store4).ok());
+  auto t1 = *store1.Get("joined");
+  auto t4 = *store4.Get("joined");
+  ASSERT_EQ(t1->num_rows(), t4->num_rows());
+  for (size_t r = 0; r < t1->num_rows(); ++r) {
+    for (size_t c = 0; c < t1->num_columns(); ++c) {
+      EXPECT_EQ(t1->at(r, c), t4->at(r, c));
+    }
+  }
+}
+
+TEST(ExecutorTest, IncrementalOnlyRerunsDirtySubgraph) {
+  ExecutionPlan plan = Plan();
+  DataStore store;
+  Executor executor;
+  ASSERT_TRUE(executor.Execute(plan, &store).ok());
+
+  // Dirty 'sums': the join depends on it, counts does not.
+  auto stats = executor.ExecuteIncremental(plan, &store, {"sums"});
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_EQ(stats->flows_executed, 2);  // sums + joined
+  EXPECT_EQ(stats->flows_skipped, 1);   // counts
+
+  // Nothing dirty: everything skipped.
+  stats = executor.ExecuteIncremental(plan, &store, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->flows_executed, 0);
+  EXPECT_EQ(stats->flows_skipped, 3);
+}
+
+TEST(ExecutorTest, FlowTimingsCoverExecutedFlows) {
+  ExecutionPlan plan = Plan();
+  DataStore store;
+  Executor executor;
+  auto stats = executor.Execute(plan, &store);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->flow_timings.size(), 3u);
+  for (const FlowTiming& timing : stats->flow_timings) {
+    EXPECT_GE(timing.ms, 0.0);
+    EXPECT_FALSE(timing.flow.empty());
+  }
+  std::string profile = stats->ProfileString();
+  EXPECT_NE(profile.find("flow profile"), std::string::npos);
+  EXPECT_NE(profile.find("joined"), std::string::npos);
+  EXPECT_NE(profile.find("% cum)"), std::string::npos);
+
+  // Incremental runs only record re-executed flows.
+  auto incr = executor.ExecuteIncremental(plan, &store, {"counts"});
+  ASSERT_TRUE(incr.ok());
+  EXPECT_EQ(incr->flow_timings.size(), 2u);  // counts + joined
+}
+
+TEST(ExecutorTest, IncrementalRebuildsMissingOutputs) {
+  ExecutionPlan plan = Plan();
+  DataStore store;
+  Executor executor;
+  ASSERT_TRUE(executor.Execute(plan, &store).ok());
+  store.Erase("joined");
+  auto stats = executor.ExecuteIncremental(plan, &store, {});
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->flows_executed, 1);
+  EXPECT_TRUE(store.Has("joined"));
+}
+
+TEST(ExecutorTest, ExecutionErrorNamesTaskAndFlow) {
+  // A task that fails at run time (date parse error on real data).
+  auto file = ParseFlowFile(R"(
+D:
+  src: [t]
+D.src:
+  protocol: inline
+  format: csv
+  data: "t
+not-a-date
+"
+F:
+  D.out: D.src | T.to_date
+T:
+  to_date:
+    type: map
+    operator: date
+    transform: t
+    input_format: yyyy-MM-dd
+    output_format: yyyy
+    output: y
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  DataStore store;
+  Executor executor;
+  auto stats = executor.Execute(*plan, &store);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_NE(stats.status().message().find("to_date"), std::string::npos);
+  EXPECT_FALSE(store.Has("out"));
+}
+
+TEST(ExecutorTest, MissingSharedCatalogErrors) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.out: D.not_local | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok());
+  // Compile resolves against a catalog…
+  class OneSchema : public SharedSchemaSource {
+   public:
+    std::optional<Schema> SharedSchema(const std::string& name) const override {
+      if (name == "not_local") return Schema::FromNames({"a"});
+      return std::nullopt;
+    }
+  };
+  OneSchema catalog;
+  CompileOptions options;
+  options.shared = &catalog;
+  auto plan = CompileFlowFile(*file, options);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  // …but execution without a table source fails cleanly.
+  DataStore store;
+  Executor executor;
+  auto stats = executor.Execute(*plan, &store);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExecutorTest, SharedTableSourceResolves) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.out: D.shared_obj | T.t
+T:
+  t:
+    type: distinct
+)");
+  ASSERT_TRUE(file.ok());
+  TableBuilder builder(Schema::FromNames({"a"}));
+  (void)builder.AppendRow({Value("1")});
+  (void)builder.AppendRow({Value("1")});
+  TablePtr shared_table = *builder.Finish();
+
+  class OneTable : public SharedSchemaSource, public SharedTableSource {
+   public:
+    explicit OneTable(TablePtr t) : table_(std::move(t)) {}
+    std::optional<Schema> SharedSchema(const std::string& name) const override {
+      return name == "shared_obj" ? std::optional<Schema>(table_->schema())
+                                  : std::nullopt;
+    }
+    Result<TablePtr> SharedTable(const std::string& name) const override {
+      if (name == "shared_obj") return table_;
+      return Status::NotFound(name);
+    }
+
+   private:
+    TablePtr table_;
+  };
+  OneTable catalog(shared_table);
+  CompileOptions copts;
+  copts.shared = &catalog;
+  auto plan = CompileFlowFile(*file, copts);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+  ExecuteOptions eopts;
+  eopts.shared = &catalog;
+  DataStore store;
+  Executor executor(eopts);
+  auto stats = executor.Execute(*plan, &store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  auto out = store.Get("out");
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 1u);  // distinct deduped
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,183 @@
+#include "expr/expr.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table.h"
+
+namespace shareinsights {
+namespace {
+
+// One-row table for scalar evaluation.
+TablePtr Row(std::vector<std::pair<std::string, Value>> cells) {
+  std::vector<Field> fields;
+  std::vector<std::vector<Value>> columns;
+  for (auto& [name, value] : cells) {
+    fields.push_back(Field{name, value.type()});
+    columns.push_back({value});
+  }
+  return *Table::Create(Schema(fields), columns);
+}
+
+Result<Value> Eval(const std::string& source, TablePtr row) {
+  SI_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpression(source));
+  SI_ASSIGN_OR_RETURN(BoundExpr bound, BoundExpr::Bind(expr, row->schema()));
+  return bound.Eval(*row, 0);
+}
+
+TablePtr Empty() { return Row({{"x", Value(static_cast<int64_t>(0))}}); }
+
+TEST(ExprTest, ComparisonOperators) {
+  TablePtr row = Row({{"rating", Value(static_cast<int64_t>(2))}});
+  EXPECT_EQ(*Eval("rating < 3", row), Value(true));
+  EXPECT_EQ(*Eval("rating <= 2", row), Value(true));
+  EXPECT_EQ(*Eval("rating > 2", row), Value(false));
+  EXPECT_EQ(*Eval("rating >= 3", row), Value(false));
+  EXPECT_EQ(*Eval("rating == 2", row), Value(true));
+  EXPECT_EQ(*Eval("rating = 2", row), Value(true));  // paper-style '='
+  EXPECT_EQ(*Eval("rating != 2", row), Value(false));
+}
+
+TEST(ExprTest, ArithmeticPrecedence) {
+  TablePtr row = Empty();
+  EXPECT_EQ(*Eval("2 + 3 * 4", row), Value(static_cast<int64_t>(14)));
+  EXPECT_EQ(*Eval("(2 + 3) * 4", row), Value(static_cast<int64_t>(20)));
+  EXPECT_EQ(*Eval("10 - 4 - 3", row), Value(static_cast<int64_t>(3)));
+  EXPECT_EQ(*Eval("7 % 4", row), Value(static_cast<int64_t>(3)));
+  EXPECT_EQ(*Eval("-3 + 5", row), Value(static_cast<int64_t>(2)));
+  EXPECT_EQ(*Eval("7 / 2", row), Value(3.5));  // division always real
+}
+
+TEST(ExprTest, LogicalOperators) {
+  TablePtr row = Row({{"a", Value(static_cast<int64_t>(1))},
+                      {"b", Value(static_cast<int64_t>(0))}});
+  EXPECT_EQ(*Eval("a == 1 && b == 0", row), Value(true));
+  EXPECT_EQ(*Eval("a == 0 || b == 0", row), Value(true));
+  EXPECT_EQ(*Eval("!(a == 1)", row), Value(false));
+  EXPECT_EQ(*Eval("a == 1 and b == 1", row), Value(false));
+  EXPECT_EQ(*Eval("a == 0 or b == 1", row), Value(false));
+  EXPECT_EQ(*Eval("not (a == 1)", row), Value(false));
+}
+
+TEST(ExprTest, ShortCircuitPreventsRuntimeError) {
+  TablePtr row = Row({{"x", Value(static_cast<int64_t>(0))}});
+  // Division by zero on the right side must never evaluate.
+  EXPECT_EQ(*Eval("x == 0 || 1 / x > 0", row), Value(true));
+  EXPECT_EQ(*Eval("x != 0 && 1 / x > 0", row), Value(false));
+  // Without short-circuit the error surfaces.
+  EXPECT_FALSE(Eval("1 / x > 0", row).ok());
+}
+
+TEST(ExprTest, StringLiteralsAndConcat) {
+  TablePtr row = Row({{"team", Value("CSK")}});
+  EXPECT_EQ(*Eval("team == 'CSK'", row), Value(true));
+  EXPECT_EQ(*Eval("team == \"MI\"", row), Value(false));
+  EXPECT_EQ(*Eval("team + '!'", row), Value("CSK!"));
+}
+
+TEST(ExprTest, InListMembership) {
+  TablePtr row = Row({{"team", Value("MI")}});
+  EXPECT_EQ(*Eval("team in ['CSK', 'MI']", row), Value(true));
+  EXPECT_EQ(*Eval("team in ['RR']", row), Value(false));
+  EXPECT_EQ(*Eval("team in []", row), Value(false));
+}
+
+TEST(ExprTest, NullPropagation) {
+  TablePtr row = Row({{"v", Value::Null()}});
+  EXPECT_TRUE((*Eval("v + 1", row)).is_null());
+  EXPECT_TRUE((*Eval("-v", row)).is_null());
+  // Comparisons against null are defined by the total order (null first).
+  EXPECT_EQ(*Eval("v < 0", row), Value(true));
+  EXPECT_EQ(*Eval("v == null", row), Value(true));
+}
+
+TEST(ExprTest, BuiltinFunctions) {
+  TablePtr row = Row({{"s", Value("Hello World")},
+                      {"d", Value("2013-05-10")},
+                      {"x", Value(-4.7)}});
+  EXPECT_EQ(*Eval("length(s)", row), Value(static_cast<int64_t>(11)));
+  EXPECT_EQ(*Eval("lower(s)", row), Value("hello world"));
+  EXPECT_EQ(*Eval("upper(s)", row), Value("HELLO WORLD"));
+  EXPECT_EQ(*Eval("abs(x)", row), Value(4.7));
+  EXPECT_EQ(*Eval("contains(s, 'World')", row), Value(true));
+  EXPECT_EQ(*Eval("starts_with(s, 'Hello')", row), Value(true));
+  EXPECT_EQ(*Eval("ends_with(s, 'x')", row), Value(false));
+  EXPECT_EQ(*Eval("year(d)", row), Value(static_cast<int64_t>(2013)));
+  EXPECT_EQ(*Eval("month(d)", row), Value(static_cast<int64_t>(5)));
+  EXPECT_EQ(*Eval("round(x)", row), Value(static_cast<int64_t>(-5)));
+  EXPECT_EQ(*Eval("min(x, 0)", row), Value(-4.7));
+  EXPECT_EQ(*Eval("max(x, 0)", row), Value(static_cast<int64_t>(0)));
+  EXPECT_EQ(*Eval("if(x < 0, 'neg', 'pos')", row), Value("neg"));
+}
+
+TEST(ExprTest, UnknownColumnFailsAtBind) {
+  auto expr = ParseExpression("missing > 3");
+  ASSERT_TRUE(expr.ok());
+  auto bound = BoundExpr::Bind(*expr, Empty()->schema());
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kSchemaError);
+}
+
+TEST(ExprTest, UnknownFunctionFailsAtBind) {
+  auto expr = ParseExpression("frobnicate(x)");
+  ASSERT_TRUE(expr.ok());
+  auto bound = BoundExpr::Bind(*expr, Empty()->schema());
+  ASSERT_FALSE(bound.ok());
+  EXPECT_EQ(bound.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ExprTest, ParseErrors) {
+  EXPECT_FALSE(ParseExpression("a +").ok());
+  EXPECT_FALSE(ParseExpression("(a > 1").ok());
+  EXPECT_FALSE(ParseExpression("a in [1,").ok());
+  EXPECT_FALSE(ParseExpression("a ? b").ok());
+  EXPECT_FALSE(ParseExpression("'unterminated").ok());
+  EXPECT_FALSE(ParseExpression("a > 1 extra").ok());
+}
+
+TEST(ExprTest, CollectColumnsFindsAllReferences) {
+  auto expr = ParseExpression("a + b * 2 > length(c) && d in [1]");
+  ASSERT_TRUE(expr.ok());
+  std::vector<std::string> columns;
+  (*expr)->CollectColumns(&columns);
+  std::sort(columns.begin(), columns.end());
+  EXPECT_EQ(columns, (std::vector<std::string>{"a", "b", "c", "d"}));
+}
+
+TEST(ExprTest, EvalPredicateTreatsNullAsFalse) {
+  TablePtr row = Row({{"v", Value::Null()}});
+  auto expr = ParseExpression("v + 1");
+  auto bound = BoundExpr::Bind(*expr, row->schema());
+  ASSERT_TRUE(bound.ok());
+  EXPECT_FALSE(*bound->EvalPredicate(*row, 0));
+}
+
+// Unparse -> reparse -> evaluate yields identical results.
+class ExprRoundTripProperty : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ExprRoundTripProperty, ToStringReparseEquivalent) {
+  TablePtr row = Row({{"a", Value(static_cast<int64_t>(5))},
+                      {"b", Value(2.5)},
+                      {"s", Value("txt")}});
+  auto expr = ParseExpression(GetParam());
+  ASSERT_TRUE(expr.ok()) << expr.status();
+  std::string printed = (*expr)->ToString();
+  auto reparsed = ParseExpression(printed);
+  ASSERT_TRUE(reparsed.ok()) << printed << ": " << reparsed.status();
+  auto bound1 = BoundExpr::Bind(*expr, row->schema());
+  auto bound2 = BoundExpr::Bind(*reparsed, row->schema());
+  ASSERT_TRUE(bound1.ok() && bound2.ok());
+  auto v1 = bound1->Eval(*row, 0);
+  auto v2 = bound2->Eval(*row, 0);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(*v1, *v2) << printed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ExprRoundTripProperty,
+    ::testing::Values("a + b * 2", "(a + b) * 2", "a > 3 && b < 10",
+                      "s in ['txt', 'other']", "!(a == 5) || b >= 2.5",
+                      "length(s) + a % 3", "if(a > b, a, b)",
+                      "-a + -b", "a / 2 - b"));
+
+}  // namespace
+}  // namespace shareinsights

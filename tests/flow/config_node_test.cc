@@ -1,0 +1,198 @@
+#include "flow/config_node.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+TEST(ConfigNodeTest, ParsesFlatMap) {
+  auto root = ParseConfig("a: 1\nb: hello\nc: 'quoted value'\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->GetString("a"), "1");
+  EXPECT_EQ(root->GetString("b"), "hello");
+  EXPECT_EQ(root->GetString("c"), "quoted value");
+}
+
+TEST(ConfigNodeTest, ParsesNestedMap) {
+  auto root = ParseConfig(
+      "outer:\n"
+      "  inner: value\n"
+      "  deeper:\n"
+      "    leaf: x\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  const ConfigNode* outer = root->Find("outer");
+  ASSERT_NE(outer, nullptr);
+  EXPECT_EQ(outer->GetString("inner"), "value");
+  const ConfigNode* deeper = outer->Find("deeper");
+  ASSERT_NE(deeper, nullptr);
+  EXPECT_EQ(deeper->GetString("leaf"), "x");
+}
+
+TEST(ConfigNodeTest, ParsesInlineList) {
+  auto root = ParseConfig("cols: [project, year, noOfBugs]\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  std::vector<std::string> cols = root->GetStringList("cols");
+  ASSERT_EQ(cols.size(), 3u);
+  EXPECT_EQ(cols[0], "project");
+  EXPECT_EQ(cols[2], "noOfBugs");
+}
+
+TEST(ConfigNodeTest, InlineListToleratesTrailingComma) {
+  // Fig. 6 of the paper ends a mapping list with a trailing comma.
+  auto root = ParseConfig("cols: [a, b,]\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->GetStringList("cols").size(), 2u);
+}
+
+TEST(ConfigNodeTest, InlineListSpansMultipleLines) {
+  // Fig. 5: a bracketed list broken across lines.
+  auto root = ParseConfig(
+      "stack_summary:\n"
+      "  [project, question,\n"
+      "   answer, tags]\n");
+  // The continuation joins into the key's value only when on one logical
+  // line; here the list is the nested value of the key.
+  ASSERT_TRUE(root.ok()) << root.status();
+}
+
+TEST(ConfigNodeTest, ParsesBlockListOfMaps) {
+  auto root = ParseConfig(
+      "aggregates:\n"
+      "  - operator: sum\n"
+      "    apply_on: noOfCheckins\n"
+      "    out_field: total_checkins\n"
+      "  - operator: sum\n"
+      "    apply_on: noOfBugs\n"
+      "    out_field: total_jira\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  const ConfigNode* aggs = root->Find("aggregates");
+  ASSERT_NE(aggs, nullptr);
+  ASSERT_TRUE(aggs->is_list());
+  ASSERT_EQ(aggs->items().size(), 2u);
+  EXPECT_EQ(aggs->items()[0].GetString("operator"), "sum");
+  EXPECT_EQ(aggs->items()[0].GetString("out_field"), "total_checkins");
+  EXPECT_EQ(aggs->items()[1].GetString("apply_on"), "noOfBugs");
+}
+
+TEST(ConfigNodeTest, ParsesListOfInlineLists) {
+  // The L-section layout rows shape.
+  auto root = ParseConfig(
+      "rows:\n"
+      "  - [span12: W.apache_custom_widget]\n"
+      "  - [span4: W.year_slider, span8: W.right_info]\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  const ConfigNode* rows = root->Find("rows");
+  ASSERT_NE(rows, nullptr);
+  ASSERT_TRUE(rows->is_list());
+  ASSERT_EQ(rows->items().size(), 2u);
+  ASSERT_TRUE(rows->items()[1].is_list());
+  EXPECT_EQ(rows->items()[1].items().size(), 2u);
+  EXPECT_EQ(rows->items()[1].items()[0].scalar(), "span4: W.year_slider");
+}
+
+TEST(ConfigNodeTest, ParsesListItemWithNamedNestedMap) {
+  // The MapMarker `markers:` shape: `- marker1:` + nested properties.
+  auto root = ParseConfig(
+      "markers:\n"
+      "  - marker1:\n"
+      "      type: circle_marker\n"
+      "      markersize: noOfTweets\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  const ConfigNode* markers = root->Find("markers");
+  ASSERT_NE(markers, nullptr);
+  ASSERT_TRUE(markers->is_list());
+  const ConfigNode& item = markers->items()[0];
+  ASSERT_TRUE(item.is_map());
+  const ConfigNode* marker1 = item.Find("marker1");
+  ASSERT_NE(marker1, nullptr);
+  EXPECT_EQ(marker1->GetString("type"), "circle_marker");
+}
+
+TEST(ConfigNodeTest, StripsComments) {
+  auto root = ParseConfig(
+      "# leading comment\n"
+      "a: 1  # trailing comment\n"
+      "b: 'has # inside quotes'\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->GetString("a"), "1");
+  EXPECT_EQ(root->GetString("b"), "has # inside quotes");
+}
+
+TEST(ConfigNodeTest, JoinsPipeContinuationLines) {
+  auto root = ParseConfig(
+      "F:\n"
+      "  D.temp_release_count: D.releases\n"
+      "    | T.calculate_total_release\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  const ConfigNode* f = root->Find("F");
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(f->GetString("D.temp_release_count"),
+            "D.releases | T.calculate_total_release");
+}
+
+TEST(ConfigNodeTest, JoinsTrailingPipeContinuation) {
+  auto root = ParseConfig(
+      "F:\n"
+      "  D.players_tweets: D.ipl_tweets |\n"
+      "    T.players_pipeline |\n"
+      "    T.players_count\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->Find("F")->GetString("D.players_tweets"),
+            "D.ipl_tweets | T.players_pipeline | T.players_count");
+}
+
+TEST(ConfigNodeTest, JoinsParenthesizedFanIn) {
+  auto root = ParseConfig(
+      "F:\n"
+      "  D.rel_qa_tags: (D.temp_release_count,\n"
+      "    D.stack_summary\n"
+      "  ) | T.combine_stack_summary\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  EXPECT_EQ(root->Find("F")->GetString("D.rel_qa_tags"),
+            "(D.temp_release_count, D.stack_summary ) | "
+            "T.combine_stack_summary");
+}
+
+TEST(ConfigNodeTest, ErrorsCarryLineNumbers) {
+  auto root = ParseConfig("a: 1\nnot a key value pair\n");
+  ASSERT_FALSE(root.ok());
+  EXPECT_NE(root.status().message().find("line 2"), std::string::npos)
+      << root.status();
+}
+
+TEST(ConfigNodeTest, DuplicateKeysArePreservedInOrder) {
+  auto root = ParseConfig("k: 1\nk: 2\n");
+  ASSERT_TRUE(root.ok()) << root.status();
+  ASSERT_EQ(root->entries().size(), 2u);
+  EXPECT_EQ(root->entries()[0].second.scalar(), "1");
+  EXPECT_EQ(root->entries()[1].second.scalar(), "2");
+}
+
+TEST(ConfigNodeTest, RoundTripsThroughSerialize) {
+  const char* source =
+      "D:\n"
+      "  stack_summary: [project, question, answer]\n"
+      "T:\n"
+      "  classification:\n"
+      "    type: filter_by\n"
+      "    filter_expression: 'rating < 3'\n"
+      "L:\n"
+      "  rows:\n"
+      "    - [span12: W.main]\n";
+  auto first = ParseConfig(source);
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string serialized = SerializeConfig(*first);
+  auto second = ParseConfig(serialized);
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << serialized;
+  EXPECT_EQ(SerializeConfig(*second), serialized);
+}
+
+TEST(ConfigNodeTest, EmptyInputYieldsEmptyMap) {
+  auto root = ParseConfig("");
+  ASSERT_TRUE(root.ok());
+  EXPECT_TRUE(root->is_map());
+  EXPECT_TRUE(root->entries().empty());
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,266 @@
+#include "flow/flow_file.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+// The D/T/F fragments of this test mirror the paper's figures 4-11.
+constexpr const char* kApacheFragment = R"(
+D:
+  stack_summary: [project, question, answer, tags]
+  svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+  checkin_jira_emails: [project, year, total_checkins, total_jira, total_emails]
+
+D.stack_summary:
+  separator: ','
+  source: 'stackoverflow.csv'
+  format: 'csv'
+
+F:
+  D.checkin_jira_emails: D.svn_jira_summary | T.get_svn_jira_count
+
+D.checkin_jira_emails:
+  publish: project_chatter
+  endpoint: true
+
+T:
+  get_svn_jira_count:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+      - operator: sum
+        apply_on: noOfCheckins
+        out_field: total_checkins
+      - operator: sum
+        apply_on: noOfBugs
+        out_field: total_jira
+      - operator: sum
+        apply_on: noOfEmailsTotal
+        out_field: total_emails
+)";
+
+TEST(FlowFileTest, ParsesApacheFragment) {
+  auto file = ParseFlowFile(kApacheFragment, "apache");
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->name, "apache");
+  ASSERT_EQ(file->data_objects.size(), 3u);
+
+  const DataObjectDecl* summary = file->FindData("stack_summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_TRUE(summary->IsSource());
+  EXPECT_EQ(summary->params.Get("source"), "stackoverflow.csv");
+  EXPECT_EQ(summary->params.Get("separator"), ",");
+  ASSERT_EQ(summary->columns.size(), 4u);
+  EXPECT_EQ(summary->columns[0].column, "project");
+
+  const DataObjectDecl* sink = file->FindData("checkin_jira_emails");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(sink->endpoint);
+  EXPECT_EQ(sink->publish, "project_chatter");
+  EXPECT_FALSE(sink->IsSource());
+
+  ASSERT_EQ(file->flows.size(), 1u);
+  EXPECT_EQ(file->flows[0].outputs[0], "checkin_jira_emails");
+  EXPECT_EQ(file->flows[0].inputs[0], "svn_jira_summary");
+  EXPECT_EQ(file->flows[0].tasks[0], "get_svn_jira_count");
+
+  const TaskDecl* task = file->FindTask("get_svn_jira_count");
+  ASSERT_NE(task, nullptr);
+  EXPECT_EQ(task->type, "groupby");
+  const ConfigNode* aggs = task->config.Find("aggregates");
+  ASSERT_NE(aggs, nullptr);
+  EXPECT_EQ(aggs->items().size(), 3u);
+}
+
+TEST(FlowFileTest, ParsesJsonPathMappings) {
+  auto file = ParseFlowFile(R"(
+D:
+  ipl_tweets: [
+    postedTime => created_at,
+    body => text,
+    location => user.location
+  ]
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  const DataObjectDecl* tweets = file->FindData("ipl_tweets");
+  ASSERT_NE(tweets, nullptr);
+  ASSERT_EQ(tweets->columns.size(), 3u);
+  EXPECT_EQ(tweets->columns[0].column, "postedTime");
+  EXPECT_EQ(tweets->columns[0].path, "created_at");
+  EXPECT_EQ(tweets->columns[2].column, "location");
+  EXPECT_EQ(tweets->columns[2].path, "user.location");
+}
+
+TEST(FlowFileTest, EndpointPlusAliasOnFlowOutput) {
+  // Fig. 9: `+D.x:` is an alias for `endpoint: true`.
+  auto file = ParseFlowFile(R"(
+F:
+  +D.checkin_jira_emails: D.svn_jira_summary | T.count
+T:
+  count:
+    type: groupby
+    groupby: [project]
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  const DataObjectDecl* sink = file->FindData("checkin_jira_emails");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(sink->endpoint);
+}
+
+TEST(FlowFileTest, FanInFlow) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.rel_qa_tags: (D.temp_release_count,
+    D.stack_summary
+  ) | T.combine_stack_summary
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->flows.size(), 1u);
+  ASSERT_EQ(file->flows[0].inputs.size(), 2u);
+  EXPECT_EQ(file->flows[0].inputs[0], "temp_release_count");
+  EXPECT_EQ(file->flows[0].inputs[1], "stack_summary");
+}
+
+TEST(FlowFileTest, FanOutFlow) {
+  auto file = ParseFlowFile(R"(
+F:
+  D.a, D.b: D.raw | T.t
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->flows.size(), 1u);
+  ASSERT_EQ(file->flows[0].outputs.size(), 2u);
+  EXPECT_EQ(file->flows[0].outputs[1], "b");
+}
+
+TEST(FlowFileTest, DataDetailsInsideFlowSection) {
+  // Fig. 19: endpoint/publish details interleaved in F.
+  auto file = ParseFlowFile(R"(
+F:
+  D.players_tweets: D.ipl_tweets |
+    T.players_pipeline |
+    T.players_count
+  D.players_tweets:
+    endpoint: true
+    publish: players_tweets
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  const DataObjectDecl* sink = file->FindData("players_tweets");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(sink->endpoint);
+  EXPECT_EQ(sink->publish, "players_tweets");
+  ASSERT_EQ(file->flows.size(), 1u);
+  EXPECT_EQ(file->flows[0].tasks.size(), 2u);
+}
+
+TEST(FlowFileTest, ParsesWidgets) {
+  auto file = ParseFlowFile(R"(
+W:
+  project_technology_bubble:
+    type: BubbleChart
+    source: D.project_data | T.get_date | T.aggregate_project_bubbles
+    text: project
+    size: total_wt
+    legend_text: technology
+    default_selection: True
+    legend:
+      show_legends: true
+  ipl_duration:
+    type: Slider
+    source: ['2013-05-02', '2013-05-27']
+    static: true
+    range: true
+    slider_type: date
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  ASSERT_EQ(file->widgets.size(), 2u);
+  const WidgetDecl* bubble = file->FindWidget("project_technology_bubble");
+  ASSERT_NE(bubble, nullptr);
+  EXPECT_EQ(bubble->type, "BubbleChart");
+  EXPECT_EQ(bubble->source.root, "project_data");
+  ASSERT_EQ(bubble->source.tasks.size(), 2u);
+  EXPECT_EQ(bubble->source.tasks[1], "aggregate_project_bubbles");
+  EXPECT_EQ(bubble->config.GetString("text"), "project");
+
+  const WidgetDecl* slider = file->FindWidget("ipl_duration");
+  ASSERT_NE(slider, nullptr);
+  EXPECT_TRUE(slider->source.IsStatic());
+  ASSERT_EQ(slider->source.static_values.size(), 2u);
+  EXPECT_EQ(slider->source.static_values[0], "2013-05-02");
+}
+
+TEST(FlowFileTest, ParsesLayout) {
+  auto file = ParseFlowFile(R"(
+L:
+  description: Apache Project Analysis
+  rows:
+    - [span12: W.apache_custom_widget]
+    - [span4: W.year_slider_layout, span8: W.right_project_info_layout]
+    - [span5: W.project_category_bubble, span7: W.right_sliders_layout]
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->layout.description, "Apache Project Analysis");
+  ASSERT_EQ(file->layout.rows.size(), 3u);
+  EXPECT_EQ(file->layout.rows[0][0].span, 12);
+  EXPECT_EQ(file->layout.rows[0][0].widget, "apache_custom_widget");
+  EXPECT_EQ(file->layout.rows[1][1].span, 8);
+  EXPECT_EQ(file->layout.rows[1][1].widget, "right_project_info_layout");
+}
+
+TEST(FlowFileTest, RejectsOverfullLayoutRow) {
+  auto file = ParseFlowFile(R"(
+L:
+  rows:
+    - [span8: W.a, span8: W.b]
+)");
+  ASSERT_FALSE(file.ok());
+  EXPECT_EQ(file.status().code(), StatusCode::kParseError);
+}
+
+TEST(FlowFileTest, RejectsFlowWithoutTask) {
+  auto file = ParseFlowFile("F:\n  D.out: D.in\n");
+  ASSERT_FALSE(file.ok());
+}
+
+TEST(FlowFileTest, RejectsTaskWithoutType) {
+  auto file = ParseFlowFile("T:\n  broken:\n    groupby: [a]\n");
+  ASSERT_FALSE(file.ok());
+}
+
+TEST(FlowFileTest, ParallelTaskTypeInferred) {
+  auto file = ParseFlowFile(R"(
+T:
+  players_pipeline:
+    parallel: [T.norm_ipldate, T.extract_players]
+)");
+  ASSERT_TRUE(file.ok()) << file.status();
+  EXPECT_EQ(file->FindTask("players_pipeline")->type, "parallel");
+}
+
+TEST(FlowFileTest, DataProcessingOnlyDetection) {
+  auto processing = ParseFlowFile(
+      "F:\n  D.out: D.in | T.t\nT:\n  t:\n    type: distinct\n");
+  ASSERT_TRUE(processing.ok()) << processing.status();
+  EXPECT_TRUE(processing->IsDataProcessingOnly());
+}
+
+TEST(FlowFileTest, RoundTripsThroughToText) {
+  auto first = ParseFlowFile(kApacheFragment, "apache");
+  ASSERT_TRUE(first.ok()) << first.status();
+  std::string text = first->ToText();
+  auto second = ParseFlowFile(text, "apache");
+  ASSERT_TRUE(second.ok()) << second.status() << "\n" << text;
+  EXPECT_EQ(second->data_objects.size(), first->data_objects.size());
+  EXPECT_EQ(second->flows.size(), first->flows.size());
+  EXPECT_EQ(second->tasks.size(), first->tasks.size());
+  EXPECT_EQ(second->flows[0].ToString(), first->flows[0].ToString());
+  const DataObjectDecl* sink = second->FindData("checkin_jira_emails");
+  ASSERT_NE(sink, nullptr);
+  EXPECT_TRUE(sink->endpoint);
+  EXPECT_EQ(sink->publish, "project_chatter");
+  // Second round-trip is a fixed point.
+  EXPECT_EQ(second->ToText(), text);
+}
+
+}  // namespace
+}  // namespace shareinsights

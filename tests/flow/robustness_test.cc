@@ -1,0 +1,133 @@
+// Robustness sweeps: the flow-file parser and compiler must never crash
+// or hang on malformed input — every failure is a Status (the editor's
+// error path depends on it). Mutations are seeded and deterministic.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "compile/compiler.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+namespace {
+
+constexpr const char* kSeedFile = R"(
+D:
+  src: [key, value, text]
+D.src:
+  protocol: inline
+  format: csv
+  data: "key,value,text
+a,1,hello world
+b,2,more text
+"
+F:
+  D.filtered: D.src | T.keep_big
+  D.grouped: D.filtered | T.agg
+D.grouped:
+  endpoint: true
+T:
+  keep_big:
+    type: filter_by
+    filter_expression: 'value >= 1'
+  agg:
+    type: groupby
+    groupby: [key]
+    aggregates:
+      - operator: sum
+        apply_on: value
+        out_field: total
+W:
+  chart:
+    type: BarChart
+    source: D.grouped
+    x: key
+    y: total
+L:
+  rows:
+    - [span12: W.chart]
+)";
+
+// Parse-or-fail: any outcome is fine as long as it is a clean Status.
+void MustNotCrash(const std::string& text) {
+  auto file = ParseFlowFile(text);
+  if (!file.ok()) return;
+  (void)CompileFlowFile(*file).status();
+  (void)file->ToText();
+}
+
+class MutationRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationRobustness, RandomCharacterMutations) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 1);
+  std::string text(kSeedFile);
+  // Apply 1..8 random character mutations.
+  int mutations = 1 + GetParam() % 8;
+  for (int m = 0; m < mutations; ++m) {
+    size_t pos = rng.NextBelow(text.size());
+    switch (rng.NextBelow(4)) {
+      case 0:  // delete
+        text.erase(pos, 1);
+        break;
+      case 1:  // duplicate
+        text.insert(pos, 1, text[pos]);
+        break;
+      case 2:  // replace with structural character
+        text[pos] = "|:[](),#'\"-\n "[rng.NextBelow(13)];
+        break;
+      default:  // replace with random printable
+        text[pos] = static_cast<char>(' ' + rng.NextBelow(95));
+    }
+    if (text.empty()) text = " ";
+  }
+  MustNotCrash(text);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MutationRobustness,
+                         ::testing::Range(0, 60));
+
+class TruncationRobustness : public ::testing::TestWithParam<int> {};
+
+TEST_P(TruncationRobustness, EveryPrefixParsesOrFailsCleanly) {
+  std::string text(kSeedFile);
+  size_t length = text.size() * static_cast<size_t>(GetParam()) / 20;
+  MustNotCrash(text.substr(0, length));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, TruncationRobustness,
+                         ::testing::Range(0, 21));
+
+TEST(RobustnessTest, PathologicalInputs) {
+  MustNotCrash("");
+  MustNotCrash("\n\n\n");
+  MustNotCrash(std::string(10000, 'a'));
+  MustNotCrash(std::string(500, '['));
+  MustNotCrash(std::string(500, '-'));
+  MustNotCrash("D:\n" + std::string(200, ' ') + "x: 1\n");
+  MustNotCrash("F:\n  D.a: " + std::string(1000, '|') + "\n");
+  MustNotCrash("T:\n  t:\n    type: " + std::string(5000, 'x') + "\n");
+  // Deep nesting.
+  std::string deep;
+  for (int i = 0; i < 200; ++i) {
+    deep += std::string(static_cast<size_t>(i), ' ') + "k" +
+            std::to_string(i) + ":\n";
+  }
+  MustNotCrash(deep);
+  // Quote storms.
+  MustNotCrash("a: '''''\nb: \"\"\"\n");
+  // Null bytes embedded.
+  std::string with_null = "a: b\n";
+  with_null.push_back('\0');
+  with_null += "\nc: d\n";
+  MustNotCrash(with_null);
+}
+
+TEST(RobustnessTest, SeedFileItselfCompilesAndRuns) {
+  auto file = ParseFlowFile(kSeedFile);
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  ASSERT_TRUE(plan.ok()) << plan.status();
+}
+
+}  // namespace
+}  // namespace shareinsights

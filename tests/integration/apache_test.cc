@@ -1,0 +1,246 @@
+// Integration tests for the section-3 Apache dashboard shape: fan-in
+// joins, weighted activity index, widget interaction invariants, and the
+// §4.1 environment-adaptive rendering.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "dashboard/dashboard.h"
+#include "datagen/datagen.h"
+#include "flow/flow_file.h"
+
+namespace shareinsights {
+namespace {
+
+constexpr const char* kApacheFlow = R"(
+D:
+  svn_jira_summary: [project, year, noOfBugs, noOfCheckins, noOfEmailsTotal]
+  releases: [project, year, noOfReleases]
+  projects: [project, technology]
+
+D.svn_jira_summary:
+  source: 'svn_jira_summary.csv'
+D.releases:
+  source: 'releases.csv'
+D.projects:
+  source: 'projects.csv'
+
+F:
+  D.checkin_jira_emails: D.svn_jira_summary | T.get_svn_jira_count
+  D.temp_release_count: D.releases | T.calculate_total_release
+  D.project_stats: (D.checkin_jira_emails, D.temp_release_count) | T.join_releases
+  D.project_data: (D.project_stats, D.projects) | T.join_technology | T.score
+
+D.project_data:
+  endpoint: true
+
+T:
+  get_svn_jira_count:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+      - operator: sum
+        apply_on: noOfCheckins
+        out_field: total_checkins
+      - operator: sum
+        apply_on: noOfBugs
+        out_field: total_jira
+  calculate_total_release:
+    type: groupby
+    groupby: [project, year]
+    aggregates:
+      - operator: sum
+        apply_on: noOfReleases
+        out_field: total_releases
+  join_releases:
+    type: join
+    left: checkin_jira_emails by project, year
+    right: temp_release_count by project, year
+    join_condition: left outer
+    project:
+      checkin_jira_emails_project: project
+      checkin_jira_emails_year: year
+      checkin_jira_emails_total_checkins: total_checkins
+      checkin_jira_emails_total_jira: total_jira
+      temp_release_count_total_releases: total_releases
+  join_technology:
+    type: join
+    left: project_stats by project
+    right: projects by project
+    join_condition: left outer
+    project:
+      project_stats_project: project
+      project_stats_year: year
+      project_stats_total_checkins: total_checkins
+      project_stats_total_jira: total_jira
+      project_stats_total_releases: total_releases
+      projects_technology: technology
+  score:
+    type: map
+    operator: expression
+    expression: 'total_checkins * 0.4 + total_jira * 0.2 + total_releases * 20'
+    output: total_wt
+  filter_by_year:
+    type: filter_by
+    filter_by: [year]
+    filter_source: W.year_slider
+  bubbles:
+    type: groupby
+    groupby: [project, technology]
+    aggregates:
+      - operator: sum
+        apply_on: total_wt
+        out_field: total_wt
+  filter_projects:
+    type: filter_by
+    filter_by: [project]
+    filter_source: W.bubble
+    filter_val: [text]
+
+W:
+  year_slider:
+    type: Slider
+    source: [2010, 2014]
+    static: true
+    range: true
+  bubble:
+    type: BubbleChart
+    source: D.project_data | T.filter_by_year | T.bubbles
+    text: project
+    size: total_wt
+    legend_text: technology
+  details:
+    type: DataGrid
+    source: D.project_data | T.filter_by_year | T.filter_projects
+
+L:
+  description: Apache Project Analysis
+  rows:
+    - [span4: W.year_slider, span8: W.bubble]
+    - [span12: W.details]
+)";
+
+class ApacheDashboardTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = (std::filesystem::temp_directory_path() / "si_apache_test")
+               .string();
+    ASSERT_TRUE(GenerateApacheData(ApacheDataOptions{}).WriteTo(dir_).ok());
+    auto file = ParseFlowFile(kApacheFlow, "apache");
+    ASSERT_TRUE(file.ok()) << file.status();
+    Dashboard::Options options;
+    options.base_dir = dir_;
+    auto dashboard = Dashboard::Create(std::move(*file), options);
+    ASSERT_TRUE(dashboard.ok()) << dashboard.status();
+    dashboard_ = std::move(*dashboard);
+    ASSERT_TRUE(dashboard_->Run().ok());
+  }
+
+  std::string dir_;
+  std::unique_ptr<Dashboard> dashboard_;
+};
+
+TEST_F(ApacheDashboardTest, PipelineShape) {
+  const ApacheDataOptions defaults;
+  auto endpoint = dashboard_->EndpointData("project_data");
+  ASSERT_TRUE(endpoint.ok());
+  // One row per project-year.
+  EXPECT_EQ((*endpoint)->num_rows(),
+            static_cast<size_t>(defaults.num_projects *
+                                (defaults.end_year - defaults.start_year +
+                                 1)));
+  // DataGrid keeps the endpoint unprunable: all columns survive.
+  EXPECT_TRUE((*endpoint)->schema().Contains("technology"));
+  EXPECT_TRUE((*endpoint)->schema().Contains("total_wt"));
+}
+
+TEST_F(ApacheDashboardTest, BubbleSelectionFiltersDetails) {
+  auto all = dashboard_->WidgetData("details");
+  ASSERT_TRUE(all.ok());
+  size_t all_rows = (*all)->num_rows();
+  ASSERT_TRUE(dashboard_->Select("bubble", {Value("pig")}).ok());
+  auto filtered = dashboard_->WidgetData("details");
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_LT((*filtered)->num_rows(), all_rows);
+  for (size_t r = 0; r < (*filtered)->num_rows(); ++r) {
+    EXPECT_EQ((*filtered)->at(r, 0), Value("pig"));
+  }
+}
+
+TEST_F(ApacheDashboardTest, PerProjectBubblesPartitionTheTotal) {
+  // Property: sum of bubble sizes equals the endpoint's total activity,
+  // and selecting each project individually partitions the details rows.
+  auto bubbles = dashboard_->WidgetData("bubble");
+  ASSERT_TRUE(bubbles.ok());
+  double bubble_total = 0;
+  for (size_t r = 0; r < (*bubbles)->num_rows(); ++r) {
+    bubble_total += (*bubbles)->ColumnByName("total_wt")
+                        .ValueOrDie()
+                        ->at(r)
+                        .AsDouble();
+  }
+  auto endpoint = dashboard_->EndpointData("project_data");
+  double endpoint_total = 0;
+  for (const Value& v : **(*endpoint)->ColumnByName("total_wt")) {
+    endpoint_total += v.AsDouble();
+  }
+  EXPECT_NEAR(bubble_total, endpoint_total, 1e-6 * endpoint_total);
+
+  size_t detail_rows = 0;
+  for (size_t r = 0; r < (*bubbles)->num_rows(); ++r) {
+    ASSERT_TRUE(
+        dashboard_->Select("bubble", {(*bubbles)->at(r, 0)}).ok());
+    auto details = dashboard_->WidgetData("details");
+    ASSERT_TRUE(details.ok());
+    detail_rows += (*details)->num_rows();
+  }
+  EXPECT_EQ(detail_rows, (*endpoint)->num_rows());
+}
+
+TEST_F(ApacheDashboardTest, YearRangeMonotonicity) {
+  ASSERT_TRUE(dashboard_->ClearSelection("bubble").ok());
+  auto year_total = [&](int64_t lo, int64_t hi) {
+    EXPECT_TRUE(
+        dashboard_->SelectRange("year_slider", Value(lo), Value(hi)).ok());
+    auto bubbles = dashboard_->WidgetData("bubble");
+    EXPECT_TRUE(bubbles.ok());
+    double total = 0;
+    for (const Value& v : **(*bubbles)->ColumnByName("total_wt")) {
+      total += v.AsDouble();
+    }
+    return total;
+  };
+  double full = year_total(2010, 2014);
+  double recent = year_total(2013, 2014);
+  double single = year_total(2014, 2014);
+  EXPECT_GT(full, recent);
+  EXPECT_GT(recent, single);
+  EXPECT_GT(single, 0);
+}
+
+TEST_F(ApacheDashboardTest, AdaptiveRendering) {
+  auto wide = dashboard_->RenderText();
+  ASSERT_TRUE(wide.ok()) << wide.status();
+  EXPECT_NE(wide->find("-- row 1 --"), std::string::npos);
+  EXPECT_NE(wide->find("span8"), std::string::npos);
+
+  Dashboard::RenderOptions narrow;
+  narrow.screen_columns = 60;
+  auto stacked = dashboard_->RenderText(narrow);
+  ASSERT_TRUE(stacked.ok()) << stacked.status();
+  EXPECT_NE(stacked->find("stacked"), std::string::npos);
+  EXPECT_EQ(stacked->find("span8"), std::string::npos);
+
+  // Low-power rendering bypasses the cube but shows the same widgets.
+  Dashboard::RenderOptions low_power;
+  low_power.low_power = true;
+  int cube_hits_before = dashboard_->cube_hits();
+  auto low = dashboard_->RenderText(low_power);
+  ASSERT_TRUE(low.ok());
+  EXPECT_EQ(dashboard_->cube_hits(), cube_hits_before);
+  EXPECT_NE(low->find("[BubbleChart] bubble"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,185 @@
+#include "io/connector.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "io/csv.h"
+
+namespace shareinsights {
+namespace {
+
+class ConnectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SimulatedRemoteStore::Get().Clear(); }
+};
+
+TEST_F(ConnectorTest, InlineConnector) {
+  DataSourceParams params;
+  params.Set("data", "a,b\n1,2\n");
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+TEST_F(ConnectorTest, FileConnectorWithBaseDir) {
+  std::string dir =
+      (std::filesystem::temp_directory_path() / "si_conn_test").string();
+  ASSERT_TRUE(WriteStringToFile("a\n5\n", dir + "/data.csv").ok());
+  DataSourceParams params;
+  params.Set("source", "data.csv");
+  params.Set("base_dir", dir);
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->at(0, 0), Value(static_cast<int64_t>(5)));
+}
+
+TEST_F(ConnectorTest, HttpConnectorFromSimulatedStore) {
+  SimulatedRemoteStore::Get().Publish("http://example.test/data.csv",
+                                      "a\n7\n");
+  DataSourceParams params;
+  params.Set("source", "http://example.test/data.csv");
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->at(0, 0), Value(static_cast<int64_t>(7)));
+}
+
+TEST_F(ConnectorTest, HttpMissingUrlIsNotFound) {
+  DataSourceParams params;
+  params.Set("source", "http://example.test/absent.csv");
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ConnectorTest, DynamicResponder) {
+  SimulatedRemoteStore::Get().SetResponder(
+      [](const std::string& url, const DataSourceParams& params)
+          -> Result<std::string> {
+        EXPECT_EQ(params.Get("http_headers.X-Access-Key"), "XXX");
+        return "a\n" + std::to_string(url.size()) + "\n";
+      });
+  DataSourceParams params;
+  params.Set("source", "https://api.test/q");
+  params.Set("protocol", "https");
+  params.Set("http_headers.X-Access-Key", "XXX");
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->at(0, 0),
+            Value(static_cast<int64_t>(std::string("https://api.test/q").size())));
+}
+
+TEST_F(ConnectorTest, JdbcConnectorKeyIncludesQuery) {
+  SimulatedRemoteStore::Get().Publish(
+      "jdbc:mysql://db/sales?query=SELECT 1", "a\n1\n");
+  DataSourceParams params;
+  params.Set("source", "jdbc:mysql://db/sales");
+  params.Set("query", "SELECT 1");
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_TRUE(table.ok()) << table.status();
+}
+
+TEST_F(ConnectorTest, JsonFormatWithPathMappings) {
+  DataSourceParams params;
+  params.Set("data",
+             R"({"created_at":"c1","text":"t1","user":{"location":"Pune"}}
+{"created_at":"c2","text":"t2","user":{"location":null}})");
+  params.Set("format", "json");
+  std::vector<ColumnMapping> mappings = {
+      {"postedTime", "created_at"},
+      {"body", "text"},
+      {"location", "user.location"},
+  };
+  auto table = LoadDataObject(params, std::nullopt, mappings);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->schema().names(),
+            (std::vector<std::string>{"postedTime", "body", "location"}));
+  EXPECT_EQ((*table)->at(0, 2), Value("Pune"));
+  EXPECT_TRUE((*table)->at(1, 2).is_null());
+}
+
+TEST_F(ConnectorTest, JsonFormatRecordsPath) {
+  DataSourceParams params;
+  params.Set("data", R"({"items":[{"title":"q1"},{"title":"q2"}]})");
+  params.Set("format", "json");
+  params.Set("records_path", "items");
+  std::vector<ColumnMapping> mappings = {{"question", "title"}};
+  auto table = LoadDataObject(params, std::nullopt, mappings);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->at(1, 0), Value("q2"));
+}
+
+TEST_F(ConnectorTest, FormatInferredFromExtension) {
+  SimulatedRemoteStore::Get().Publish("http://x.test/d.json",
+                                      R"([{"a": 1}])");
+  DataSourceParams params;
+  params.Set("source", "http://x.test/d.json");
+  auto table =
+      LoadDataObject(params, Schema::FromNames({"a"}), {});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 1u);
+}
+
+TEST_F(ConnectorTest, TsvFormat) {
+  DataSourceParams params;
+  params.Set("data", "a\tb\n1\t2\n");
+  params.Set("format", "tsv");
+  auto table = LoadDataObject(params, std::nullopt, {});
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_columns(), 2u);
+}
+
+TEST_F(ConnectorTest, UnknownProtocolAndFormat) {
+  DataSourceParams params;
+  params.Set("source", "x");
+  params.Set("protocol", "gopher");
+  EXPECT_EQ(LoadDataObject(params, std::nullopt, {}).status().code(),
+            StatusCode::kNotFound);
+  DataSourceParams params2;
+  params2.Set("data", "x");
+  params2.Set("format", "parquet");
+  EXPECT_EQ(LoadDataObject(params2, std::nullopt, {}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(ConnectorTest, CustomConnectorRegistration) {
+  class EchoConnector : public Connector {
+   public:
+    std::string protocol() const override { return "echo"; }
+    Result<std::string> Fetch(const DataSourceParams& params) override {
+      return "a\n" + params.Get("source") + "\n";
+    }
+  };
+  ConnectorRegistry registry;  // fresh, defaults preloaded
+  ASSERT_TRUE(registry.Register(std::make_shared<EchoConnector>()).ok());
+  // Duplicate registration rejected.
+  EXPECT_EQ(registry.Register(std::make_shared<EchoConnector>())
+                .code(),
+            StatusCode::kAlreadyExists);
+  DataSourceParams params;
+  params.Set("source", "hello");
+  params.Set("protocol", "echo");
+  auto table = LoadDataObject(params, std::nullopt, {}, &registry, nullptr);
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->at(0, 0), Value("hello"));
+}
+
+TEST_F(ConnectorTest, DefaultRegistryListsPlatformProtocols) {
+  auto protocols = ConnectorRegistry::Default().Protocols();
+  for (const char* expected :
+       {"file", "http", "https", "ftp", "jdbc", "inline"}) {
+    EXPECT_NE(std::find(protocols.begin(), protocols.end(), expected),
+              protocols.end())
+        << expected;
+  }
+  auto formats = FormatRegistry::Default().Names();
+  for (const char* expected : {"csv", "tsv", "json"}) {
+    EXPECT_NE(std::find(formats.begin(), formats.end(), expected),
+              formats.end())
+        << expected;
+  }
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,121 @@
+#include "io/json.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+TEST(JsonTest, ParsesScalars) {
+  EXPECT_TRUE((*ParseJson("null")).is_null());
+  EXPECT_EQ((*ParseJson("true")).bool_value(), true);
+  EXPECT_EQ((*ParseJson("42")).number_value(), 42);
+  EXPECT_EQ((*ParseJson("-3.5e2")).number_value(), -350);
+  EXPECT_EQ((*ParseJson("\"hi\"")).string_value(), "hi");
+}
+
+TEST(JsonTest, ParsesNestedStructure) {
+  auto doc = ParseJson(R"({"user": {"location": "Pune", "ids": [1, 2, 3]}})");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  const JsonValue* location = doc->ResolvePath("user.location");
+  ASSERT_NE(location, nullptr);
+  EXPECT_EQ(location->string_value(), "Pune");
+  const JsonValue* second = doc->ResolvePath("user.ids.1");
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->number_value(), 2);
+  EXPECT_EQ(doc->ResolvePath("user.missing"), nullptr);
+  EXPECT_EQ(doc->ResolvePath("user.ids.9"), nullptr);
+  EXPECT_EQ(doc->ResolvePath("user.location.deeper"), nullptr);
+}
+
+TEST(JsonTest, StringEscapes) {
+  auto doc = ParseJson(R"("a\"b\\c\ndA")");
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->string_value(), "a\"b\\c\ndA");
+}
+
+TEST(JsonTest, UnicodeEscapeToUtf8) {
+  auto doc = ParseJson(R"("é€")");  // é €
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string_value(), "\xC3\xA9\xE2\x82\xAC");
+}
+
+TEST(JsonTest, ParseErrorsCarryOffsets) {
+  EXPECT_FALSE(ParseJson("{").ok());
+  EXPECT_FALSE(ParseJson("[1,]").ok());
+  EXPECT_FALSE(ParseJson("{\"a\" 1}").ok());
+  EXPECT_FALSE(ParseJson("tru").ok());
+  EXPECT_FALSE(ParseJson("\"unterminated").ok());
+  EXPECT_FALSE(ParseJson("{} trailing").ok());
+  auto err = ParseJson("[1, x]");
+  ASSERT_FALSE(err.ok());
+  EXPECT_NE(err.status().message().find("byte"), std::string::npos);
+}
+
+TEST(JsonTest, SerializeRoundTrip) {
+  const char* source =
+      R"({"name":"x","n":3,"ok":true,"nil":null,"list":[1,2],"obj":{"k":"v"}})";
+  auto doc = ParseJson(source);
+  ASSERT_TRUE(doc.ok());
+  std::string serialized = doc->Serialize();
+  auto reparsed = ParseJson(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized;
+  EXPECT_EQ(reparsed->Serialize(), serialized);
+  EXPECT_EQ(serialized, source);  // member order preserved
+}
+
+TEST(JsonTest, PrettySerializationReparses) {
+  auto doc = ParseJson(R"({"a":[1,{"b":2}]})");
+  ASSERT_TRUE(doc.ok());
+  std::string pretty = doc->SerializePretty();
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  auto reparsed = ParseJson(pretty);
+  ASSERT_TRUE(reparsed.ok()) << pretty;
+  EXPECT_EQ(reparsed->Serialize(), doc->Serialize());
+}
+
+TEST(JsonTest, ToTableValueConversions) {
+  EXPECT_TRUE((*ParseJson("null")).ToTableValue().is_null());
+  EXPECT_EQ((*ParseJson("7")).ToTableValue(), Value(static_cast<int64_t>(7)));
+  EXPECT_EQ((*ParseJson("7.5")).ToTableValue(), Value(7.5));
+  EXPECT_EQ((*ParseJson("\"s\"")).ToTableValue(), Value("s"));
+  // Arrays/objects become their JSON text.
+  EXPECT_EQ((*ParseJson("[1,2]")).ToTableValue(), Value("[1,2]"));
+}
+
+TEST(JsonTest, ParseJsonRecordsArrayForm) {
+  auto records = ParseJsonRecords(R"([{"a":1},{"a":2}])");
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[1].Find("a")->number_value(), 2);
+}
+
+TEST(JsonTest, ParseJsonRecordsNdjsonForm) {
+  auto records = ParseJsonRecords("{\"a\":1}\n{\"a\":2}\n{\"a\":3}\n");
+  ASSERT_TRUE(records.ok());
+  EXPECT_EQ(records->size(), 3u);
+}
+
+TEST(JsonTest, ParseJsonRecordsEmptyInput) {
+  auto records = ParseJsonRecords("   \n  ");
+  ASSERT_TRUE(records.ok());
+  EXPECT_TRUE(records->empty());
+}
+
+TEST(JsonTest, SetOverwritesExistingKey) {
+  JsonValue obj = JsonValue::MakeObject();
+  obj.Set("k", JsonValue::MakeNumber(1));
+  obj.Set("k", JsonValue::MakeNumber(2));
+  EXPECT_EQ(obj.members().size(), 1u);
+  EXPECT_EQ(obj.Find("k")->number_value(), 2);
+}
+
+TEST(JsonTest, FromValueMatchesTypes) {
+  EXPECT_TRUE(JsonValue::FromValue(Value::Null()).is_null());
+  EXPECT_EQ(JsonValue::FromValue(Value(true)).bool_value(), true);
+  EXPECT_EQ(JsonValue::FromValue(Value(static_cast<int64_t>(9))).number_value(),
+            9);
+  EXPECT_EQ(JsonValue::FromValue(Value("s")).string_value(), "s");
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,357 @@
+// Group-by, aggregates, and join tests, including parameterized property
+// sweeps on relational invariants.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "datagen/datagen.h"
+#include "ops/aggregate.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+
+namespace shareinsights {
+namespace {
+
+TablePtr SalesTable() {
+  TableBuilder builder(Schema({Field{"region", ValueType::kString},
+                               Field{"year", ValueType::kInt64},
+                               Field{"amount", ValueType::kInt64},
+                               Field{"rate", ValueType::kDouble}}));
+  auto add = [&](const char* r, int64_t y, int64_t a, double rt) {
+    (void)builder.AppendRow({Value(r), Value(y), Value(a), Value(rt)});
+  };
+  add("north", 2013, 100, 0.5);
+  add("north", 2013, 50, 1.5);
+  add("north", 2014, 70, 2.5);
+  add("south", 2013, 200, 3.5);
+  add("south", 2014, 10, 4.5);
+  return *builder.Finish();
+}
+
+// ---------------------------------------------------------------------
+// GroupBy
+// ---------------------------------------------------------------------
+
+TEST(GroupByTest, CompositeKeySums) {
+  auto op = GroupByOp::Create({"region", "year"},
+                              {AggregateSpec{"sum", "amount", "total"}});
+  ASSERT_TRUE(op.ok()) << op.status();
+  auto out = (*op)->Execute({SalesTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 4u);
+  // First-encounter order: (north,2013) first with 150.
+  EXPECT_EQ((*out)->at(0, 0), Value("north"));
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(2013)));
+  EXPECT_EQ((*out)->at(0, 2), Value(static_cast<int64_t>(150)));
+}
+
+TEST(GroupByTest, DefaultCountWhenNoAggregates) {
+  auto op = GroupByOp::Create({"region"}, {});
+  ASSERT_TRUE(op.ok());
+  auto out = (*op)->Execute({SalesTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->schema().names(),
+            (std::vector<std::string>{"region", "count"}));
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(3)));
+  EXPECT_EQ((*out)->at(1, 1), Value(static_cast<int64_t>(2)));
+}
+
+TEST(GroupByTest, MultipleAggregatesPerGroup) {
+  auto op = GroupByOp::Create(
+      {"region"}, {AggregateSpec{"sum", "amount", "total"},
+                   AggregateSpec{"min", "amount", "lo"},
+                   AggregateSpec{"max", "amount", "hi"},
+                   AggregateSpec{"avg", "rate", "mean_rate"},
+                   AggregateSpec{"count_distinct", "year", "years"}});
+  ASSERT_TRUE(op.ok());
+  auto out = (*op)->Execute({SalesTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  // north: total 220, lo 50, hi 100, mean_rate 1.5, years 2.
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(220)));
+  EXPECT_EQ((*out)->at(0, 2), Value(static_cast<int64_t>(50)));
+  EXPECT_EQ((*out)->at(0, 3), Value(static_cast<int64_t>(100)));
+  EXPECT_EQ((*out)->at(0, 4), Value(1.5));
+  EXPECT_EQ((*out)->at(0, 5), Value(static_cast<int64_t>(2)));
+}
+
+TEST(GroupByTest, OrderByAggregatesSortsDescending) {
+  auto op = GroupByOp::Create({"region"},
+                              {AggregateSpec{"sum", "amount", "total"}},
+                              /*orderby_aggregates=*/true);
+  ASSERT_TRUE(op.ok());
+  auto out = (*op)->Execute({SalesTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_GE((*out)->at(0, 1), (*out)->at(1, 1));
+}
+
+TEST(GroupByTest, RejectsUnknownAggregate) {
+  auto op =
+      GroupByOp::Create({"region"}, {AggregateSpec{"median", "amount", "m"}});
+  ASSERT_FALSE(op.ok());
+  EXPECT_EQ(op.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GroupByTest, RejectsEmptyKeys) {
+  EXPECT_FALSE(GroupByOp::Create({}, {}).ok());
+}
+
+TEST(GroupByTest, NullsFormTheirOwnGroupAndAreSkippedByAggregates) {
+  TableBuilder builder(Schema::FromNames({"k", "v"}));
+  (void)builder.AppendRow({Value::Null(), Value(static_cast<int64_t>(1))});
+  (void)builder.AppendRow({Value("a"), Value::Null()});
+  (void)builder.AppendRow({Value("a"), Value(static_cast<int64_t>(2))});
+  auto op = GroupByOp::Create({"k"}, {AggregateSpec{"sum", "v", "s"},
+                                      AggregateSpec{"count", "v", "n"}});
+  auto out = (*op)->Execute({*builder.Finish()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 2u);
+  // Group "a": sum 2, count skips the null -> 1.
+  EXPECT_EQ((*out)->at(1, 1), Value(static_cast<int64_t>(2)));
+  EXPECT_EQ((*out)->at(1, 2), Value(static_cast<int64_t>(1)));
+}
+
+TEST(AggregateTest, SumPromotesToDoubleOnMixedInput) {
+  auto factory = *AggregateRegistry::Default().Get("sum");
+  auto agg = factory();
+  (void)agg->Update(Value(static_cast<int64_t>(1)));
+  (void)agg->Update(Value(2.5));
+  EXPECT_EQ(*agg->Finalize(), Value(3.5));
+}
+
+TEST(AggregateTest, EmptyInputsFinalizeToNullOrZero) {
+  auto& registry = AggregateRegistry::Default();
+  EXPECT_TRUE((*(*registry.Get("sum"))()->Finalize()).is_null());
+  EXPECT_TRUE((*(*registry.Get("min"))()->Finalize()).is_null());
+  EXPECT_TRUE((*(*registry.Get("avg"))()->Finalize()).is_null());
+  EXPECT_EQ(*(*registry.Get("count"))()->Finalize(),
+            Value(static_cast<int64_t>(0)));
+}
+
+TEST(AggregateTest, FirstLast) {
+  auto first = (*AggregateRegistry::Default().Get("first"))();
+  auto last = (*AggregateRegistry::Default().Get("last"))();
+  for (int64_t v : {3, 1, 7}) {
+    (void)first->Update(Value(v));
+    (void)last->Update(Value(v));
+  }
+  EXPECT_EQ(*first->Finalize(), Value(static_cast<int64_t>(3)));
+  EXPECT_EQ(*last->Finalize(), Value(static_cast<int64_t>(7)));
+}
+
+TEST(AggregateTest, CustomRegistration) {
+  AggregateRegistry registry;
+  class Product : public Aggregator {
+   public:
+    Status Update(const Value& v) override {
+      if (!v.is_null()) product_ *= v.AsDouble();
+      return Status::OK();
+    }
+    Result<Value> Finalize() override { return Value(product_); }
+
+   private:
+    double product_ = 1;
+  };
+  ASSERT_TRUE(
+      registry.Register("product", [] { return std::make_unique<Product>(); })
+          .ok());
+  EXPECT_TRUE(registry.Contains("product"));
+  EXPECT_EQ(registry
+                .Register("product", [] { return std::make_unique<Product>(); })
+                .code(),
+            StatusCode::kAlreadyExists);
+  auto op = GroupByOp::Create({"region"},
+                              {AggregateSpec{"product", "rate", "p"}},
+                              false, &registry);
+  ASSERT_TRUE(op.ok()) << op.status();
+  auto out = (*op)->Execute({SalesTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->at(0, 1), Value(0.5 * 1.5 * 2.5));
+}
+
+// ---------------------------------------------------------------------
+// Join
+// ---------------------------------------------------------------------
+
+TablePtr DimTable() {
+  TableBuilder builder(Schema({Field{"region", ValueType::kString},
+                               Field{"manager", ValueType::kString}}));
+  (void)builder.AppendRow({Value("north"), Value("alice")});
+  (void)builder.AppendRow({Value("west"), Value("carol")});
+  return *builder.Finish();
+}
+
+TEST(JoinTest, InnerJoinMatchesOnly) {
+  auto op = JoinOp::Create({"region"}, {"region"}, JoinKind::kInner, {});
+  auto out = (*op)->Execute({SalesTable(), DimTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 3u);  // north rows only
+  // Default projection: left columns then non-colliding right columns.
+  EXPECT_EQ((*out)->schema().names(),
+            (std::vector<std::string>{"region", "year", "amount", "rate",
+                                      "manager"}));
+}
+
+TEST(JoinTest, LeftOuterKeepsUnmatchedLeft) {
+  auto op = JoinOp::Create({"region"}, {"region"}, JoinKind::kLeftOuter, {});
+  auto out = (*op)->Execute({SalesTable(), DimTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 5u);
+  // South rows carry null manager.
+  bool saw_null = false;
+  for (size_t r = 0; r < (*out)->num_rows(); ++r) {
+    if ((*out)->at(r, 0) == Value("south")) {
+      EXPECT_TRUE((*out)->at(r, 4).is_null());
+      saw_null = true;
+    }
+  }
+  EXPECT_TRUE(saw_null);
+}
+
+TEST(JoinTest, RightOuterKeepsUnmatchedRight) {
+  auto op = JoinOp::Create({"region"}, {"region"}, JoinKind::kRightOuter, {});
+  auto out = (*op)->Execute({SalesTable(), DimTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 4u);  // 3 north matches + unmatched west
+}
+
+TEST(JoinTest, FullOuterKeepsBothSides) {
+  auto op = JoinOp::Create({"region"}, {"region"}, JoinKind::kFullOuter, {});
+  auto out = (*op)->Execute({SalesTable(), DimTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 6u);  // 3 matches + 2 south + 1 west
+}
+
+TEST(JoinTest, ExplicitProjections) {
+  auto op = JoinOp::Create({"region"}, {"region"}, JoinKind::kInner,
+                           {{0, "amount", "sales_amount"},
+                            {1, "manager", "owner"}});
+  auto out = (*op)->Execute({SalesTable(), DimTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->schema().names(),
+            (std::vector<std::string>{"sales_amount", "owner"}));
+}
+
+TEST(JoinTest, CompositeKeys) {
+  TableBuilder right(Schema({Field{"region", ValueType::kString},
+                             Field{"year", ValueType::kInt64},
+                             Field{"target", ValueType::kInt64}}));
+  (void)right.AppendRow({Value("north"), Value(static_cast<int64_t>(2013)),
+                         Value(static_cast<int64_t>(120))});
+  auto op = JoinOp::Create({"region", "year"}, {"region", "year"},
+                           JoinKind::kInner, {});
+  auto out = (*op)->Execute({SalesTable(), *right.Finish()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 2u);  // the two (north,2013) rows
+}
+
+TEST(JoinTest, DuplicateRightKeysProduceCrossRows) {
+  TableBuilder right(Schema::FromNames({"region", "tag"}));
+  (void)right.AppendRow({Value("north"), Value("t1")});
+  (void)right.AppendRow({Value("north"), Value("t2")});
+  auto op = JoinOp::Create({"region"}, {"region"}, JoinKind::kInner, {});
+  auto out = (*op)->Execute({SalesTable(), *right.Finish()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 6u);  // 3 north sales x 2 tags
+}
+
+TEST(JoinTest, ParseJoinKindVariants) {
+  EXPECT_EQ(*ParseJoinKind("inner"), JoinKind::kInner);
+  EXPECT_EQ(*ParseJoinKind(""), JoinKind::kInner);
+  EXPECT_EQ(*ParseJoinKind("left outer"), JoinKind::kLeftOuter);
+  EXPECT_EQ(*ParseJoinKind("LEFT OUTER"), JoinKind::kLeftOuter);
+  EXPECT_EQ(*ParseJoinKind("right_outer"), JoinKind::kRightOuter);
+  EXPECT_EQ(*ParseJoinKind("full outer"), JoinKind::kFullOuter);
+  EXPECT_FALSE(ParseJoinKind("sideways").ok());
+}
+
+TEST(JoinTest, KeyArityMismatchRejected) {
+  EXPECT_FALSE(
+      JoinOp::Create({"a", "b"}, {"a"}, JoinKind::kInner, {}).ok());
+  EXPECT_FALSE(JoinOp::Create({}, {}, JoinKind::kInner, {}).ok());
+}
+
+// ---------------------------------------------------------------------
+// Property sweeps on random tables
+// ---------------------------------------------------------------------
+
+class RelationalProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RelationalProperty, GroupCountsPartitionRows) {
+  auto [rows, groups] = GetParam();
+  TablePtr table = GenerateBenchTable(static_cast<size_t>(rows),
+                                      static_cast<size_t>(groups),
+                                      static_cast<uint64_t>(rows * 31 + groups));
+  auto op = GroupByOp::Create({"key"}, {AggregateSpec{"count", "key", "n"}});
+  auto out = (*op)->Execute({table});
+  ASSERT_TRUE(out.ok());
+  int64_t total = 0;
+  for (size_t r = 0; r < (*out)->num_rows(); ++r) {
+    total += (*out)->at(r, 1).int64_value();
+  }
+  // Counts over groups partition the input rows exactly.
+  EXPECT_EQ(total, rows);
+  EXPECT_LE((*out)->num_rows(), static_cast<size_t>(groups));
+}
+
+TEST_P(RelationalProperty, GroupSumsPreserveGrandTotal) {
+  auto [rows, groups] = GetParam();
+  TablePtr table = GenerateBenchTable(static_cast<size_t>(rows),
+                                      static_cast<size_t>(groups),
+                                      static_cast<uint64_t>(rows * 7 + groups));
+  int64_t grand = 0;
+  auto value_col = *table->ColumnByName("value");
+  for (const Value& v : *value_col) grand += v.int64_value();
+  auto op = GroupByOp::Create({"key"}, {AggregateSpec{"sum", "value", "s"}});
+  auto out = (*op)->Execute({table});
+  ASSERT_TRUE(out.ok());
+  int64_t total = 0;
+  for (size_t r = 0; r < (*out)->num_rows(); ++r) {
+    total += (*out)->at(r, 1).int64_value();
+  }
+  EXPECT_EQ(total, grand);
+}
+
+TEST_P(RelationalProperty, LeftOuterJoinPreservesLeftRowCount) {
+  auto [rows, groups] = GetParam();
+  TablePtr left = GenerateBenchTable(static_cast<size_t>(rows),
+                                     static_cast<size_t>(groups), 11);
+  // Dimension table: one row per key (distinct).
+  auto groupby = GroupByOp::Create({"key"}, {AggregateSpec{"count", "key", "n"}});
+  TablePtr right = *(*groupby)->Execute({left});
+  auto op = JoinOp::Create({"key"}, {"key"}, JoinKind::kLeftOuter, {});
+  auto out = (*op)->Execute({left, right});
+  ASSERT_TRUE(out.ok());
+  // With a unique right side, left outer preserves left cardinality.
+  EXPECT_EQ((*out)->num_rows(), left->num_rows());
+}
+
+TEST_P(RelationalProperty, InnerPlusAntiEqualsLeft) {
+  auto [rows, groups] = GetParam();
+  TablePtr left = GenerateBenchTable(static_cast<size_t>(rows),
+                                     static_cast<size_t>(groups), 13);
+  // Right side covers only half the keys.
+  TableBuilder right_builder(Schema::FromNames({"key"}));
+  for (int g = 0; g < groups; g += 2) {
+    (void)right_builder.AppendRow({Value("group_" + std::to_string(g))});
+  }
+  TablePtr right = *right_builder.Finish();
+  auto inner = JoinOp::Create({"key"}, {"key"}, JoinKind::kInner, {});
+  auto louter = JoinOp::Create({"key"}, {"key"}, JoinKind::kLeftOuter, {});
+  auto inner_out = (*inner)->Execute({left, right});
+  auto louter_out = (*louter)->Execute({left, right});
+  ASSERT_TRUE(inner_out.ok() && louter_out.ok());
+  // Unique right keys: left outer = inner matches + unmatched lefts.
+  EXPECT_EQ((*louter_out)->num_rows(), left->num_rows());
+  EXPECT_LE((*inner_out)->num_rows(), left->num_rows());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RelationalProperty,
+                         ::testing::Combine(::testing::Values(1, 17, 256,
+                                                              2048),
+                                            ::testing::Values(1, 4, 32)));
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,409 @@
+// Unit tests for filter, project, expression/map operators, sort/topn/
+// distinct/limit/union, and the native map-reduce harness.
+
+#include <gtest/gtest.h>
+
+#include "common/string_util.h"
+#include "ops/filter.h"
+#include "ops/map_ops.h"
+#include "ops/mapreduce.h"
+#include "ops/project.h"
+#include "ops/sort_ops.h"
+
+namespace shareinsights {
+namespace {
+
+TablePtr SampleTable() {
+  TableBuilder builder(Schema({Field{"team", ValueType::kString},
+                               Field{"score", ValueType::kInt64},
+                               Field{"note", ValueType::kString}}));
+  auto add = [&](const char* team, int64_t score, const char* note) {
+    (void)builder.AppendRow({Value(team), Value(score), Value(note)});
+  };
+  add("CSK", 10, "great win by dhoni");
+  add("MI", 7, "rohit on fire");
+  add("CSK", 5, "close match");
+  add("RR", 3, "rain delay");
+  add("MI", 12, "pollard power hitting");
+  return *builder.Finish();
+}
+
+// ---------------------------------------------------------------------
+// FilterExpressionOp / FilterValuesOp
+// ---------------------------------------------------------------------
+
+TEST(FilterTest, ExpressionKeepsMatchingRows) {
+  auto op = FilterExpressionOp::Create("score >= 7");
+  ASSERT_TRUE(op.ok()) << op.status();
+  auto out = (*op)->Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 3u);
+  EXPECT_EQ((*out)->schema(), SampleTable()->schema());
+}
+
+TEST(FilterTest, ExpressionParseErrorSurfacesAtCreate) {
+  EXPECT_FALSE(FilterExpressionOp::Create("score >=").ok());
+}
+
+TEST(FilterTest, MissingColumnFailsSchemaCheck) {
+  auto op = FilterExpressionOp::Create("rating < 3");
+  ASSERT_TRUE(op.ok());
+  auto schema = (*op)->OutputSchema({SampleTable()->schema()});
+  ASSERT_FALSE(schema.ok());
+  EXPECT_EQ(schema.status().code(), StatusCode::kSchemaError);
+}
+
+TEST(FilterTest, ValuesMembership) {
+  FilterValuesOp op({{"team", {Value("CSK"), Value("RR")}, false}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 3u);
+}
+
+TEST(FilterTest, EmptySelectionMeansNoConstraint) {
+  FilterValuesOp op({{"team", {}, false}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 5u);
+}
+
+TEST(FilterTest, RangeFilterInclusive) {
+  FilterValuesOp op({{"score",
+                      {Value(static_cast<int64_t>(5)),
+                       Value(static_cast<int64_t>(10))},
+                      true}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 3u);  // 10, 7, 5
+}
+
+TEST(FilterTest, RangeNeedsTwoBounds) {
+  FilterValuesOp op({{"score", {Value(static_cast<int64_t>(5))}, true}});
+  EXPECT_FALSE(op.Execute({SampleTable()}).ok());
+}
+
+TEST(FilterTest, MultipleFiltersIntersect) {
+  FilterValuesOp op({{"team", {Value("MI")}, false},
+                     {"score",
+                      {Value(static_cast<int64_t>(10)),
+                       Value(static_cast<int64_t>(20))},
+                      true}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 1u);
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(12)));
+}
+
+// ---------------------------------------------------------------------
+// ProjectOp / ExpressionColumnOp
+// ---------------------------------------------------------------------
+
+TEST(ProjectTest, SelectsAndRenames) {
+  ProjectOp op({{"score", "points"}, {"team", "team"}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->schema().names(),
+            (std::vector<std::string>{"points", "team"}));
+  EXPECT_EQ((*out)->at(0, 0), Value(static_cast<int64_t>(10)));
+}
+
+TEST(ProjectTest, KeepFactory) {
+  auto op = ProjectOp::Keep({"note"});
+  auto out = op->Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_columns(), 1u);
+}
+
+TEST(ProjectTest, UnknownColumnFails) {
+  ProjectOp op(std::vector<ProjectOp::Mapping>{{"missing", "m"}});
+  EXPECT_FALSE(op.OutputSchema({SampleTable()->schema()}).ok());
+}
+
+TEST(ExpressionColumnTest, AppendsComputedColumn) {
+  auto op = ExpressionColumnOp::Create("double_score", "score * 2");
+  ASSERT_TRUE(op.ok());
+  auto out = (*op)->Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_columns(), 4u);
+  auto idx = (*out)->schema().IndexOf("double_score");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ((*out)->at(0, *idx), Value(static_cast<int64_t>(20)));
+}
+
+TEST(ExpressionColumnTest, OverwritesExistingColumn) {
+  auto op = ExpressionColumnOp::Create("score", "score + 1");
+  ASSERT_TRUE(op.ok());
+  auto out = (*op)->Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_columns(), 3u);
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(11)));
+}
+
+// ---------------------------------------------------------------------
+// Map operators
+// ---------------------------------------------------------------------
+
+TEST(MapDateTest, ReformatsColumn) {
+  TableBuilder builder(Schema::FromNames({"postedTime"}));
+  (void)builder.AppendRow({Value("Fri May 10 18:30:45 +0000 2013")});
+  MapDateOp op("postedTime", "E MMM dd HH:mm:ss Z yyyy", "yyyy-MM-dd",
+               "date");
+  auto out = op.Execute({*builder.Finish()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->at(0, 1), Value("2013-05-10"));
+}
+
+TEST(MapDateTest, NullPassesThrough) {
+  TableBuilder builder(Schema::FromNames({"t"}));
+  (void)builder.AppendRow({Value::Null()});
+  MapDateOp op("t", "yyyy-MM-dd", "yyyy", "y");
+  auto out = op.Execute({*builder.Finish()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE((*out)->at(0, 1).is_null());
+}
+
+TEST(MapDateTest, BadDateReportsRow) {
+  TableBuilder builder(Schema::FromNames({"t"}));
+  (void)builder.AppendRow({Value("not a date")});
+  MapDateOp op("t", "yyyy-MM-dd", "yyyy", "y");
+  auto out = op.Execute({*builder.Finish()});
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("row 0"), std::string::npos);
+}
+
+TEST(DictionaryTest, ExtractMatchesAliasesAndMultiWordNames) {
+  Dictionary dict;
+  dict.Add("dhoni", "MS Dhoni");
+  dict.Add("ms dhoni", "MS Dhoni");
+  dict.Add("rohit sharma", "Rohit Sharma");
+  auto found = dict.Extract("What a finish by MS Dhoni and Rohit Sharma!");
+  ASSERT_EQ(found.size(), 2u);
+  EXPECT_EQ(found[0], "MS Dhoni");
+  EXPECT_EQ(found[1], "Rohit Sharma");
+  // Duplicate mentions collapse.
+  EXPECT_EQ(dict.Extract("dhoni dhoni DHONI").size(), 1u);
+  // No partial-word matches.
+  EXPECT_TRUE(dict.Extract("rohitx").empty());
+}
+
+TEST(DictionaryTest, FromTextFormats) {
+  auto dict = Dictionary::FromText(
+      "MS Dhoni: dhoni, msd\n# comment\nVirat Kohli\n");
+  ASSERT_TRUE(dict.ok());
+  EXPECT_EQ(dict->Extract("msd rocks")[0], "MS Dhoni");
+  EXPECT_EQ(dict->Extract("virat kohli is here")[0], "Virat Kohli");
+}
+
+TEST(MapExtractTest, ExplodesOneRowPerMatch) {
+  Dictionary dict;
+  dict.Add("dhoni", "MS Dhoni");
+  dict.Add("rohit", "Rohit Sharma");
+  TableBuilder builder(Schema::FromNames({"body"}));
+  (void)builder.AppendRow({Value("dhoni and rohit both played")});
+  (void)builder.AppendRow({Value("nobody mentioned")});
+  (void)builder.AppendRow({Value("only rohit")});
+  MapExtractOp op("body", dict, "player");
+  auto out = op.Execute({*builder.Finish()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Row 1: two matches -> 2 rows; row 2: none -> dropped; row 3: 1 row.
+  EXPECT_EQ((*out)->num_rows(), 3u);
+  EXPECT_EQ((*out)->at(0, 1), Value("MS Dhoni"));
+  EXPECT_EQ((*out)->at(1, 1), Value("Rohit Sharma"));
+  EXPECT_EQ((*out)->at(2, 1), Value("Rohit Sharma"));
+}
+
+TEST(MapExtractLocationTest, FirstMatchWins) {
+  Dictionary gazetteer;
+  gazetteer.Add("pune", "Maharashtra");
+  gazetteer.Add("mumbai", "Maharashtra");
+  gazetteer.Add("jaipur", "Rajasthan");
+  TableBuilder builder(Schema::FromNames({"loc"}));
+  (void)builder.AppendRow({Value("Pune, India")});
+  (void)builder.AppendRow({Value("somewhere unknown")});
+  MapExtractLocationOp op("loc", gazetteer, "state");
+  auto out = op.Execute({*builder.Finish()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 1u);
+  EXPECT_EQ((*out)->at(0, 1), Value("Maharashtra"));
+}
+
+TEST(MapExtractWordsTest, TokenizesFiltersStopwordsAndShortWords) {
+  TableBuilder builder(Schema::FromNames({"body"}));
+  (void)builder.AppendRow({Value("The match was EPIC and so on")});
+  MapExtractWordsOp op("body", "word");
+  auto out = op.Execute({*builder.Finish()});
+  ASSERT_TRUE(out.ok());
+  std::vector<std::string> words;
+  for (size_t r = 0; r < (*out)->num_rows(); ++r) {
+    words.push_back((*out)->at(r, 1).ToString());
+  }
+  // "the"/"and"/"was" are stopwords, "so"/"on" too short.
+  EXPECT_EQ(words, (std::vector<std::string>{"match", "epic"}));
+}
+
+TEST(MapScalarTest, AppliesRegisteredFunction) {
+  ScalarOpFn fn = [](const Value& v,
+                     const std::map<std::string, std::string>& config)
+      -> Result<Value> {
+    return Value(v.ToString() + config.at("suffix"));
+  };
+  MapScalarOp op("suffixer", fn, "team", "team_tag", {{"suffix", "!"}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto idx = (*out)->schema().IndexOf("team_tag");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ((*out)->at(0, *idx), Value("CSK!"));
+}
+
+TEST(ParallelTest, ComposesMembersLeftToRight) {
+  auto expr1 = *ExpressionColumnOp::Create("a", "score + 1");
+  auto expr2 = *ExpressionColumnOp::Create("b", "a * 2");
+  ParallelOp op({expr1, expr2});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  auto idx = (*out)->schema().IndexOf("b");
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ((*out)->at(0, *idx), Value(static_cast<int64_t>(22)));
+}
+
+// ---------------------------------------------------------------------
+// Sort / TopN / Distinct / Limit / Union
+// ---------------------------------------------------------------------
+
+TEST(SortTest, MultiKeyStableSort) {
+  SortOp op({SortKey{"team", false}, SortKey{"score", true}});
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  // Teams ascending; within CSK scores descending.
+  EXPECT_EQ((*out)->at(0, 0), Value("CSK"));
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(10)));
+  EXPECT_EQ((*out)->at(1, 1), Value(static_cast<int64_t>(5)));
+  EXPECT_EQ((*out)->at(4, 0), Value("RR"));
+}
+
+TEST(SortTest, ParseSortKeyVariants) {
+  EXPECT_FALSE(ParseSortKey("")->descending);
+  EXPECT_TRUE(ParseSortKey("count DESC")->descending);
+  EXPECT_FALSE(ParseSortKey("count ASC")->descending);
+  // Direction keywords are case-insensitive.
+  EXPECT_TRUE(ParseSortKey("count desc")->descending);
+  EXPECT_FALSE(ParseSortKey("count sideways").ok());
+  EXPECT_FALSE(ParseSortKey("a b c").ok());
+}
+
+TEST(TopNTest, PerGroupLimit) {
+  TopNOp op({"team"}, {SortKey{"score", true}}, 1);
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 3u);  // best row per team
+  // CSK group first (encounter order), its top score is 10.
+  EXPECT_EQ((*out)->at(0, 0), Value("CSK"));
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(10)));
+}
+
+TEST(TopNTest, GlobalTopNWithoutGroups) {
+  TopNOp op({}, {SortKey{"score", true}}, 2);
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 2u);
+  EXPECT_EQ((*out)->at(0, 1), Value(static_cast<int64_t>(12)));
+  EXPECT_EQ((*out)->at(1, 1), Value(static_cast<int64_t>(10)));
+}
+
+TEST(DistinctTest, WholeRowAndSubsetModes) {
+  TableBuilder builder(Schema::FromNames({"a", "b"}));
+  (void)builder.AppendRow({Value("x"), Value("1")});
+  (void)builder.AppendRow({Value("x"), Value("2")});
+  (void)builder.AppendRow({Value("x"), Value("1")});
+  TablePtr table = *builder.Finish();
+  DistinctOp whole;
+  EXPECT_EQ((*whole.Execute({table}))->num_rows(), 2u);
+  DistinctOp by_a({"a"});
+  auto out = by_a.Execute({table});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 1u);
+  EXPECT_EQ((*out)->at(0, 1), Value("1"));  // first row wins
+}
+
+TEST(LimitTest, CountAndOffset) {
+  LimitOp limit(2, 1);
+  auto out = limit.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ((*out)->num_rows(), 2u);
+  EXPECT_EQ((*out)->at(0, 0), Value("MI"));
+  LimitOp past_end(10, 4);
+  EXPECT_EQ((*past_end.Execute({SampleTable()}))->num_rows(), 1u);
+}
+
+TEST(UnionTest, MatchesColumnsByName) {
+  TableBuilder a(Schema::FromNames({"x", "y"}));
+  (void)a.AppendRow({Value("1"), Value("2")});
+  TableBuilder b(Schema::FromNames({"y", "x"}));  // reordered
+  (void)b.AppendRow({Value("20"), Value("10")});
+  TableBuilder c(Schema::FromNames({"x"}));  // missing column y
+  (void)c.AppendRow({Value("100")});
+  UnionOp op(3);
+  auto out = op.Execute({*a.Finish(), *b.Finish(), *c.Finish()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  EXPECT_EQ((*out)->num_rows(), 3u);
+  EXPECT_EQ((*out)->at(1, 0), Value("10"));
+  EXPECT_EQ((*out)->at(1, 1), Value("20"));
+  EXPECT_TRUE((*out)->at(2, 1).is_null());
+}
+
+// ---------------------------------------------------------------------
+// NativeMapReduceOp
+// ---------------------------------------------------------------------
+
+TEST(MapReduceTest, WordCountJob) {
+  Schema output({Field{"word", ValueType::kString},
+                 Field{"n", ValueType::kInt64}});
+  NativeMapReduceOp op(
+      "wordcount", output,
+      [](const std::vector<Value>& row, const Schema& schema,
+         std::vector<std::pair<Value, std::vector<Value>>>* emit) -> Status {
+        SI_ASSIGN_OR_RETURN(size_t idx, schema.RequireIndex("note"));
+        for (const std::string& word :
+             Split(row[idx].ToString(), ' ')) {
+          emit->emplace_back(Value(word), std::vector<Value>{});
+        }
+        return Status::OK();
+      },
+      [](const Value& key, const std::vector<std::vector<Value>>& records,
+         std::vector<std::vector<Value>>* emit) -> Status {
+        emit->push_back({key, Value(static_cast<int64_t>(records.size()))});
+        return Status::OK();
+      });
+  auto out = op.Execute({SampleTable()});
+  ASSERT_TRUE(out.ok()) << out.status();
+  // Find "on": appears in "rohit on fire" only.
+  bool found = false;
+  for (size_t r = 0; r < (*out)->num_rows(); ++r) {
+    if ((*out)->at(r, 0) == Value("on")) {
+      EXPECT_EQ((*out)->at(r, 1), Value(static_cast<int64_t>(1)));
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(MapReduceTest, ReduceErrorCarriesKeyContext) {
+  Schema output({Field{"k", ValueType::kString}});
+  NativeMapReduceOp op(
+      "failing", output,
+      [](const std::vector<Value>&, const Schema&,
+         std::vector<std::pair<Value, std::vector<Value>>>* emit) -> Status {
+        emit->emplace_back(Value("badkey"), std::vector<Value>{});
+        return Status::OK();
+      },
+      [](const Value&, const std::vector<std::vector<Value>>&,
+         std::vector<std::vector<Value>>*) -> Status {
+        return Status::ExecutionError("boom");
+      });
+  auto out = op.Execute({SampleTable()});
+  ASSERT_FALSE(out.ok());
+  EXPECT_NE(out.status().message().find("badkey"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shareinsights

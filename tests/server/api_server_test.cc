@@ -1,0 +1,157 @@
+#include "server/api_server.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+constexpr const char* kFlow = R"(
+D:
+  items: [category, name, price]
+D.items:
+  protocol: inline
+  format: csv
+  data: "category,name,price
+fruit,apple,3
+fruit,pear,4
+tool,hammer,12
+"
+F:
+  D.by_category: D.items | T.agg
+D.by_category:
+  endpoint: true
+D.items:
+  endpoint: true
+T:
+  agg:
+    type: groupby
+    groupby: [category]
+    aggregates:
+      - operator: sum
+        apply_on: price
+        out_field: total
+)";
+
+class ApiServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(server_.CreateDashboard("shop", kFlow, Dashboard::Options())
+                    .ok());
+    ASSERT_TRUE(server_.Post("/dashboards/shop/run", "").ok());
+  }
+  SharedDataRegistry registry_;
+  ApiServer server_{&registry_};
+};
+
+TEST_F(ApiServerTest, ListsDashboards) {
+  HttpResponse response = server_.Get("/dashboards");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"shop\""), std::string::npos);
+}
+
+TEST_F(ApiServerTest, CreateViaRestRoute) {
+  HttpResponse response =
+      server_.Post("/dashboards/shop2/create", kFlow);
+  EXPECT_EQ(response.status, 201);
+  EXPECT_TRUE(server_.GetDashboard("shop2").ok());
+}
+
+TEST_F(ApiServerTest, CreateWithBrokenFlowFileIs400) {
+  HttpResponse response =
+      server_.Post("/dashboards/broken/create", "F:\n  D.x: D.y\n");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("parse_error"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, DsListsEndpoints) {
+  HttpResponse response = server_.Get("/shop/ds");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("by_category"), std::string::npos);
+  EXPECT_NE(response.body.find("items"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, BrowseRowsWithLimitAndOffset) {
+  HttpResponse response = server_.Get("/shop/ds/items?limit=1&offset=1");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("pear"), std::string::npos);
+  EXPECT_EQ(response.body.find("apple"), std::string::npos);
+  EXPECT_NE(response.body.find("\"total_rows\": 3"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, AdhocGroupbyQuery) {
+  HttpResponse response =
+      server_.Get("/shop/ds/items/groupby/category/count/name");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"count_name\": 2"), std::string::npos);
+  response = server_.Get("/shop/ds/items/groupby/category/sum/price");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"sum_price\": 7"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, AdhocQueryUnknownAggregateIs404) {
+  HttpResponse response =
+      server_.Get("/shop/ds/items/groupby/category/median/price");
+  EXPECT_EQ(response.status, 404);
+}
+
+TEST_F(ApiServerTest, NonEndpointObjectsHidden) {
+  // 'agg' output object isn't an endpoint? by_category is. Query a
+  // non-existent object name.
+  HttpResponse response = server_.Get("/shop/ds/internal_thing");
+  EXPECT_EQ(response.status, 404);
+  EXPECT_NE(response.body.find("not an endpoint"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, ExplorerRendersAsciiTable) {
+  HttpResponse response = server_.Get("/shop/explore/by_category?limit=5");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain");
+  EXPECT_NE(response.body.find("| category |"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, DashboardTextRoute) {
+  HttpResponse response = server_.Get("/dashboards/shop");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("groupby"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, UnknownDashboardIs404) {
+  EXPECT_EQ(server_.Get("/nope/ds").status, 404);
+  EXPECT_EQ(server_.Post("/dashboards/nope/run", "").status, 404);
+}
+
+TEST_F(ApiServerTest, SharedRouteListsRegistry) {
+  TableBuilder builder(Schema::FromNames({"a"}));
+  (void)builder.AppendRow({Value("1")});
+  ASSERT_TRUE(registry_.Publish("shared_x", *builder.Finish(), "tester").ok());
+  HttpResponse response = server_.Get("/shared");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("shared_x"), std::string::npos);
+  EXPECT_NE(response.body.find("tester"), std::string::npos);
+}
+
+TEST(HttpRequestTest, ParsesQueryParameters) {
+  HttpRequest request = HttpRequest::Get("/a/b?x=1&y=two&flag");
+  EXPECT_EQ(request.path, "/a/b");
+  EXPECT_EQ(request.query.at("x"), "1");
+  EXPECT_EQ(request.query.at("y"), "two");
+  EXPECT_EQ(request.query.at("flag"), "");
+}
+
+TEST(TableToJsonTest, RespectsLimitOffsetAndTypes) {
+  TableBuilder builder(Schema({Field{"s", ValueType::kString},
+                               Field{"n", ValueType::kInt64},
+                               Field{"b", ValueType::kBool}}));
+  for (int64_t i = 0; i < 5; ++i) {
+    (void)builder.AppendRow({Value("r" + std::to_string(i)), Value(i),
+                             Value(i % 2 == 0)});
+  }
+  JsonValue rows = TableToJson(**builder.Finish(), 2, 1);
+  ASSERT_EQ(rows.array_items().size(), 2u);
+  EXPECT_EQ(rows.array_items()[0].Find("s")->string_value(), "r1");
+  EXPECT_EQ(rows.array_items()[0].Find("n")->number_value(), 1);
+  EXPECT_EQ(rows.array_items()[0].Find("b")->bool_value(), false);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,104 @@
+#include "sim/hackathon.h"
+
+#include <gtest/gtest.h>
+
+namespace shareinsights {
+namespace {
+
+HackathonOptions SmallOptions(uint64_t seed = 2015) {
+  HackathonOptions options;
+  options.num_teams = 8;
+  options.num_finalists = 3;
+  options.num_winners = 1;
+  options.seed = seed;
+  return options;
+}
+
+TEST(HackathonTest, ProducesTeamsAndEvents) {
+  auto result = SimulateHackathon(SmallOptions());
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_EQ(result->teams.size(), 8u);
+  EXPECT_GT(result->events.size(), 0u);
+  EXPECT_GT(result->total_runs, 8);
+  int finalists = 0, winners = 0;
+  for (const TeamStats& team : result->teams) {
+    if (team.finalist) ++finalists;
+    if (team.winner) ++winners;
+    EXPECT_GT(team.fork_size_bytes, 0u);
+    EXPECT_GE(team.final_size_bytes, team.fork_size_bytes / 2);
+    EXPECT_GE(team.competition_runs, 1);
+  }
+  EXPECT_EQ(finalists, 3);
+  EXPECT_EQ(winners, 1);
+}
+
+TEST(HackathonTest, DeterministicPerSeed) {
+  auto a = SimulateHackathon(SmallOptions(42));
+  auto b = SimulateHackathon(SmallOptions(42));
+  auto c = SimulateHackathon(SmallOptions(43));
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+  EXPECT_EQ(a->total_runs, b->total_runs);
+  EXPECT_EQ(a->total_errors, b->total_errors);
+  ASSERT_EQ(a->teams.size(), b->teams.size());
+  for (size_t i = 0; i < a->teams.size(); ++i) {
+    EXPECT_EQ(a->teams[i].score, b->teams[i].score);
+    EXPECT_EQ(a->teams[i].fork_size_bytes, b->teams[i].fork_size_bytes);
+  }
+  // Different seed differs somewhere.
+  EXPECT_NE(a->total_runs, c->total_runs);
+}
+
+TEST(HackathonTest, OperatorUsageReflectsRealPlans) {
+  auto result = SimulateHackathon(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  // The edit menu guarantees group-bys and filters appear.
+  EXPECT_GT(result->operator_usage.count("groupby"), 0u);
+  EXPECT_GT(result->operator_usage.at("groupby"), 0);
+  EXPECT_GT(result->operator_usage.count("filter_by"), 0u);
+  // Widgets were added and counted.
+  int widget_total = 0;
+  for (const auto& [type, count] : result->widget_usage) {
+    widget_total += count;
+  }
+  EXPECT_GT(widget_total, 0);
+}
+
+TEST(HackathonTest, ErrorsAreInjectedAndRecovered) {
+  auto result = SimulateHackathon(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  // With 8 teams over a practice week someone breaks something.
+  EXPECT_GT(result->total_errors, 0);
+  // And every error event has a matching team that still finished.
+  for (const HackathonEvent& event : result->events) {
+    if (event.kind == "error") {
+      EXPECT_GE(event.team, 1);
+      EXPECT_LE(event.team, 8);
+    }
+  }
+}
+
+TEST(HackathonTest, CsvExportsParse) {
+  auto result = SimulateHackathon(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  std::string events = result->EventsCsv();
+  EXPECT_EQ(events.find("team,phase,kind,minute,detail"), 0u);
+  std::string teams = result->TeamsCsv();
+  EXPECT_NE(teams.find("practice_runs"), std::string::npos);
+  // One line per team + header.
+  EXPECT_EQ(std::count(teams.begin(), teams.end(), '\n'), 9);
+}
+
+TEST(HackathonTest, ForkSizesClusterBySample) {
+  auto result = SimulateHackathon(SmallOptions());
+  ASSERT_TRUE(result.ok());
+  std::set<size_t> distinct;
+  for (const TeamStats& team : result->teams) {
+    distinct.insert(team.fork_size_bytes);
+  }
+  // At most 3 sample dashboards to fork from.
+  EXPECT_LE(distinct.size(), 3u);
+  EXPECT_GE(distinct.size(), 1u);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,141 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include "table/schema.h"
+
+namespace shareinsights {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Field{"name", ValueType::kString},
+                 Field{"count", ValueType::kInt64}});
+}
+
+TEST(SchemaTest, LookupByName) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(*schema.IndexOf("count"), 1u);
+  EXPECT_FALSE(schema.IndexOf("missing").has_value());
+  EXPECT_TRUE(schema.Contains("name"));
+}
+
+TEST(SchemaTest, RequireIndexErrorListsColumns) {
+  Schema schema = TestSchema();
+  auto missing = schema.RequireIndex("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kSchemaError);
+  EXPECT_NE(missing.status().message().find("nope"), std::string::npos);
+  EXPECT_NE(missing.status().message().find("name, count"),
+            std::string::npos);
+}
+
+TEST(SchemaTest, AddFieldReplacesTypeForExistingName) {
+  Schema schema = TestSchema();
+  schema.AddField(Field{"count", ValueType::kDouble});
+  EXPECT_EQ(schema.num_fields(), 2u);
+  EXPECT_EQ(schema.field(1).type, ValueType::kDouble);
+  schema.AddField(Field{"extra", ValueType::kBool});
+  EXPECT_EQ(schema.num_fields(), 3u);
+}
+
+TEST(SchemaTest, FromNamesDefaultsToString) {
+  Schema schema = Schema::FromNames({"a", "b"});
+  EXPECT_EQ(schema.field(0).type, ValueType::kString);
+  EXPECT_EQ(schema.ToString(), "a:string, b:string");
+}
+
+TEST(TableTest, CreateValidatesArity) {
+  auto bad = Table::Create(TestSchema(), {{Value("x")}});
+  EXPECT_FALSE(bad.ok());
+  auto ragged =
+      Table::Create(TestSchema(), {{Value("x")}, {Value(1.0), Value(2.0)}});
+  EXPECT_FALSE(ragged.ok());
+}
+
+TEST(TableTest, BuilderAppendsRows) {
+  TableBuilder builder(TestSchema());
+  ASSERT_TRUE(builder.AppendRow({Value("a"), Value(static_cast<int64_t>(1))})
+                  .ok());
+  ASSERT_TRUE(builder.AppendRow({Value("b"), Value(static_cast<int64_t>(2))})
+                  .ok());
+  EXPECT_FALSE(builder.AppendRow({Value("short")}).ok());
+  auto table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ((*table)->num_rows(), 2u);
+  EXPECT_EQ((*table)->at(1, 0), Value("b"));
+  EXPECT_EQ((*table)->Row(0)[1], Value(static_cast<int64_t>(1)));
+}
+
+TEST(TableTest, ColumnByName) {
+  TableBuilder builder(TestSchema());
+  (void)builder.AppendRow({Value("a"), Value(static_cast<int64_t>(5))});
+  auto table = *builder.Finish();
+  auto column = table->ColumnByName("count");
+  ASSERT_TRUE(column.ok());
+  EXPECT_EQ((*column)->at(0), Value(static_cast<int64_t>(5)));
+  EXPECT_FALSE(table->ColumnByName("missing").ok());
+}
+
+TEST(TableTest, EmptyTable) {
+  TablePtr table = Table::Empty(TestSchema());
+  EXPECT_EQ(table->num_rows(), 0u);
+  EXPECT_EQ(table->num_columns(), 2u);
+}
+
+TEST(TableTest, DisplayStringTruncates) {
+  TableBuilder builder(TestSchema());
+  for (int64_t i = 0; i < 30; ++i) {
+    (void)builder.AppendRow({Value("row"), Value(i)});
+  }
+  auto table = *builder.Finish();
+  std::string text = table->ToDisplayString(5);
+  EXPECT_NE(text.find("(25 more rows)"), std::string::npos);
+  EXPECT_NE(text.find("| name"), std::string::npos);
+}
+
+TEST(TableTest, ApproxBytesGrowsWithData) {
+  TableBuilder small(TestSchema());
+  (void)small.AppendRow({Value("a"), Value(static_cast<int64_t>(1))});
+  TableBuilder large(TestSchema());
+  for (int64_t i = 0; i < 100; ++i) {
+    (void)large.AppendRow(
+        {Value("some longer string value"), Value(i)});
+  }
+  EXPECT_LT((*small.Finish())->ApproxBytes(), (*large.Finish())->ApproxBytes());
+}
+
+TEST(TableTest, InferColumnTypesIntColumn) {
+  TableBuilder builder(Schema::FromNames({"n", "mixed", "f"}));
+  (void)builder.AppendRow({Value("1"), Value("2"), Value("1.5")});
+  (void)builder.AppendRow({Value("2"), Value("x"), Value("3")});
+  auto typed = InferColumnTypes(*builder.Finish());
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ((*typed)->schema().field(0).type, ValueType::kInt64);
+  EXPECT_EQ((*typed)->schema().field(1).type, ValueType::kString);
+  // Numeric mix of int and double promotes to double.
+  EXPECT_EQ((*typed)->schema().field(2).type, ValueType::kDouble);
+  EXPECT_EQ((*typed)->at(0, 0), Value(static_cast<int64_t>(1)));
+  EXPECT_EQ((*typed)->at(1, 2), Value(3.0));
+}
+
+TEST(TableTest, InferColumnTypesKeepsNulls) {
+  TableBuilder builder(Schema::FromNames({"n"}));
+  (void)builder.AppendRow({Value::Null()});
+  (void)builder.AppendRow({Value("7")});
+  auto typed = InferColumnTypes(*builder.Finish());
+  ASSERT_TRUE(typed.ok());
+  EXPECT_TRUE((*typed)->at(0, 0).is_null());
+  EXPECT_EQ((*typed)->schema().field(0).type, ValueType::kInt64);
+}
+
+TEST(TableTest, InferColumnTypesAllNullStaysString) {
+  TableBuilder builder(Schema::FromNames({"n"}));
+  (void)builder.AppendRow({Value::Null()});
+  auto typed = InferColumnTypes(*builder.Finish());
+  ASSERT_TRUE(typed.ok());
+  EXPECT_EQ((*typed)->schema().field(0).type, ValueType::kString);
+}
+
+}  // namespace
+}  // namespace shareinsights
