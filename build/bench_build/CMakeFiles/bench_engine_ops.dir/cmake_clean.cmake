@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_engine_ops"
+  "../bench/bench_engine_ops.pdb"
+  "CMakeFiles/bench_engine_ops.dir/bench_engine_ops.cc.o"
+  "CMakeFiles/bench_engine_ops.dir/bench_engine_ops.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_engine_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig31_usage"
+  "../bench/bench_fig31_usage.pdb"
+  "CMakeFiles/bench_fig31_usage.dir/bench_fig31_usage.cc.o"
+  "CMakeFiles/bench_fig31_usage.dir/bench_fig31_usage.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig31_usage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig32_practice"
+  "../bench/bench_fig32_practice.pdb"
+  "CMakeFiles/bench_fig32_practice.dir/bench_fig32_practice.cc.o"
+  "CMakeFiles/bench_fig32_practice.dir/bench_fig32_practice.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig32_practice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

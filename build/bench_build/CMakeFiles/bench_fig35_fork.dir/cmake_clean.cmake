@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig35_fork"
+  "../bench/bench_fig35_fork.pdb"
+  "CMakeFiles/bench_fig35_fork.dir/bench_fig35_fork.cc.o"
+  "CMakeFiles/bench_fig35_fork.dir/bench_fig35_fork.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig35_fork.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

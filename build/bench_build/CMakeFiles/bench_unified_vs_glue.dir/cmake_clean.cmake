@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_unified_vs_glue"
+  "../bench/bench_unified_vs_glue.pdb"
+  "CMakeFiles/bench_unified_vs_glue.dir/bench_unified_vs_glue.cc.o"
+  "CMakeFiles/bench_unified_vs_glue.dir/bench_unified_vs_glue.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_unified_vs_glue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_unified_vs_glue.
+# This may be replaced when dependencies are built.

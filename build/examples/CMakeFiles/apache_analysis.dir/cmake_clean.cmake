@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apache_analysis.dir/apache_analysis.cpp.o"
+  "CMakeFiles/apache_analysis.dir/apache_analysis.cpp.o.d"
+  "apache_analysis"
+  "apache_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apache_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/collaboration.dir/collaboration.cpp.o"
+  "CMakeFiles/collaboration.dir/collaboration.cpp.o.d"
+  "collaboration"
+  "collaboration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/collaboration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

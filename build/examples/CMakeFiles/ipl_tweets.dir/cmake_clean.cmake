@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipl_tweets.dir/ipl_tweets.cpp.o"
+  "CMakeFiles/ipl_tweets.dir/ipl_tweets.cpp.o.d"
+  "ipl_tweets"
+  "ipl_tweets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipl_tweets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ipl_tweets.
+# This may be replaced when dependencies are built.

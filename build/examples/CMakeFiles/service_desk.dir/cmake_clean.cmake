@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_desk.dir/service_desk.cpp.o"
+  "CMakeFiles/service_desk.dir/service_desk.cpp.o.d"
+  "service_desk"
+  "service_desk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_desk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

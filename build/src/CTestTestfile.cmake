@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("table")
+subdirs("expr")
+subdirs("io")
+subdirs("ops")
+subdirs("flow")
+subdirs("compile")
+subdirs("exec")
+subdirs("cube")
+subdirs("dashboard")
+subdirs("server")
+subdirs("share")
+subdirs("datagen")
+subdirs("baseline")
+subdirs("sim")
+subdirs("cli")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_baseline.dir/apache_glue.cc.o"
+  "CMakeFiles/si_baseline.dir/apache_glue.cc.o.d"
+  "CMakeFiles/si_baseline.dir/glue.cc.o"
+  "CMakeFiles/si_baseline.dir/glue.cc.o.d"
+  "libsi_baseline.a"
+  "libsi_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

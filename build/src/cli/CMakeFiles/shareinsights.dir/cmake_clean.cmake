@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shareinsights.dir/main.cc.o"
+  "CMakeFiles/shareinsights.dir/main.cc.o.d"
+  "shareinsights"
+  "shareinsights.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shareinsights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

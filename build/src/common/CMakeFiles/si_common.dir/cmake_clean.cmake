@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_common.dir/date_util.cc.o"
+  "CMakeFiles/si_common.dir/date_util.cc.o.d"
+  "CMakeFiles/si_common.dir/logging.cc.o"
+  "CMakeFiles/si_common.dir/logging.cc.o.d"
+  "CMakeFiles/si_common.dir/rng.cc.o"
+  "CMakeFiles/si_common.dir/rng.cc.o.d"
+  "CMakeFiles/si_common.dir/status.cc.o"
+  "CMakeFiles/si_common.dir/status.cc.o.d"
+  "CMakeFiles/si_common.dir/string_util.cc.o"
+  "CMakeFiles/si_common.dir/string_util.cc.o.d"
+  "CMakeFiles/si_common.dir/thread_pool.cc.o"
+  "CMakeFiles/si_common.dir/thread_pool.cc.o.d"
+  "CMakeFiles/si_common.dir/value.cc.o"
+  "CMakeFiles/si_common.dir/value.cc.o.d"
+  "libsi_common.a"
+  "libsi_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_compile.dir/compiler.cc.o"
+  "CMakeFiles/si_compile.dir/compiler.cc.o.d"
+  "CMakeFiles/si_compile.dir/diagnostics.cc.o"
+  "CMakeFiles/si_compile.dir/diagnostics.cc.o.d"
+  "CMakeFiles/si_compile.dir/optimizer.cc.o"
+  "CMakeFiles/si_compile.dir/optimizer.cc.o.d"
+  "CMakeFiles/si_compile.dir/task_factory.cc.o"
+  "CMakeFiles/si_compile.dir/task_factory.cc.o.d"
+  "libsi_compile.a"
+  "libsi_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_cube.dir/data_cube.cc.o"
+  "CMakeFiles/si_cube.dir/data_cube.cc.o.d"
+  "libsi_cube.a"
+  "libsi_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

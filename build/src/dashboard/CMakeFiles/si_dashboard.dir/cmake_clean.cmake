@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_dashboard.dir/dashboard.cc.o"
+  "CMakeFiles/si_dashboard.dir/dashboard.cc.o.d"
+  "CMakeFiles/si_dashboard.dir/profiler.cc.o"
+  "CMakeFiles/si_dashboard.dir/profiler.cc.o.d"
+  "CMakeFiles/si_dashboard.dir/render.cc.o"
+  "CMakeFiles/si_dashboard.dir/render.cc.o.d"
+  "CMakeFiles/si_dashboard.dir/style.cc.o"
+  "CMakeFiles/si_dashboard.dir/style.cc.o.d"
+  "CMakeFiles/si_dashboard.dir/widget.cc.o"
+  "CMakeFiles/si_dashboard.dir/widget.cc.o.d"
+  "libsi_dashboard.a"
+  "libsi_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_datagen.dir/datagen.cc.o"
+  "CMakeFiles/si_datagen.dir/datagen.cc.o.d"
+  "libsi_datagen.a"
+  "libsi_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

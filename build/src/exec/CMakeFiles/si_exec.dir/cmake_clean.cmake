@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_exec.dir/executor.cc.o"
+  "CMakeFiles/si_exec.dir/executor.cc.o.d"
+  "libsi_exec.a"
+  "libsi_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

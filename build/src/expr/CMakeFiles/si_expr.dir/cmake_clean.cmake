@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_expr.dir/expr.cc.o"
+  "CMakeFiles/si_expr.dir/expr.cc.o.d"
+  "libsi_expr.a"
+  "libsi_expr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_expr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

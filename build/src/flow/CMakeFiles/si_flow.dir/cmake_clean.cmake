@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_flow.dir/config_node.cc.o"
+  "CMakeFiles/si_flow.dir/config_node.cc.o.d"
+  "CMakeFiles/si_flow.dir/flow_file.cc.o"
+  "CMakeFiles/si_flow.dir/flow_file.cc.o.d"
+  "libsi_flow.a"
+  "libsi_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_io.dir/connector.cc.o"
+  "CMakeFiles/si_io.dir/connector.cc.o.d"
+  "CMakeFiles/si_io.dir/csv.cc.o"
+  "CMakeFiles/si_io.dir/csv.cc.o.d"
+  "CMakeFiles/si_io.dir/json.cc.o"
+  "CMakeFiles/si_io.dir/json.cc.o.d"
+  "libsi_io.a"
+  "libsi_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ops/aggregate.cc" "src/ops/CMakeFiles/si_ops.dir/aggregate.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/aggregate.cc.o.d"
+  "/root/repo/src/ops/filter.cc" "src/ops/CMakeFiles/si_ops.dir/filter.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/filter.cc.o.d"
+  "/root/repo/src/ops/groupby.cc" "src/ops/CMakeFiles/si_ops.dir/groupby.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/groupby.cc.o.d"
+  "/root/repo/src/ops/join.cc" "src/ops/CMakeFiles/si_ops.dir/join.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/join.cc.o.d"
+  "/root/repo/src/ops/map_ops.cc" "src/ops/CMakeFiles/si_ops.dir/map_ops.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/map_ops.cc.o.d"
+  "/root/repo/src/ops/mapreduce.cc" "src/ops/CMakeFiles/si_ops.dir/mapreduce.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/mapreduce.cc.o.d"
+  "/root/repo/src/ops/operator.cc" "src/ops/CMakeFiles/si_ops.dir/operator.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/operator.cc.o.d"
+  "/root/repo/src/ops/project.cc" "src/ops/CMakeFiles/si_ops.dir/project.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/project.cc.o.d"
+  "/root/repo/src/ops/sort_ops.cc" "src/ops/CMakeFiles/si_ops.dir/sort_ops.cc.o" "gcc" "src/ops/CMakeFiles/si_ops.dir/sort_ops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/expr/CMakeFiles/si_expr.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/si_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/si_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_ops.dir/aggregate.cc.o"
+  "CMakeFiles/si_ops.dir/aggregate.cc.o.d"
+  "CMakeFiles/si_ops.dir/filter.cc.o"
+  "CMakeFiles/si_ops.dir/filter.cc.o.d"
+  "CMakeFiles/si_ops.dir/groupby.cc.o"
+  "CMakeFiles/si_ops.dir/groupby.cc.o.d"
+  "CMakeFiles/si_ops.dir/join.cc.o"
+  "CMakeFiles/si_ops.dir/join.cc.o.d"
+  "CMakeFiles/si_ops.dir/map_ops.cc.o"
+  "CMakeFiles/si_ops.dir/map_ops.cc.o.d"
+  "CMakeFiles/si_ops.dir/mapreduce.cc.o"
+  "CMakeFiles/si_ops.dir/mapreduce.cc.o.d"
+  "CMakeFiles/si_ops.dir/operator.cc.o"
+  "CMakeFiles/si_ops.dir/operator.cc.o.d"
+  "CMakeFiles/si_ops.dir/project.cc.o"
+  "CMakeFiles/si_ops.dir/project.cc.o.d"
+  "CMakeFiles/si_ops.dir/sort_ops.cc.o"
+  "CMakeFiles/si_ops.dir/sort_ops.cc.o.d"
+  "libsi_ops.a"
+  "libsi_ops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_ops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_server.dir/api_server.cc.o"
+  "CMakeFiles/si_server.dir/api_server.cc.o.d"
+  "libsi_server.a"
+  "libsi_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_share.dir/repository.cc.o"
+  "CMakeFiles/si_share.dir/repository.cc.o.d"
+  "CMakeFiles/si_share.dir/shared_registry.cc.o"
+  "CMakeFiles/si_share.dir/shared_registry.cc.o.d"
+  "libsi_share.a"
+  "libsi_share.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_share.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_sim.dir/hackathon.cc.o"
+  "CMakeFiles/si_sim.dir/hackathon.cc.o.d"
+  "libsi_sim.a"
+  "libsi_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

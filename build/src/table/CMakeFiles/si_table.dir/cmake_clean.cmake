@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/si_table.dir/schema.cc.o"
+  "CMakeFiles/si_table.dir/schema.cc.o.d"
+  "CMakeFiles/si_table.dir/table.cc.o"
+  "CMakeFiles/si_table.dir/table.cc.o.d"
+  "libsi_table.a"
+  "libsi_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/si_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

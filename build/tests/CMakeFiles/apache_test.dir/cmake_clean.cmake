@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apache_test.dir/integration/apache_test.cc.o"
+  "CMakeFiles/apache_test.dir/integration/apache_test.cc.o.d"
+  "apache_test"
+  "apache_test.pdb"
+  "apache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/config_node_test.dir/flow/config_node_test.cc.o"
+  "CMakeFiles/config_node_test.dir/flow/config_node_test.cc.o.d"
+  "config_node_test"
+  "config_node_test.pdb"
+  "config_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/config_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/connector_test.dir/io/connector_test.cc.o"
+  "CMakeFiles/connector_test.dir/io/connector_test.cc.o.d"
+  "connector_test"
+  "connector_test.pdb"
+  "connector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/connector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dashboard_test.dir/dashboard/dashboard_test.cc.o"
+  "CMakeFiles/dashboard_test.dir/dashboard/dashboard_test.cc.o.d"
+  "dashboard_test"
+  "dashboard_test.pdb"
+  "dashboard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dashboard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_cube_test.dir/cube/data_cube_test.cc.o"
+  "CMakeFiles/data_cube_test.dir/cube/data_cube_test.cc.o.d"
+  "data_cube_test"
+  "data_cube_test.pdb"
+  "data_cube_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_cube_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/date_util_test.dir/common/date_util_test.cc.o"
+  "CMakeFiles/date_util_test.dir/common/date_util_test.cc.o.d"
+  "date_util_test"
+  "date_util_test.pdb"
+  "date_util_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/date_util_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

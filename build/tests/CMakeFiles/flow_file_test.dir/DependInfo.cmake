@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/flow/flow_file_test.cc" "tests/CMakeFiles/flow_file_test.dir/flow/flow_file_test.cc.o" "gcc" "tests/CMakeFiles/flow_file_test.dir/flow/flow_file_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/flow/CMakeFiles/si_flow.dir/DependInfo.cmake"
+  "/root/repo/build/src/io/CMakeFiles/si_io.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/si_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/si_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

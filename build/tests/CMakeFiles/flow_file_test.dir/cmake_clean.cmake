@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_file_test.dir/flow/flow_file_test.cc.o"
+  "CMakeFiles/flow_file_test.dir/flow/flow_file_test.cc.o.d"
+  "flow_file_test"
+  "flow_file_test.pdb"
+  "flow_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

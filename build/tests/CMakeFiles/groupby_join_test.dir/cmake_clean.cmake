@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/groupby_join_test.dir/ops/groupby_join_test.cc.o"
+  "CMakeFiles/groupby_join_test.dir/ops/groupby_join_test.cc.o.d"
+  "groupby_join_test"
+  "groupby_join_test.pdb"
+  "groupby_join_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/groupby_join_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hackathon_test.dir/sim/hackathon_test.cc.o"
+  "CMakeFiles/hackathon_test.dir/sim/hackathon_test.cc.o.d"
+  "hackathon_test"
+  "hackathon_test.pdb"
+  "hackathon_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hackathon_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/share_test.dir/share/share_test.cc.o"
+  "CMakeFiles/share_test.dir/share/share_test.cc.o.d"
+  "share_test"
+  "share_test.pdb"
+  "share_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/share_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

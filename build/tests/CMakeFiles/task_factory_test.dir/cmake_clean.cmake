@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/task_factory_test.dir/compile/task_factory_test.cc.o"
+  "CMakeFiles/task_factory_test.dir/compile/task_factory_test.cc.o.d"
+  "task_factory_test"
+  "task_factory_test.pdb"
+  "task_factory_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/task_factory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
