@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Extracts every ```yaml flow snippet from a markdown file and compiles
+# each one with `shareinsights check`, so the operator reference can
+# never drift from the compiler. Wired into ctest as
+# docs_operator_snippets.
+#
+# usage: check_docs.sh <shareinsights-binary> <markdown-file>
+set -u
+
+CLI="${1:?usage: check_docs.sh <shareinsights-binary> <markdown-file>}"
+DOC="${2:?usage: check_docs.sh <shareinsights-binary> <markdown-file>}"
+
+if [ ! -x "$CLI" ]; then
+  echo "error: '$CLI' is not executable" >&2
+  exit 1
+fi
+if [ ! -f "$DOC" ]; then
+  echo "error: '$DOC' not found" >&2
+  exit 1
+fi
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Snippets may reference dictionary files, which the compiler loads at
+# task-bind time (CSV sources are only read at execution, so those need
+# no staging). Materialize every dictionary the snippets use.
+cat > "$TMP/products.txt" <<'EOF'
+widget: widget, widgets, wdgt
+gadget: gadget, gadgets
+EOF
+
+# Split ```yaml flow fences into $TMP/snippet_NN.flow files.
+awk -v dir="$TMP" '
+  /^```yaml flow$/ { in_snippet = 1; n += 1
+                     file = sprintf("%s/snippet_%02d.flow", dir, n); next }
+  /^```$/          { in_snippet = 0; next }
+  in_snippet       { print > file }
+' "$DOC"
+
+count=0
+failures=0
+for flow in "$TMP"/snippet_*.flow; do
+  [ -e "$flow" ] || break
+  count=$((count + 1))
+  if ! output="$("$CLI" check "$flow" --data-dir "$TMP" 2>&1)"; then
+    failures=$((failures + 1))
+    echo "FAIL: $(basename "$flow")" >&2
+    sed 's/^/    /' <<< "$output" >&2
+    echo "    --- snippet ---" >&2
+    sed 's/^/    /' "$flow" >&2
+  else
+    echo "ok: $(basename "$flow") — $output"
+  fi
+done
+
+# Every operator section carries at least one runnable snippet; a sharp
+# drop means the extraction regex or the doc structure broke.
+MIN_SNIPPETS=12
+if [ "$count" -lt "$MIN_SNIPPETS" ]; then
+  echo "error: extracted only $count snippets from $DOC (expected >= $MIN_SNIPPETS)" >&2
+  exit 1
+fi
+
+if [ "$failures" -gt 0 ]; then
+  echo "$failures of $count snippets failed to compile" >&2
+  exit 1
+fi
+echo "all $count snippets compile"

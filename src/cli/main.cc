@@ -14,9 +14,15 @@
 // The flow file's relative sources resolve against --data-dir (default:
 // the flow file's directory), mirroring the dashboard data folder of
 // section 4.3.2.
+//
+// Every command also accepts --trace-out FILE: compile and execution are
+// traced, a Chrome trace_event JSON (load in chrome://tracing or
+// https://ui.perfetto.dev) is written to FILE, and an indented span
+// summary is printed to stderr.
 
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -26,6 +32,7 @@
 #include "dashboard/profiler.h"
 #include "flow/flow_file.h"
 #include "io/csv.h"
+#include "obs/trace.h"
 #include "server/api_server.h"
 
 namespace si = shareinsights;
@@ -37,11 +44,14 @@ struct Args {
   std::string flow_path;
   std::vector<std::string> rest;
   std::string data_dir;
+  std::string trace_out;  // empty = tracing off
+  si::Tracer* tracer = nullptr;
 };
 
 void PrintUsage() {
   std::cerr
-      << "usage: shareinsights <command> <flow-file> [args] [--data-dir DIR]\n"
+      << "usage: shareinsights <command> <flow-file> [args] [--data-dir DIR] "
+         "[--trace-out FILE]\n"
       << "commands: run | check | plan | explore <endpoint> | query <path> "
          "| profile\n";
 }
@@ -56,6 +66,11 @@ si::Result<Args> ParseArgs(int argc, char** argv) {
         return si::Status::InvalidArgument("--data-dir needs a value");
       }
       args.data_dir = argv[++i];
+    } else if (arg == "--trace-out") {
+      if (i + 1 >= argc) {
+        return si::Status::InvalidArgument("--trace-out needs a value");
+      }
+      args.trace_out = argv[++i];
     } else {
       positional.push_back(arg);
     }
@@ -79,10 +94,17 @@ si::Result<std::unique_ptr<si::Dashboard>> LoadDashboard(const Args& args) {
                       si::ReadFileToString(args.flow_path));
   std::string name =
       std::filesystem::path(args.flow_path).stem().string();
-  SI_ASSIGN_OR_RETURN(si::FlowFile file, si::ParseFlowFile(text, name));
+  // Parsing happens before CompileFlowFile, so span it here.
+  si::SpanId parse_span =
+      args.tracer != nullptr ? args.tracer->StartSpan("compile.parse") : 0;
+  si::Result<si::FlowFile> file = si::ParseFlowFile(text, name);
+  if (args.tracer != nullptr) args.tracer->EndSpan(parse_span);
+  SI_RETURN_IF_ERROR(file.status());
   si::Dashboard::Options options;
   options.base_dir = args.data_dir;
-  return si::Dashboard::Create(std::move(file), std::move(options));
+  options.tracer = args.tracer;
+  return si::Dashboard::Create(std::move(file).ValueOrDie(),
+                               std::move(options));
 }
 
 // Prints the user-level diagnosis for a failure (the §6 pin-pointing
@@ -165,6 +187,7 @@ int CmdQuery(const Args& args) {
   }
   si::Dashboard::Options options;
   options.base_dir = args.data_dir;
+  options.tracer = args.tracer;
   if (si::Status s = server.CreateDashboard(name, *text, options); !s.ok()) {
     return FailWithDiagnosis(s, args);
   }
@@ -189,6 +212,37 @@ int CmdProfile(const Args& args) {
   return EXIT_SUCCESS;
 }
 
+// Writes the collected trace as Chrome trace_event JSON and prints the
+// span summary to stderr (stdout stays clean for piping command output).
+int FlushTrace(const si::Tracer& tracer, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    std::cerr << "cannot open trace output file '" << path << "'\n";
+    return EXIT_FAILURE;
+  }
+  out << tracer.ToChromeJson();
+  if (!out) {
+    std::cerr << "failed writing trace to '" << path << "'\n";
+    return EXIT_FAILURE;
+  }
+  std::cerr << "\ntrace: " << tracer.size() << " spans -> " << path
+            << " (load in chrome://tracing)\n"
+            << tracer.Summary();
+  return EXIT_SUCCESS;
+}
+
+int Dispatch(const Args& args) {
+  if (args.command == "run") return CmdRun(args);
+  if (args.command == "check") return CmdCheck(args);
+  if (args.command == "plan") return CmdPlan(args);
+  if (args.command == "explore") return CmdExplore(args);
+  if (args.command == "query") return CmdQuery(args);
+  if (args.command == "profile") return CmdProfile(args);
+  std::cerr << "unknown command '" << args.command << "'\n";
+  PrintUsage();
+  return EXIT_FAILURE;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -198,13 +252,12 @@ int main(int argc, char** argv) {
     PrintUsage();
     return EXIT_FAILURE;
   }
-  if (args->command == "run") return CmdRun(*args);
-  if (args->command == "check") return CmdCheck(*args);
-  if (args->command == "plan") return CmdPlan(*args);
-  if (args->command == "explore") return CmdExplore(*args);
-  if (args->command == "query") return CmdQuery(*args);
-  if (args->command == "profile") return CmdProfile(*args);
-  std::cerr << "unknown command '" << args->command << "'\n";
-  PrintUsage();
-  return EXIT_FAILURE;
+  si::Tracer tracer;
+  if (!args->trace_out.empty()) args->tracer = &tracer;
+  int code = Dispatch(*args);
+  if (args->tracer != nullptr) {
+    int flush = FlushTrace(tracer, args->trace_out);
+    if (code == EXIT_SUCCESS) code = flush;
+  }
+  return code;
 }

@@ -1,12 +1,14 @@
 #include "compile/compiler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
 #include "compile/optimizer.h"
+#include "obs/metrics.h"
 
 namespace shareinsights {
 
@@ -51,12 +53,22 @@ enum class NodeOrigin { kSource, kFlow, kShared };
 
 Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
                                       const CompileOptions& options) {
+  auto compile_start = std::chrono::steady_clock::now();
+  Tracer* tracer = options.tracer;
+  ScopedSpan compile_span(tracer, "compile", options.trace_parent);
+  compile_span.AddAttribute("flows",
+                            static_cast<int64_t>(file.flows.size()));
+
   ExecutionPlan plan;
+  std::unordered_map<std::string, size_t> producer;  // data -> flow index
+  std::unordered_map<std::string, NodeOrigin> origin;
+  std::vector<size_t> topo_order;
+  {
+  ScopedSpan validate_span(tracer, "compile.validate", compile_span.id());
 
   // ------------------------------------------------------------------
   // 1. Map every data object to its producing flow (at most one).
   // ------------------------------------------------------------------
-  std::unordered_map<std::string, size_t> producer;  // data -> flow index
   for (size_t i = 0; i < file.flows.size(); ++i) {
     for (const std::string& output : file.flows[i].outputs) {
       auto [it, inserted] = producer.emplace(output, i);
@@ -79,7 +91,6 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
   // ------------------------------------------------------------------
   // 2. Classify every referenced data object.
   // ------------------------------------------------------------------
-  std::unordered_map<std::string, NodeOrigin> origin;
   auto classify = [&](const std::string& name) -> Status {
     if (origin.count(name) > 0) return Status::OK();
     if (producer.count(name) > 0) {
@@ -150,7 +161,6 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
   }
   // Kahn with an index-ordered scan per round: deterministic order that
   // preserves file order among independent flows.
-  std::vector<size_t> topo_order;
   std::vector<bool> emitted(n, false);
   for (;;) {
     bool progressed = false;
@@ -173,10 +183,14 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
         "flows form a cycle; the flow collection must be a DAG: " +
         Join(cyclic, " ; "));
   }
+  }  // compile.validate
 
   // ------------------------------------------------------------------
   // 4. Bind tasks and propagate schemas in topo order.
   // ------------------------------------------------------------------
+  {
+  ScopedSpan propagate_span(tracer, "compile.schema_propagate",
+                            compile_span.id());
   TaskBindContext context;
   context.base_dir = options.base_dir;
   context.widgets = options.widgets;
@@ -246,6 +260,7 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
     }
     plan.flows.push_back(std::move(flow));
   }
+  }  // compile.schema_propagate
 
   // ------------------------------------------------------------------
   // 5. Endpoints and publications.
@@ -266,12 +281,23 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
   // 6. Optimizer passes.
   // ------------------------------------------------------------------
   if (options.optimize) {
+    ScopedSpan optimize_span(tracer, "compile.optimize", compile_span.id());
     OptimizerOptions opt;
     opt.filter_pushdown = options.filter_pushdown;
     opt.endpoint_projection = options.endpoint_projection;
     opt.endpoint_columns = options.endpoint_columns;
     SI_RETURN_IF_ERROR(OptimizePlan(&plan, opt));
   }
+
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("compiles_total", "flow files compiled successfully")
+      ->Increment();
+  metrics
+      .GetHistogram("compile_ms", Histogram::LatencyBoundsMs(),
+                    "wall time of one CompileFlowFile call")
+      ->Observe(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - compile_start)
+                    .count());
   return plan;
 }
 

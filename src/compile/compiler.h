@@ -8,6 +8,7 @@
 #include "compile/plan.h"
 #include "compile/task_factory.h"
 #include "flow/flow_file.h"
+#include "obs/trace.h"
 
 namespace shareinsights {
 
@@ -39,6 +40,12 @@ struct CompileOptions {
   /// Registries (defaults when null).
   AggregateRegistry* aggregates = nullptr;
   ScalarOpRegistry* scalars = nullptr;
+
+  /// When set, compilation records phase spans (compile.validate,
+  /// compile.schema_propagate, compile.optimize) under `trace_parent`
+  /// and feeds the compile_* metrics. Null = no tracing overhead.
+  Tracer* tracer = nullptr;
+  SpanId trace_parent = 0;
 };
 
 /// Compiles a flow file's D/T/F sections into an ExecutionPlan:

@@ -1,7 +1,11 @@
 #include "cube/data_cube.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_set>
+
+#include "common/string_util.h"
+#include "obs/metrics.h"
 
 namespace shareinsights {
 
@@ -24,6 +28,9 @@ Result<std::shared_ptr<const DataCube>> DataCube::Build(
     }
     if (!too_wide) cube->indexes_.emplace(c, std::move(index));
   }
+  MetricsRegistry::Default()
+      .GetCounter("cube_builds_total", "DataCube (re)builds")
+      ->Increment();
   return std::shared_ptr<const DataCube>(cube);
 }
 
@@ -117,8 +124,21 @@ Result<std::vector<uint32_t>> DataCube::SelectRows(
   return selected;
 }
 
-Result<TablePtr> DataCube::Execute(const Query& query) const {
+Result<TablePtr> DataCube::Execute(const Query& query, Tracer* tracer,
+                                   SpanId trace_parent) const {
+  auto query_start = std::chrono::steady_clock::now();
+  ScopedSpan query_span(tracer, "cube.query", trace_parent);
+  if (tracer != nullptr) {
+    query_span.AddAttribute("filters",
+                            static_cast<int64_t>(query.filters.size()));
+    if (!query.group_by.empty()) {
+      query_span.AddAttribute("group_by", Join(query.group_by, ","));
+    }
+    query_span.AddAttribute("rows_in",
+                            static_cast<int64_t>(table_->num_rows()));
+  }
   SI_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRows(query.filters));
+  query_span.AddAttribute("rows_selected", static_cast<int64_t>(rows.size()));
 
   // Materialize the filtered slice.
   TableBuilder filtered_builder(table_->schema());
@@ -139,6 +159,17 @@ Result<TablePtr> DataCube::Execute(const Query& query) const {
     LimitOp limit(query.limit);
     SI_ASSIGN_OR_RETURN(current, limit.Execute({current}));
   }
+  query_span.AddAttribute("rows_out",
+                          static_cast<int64_t>(current->num_rows()));
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("cube_queries_total", "DataCube query evaluations")
+      ->Increment();
+  metrics
+      .GetHistogram("cube_query_ms", Histogram::LatencyBoundsMs(),
+                    "wall time of one cube query")
+      ->Observe(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - query_start)
+                    .count());
   return current;
 }
 

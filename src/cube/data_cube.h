@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/trace.h"
 #include "ops/aggregate.h"
 #include "ops/groupby.h"
 #include "ops/sort_ops.h"
@@ -53,8 +54,11 @@ class DataCube {
 
   const TablePtr& table() const { return table_; }
 
-  /// Executes a query against the cube.
-  Result<TablePtr> Execute(const Query& query) const;
+  /// Executes a query against the cube. With a tracer, evaluation is
+  /// recorded as a `cube.query` span under `trace_parent` (filter count,
+  /// rows selected, rows out); every query feeds the cube_* metrics.
+  Result<TablePtr> Execute(const Query& query, Tracer* tracer = nullptr,
+                           SpanId trace_parent = 0) const;
 
   /// Number of indexed columns (exposed for tests/benches).
   size_t num_indexed_columns() const { return indexes_.size(); }

@@ -235,6 +235,7 @@ Status Dashboard::Compile() {
   compile_options.endpoint_projection = false;  // first pass: full schemas
   compile_options.aggregates = options_.aggregates;
   compile_options.scalars = options_.scalars;
+  compile_options.tracer = options_.tracer;
   SI_ASSIGN_OR_RETURN(plan_, CompileFlowFile(file_, compile_options));
 
   SI_RETURN_IF_ERROR(ValidateWidgets());
@@ -394,16 +395,19 @@ Status Dashboard::ValidateWidgets() {
 // Execution
 // ---------------------------------------------------------------------
 
-Result<ExecutionStats> Dashboard::Run() {
+Result<ExecutionStats> Dashboard::Run(Tracer* tracer) {
+  ScopedSpan run_span(tracer, "dashboard.run");
   ExecuteOptions exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.base_dir = options_.base_dir;
   exec_options.shared = options_.shared_tables;
   exec_options.connectors = options_.connectors;
   exec_options.formats = options_.formats;
+  exec_options.tracer = tracer;
+  exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);
   SI_ASSIGN_OR_RETURN(ExecutionStats stats, executor.Execute(plan_, &store_));
-  SI_RETURN_IF_ERROR(RebuildCubes());
+  SI_RETURN_IF_ERROR(RebuildCubes(tracer, run_span.id()));
   if (!ran_) {
     SI_RETURN_IF_ERROR(ApplyDefaultSelections());
     ran_ = true;
@@ -413,27 +417,36 @@ Result<ExecutionStats> Dashboard::Run() {
 
 Result<ExecutionStats> Dashboard::RunIncremental(
     const std::set<std::string>& dirty) {
+  Tracer* tracer = options_.tracer;
+  ScopedSpan run_span(tracer, "dashboard.run_incremental");
   ExecuteOptions exec_options;
   exec_options.num_threads = options_.num_threads;
   exec_options.base_dir = options_.base_dir;
   exec_options.shared = options_.shared_tables;
   exec_options.connectors = options_.connectors;
   exec_options.formats = options_.formats;
+  exec_options.tracer = tracer;
+  exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);
   SI_ASSIGN_OR_RETURN(ExecutionStats stats,
                       executor.ExecuteIncremental(plan_, &store_, dirty));
-  SI_RETURN_IF_ERROR(RebuildCubes());
+  SI_RETURN_IF_ERROR(RebuildCubes(tracer, run_span.id()));
   return stats;
 }
 
-Status Dashboard::RebuildCubes() {
+Status Dashboard::RebuildCubes(Tracer* tracer, SpanId trace_parent) {
   if (!options_.use_cube) {
     cubes_.clear();
     return Status::OK();
   }
+  ScopedSpan build_span(tracer, "cube.rebuild", trace_parent);
   for (const std::string& endpoint : plan_.endpoints) {
     Result<TablePtr> table = store_.Get(endpoint);
     if (!table.ok()) continue;  // endpoint not materialized (no producer)
+    ScopedSpan endpoint_span(tracer, "cube.build:" + endpoint,
+                             build_span.id());
+    endpoint_span.AddAttribute("rows",
+                               static_cast<int64_t>((*table)->num_rows()));
     SI_ASSIGN_OR_RETURN(auto cube, DataCube::Build(*table));
     cubes_[endpoint] = std::move(cube);
   }
@@ -608,7 +621,8 @@ Result<std::optional<TablePtr>> Dashboard::TryCube(const WidgetDecl& widget) {
     // Anything else (map, join, per-group topn, ...) falls back to ops.
     return std::optional<TablePtr>{};
   }
-  SI_ASSIGN_OR_RETURN(TablePtr result, cube_it->second->Execute(query));
+  SI_ASSIGN_OR_RETURN(TablePtr result,
+                      cube_it->second->Execute(query, options_.tracer));
   return std::optional<TablePtr>(std::move(result));
 }
 

@@ -39,6 +39,11 @@ class Dashboard {
     ScalarOpRegistry* scalars = nullptr;
     ConnectorRegistry* connectors = nullptr;
     FormatRegistry* formats = nullptr;
+    /// Observability sink for this dashboard: compile-phase spans at
+    /// Create() time, run/cube spans for Run() and widget evaluation.
+    /// Run(Tracer*) overrides it per run (the API server passes a fresh
+    /// tracer per /run request).
+    Tracer* tracer = nullptr;
   };
 
   /// Compiles the flow file (validating widgets, layout, and interaction
@@ -53,7 +58,12 @@ class Dashboard {
 
   /// Executes the batch plan: loads sources, runs every flow, builds the
   /// endpoint cubes, and applies default widget selections.
-  Result<ExecutionStats> Run();
+  Result<ExecutionStats> Run() { return Run(options_.tracer); }
+
+  /// Run with an explicit tracer (overrides Options::tracer for this
+  /// run). Records a dashboard.run root span with the executor's and
+  /// cube-build spans nested below.
+  Result<ExecutionStats> Run(Tracer* tracer);
 
   /// Incremental re-run after `dirty` data objects changed.
   Result<ExecutionStats> RunIncremental(const std::set<std::string>& dirty);
@@ -128,7 +138,7 @@ class Dashboard {
   Status Compile();
   Status ValidateWidgets();
   Status ApplyDefaultSelections();
-  Status RebuildCubes();
+  Status RebuildCubes(Tracer* tracer, SpanId trace_parent);
 
   /// Evaluates a widget source chain against its root table.
   Result<TablePtr> EvaluateWidgetFlow(const WidgetDecl& widget);

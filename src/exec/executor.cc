@@ -7,7 +7,9 @@
 #include <unordered_map>
 
 #include "common/logging.h"
+#include "common/string_util.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace shareinsights {
 
@@ -94,6 +96,10 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
                                      const std::set<std::string>* dirty) {
   auto start = std::chrono::steady_clock::now();
   ExecutionStats stats;
+  Tracer* tracer = options_.tracer;
+  ScopedSpan run_span(tracer, "exec.run", options_.trace_parent);
+  run_span.AddAttribute("flows", static_cast<int64_t>(plan.flows.size()));
+  run_span.AddAttribute("mode", dirty == nullptr ? "full" : "incremental");
 
   // ------------------------------------------------------------------
   // Decide which flows must run. A full run executes everything; an
@@ -129,41 +135,50 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
   // ------------------------------------------------------------------
   // Load sources (all on a full run; dirty/missing ones incrementally).
   // ------------------------------------------------------------------
-  for (const auto& [name, decl] : plan.sources) {
-    bool need = dirty == nullptr || !store->Has(name) ||
-                dirty->count(name) > 0;
-    if (!need) continue;
-    DataSourceParams params = decl.params;
-    if (!params.Has("base_dir") && !options_.base_dir.empty()) {
-      params.Set("base_dir", options_.base_dir);
+  {
+    ScopedSpan load_span(tracer, "exec.load_sources", run_span.id());
+    for (const auto& [name, decl] : plan.sources) {
+      bool need = dirty == nullptr || !store->Has(name) ||
+                  dirty->count(name) > 0;
+      if (!need) continue;
+      ScopedSpan source_span(tracer, "exec.source:" + name, load_span.id());
+      DataSourceParams params = decl.params;
+      if (!params.Has("base_dir") && !options_.base_dir.empty()) {
+        params.Set("base_dir", options_.base_dir);
+      }
+      std::optional<Schema> declared;
+      if (!decl.columns.empty()) declared = decl.DeclaredSchema();
+      Result<TablePtr> table =
+          LoadDataObject(params, declared, decl.columns, options_.connectors,
+                         options_.formats, tracer, source_span.id());
+      if (!table.ok()) {
+        return table.status().WithContext("loading source '" + name + "'");
+      }
+      source_span.AddAttribute("rows",
+                               static_cast<int64_t>((*table)->num_rows()));
+      store->Put(name, std::move(*table));
+      ++stats.sources_loaded;
     }
-    std::optional<Schema> declared;
-    if (!decl.columns.empty()) declared = decl.DeclaredSchema();
-    Result<TablePtr> table =
-        LoadDataObject(params, declared, decl.columns, options_.connectors,
-                       options_.formats);
-    if (!table.ok()) {
-      return table.status().WithContext("loading source '" + name + "'");
-    }
-    store->Put(name, std::move(*table));
-    ++stats.sources_loaded;
   }
 
   // Resolve shared inputs through the platform catalog.
-  for (const std::string& name : plan.shared_inputs) {
-    if (dirty != nullptr && store->Has(name) && dirty->count(name) == 0) {
-      continue;
+  {
+    ScopedSpan shared_span(tracer, "exec.resolve_shared", run_span.id());
+    for (const std::string& name : plan.shared_inputs) {
+      if (dirty != nullptr && store->Has(name) && dirty->count(name) == 0) {
+        continue;
+      }
+      if (options_.shared == nullptr) {
+        return Status::NotFound("flow needs shared data object '" + name +
+                                "' but no shared catalog is configured");
+      }
+      Result<TablePtr> table = options_.shared->SharedTable(name);
+      if (!table.ok()) {
+        return table.status().WithContext("resolving shared data object '" +
+                                          name + "'");
+      }
+      store->Put(name, std::move(*table));
     }
-    if (options_.shared == nullptr) {
-      return Status::NotFound("flow needs shared data object '" + name +
-                              "' but no shared catalog is configured");
-    }
-    Result<TablePtr> table = options_.shared->SharedTable(name);
-    if (!table.ok()) {
-      return table.status().WithContext("resolving shared data object '" +
-                                        name + "'");
-    }
-    store->Put(name, std::move(*table));
   }
 
   // ------------------------------------------------------------------
@@ -198,9 +213,17 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
   size_t completed = 0;
   Status first_error;
 
+  // Stage span covering every flow execution; started/ended manually
+  // because the scheduling block below has early returns.
+  SpanId flows_stage = tracer != nullptr
+                           ? tracer->StartSpan("exec.flows", run_span.id())
+                           : 0;
+
   // Runs one flow; returns its row count on success.
   auto run_flow = [&](size_t index) -> Result<int64_t> {
     const CompiledFlow& flow = plan.flows[index];
+    ScopedSpan flow_span(tracer, "exec.flow:" + Join(flow.outputs, ","),
+                         flows_stage);
     std::vector<TablePtr> inputs;
     for (const std::string& input : flow.inputs) {
       SI_ASSIGN_OR_RETURN(TablePtr table, store->Get(input));
@@ -210,6 +233,16 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
     for (size_t t = 0; t < flow.ops.size(); ++t) {
       std::vector<TablePtr> stage_inputs =
           t == 0 ? inputs : std::vector<TablePtr>{current};
+      ScopedSpan task_span(tracer, "exec.task:" + flow.task_names[t],
+                           flow_span.id());
+      if (tracer != nullptr) {
+        task_span.AddAttribute("op", flow.ops[t]->name());
+        int64_t rows_in = 0;
+        for (const TablePtr& input : stage_inputs) {
+          rows_in += static_cast<int64_t>(input->num_rows());
+        }
+        task_span.AddAttribute("rows_in", rows_in);
+      }
       Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs);
       if (!out.ok()) {
         return out.status().WithContext("executing task '" +
@@ -217,10 +250,14 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
                                         flow.ToString() + "'");
       }
       current = std::move(*out);
+      task_span.AddAttribute("rows_out",
+                             static_cast<int64_t>(current->num_rows()));
     }
     for (const std::string& output : flow.outputs) {
       store->Put(output, current);
     }
+    flow_span.AddAttribute("rows_out",
+                           static_cast<int64_t>(current->num_rows()));
     return static_cast<int64_t>(current->num_rows());
   };
 
@@ -269,6 +306,7 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       }
     }
     if (n > 0 && roots == 0) {
+      if (tracer != nullptr) tracer->EndSpan(flows_stage);
       return Status::Internal("plan has flows but no runnable roots");
     }
     done_cv.wait(lock, [&] {
@@ -277,20 +315,54 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
     });
   }
   pool.WaitIdle();
+  if (tracer != nullptr) tracer->EndSpan(flows_stage);
   if (!first_error.ok()) return first_error;
 
   // Endpoint transfer accounting.
-  for (const std::string& endpoint : plan.endpoints) {
-    Result<TablePtr> table = store->Get(endpoint);
-    if (table.ok()) {
-      stats.endpoint_bytes +=
-          static_cast<int64_t>((*table)->ApproxBytes());
+  {
+    ScopedSpan endpoints_span(tracer, "exec.endpoints", run_span.id());
+    for (const std::string& endpoint : plan.endpoints) {
+      Result<TablePtr> table = store->Get(endpoint);
+      if (table.ok()) {
+        stats.endpoint_bytes +=
+            static_cast<int64_t>((*table)->ApproxBytes());
+      }
     }
+    endpoints_span.AddAttribute("endpoint_bytes", stats.endpoint_bytes);
   }
 
   stats.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
+  run_span.AddAttribute("flows_executed",
+                        static_cast<int64_t>(stats.flows_executed));
+  run_span.AddAttribute("rows_produced", stats.rows_produced);
+
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("runs_total", "executor runs (full + incremental)")
+      ->Increment();
+  metrics
+      .GetCounter("flows_executed_total", "flows executed across all runs")
+      ->Increment(stats.flows_executed);
+  metrics
+      .GetCounter("flows_skipped_total",
+                  "flows reused unchanged by incremental runs")
+      ->Increment(stats.flows_skipped);
+  metrics
+      .GetCounter("sources_loaded_total", "source data objects materialized")
+      ->Increment(stats.sources_loaded);
+  metrics.GetCounter("rows_produced_total", "rows produced by all flows")
+      ->Increment(stats.rows_produced);
+  metrics
+      .GetHistogram("run_ms", Histogram::LatencyBoundsMs(),
+                    "wall time of one executor run")
+      ->Observe(stats.wall_ms);
+  Histogram* flow_ms_hist = metrics.GetHistogram(
+      "flow_ms", Histogram::LatencyBoundsMs(), "wall time of one flow");
+  for (const FlowTiming& timing : stats.flow_timings) {
+    flow_ms_hist->Observe(timing.ms);
+  }
+
   SI_LOG(kInfo) << "executed plan: " << stats.ToString();
   return stats;
 }

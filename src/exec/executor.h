@@ -10,6 +10,7 @@
 
 #include "compile/plan.h"
 #include "io/connector.h"
+#include "obs/trace.h"
 #include "table/table.h"
 
 namespace shareinsights {
@@ -78,6 +79,15 @@ struct ExecuteOptions {
   ConnectorRegistry* connectors = nullptr;
   FormatRegistry* formats = nullptr;
   const SharedTableSource* shared = nullptr;
+
+  /// When set, the run records hierarchical spans — exec.run with
+  /// per-stage children (load_sources / resolve_shared / flows /
+  /// endpoints), one span per executed flow, and one per operator with
+  /// rows-in/rows-out — nested under `trace_parent`. The run also feeds
+  /// the runs_/flows_/rows_ metrics in MetricsRegistry::Default()
+  /// regardless of tracing. Null tracer = no span overhead.
+  Tracer* tracer = nullptr;
+  SpanId trace_parent = 0;
 };
 
 /// Runs ExecutionPlans against a DataStore: loads sources, schedules

@@ -3,6 +3,7 @@
 #include "common/string_util.h"
 #include "io/csv.h"
 #include "io/json.h"
+#include "obs/metrics.h"
 
 namespace shareinsights {
 
@@ -321,15 +322,40 @@ Result<TablePtr> LoadDataObject(const DataSourceParams& params,
                                 const std::optional<Schema>& declared,
                                 const std::vector<ColumnMapping>& mappings,
                                 ConnectorRegistry* connectors,
-                                FormatRegistry* formats) {
+                                FormatRegistry* formats, Tracer* tracer,
+                                SpanId trace_parent) {
   if (connectors == nullptr) connectors = &ConnectorRegistry::Default();
   if (formats == nullptr) formats = &FormatRegistry::Default();
+  std::string protocol = InferProtocol(params);
   SI_ASSIGN_OR_RETURN(std::shared_ptr<Connector> connector,
-                      connectors->Get(InferProtocol(params)));
-  SI_ASSIGN_OR_RETURN(std::string payload, connector->Fetch(params));
+                      connectors->Get(protocol));
+  std::string payload;
+  {
+    ScopedSpan fetch_span(tracer, "io.fetch", trace_parent);
+    fetch_span.AddAttribute("protocol", protocol);
+    fetch_span.AddAttribute("source", params.Get("source"));
+    SI_ASSIGN_OR_RETURN(payload, connector->Fetch(params));
+    fetch_span.AddAttribute("bytes",
+                            static_cast<int64_t>(payload.size()));
+  }
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics
+      .GetCounter("io_reads_total",
+                  "connector payload fetches (all protocols)")
+      ->Increment();
+  metrics.GetCounter("io_bytes_total", "raw payload bytes fetched")
+      ->Increment(static_cast<int64_t>(payload.size()));
+  std::string format_name = InferFormat(params);
   SI_ASSIGN_OR_RETURN(std::shared_ptr<Format> format,
-                      formats->Get(InferFormat(params)));
-  return format->Parse(payload, params, declared, mappings);
+                      formats->Get(format_name));
+  ScopedSpan parse_span(tracer, "io.parse", trace_parent);
+  parse_span.AddAttribute("format", format_name);
+  Result<TablePtr> table = format->Parse(payload, params, declared, mappings);
+  if (table.ok()) {
+    parse_span.AddAttribute("rows",
+                            static_cast<int64_t>((*table)->num_rows()));
+  }
+  return table;
 }
 
 }  // namespace shareinsights

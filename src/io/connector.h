@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/trace.h"
 #include "table/table.h"
 
 namespace shareinsights {
@@ -133,11 +134,19 @@ class FormatRegistry {
 /// `protocol` (defaulting from the source string: "http://..." => http,
 /// otherwise file), fetch the payload, resolve the format (`format:` key,
 /// defaulting from the source extension), and parse.
+///
+/// When `tracer` is set, the fetch and parse steps are recorded as
+/// `io.fetch` / `io.parse` spans under `trace_parent` (the executor
+/// passes its per-source span), with protocol/bytes/format/rows
+/// attributes. Reads also feed the io_* metrics in
+/// MetricsRegistry::Default().
 Result<TablePtr> LoadDataObject(const DataSourceParams& params,
                                 const std::optional<Schema>& declared,
                                 const std::vector<ColumnMapping>& mappings,
                                 ConnectorRegistry* connectors = nullptr,
-                                FormatRegistry* formats = nullptr);
+                                FormatRegistry* formats = nullptr,
+                                Tracer* tracer = nullptr,
+                                SpanId trace_parent = 0);
 
 }  // namespace shareinsights
 

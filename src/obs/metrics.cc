@@ -1,0 +1,135 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace shareinsights {
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  std::sort(bounds_.begin(), bounds_.end());
+}
+
+void Histogram::Observe(double value) {
+  size_t bucket = std::upper_bound(bounds_.begin(), bounds_.end(), value) -
+                  bounds_.begin();
+  // upper_bound gives the first bound strictly greater; a value equal to
+  // a bound belongs in that bound's bucket.
+  if (bucket > 0 && value == bounds_[bucket - 1]) --bucket;
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double current = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(current, current + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> out;
+  out.reserve(buckets_.size());
+  for (const std::atomic<int64_t>& bucket : buckets_) {
+    out.push_back(bucket.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+std::vector<double> Histogram::LatencyBoundsMs() {
+  return {0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+          1000, 2500, 5000, 10000, 30000, 100000};
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.counter == nullptr) {
+    entry.counter = std::make_unique<Counter>();
+    entry.help = help;
+  }
+  return entry.counter.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.gauge == nullptr) {
+    entry.gauge = std::make_unique<Gauge>();
+    entry.help = help;
+  }
+  return entry.gauge.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds,
+                                         const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& entry = entries_[name];
+  if (entry.histogram == nullptr) {
+    entry.histogram = std::make_unique<Histogram>(std::move(bounds));
+    entry.help = help;
+  }
+  return entry.histogram.get();
+}
+
+namespace {
+
+// Numbers render without trailing zeros so counters stay integral in the
+// exposition (3, not 3.000000).
+std::string FormatNumber(double value) {
+  if (value == static_cast<int64_t>(value) && std::abs(value) < 1e15) {
+    return std::to_string(static_cast<int64_t>(value));
+  }
+  std::ostringstream out;
+  out << value;
+  return out.str();
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream out;
+  for (const auto& [name, entry] : entries_) {
+    if (!entry.help.empty()) {
+      out << "# HELP " << name << " " << entry.help << "\n";
+    }
+    if (entry.counter != nullptr) {
+      out << "# TYPE " << name << " counter\n";
+      out << name << " " << entry.counter->Value() << "\n";
+    }
+    if (entry.gauge != nullptr) {
+      out << "# TYPE " << name << " gauge\n";
+      out << name << " " << FormatNumber(entry.gauge->Value()) << "\n";
+    }
+    if (entry.histogram != nullptr) {
+      out << "# TYPE " << name << " histogram\n";
+      const std::vector<double>& bounds = entry.histogram->bounds();
+      std::vector<int64_t> buckets = entry.histogram->BucketCounts();
+      int64_t cumulative = 0;
+      for (size_t i = 0; i < bounds.size(); ++i) {
+        cumulative += buckets[i];
+        out << name << "_bucket{le=\"" << FormatNumber(bounds[i]) << "\"} "
+            << cumulative << "\n";
+      }
+      cumulative += buckets.back();
+      out << name << "_bucket{le=\"+Inf\"} " << cumulative << "\n";
+      out << name << "_sum " << FormatNumber(entry.histogram->Sum()) << "\n";
+      out << name << "_count " << entry.histogram->Count() << "\n";
+    }
+  }
+  return out.str();
+}
+
+void MetricsRegistry::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,109 @@
+#ifndef SHAREINSIGHTS_OBS_METRICS_H_
+#define SHAREINSIGHTS_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace shareinsights {
+
+/// Monotonically increasing event count. Updates are a single relaxed
+/// atomic add — safe and cheap from any thread, including the executor's
+/// pool workers.
+class Counter {
+ public:
+  void Increment(int64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A value that can go up and down (queue depths, cache sizes).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(double delta) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0};
+};
+
+/// Distribution of observations over fixed bucket bounds. An observation
+/// of `v` lands in the first bucket whose upper bound satisfies
+/// `v <= bound`; values above the last bound land in the implicit
+/// +Inf bucket. Observe() is lock-free: one atomic add on the bucket plus
+/// count/sum updates.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  double Sum() const { return sum_.load(std::memory_order_relaxed); }
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Per-bucket counts (bounds().size() + 1 entries; last is +Inf).
+  std::vector<int64_t> BucketCounts() const;
+
+  /// Default latency bounds (milliseconds), exponential 0.1ms .. ~100s.
+  static std::vector<double> LatencyBoundsMs();
+
+ private:
+  std::vector<double> bounds_;  // sorted ascending
+  std::vector<std::atomic<int64_t>> buckets_;  // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0};
+};
+
+/// Process-wide registry of named metrics. Lookup/creation takes a mutex
+/// once; the returned pointers are stable for the registry's lifetime, so
+/// hot paths resolve their metric once and then update lock-free.
+///
+/// Exposition is a Prometheus-style text format served by the API
+/// server's GET /metrics route.
+class MetricsRegistry {
+ public:
+  /// The platform-wide registry all built-in instrumentation records to.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  /// `bounds` only matters on first creation; later lookups of the same
+  /// name return the existing histogram.
+  Histogram* GetHistogram(const std::string& name, std::vector<double> bounds,
+                          const std::string& help = "");
+
+  /// Prometheus-style text exposition of every registered metric.
+  std::string RenderText() const;
+
+  /// Drops every metric (tests only; invalidates held pointers).
+  void Clear();
+
+ private:
+  struct Entry {
+    std::string help;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OBS_METRICS_H_

@@ -1,0 +1,169 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <sstream>
+
+namespace shareinsights {
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+int64_t Tracer::NowUs() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int Tracer::ThreadNumber() {
+  auto [it, inserted] = thread_numbers_.emplace(
+      std::this_thread::get_id(), static_cast<int>(thread_numbers_.size()));
+  return it->second;
+}
+
+SpanId Tracer::StartSpan(const std::string& name, SpanId parent) {
+  int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  Span span;
+  span.id = next_id_++;
+  span.parent = parent;
+  span.name = name;
+  span.start_us = now;
+  span.tid = ThreadNumber();
+  index_[span.id] = spans_.size();
+  spans_.push_back(std::move(span));
+  return spans_.back().id;
+}
+
+void Tracer::EndSpan(SpanId id) {
+  int64_t now = NowUs();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Span& span = spans_[it->second];
+  if (span.duration_us >= 0) return;  // already closed
+  span.duration_us = now - span.start_us;
+}
+
+void Tracer::AddAttribute(SpanId id, const std::string& key,
+                          std::string value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  spans_[it->second].attributes.emplace_back(key, std::move(value));
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+size_t Tracer::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_.size();
+}
+
+namespace {
+
+void AppendJsonString(std::ostringstream* out, const std::string& text) {
+  *out << '"';
+  for (char c : text) {
+    switch (c) {
+      case '"':
+        *out << "\\\"";
+        break;
+      case '\\':
+        *out << "\\\\";
+        break;
+      case '\n':
+        *out << "\\n";
+        break;
+      case '\t':
+        *out << "\\t";
+        break;
+      case '\r':
+        *out << "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out << buf;
+        } else {
+          *out << c;
+        }
+    }
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson() const {
+  std::vector<Span> spans = Spans();
+  int64_t now = NowUs();
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  for (size_t i = 0; i < spans.size(); ++i) {
+    const Span& span = spans[i];
+    if (i > 0) out << ",";
+    out << "\n  {\"name\": ";
+    AppendJsonString(&out, span.name);
+    // "X" = complete event: start timestamp + duration, microseconds.
+    out << ", \"ph\": \"X\", \"ts\": " << span.start_us << ", \"dur\": "
+        << (span.duration_us >= 0 ? span.duration_us
+                                  : now - span.start_us)
+        << ", \"pid\": 1, \"tid\": " << span.tid << ", \"args\": {";
+    out << "\"span_id\": " << span.id << ", \"parent_id\": " << span.parent;
+    for (const auto& [key, value] : span.attributes) {
+      out << ", ";
+      AppendJsonString(&out, key);
+      out << ": ";
+      AppendJsonString(&out, value);
+    }
+    out << "}}";
+  }
+  out << "\n]}\n";
+  return out.str();
+}
+
+std::string Tracer::Summary() const {
+  std::vector<Span> spans = Spans();
+  // children[parent id] -> indexes into `spans`, kept in start order
+  // (spans_ already is).
+  std::unordered_map<SpanId, std::vector<size_t>> children;
+  std::unordered_map<SpanId, bool> known;
+  for (const Span& span : spans) known[span.id] = true;
+  std::vector<size_t> roots;
+  for (size_t i = 0; i < spans.size(); ++i) {
+    // A parent recorded by another tracer (or 0) makes this span a root.
+    if (spans[i].parent != 0 && known.count(spans[i].parent) > 0) {
+      children[spans[i].parent].push_back(i);
+    } else {
+      roots.push_back(i);
+    }
+  }
+  std::ostringstream out;
+  std::function<void(size_t, int)> render = [&](size_t index, int depth) {
+    const Span& span = spans[index];
+    double ms =
+        (span.duration_us >= 0 ? span.duration_us : 0) / 1000.0;
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.3f ms  ", ms);
+    out << buf << std::string(static_cast<size_t>(depth) * 2, ' ')
+        << span.name;
+    for (const auto& [key, value] : span.attributes) {
+      out << "  " << key << "=" << value;
+    }
+    if (span.duration_us < 0) out << "  (unfinished)";
+    out << "\n";
+    auto it = children.find(span.id);
+    if (it != children.end()) {
+      for (size_t child : it->second) render(child, depth + 1);
+    }
+  };
+  for (size_t root : roots) render(root, 0);
+  return out.str();
+}
+
+}  // namespace shareinsights

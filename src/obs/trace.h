@@ -1,0 +1,115 @@
+#ifndef SHAREINSIGHTS_OBS_TRACE_H_
+#define SHAREINSIGHTS_OBS_TRACE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace shareinsights {
+
+/// Identifier of one span within a Tracer. 0 means "no span" and is a
+/// valid parent (the span becomes a root).
+using SpanId = uint64_t;
+
+/// One timed region of the pipeline: a compile phase, an executed flow,
+/// one operator, a connector read, a cube query, an HTTP request.
+struct Span {
+  SpanId id = 0;
+  SpanId parent = 0;  // 0 = root
+  std::string name;
+  int64_t start_us = 0;    // relative to the tracer's epoch
+  int64_t duration_us = -1;  // -1 while still open
+  int tid = 0;             // small per-tracer thread number
+  /// Free-form annotations (rows_in, rows_out, source, ...), insertion
+  /// ordered.
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Collects hierarchical spans for one run of the pipeline. Thread-safe:
+/// the executor's pool workers open and close spans concurrently. Null
+/// Tracer pointers disable tracing everywhere (every instrumentation
+/// site checks), so untraced runs pay nothing but a branch.
+///
+/// Export formats:
+///   - ToChromeJson(): Chrome trace_event JSON ("catapult" format) —
+///     load in chrome://tracing or https://ui.perfetto.dev
+///   - Summary(): aligned text tree for terminals and logs.
+class Tracer {
+ public:
+  Tracer();
+
+  /// Opens a span. `parent` nests it (0 = root). Returns its id.
+  SpanId StartSpan(const std::string& name, SpanId parent = 0);
+
+  /// Closes a span, fixing its duration. Unknown/already-closed ids are
+  /// ignored.
+  void EndSpan(SpanId id);
+
+  /// Attaches an annotation to an open or closed span.
+  void AddAttribute(SpanId id, const std::string& key, std::string value);
+
+  /// Snapshot of all spans recorded so far, in start order.
+  std::vector<Span> Spans() const;
+  size_t size() const;
+
+  /// Chrome trace_event JSON: {"traceEvents":[{"name":...,"ph":"X",...}]}.
+  /// Spans still open at export time are emitted with their elapsed time.
+  std::string ToChromeJson() const;
+
+  /// Human-readable tree, children indented under parents, durations
+  /// right-aligned in a fixed column:
+  ///       12.345 ms  exec.run
+  ///        3.210 ms    exec.flow:by_region  rows_out=4
+  std::string Summary() const;
+
+ private:
+  int64_t NowUs() const;
+  int ThreadNumber();  // requires mu_
+
+  mutable std::mutex mu_;
+  std::vector<Span> spans_;
+  std::unordered_map<SpanId, size_t> index_;  // id -> position in spans_
+  SpanId next_id_ = 1;
+  std::map<std::thread::id, int> thread_numbers_;
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII span: opens on construction, closes when the scope exits. Safe to
+/// construct with a null tracer (all operations become no-ops), which is
+/// how instrumented code avoids branching at every site.
+class ScopedSpan {
+ public:
+  ScopedSpan(Tracer* tracer, const std::string& name, SpanId parent = 0)
+      : tracer_(tracer) {
+    if (tracer_ != nullptr) id_ = tracer_->StartSpan(name, parent);
+  }
+  ~ScopedSpan() {
+    if (tracer_ != nullptr) tracer_->EndSpan(id_);
+  }
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Id to parent child spans under (0 when tracing is off).
+  SpanId id() const { return id_; }
+
+  void AddAttribute(const std::string& key, std::string value) {
+    if (tracer_ != nullptr) tracer_->AddAttribute(id_, key, std::move(value));
+  }
+  void AddAttribute(const std::string& key, int64_t value) {
+    AddAttribute(key, std::to_string(value));
+  }
+
+ private:
+  Tracer* tracer_;
+  SpanId id_ = 0;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OBS_TRACE_H_

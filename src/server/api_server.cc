@@ -1,6 +1,7 @@
 #include "server/api_server.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/string_util.h"
 #include "ops/groupby.h"
@@ -138,6 +139,37 @@ std::vector<std::string> ApiServer::DashboardNames() const {
 }
 
 HttpResponse ApiServer::Handle(const HttpRequest& request) {
+  auto start = std::chrono::steady_clock::now();
+  HttpResponse response = Route(request);
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("http_requests_total", "API requests handled")
+      ->Increment();
+  if (response.status >= 400) {
+    metrics.GetCounter("http_errors_total", "API requests answered >= 400")
+        ->Increment();
+  }
+  metrics
+      .GetHistogram("http_request_ms", Histogram::LatencyBoundsMs(),
+                    "wall time of one API request")
+      ->Observe(std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count());
+  return response;
+}
+
+std::string ApiServer::StoreTrace(std::string chrome_json) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string run_id = "run-" + std::to_string(++run_counter_);
+  traces_[run_id] = std::move(chrome_json);
+  trace_order_.push_back(run_id);
+  while (trace_order_.size() > kMaxStoredTraces) {
+    traces_.erase(trace_order_.front());
+    trace_order_.pop_front();
+  }
+  return run_id;
+}
+
+HttpResponse ApiServer::Route(const HttpRequest& request) {
   std::vector<std::string> segments = PathSegments(request.path);
   if (segments.empty()) {
     return ErrorResponse(Status::NotFound("empty path"));
@@ -145,6 +177,27 @@ HttpResponse ApiServer::Handle(const HttpRequest& request) {
 
   if (segments[0] == "dashboards") {
     return HandleDashboards(segments, request);
+  }
+
+  // /metrics — Prometheus-style exposition of the process registry.
+  if (segments[0] == "metrics" && segments.size() == 1) {
+    return TextResponse(MetricsRegistry::Default().RenderText());
+  }
+
+  // /trace/<run-id> — Chrome trace JSON of a past POST .../run.
+  if (segments[0] == "trace") {
+    if (segments.size() != 2) {
+      return ErrorResponse(Status::NotFound("expected /trace/<run-id>"));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = traces_.find(segments[1]);
+    if (it == traces_.end()) {
+      return ErrorResponse(
+          Status::NotFound("no trace for run '" + segments[1] + "'"));
+    }
+    HttpResponse response;
+    response.body = it->second;
+    return response;
   }
 
   if (segments[0] == "shared") {
@@ -195,14 +248,17 @@ HttpResponse ApiServer::HandleDashboards(
       request.method == "POST") {
     Result<Dashboard*> dashboard = GetDashboard(name);
     if (!dashboard.ok()) return ErrorResponse(dashboard.status());
-    Result<ExecutionStats> stats = (*dashboard)->Run();
+    Tracer tracer;
+    Result<ExecutionStats> stats = (*dashboard)->Run(&tracer);
     if (!stats.ok()) return ErrorResponse(stats.status());
+    std::string run_id = StoreTrace(tracer.ToChromeJson());
     JsonValue body = JsonValue::MakeObject();
     body.Set("flows_executed",
              JsonValue::MakeNumber(stats->flows_executed));
     body.Set("rows_produced", JsonValue::MakeNumber(
                                   static_cast<double>(stats->rows_produced)));
     body.Set("wall_ms", JsonValue::MakeNumber(stats->wall_ms));
+    body.Set("trace_id", JsonValue::MakeString(run_id));
     return JsonResponse(200, std::move(body));
   }
   if (segments.size() == 2 && request.method == "GET") {

@@ -1,6 +1,7 @@
 #ifndef SHAREINSIGHTS_SERVER_API_SERVER_H_
 #define SHAREINSIGHTS_SERVER_API_SERVER_H_
 
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -9,6 +10,8 @@
 
 #include "dashboard/dashboard.h"
 #include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "share/shared_registry.h"
 
 namespace shareinsights {
@@ -46,12 +49,19 @@ struct HttpResponse {
 ///   GET  /<dash>/ds/<dataset>/groupby/<col>/<agg>/<col>   ad-hoc query
 ///   GET  /<dash>/explore/<dataset>                    data explorer (text)
 ///   GET  /shared                                      shared data objects
+///   GET  /metrics                                     Prometheus-style text
+///   GET  /trace/<run-id>                              Chrome trace JSON
+///
+/// Every POST .../run records a fresh trace; the response carries its
+/// `trace_id` for retrieval via /trace/<run-id>. Note /metrics and
+/// /trace are reserved top-level paths and shadow dashboards with those
+/// names.
 class ApiServer {
  public:
   explicit ApiServer(SharedDataRegistry* shared = nullptr)
       : shared_(shared) {}
 
-  /// Routes one request.
+  /// Routes one request, recording http_* request metrics around it.
   HttpResponse Handle(const HttpRequest& request);
 
   /// Convenience wrappers mirroring curl usage in the paper's figures.
@@ -70,14 +80,26 @@ class ApiServer {
   std::vector<std::string> DashboardNames() const;
 
  private:
+  /// The actual router; Handle() wraps it with request accounting.
+  HttpResponse Route(const HttpRequest& request);
   HttpResponse HandleDashboards(const std::vector<std::string>& segments,
                                 const HttpRequest& request);
   HttpResponse HandleDatasets(Dashboard* dashboard,
                               const std::vector<std::string>& segments,
                               const HttpRequest& request);
 
+  /// Stores one finished run's Chrome trace JSON; returns its run id
+  /// ("run-N"). Keeps at most kMaxStoredTraces, dropping the oldest.
+  std::string StoreTrace(std::string chrome_json);
+
+  static constexpr size_t kMaxStoredTraces = 64;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Dashboard>> dashboards_;
+  // run id -> Chrome trace JSON of a completed POST .../run.
+  std::map<std::string, std::string> traces_;
+  std::deque<std::string> trace_order_;  // insertion order, for eviction
+  int run_counter_ = 0;
   SharedDataRegistry* shared_;
 };
 

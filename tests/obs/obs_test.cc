@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "io/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace shareinsights {
+namespace {
+
+// ---------------------------------------------------------------- metrics
+
+TEST(CounterTest, IncrementsAndReads) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0);
+  c.Increment();
+  c.Increment(5);
+  EXPECT_EQ(c.Value(), 6);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.Value(), 4.0);
+  g.Add(-5.0);
+  EXPECT_DOUBLE_EQ(g.Value(), -1.0);
+}
+
+TEST(HistogramTest, BucketsObservations) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);    // <= 1
+  h.Observe(1.0);    // boundary: still the first bucket (le semantics)
+  h.Observe(5.0);    // <= 10
+  h.Observe(50.0);   // <= 100
+  h.Observe(500.0);  // +Inf
+  std::vector<int64_t> buckets = h.BucketCounts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + Inf
+  EXPECT_EQ(buckets[0], 2);
+  EXPECT_EQ(buckets[1], 1);
+  EXPECT_EQ(buckets[2], 1);
+  EXPECT_EQ(buckets[3], 1);
+  EXPECT_EQ(h.Count(), 5);
+  EXPECT_DOUBLE_EQ(h.Sum(), 556.5);
+}
+
+TEST(HistogramTest, LatencyBoundsAreSortedAscending) {
+  std::vector<double> bounds = Histogram::LatencyBoundsMs();
+  ASSERT_FALSE(bounds.empty());
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(HistogramTest, ConcurrentObserveKeepsTotals) {
+  Histogram h({10.0});
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < 1000; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.Count(), 4000);
+  EXPECT_EQ(h.BucketCounts()[0], 4000);
+  EXPECT_DOUBLE_EQ(h.Sum(), 4000.0);
+}
+
+TEST(MetricsRegistryTest, ReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("requests", "help text");
+  Counter* b = registry.GetCounter("requests");
+  EXPECT_EQ(a, b);
+  a->Increment(3);
+  EXPECT_EQ(b->Value(), 3);
+  Histogram* h1 = registry.GetHistogram("lat", {1.0, 2.0});
+  Histogram* h2 = registry.GetHistogram("lat", {999.0});  // bounds ignored
+  EXPECT_EQ(h1, h2);
+  EXPECT_EQ(h1->bounds().size(), 2u);
+}
+
+TEST(MetricsRegistryTest, RenderTextIsPrometheusShaped) {
+  MetricsRegistry registry;
+  registry.GetCounter("runs_total", "pipeline runs")->Increment(2);
+  registry.GetGauge("queue_depth")->Set(7);
+  Histogram* h = registry.GetHistogram("run_ms", {1.0, 10.0}, "run latency");
+  h->Observe(0.5);
+  h->Observe(100.0);
+  std::string text = registry.RenderText();
+  EXPECT_NE(text.find("# HELP runs_total pipeline runs"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE runs_total counter"), std::string::npos);
+  EXPECT_NE(text.find("runs_total 2"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE queue_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("queue_depth 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE run_ms histogram"), std::string::npos);
+  // Cumulative buckets: le="10" includes the le="1" observation.
+  EXPECT_NE(text.find("run_ms_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("run_ms_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("run_ms_bucket{le=\"+Inf\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("run_ms_sum 100.5"), std::string::npos);
+  EXPECT_NE(text.find("run_ms_count 2"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, ClearDropsEverything) {
+  MetricsRegistry registry;
+  registry.GetCounter("gone")->Increment();
+  registry.Clear();
+  EXPECT_EQ(registry.RenderText().find("gone"), std::string::npos);
+  EXPECT_EQ(registry.GetCounter("gone")->Value(), 0);
+}
+
+// ----------------------------------------------------------------- trace
+
+TEST(TracerTest, RecordsNestedSpans) {
+  Tracer tracer;
+  SpanId root = tracer.StartSpan("root");
+  SpanId child = tracer.StartSpan("child", root);
+  tracer.AddAttribute(child, "rows", "42");
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+  std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "root");
+  EXPECT_EQ(spans[0].parent, 0u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent, root);
+  EXPECT_GE(spans[0].duration_us, 0);
+  EXPECT_GE(spans[1].duration_us, 0);
+  EXPECT_LE(spans[1].duration_us, spans[0].duration_us);
+  ASSERT_EQ(spans[1].attributes.size(), 1u);
+  EXPECT_EQ(spans[1].attributes[0].first, "rows");
+  EXPECT_EQ(spans[1].attributes[0].second, "42");
+}
+
+TEST(TracerTest, ScopedSpanClosesOnScopeExit) {
+  Tracer tracer;
+  {
+    ScopedSpan outer(&tracer, "outer");
+    ScopedSpan inner(&tracer, "inner", outer.id());
+    inner.AddAttribute("rows_out", static_cast<int64_t>(9));
+  }
+  std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  for (const Span& span : spans) EXPECT_GE(span.duration_us, 0);
+  EXPECT_EQ(spans[1].parent, spans[0].id);
+}
+
+TEST(TracerTest, NullTracerIsSafe) {
+  ScopedSpan span(nullptr, "nothing");
+  span.AddAttribute("key", "value");
+  EXPECT_EQ(span.id(), 0u);  // no crash, no tracer involved
+}
+
+TEST(TracerTest, ConcurrentSpansGetDistinctIds) {
+  Tracer tracer;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 100; ++i) {
+        ScopedSpan span(&tracer, "work");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  std::vector<Span> spans = tracer.Spans();
+  ASSERT_EQ(spans.size(), 400u);
+  std::set<SpanId> ids;
+  for (const Span& span : spans) ids.insert(span.id);
+  EXPECT_EQ(ids.size(), 400u);
+}
+
+TEST(TracerTest, ChromeJsonIsWellFormed) {
+  Tracer tracer;
+  SpanId root = tracer.StartSpan("exec.run");
+  tracer.AddAttribute(root, "note", "quotes \" and \\ and\nnewline");
+  SpanId child = tracer.StartSpan("exec.task:agg", root);
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+  SpanId open = tracer.StartSpan("still.open");
+  (void)open;
+
+  Result<JsonValue> parsed = ParseJson(tracer.ToChromeJson());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  ASSERT_EQ(events->array_items().size(), 3u);
+  for (const JsonValue& event : events->array_items()) {
+    ASSERT_TRUE(event.is_object());
+    EXPECT_EQ(event.Find("ph")->string_value(), "X");
+    EXPECT_FALSE(event.Find("name")->string_value().empty());
+    EXPECT_GE(event.Find("dur")->number_value(), 0.0);
+    ASSERT_NE(event.Find("args"), nullptr);
+  }
+  // The child event must reference its parent's span id.
+  const JsonValue& task = events->array_items()[1];
+  EXPECT_EQ(task.Find("name")->string_value(), "exec.task:agg");
+  EXPECT_EQ(task.Find("args")->Find("parent_id")->number_value(),
+            static_cast<double>(root));
+}
+
+TEST(TracerTest, SummaryIndentsChildren) {
+  Tracer tracer;
+  SpanId root = tracer.StartSpan("compile");
+  SpanId child = tracer.StartSpan("compile.validate", root);
+  tracer.AddAttribute(child, "flows", "1");
+  tracer.EndSpan(child);
+  tracer.EndSpan(root);
+  std::string summary = tracer.Summary();
+  size_t root_pos = summary.find("ms  compile\n");
+  size_t child_pos = summary.find("ms    compile.validate");
+  EXPECT_NE(root_pos, std::string::npos) << summary;
+  EXPECT_NE(child_pos, std::string::npos) << summary;
+  EXPECT_LT(root_pos, child_pos);
+  EXPECT_NE(summary.find("flows=1"), std::string::npos);
+}
+
+TEST(TracerTest, SummaryMarksUnfinishedSpans) {
+  Tracer tracer;
+  tracer.StartSpan("never.ended");
+  EXPECT_NE(tracer.Summary().find("(unfinished)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace shareinsights

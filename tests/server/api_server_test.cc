@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 namespace shareinsights {
 namespace {
 
@@ -128,6 +130,59 @@ TEST_F(ApiServerTest, SharedRouteListsRegistry) {
   EXPECT_EQ(response.status, 200);
   EXPECT_NE(response.body.find("shared_x"), std::string::npos);
   EXPECT_NE(response.body.find("tester"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, MetricsRouteReflectsActivity) {
+  // SetUp already ran the pipeline once through POST .../run.
+  HttpResponse response = server_.Get("/metrics");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_EQ(response.content_type, "text/plain");
+  EXPECT_NE(response.body.find("# TYPE runs_total counter"),
+            std::string::npos);
+  EXPECT_NE(response.body.find("flows_executed_total"), std::string::npos);
+  EXPECT_NE(response.body.find("run_ms_bucket"), std::string::npos);
+  EXPECT_NE(response.body.find("http_requests_total"), std::string::npos);
+
+  // runs_total must be at least the SetUp run (the registry is
+  // process-wide, so other tests may have incremented it too).
+  Counter* runs = MetricsRegistry::Default().GetCounter("runs_total");
+  int64_t before = runs->Value();
+  ASSERT_TRUE(server_.Post("/dashboards/shop/run", "").ok());
+  EXPECT_EQ(runs->Value(), before + 1);
+}
+
+TEST_F(ApiServerTest, RunResponseCarriesRetrievableTrace) {
+  HttpResponse run = server_.Post("/dashboards/shop/run", "");
+  ASSERT_EQ(run.status, 200);
+  Result<JsonValue> body = ParseJson(run.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  const JsonValue* trace_id = body->Find("trace_id");
+  ASSERT_NE(trace_id, nullptr);
+  const std::string& run_id = trace_id->string_value();
+  EXPECT_EQ(run_id.rfind("run-", 0), 0u) << run_id;
+
+  HttpResponse trace = server_.Get("/trace/" + run_id);
+  ASSERT_EQ(trace.status, 200);
+  Result<JsonValue> parsed = ParseJson(trace.body);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  const JsonValue* events = parsed->Find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+  std::vector<std::string> names;
+  for (const JsonValue& event : events->array_items()) {
+    names.push_back(event.Find("name")->string_value());
+  }
+  auto has = [&names](const std::string& name) {
+    return std::find(names.begin(), names.end(), name) != names.end();
+  };
+  EXPECT_TRUE(has("dashboard.run"));
+  EXPECT_TRUE(has("exec.run"));
+  EXPECT_TRUE(has("exec.task:agg"));
+}
+
+TEST_F(ApiServerTest, UnknownTraceIs404) {
+  EXPECT_EQ(server_.Get("/trace/run-999999").status, 404);
+  EXPECT_EQ(server_.Get("/trace").status, 404);
 }
 
 TEST(HttpRequestTest, ParsesQueryParameters) {
