@@ -1,0 +1,172 @@
+// Morsel-parallelism sweep: runs filter, groupby, sort, and join over a
+// 1M-row table at 1/2/4/8 worker threads, timing each and verifying
+// that every parallel result is byte-identical to the sequential
+// baseline. Exits nonzero on any output mismatch, and — when the host
+// actually has >= 8 hardware threads — when filter or groupby fail to
+// reach a 3x speedup at 8 threads. On smaller hosts the speedup gate is
+// reported but not enforced (you cannot scale past the cores you have).
+//
+//   ./bench_parallel_ops [num_rows]
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "ops/exec_context.h"
+#include "ops/filter.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/sort_ops.h"
+
+namespace shareinsights {
+namespace {
+
+// FNV-1a over every cell, so comparing runs is O(1) memory.
+uint64_t TableFingerprint(const Table& table) {
+  uint64_t hash = 1469598103934665603ULL;
+  auto mix = [&hash](const std::string& text) {
+    for (char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= 1099511628211ULL;
+    }
+    hash ^= '|';
+    hash *= 1099511628211ULL;
+  };
+  mix(table.schema().ToString());
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      mix(table.at(r, c).ToString());
+    }
+  }
+  return hash;
+}
+
+TablePtr BuildTable(size_t num_rows) {
+  TableBuilder builder(Schema({Field{"id", ValueType::kInt64},
+                               Field{"grp", ValueType::kString},
+                               Field{"val", ValueType::kDouble}}));
+  uint64_t state = 7;
+  for (size_t i = 0; i < num_rows; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    uint64_t r = state >> 33;
+    (void)builder.AppendRow({Value(static_cast<int64_t>(i)),
+                             Value("g" + std::to_string(r % 64)),
+                             Value(static_cast<double>(r % 100000) / 4.0)});
+  }
+  return *builder.Finish();
+}
+
+struct Case {
+  std::string name;
+  TableOperatorPtr op;
+  std::vector<TablePtr> inputs;
+  bool gated = false;  // subject to the 3x speedup acceptance gate
+};
+
+double RunMillis(const Case& c, const ExecContext& ctx, uint64_t* fp) {
+  auto start = std::chrono::steady_clock::now();
+  Result<TablePtr> out = c.op->Execute(c.inputs, ctx);
+  auto end = std::chrono::steady_clock::now();
+  if (!out.ok()) {
+    std::fprintf(stderr, "%s failed: %s\n", c.name.c_str(),
+                 out.status().ToString().c_str());
+    std::exit(1);
+  }
+  *fp = TableFingerprint(**out);
+  return std::chrono::duration<double, std::milli>(end - start).count();
+}
+
+}  // namespace
+}  // namespace shareinsights
+
+int main(int argc, char** argv) {
+  using namespace shareinsights;
+
+  size_t num_rows = 1'000'000;
+  if (argc > 1) num_rows = static_cast<size_t>(std::atoll(argv[1]));
+  const unsigned hw_threads = std::thread::hardware_concurrency();
+  std::printf("rows=%zu hardware_threads=%u\n", num_rows, hw_threads);
+
+  TablePtr table = BuildTable(num_rows);
+  TablePtr dim = BuildTable(4096);
+
+  std::vector<Case> cases;
+  cases.push_back({"filter",
+                   std::make_unique<FilterCompareOp>(
+                       "val", FilterCompareOp::Cmp::kGt, Value(12000.0)),
+                   {table},
+                   /*gated=*/true});
+  {
+    Result<TableOperatorPtr> groupby = GroupByOp::Create(
+        {"grp"}, {AggregateSpec{"sum", "val", "sum_val"},
+                  AggregateSpec{"count", "", "n"},
+                  AggregateSpec{"avg", "val", "avg_val"}});
+    if (!groupby.ok()) return 1;
+    cases.push_back({"groupby", std::move(*groupby), {table},
+                     /*gated=*/true});
+  }
+  cases.push_back(
+      {"sort", std::make_unique<SortOp>(std::vector<SortKey>{
+                   SortKey{"grp", false}, SortKey{"val", true}}),
+       {table}});
+  {
+    Result<TableOperatorPtr> join =
+        JoinOp::Create({"grp"}, {"grp"}, JoinKind::kInner, {});
+    if (!join.ok()) return 1;
+    // Join the dimension table against itself-sized probe: full table
+    // probe over a 64-group build side explodes the output, so probe a
+    // slice to keep the run bounded.
+    Result<TablePtr> probe = LimitOp(65536).Execute({table});
+    if (!probe.ok()) return 1;
+    cases.push_back({"join", std::move(*join), {*probe, dim}});
+  }
+
+  bool ok = true;
+  for (const Case& c : cases) {
+    // Baseline: no pool, default (single) morsel — the legacy
+    // sequential code path.
+    uint64_t base_fp = 0;
+    double base_ms = RunMillis(c, ExecContext{}, &base_fp);
+    std::printf("%-8s threads=1(seq) %9.1f ms  fingerprint=%016llx\n",
+                c.name.c_str(), base_ms,
+                static_cast<unsigned long long>(base_fp));
+
+    double speedup_at_8 = 0.0;
+    for (size_t threads : {1, 2, 4, 8}) {
+      ThreadPool pool(threads);
+      ExecContext ctx;
+      ctx.pool = &pool;
+      ctx.morsel_rows = 16 * 1024;
+      uint64_t fp = 0;
+      double ms = RunMillis(c, ctx, &fp);
+      double speedup = base_ms / ms;
+      if (threads == 8) speedup_at_8 = speedup;
+      bool match = fp == base_fp;
+      std::printf("%-8s threads=%zu      %9.1f ms  speedup=%5.2fx  %s\n",
+                  c.name.c_str(), threads, ms, speedup,
+                  match ? "output=identical" : "output=MISMATCH");
+      if (!match) ok = false;
+    }
+    if (c.gated && hw_threads >= 8 && speedup_at_8 < 3.0) {
+      std::printf("%-8s FAILED speedup gate: %.2fx < 3x at 8 threads\n",
+                  c.name.c_str(), speedup_at_8);
+      ok = false;
+    } else if (c.gated && hw_threads < 8) {
+      std::printf(
+          "%-8s speedup gate skipped: host has %u hardware threads\n",
+          c.name.c_str(), hw_threads);
+    }
+  }
+
+  if (!ok) {
+    std::printf("FAIL\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

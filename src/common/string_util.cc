@@ -164,4 +164,38 @@ std::string JsonEscape(std::string_view text) {
   return out;
 }
 
+namespace {
+
+int HexDigit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string PercentDecode(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (c == '+') {
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '%' && i + 2 < text.size()) {
+      int hi = HexDigit(text[i + 1]);
+      int lo = HexDigit(text[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
 }  // namespace shareinsights

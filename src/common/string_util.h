@@ -44,6 +44,11 @@ std::string ReplaceAll(std::string text, const std::string& from,
 /// quotes added).
 std::string JsonEscape(std::string_view text);
 
+/// Decodes URL percent-escapes ("%20" -> " ") and "+" -> " ". Malformed
+/// escapes (truncated or non-hex digits) pass through literally rather
+/// than failing, matching lenient server behaviour.
+std::string PercentDecode(std::string_view text);
+
 }  // namespace shareinsights
 
 #endif  // SHAREINSIGHTS_COMMON_STRING_UTIL_H_

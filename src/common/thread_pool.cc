@@ -1,5 +1,8 @@
 #include "common/thread_pool.h"
 
+#include <atomic>
+#include <memory>
+
 namespace shareinsights {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -25,6 +28,51 @@ void ThreadPool::Submit(std::function<void()> task) {
     queue_.push_back(std::move(task));
   }
   task_available_.notify_one();
+}
+
+void ThreadPool::ParallelFor(size_t num_tasks,
+                             const std::function<void(size_t)>& task) {
+  if (num_tasks == 0) return;
+  if (num_tasks == 1 || workers_.size() <= 1) {
+    for (size_t i = 0; i < num_tasks; ++i) task(i);
+    return;
+  }
+
+  // Shared between the caller and helper jobs submitted to the queue.
+  // Helpers that wake up after all work is claimed exit immediately; the
+  // state outlives them via the shared_ptr.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    size_t total = 0;
+    const std::function<void(size_t)>* task = nullptr;
+    std::mutex mu;
+    std::condition_variable all_done;
+  };
+  auto state = std::make_shared<State>();
+  state->total = num_tasks;
+  state->task = &task;
+
+  auto drain = [state] {
+    for (;;) {
+      size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= state->total) return;
+      (*state->task)(i);
+      if (state->done.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          state->total) {
+        std::lock_guard<std::mutex> lock(state->mu);
+        state->all_done.notify_all();
+      }
+    }
+  };
+
+  size_t helpers = std::min(workers_.size(), num_tasks - 1);
+  for (size_t i = 0; i < helpers; ++i) Submit(drain);
+  drain();  // the caller works too — guarantees progress when workers are busy
+  std::unique_lock<std::mutex> lock(state->mu);
+  state->all_done.wait(lock, [&] {
+    return state->done.load(std::memory_order_acquire) == state->total;
+  });
 }
 
 void ThreadPool::WaitIdle() {

@@ -30,6 +30,14 @@ class ThreadPool {
   /// Blocks until every submitted task has finished running.
   void WaitIdle();
 
+  /// Runs `task(0) .. task(num_tasks-1)` across the pool and blocks until
+  /// all have finished. The calling thread participates (it drains tasks
+  /// from the same shared counter), so ParallelFor is safe to call from
+  /// inside a pool worker — even when every other worker is busy, the
+  /// caller alone guarantees completion. Tasks may run in any order and
+  /// must not throw.
+  void ParallelFor(size_t num_tasks, const std::function<void(size_t)>& task);
+
   size_t num_threads() const { return workers_.size(); }
 
  private:

@@ -144,6 +144,15 @@ std::string Value::ToString() const {
 namespace {
 
 int CompareDoubles(double a, double b) {
+  // Total order: NaN compares equal to itself and after every number.
+  // IEEE comparisons (where NaN is unordered against everything) are not
+  // a strict weak ordering, which std::sort/std::merge require.
+  bool a_nan = std::isnan(a);
+  bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan == b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
   if (a < b) return -1;
   if (a > b) return 1;
   return 0;

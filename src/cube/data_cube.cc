@@ -126,8 +126,17 @@ Result<std::vector<uint32_t>> DataCube::SelectRows(
 
 Result<TablePtr> DataCube::Execute(const Query& query, Tracer* tracer,
                                    SpanId trace_parent) const {
+  ExecContext ctx;
+  ctx.tracer = tracer;
+  ctx.trace_parent = trace_parent;
+  return Execute(query, ctx);
+}
+
+Result<TablePtr> DataCube::Execute(const Query& query,
+                                   const ExecContext& ctx) const {
+  Tracer* tracer = ctx.tracer;
   auto query_start = std::chrono::steady_clock::now();
-  ScopedSpan query_span(tracer, "cube.query", trace_parent);
+  ScopedSpan query_span(tracer, "cube.query", ctx.trace_parent);
   if (tracer != nullptr) {
     query_span.AddAttribute("filters",
                             static_cast<int64_t>(query.filters.size()));
@@ -149,15 +158,15 @@ Result<TablePtr> DataCube::Execute(const Query& query, Tracer* tracer,
     SI_ASSIGN_OR_RETURN(TableOperatorPtr groupby,
                         GroupByOp::Create(query.group_by, query.aggregates,
                                           query.orderby_aggregates));
-    SI_ASSIGN_OR_RETURN(current, groupby->Execute({current}));
+    SI_ASSIGN_OR_RETURN(current, groupby->Execute({current}, ctx));
   }
   if (!query.order_by.empty()) {
     SortOp sort(query.order_by);
-    SI_ASSIGN_OR_RETURN(current, sort.Execute({current}));
+    SI_ASSIGN_OR_RETURN(current, sort.Execute({current}, ctx));
   }
   if (query.limit > 0) {
     LimitOp limit(query.limit);
-    SI_ASSIGN_OR_RETURN(current, limit.Execute({current}));
+    SI_ASSIGN_OR_RETURN(current, limit.Execute({current}, ctx));
   }
   query_span.AddAttribute("rows_out",
                           static_cast<int64_t>(current->num_rows()));

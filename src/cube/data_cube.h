@@ -60,6 +60,10 @@ class DataCube {
   Result<TablePtr> Execute(const Query& query, Tracer* tracer = nullptr,
                            SpanId trace_parent = 0) const;
 
+  /// Same, but the group-by / sort / limit stages run morsel-parallel on
+  /// `ctx.pool` (results identical to the sequential overload).
+  Result<TablePtr> Execute(const Query& query, const ExecContext& ctx) const;
+
   /// Number of indexed columns (exposed for tests/benches).
   size_t num_indexed_columns() const { return indexes_.size(); }
 

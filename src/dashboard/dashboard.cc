@@ -395,6 +395,23 @@ Status Dashboard::ValidateWidgets() {
 // Execution
 // ---------------------------------------------------------------------
 
+ExecContext Dashboard::exec_context() const {
+  if (interactive_pool_ == nullptr) {
+    size_t threads = options_.num_threads;
+    if (threads == 0) {
+      threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+    }
+    interactive_pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  ExecContext ctx;
+  // A 1-thread pool has no helpers; skip the scheduling overhead.
+  if (interactive_pool_->num_threads() > 1) {
+    ctx.pool = interactive_pool_.get();
+  }
+  ctx.tracer = options_.tracer;
+  return ctx;
+}
+
 Result<ExecutionStats> Dashboard::Run(Tracer* tracer) {
   ScopedSpan run_span(tracer, "dashboard.run");
   ExecuteOptions exec_options;
@@ -622,7 +639,7 @@ Result<std::optional<TablePtr>> Dashboard::TryCube(const WidgetDecl& widget) {
     return std::optional<TablePtr>{};
   }
   SI_ASSIGN_OR_RETURN(TablePtr result,
-                      cube_it->second->Execute(query, options_.tracer));
+                      cube_it->second->Execute(query, exec_context()));
   return std::optional<TablePtr>(std::move(result));
 }
 
@@ -649,7 +666,7 @@ Result<TablePtr> Dashboard::EvaluateWidgetFlow(const WidgetDecl& widget) {
                               "'");
     }
     SI_ASSIGN_OR_RETURN(TableOperatorPtr op, BuildTask(*task, file_, context));
-    Result<TablePtr> next = op->Execute({current});
+    Result<TablePtr> next = op->Execute({current}, exec_context());
     if (!next.ok()) {
       return next.status().WithContext("evaluating widget '" + widget.name +
                                        "' task '" + task_name + "'");

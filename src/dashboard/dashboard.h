@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "compile/compiler.h"
 #include "cube/data_cube.h"
 #include "dashboard/widget.h"
@@ -124,6 +125,13 @@ class Dashboard {
   const DataStore& store() const { return store_; }
   DataStore* mutable_store() { return &store_; }
 
+  /// Context for interactive evaluation (widget flows, cube queries, the
+  /// REST explore routes): a lazily-created pool sized by
+  /// Options::num_threads plus the dashboard's tracer. Operators split
+  /// their row loops over this pool; results are byte-identical to
+  /// single-threaded evaluation.
+  ExecContext exec_context() const;
+
   /// Count of widget-flow evaluations answered by a DataCube vs by
   /// direct operator execution (ablation telemetry).
   int cube_hits() const { return cube_hits_; }
@@ -154,6 +162,8 @@ class Dashboard {
   ExecutionPlan plan_;
   DataStore store_;
   bool ran_ = false;
+  // Pool for interactive evaluation, created on first exec_context().
+  mutable std::unique_ptr<ThreadPool> interactive_pool_;
 
   // Selection state per widget.
   std::map<std::string, WidgetValueResolver::Selection> selections_;

@@ -10,6 +10,7 @@
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
+#include "ops/exec_context.h"
 
 namespace shareinsights {
 
@@ -243,7 +244,12 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
         }
         task_span.AddAttribute("rows_in", rows_in);
       }
-      Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs);
+      ExecContext exec_ctx;
+      exec_ctx.pool = &pool;
+      if (options_.morsel_rows > 0) exec_ctx.morsel_rows = options_.morsel_rows;
+      exec_ctx.tracer = tracer;
+      exec_ctx.trace_parent = task_span.id();
+      Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs, exec_ctx);
       if (!out.ok()) {
         return out.status().WithContext("executing task '" +
                                         flow.task_names[t] + "' of flow '" +

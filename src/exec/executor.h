@@ -73,7 +73,13 @@ struct ExecutionStats {
 /// Execution knobs.
 struct ExecuteOptions {
   /// Worker threads for independent flows (0 = hardware concurrency).
+  /// The same pool also runs intra-operator morsels (see
+  /// ops/exec_context.h), so a single wide flow saturates it too.
   size_t num_threads = 0;
+  /// Target rows per intra-operator morsel (0 = kDefaultMorselRows).
+  /// Output is byte-identical for any value; this only tunes how row
+  /// loops split across the pool.
+  size_t morsel_rows = 0;
   /// Anchors relative source paths when a source lacks `base_dir`.
   std::string base_dir;
   ConnectorRegistry* connectors = nullptr;

@@ -6,6 +6,17 @@ namespace shareinsights {
 
 namespace {
 
+/// Safe downcast for Merge: both accumulators come from the same factory,
+/// but guard against a mismatched registry entry anyway.
+template <typename T>
+Result<const T*> MergePeer(const Aggregator& other) {
+  const T* peer = dynamic_cast<const T*>(&other);
+  if (peer == nullptr) {
+    return Status::Internal("Merge called with a different aggregator type");
+  }
+  return peer;
+}
+
 /// sum: int64-preserving when every input is an int64; nulls skipped.
 class SumAggregator : public Aggregator {
  public:
@@ -29,6 +40,24 @@ class SumAggregator : public Aggregator {
     if (all_int_) return Value(int_sum_);
     return Value(double_sum_);
   }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    SI_ASSIGN_OR_RETURN(const SumAggregator* peer,
+                        MergePeer<SumAggregator>(other));
+    if (!peer->seen_) return Status::OK();
+    if (all_int_ && peer->all_int_) {
+      int_sum_ += peer->int_sum_;
+    } else {
+      if (all_int_) {
+        double_sum_ = static_cast<double>(int_sum_);
+        all_int_ = false;
+      }
+      double_sum_ += peer->all_int_ ? static_cast<double>(peer->int_sum_)
+                                    : peer->double_sum_;
+    }
+    seen_ = true;
+    return Status::OK();
+  }
 
  private:
   bool seen_ = false;
@@ -44,6 +73,13 @@ class CountAggregator : public Aggregator {
     return Status::OK();
   }
   Result<Value> Finalize() override { return Value(count_); }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    SI_ASSIGN_OR_RETURN(const CountAggregator* peer,
+                        MergePeer<CountAggregator>(other));
+    count_ += peer->count_;
+    return Status::OK();
+  }
 
  private:
   int64_t count_ = 0;
@@ -57,6 +93,13 @@ class CountDistinctAggregator : public Aggregator {
   }
   Result<Value> Finalize() override {
     return Value(static_cast<int64_t>(seen_.size()));
+  }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    SI_ASSIGN_OR_RETURN(const CountDistinctAggregator* peer,
+                        MergePeer<CountDistinctAggregator>(other));
+    seen_.insert(peer->seen_.begin(), peer->seen_.end());
+    return Status::OK();
   }
 
  private:
@@ -75,6 +118,14 @@ class AvgAggregator : public Aggregator {
   Result<Value> Finalize() override {
     if (count_ == 0) return Value::Null();
     return Value(sum_ / static_cast<double>(count_));
+  }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    SI_ASSIGN_OR_RETURN(const AvgAggregator* peer,
+                        MergePeer<AvgAggregator>(other));
+    sum_ += peer->sum_;
+    count_ += peer->count_;
+    return Status::OK();
   }
 
  private:
@@ -98,6 +149,19 @@ class MinMaxAggregator : public Aggregator {
   Result<Value> Finalize() override {
     return seen_ ? best_ : Value::Null();
   }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    SI_ASSIGN_OR_RETURN(const MinMaxAggregator* peer,
+                        MergePeer<MinMaxAggregator>(other));
+    if (!peer->seen_) return Status::OK();
+    // `peer` holds later rows: a strict compare keeps the earlier row's
+    // value on ties, matching the sequential scan.
+    if (!seen_ || (is_min_ ? peer->best_ < best_ : peer->best_ > best_)) {
+      best_ = peer->best_;
+      seen_ = true;
+    }
+    return Status::OK();
+  }
 
  private:
   bool is_min_;
@@ -120,6 +184,20 @@ class FirstLastAggregator : public Aggregator {
   }
   Result<Value> Finalize() override {
     return seen_ ? value_ : Value::Null();
+  }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    SI_ASSIGN_OR_RETURN(const FirstLastAggregator* peer,
+                        MergePeer<FirstLastAggregator>(other));
+    if (!peer->seen_) return Status::OK();
+    // `peer` holds later rows in scan order.
+    if (is_first_) {
+      if (!seen_) value_ = peer->value_;
+    } else {
+      value_ = peer->value_;
+    }
+    seen_ = true;
+    return Status::OK();
   }
 
  private:

@@ -16,11 +16,29 @@ namespace shareinsights {
 /// Streaming accumulator for one aggregate over one group: "transforming
 /// a bag of values into a point value" (the paper's extension category 2,
 /// user-defined aggregates). A fresh instance is created per group.
+///
+/// Parallel group-by builds one accumulator per (group, morsel) and
+/// combines them with Merge in morsel order. `other` is always an
+/// accumulator produced by the same factory and holds the state of rows
+/// that came AFTER this instance's rows in scan order — order-sensitive
+/// aggregates (first/last) rely on that. Aggregates that don't implement
+/// Merge (mergeable() == false) force the enclosing group-by down the
+/// single-morsel sequential path.
 class Aggregator {
  public:
   virtual ~Aggregator() = default;
   virtual Status Update(const Value& value) = 0;
   virtual Result<Value> Finalize() = 0;
+
+  /// True when Merge is implemented; checked once per group-by before
+  /// choosing the parallel plan.
+  virtual bool mergeable() const { return false; }
+
+  /// Folds `other`'s state (later rows in scan order) into this one.
+  virtual Status Merge(const Aggregator& other) {
+    (void)other;
+    return Status::Unimplemented("aggregator does not support Merge");
+  }
 };
 
 using AggregatorFactory = std::function<std::unique_ptr<Aggregator>()>;

@@ -1,0 +1,95 @@
+#include "ops/exec_context.h"
+
+#include <algorithm>
+
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+std::vector<MorselRange> MorselRanges(size_t num_rows,
+                                      const ExecContext& ctx) {
+  size_t morsel = std::max<size_t>(1, ctx.morsel_rows);
+  if (num_rows <= morsel) return {MorselRange{0, num_rows}};
+  size_t count = (num_rows + morsel - 1) / morsel;
+  std::vector<MorselRange> out;
+  out.reserve(count);
+  for (size_t m = 0; m < count; ++m) {
+    out.push_back(
+        MorselRange{m * morsel, std::min(num_rows, (m + 1) * morsel)});
+  }
+  return out;
+}
+
+Status ForEachMorsel(const ExecContext& ctx, size_t num_rows,
+                     const std::function<Status(size_t morsel, size_t begin,
+                                                size_t end)>& fn) {
+  std::vector<MorselRange> ranges = MorselRanges(num_rows, ctx);
+
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics
+      .GetCounter("ops_morsels_total",
+                  "morsels dispatched by table operators")
+      ->Increment(static_cast<int64_t>(ranges.size()));
+  metrics
+      .GetCounter("ops_morsel_rows_total",
+                  "rows scanned through operator morsels")
+      ->Increment(static_cast<int64_t>(num_rows));
+
+  if (ranges.size() == 1) {
+    return fn(0, ranges[0].begin, ranges[0].end);
+  }
+
+  metrics
+      .GetCounter("ops_parallel_batches_total",
+                  "operator row loops split across >1 morsel")
+      ->Increment();
+  ScopedSpan span(ctx.tracer, "ops.parallel", ctx.trace_parent);
+  span.AddAttribute("morsels", static_cast<int64_t>(ranges.size()));
+  span.AddAttribute("rows", static_cast<int64_t>(num_rows));
+
+  std::vector<Status> results(ranges.size());
+  auto run_one = [&](size_t m) {
+    results[m] = fn(m, ranges[m].begin, ranges[m].end);
+  };
+  if (ctx.pool != nullptr) {
+    ctx.pool->ParallelFor(ranges.size(), run_one);
+  } else {
+    for (size_t m = 0; m < ranges.size(); ++m) run_one(m);
+  }
+  // Report the lowest-indexed failure: the same error the sequential scan
+  // would have surfaced first.
+  for (Status& status : results) {
+    if (!status.ok()) return std::move(status);
+  }
+  return Status::OK();
+}
+
+Result<TablePtr> GatherRows(const TablePtr& input,
+                            const std::vector<size_t>& rows,
+                            const ExecContext& ctx) {
+  size_t num_columns = input->num_columns();
+  std::vector<std::vector<Value>> columns(num_columns);
+  for (auto& column : columns) column.resize(rows.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, rows.size(), [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t c = 0; c < num_columns; ++c) {
+          const std::vector<Value>& src = input->column(c);
+          std::vector<Value>& dst = columns[c];
+          for (size_t i = begin; i < end; ++i) dst[i] = src[rows[i]];
+        }
+        return Status::OK();
+      }));
+  return Table::Create(input->schema(), std::move(columns));
+}
+
+std::vector<size_t> ConcatSelections(
+    const std::vector<std::vector<size_t>>& selections) {
+  size_t total = 0;
+  for (const auto& s : selections) total += s.size();
+  std::vector<size_t> out;
+  out.reserve(total);
+  for (const auto& s : selections) out.insert(out.end(), s.begin(), s.end());
+  return out;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,89 @@
+#ifndef SHAREINSIGHTS_OPS_EXEC_CONTEXT_H_
+#define SHAREINSIGHTS_OPS_EXEC_CONTEXT_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "obs/trace.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Default target rows per morsel. Tables at or below this size run as a
+/// single morsel, which is exactly the pre-morsel sequential code path.
+inline constexpr size_t kDefaultMorselRows = 16 * 1024;
+
+/// Per-execution context threaded through TableOperator::Execute: the
+/// executor's shared worker pool, the morsel granularity, and the trace
+/// sink. Operators split their hot row loops into morsels of
+/// `morsel_rows` rows and run them on `pool` (morsel-driven parallelism,
+/// Leis et al., SIGMOD 2014).
+///
+/// Determinism contract: the morsel decomposition depends only on
+/// (num_rows, morsel_rows) — never on the pool or its thread count — and
+/// every operator merges per-morsel results in morsel order. A run with 8
+/// threads is therefore byte-identical to a run with 1 thread or with no
+/// pool at all.
+struct ExecContext {
+  /// Worker pool morsels run on. Null = run morsels inline on the calling
+  /// thread (still morsel-structured, so results match parallel runs).
+  ThreadPool* pool = nullptr;
+  /// Target rows per morsel; the last morsel may be smaller.
+  size_t morsel_rows = kDefaultMorselRows;
+  /// Optional span sink; operators record one ops.parallel span per
+  /// multi-morsel batch under `trace_parent`.
+  Tracer* tracer = nullptr;
+  SpanId trace_parent = 0;
+
+  /// Workers available for morsel execution (1 = sequential).
+  size_t parallelism() const {
+    return pool != nullptr ? pool->num_threads() : 1;
+  }
+};
+
+/// Half-open row range [begin, end) of one morsel.
+struct MorselRange {
+  size_t begin = 0;
+  size_t end = 0;
+  size_t size() const { return end - begin; }
+};
+
+/// Splits [0, num_rows) into morsels of ~morsel_rows rows. Pure function
+/// of (num_rows, ctx.morsel_rows): the decomposition is identical across
+/// thread counts, which is what makes parallel results bit-identical to
+/// sequential ones.
+std::vector<MorselRange> MorselRanges(size_t num_rows,
+                                      const ExecContext& ctx);
+
+/// Runs `fn(morsel_index, begin, end)` for every morsel of [0, num_rows),
+/// on ctx.pool when one is configured (inline otherwise). Blocks until
+/// every morsel has finished. On failure returns the error of the
+/// lowest-indexed failing morsel, so the reported error is the same one
+/// the sequential path would have hit first.
+///
+/// Records per-morsel engine metrics (ops_morsels_total,
+/// ops_parallel_batches_total, ops_morsel_rows_total) and, when tracing
+/// with more than one morsel, an ops.parallel span under
+/// ctx.trace_parent.
+Status ForEachMorsel(const ExecContext& ctx, size_t num_rows,
+                     const std::function<Status(size_t morsel, size_t begin,
+                                                size_t end)>& fn);
+
+/// Materializes `out[i] = input row rows[i]` as a new table with the
+/// input's schema, filling output columns morsel-parallel over the output
+/// rows. This is the shared gather kernel behind filter / sort / limit /
+/// distinct / topn materialization.
+Result<TablePtr> GatherRows(const TablePtr& input,
+                            const std::vector<size_t>& rows,
+                            const ExecContext& ctx);
+
+/// Concatenates per-morsel row-index selections (in morsel order) into
+/// one flat list. Helper for selection-style operators.
+std::vector<size_t> ConcatSelections(
+    const std::vector<std::vector<size_t>>& selections);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_EXEC_CONTEXT_H_

@@ -2,6 +2,8 @@
 
 #include <unordered_set>
 
+#include "common/string_util.h"
+
 namespace shareinsights {
 
 Result<TableOperatorPtr> FilterExpressionOp::Create(
@@ -20,17 +22,39 @@ Result<Schema> FilterExpressionOp::OutputSchema(
   return inputs[0];
 }
 
+namespace {
+
+/// Shared morsel skeleton for selection-style filters: `keep(r)` decides
+/// per row; per-morsel selections concatenate in morsel order, so the
+/// output row order matches the sequential scan exactly.
+Result<TablePtr> SelectRows(
+    const TablePtr& input, const ExecContext& ctx,
+    const std::function<Result<bool>(size_t row)>& keep) {
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<std::vector<size_t>> selections(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        std::vector<size_t>& selected = selections[m];
+        for (size_t r = begin; r < end; ++r) {
+          SI_ASSIGN_OR_RETURN(bool hit, keep(r));
+          if (hit) selected.push_back(r);
+        }
+        return Status::OK();
+      }));
+  return GatherRows(input, ConcatSelections(selections), ctx);
+}
+
+}  // namespace
+
 Result<TablePtr> FilterExpressionOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+    const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(BoundExpr bound,
                       BoundExpr::Bind(expr_, input->schema()));
-  TableBuilder builder(input->schema());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    SI_ASSIGN_OR_RETURN(bool keep, bound.EvalPredicate(*input, r));
-    if (keep) builder.AppendRowFrom(*input, r);
-  }
-  return builder.Finish();
+  return SelectRows(input, ctx, [&](size_t r) -> Result<bool> {
+    return bound.EvalPredicate(*input, r);
+  });
 }
 
 Result<Schema> FilterValuesOp::OutputSchema(
@@ -45,7 +69,7 @@ Result<Schema> FilterValuesOp::OutputSchema(
 }
 
 Result<TablePtr> FilterValuesOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+    const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   struct Bound {
     size_t index;
@@ -66,25 +90,75 @@ Result<TablePtr> FilterValuesOp::Execute(
     }
     bound.push_back(std::move(b));
   }
-  TableBuilder builder(input->schema());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    bool keep = true;
+  return SelectRows(input, ctx, [&](size_t r) -> Result<bool> {
     for (const Bound& b : bound) {
       const Value& v = input->at(r, b.index);
       if (b.filter->is_range) {
         if (v.is_null() || v < b.filter->allowed[0] ||
             v > b.filter->allowed[1]) {
-          keep = false;
-          break;
+          return false;
         }
       } else if (b.allowed.count(v) == 0) {
-        keep = false;
-        break;
+        return false;
       }
     }
-    if (keep) builder.AppendRowFrom(*input, r);
+    return true;
+  });
+}
+
+Result<FilterCompareOp::Cmp> FilterCompareOp::ParseCmp(
+    const std::string& text) {
+  std::string norm = ToLower(Trim(text));
+  if (norm == "eq") return Cmp::kEq;
+  if (norm == "ne") return Cmp::kNe;
+  if (norm == "lt") return Cmp::kLt;
+  if (norm == "le") return Cmp::kLe;
+  if (norm == "gt") return Cmp::kGt;
+  if (norm == "ge") return Cmp::kGe;
+  if (norm == "contains") return Cmp::kContains;
+  return Status::InvalidArgument(
+      "unknown filter comparator '" + text +
+      "' (expected eq|ne|lt|le|gt|ge|contains)");
+}
+
+Result<Schema> FilterCompareOp::OutputSchema(
+    const std::vector<Schema>& inputs) const {
+  if (inputs.size() != 1) {
+    return Status::SchemaError("filter_by expects exactly 1 input");
   }
-  return builder.Finish();
+  SI_RETURN_IF_ERROR(inputs[0].RequireIndex(column_).status());
+  return inputs[0];
+}
+
+Result<TablePtr> FilterCompareOp::Execute(
+    const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
+  const TablePtr& input = inputs[0];
+  SI_ASSIGN_OR_RETURN(size_t idx, input->schema().RequireIndex(column_));
+  return SelectRows(input, ctx, [&](size_t r) -> Result<bool> {
+    const Value& v = input->at(r, idx);
+    if (v.is_null()) return false;
+    if (cmp_ == Cmp::kContains) {
+      return v.ToString().find(literal_.ToString()) != std::string::npos;
+    }
+    int cmp = v.Compare(literal_);
+    switch (cmp_) {
+      case Cmp::kEq:
+        return cmp == 0;
+      case Cmp::kNe:
+        return cmp != 0;
+      case Cmp::kLt:
+        return cmp < 0;
+      case Cmp::kLe:
+        return cmp <= 0;
+      case Cmp::kGt:
+        return cmp > 0;
+      case Cmp::kGe:
+        return cmp >= 0;
+      case Cmp::kContains:
+        break;
+    }
+    return false;
+  });
 }
 
 }  // namespace shareinsights

@@ -19,7 +19,9 @@ class FilterExpressionOp : public TableOperator {
 
   std::string name() const override { return "filter_by"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
   const ExprPtr& expression() const { return expr_; }
 
@@ -48,12 +50,41 @@ class FilterValuesOp : public TableOperator {
 
   std::string name() const override { return "filter_by"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
   const std::vector<ColumnFilter>& filters() const { return filters_; }
 
  private:
   std::vector<ColumnFilter> filters_;
+};
+
+/// Single-column comparison filter — the run-time form of one
+/// `/filter/<col>/<op>/<value>` segment of the REST path query language
+/// (extended fig. 30 grammar). Comparisons use Value::Compare, so numeric
+/// literals match numeric columns; `contains` does substring match on the
+/// cell's string form. Null cells never match.
+class FilterCompareOp : public TableOperator {
+ public:
+  enum class Cmp { kEq, kNe, kLt, kLe, kGt, kGe, kContains };
+
+  /// Parses "eq", "ne", "lt", "le", "gt", "ge", "contains".
+  static Result<Cmp> ParseCmp(const std::string& text);
+
+  FilterCompareOp(std::string column, Cmp cmp, Value literal)
+      : column_(std::move(column)), cmp_(cmp), literal_(std::move(literal)) {}
+
+  std::string name() const override { return "filter_by"; }
+  Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
+
+ private:
+  std::string column_;
+  Cmp cmp_;
+  Value literal_;
 };
 
 }  // namespace shareinsights

@@ -73,8 +73,24 @@ Result<Schema> GroupByOp::OutputSchema(
   return Schema(std::move(fields));
 }
 
-Result<TablePtr> GroupByOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+namespace {
+
+struct Group {
+  std::vector<std::unique_ptr<Aggregator>> aggs;
+};
+
+/// One morsel's partial aggregation state. `ordered_keys` records
+/// first-encounter order within the morsel, so merging locals in morsel
+/// order reproduces the global scan's first-encounter order exactly.
+struct PartialGroups {
+  std::unordered_map<std::vector<Value>, Group, KeyHash> groups;
+  std::vector<const std::vector<Value>*> ordered_keys;
+};
+
+}  // namespace
+
+Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
+                                    const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema({input->schema()}));
 
@@ -96,31 +112,63 @@ Result<TablePtr> GroupByOp::Execute(
     factories.push_back(std::move(factory));
   }
 
-  struct Group {
-    size_t order;
-    std::vector<std::unique_ptr<Aggregator>> aggs;
-  };
+  // User-registered aggregates may predate Merge; without it partials
+  // cannot combine, so run those as a single morsel (sequential path).
+  ExecContext effective = ctx;
+  for (const AggregatorFactory& factory : factories) {
+    if (!factory()->mergeable()) {
+      effective.pool = nullptr;
+      effective.morsel_rows = std::max<size_t>(input->num_rows(), 1);
+      break;
+    }
+  }
+
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), effective);
+  std::vector<PartialGroups> partials(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      effective, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        PartialGroups& local = partials[m];
+        std::vector<Value> key(keys_.size());
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t k = 0; k < key_idx.size(); ++k) {
+            key[k] = input->at(r, key_idx[k]);
+          }
+          auto [it, inserted] = local.groups.try_emplace(key);
+          if (inserted) {
+            local.ordered_keys.push_back(&it->first);
+            for (const AggregatorFactory& factory : factories) {
+              it->second.aggs.push_back(factory());
+            }
+          }
+          for (size_t a = 0; a < aggregates_.size(); ++a) {
+            const Value& v = agg_idx[a] == SIZE_MAX
+                                 ? input->at(r, key_idx[0])
+                                 : input->at(r, agg_idx[a]);
+            SI_RETURN_IF_ERROR(it->second.aggs[a]->Update(v));
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge partials in morsel order. Each local's keys are visited in its
+  // first-encounter order, so global first-encounter order equals the
+  // sequential scan's, and Merge always receives later-row state.
   std::unordered_map<std::vector<Value>, Group, KeyHash> groups;
   std::vector<const std::vector<Value>*> ordered_keys;
-
-  std::vector<Value> key(keys_.size());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    for (size_t k = 0; k < key_idx.size(); ++k) {
-      key[k] = input->at(r, key_idx[k]);
-    }
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) {
-      it->second.order = ordered_keys.size();
-      ordered_keys.push_back(&it->first);
-      for (const AggregatorFactory& factory : factories) {
-        it->second.aggs.push_back(factory());
+  for (PartialGroups& local : partials) {
+    for (const std::vector<Value>* local_key : local.ordered_keys) {
+      auto node = local.groups.extract(*local_key);
+      auto [it, inserted] =
+          groups.try_emplace(std::move(node.key()), std::move(node.mapped()));
+      if (inserted) {
+        ordered_keys.push_back(&it->first);
+      } else {
+        for (size_t a = 0; a < aggregates_.size(); ++a) {
+          SI_RETURN_IF_ERROR(
+              it->second.aggs[a]->Merge(*node.mapped().aggs[a]));
+        }
       }
-    }
-    for (size_t a = 0; a < aggregates_.size(); ++a) {
-      const Value& v = agg_idx[a] == SIZE_MAX
-                           ? input->at(r, key_idx[0])
-                           : input->at(r, agg_idx[a]);
-      SI_RETURN_IF_ERROR(it->second.aggs[a]->Update(v));
     }
   }
 

@@ -33,7 +33,13 @@ class GroupByOp : public TableOperator {
 
   std::string name() const override { return "groupby"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  /// Morsel-parallel: each morsel aggregates into a thread-local hash
+  /// table; partials merge in morsel order (Aggregator::Merge), so group
+  /// order and tie-breaking match the sequential scan exactly. Aggregates
+  /// whose accumulator is not mergeable() fall back to one morsel.
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
   const std::vector<std::string>& keys() const { return keys_; }
   const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }

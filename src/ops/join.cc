@@ -1,6 +1,9 @@
 #include "ops/join.h"
 
+#include <algorithm>
+#include <atomic>
 #include <unordered_map>
+#include <utility>
 
 #include "common/string_util.h"
 
@@ -90,7 +93,8 @@ struct KeyHash {
 
 }  // namespace
 
-Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
+                                 const ExecContext& ctx) const {
   const TablePtr& left = inputs[0];
   const TablePtr& right = inputs[1];
   SI_ASSIGN_OR_RETURN(Schema out_schema,
@@ -111,17 +115,77 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs) const {
     proj_idx.emplace_back(p.side, idx);
   }
 
-  // Build a hash index over the right side (rows per key).
-  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash> index;
-  std::vector<Value> key(rk.size());
-  for (size_t r = 0; r < right->num_rows(); ++r) {
-    for (size_t k = 0; k < rk.size(); ++k) key[k] = right->at(r, rk[k]);
-    index[key].push_back(r);
+  // Phase 1: hash every build-side row in parallel (keys are rebuilt
+  // cheaply during the partitioned insert below; hashing dominates).
+  std::vector<size_t> right_hashes(right->num_rows());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, right->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        std::vector<Value> key(rk.size());
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t k = 0; k < rk.size(); ++k) key[k] = right->at(r, rk[k]);
+          right_hashes[r] = KeyHash{}(key);
+        }
+        return Status::OK();
+      }));
+
+  // Phase 2: build the hash index as independent partitions (by key hash
+  // modulo partition count). Each partition scans build rows in row order,
+  // so per-key row lists keep scan order; partition count never changes
+  // which rows land in a bucket, only which map holds it — output is
+  // invariant to the partition count.
+  using Index =
+      std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash>;
+  const size_t num_parts = std::max<size_t>(
+      ctx.pool == nullptr ? 1 : ctx.parallelism(), 1);
+  std::vector<Index> index(num_parts);
+  auto build_part = [&](size_t p) {
+    std::vector<Value> key(rk.size());
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      if (right_hashes[r] % num_parts != p) continue;
+      for (size_t k = 0; k < rk.size(); ++k) key[k] = right->at(r, rk[k]);
+      index[p][key].push_back(r);
+    }
+  };
+  if (ctx.pool != nullptr && num_parts > 1) {
+    ctx.pool->ParallelFor(num_parts, build_part);
+  } else {
+    for (size_t p = 0; p < num_parts; ++p) build_part(p);
   }
 
-  std::vector<bool> right_matched(right->num_rows(), false);
-  TableBuilder builder(out_schema);
+  // Phase 3: probe left morsels concurrently, buffering matched row pairs
+  // per morsel; -1 marks the null side of an outer-join row.
+  std::vector<std::atomic<bool>> right_matched(right->num_rows());
+  std::vector<MorselRange> ranges = MorselRanges(left->num_rows(), ctx);
+  std::vector<std::vector<std::pair<ptrdiff_t, ptrdiff_t>>> pairs(
+      ranges.size());
+  const bool keep_unmatched_left =
+      kind_ == JoinKind::kLeftOuter || kind_ == JoinKind::kFullOuter;
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, left->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        std::vector<Value> key(lk.size());
+        std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& out = pairs[m];
+        for (size_t l = begin; l < end; ++l) {
+          for (size_t k = 0; k < lk.size(); ++k) key[k] = left->at(l, lk[k]);
+          const Index& part = index[KeyHash{}(key) % num_parts];
+          auto it = part.find(key);
+          if (it == part.end()) {
+            if (keep_unmatched_left) {
+              out.emplace_back(static_cast<ptrdiff_t>(l), -1);
+            }
+            continue;
+          }
+          for (size_t r : it->second) {
+            right_matched[r].store(true, std::memory_order_relaxed);
+            out.emplace_back(static_cast<ptrdiff_t>(l),
+                             static_cast<ptrdiff_t>(r));
+          }
+        }
+        return Status::OK();
+      }));
 
+  TableBuilder builder(out_schema);
   auto emit = [&](ptrdiff_t lrow, ptrdiff_t rrow) -> Status {
     std::vector<Value> row;
     row.reserve(proj_idx.size());
@@ -137,25 +201,15 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs) const {
     return builder.AppendRow(std::move(row));
   };
 
-  key.assign(lk.size(), Value());
-  for (size_t l = 0; l < left->num_rows(); ++l) {
-    for (size_t k = 0; k < lk.size(); ++k) key[k] = left->at(l, lk[k]);
-    auto it = index.find(key);
-    if (it == index.end()) {
-      if (kind_ == JoinKind::kLeftOuter || kind_ == JoinKind::kFullOuter) {
-        SI_RETURN_IF_ERROR(emit(static_cast<ptrdiff_t>(l), -1));
-      }
-      continue;
-    }
-    for (size_t r : it->second) {
-      right_matched[r] = true;
-      SI_RETURN_IF_ERROR(
-          emit(static_cast<ptrdiff_t>(l), static_cast<ptrdiff_t>(r)));
+  // Emit in morsel order — identical row order to the sequential probe.
+  for (const auto& morsel_pairs : pairs) {
+    for (const auto& [lrow, rrow] : morsel_pairs) {
+      SI_RETURN_IF_ERROR(emit(lrow, rrow));
     }
   }
   if (kind_ == JoinKind::kRightOuter || kind_ == JoinKind::kFullOuter) {
     for (size_t r = 0; r < right->num_rows(); ++r) {
-      if (!right_matched[r]) {
+      if (!right_matched[r].load(std::memory_order_relaxed)) {
         SI_RETURN_IF_ERROR(emit(-1, static_cast<ptrdiff_t>(r)));
       }
     }

@@ -43,7 +43,14 @@ class JoinOp : public TableOperator {
   std::string name() const override { return "join"; }
   size_t num_inputs() const override { return 2; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  /// Morsel-parallel hash join: build-side key hashes are computed in
+  /// parallel, the hash index is built as independent hash partitions,
+  /// and probe morsels run concurrently, buffering (left,right) row pairs
+  /// that concatenate in morsel order — output row order is identical to
+  /// the sequential nested probe loop for every thread count.
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
   JoinKind kind() const { return kind_; }
 

@@ -167,27 +167,31 @@ Result<Schema> MapDateOp::OutputSchema(
                             ValueType::kString);
 }
 
-Result<TablePtr> MapDateOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> MapDateOp::Execute(const std::vector<TablePtr>& inputs,
+                                    const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(size_t idx,
                       input->schema().RequireIndex(transform_column_));
-  std::vector<Value> out;
-  out.reserve(input->num_rows());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    const Value& v = input->at(r, idx);
-    if (v.is_null()) {
-      out.push_back(Value::Null());
-      continue;
-    }
-    Result<DateTime> parsed = ParseDateTime(v.ToString(), input_format_);
-    if (!parsed.ok()) {
-      return parsed.status().WithContext("map:date on column '" +
-                                         transform_column_ + "' row " +
-                                         std::to_string(r));
-    }
-    out.push_back(Value(FormatDateTime(*parsed, output_format_)));
-  }
+  std::vector<Value> out(input->num_rows());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          const Value& v = input->at(r, idx);
+          if (v.is_null()) {
+            out[r] = Value::Null();
+            continue;
+          }
+          Result<DateTime> parsed = ParseDateTime(v.ToString(), input_format_);
+          if (!parsed.ok()) {
+            return parsed.status().WithContext("map:date on column '" +
+                                               transform_column_ + "' row " +
+                                               std::to_string(r));
+          }
+          out[r] = Value(FormatDateTime(*parsed, output_format_));
+        }
+        return Status::OK();
+      }));
   return AppendColumn(input, output_column_, ValueType::kString,
                       std::move(out));
 }
@@ -202,16 +206,21 @@ Result<Schema> MapExtractOp::OutputSchema(
                             ValueType::kString);
 }
 
-Result<TablePtr> MapExtractOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> MapExtractOp::Execute(const std::vector<TablePtr>& inputs,
+                                       const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(size_t idx,
                       input->schema().RequireIndex(transform_column_));
   std::vector<std::vector<std::string>> matches(input->num_rows());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    const Value& v = input->at(r, idx);
-    if (!v.is_null()) matches[r] = dict_.Extract(v.ToString());
-  }
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          const Value& v = input->at(r, idx);
+          if (!v.is_null()) matches[r] = dict_.Extract(v.ToString());
+        }
+        return Status::OK();
+      }));
   return ExplodeColumn(input, output_column_, matches);
 }
 
@@ -226,18 +235,24 @@ Result<Schema> MapExtractLocationOp::OutputSchema(
 }
 
 Result<TablePtr> MapExtractLocationOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+    const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(size_t idx,
                       input->schema().RequireIndex(transform_column_));
   std::vector<std::vector<std::string>> matches(input->num_rows());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    const Value& v = input->at(r, idx);
-    if (v.is_null()) continue;
-    // A location string geocodes to at most one region: first match wins.
-    std::vector<std::string> found = gazetteer_.Extract(v.ToString());
-    if (!found.empty()) matches[r].push_back(found[0]);
-  }
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          const Value& v = input->at(r, idx);
+          if (v.is_null()) continue;
+          // A location string geocodes to at most one region: first match
+          // wins.
+          std::vector<std::string> found = gazetteer_.Extract(v.ToString());
+          if (!found.empty()) matches[r].push_back(found[0]);
+        }
+        return Status::OK();
+      }));
   return ExplodeColumn(input, output_column_, matches);
 }
 
@@ -252,20 +267,25 @@ Result<Schema> MapExtractWordsOp::OutputSchema(
 }
 
 Result<TablePtr> MapExtractWordsOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+    const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(size_t idx,
                       input->schema().RequireIndex(transform_column_));
   std::vector<std::vector<std::string>> matches(input->num_rows());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    const Value& v = input->at(r, idx);
-    if (v.is_null()) continue;
-    for (std::string& word : ExtractWords(v.ToString())) {
-      if (word.size() < min_length_) continue;
-      if (Stopwords().count(word) > 0) continue;
-      matches[r].push_back(std::move(word));
-    }
-  }
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          const Value& v = input->at(r, idx);
+          if (v.is_null()) continue;
+          for (std::string& word : ExtractWords(v.ToString())) {
+            if (word.size() < min_length_) continue;
+            if (Stopwords().count(word) > 0) continue;
+            matches[r].push_back(std::move(word));
+          }
+        }
+        return Status::OK();
+      }));
   return ExplodeColumn(input, output_column_, matches);
 }
 
@@ -279,20 +299,25 @@ Result<Schema> MapScalarOp::OutputSchema(
                             ValueType::kString);
 }
 
-Result<TablePtr> MapScalarOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> MapScalarOp::Execute(const std::vector<TablePtr>& inputs,
+                                      const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(size_t idx,
                       input->schema().RequireIndex(transform_column_));
-  std::vector<Value> out;
-  out.reserve(input->num_rows());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    Result<Value> v = fn_(input->at(r, idx), config_);
-    if (!v.ok()) {
-      return v.status().WithContext(name() + " row " + std::to_string(r));
-    }
-    out.push_back(std::move(*v));
-  }
+  std::vector<Value> out(input->num_rows());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          Result<Value> v = fn_(input->at(r, idx), config_);
+          if (!v.ok()) {
+            return v.status().WithContext(name() + " row " +
+                                          std::to_string(r));
+          }
+          out[r] = std::move(*v);
+        }
+        return Status::OK();
+      }));
   return AppendColumn(input, output_column_, ValueType::kString,
                       std::move(out));
 }
@@ -313,11 +338,13 @@ Result<Schema> ParallelOp::OutputSchema(
   return schema;
 }
 
-Result<TablePtr> ParallelOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> ParallelOp::Execute(const std::vector<TablePtr>& inputs,
+                                     const ExecContext& ctx) const {
+  // Members compose left-to-right (semantics, not a fork); each member's
+  // own row loops run morsel-parallel through the shared context.
   TablePtr table = inputs[0];
   for (const TableOperatorPtr& member : members_) {
-    Result<TablePtr> next = member->Execute({table});
+    Result<TablePtr> next = member->Execute({table}, ctx);
     if (!next.ok()) {
       return next.status().WithContext("in parallel member " +
                                        member->name());

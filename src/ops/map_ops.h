@@ -53,7 +53,9 @@ class MapDateOp : public TableOperator {
 
   std::string name() const override { return "map:date"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::string transform_column_;
@@ -76,7 +78,9 @@ class MapExtractOp : public TableOperator {
 
   std::string name() const override { return "map:extract"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::string transform_column_;
@@ -97,7 +101,9 @@ class MapExtractLocationOp : public TableOperator {
 
   std::string name() const override { return "map:extract_location"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::string transform_column_;
@@ -117,7 +123,9 @@ class MapExtractWordsOp : public TableOperator {
 
   std::string name() const override { return "map:extract_words"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::string transform_column_;
@@ -140,7 +148,9 @@ class MapScalarOp : public TableOperator {
 
   std::string name() const override { return "map:" + op_name_; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::string op_name_;
@@ -161,7 +171,9 @@ class ParallelOp : public TableOperator {
 
   std::string name() const override { return "parallel"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
   const std::vector<TableOperatorPtr>& members() const { return members_; }
 

@@ -12,43 +12,67 @@ Result<Schema> NativeMapReduceOp::OutputSchema(
   return output_schema_;
 }
 
-Result<TablePtr> NativeMapReduceOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> NativeMapReduceOp::Execute(const std::vector<TablePtr>& inputs,
+                                            const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
 
-  // Map phase.
-  std::vector<std::pair<Value, std::vector<Value>>> emitted;
-  std::vector<std::pair<Value, std::vector<Value>>> buffer;
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    buffer.clear();
-    Status s = map_fn_(input->Row(r), input->schema(), &buffer);
-    if (!s.ok()) {
-      return s.WithContext(name() + " map phase, row " + std::to_string(r));
-    }
-    for (auto& pair : buffer) emitted.push_back(std::move(pair));
-  }
+  // Map phase: per-morsel emission buffers, concatenated in morsel order
+  // so the emission stream matches the sequential row scan.
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<std::vector<std::pair<Value, std::vector<Value>>>> emitted(
+      ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        std::vector<std::pair<Value, std::vector<Value>>> buffer;
+        for (size_t r = begin; r < end; ++r) {
+          buffer.clear();
+          Status s = map_fn_(input->Row(r), input->schema(), &buffer);
+          if (!s.ok()) {
+            return s.WithContext(name() + " map phase, row " +
+                                 std::to_string(r));
+          }
+          for (auto& pair : buffer) emitted[m].push_back(std::move(pair));
+        }
+        return Status::OK();
+      }));
 
   // Shuffle: group records by key, preserving first-emission key order so
   // job output is deterministic.
   std::unordered_map<Value, std::vector<std::vector<Value>>, ValueHash>
       shuffled;
   std::vector<Value> key_order;
-  for (auto& [key, record] : emitted) {
-    auto [it, inserted] = shuffled.try_emplace(key);
-    if (inserted) key_order.push_back(key);
-    it->second.push_back(std::move(record));
+  for (auto& morsel : emitted) {
+    for (auto& [key, record] : morsel) {
+      auto [it, inserted] = shuffled.try_emplace(key);
+      if (inserted) key_order.push_back(key);
+      it->second.push_back(std::move(record));
+    }
   }
 
-  // Reduce phase.
-  TableBuilder builder(output_schema_);
-  std::vector<std::vector<Value>> out_rows;
-  for (const Value& key : key_order) {
-    out_rows.clear();
-    Status s = reduce_fn_(key, shuffled.at(key), &out_rows);
+  // Reduce phase: distinct keys are independent; buffer each key's rows,
+  // then append in key order.
+  std::vector<std::vector<std::vector<Value>>> reduced(key_order.size());
+  std::vector<Status> statuses(key_order.size());
+  auto reduce_one = [&](size_t k) {
+    const Value& key = key_order[k];
+    Status s = reduce_fn_(key, shuffled.at(key), &reduced[k]);
     if (!s.ok()) {
-      return s.WithContext(name() + " reduce phase, key " + key.ToString());
+      statuses[k] =
+          s.WithContext(name() + " reduce phase, key " + key.ToString());
     }
-    for (auto& row : out_rows) {
+  };
+  if (ctx.pool != nullptr && key_order.size() > 1) {
+    ctx.pool->ParallelFor(key_order.size(), reduce_one);
+  } else {
+    for (size_t k = 0; k < key_order.size(); ++k) reduce_one(k);
+  }
+  for (const Status& s : statuses) {
+    if (!s.ok()) return s;
+  }
+  TableBuilder builder(output_schema_);
+  for (auto& rows : reduced) {
+    for (auto& row : rows) {
       SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
     }
   }

@@ -41,7 +41,14 @@ class NativeMapReduceOp : public TableOperator {
 
   std::string name() const override { return "mapreduce:" + job_name_; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  /// Map runs morsel-parallel with per-morsel emission buffers that
+  /// concatenate in morsel order; the shuffle is sequential (key order =
+  /// first emission); reduces for distinct keys run across the pool and
+  /// emit in key order. Map/reduce fns must be thread-safe (pure fns of
+  /// their arguments).
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::string job_name_;

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "ops/exec_context.h"
 #include "table/table.h"
 
 namespace shareinsights {
@@ -17,6 +18,12 @@ namespace shareinsights {
 /// task. Operators are pure functions from input tables to an output
 /// table; the executor may run independent operators concurrently, so
 /// implementations must be thread-compatible (no mutable shared state).
+///
+/// Intra-operator parallelism: Execute receives an ExecContext naming the
+/// executor's shared worker pool and a morsel size; implementations split
+/// their hot row loops into morsels and merge per-morsel results in
+/// morsel order, so output is bit-identical across thread counts (the
+/// single-morsel case IS the sequential code path).
 class TableOperator {
  public:
   virtual ~TableOperator() = default;
@@ -36,9 +43,16 @@ class TableOperator {
   virtual Result<Schema> OutputSchema(
       const std::vector<Schema>& inputs) const = 0;
 
-  /// Executes the transformation.
-  virtual Result<TablePtr> Execute(
-      const std::vector<TablePtr>& inputs) const = 0;
+  /// Executes the transformation, running row loops morsel-parallel on
+  /// ctx.pool (sequentially when ctx has no pool).
+  virtual Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                                   const ExecContext& ctx) const = 0;
+
+  /// Sequential convenience: Execute with a pool-less context. Derived
+  /// classes re-export it with `using TableOperator::Execute;`.
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const {
+    return Execute(inputs, ExecContext());
+  }
 };
 
 using TableOperatorPtr = std::shared_ptr<const TableOperator>;

@@ -23,15 +23,22 @@ Result<Schema> ProjectOp::OutputSchema(
   return Schema(std::move(fields));
 }
 
-Result<TablePtr> ProjectOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> ProjectOp::Execute(const std::vector<TablePtr>& inputs,
+                                    const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema({input->schema()}));
-  std::vector<std::vector<Value>> columns;
-  columns.reserve(mappings_.size());
-  for (const Mapping& m : mappings_) {
-    SI_ASSIGN_OR_RETURN(size_t idx, input->schema().RequireIndex(m.input));
-    columns.push_back(input->column(idx));
+  std::vector<size_t> src(mappings_.size());
+  for (size_t m = 0; m < mappings_.size(); ++m) {
+    SI_ASSIGN_OR_RETURN(src[m],
+                        input->schema().RequireIndex(mappings_[m].input));
+  }
+  // Column copies are independent; spread them over the pool.
+  std::vector<std::vector<Value>> columns(mappings_.size());
+  auto copy_one = [&](size_t m) { columns[m] = input->column(src[m]); };
+  if (ctx.pool != nullptr && mappings_.size() > 1) {
+    ctx.pool->ParallelFor(mappings_.size(), copy_one);
+  } else {
+    for (size_t m = 0; m < mappings_.size(); ++m) copy_one(m);
   }
   return Table::Create(std::move(out_schema), std::move(columns));
 }
@@ -62,16 +69,19 @@ Result<Schema> ExpressionColumnOp::OutputSchema(
 }
 
 Result<TablePtr> ExpressionColumnOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+    const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(BoundExpr bound,
                       BoundExpr::Bind(expr_, input->schema()));
-  std::vector<Value> computed;
-  computed.reserve(input->num_rows());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    SI_ASSIGN_OR_RETURN(Value v, bound.Eval(*input, r));
-    computed.push_back(std::move(v));
-  }
+  std::vector<Value> computed(input->num_rows());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          SI_ASSIGN_OR_RETURN(computed[r], bound.Eval(*input, r));
+        }
+        return Status::OK();
+      }));
   // Rebuild columns, replacing or appending the output column.
   std::vector<std::vector<Value>> columns;
   Schema in_schema = input->schema();

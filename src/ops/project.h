@@ -27,7 +27,9 @@ class ProjectOp : public TableOperator {
 
   std::string name() const override { return "project"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
   const std::vector<Mapping>& mappings() const { return mappings_; }
 
@@ -44,7 +46,9 @@ class ExpressionColumnOp : public TableOperator {
 
   std::string name() const override { return "map:expression"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   ExpressionColumnOp(std::string output_column, ExprPtr expr)

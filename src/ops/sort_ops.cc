@@ -89,15 +89,55 @@ Result<Schema> SortOp::OutputSchema(const std::vector<Schema>& inputs) const {
   return inputs[0];
 }
 
-Result<TablePtr> SortOp::Execute(const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> SortOp::Execute(const std::vector<TablePtr>& inputs,
+                                 const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(auto bound, BindSortKeys(input->schema(), keys_));
+  RowLess less{input.get(), &bound};
   std::vector<size_t> order(input->num_rows());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::stable_sort(order.begin(), order.end(), RowLess{input.get(), &bound});
-  TableBuilder builder(input->schema());
-  for (size_t i : order) builder.AppendRowFrom(*input, i);
-  return builder.Finish();
+
+  // Stable-sort each morsel's index range in parallel, then merge runs
+  // pairwise. Runs stay index-contiguous and std::merge prefers the first
+  // (lower-index) run on ties, so the result equals one global
+  // stable_sort for every morsel decomposition.
+  std::vector<MorselRange> ranges = MorselRanges(order.size(), ctx);
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, order.size(), [&](size_t, size_t begin, size_t end) -> Status {
+        std::stable_sort(order.begin() + static_cast<ptrdiff_t>(begin),
+                         order.begin() + static_cast<ptrdiff_t>(end), less);
+        return Status::OK();
+      }));
+  std::vector<MorselRange> runs = ranges;
+  std::vector<size_t> scratch(order.size());
+  while (runs.size() > 1) {
+    std::vector<MorselRange> merged((runs.size() + 1) / 2);
+    auto merge_pair = [&](size_t p) {
+      const MorselRange& a = runs[2 * p];
+      if (2 * p + 1 == runs.size()) {
+        std::copy(order.begin() + static_cast<ptrdiff_t>(a.begin),
+                  order.begin() + static_cast<ptrdiff_t>(a.end),
+                  scratch.begin() + static_cast<ptrdiff_t>(a.begin));
+        merged[p] = a;
+        return;
+      }
+      const MorselRange& b = runs[2 * p + 1];
+      std::merge(order.begin() + static_cast<ptrdiff_t>(a.begin),
+                 order.begin() + static_cast<ptrdiff_t>(a.end),
+                 order.begin() + static_cast<ptrdiff_t>(b.begin),
+                 order.begin() + static_cast<ptrdiff_t>(b.end),
+                 scratch.begin() + static_cast<ptrdiff_t>(a.begin), less);
+      merged[p] = MorselRange{a.begin, b.end};
+    };
+    if (ctx.pool != nullptr && merged.size() > 1) {
+      ctx.pool->ParallelFor(merged.size(), merge_pair);
+    } else {
+      for (size_t p = 0; p < merged.size(); ++p) merge_pair(p);
+    }
+    order.swap(scratch);
+    runs.swap(merged);
+  }
+  return GatherRows(input, order, ctx);
 }
 
 Result<Schema> TopNOp::OutputSchema(const std::vector<Schema>& inputs) const {
@@ -113,7 +153,8 @@ Result<Schema> TopNOp::OutputSchema(const std::vector<Schema>& inputs) const {
   return inputs[0];
 }
 
-Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs,
+                                 const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(auto group_idx,
                       ResolveColumns(input->schema(), group_keys_));
@@ -132,13 +173,32 @@ Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs) const {
     it->second.push_back(r);
   }
 
-  TableBuilder builder(input->schema());
-  for (const std::vector<Value>* group_key : ordered_keys) {
-    std::vector<size_t>& rows = groups.at(*group_key);
+  // partial_sort is not stable: break ties by row index explicitly so the
+  // kept rows are the same for any execution order.
+  RowLess row_less{input.get(), &bound};
+  auto less = [&](size_t a, size_t b) {
+    if (row_less(a, b)) return true;
+    if (row_less(b, a)) return false;
+    return a < b;
+  };
+  // Each group's row list is independent: sort them across the pool.
+  auto sort_group = [&](size_t g) {
+    std::vector<size_t>& rows = groups.at(*ordered_keys[g]);
     size_t keep = std::min(limit_, rows.size());
     std::partial_sort(rows.begin(),
                       rows.begin() + static_cast<ptrdiff_t>(keep), rows.end(),
-                      RowLess{input.get(), &bound});
+                      less);
+  };
+  if (ctx.pool != nullptr && ordered_keys.size() > 1) {
+    ctx.pool->ParallelFor(ordered_keys.size(), sort_group);
+  } else {
+    for (size_t g = 0; g < ordered_keys.size(); ++g) sort_group(g);
+  }
+
+  TableBuilder builder(input->schema());
+  for (const std::vector<Value>* group_key : ordered_keys) {
+    const std::vector<size_t>& rows = groups.at(*group_key);
+    size_t keep = std::min(limit_, rows.size());
     for (size_t i = 0; i < keep; ++i) builder.AppendRowFrom(*input, rows[i]);
   }
   return builder.Finish();
@@ -155,8 +215,8 @@ Result<Schema> DistinctOp::OutputSchema(
   return inputs[0];
 }
 
-Result<TablePtr> DistinctOp::Execute(
-    const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> DistinctOp::Execute(const std::vector<TablePtr>& inputs,
+                                     const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   std::vector<size_t> cols;
   if (columns_.empty()) {
@@ -165,14 +225,34 @@ Result<TablePtr> DistinctOp::Execute(
   } else {
     SI_ASSIGN_OR_RETURN(cols, ResolveColumns(input->schema(), columns_));
   }
+  // Morsel-local dedup first (cheap, parallel); the survivors — first
+  // occurrence per key within each morsel — then dedup globally in morsel
+  // order, which keeps exactly the rows the sequential scan keeps.
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<std::vector<size_t>> candidates(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        std::unordered_set<std::vector<Value>, KeyHash> local;
+        std::vector<Value> key(cols.size());
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t k = 0; k < cols.size(); ++k) {
+            key[k] = input->at(r, cols[k]);
+          }
+          if (local.insert(key).second) candidates[m].push_back(r);
+        }
+        return Status::OK();
+      }));
   std::unordered_set<std::vector<Value>, KeyHash> seen;
-  TableBuilder builder(input->schema());
+  std::vector<size_t> kept;
   std::vector<Value> key(cols.size());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    for (size_t k = 0; k < cols.size(); ++k) key[k] = input->at(r, cols[k]);
-    if (seen.insert(key).second) builder.AppendRowFrom(*input, r);
+  for (const std::vector<size_t>& morsel : candidates) {
+    for (size_t r : morsel) {
+      for (size_t k = 0; k < cols.size(); ++k) key[k] = input->at(r, cols[k]);
+      if (seen.insert(key).second) kept.push_back(r);
+    }
   }
-  return builder.Finish();
+  return GatherRows(input, kept, ctx);
 }
 
 Result<Schema> LimitOp::OutputSchema(const std::vector<Schema>& inputs) const {
@@ -182,12 +262,16 @@ Result<Schema> LimitOp::OutputSchema(const std::vector<Schema>& inputs) const {
   return inputs[0];
 }
 
-Result<TablePtr> LimitOp::Execute(const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> LimitOp::Execute(const std::vector<TablePtr>& inputs,
+                                  const ExecContext& ctx) const {
+  // Slicing is O(output) already; GatherRows still spreads the column
+  // copies over the pool for wide tables.
   const TablePtr& input = inputs[0];
-  TableBuilder builder(input->schema());
   size_t end = std::min(input->num_rows(), offset_ + count_);
-  for (size_t r = offset_; r < end; ++r) builder.AppendRowFrom(*input, r);
-  return builder.Finish();
+  std::vector<size_t> rows;
+  rows.reserve(end > offset_ ? end - offset_ : 0);
+  for (size_t r = offset_; r < end; ++r) rows.push_back(r);
+  return GatherRows(input, rows, ctx);
 }
 
 Result<Schema> UnionOp::OutputSchema(const std::vector<Schema>& inputs) const {
@@ -199,7 +283,8 @@ Result<Schema> UnionOp::OutputSchema(const std::vector<Schema>& inputs) const {
   return inputs[0];
 }
 
-Result<TablePtr> UnionOp::Execute(const std::vector<TablePtr>& inputs) const {
+Result<TablePtr> UnionOp::Execute(const std::vector<TablePtr>& inputs,
+                                  const ExecContext& ctx) const {
   SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema([&] {
                         std::vector<Schema> schemas;
                         for (const auto& t : inputs) {
@@ -207,7 +292,13 @@ Result<TablePtr> UnionOp::Execute(const std::vector<TablePtr>& inputs) const {
                         }
                         return schemas;
                       }()));
-  TableBuilder builder(out_schema);
+  size_t total = 0;
+  for (const TablePtr& input : inputs) total += input->num_rows();
+  // Each input writes a disjoint output slice, so morsels copy directly
+  // into preallocated columns at a fixed offset.
+  std::vector<std::vector<Value>> columns(out_schema.num_fields());
+  for (auto& col : columns) col.resize(total);
+  size_t offset = 0;
   for (const TablePtr& input : inputs) {
     // Bind this input's columns to the output schema by name.
     std::vector<ptrdiff_t> src(out_schema.num_fields(), -1);
@@ -215,17 +306,23 @@ Result<TablePtr> UnionOp::Execute(const std::vector<TablePtr>& inputs) const {
       auto idx = input->schema().IndexOf(out_schema.field(c).name);
       if (idx.has_value()) src[c] = static_cast<ptrdiff_t>(*idx);
     }
-    for (size_t r = 0; r < input->num_rows(); ++r) {
-      std::vector<Value> row;
-      row.reserve(src.size());
-      for (ptrdiff_t s : src) {
-        row.push_back(s < 0 ? Value::Null()
-                            : input->at(r, static_cast<size_t>(s)));
-      }
-      SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
-    }
+    SI_RETURN_IF_ERROR(ForEachMorsel(
+        ctx, input->num_rows(),
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t c = 0; c < src.size(); ++c) {
+            std::vector<Value>& dst = columns[c];
+            for (size_t r = begin; r < end; ++r) {
+              dst[offset + r] = src[c] < 0
+                                    ? Value::Null()
+                                    : input->at(r,
+                                                static_cast<size_t>(src[c]));
+            }
+          }
+          return Status::OK();
+        }));
+    offset += input->num_rows();
   }
-  return builder.Finish();
+  return Table::Create(std::move(out_schema), std::move(columns));
 }
 
 }  // namespace shareinsights

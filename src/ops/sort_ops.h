@@ -24,7 +24,9 @@ class SortOp : public TableOperator {
 
   std::string name() const override { return "orderby"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::vector<SortKey> keys_;
@@ -43,7 +45,9 @@ class TopNOp : public TableOperator {
 
   std::string name() const override { return "topn"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::vector<std::string> group_keys_;
@@ -60,7 +64,9 @@ class DistinctOp : public TableOperator {
 
   std::string name() const override { return "distinct"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   std::vector<std::string> columns_;
@@ -74,7 +80,9 @@ class LimitOp : public TableOperator {
 
   std::string name() const override { return "limit"; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   size_t count_;
@@ -90,7 +98,9 @@ class UnionOp : public TableOperator {
   std::string name() const override { return "union"; }
   size_t num_inputs() const override { return num_inputs_; }
   Result<Schema> OutputSchema(const std::vector<Schema>& inputs) const override;
-  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const override;
+  using TableOperator::Execute;
+  Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
+                           const ExecContext& ctx) const override;
 
  private:
   size_t num_inputs_;

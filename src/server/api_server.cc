@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "common/string_util.h"
+#include "ops/filter.h"
 #include "ops/groupby.h"
 
 namespace shareinsights {
@@ -17,9 +18,10 @@ HttpRequest HttpRequest::Get(const std::string& url) {
     for (const std::string& pair : Split(url.substr(qmark + 1), '&')) {
       size_t eq = pair.find('=');
       if (eq == std::string::npos) {
-        request.query[pair] = "";
+        request.query[PercentDecode(pair)] = "";
       } else {
-        request.query[pair.substr(0, eq)] = pair.substr(eq + 1);
+        request.query[PercentDecode(pair.substr(0, eq))] =
+            PercentDecode(pair.substr(eq + 1));
       }
     }
   }
@@ -96,13 +98,59 @@ std::vector<std::string> PathSegments(const std::string& path) {
   return out;
 }
 
-size_t QuerySize(const HttpRequest& request, const std::string& key,
-                 size_t fallback) {
+/// Strict pagination parse: a missing parameter falls back, but a
+/// present-yet-malformed or negative one is the caller's error (400).
+Result<size_t> QuerySize(const HttpRequest& request, const std::string& key,
+                         size_t fallback) {
   auto it = request.query.find(key);
   if (it == request.query.end()) return fallback;
   Result<int64_t> parsed = Value(it->second).ToInt64();
-  if (!parsed.ok() || *parsed < 0) return fallback;
+  if (!parsed.ok() || *parsed < 0) {
+    return Status::InvalidArgument("query parameter '" + key +
+                                   "' must be a non-negative integer, got '" +
+                                   it->second + "'");
+  }
   return static_cast<size_t>(*parsed);
+}
+
+/// 405 with the mandatory `Allow` header and the error envelope.
+HttpResponse MethodNotAllowed(const HttpRequest& request,
+                              const std::string& allow) {
+  JsonValue body = JsonValue::MakeObject();
+  body.Set("error", JsonValue::MakeString("MethodNotAllowed"));
+  body.Set("message",
+           JsonValue::MakeString("method " + request.method +
+                                 " not allowed here; allowed: " + allow));
+  HttpResponse response = JsonResponse(405, std::move(body));
+  response.headers["Allow"] = allow;
+  return response;
+}
+
+/// Attaches the uniform pagination envelope to a collection response.
+/// `total` is the collection size before slicing; `limit` 0 = no limit.
+void AddPageMeta(JsonValue* body, size_t limit, size_t offset, size_t total) {
+  body->Set("limit", JsonValue::MakeNumber(static_cast<double>(limit)));
+  body->Set("offset", JsonValue::MakeNumber(static_cast<double>(offset)));
+  size_t end = total;
+  if (limit > 0) end = std::min(total, offset + limit);
+  if (end < total) {
+    body->Set("next_offset", JsonValue::MakeNumber(static_cast<double>(end)));
+  } else {
+    body->Set("next_offset", JsonValue());
+  }
+  body->Set("total_rows", JsonValue::MakeNumber(static_cast<double>(total)));
+}
+
+/// Slices a list of names per limit/offset into a JSON array.
+JsonValue NamesPage(const std::vector<std::string>& names, size_t limit,
+                    size_t offset) {
+  JsonValue list = JsonValue::MakeArray();
+  size_t end = names.size();
+  if (limit > 0) end = std::min(end, offset + limit);
+  for (size_t i = offset; i < end; ++i) {
+    list.Append(JsonValue::MakeString(names[i]));
+  }
+  return list;
 }
 
 }  // namespace
@@ -171,6 +219,25 @@ std::string ApiServer::StoreTrace(std::string chrome_json) {
 
 HttpResponse ApiServer::Route(const HttpRequest& request) {
   std::vector<std::string> segments = PathSegments(request.path);
+
+  // Canonical routes live under /api/v1; the bare paths are deprecated
+  // aliases of the same handlers, marked by a Deprecation header.
+  bool versioned = false;
+  if (!segments.empty() && segments[0] == "api") {
+    if (segments.size() < 2 || segments[1] != "v1") {
+      return ErrorResponse(Status::NotFound(
+          "unknown API version; expected /api/v1/..."));
+    }
+    segments.erase(segments.begin(), segments.begin() + 2);
+    versioned = true;
+  }
+  HttpResponse response = RouteV1(segments, request);
+  if (!versioned) response.headers["Deprecation"] = "true";
+  return response;
+}
+
+HttpResponse ApiServer::RouteV1(const std::vector<std::string>& segments,
+                                const HttpRequest& request) {
   if (segments.empty()) {
     return ErrorResponse(Status::NotFound("empty path"));
   }
@@ -181,11 +248,13 @@ HttpResponse ApiServer::Route(const HttpRequest& request) {
 
   // /metrics — Prometheus-style exposition of the process registry.
   if (segments[0] == "metrics" && segments.size() == 1) {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
     return TextResponse(MetricsRegistry::Default().RenderText());
   }
 
   // /trace/<run-id> — Chrome trace JSON of a past POST .../run.
   if (segments[0] == "trace") {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
     if (segments.size() != 2) {
       return ErrorResponse(Status::NotFound("expected /trace/<run-id>"));
     }
@@ -201,19 +270,27 @@ HttpResponse ApiServer::Route(const HttpRequest& request) {
   }
 
   if (segments[0] == "shared") {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    Result<size_t> limit = QuerySize(request, "limit", 0);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
+    std::vector<SharedDataRegistry::Entry> entries;
+    if (shared_ != nullptr) entries = shared_->List();
     JsonValue list = JsonValue::MakeArray();
-    if (shared_ != nullptr) {
-      for (const SharedDataRegistry::Entry& entry : shared_->List()) {
-        JsonValue item = JsonValue::MakeObject();
-        item.Set("name", JsonValue::MakeString(entry.name));
-        item.Set("publisher", JsonValue::MakeString(entry.publisher));
-        item.Set("rows", JsonValue::MakeNumber(
-                             static_cast<double>(entry.num_rows)));
-        list.Append(std::move(item));
-      }
+    size_t end = entries.size();
+    if (*limit > 0) end = std::min(end, *offset + *limit);
+    for (size_t i = *offset; i < end; ++i) {
+      JsonValue item = JsonValue::MakeObject();
+      item.Set("name", JsonValue::MakeString(entries[i].name));
+      item.Set("publisher", JsonValue::MakeString(entries[i].publisher));
+      item.Set("rows", JsonValue::MakeNumber(
+                           static_cast<double>(entries[i].num_rows)));
+      list.Append(std::move(item));
     }
     JsonValue body = JsonValue::MakeObject();
     body.Set("shared", std::move(list));
+    AddPageMeta(&body, *limit, *offset, entries.size());
     return JsonResponse(200, std::move(body));
   }
 
@@ -227,25 +304,28 @@ HttpResponse ApiServer::Route(const HttpRequest& request) {
 HttpResponse ApiServer::HandleDashboards(
     const std::vector<std::string>& segments, const HttpRequest& request) {
   if (segments.size() == 1) {
-    JsonValue list = JsonValue::MakeArray();
-    for (const std::string& name : DashboardNames()) {
-      list.Append(JsonValue::MakeString(name));
-    }
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    Result<size_t> limit = QuerySize(request, "limit", 0);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
+    std::vector<std::string> names = DashboardNames();
     JsonValue body = JsonValue::MakeObject();
-    body.Set("dashboards", std::move(list));
+    body.Set("dashboards", NamesPage(names, *limit, *offset));
+    AddPageMeta(&body, *limit, *offset, names.size());
     return JsonResponse(200, std::move(body));
   }
   const std::string& name = segments[1];
-  if (segments.size() == 3 && segments[2] == "create" &&
-      request.method == "POST") {
+  if (segments.size() == 3 && segments[2] == "create") {
+    if (request.method != "POST") return MethodNotAllowed(request, "POST");
     Status created = CreateDashboard(name, request.body, Dashboard::Options());
     if (!created.ok()) return ErrorResponse(created);
     JsonValue body = JsonValue::MakeObject();
     body.Set("created", JsonValue::MakeString(name));
     return JsonResponse(201, std::move(body));
   }
-  if (segments.size() == 3 && segments[2] == "run" &&
-      request.method == "POST") {
+  if (segments.size() == 3 && segments[2] == "run") {
+    if (request.method != "POST") return MethodNotAllowed(request, "POST");
     Result<Dashboard*> dashboard = GetDashboard(name);
     if (!dashboard.ok()) return ErrorResponse(dashboard.status());
     Tracer tracer;
@@ -261,7 +341,8 @@ HttpResponse ApiServer::HandleDashboards(
     body.Set("trace_id", JsonValue::MakeString(run_id));
     return JsonResponse(200, std::move(body));
   }
-  if (segments.size() == 2 && request.method == "GET") {
+  if (segments.size() == 2) {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
     Result<Dashboard*> dashboard = GetDashboard(name);
     if (!dashboard.ok()) return ErrorResponse(dashboard.status());
     return TextResponse((*dashboard)->flow_file().ToText());
@@ -275,13 +356,15 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
   if (segments.empty()) {
     return ErrorResponse(Status::NotFound("unknown route"));
   }
+  if (request.method != "GET") return MethodNotAllowed(request, "GET");
 
   // /<dash>/explore/<dataset> — the data explorer's tabular view.
   if (segments[0] == "explore" && segments.size() == 2) {
     Result<TablePtr> table = dashboard->EndpointData(segments[1]);
     if (!table.ok()) return ErrorResponse(table.status());
-    size_t limit = QuerySize(request, "limit", 20);
-    return TextResponse((*table)->ToDisplayString(limit));
+    Result<size_t> limit = QuerySize(request, "limit", 20);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    return TextResponse((*table)->ToDisplayString(*limit));
   }
 
   if (segments[0] != "ds") {
@@ -290,12 +373,14 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
 
   // /<dash>/ds — list endpoint data objects (fig. 27).
   if (segments.size() == 1) {
-    JsonValue list = JsonValue::MakeArray();
-    for (const std::string& endpoint : dashboard->plan().endpoints) {
-      list.Append(JsonValue::MakeString(endpoint));
-    }
+    Result<size_t> limit = QuerySize(request, "limit", 0);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
+    const std::vector<std::string>& endpoints = dashboard->plan().endpoints;
     JsonValue body = JsonValue::MakeObject();
-    body.Set("ds", std::move(list));
+    body.Set("ds", NamesPage(endpoints, *limit, *offset));
+    AddPageMeta(&body, *limit, *offset, endpoints.size());
     return JsonResponse(200, std::move(body));
   }
 
@@ -309,33 +394,64 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
   }
   Result<TablePtr> table = dashboard->EndpointData(dataset);
   if (!table.ok()) return ErrorResponse(table.status());
+  TablePtr current = *table;
 
-  // /<dash>/ds/<dataset> — browse rows (fig. 28).
-  if (segments.size() == 2) {
-    size_t limit = QuerySize(request, "limit", 100);
-    size_t offset = QuerySize(request, "offset", 0);
+  // Chained /filter/<col>/<op>/<value> segments narrow the dataset before
+  // browsing or grouping (extended fig. 30 grammar). Values arrive
+  // percent-encoded in the path; literals are type-inferred so numeric
+  // comparisons work against numeric columns.
+  size_t next = 2;
+  while (next < segments.size() && segments[next] == "filter") {
+    if (segments.size() - next < 4) {
+      return ErrorResponse(Status::InvalidArgument(
+          "filter needs /filter/<column>/<op>/<value>"));
+    }
+    const std::string column = PercentDecode(segments[next + 1]);
+    Result<FilterCompareOp::Cmp> cmp =
+        FilterCompareOp::ParseCmp(segments[next + 2]);
+    if (!cmp.ok()) return ErrorResponse(cmp.status());
+    Value literal = Value::Infer(PercentDecode(segments[next + 3]));
+    FilterCompareOp filter(column, *cmp, std::move(literal));
+    Result<TablePtr> filtered =
+        filter.Execute({current}, dashboard->exec_context());
+    if (!filtered.ok()) return ErrorResponse(filtered.status());
+    current = std::move(*filtered);
+    next += 4;
+  }
+
+  // /<dash>/ds/<dataset>[/filter...] — browse rows (fig. 28).
+  if (next == segments.size()) {
+    Result<size_t> limit = QuerySize(request, "limit", 100);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
     JsonValue body = JsonValue::MakeObject();
     body.Set("name", JsonValue::MakeString(dataset));
-    body.Set("rows", TableToJson(**table, limit, offset));
-    body.Set("total_rows", JsonValue::MakeNumber(
-                               static_cast<double>((*table)->num_rows())));
+    body.Set("rows", TableToJson(*current, *limit, *offset));
+    AddPageMeta(&body, *limit, *offset, current->num_rows());
     return JsonResponse(200, std::move(body));
   }
 
-  // /<dash>/ds/<dataset>/groupby/<col>/<agg>/<col> — ad-hoc query
-  // (fig. 30's simplified query language).
-  if (segments.size() == 6 && segments[2] == "groupby") {
-    const std::string& group_col = segments[3];
-    const std::string& agg_fn = segments[4];
-    const std::string& agg_col = segments[5];
+  // .../groupby/<col>/<agg>/<col> — ad-hoc query (fig. 30's simplified
+  // query language), over the filtered rows.
+  if (segments.size() == next + 4 && segments[next] == "groupby") {
+    const std::string group_col = PercentDecode(segments[next + 1]);
+    const std::string& agg_fn = segments[next + 2];
+    const std::string agg_col = PercentDecode(segments[next + 3]);
     Result<TableOperatorPtr> groupby = GroupByOp::Create(
         {group_col}, {AggregateSpec{agg_fn, agg_col,
                                     agg_fn + "_" + agg_col}});
     if (!groupby.ok()) return ErrorResponse(groupby.status());
-    Result<TablePtr> result = (*groupby)->Execute({*table});
+    Result<TablePtr> result =
+        (*groupby)->Execute({current}, dashboard->exec_context());
     if (!result.ok()) return ErrorResponse(result.status());
+    Result<size_t> limit = QuerySize(request, "limit", 0);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
     JsonValue body = JsonValue::MakeObject();
-    body.Set("rows", TableToJson(**result));
+    body.Set("rows", TableToJson(**result, *limit, *offset));
+    AddPageMeta(&body, *limit, *offset, (*result)->num_rows());
     return JsonResponse(200, std::move(body));
   }
 

@@ -25,7 +25,10 @@ struct HttpRequest {
   std::map<std::string, std::string> query;
   std::string body;
 
-  /// Parses "path?k=v&k2=v2" into path + query.
+  /// Parses "path?k=v&k2=v2" into path + query. Query keys and values are
+  /// percent-decoded ("New%20York" and "New+York" both arrive as
+  /// "New York"); the path is left encoded so segment boundaries survive,
+  /// and routes decode individual segments as needed.
   static HttpRequest Get(const std::string& url);
   static HttpRequest Post(const std::string& url, std::string body);
 };
@@ -34,23 +37,43 @@ struct HttpResponse {
   int status = 200;
   std::string content_type = "application/json";
   std::string body;
+  /// Extra response headers: `Allow` on 405s, `Deprecation` on legacy
+  /// (unversioned) route aliases.
+  std::map<std::string, std::string> headers;
 
   bool ok() const { return status >= 200 && status < 300; }
 };
 
-/// The platform's REST API surface (section 4.3.1 / 4.4):
+/// The platform's REST API surface (section 4.3.1 / 4.4). Canonical
+/// routes live under the versioned `/api/v1` prefix:
 ///
-///   GET  /dashboards                                  list dashboards
-///   POST /dashboards/<name>/create                    body = flow file
-///   GET  /dashboards/<name>                           flow-file text
-///   POST /dashboards/<name>/run                       execute pipeline
-///   GET  /<dash>/ds                                   endpoint names
-///   GET  /<dash>/ds/<dataset>?limit=&offset=          browse rows
-///   GET  /<dash>/ds/<dataset>/groupby/<col>/<agg>/<col>   ad-hoc query
-///   GET  /<dash>/explore/<dataset>                    data explorer (text)
-///   GET  /shared                                      shared data objects
-///   GET  /metrics                                     Prometheus-style text
-///   GET  /trace/<run-id>                              Chrome trace JSON
+///   GET  /api/v1/dashboards                               list dashboards
+///   POST /api/v1/dashboards/<name>/create                 body = flow file
+///   GET  /api/v1/dashboards/<name>                        flow-file text
+///   POST /api/v1/dashboards/<name>/run                    execute pipeline
+///   GET  /api/v1/<dash>/ds                                endpoint names
+///   GET  /api/v1/<dash>/ds/<dataset>?limit=&offset=       browse rows
+///   GET  /api/v1/<dash>/ds/<dataset>[/filter/<col>/<op>/<value>]...
+///                                                         filtered browse
+///   GET  /api/v1/<dash>/ds/<dataset>[/filter/...].../groupby/<col>/<agg>/<col>
+///                                                         ad-hoc query
+///   GET  /api/v1/<dash>/explore/<dataset>                 data explorer
+///   GET  /api/v1/shared                                   shared objects
+///   GET  /api/v1/metrics                                  Prometheus text
+///   GET  /api/v1/trace/<run-id>                           Chrome trace JSON
+///
+/// The same paths without the `/api/v1` prefix keep working as legacy
+/// aliases; their responses carry a `Deprecation: true` header. Contract
+/// shared by every route:
+///   - wrong method  -> 405 with an `Allow` header listing valid methods;
+///   - every error   -> JSON `{"error": <code>, "message": <detail>}`;
+///   - collections   -> `limit`, `offset`, `next_offset` (null on the
+///     last page), and `total_rows` pagination metadata; malformed or
+///     negative `limit`/`offset` query values are a 400, not a silent
+///     fallback;
+///   - `/filter/<col>/<op>/<value>` segments (op: eq|ne|lt|le|gt|ge|
+///     contains, value percent-encoded) chain left-to-right ahead of an
+///     optional `groupby`.
 ///
 /// Every POST .../run records a fresh trace; the response carries its
 /// `trace_id` for retrieval via /trace/<run-id>. Note /metrics and
@@ -81,7 +104,11 @@ class ApiServer {
 
  private:
   /// The actual router; Handle() wraps it with request accounting.
+  /// Route() strips an optional /api/v1 prefix (stamping legacy paths
+  /// with a Deprecation header) and dispatches to RouteV1.
   HttpResponse Route(const HttpRequest& request);
+  HttpResponse RouteV1(const std::vector<std::string>& segments,
+                       const HttpRequest& request);
   HttpResponse HandleDashboards(const std::vector<std::string>& segments,
                                 const HttpRequest& request);
   HttpResponse HandleDatasets(Dashboard* dashboard,

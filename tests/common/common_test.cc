@@ -97,6 +97,22 @@ TEST(StringUtilTest, JoinRoundTripsSplit) {
   EXPECT_EQ(Split(Join(parts, ","), ','), parts);
 }
 
+TEST(StringUtilTest, PercentDecode) {
+  EXPECT_EQ(PercentDecode("New%20York"), "New York");
+  EXPECT_EQ(PercentDecode("New+York"), "New York");
+  EXPECT_EQ(PercentDecode("a%2Fb%3Dc%26d"), "a/b=c&d");
+  EXPECT_EQ(PercentDecode("%41%62%63"), "Abc");
+  EXPECT_EQ(PercentDecode("plain"), "plain");
+  EXPECT_EQ(PercentDecode(""), "");
+}
+
+TEST(StringUtilTest, PercentDecodeMalformedEscapesPassThrough) {
+  EXPECT_EQ(PercentDecode("100%"), "100%");
+  EXPECT_EQ(PercentDecode("%2"), "%2");
+  EXPECT_EQ(PercentDecode("%zz"), "%zz");
+  EXPECT_EQ(PercentDecode("%%41"), "%A");
+}
+
 TEST(StringUtilTest, CaseConversion) {
   EXPECT_EQ(ToLower("MiXeD"), "mixed");
   EXPECT_EQ(ToUpper("MiXeD"), "MIXED");

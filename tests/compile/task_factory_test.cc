@@ -257,8 +257,10 @@ TEST(TaskFactoryTest, CustomTaskTypeViaRegistry) {
                           const std::vector<Schema>& in) const override {
                         return in[0];
                       }
+                      using TableOperator::Execute;
                       Result<TablePtr> Execute(
-                          const std::vector<TablePtr>& in) const override {
+                          const std::vector<TablePtr>& in,
+                          const ExecContext&) const override {
                         TableBuilder b(in[0]->schema());
                         for (size_t r = 0; r < in[0]->num_rows(); ++r) {
                           b.AppendRowFrom(*in[0], r);

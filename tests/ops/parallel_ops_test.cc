@@ -1,0 +1,258 @@
+// Morsel-parallel determinism tests: every operator family must produce
+// byte-identical output whether it runs sequentially (no pool, one
+// morsel) or morsel-parallel (worker pool, many small morsels). The
+// parallel context uses morsel_rows far below the table size so the
+// morsel machinery is genuinely exercised, and a real ThreadPool so
+// merges happen across threads.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "common/thread_pool.h"
+#include "ops/exec_context.h"
+#include "ops/filter.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "ops/map_ops.h"
+#include "ops/mapreduce.h"
+#include "ops/project.h"
+#include "ops/sort_ops.h"
+
+namespace shareinsights {
+namespace {
+
+// Serializes every cell so tables compare exactly (including NaN, which
+// Value::operator== would not treat as self-equal).
+std::string TableToText(const Table& table) {
+  std::string out = table.schema().ToString();
+  out += "\n";
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      out += table.at(r, c).ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+class ParallelOpsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    pool_ = std::make_unique<ThreadPool>(4);
+    parallel_.pool = pool_.get();
+    parallel_.morsel_rows = 64;  // ~16 morsels over 1000 rows
+  }
+
+  // Runs `op` with the default (sequential, single-morsel) context and
+  // with the small-morsel parallel context; asserts identical bytes.
+  void ExpectDeterministic(const TableOperator& op,
+                           const std::vector<TablePtr>& inputs) {
+    Result<TablePtr> seq = op.Execute(inputs);
+    ASSERT_TRUE(seq.ok()) << op.name() << ": " << seq.status();
+    Result<TablePtr> par = op.Execute(inputs, parallel_);
+    ASSERT_TRUE(par.ok()) << op.name() << ": " << par.status();
+    EXPECT_EQ(TableToText(**seq), TableToText(**par)) << op.name();
+  }
+
+  // 1000 rows, deterministic LCG, 10 groups, doubles with periodic NaN.
+  static TablePtr BigTable() {
+    TableBuilder builder(Schema({Field{"id", ValueType::kInt64},
+                                 Field{"grp", ValueType::kString},
+                                 Field{"val", ValueType::kDouble},
+                                 Field{"text", ValueType::kString}}));
+    uint64_t state = 42;
+    auto next = [&state]() {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      return state >> 33;
+    };
+    for (int64_t i = 0; i < 1000; ++i) {
+      uint64_t r = next();
+      double val = (i % 97 == 0) ? std::nan("")
+                                 : static_cast<double>(r % 1000) / 8.0;
+      std::string grp = "g" + std::to_string(r % 10);
+      std::string text = "alpha beta g" + std::to_string(r % 7);
+      (void)builder.AppendRow(
+          {Value(i), Value(grp), Value(val), Value(text)});
+    }
+    return *builder.Finish();
+  }
+
+  static TablePtr EmptyTable() {
+    TableBuilder builder(Schema({Field{"id", ValueType::kInt64},
+                                 Field{"grp", ValueType::kString},
+                                 Field{"val", ValueType::kDouble},
+                                 Field{"text", ValueType::kString}}));
+    return *builder.Finish();
+  }
+
+  std::unique_ptr<ThreadPool> pool_;
+  ExecContext parallel_;
+};
+
+TEST_F(ParallelOpsTest, FilterCompare) {
+  FilterCompareOp op("val", FilterCompareOp::Cmp::kGt, Value(60.0));
+  ExpectDeterministic(op, {BigTable()});
+  ExpectDeterministic(op, {EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, FilterExpression) {
+  auto op = FilterExpressionOp::Create("id % 3 == 0");
+  ASSERT_TRUE(op.ok()) << op.status();
+  ExpectDeterministic(**op, {BigTable()});
+}
+
+TEST_F(ParallelOpsTest, FilterValues) {
+  FilterValuesOp op({{"grp", {Value("g1"), Value("g4")}, false}});
+  ExpectDeterministic(op, {BigTable()});
+}
+
+TEST_F(ParallelOpsTest, Project) {
+  ProjectOp op({{"val", "v"}, {"grp", "g"}});
+  ExpectDeterministic(op, {BigTable()});
+  ExpectDeterministic(op, {EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, MapScalar) {
+  MapScalarOp op(
+      "double_it",
+      [](const Value& input, const std::map<std::string, std::string>&)
+          -> Result<Value> { return Value(input.AsDouble() * 2.0); },
+      "val", "val2", {});
+  ExpectDeterministic(op, {BigTable()});
+}
+
+TEST_F(ParallelOpsTest, MapExtractWords) {
+  MapExtractWordsOp op("text", "word", 3);
+  ExpectDeterministic(op, {BigTable()});
+  ExpectDeterministic(op, {EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, GroupbyAllAggregatesWithNaN) {
+  auto op = GroupByOp::Create(
+      {"grp"}, {AggregateSpec{"count", "", "n"},
+                AggregateSpec{"sum", "val", "sum_val"},
+                AggregateSpec{"avg", "val", "avg_val"},
+                AggregateSpec{"min", "val", "min_val"},
+                AggregateSpec{"max", "val", "max_val"}});
+  ASSERT_TRUE(op.ok()) << op.status();
+  ExpectDeterministic(**op, {BigTable()});
+  ExpectDeterministic(**op, {EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, GroupbyOrderedByAggregate) {
+  auto op = GroupByOp::Create({"grp"}, {AggregateSpec{"sum", "val", "s"}},
+                              /*orderby_aggregates=*/true);
+  ASSERT_TRUE(op.ok()) << op.status();
+  ExpectDeterministic(**op, {BigTable()});
+}
+
+TEST_F(ParallelOpsTest, JoinInnerAndOuter) {
+  // Right side: only half the groups, so outer joins exercise the
+  // unmatched paths.
+  TableBuilder builder(Schema({Field{"grp", ValueType::kString},
+                               Field{"label", ValueType::kString}}));
+  for (int g = 0; g < 5; ++g) {
+    (void)builder.AppendRow(
+        {Value("g" + std::to_string(g)), Value("label" + std::to_string(g))});
+  }
+  // Duplicate build key: join must emit every pair, in scan order.
+  (void)builder.AppendRow({Value("g1"), Value("label1b")});
+  TablePtr right = *builder.Finish();
+
+  for (JoinKind kind : {JoinKind::kInner, JoinKind::kLeftOuter,
+                        JoinKind::kRightOuter, JoinKind::kFullOuter}) {
+    auto op = JoinOp::Create({"grp"}, {"grp"}, kind, {});
+    ASSERT_TRUE(op.ok()) << op.status();
+    ExpectDeterministic(**op, {BigTable(), right});
+    ExpectDeterministic(**op, {EmptyTable(), right});
+  }
+}
+
+TEST_F(ParallelOpsTest, SortIsStableAcrossThreadCounts) {
+  // "grp" has only 10 distinct values over 1000 rows: heavy ties, so any
+  // instability in the parallel merge would reorder rows.
+  SortOp op({SortKey{"grp", false}, SortKey{"val", true}});
+  ExpectDeterministic(op, {BigTable()});
+  ExpectDeterministic(op, {EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, TopNPerGroup) {
+  TopNOp op({"grp"}, {SortKey{"val", true}}, 5);
+  ExpectDeterministic(op, {BigTable()});
+}
+
+TEST_F(ParallelOpsTest, Distinct) {
+  DistinctOp op({"grp"});
+  ExpectDeterministic(op, {BigTable()});
+  ExpectDeterministic(op, {EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, LimitWithOffset) {
+  LimitOp op(100, 37);
+  ExpectDeterministic(op, {BigTable()});
+}
+
+TEST_F(ParallelOpsTest, Union) {
+  UnionOp op(3);
+  ExpectDeterministic(op, {BigTable(), BigTable(), EmptyTable()});
+}
+
+TEST_F(ParallelOpsTest, MapReduceWordCount) {
+  NativeMapReduceOp op(
+      "wordcount",
+      Schema({Field{"word", ValueType::kString},
+              Field{"n", ValueType::kInt64}}),
+      [](const std::vector<Value>& row, const Schema& schema,
+         std::vector<std::pair<Value, std::vector<Value>>>* emit) -> Status {
+        size_t text_idx = *schema.RequireIndex("text");
+        for (const std::string& word :
+             ExtractWords(row[text_idx].ToString())) {
+          emit->push_back({Value(word), {Value(static_cast<int64_t>(1))}});
+        }
+        return Status();
+      },
+      [](const Value& key, const std::vector<std::vector<Value>>& records,
+         std::vector<std::vector<Value>>* emit) -> Status {
+        emit->push_back({key, Value(static_cast<int64_t>(records.size()))});
+        return Status();
+      });
+  ExpectDeterministic(op, {BigTable()});
+  ExpectDeterministic(op, {EmptyTable()});
+}
+
+// Thread-count sweep: the same context shape with 1, 2, and 8 workers
+// must agree with the no-pool baseline bit for bit.
+TEST_F(ParallelOpsTest, ThreadCountSweepIsByteIdentical) {
+  TablePtr input = BigTable();
+  auto groupby = GroupByOp::Create(
+      {"grp"}, {AggregateSpec{"sum", "val", "s"},
+                AggregateSpec{"count", "", "n"}});
+  ASSERT_TRUE(groupby.ok());
+
+  ExecContext baseline;
+  baseline.morsel_rows = 64;
+  Result<TablePtr> expected = (*groupby)->Execute({input}, baseline);
+  ASSERT_TRUE(expected.ok());
+  std::string expected_text = TableToText(**expected);
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    ThreadPool pool(threads);
+    ExecContext ctx;
+    ctx.pool = &pool;
+    ctx.morsel_rows = 64;
+    Result<TablePtr> got = (*groupby)->Execute({input}, ctx);
+    ASSERT_TRUE(got.ok()) << got.status();
+    EXPECT_EQ(TableToText(**got), expected_text)
+        << "threads=" << threads;
+  }
+}
+
+}  // namespace
+}  // namespace shareinsights

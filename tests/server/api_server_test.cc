@@ -185,6 +185,158 @@ TEST_F(ApiServerTest, UnknownTraceIs404) {
   EXPECT_EQ(server_.Get("/trace").status, 404);
 }
 
+// --- versioned API surface ------------------------------------------
+
+TEST_F(ApiServerTest, ApiV1RoutesMirrorLegacyPaths) {
+  EXPECT_EQ(server_.Get("/api/v1/dashboards").status, 200);
+  EXPECT_EQ(server_.Get("/api/v1/shop/ds").status, 200);
+  EXPECT_EQ(server_.Get("/api/v1/shop/ds/items").status, 200);
+  EXPECT_EQ(server_.Get("/api/v1/shared").status, 200);
+  EXPECT_EQ(server_.Get("/api/v1/metrics").status, 200);
+  HttpResponse run = server_.Post("/api/v1/dashboards/shop/run", "");
+  EXPECT_EQ(run.status, 200);
+  EXPECT_NE(run.body.find("trace_id"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, UnknownApiVersionIs404) {
+  EXPECT_EQ(server_.Get("/api/v2/dashboards").status, 404);
+  EXPECT_EQ(server_.Get("/api").status, 404);
+}
+
+TEST_F(ApiServerTest, LegacyPathsCarryDeprecationHeader) {
+  HttpResponse legacy = server_.Get("/dashboards");
+  EXPECT_EQ(legacy.status, 200);
+  ASSERT_EQ(legacy.headers.count("Deprecation"), 1u);
+  EXPECT_EQ(legacy.headers.at("Deprecation"), "true");
+  HttpResponse versioned = server_.Get("/api/v1/dashboards");
+  EXPECT_EQ(versioned.headers.count("Deprecation"), 0u);
+}
+
+TEST_F(ApiServerTest, WrongMethodIs405WithAllowHeader) {
+  HttpResponse response = server_.Post("/api/v1/dashboards", "");
+  EXPECT_EQ(response.status, 405);
+  ASSERT_EQ(response.headers.count("Allow"), 1u);
+  EXPECT_EQ(response.headers.at("Allow"), "GET");
+  EXPECT_NE(response.body.find("\"error\""), std::string::npos);
+  EXPECT_NE(response.body.find("MethodNotAllowed"), std::string::npos);
+
+  response = server_.Get("/api/v1/dashboards/shop/run");
+  EXPECT_EQ(response.status, 405);
+  EXPECT_EQ(response.headers.at("Allow"), "POST");
+
+  response = server_.Post("/api/v1/shop/ds/items", "");
+  EXPECT_EQ(response.status, 405);
+  EXPECT_EQ(response.headers.at("Allow"), "GET");
+
+  response = server_.Post("/api/v1/metrics", "");
+  EXPECT_EQ(response.status, 405);
+}
+
+TEST_F(ApiServerTest, BrowseCarriesPaginationEnvelope) {
+  HttpResponse response = server_.Get("/api/v1/shop/ds/items?limit=2");
+  EXPECT_EQ(response.status, 200);
+  Result<JsonValue> body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  EXPECT_EQ(body->Find("limit")->number_value(), 2);
+  EXPECT_EQ(body->Find("offset")->number_value(), 0);
+  EXPECT_EQ(body->Find("next_offset")->number_value(), 2);
+  EXPECT_EQ(body->Find("total_rows")->number_value(), 3);
+
+  // Last page: next_offset is null.
+  response = server_.Get("/api/v1/shop/ds/items?limit=2&offset=2");
+  body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  ASSERT_NE(body->Find("next_offset"), nullptr);
+  EXPECT_TRUE(body->Find("next_offset")->is_null());
+}
+
+TEST_F(ApiServerTest, CollectionListsCarryPaginationEnvelope) {
+  for (const std::string& path :
+       {std::string("/api/v1/dashboards"), std::string("/api/v1/shop/ds"),
+        std::string("/api/v1/shared")}) {
+    HttpResponse response = server_.Get(path);
+    ASSERT_EQ(response.status, 200) << path;
+    Result<JsonValue> body = ParseJson(response.body);
+    ASSERT_TRUE(body.ok()) << path;
+    EXPECT_NE(body->Find("limit"), nullptr) << path;
+    EXPECT_NE(body->Find("offset"), nullptr) << path;
+    EXPECT_NE(body->Find("next_offset"), nullptr) << path;
+    EXPECT_NE(body->Find("total_rows"), nullptr) << path;
+  }
+}
+
+TEST_F(ApiServerTest, MalformedLimitOrOffsetIs400) {
+  for (const std::string& url :
+       {std::string("/api/v1/shop/ds/items?limit=abc"),
+        std::string("/api/v1/shop/ds/items?offset=-3"),
+        std::string("/api/v1/shop/ds/items?limit=2x"),
+        std::string("/shop/ds/items?limit=abc")}) {
+    HttpResponse response = server_.Get(url);
+    EXPECT_EQ(response.status, 400) << url;
+    EXPECT_NE(response.body.find("\"error\""), std::string::npos) << url;
+    EXPECT_NE(response.body.find("\"message\""), std::string::npos) << url;
+  }
+}
+
+TEST_F(ApiServerTest, ChainedPathFiltersNarrowBrowse) {
+  HttpResponse response =
+      server_.Get("/api/v1/shop/ds/items/filter/category/eq/fruit");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("apple"), std::string::npos);
+  EXPECT_NE(response.body.find("pear"), std::string::npos);
+  EXPECT_EQ(response.body.find("hammer"), std::string::npos);
+  Result<JsonValue> body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("total_rows")->number_value(), 2);
+
+  // Two chained filters, numeric comparison on price.
+  response = server_.Get(
+      "/api/v1/shop/ds/items/filter/category/eq/fruit/filter/price/gt/3");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("pear"), std::string::npos);
+  EXPECT_EQ(response.body.find("apple"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, ChainedFiltersComposeWithGroupby) {
+  HttpResponse response = server_.Get(
+      "/api/v1/shop/ds/items/filter/price/lt/10/groupby/category/sum/price");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("\"sum_price\": 7"), std::string::npos);
+  EXPECT_EQ(response.body.find("tool"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, FilterValuesArePercentDecoded) {
+  // "fruit" spelled with an encoded character still matches.
+  HttpResponse response =
+      server_.Get("/api/v1/shop/ds/items/filter/name/eq/ha%6Dmer");
+  EXPECT_EQ(response.status, 200);
+  EXPECT_NE(response.body.find("hammer"), std::string::npos);
+  EXPECT_EQ(response.body.find("apple"), std::string::npos);
+}
+
+TEST_F(ApiServerTest, MalformedFilterIs400) {
+  EXPECT_EQ(
+      server_.Get("/api/v1/shop/ds/items/filter/category/eq").status, 400);
+  EXPECT_EQ(
+      server_.Get("/api/v1/shop/ds/items/filter/category/between/1").status,
+      400);
+}
+
+TEST_F(ApiServerTest, UnknownFilterColumnIsSchemaError400) {
+  HttpResponse response =
+      server_.Get("/api/v1/shop/ds/items/filter/nope/eq/x");
+  EXPECT_EQ(response.status, 400);
+  EXPECT_NE(response.body.find("\"message\""), std::string::npos);
+}
+
+TEST(HttpRequestTest, PercentDecodesQueryKeysAndValues) {
+  HttpRequest request =
+      HttpRequest::Get("/a?city=New%20York&state=New+Jersey&odd%20key=1");
+  EXPECT_EQ(request.query.at("city"), "New York");
+  EXPECT_EQ(request.query.at("state"), "New Jersey");
+  EXPECT_EQ(request.query.at("odd key"), "1");
+}
+
 TEST(HttpRequestTest, ParsesQueryParameters) {
   HttpRequest request = HttpRequest::Get("/a/b?x=1&y=two&flag");
   EXPECT_EQ(request.path, "/a/b");
