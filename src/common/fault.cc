@@ -1,0 +1,79 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <thread>
+
+namespace shareinsights {
+
+FaultInjector& FaultInjector::Get() {
+  static FaultInjector* injector = new FaultInjector;
+  return *injector;
+}
+
+void FaultInjector::Arm(const std::string& site, FaultSpec spec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = sites_.insert_or_assign(
+      site, SiteState{spec, Rng(spec.seed), 0, 0});
+  (void)it;
+  if (inserted) armed_sites_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm(const std::string& site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sites_.erase(site) > 0) {
+    armed_sites_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  armed_sites_.fetch_sub(static_cast<int>(sites_.size()),
+                         std::memory_order_relaxed);
+  sites_.clear();
+  total_fires_.store(0);
+}
+
+std::optional<Status> FaultInjector::Check(const std::string& site) {
+  if (!enabled()) return std::nullopt;
+  int latency_ms = 0;
+  std::optional<Status> injected;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sites_.find(site);
+    if (it == sites_.end()) return std::nullopt;
+    SiteState& state = it->second;
+    latency_ms = state.spec.latency_ms;
+    int64_t pass = state.passes++;
+    bool eligible = pass >= state.spec.skip_first &&
+                    (state.spec.max_fires < 0 ||
+                     state.fires < state.spec.max_fires);
+    // Draw even when ineligible so the fire pattern depends only on the
+    // seed and pass index, not on skip/max bookkeeping.
+    bool fired = state.rng.NextDouble() < state.spec.probability;
+    if (eligible && fired) {
+      ++state.fires;
+      total_fires_.fetch_add(1);
+      injected = state.spec.status.WithContext("fault injected at '" + site +
+                                               "' (pass " +
+                                               std::to_string(pass) + ")");
+    }
+  }
+  if (latency_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+  }
+  return injected;
+}
+
+int64_t FaultInjector::fires(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.fires;
+}
+
+int64_t FaultInjector::passes(const std::string& site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(site);
+  return it == sites_.end() ? 0 : it->second.passes;
+}
+
+}  // namespace shareinsights

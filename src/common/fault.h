@@ -1,0 +1,102 @@
+#ifndef SHAREINSIGHTS_COMMON_FAULT_H_
+#define SHAREINSIGHTS_COMMON_FAULT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace shareinsights {
+
+/// Well-known injection sites. Call sites pass these names to
+/// FaultInjector::Check; tests arm them to exercise failure paths.
+///   io.fetch       - connector payload fetch (LoadDataObject)
+///   io.parse       - payload parse into a Table (LoadDataObject)
+///   exec.node      - one task of one flow in the executor
+///   server.request - ApiServer::Handle, before routing
+inline constexpr const char* kFaultIoFetch = "io.fetch";
+inline constexpr const char* kFaultIoParse = "io.parse";
+inline constexpr const char* kFaultExecNode = "exec.node";
+inline constexpr const char* kFaultServerRequest = "server.request";
+
+/// Configuration of one armed injection site. Firing is driven by a
+/// per-site deterministic Rng (splitmix64, see common/rng.h), so a given
+/// (seed, call sequence) always injects the same faults — the property
+/// the byte-identical retry tests rely on.
+struct FaultSpec {
+  /// Chance in [0,1] that an eligible pass through the site fires.
+  double probability = 1.0;
+  /// Let the first N passes through unharmed before firing is possible.
+  int skip_first = 0;
+  /// Stop firing after this many injected faults (-1 = unlimited).
+  int max_fires = -1;
+  /// Status returned by the site when the fault fires. IoError by
+  /// default, which the retry layer classifies as transient.
+  Status status = Status::IoError("injected fault");
+  /// Extra latency applied to every pass (fired or not), simulating a
+  /// slow dependency. Keep small in tests.
+  int latency_ms = 0;
+  /// Seed of the per-site Rng.
+  uint64_t seed = 0;
+};
+
+/// Process-wide, thread-safe fault injection registry. Disarmed sites
+/// cost one relaxed atomic load, so production paths can call Check
+/// unconditionally.
+///
+/// Lives in common so every layer (io/exec/server) can consult it; the
+/// faults_injected_total metric is recorded by the call sites (common
+/// cannot depend on obs).
+class FaultInjector {
+ public:
+  /// The process-wide injector all built-in sites consult.
+  static FaultInjector& Get();
+
+  FaultInjector() = default;
+
+  /// Arms (or re-arms, resetting per-site counters) a named site.
+  void Arm(const std::string& site, FaultSpec spec);
+  /// Disarms one site; passes through it stop firing.
+  void Disarm(const std::string& site);
+  /// Disarms every site and zeroes all counters.
+  void Reset();
+
+  /// True when at least one site is armed (fast path).
+  bool enabled() const {
+    return armed_sites_.load(std::memory_order_relaxed) > 0;
+  }
+
+  /// Consults the site: returns the Status to inject when the fault
+  /// fires, nullopt to proceed normally. Applies the site's injected
+  /// latency on every pass while armed.
+  std::optional<Status> Check(const std::string& site);
+
+  /// Faults fired at one site / across all sites since Arm/Reset.
+  int64_t fires(const std::string& site) const;
+  int64_t total_fires() const { return total_fires_.load(); }
+  /// Passes through one site (fired or not) since it was armed.
+  int64_t passes(const std::string& site) const;
+
+ private:
+  struct SiteState {
+    FaultSpec spec;
+    Rng rng{0};
+    int64_t passes = 0;
+    int64_t fires = 0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, SiteState> sites_;
+  std::atomic<int> armed_sites_{0};
+  std::atomic<int64_t> total_fires_{0};
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_FAULT_H_

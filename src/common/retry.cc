@@ -1,0 +1,56 @@
+#include "common/retry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "common/rng.h"
+
+namespace shareinsights {
+
+bool IsRetryable(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double RetryPolicy::BackoffForRetry(int retry) const {
+  if (backoff_ms <= 0) return 0;
+  double value = backoff_ms;
+  for (int i = 0; i < retry; ++i) value *= backoff_multiplier;
+  return std::min(value, max_backoff_ms);
+}
+
+RetryState::RetryState(const RetryPolicy& policy)
+    : policy_(policy), jitter_state_(policy.jitter_seed) {}
+
+bool RetryState::ShouldRetryAfter(const Status& error, int attempts_made,
+                                  double elapsed_ms) {
+  if (!IsRetryable(error)) return false;
+  if (attempts_made >= policy_.max_attempts) return false;
+  if (policy_.deadline_ms > 0 && elapsed_ms >= policy_.deadline_ms) {
+    return false;
+  }
+  double backoff = policy_.BackoffForRetry(attempts_made - 1);
+  if (backoff > 0) {
+    // Jitter in [0.5, 1.0] of the exponential value, drawn from a
+    // dedicated Rng so sleep lengths are reproducible for a fixed seed.
+    Rng rng(jitter_state_);
+    jitter_state_ = rng.Next();
+    backoff *= 0.5 + 0.5 * rng.NextDouble();
+    // Never sleep past the deadline.
+    if (policy_.deadline_ms > 0) {
+      backoff = std::min(backoff, policy_.deadline_ms - elapsed_ms);
+    }
+    if (backoff > 0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(backoff));
+    }
+  }
+  return true;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,65 @@
+#ifndef SHAREINSIGHTS_COMMON_RETRY_H_
+#define SHAREINSIGHTS_COMMON_RETRY_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+
+namespace shareinsights {
+
+/// Transient failures worth retrying: I/O errors (flaky providers,
+/// injected faults) and internal errors. Permanent conditions —
+/// not-found, schema/parse problems, invalid arguments, an open circuit
+/// breaker (kUnavailable: retrying immediately is exactly what the
+/// breaker exists to prevent) — are not retryable.
+bool IsRetryable(const Status& status);
+
+/// Retry schedule for one fallible operation: bounded attempts,
+/// exponential backoff with deterministic jitter (common/rng.h
+/// splitmix64 seeded by `jitter_seed`), and an overall wall-clock
+/// deadline. Configured per data object from D-section params
+/// (`retry.max_attempts`, `retry.backoff_ms`, `retry.backoff_multiplier`,
+/// `retry.jitter_seed`, `timeout_ms`).
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retries).
+  int max_attempts = 1;
+  /// Backoff before the first retry; grows by `backoff_multiplier` per
+  /// further retry. 0 = retry immediately.
+  double backoff_ms = 0;
+  double backoff_multiplier = 2.0;
+  /// Cap on a single backoff sleep.
+  double max_backoff_ms = 10000;
+  /// Overall deadline across all attempts and backoffs (0 = none). Once
+  /// exceeded, the last error is returned as kDeadlineExceeded.
+  double deadline_ms = 0;
+  /// Seed of the jitter Rng; a fixed seed makes the backoff sequence
+  /// reproducible.
+  uint64_t jitter_seed = 0;
+
+  /// Backoff (ms) before retry number `retry` (0-based), jittered
+  /// uniformly in [0.5, 1.0] of the exponential value.
+  double BackoffForRetry(int retry) const;
+};
+
+/// Driver used by the retry loops: reports whether another attempt is
+/// allowed and how long to sleep before it. Stateless helpers so call
+/// sites keep their own attempt counters and clocks.
+class RetryState {
+ public:
+  explicit RetryState(const RetryPolicy& policy);
+
+  /// Decides whether `error` (from attempt number `attempts_made`,
+  /// 1-based) warrants another attempt within the policy's budget given
+  /// `elapsed_ms` already spent. When true, sleeps the jittered backoff
+  /// before returning.
+  bool ShouldRetryAfter(const Status& error, int attempts_made,
+                        double elapsed_ms);
+
+ private:
+  RetryPolicy policy_;
+  uint64_t jitter_state_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMMON_RETRY_H_

@@ -32,6 +32,10 @@ const char* StatusCodeName(StatusCode code) {
       return "permission_denied";
     case StatusCode::kConflict:
       return "conflict";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

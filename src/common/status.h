@@ -23,6 +23,8 @@ enum class StatusCode {
   kCycleError,
   kPermissionDenied,
   kConflict,
+  kUnavailable,
+  kDeadlineExceeded,
 };
 
 /// Returns the canonical lowercase name for a status code, e.g.
@@ -80,6 +82,12 @@ class Status {
   }
   static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

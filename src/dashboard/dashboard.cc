@@ -420,6 +420,7 @@ Result<ExecutionStats> Dashboard::Run(Tracer* tracer) {
   exec_options.shared = options_.shared_tables;
   exec_options.connectors = options_.connectors;
   exec_options.formats = options_.formats;
+  exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);
@@ -442,6 +443,7 @@ Result<ExecutionStats> Dashboard::RunIncremental(
   exec_options.shared = options_.shared_tables;
   exec_options.connectors = options_.connectors;
   exec_options.formats = options_.formats;
+  exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);

@@ -40,6 +40,9 @@ class Dashboard {
     ScalarOpRegistry* scalars = nullptr;
     ConnectorRegistry* connectors = nullptr;
     FormatRegistry* formats = nullptr;
+    /// Total attempts per flow on transient failures (see
+    /// ExecuteOptions::flow_retry_attempts).
+    int flow_retry_attempts = 1;
     /// Observability sink for this dashboard: compile-phase spans at
     /// Create() time, run/cube spans for Run() and widget evaluation.
     /// Run(Tracer*) overrides it per run (the API server passes a fresh

@@ -6,7 +6,9 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/fault.h"
 #include "common/logging.h"
+#include "common/retry.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
@@ -56,6 +58,10 @@ std::string ExecutionStats::ToString() const {
   out << "sources=" << sources_loaded << " flows=" << flows_executed
       << " skipped=" << flows_skipped << " rows=" << rows_produced
       << " endpoint_bytes=" << endpoint_bytes << " wall_ms=" << wall_ms;
+  if (io_retries > 0) out << " io_retries=" << io_retries;
+  if (flow_retries > 0) out << " flow_retries=" << flow_retries;
+  if (sources_degraded > 0) out << " degraded=" << sources_degraded;
+  if (rows_quarantined > 0) out << " quarantined=" << rows_quarantined;
   return out.str();
 }
 
@@ -149,11 +155,43 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       }
       std::optional<Schema> declared;
       if (!decl.columns.empty()) declared = decl.DeclaredSchema();
+      LoadReport report;
       Result<TablePtr> table =
           LoadDataObject(params, declared, decl.columns, options_.connectors,
-                         options_.formats, tracer, source_span.id());
+                         options_.formats, tracer, source_span.id(), &report);
+      stats.io_retries += report.attempts - 1;
+      if (report.attempts > 1) {
+        source_span.AddAttribute("attempts",
+                                 static_cast<int64_t>(report.attempts));
+      }
       if (!table.ok()) {
+        // Degraded mode: an `optional: true` source that is down after
+        // all retries continues as an empty table with the compiled
+        // schema, so downstream flows still run end to end.
+        bool optional_source = params.Get("optional") == "true";
+        if (optional_source && options_.degrade_optional_sources) {
+          auto schema_it = plan.schemas.find(name);
+          Schema schema = schema_it != plan.schemas.end()
+                              ? schema_it->second
+                              : decl.DeclaredSchema();
+          store->Put(name, Table::Empty(std::move(schema)));
+          ++stats.sources_degraded;
+          source_span.AddAttribute("degraded", "true");
+          source_span.AddAttribute("error", table.status().ToString());
+          MetricsRegistry::Default()
+              .GetCounter("sources_degraded_total",
+                          "optional sources continued as empty tables")
+              ->Increment();
+          SI_LOG(kWarning) << "source '" << name
+                           << "' degraded to empty table: " << table.status();
+          continue;
+        }
         return table.status().WithContext("loading source '" + name + "'");
+      }
+      if (report.rows_quarantined > 0) {
+        stats.rows_quarantined += report.rows_quarantined;
+        source_span.AddAttribute("rows_quarantined", report.rows_quarantined);
+        store->Put(name + kQuarantineSuffix, report.quarantine);
       }
       source_span.AddAttribute("rows",
                                static_cast<int64_t>((*table)->num_rows()));
@@ -244,6 +282,20 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
         }
         task_span.AddAttribute("rows_in", rows_in);
       }
+      // `exec.node` injection site: one task of one flow. An injected
+      // transient status bubbles up as this task's failure so the flow
+      // retry path gets exercised exactly like a real node fault.
+      std::optional<Status> injected =
+          FaultInjector::Get().Check(kFaultExecNode);
+      if (injected.has_value()) {
+        MetricsRegistry::Default()
+            .GetCounter("faults_injected_total",
+                        "faults fired by the injection harness")
+            ->Increment();
+        return injected->WithContext("executing task '" +
+                                     flow.task_names[t] + "' of flow '" +
+                                     flow.ToString() + "'");
+      }
       ExecContext exec_ctx;
       exec_ctx.pool = &pool;
       if (options_.morsel_rows > 0) exec_ctx.morsel_rows = options_.morsel_rows;
@@ -273,15 +325,32 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       Result<int64_t> rows(static_cast<int64_t>(0));
       bool ran = false;
       double flow_ms = 0;
+      int retries = 0;
       if (must_run[index]) {
         auto flow_start = std::chrono::steady_clock::now();
-        rows = run_flow(index);
+        int max_attempts = std::max(1, options_.flow_retry_attempts);
+        for (int attempt = 1;; ++attempt) {
+          rows = run_flow(index);
+          if (rows.ok() || attempt >= max_attempts ||
+              !IsRetryable(rows.status())) {
+            break;
+          }
+          ++retries;
+          MetricsRegistry::Default()
+              .GetCounter("flow_retries_total",
+                          "flows re-run after transient failures")
+              ->Increment();
+          SI_LOG(kWarning) << "retrying flow '"
+                           << plan.flows[index].ToString()
+                           << "' after transient failure: " << rows.status();
+        }
         flow_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - flow_start)
                       .count();
         ran = true;
       }
       std::unique_lock<std::mutex> lock(mu);
+      stats.flow_retries += retries;
       if (!rows.ok()) {
         if (first_error.ok()) first_error = rows.status();
       } else {

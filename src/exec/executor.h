@@ -51,11 +51,24 @@ struct FlowTiming {
 };
 
 /// Per-run execution telemetry. The sharing/incremental/ablation benches
-/// report these numbers.
+/// report these numbers; the robustness counters (retries, degraded
+/// sources, quarantined rows) feed the fault-tolerance tests and the
+/// /api/v1 metrics.
 struct ExecutionStats {
   int sources_loaded = 0;
   int flows_executed = 0;
   int flows_skipped = 0;  // clean in an incremental run
+  /// Extra fetch+parse attempts spent on source loads (0 = every source
+  /// loaded first try).
+  int io_retries = 0;
+  /// Flows re-run after a transient (retryable) task failure.
+  int flow_retries = 0;
+  /// Sources marked `optional: true` that were down and continued as an
+  /// empty-but-typed table (degraded mode).
+  int sources_degraded = 0;
+  /// Rows diverted to `<name>__quarantine` side tables by the
+  /// `error_policy: quarantine` parse policy.
+  int64_t rows_quarantined = 0;
   int64_t rows_produced = 0;
   /// Total bytes materialized at endpoint data objects — the proxy for
   /// "data transferred to the browser".
@@ -82,6 +95,14 @@ struct ExecuteOptions {
   size_t morsel_rows = 0;
   /// Anchors relative source paths when a source lacks `base_dir`.
   std::string base_dir;
+  /// Total attempts per flow (1 = no retries). A flow that fails with a
+  /// transient (IsRetryable) status — e.g. an injected `exec.node` fault
+  /// — is re-run from its inputs up to this many times. Operators are
+  /// pure, so a retried flow is byte-identical to an undisturbed run.
+  int flow_retry_attempts = 1;
+  /// When false, `optional: true` sources fail the run like any other
+  /// source instead of degrading to an empty table.
+  bool degrade_optional_sources = true;
   ConnectorRegistry* connectors = nullptr;
   FormatRegistry* formats = nullptr;
   const SharedTableSource* shared = nullptr;
@@ -96,9 +117,23 @@ struct ExecuteOptions {
   SpanId trace_parent = 0;
 };
 
+/// Suffix of the side table holding rows a source's parse quarantined
+/// (`error_policy: quarantine`): source `events` materializes rejected
+/// rows as `events__quarantine` (columns row/reason/raw).
+inline constexpr const char* kQuarantineSuffix = "__quarantine";
+
 /// Runs ExecutionPlans against a DataStore: loads sources, schedules
 /// flows respecting DAG dependencies (independent flows run concurrently
 /// on a thread pool), and materializes every data object.
+///
+/// Fault tolerance (docs/ROBUSTNESS.md): source loads run under each
+/// object's `retry.*` policy inside LoadDataObject; sources marked
+/// `optional: true` that still fail degrade to an empty-but-typed table
+/// instead of aborting the run; flows hit by transient failures (the
+/// `exec.node` injection site) are re-run up to
+/// ExecuteOptions::flow_retry_attempts times. All of it is accounted in
+/// ExecutionStats and the io_retries_total / flow_retries_total /
+/// sources_degraded_total / rows_quarantined_total metrics.
 class Executor {
  public:
   explicit Executor(ExecuteOptions options = {});

@@ -1,0 +1,107 @@
+#include "io/circuit_breaker.h"
+
+#include <algorithm>
+
+namespace shareinsights {
+
+CircuitBreaker::CircuitBreaker(CircuitBreakerOptions options)
+    : options_(options) {}
+
+bool CircuitBreaker::Allow() {
+  std::lock_guard<std::mutex> lock(mu_);
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kHalfOpen:
+      // One probe at a time; concurrent callers fail fast until it
+      // reports back.
+      if (probe_in_flight_) return false;
+      probe_in_flight_ = true;
+      return true;
+    case State::kOpen: {
+      double elapsed_ms = std::chrono::duration<double, std::milli>(
+                              Clock::now() - opened_at_)
+                              .count();
+      if (elapsed_ms < options_.open_ms) return false;
+      state_ = State::kHalfOpen;
+      probe_in_flight_ = true;
+      return true;
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+void CircuitBreaker::RecordFailure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++consecutive_failures_;
+  if (state_ == State::kHalfOpen ||
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = Clock::now();
+  }
+  probe_in_flight_ = false;
+}
+
+CircuitBreaker::State CircuitBreaker::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+int CircuitBreaker::consecutive_failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return consecutive_failures_;
+}
+
+double CircuitBreaker::RetryAfterSeconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (state_ != State::kOpen) return 0;
+  double elapsed_ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - opened_at_)
+                          .count();
+  return std::max(0.0, (options_.open_ms - elapsed_ms) / 1000.0);
+}
+
+void CircuitBreaker::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  state_ = State::kClosed;
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+}
+
+CircuitBreakerRegistry& CircuitBreakerRegistry::Default() {
+  static CircuitBreakerRegistry* registry = new CircuitBreakerRegistry;
+  return *registry;
+}
+
+CircuitBreaker* CircuitBreakerRegistry::Get(
+    const std::string& name, CircuitBreakerOptions options_for_new) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = breakers_.find(name);
+  if (it == breakers_.end()) {
+    it = breakers_
+             .emplace(name, std::make_unique<CircuitBreaker>(options_for_new))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::vector<std::string> CircuitBreakerRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (const auto& [name, breaker] : breakers_) out.push_back(name);
+  return out;
+}
+
+void CircuitBreakerRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, breaker] : breakers_) breaker->Reset();
+}
+
+}  // namespace shareinsights

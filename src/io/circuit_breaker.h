@@ -1,0 +1,83 @@
+#ifndef SHAREINSIGHTS_IO_CIRCUIT_BREAKER_H_
+#define SHAREINSIGHTS_IO_CIRCUIT_BREAKER_H_
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace shareinsights {
+
+/// Breaker tuning. Defaults are production-ish; tests shrink them.
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// How long the breaker stays open before allowing one half-open
+  /// probe.
+  double open_ms = 30000;
+};
+
+/// Classic three-state circuit breaker guarding one dependency (here:
+/// one connector protocol). Closed = normal; open = fail fast without
+/// touching the dependency; half-open = one probe allowed after the
+/// cooldown, success closes, failure re-opens. Thread-safe.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {});
+
+  /// True when a call may proceed (closed, or open long enough that this
+  /// caller becomes the half-open probe).
+  bool Allow();
+  void RecordSuccess();
+  void RecordFailure();
+
+  State state() const;
+  int consecutive_failures() const;
+  /// Seconds until the next half-open probe (0 when not open) — the
+  /// server's Retry-After hint.
+  double RetryAfterSeconds() const;
+  /// Back to closed with zeroed counters (tests).
+  void Reset();
+
+  const CircuitBreakerOptions& options() const { return options_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  Clock::time_point opened_at_{};
+  bool probe_in_flight_ = false;
+};
+
+/// Registry of breakers keyed by name (protocol). Breakers are created
+/// on first use and live forever, so callers may cache the pointer.
+/// Surfaced as `circuit_open_<name>` gauges by the io layer.
+class CircuitBreakerRegistry {
+ public:
+  /// The process-wide registry the connectors consult.
+  static CircuitBreakerRegistry& Default();
+
+  CircuitBreakerRegistry() = default;
+
+  /// Breaker for `name`, created with `options_for_new` if absent.
+  CircuitBreaker* Get(const std::string& name,
+                      CircuitBreakerOptions options_for_new = {});
+  std::vector<std::string> Names() const;
+  /// Resets every breaker to closed (tests).
+  void ResetAll();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<CircuitBreaker>> breakers_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_IO_CIRCUIT_BREAKER_H_

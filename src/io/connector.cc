@@ -1,6 +1,11 @@
 #include "io/connector.h"
 
+#include <chrono>
+#include <thread>
+
+#include "common/fault.h"
 #include "common/string_util.h"
+#include "io/circuit_breaker.h"
 #include "io/csv.h"
 #include "io/json.h"
 #include "obs/metrics.h"
@@ -30,12 +35,51 @@ void SimulatedRemoteStore::SetResponder(
   responder_ = std::move(responder);
 }
 
+void SimulatedRemoteStore::SetFlaky(FlakyMode flaky) {
+  std::lock_guard<std::mutex> lock(mu_);
+  flaky_ = std::move(flaky);
+  flaky_rng_ = Rng(flaky_.seed);
+  fetches_ = 0;
+  failures_ = 0;
+}
+
+void SimulatedRemoteStore::ClearFlaky() { SetFlaky(FlakyMode{}); }
+
 Result<std::string> SimulatedRemoteStore::Fetch(
     const std::string& url, const DataSourceParams& params) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = payloads_.find(url);
-  if (it != payloads_.end()) return it->second;
-  if (responder_) return responder_(url, params);
+  int latency_ms = 0;
+  std::optional<Status> flaky_failure;
+  std::optional<std::string> payload;
+  std::function<Result<std::string>(const std::string&,
+                                    const DataSourceParams&)>
+      responder;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    latency_ms = flaky_.latency_ms;
+    int64_t fetch_index = fetches_++;
+    // Always advance the Rng so the failure pattern is a pure function
+    // of (seed, fetch index).
+    bool draw = flaky_rng_.NextDouble() < flaky_.fail_probability;
+    bool fail = fetch_index < flaky_.fail_first || draw;
+    if (fail) {
+      ++failures_;
+      flaky_failure = flaky_.status.WithContext("fetching '" + url + "'");
+    } else {
+      auto it = payloads_.find(url);
+      if (it != payloads_.end()) {
+        payload = it->second;
+      } else {
+        responder = responder_;  // copied; invoked outside the lock
+        if (!responder) ++failures_;
+      }
+    }
+  }
+  if (latency_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(latency_ms));
+  }
+  if (flaky_failure.has_value()) return *flaky_failure;
+  if (payload.has_value()) return *std::move(payload);
+  if (responder) return responder(url, params);
   return Status::NotFound("no payload published for URL '" + url + "'");
 }
 
@@ -43,6 +87,20 @@ void SimulatedRemoteStore::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   payloads_.clear();
   responder_ = nullptr;
+  flaky_ = FlakyMode{};
+  flaky_rng_ = Rng(0);
+  fetches_ = 0;
+  failures_ = 0;
+}
+
+int64_t SimulatedRemoteStore::fetches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fetches_;
+}
+
+int64_t SimulatedRemoteStore::failures() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return failures_;
 }
 
 // ---------------------------------------------------------------------
@@ -133,14 +191,17 @@ class CsvFormat : public Format {
   Result<TablePtr> Parse(const std::string& payload,
                          const DataSourceParams& params,
                          const std::optional<Schema>& declared,
-                         const std::vector<ColumnMapping>& mappings) override {
+                         const std::vector<ColumnMapping>& mappings,
+                         ParseReport* report) override {
     (void)mappings;  // CSV columns bind by name/position, not by path.
     CsvOptions options;
     options.separator = separator_;
     std::string sep = params.Get("separator");
     if (!sep.empty()) options.separator = sep[0];
     options.has_header = params.Get("header", "true") != "false";
-    return ReadCsvString(payload, options, declared);
+    SI_ASSIGN_OR_RETURN(options.error_policy,
+                        ParseErrorPolicyFromString(params.Get("error_policy")));
+    return ReadCsvString(payload, options, declared, report);
   }
 
  private:
@@ -154,7 +215,8 @@ class JsonFormat : public Format {
   Result<TablePtr> Parse(const std::string& payload,
                          const DataSourceParams& params,
                          const std::optional<Schema>& declared,
-                         const std::vector<ColumnMapping>& mappings) override {
+                         const std::vector<ColumnMapping>& mappings,
+                         ParseReport* report) override {
     // An optional `records_path` selects the array of records inside a
     // wrapper document (e.g. stackexchange's {"items": [...]}).
     std::string records_path = params.Get("records_path");
@@ -183,11 +245,27 @@ class JsonFormat : public Format {
         effective.push_back(ColumnMapping{name, name});
       }
     }
+    SI_ASSIGN_OR_RETURN(ParseErrorPolicy policy,
+                        ParseErrorPolicyFromString(params.Get("error_policy")));
     std::vector<std::string> names;
     names.reserve(effective.size());
     for (const auto& m : effective) names.push_back(m.column);
     TableBuilder builder(Schema::FromNames(names));
-    for (const JsonValue& record : records) {
+    auto reject = [&](size_t index, const JsonValue& record,
+                      const std::string& reason) {
+      if (report == nullptr) return;
+      ++report->rows_skipped;
+      if (policy == ParseErrorPolicy::kQuarantine) {
+        report->quarantined.push_back(QuarantinedRow{
+            static_cast<int64_t>(index), reason, record.Serialize()});
+      }
+    };
+    for (size_t i = 0; i < records.size(); ++i) {
+      const JsonValue& record = records[i];
+      if (policy != ParseErrorPolicy::kFail && !record.is_object()) {
+        reject(i, record, "record is not a JSON object");
+        continue;
+      }
       std::vector<Value> row;
       row.reserve(effective.size());
       for (const auto& m : effective) {
@@ -195,7 +273,11 @@ class JsonFormat : public Format {
         const JsonValue* node = record.ResolvePath(path);
         row.push_back(node == nullptr ? Value::Null() : node->ToTableValue());
       }
-      SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+      Status appended = builder.AppendRow(std::move(row));
+      if (!appended.ok()) {
+        if (policy == ParseErrorPolicy::kFail) return appended;
+        reject(i, record, appended.message());
+      }
     }
     return builder.Finish();
   }
@@ -316,46 +398,176 @@ std::string InferFormat(const DataSourceParams& params) {
   return "csv";
 }
 
+/// Parses a numeric D-section param, keeping `fallback` when the key is
+/// absent or malformed (connector params are schemaless strings; a bad
+/// value must not abort the load path that predates these knobs).
+double NumericParam(const DataSourceParams& params, const std::string& key,
+                    double fallback) {
+  if (!params.Has(key)) return fallback;
+  Result<double> parsed = Value(params.Get(key)).ToDouble();
+  return parsed.ok() ? *parsed : fallback;
+}
+
 }  // namespace
+
+RetryPolicy RetryPolicyFromParams(const DataSourceParams& params) {
+  RetryPolicy policy;
+  policy.max_attempts = static_cast<int>(
+      NumericParam(params, "retry.max_attempts", policy.max_attempts));
+  if (policy.max_attempts < 1) policy.max_attempts = 1;
+  policy.backoff_ms =
+      NumericParam(params, "retry.backoff_ms", policy.backoff_ms);
+  policy.backoff_multiplier = NumericParam(params, "retry.backoff_multiplier",
+                                           policy.backoff_multiplier);
+  policy.jitter_seed = static_cast<uint64_t>(
+      NumericParam(params, "retry.jitter_seed", 0));
+  policy.deadline_ms = NumericParam(params, "timeout_ms", policy.deadline_ms);
+  return policy;
+}
 
 Result<TablePtr> LoadDataObject(const DataSourceParams& params,
                                 const std::optional<Schema>& declared,
                                 const std::vector<ColumnMapping>& mappings,
                                 ConnectorRegistry* connectors,
                                 FormatRegistry* formats, Tracer* tracer,
-                                SpanId trace_parent) {
+                                SpanId trace_parent, LoadReport* report) {
   if (connectors == nullptr) connectors = &ConnectorRegistry::Default();
   if (formats == nullptr) formats = &FormatRegistry::Default();
+  MetricsRegistry& metrics = MetricsRegistry::Default();
   std::string protocol = InferProtocol(params);
   SI_ASSIGN_OR_RETURN(std::shared_ptr<Connector> connector,
                       connectors->Get(protocol));
-  std::string payload;
-  {
-    ScopedSpan fetch_span(tracer, "io.fetch", trace_parent);
-    fetch_span.AddAttribute("protocol", protocol);
-    fetch_span.AddAttribute("source", params.Get("source"));
-    SI_ASSIGN_OR_RETURN(payload, connector->Fetch(params));
-    fetch_span.AddAttribute("bytes",
-                            static_cast<int64_t>(payload.size()));
-  }
-  MetricsRegistry& metrics = MetricsRegistry::Default();
-  metrics
-      .GetCounter("io_reads_total",
-                  "connector payload fetches (all protocols)")
-      ->Increment();
-  metrics.GetCounter("io_bytes_total", "raw payload bytes fetched")
-      ->Increment(static_cast<int64_t>(payload.size()));
   std::string format_name = InferFormat(params);
   SI_ASSIGN_OR_RETURN(std::shared_ptr<Format> format,
                       formats->Get(format_name));
-  ScopedSpan parse_span(tracer, "io.parse", trace_parent);
-  parse_span.AddAttribute("format", format_name);
-  Result<TablePtr> table = format->Parse(payload, params, declared, mappings);
-  if (table.ok()) {
-    parse_span.AddAttribute("rows",
-                            static_cast<int64_t>((*table)->num_rows()));
+
+  CircuitBreaker* breaker = CircuitBreakerRegistry::Default().Get(protocol);
+  Gauge* open_gauge = metrics.GetGauge(
+      "circuit_open_" + protocol,
+      "1 while the '" + protocol + "' circuit breaker is open");
+  FaultInjector& faults = FaultInjector::Get();
+  Counter* faults_counter = metrics.GetCounter(
+      "faults_injected_total", "faults fired by the injection harness");
+
+  RetryPolicy policy = RetryPolicyFromParams(params);
+  RetryState retry(policy);
+  auto started = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - started)
+        .count();
+  };
+
+  int attempt = 0;
+  while (true) {
+    ++attempt;
+    if (report != nullptr) report->attempts = attempt;
+
+    // One fetch+parse attempt. Failures fall through to the retry
+    // decision below.
+    Status error;
+    if (!breaker->Allow()) {
+      // Fail fast; deliberately NOT retryable (see IsRetryable) — the
+      // whole point of the breaker is to shed load while open.
+      open_gauge->Set(1);
+      return Status::Unavailable(
+          "circuit breaker for protocol '" + protocol +
+          "' is open after " +
+          std::to_string(breaker->consecutive_failures()) +
+          " consecutive failures; retry later");
+    }
+    std::string payload;
+    {
+      ScopedSpan fetch_span(tracer, "io.fetch", trace_parent);
+      fetch_span.AddAttribute("protocol", protocol);
+      fetch_span.AddAttribute("source", params.Get("source"));
+      fetch_span.AddAttribute("attempt", static_cast<int64_t>(attempt));
+      std::optional<Status> injected = faults.Check(kFaultIoFetch);
+      if (injected.has_value()) {
+        faults_counter->Increment();
+        error = *injected;
+      } else {
+        Result<std::string> fetched = connector->Fetch(params);
+        if (fetched.ok()) {
+          payload = std::move(*fetched);
+          fetch_span.AddAttribute("bytes",
+                                  static_cast<int64_t>(payload.size()));
+        } else {
+          error = fetched.status();
+        }
+      }
+    }
+    if (error.ok()) {
+      breaker->RecordSuccess();
+      open_gauge->Set(0);
+      metrics
+          .GetCounter("io_reads_total",
+                      "connector payload fetches (all protocols)")
+          ->Increment();
+      metrics.GetCounter("io_bytes_total", "raw payload bytes fetched")
+          ->Increment(static_cast<int64_t>(payload.size()));
+
+      ScopedSpan parse_span(tracer, "io.parse", trace_parent);
+      parse_span.AddAttribute("format", format_name);
+      parse_span.AddAttribute("attempt", static_cast<int64_t>(attempt));
+      std::optional<Status> injected = faults.Check(kFaultIoParse);
+      if (injected.has_value()) {
+        faults_counter->Increment();
+        error = *injected;
+      } else {
+        ParseReport parse_report;
+        Result<TablePtr> table =
+            format->Parse(payload, params, declared, mappings, &parse_report);
+        if (table.ok()) {
+          parse_span.AddAttribute(
+              "rows", static_cast<int64_t>((*table)->num_rows()));
+          int64_t quarantined =
+              static_cast<int64_t>(parse_report.quarantined.size());
+          if (parse_report.rows_skipped > 0) {
+            parse_span.AddAttribute("rows_rejected",
+                                    parse_report.rows_skipped);
+          }
+          if (report != nullptr) {
+            report->rows_quarantined = quarantined;
+            if (quarantined > 0) {
+              SI_ASSIGN_OR_RETURN(report->quarantine,
+                                  QuarantineTable(parse_report.quarantined));
+            }
+          }
+          metrics
+              .GetCounter("rows_quarantined_total",
+                          "rows diverted to quarantine side tables")
+              ->Increment(quarantined);
+          return table;
+        }
+        error = table.status();
+      }
+    } else {
+      breaker->RecordFailure();
+      open_gauge->Set(breaker->state() == CircuitBreaker::State::kOpen ? 1
+                                                                       : 0);
+    }
+
+    // Retry decision: transient error, attempts and deadline permitting.
+    if (!retry.ShouldRetryAfter(error, attempt, elapsed_ms())) {
+      if (policy.deadline_ms > 0 && elapsed_ms() >= policy.deadline_ms &&
+          IsRetryable(error)) {
+        return Status::DeadlineExceeded(
+                   "load exceeded timeout_ms=" +
+                   std::to_string(static_cast<int64_t>(policy.deadline_ms)))
+            .WithContext(error.message());
+      }
+      if (attempt > 1) {
+        return error.WithContext("after " + std::to_string(attempt) +
+                                 " attempts");
+      }
+      return error;
+    }
+    metrics
+        .GetCounter("io_retries_total",
+                    "source load attempts retried after transient failures")
+        ->Increment();
   }
-  return table;
 }
 
 }  // namespace shareinsights

@@ -9,6 +9,9 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "io/error_policy.h"
 #include "obs/trace.h"
 #include "table/table.h"
 
@@ -63,10 +66,13 @@ class Format {
   virtual std::string name() const = 0;
   /// Parses `payload`. `declared` is the D-section schema (may be empty
   /// for header-carrying formats); `mappings` carry `=>` path bindings.
+  /// Formats honouring an `error_policy:` param report rejected rows via
+  /// `report` (may be null).
   virtual Result<TablePtr> Parse(const std::string& payload,
                                  const DataSourceParams& params,
                                  const std::optional<Schema>& declared,
-                                 const std::vector<ColumnMapping>& mappings) = 0;
+                                 const std::vector<ColumnMapping>& mappings,
+                                 ParseReport* report = nullptr) = 0;
 };
 
 /// In-process stand-in for the network: URL -> payload. Examples and
@@ -75,17 +81,44 @@ class Format {
 /// stackexchange) per DESIGN.md while exercising the same ingestion path.
 class SimulatedRemoteStore {
  public:
+  /// Deterministic "flaky provider" mode: while set, each Fetch first
+  /// consults this before payload lookup. The first `fail_first` fetches
+  /// fail unconditionally; afterwards each fetch fails with
+  /// `fail_probability` drawn from a splitmix64 Rng seeded by `seed`, so
+  /// a fixed seed yields the same failure pattern every run. `latency_ms`
+  /// delays every fetch, failed or not.
+  struct FlakyMode {
+    int fail_first = 0;
+    double fail_probability = 0;
+    int latency_ms = 0;
+    uint64_t seed = 0;
+    Status status = Status::IoError("flaky simulated remote");
+  };
+
   static SimulatedRemoteStore& Get();
 
   void Publish(const std::string& url, std::string payload);
   /// Registers a dynamic responder consulted when no static payload
-  /// matches (lets tests emulate paginated/parameterized APIs).
+  /// matches (lets tests emulate paginated/parameterized APIs). The
+  /// responder is invoked OUTSIDE the store's lock (a copy is taken
+  /// under the lock), so it may call back into Publish/Fetch without
+  /// deadlocking and is safe under the executor's thread pool.
   void SetResponder(
       std::function<Result<std::string>(const std::string& url,
                                         const DataSourceParams&)> responder);
+  /// Enables flaky mode; pass a default FlakyMode{} via ClearFlaky() to
+  /// turn it off.
+  void SetFlaky(FlakyMode flaky);
+  void ClearFlaky();
   Result<std::string> Fetch(const std::string& url,
                             const DataSourceParams& params) const;
+  /// Drops ALL registered state: static payloads, the dynamic responder,
+  /// and flaky mode. Tests relying on a responder surviving Clear() must
+  /// re-register it.
   void Clear();
+  /// Fetches attempted / failed (flaky or missing) since Clear().
+  int64_t fetches() const;
+  int64_t failures() const;
 
  private:
   SimulatedRemoteStore() = default;
@@ -94,6 +127,10 @@ class SimulatedRemoteStore {
   std::function<Result<std::string>(const std::string&,
                                     const DataSourceParams&)>
       responder_;
+  FlakyMode flaky_;
+  mutable Rng flaky_rng_{0};
+  mutable int64_t fetches_ = 0;
+  mutable int64_t failures_ = 0;
 };
 
 /// Registry of protocol connectors (extension point). Thread-safe.
@@ -130,14 +167,43 @@ class FormatRegistry {
   std::map<std::string, std::shared_ptr<Format>> formats_;
 };
 
+/// Retry schedule of one data object, read from its D-section details:
+/// `retry.max_attempts`, `retry.backoff_ms`, `retry.backoff_multiplier`,
+/// `retry.jitter_seed`, and `timeout_ms` (overall deadline across
+/// attempts). Absent keys keep RetryPolicy defaults (single attempt).
+RetryPolicy RetryPolicyFromParams(const DataSourceParams& params);
+
+/// Telemetry of one LoadDataObject call, surfaced by the executor in
+/// ExecutionStats and spans.
+struct LoadReport {
+  /// Fetch+parse attempts made (1 = first try succeeded).
+  int attempts = 1;
+  /// Rows rejected by the skip/quarantine error policies.
+  int64_t rows_quarantined = 0;
+  /// Side table of quarantined rows (null unless policy is quarantine
+  /// and at least one row was rejected).
+  TablePtr quarantine;
+};
+
 /// End-to-end ingestion of one data object: resolve the connector from
 /// `protocol` (defaulting from the source string: "http://..." => http,
 /// otherwise file), fetch the payload, resolve the format (`format:` key,
 /// defaulting from the source extension), and parse.
 ///
+/// Fault tolerance (docs/ROBUSTNESS.md):
+///   - the per-protocol circuit breaker (CircuitBreakerRegistry) is
+///     consulted first; an open breaker fails fast with kUnavailable and
+///     is surfaced as a `circuit_open_<protocol>` gauge;
+///   - the fetch+parse attempt runs under the object's RetryPolicy
+///     (`retry.*` / `timeout_ms` params): transient failures retry with
+///     exponential backoff + deterministic jitter until attempts or the
+///     deadline run out, feeding io_retries_total;
+///   - the `io.fetch` / `io.parse` FaultInjector sites fire inside each
+///     attempt (faults_injected_total).
+///
 /// When `tracer` is set, the fetch and parse steps are recorded as
 /// `io.fetch` / `io.parse` spans under `trace_parent` (the executor
-/// passes its per-source span), with protocol/bytes/format/rows
+/// passes its per-source span), with protocol/bytes/format/rows/attempts
 /// attributes. Reads also feed the io_* metrics in
 /// MetricsRegistry::Default().
 Result<TablePtr> LoadDataObject(const DataSourceParams& params,
@@ -146,7 +212,8 @@ Result<TablePtr> LoadDataObject(const DataSourceParams& params,
                                 ConnectorRegistry* connectors = nullptr,
                                 FormatRegistry* formats = nullptr,
                                 Tracer* tracer = nullptr,
-                                SpanId trace_parent = 0);
+                                SpanId trace_parent = 0,
+                                LoadReport* report = nullptr);
 
 }  // namespace shareinsights
 

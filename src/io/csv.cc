@@ -74,7 +74,8 @@ Value CellToValue(const std::string& text) {
 
 Result<TablePtr> ReadCsvString(const std::string& payload,
                                const CsvOptions& options,
-                               const std::optional<Schema>& declared) {
+                               const std::optional<Schema>& declared,
+                               ParseReport* report) {
   std::vector<std::vector<std::string>> rows =
       SplitCsv(payload, options.separator);
 
@@ -124,9 +125,35 @@ Result<TablePtr> ReadCsvString(const std::string& payload,
     for (size_t c = 0; c < schema.num_fields(); ++c) source_index[c] = c;
   }
 
+  // Arity a well-formed data row must have under the skip/quarantine
+  // policies: the header's width, or the declared schema's when headerless.
+  size_t expected_arity =
+      options.has_header ? rows[0].size() : schema.num_fields();
+
   TableBuilder builder(schema);
+  auto reject = [&](size_t data_row, const std::vector<std::string>& fields,
+                    const std::string& reason) {
+    if (options.error_policy == ParseErrorPolicy::kSkip) {
+      if (report != nullptr) ++report->rows_skipped;
+      return;
+    }
+    if (report != nullptr) {
+      ++report->rows_skipped;
+      report->quarantined.push_back(
+          QuarantinedRow{static_cast<int64_t>(data_row), reason,
+                         Join(fields, std::string(1, options.separator))});
+    }
+  };
   for (size_t r = first_data_row; r < rows.size(); ++r) {
     const auto& raw = rows[r];
+    size_t data_row = r - first_data_row;
+    if (options.error_policy != ParseErrorPolicy::kFail &&
+        raw.size() != expected_arity) {
+      reject(data_row, raw,
+             "expected " + std::to_string(expected_arity) + " fields, got " +
+                 std::to_string(raw.size()));
+      continue;
+    }
     std::vector<Value> row;
     row.reserve(schema.num_fields());
     for (size_t c = 0; c < schema.num_fields(); ++c) {
@@ -137,7 +164,11 @@ Result<TablePtr> ReadCsvString(const std::string& payload,
         row.push_back(CellToValue(raw[src]));
       }
     }
-    SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+    Status appended = builder.AppendRow(std::move(row));
+    if (!appended.ok()) {
+      if (options.error_policy == ParseErrorPolicy::kFail) return appended;
+      reject(data_row, raw, appended.message());
+    }
   }
   SI_ASSIGN_OR_RETURN(TablePtr table, builder.Finish());
   if (options.infer_types) return InferColumnTypes(table);

@@ -5,12 +5,13 @@
 #include <string>
 
 #include "common/result.h"
+#include "io/error_policy.h"
 #include "table/table.h"
 
 namespace shareinsights {
 
 /// Options for CSV/TSV ingestion, mirroring the D-section knobs
-/// (`separator: ','`, declared schema).
+/// (`separator: ','`, declared schema, `error_policy:`).
 struct CsvOptions {
   char separator = ',';
   /// When true the first row is a header naming columns; a declared
@@ -19,6 +20,12 @@ struct CsvOptions {
   /// Infer int64/double/bool column types after reading (on by default;
   /// the engine's tasks want typed numeric columns).
   bool infer_types = true;
+  /// What to do with malformed rows. Under kFail (the default) parsing
+  /// keeps its legacy lenient shape: short rows are null-padded and
+  /// extra fields dropped. Under kSkip/kQuarantine a data row whose
+  /// field count differs from the expected arity is dropped (and, for
+  /// kQuarantine, reported) instead of being silently coerced.
+  ParseErrorPolicy error_policy = ParseErrorPolicy::kFail;
 };
 
 /// Parses a CSV payload. Quoting follows RFC 4180: fields may be wrapped
@@ -28,9 +35,14 @@ struct CsvOptions {
 /// When `declared` is provided it fixes the output schema: with a header,
 /// columns are matched by name (extra payload columns dropped); without a
 /// header, columns bind positionally and the payload arity must match.
+///
+/// `report`, when non-null, collects rows rejected under the skip/
+/// quarantine error policies (the `raw` field is reassembled from the
+/// parsed fields).
 Result<TablePtr> ReadCsvString(const std::string& payload,
                                const CsvOptions& options,
-                               const std::optional<Schema>& declared);
+                               const std::optional<Schema>& declared,
+                               ParseReport* report = nullptr);
 
 /// Reads and parses a CSV file from disk.
 Result<TablePtr> ReadCsvFile(const std::string& path,

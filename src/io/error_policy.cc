@@ -1,0 +1,37 @@
+#include "io/error_policy.h"
+
+namespace shareinsights {
+
+Result<ParseErrorPolicy> ParseErrorPolicyFromString(const std::string& text) {
+  if (text.empty() || text == "fail") return ParseErrorPolicy::kFail;
+  if (text == "skip") return ParseErrorPolicy::kSkip;
+  if (text == "quarantine") return ParseErrorPolicy::kQuarantine;
+  return Status::InvalidArgument(
+      "unknown error_policy '" + text + "' (expected fail|skip|quarantine)");
+}
+
+const char* ParseErrorPolicyName(ParseErrorPolicy policy) {
+  switch (policy) {
+    case ParseErrorPolicy::kFail:
+      return "fail";
+    case ParseErrorPolicy::kSkip:
+      return "skip";
+    case ParseErrorPolicy::kQuarantine:
+      return "quarantine";
+  }
+  return "unknown";
+}
+
+Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows) {
+  Schema schema({Field{"row", ValueType::kInt64},
+                 Field{"reason", ValueType::kString},
+                 Field{"raw", ValueType::kString}});
+  TableBuilder builder(schema);
+  for (const QuarantinedRow& row : rows) {
+    SI_RETURN_IF_ERROR(builder.AppendRow(
+        {Value(row.row), Value(row.reason), Value(row.raw)}));
+  }
+  return builder.Finish();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,46 @@
+#ifndef SHAREINSIGHTS_IO_ERROR_POLICY_H_
+#define SHAREINSIGHTS_IO_ERROR_POLICY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// What a format does with a malformed row/record (D-section
+/// `error_policy:` knob):
+///   fail       - abort the whole load (legacy behavior, the default);
+///   skip       - drop the row silently;
+///   quarantine - drop the row but record it (row number, reason, raw
+///                text) in a side table the executor materializes as
+///                `<name>__quarantine`.
+enum class ParseErrorPolicy { kFail, kSkip, kQuarantine };
+
+Result<ParseErrorPolicy> ParseErrorPolicyFromString(const std::string& text);
+const char* ParseErrorPolicyName(ParseErrorPolicy policy);
+
+/// One row rejected under the skip/quarantine policies.
+struct QuarantinedRow {
+  /// 0-based data row / record index in the payload (header excluded).
+  int64_t row = 0;
+  std::string reason;
+  /// Raw row text (CSV) or serialized record (JSON), for reprocessing.
+  std::string raw;
+};
+
+/// Per-parse error report filled by formats honouring an error policy.
+struct ParseReport {
+  std::vector<QuarantinedRow> quarantined;
+  int64_t rows_skipped = 0;  // skip policy (quarantine counts too)
+};
+
+/// Materializes quarantined rows as the side table (row:int64,
+/// reason:string, raw:string).
+Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_IO_ERROR_POLICY_H_

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 
+#include "common/fault.h"
+#include "common/retry.h"
 #include "common/string_util.h"
+#include "io/circuit_breaker.h"
 #include "ops/filter.h"
 #include "ops/groupby.h"
 
@@ -59,10 +63,20 @@ HttpResponse JsonResponse(int status, JsonValue body) {
   return response;
 }
 
+/// True when the client may usefully retry the same request: transient
+/// I/O trouble, a tripped breaker (after Retry-After), or a blown
+/// deadline.
+bool IsClientRetryable(const Status& status) {
+  return IsRetryable(status) ||
+         status.code() == StatusCode::kUnavailable ||
+         status.code() == StatusCode::kDeadlineExceeded;
+}
+
 HttpResponse ErrorResponse(const Status& status) {
   JsonValue body = JsonValue::MakeObject();
   body.Set("error", JsonValue::MakeString(StatusCodeName(status.code())));
   body.Set("message", JsonValue::MakeString(status.message()));
+  body.Set("retryable", JsonValue::MakeBool(IsClientRetryable(status)));
   int http = 500;
   switch (status.code()) {
     case StatusCode::kNotFound:
@@ -77,10 +91,29 @@ HttpResponse ErrorResponse(const Status& status) {
     case StatusCode::kConflict:
       http = 409;
       break;
+    case StatusCode::kUnavailable:
+      http = 503;
+      break;
+    case StatusCode::kDeadlineExceeded:
+      http = 504;
+      break;
     default:
       http = 500;
   }
-  return JsonResponse(http, std::move(body));
+  HttpResponse response = JsonResponse(http, std::move(body));
+  if (http == 503) {
+    // Hint when the tripped dependency will accept a probe again: the
+    // longest cooldown across currently-open breakers, min 1 second.
+    double retry_after = 0;
+    CircuitBreakerRegistry& breakers = CircuitBreakerRegistry::Default();
+    for (const std::string& name : breakers.Names()) {
+      retry_after =
+          std::max(retry_after, breakers.Get(name)->RetryAfterSeconds());
+    }
+    response.headers["Retry-After"] = std::to_string(
+        std::max<int64_t>(1, static_cast<int64_t>(std::ceil(retry_after))));
+  }
+  return response;
 }
 
 HttpResponse TextResponse(std::string text) {
@@ -188,8 +221,35 @@ std::vector<std::string> ApiServer::DashboardNames() const {
 
 HttpResponse ApiServer::Handle(const HttpRequest& request) {
   auto start = std::chrono::steady_clock::now();
-  HttpResponse response = Route(request);
   MetricsRegistry& metrics = MetricsRegistry::Default();
+  HttpResponse response;
+  // `server.request` injection site: fires before routing, modelling a
+  // request dropped at the front door.
+  std::optional<Status> injected =
+      FaultInjector::Get().Check(kFaultServerRequest);
+  if (injected.has_value()) {
+    metrics
+        .GetCounter("faults_injected_total",
+                    "faults fired by the injection harness")
+        ->Increment();
+    response = ErrorResponse(*injected);
+  } else {
+    response = Route(request);
+    double elapsed_ms = std::chrono::duration<double, std::milli>(
+                            std::chrono::steady_clock::now() - start)
+                            .count();
+    if (options_.request_deadline_ms > 0 &&
+        elapsed_ms > options_.request_deadline_ms) {
+      metrics
+          .GetCounter("http_deadline_exceeded_total",
+                      "requests answered 504 after blowing the deadline")
+          ->Increment();
+      response = ErrorResponse(Status::DeadlineExceeded(
+          "request exceeded deadline of " +
+          std::to_string(static_cast<int64_t>(options_.request_deadline_ms)) +
+          " ms"));
+    }
+  }
   metrics.GetCounter("http_requests_total", "API requests handled")
       ->Increment();
   if (response.status >= 400) {

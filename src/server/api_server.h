@@ -79,10 +79,26 @@ struct HttpResponse {
 /// `trace_id` for retrieval via /trace/<run-id>. Note /metrics and
 /// /trace are reserved top-level paths and shadow dashboards with those
 /// names.
+///
+/// Resilience contract (docs/ROBUSTNESS.md): every error envelope
+/// carries a boolean `retryable` hint; a request that trips an open
+/// circuit breaker on a backing source answers 503 with a `Retry-After`
+/// header; a request exceeding Options::request_deadline_ms answers 504
+/// (`deadline_exceeded`, retryable). The `server.request` fault site
+/// fires before routing.
+struct ApiServerOptions {
+  /// Wall-clock budget for one request (0 = unlimited). Exceeding it
+  /// turns the response into a 504 deadline_exceeded envelope.
+  double request_deadline_ms = 0;
+};
+
 class ApiServer {
  public:
-  explicit ApiServer(SharedDataRegistry* shared = nullptr)
-      : shared_(shared) {}
+  using Options = ApiServerOptions;
+
+  explicit ApiServer(SharedDataRegistry* shared = nullptr,
+                     Options options = {})
+      : shared_(shared), options_(options) {}
 
   /// Routes one request, recording http_* request metrics around it.
   HttpResponse Handle(const HttpRequest& request);
@@ -128,6 +144,7 @@ class ApiServer {
   std::deque<std::string> trace_order_;  // insertion order, for eviction
   int run_counter_ = 0;
   SharedDataRegistry* shared_;
+  Options options_;
 };
 
 /// Serializes table rows as a JSON array of objects (REST data shape),

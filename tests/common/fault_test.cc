@@ -1,0 +1,179 @@
+#include "common/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "common/retry.h"
+
+namespace shareinsights {
+namespace {
+
+class FaultInjectorTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Get().Reset(); }
+};
+
+TEST_F(FaultInjectorTest, DisarmedSiteNeverFires) {
+  FaultInjector& faults = FaultInjector::Get();
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.Check(kFaultIoFetch).has_value());
+  EXPECT_EQ(faults.total_fires(), 0);
+}
+
+TEST_F(FaultInjectorTest, ArmedSiteFiresConfiguredStatus) {
+  FaultInjector& faults = FaultInjector::Get();
+  FaultSpec spec;
+  spec.status = Status::Internal("boom");
+  faults.Arm(kFaultExecNode, spec);
+  EXPECT_TRUE(faults.enabled());
+  std::optional<Status> injected = faults.Check(kFaultExecNode);
+  ASSERT_TRUE(injected.has_value());
+  EXPECT_EQ(injected->code(), StatusCode::kInternal);
+  EXPECT_NE(injected->message().find("exec.node"), std::string::npos);
+  EXPECT_EQ(faults.fires(kFaultExecNode), 1);
+  EXPECT_EQ(faults.passes(kFaultExecNode), 1);
+  // Another armed site is independent.
+  EXPECT_FALSE(faults.Check(kFaultIoParse).has_value());
+}
+
+TEST_F(FaultInjectorTest, SkipFirstAndMaxFires) {
+  FaultInjector& faults = FaultInjector::Get();
+  FaultSpec spec;
+  spec.skip_first = 2;
+  spec.max_fires = 3;
+  faults.Arm(kFaultIoFetch, spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (faults.Check(kFaultIoFetch).has_value()) ++fired;
+  }
+  // Passes 1-2 skipped, passes 3-5 fire, then max_fires exhausts.
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(faults.fires(kFaultIoFetch), 3);
+  EXPECT_EQ(faults.passes(kFaultIoFetch), 10);
+}
+
+TEST_F(FaultInjectorTest, SameSeedSameFirePattern) {
+  FaultInjector& faults = FaultInjector::Get();
+  auto pattern = [&](uint64_t seed) {
+    FaultSpec spec;
+    spec.probability = 0.5;
+    spec.seed = seed;
+    faults.Arm(kFaultIoFetch, spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(faults.Check(kFaultIoFetch).has_value());
+    }
+    faults.Disarm(kFaultIoFetch);
+    return fires;
+  };
+  std::vector<bool> a = pattern(42);
+  std::vector<bool> b = pattern(42);
+  std::vector<bool> c = pattern(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 chance of colliding; splitmix64 won't.
+  // A 0.5 probability actually fires some and skips some.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultInjectorTest, ResetDisarmsEverything) {
+  FaultInjector& faults = FaultInjector::Get();
+  faults.Arm(kFaultIoFetch, FaultSpec{});
+  faults.Arm(kFaultServerRequest, FaultSpec{});
+  ASSERT_TRUE(faults.Check(kFaultIoFetch).has_value());
+  faults.Reset();
+  EXPECT_FALSE(faults.enabled());
+  EXPECT_FALSE(faults.Check(kFaultIoFetch).has_value());
+  EXPECT_FALSE(faults.Check(kFaultServerRequest).has_value());
+  EXPECT_EQ(faults.total_fires(), 0);
+  EXPECT_EQ(faults.fires(kFaultIoFetch), 0);
+}
+
+TEST_F(FaultInjectorTest, ThreadSafeUnderConcurrentChecks) {
+  FaultInjector& faults = FaultInjector::Get();
+  FaultSpec spec;
+  spec.probability = 0.5;
+  spec.seed = 7;
+  faults.Arm(kFaultIoFetch, spec);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) (void)faults.Check(kFaultIoFetch);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(faults.passes(kFaultIoFetch), kThreads * kPerThread);
+  EXPECT_EQ(faults.fires(kFaultIoFetch), faults.total_fires());
+  EXPECT_GT(faults.fires(kFaultIoFetch), 0);
+  EXPECT_LT(faults.fires(kFaultIoFetch), kThreads * kPerThread);
+}
+
+// --- retry policy ------------------------------------------------------
+
+TEST(RetryableTest, ClassifiesStatusCodes) {
+  EXPECT_TRUE(IsRetryable(Status::IoError("x")));
+  EXPECT_TRUE(IsRetryable(Status::Internal("x")));
+  EXPECT_FALSE(IsRetryable(Status::OK()));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("x")));
+  EXPECT_FALSE(IsRetryable(Status::InvalidArgument("x")));
+  // An open breaker must not be hammered by the retry loop.
+  EXPECT_FALSE(IsRetryable(Status::Unavailable("x")));
+  EXPECT_FALSE(IsRetryable(Status::DeadlineExceeded("x")));
+}
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyWithinJitterBounds) {
+  RetryPolicy policy;
+  policy.backoff_ms = 100;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_seed = 5;
+  for (int retry = 0; retry < 5; ++retry) {
+    double expected = 100 * std::pow(2.0, retry);
+    double b = policy.BackoffForRetry(retry);
+    EXPECT_GE(b, 0.5 * expected) << retry;
+    EXPECT_LE(b, expected) << retry;
+  }
+  // Cap applies.
+  policy.max_backoff_ms = 150;
+  EXPECT_LE(policy.BackoffForRetry(10), 150);
+}
+
+TEST(RetryPolicyTest, ZeroBackoffStaysZero) {
+  RetryPolicy policy;  // backoff_ms = 0
+  EXPECT_EQ(policy.BackoffForRetry(0), 0);
+  EXPECT_EQ(policy.BackoffForRetry(3), 0);
+}
+
+TEST(RetryStateTest, StopsAtMaxAttempts) {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  RetryState state(policy);
+  EXPECT_TRUE(state.ShouldRetryAfter(Status::IoError("x"), 1, 0));
+  EXPECT_TRUE(state.ShouldRetryAfter(Status::IoError("x"), 2, 0));
+  EXPECT_FALSE(state.ShouldRetryAfter(Status::IoError("x"), 3, 0));
+}
+
+TEST(RetryStateTest, PermanentErrorsNeverRetry) {
+  RetryPolicy policy;
+  policy.max_attempts = 5;
+  RetryState state(policy);
+  EXPECT_FALSE(state.ShouldRetryAfter(Status::NotFound("x"), 1, 0));
+  EXPECT_FALSE(state.ShouldRetryAfter(Status::Unavailable("x"), 1, 0));
+}
+
+TEST(RetryStateTest, DeadlineCutsRetriesShort) {
+  RetryPolicy policy;
+  policy.max_attempts = 10;
+  policy.deadline_ms = 50;
+  RetryState state(policy);
+  EXPECT_TRUE(state.ShouldRetryAfter(Status::IoError("x"), 1, 0));
+  EXPECT_FALSE(state.ShouldRetryAfter(Status::IoError("x"), 2, 60));
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -4,6 +4,10 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
+#include "io/circuit_breaker.h"
+#include "io/connector.h"
+
 namespace shareinsights {
 namespace {
 
@@ -343,6 +347,84 @@ TEST(HttpRequestTest, ParsesQueryParameters) {
   EXPECT_EQ(request.query.at("x"), "1");
   EXPECT_EQ(request.query.at("y"), "two");
   EXPECT_EQ(request.query.at("flag"), "");
+}
+
+// --- resilience contract (docs/ROBUSTNESS.md) -------------------------
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    FaultInjector::Get().Reset();
+    CircuitBreakerRegistry::Default().ResetAll();
+    SimulatedRemoteStore::Get().Clear();
+  }
+  SharedDataRegistry registry_;
+  ApiServer server_{&registry_};
+};
+
+TEST_F(ResilienceTest, ErrorEnvelopeCarriesRetryableFlag) {
+  HttpResponse response = server_.Get("/nope/ds");
+  EXPECT_EQ(response.status, 404);
+  // A 404 is permanent: retrying the same request cannot help.
+  EXPECT_NE(response.body.find("\"retryable\": false"), std::string::npos);
+}
+
+TEST_F(ResilienceTest, ServerRequestFaultSiteFiresBeforeRouting) {
+  FaultInjector::Get().Arm(kFaultServerRequest, FaultSpec{});
+  HttpResponse response = server_.Get("/dashboards");
+  EXPECT_EQ(response.status, 500);  // injected IoError
+  EXPECT_NE(response.body.find("server.request"), std::string::npos);
+  EXPECT_NE(response.body.find("\"retryable\": true"), std::string::npos);
+  FaultInjector::Get().Reset();
+  EXPECT_EQ(server_.Get("/dashboards").status, 200);
+}
+
+TEST_F(ResilienceTest, OpenBreakerAnswers503WithRetryAfter) {
+  // Trip the shared http breaker, then run a dashboard whose source
+  // needs http: the load fails fast with kUnavailable -> 503.
+  CircuitBreaker* breaker = CircuitBreakerRegistry::Default().Get("http");
+  for (int i = 0; i < breaker->options().failure_threshold; ++i) {
+    breaker->RecordFailure();
+  }
+  ASSERT_EQ(breaker->state(), CircuitBreaker::State::kOpen);
+
+  constexpr const char* kHttpFlow = R"(
+D:
+  ev: [a]
+D.ev:
+  protocol: http
+  source: http://feed.test/ev.csv
+F:
+  D.out: D.ev | T.keep
+T:
+  keep:
+    type: distinct
+)";
+  ASSERT_TRUE(
+      server_.CreateDashboard("feed", kHttpFlow, Dashboard::Options()).ok());
+  HttpResponse response = server_.Post("/api/v1/dashboards/feed/run", "");
+  EXPECT_EQ(response.status, 503);
+  EXPECT_NE(response.body.find("unavailable"), std::string::npos);
+  EXPECT_NE(response.body.find("circuit breaker"), std::string::npos);
+  EXPECT_NE(response.body.find("\"retryable\": true"), std::string::npos);
+  ASSERT_EQ(response.headers.count("Retry-After"), 1u);
+  EXPECT_GE(std::stoi(response.headers.at("Retry-After")), 1);
+
+  // Breaker closed again: the same run succeeds once the payload exists.
+  CircuitBreakerRegistry::Default().ResetAll();
+  SimulatedRemoteStore::Get().Publish("http://feed.test/ev.csv", "a\n1\n");
+  EXPECT_EQ(server_.Post("/api/v1/dashboards/feed/run", "").status, 200);
+}
+
+TEST_F(ResilienceTest, DeadlineExceededAnswers504Retryable) {
+  ApiServer slow(&registry_, ApiServer::Options{/*request_deadline_ms=*/1e-6});
+  HttpResponse response = slow.Get("/api/v1/dashboards");
+  EXPECT_EQ(response.status, 504);
+  EXPECT_NE(response.body.find("deadline_exceeded"), std::string::npos);
+  EXPECT_NE(response.body.find("\"retryable\": true"), std::string::npos);
+
+  // Zero (the default) means no deadline.
+  EXPECT_EQ(server_.Get("/api/v1/dashboards").status, 200);
 }
 
 TEST(TableToJsonTest, RespectsLimitOffsetAndTypes) {
