@@ -1,0 +1,146 @@
+// Cooperative-cancellation latency sweep: how long after a token fires
+// does a running morsel batch actually stop? The governance contract
+// (docs/ROBUSTNESS.md) promises "kCancelled within one morsel", so the
+// observable latency is bounded by the in-flight morsels' remaining
+// work, not by the batch size. This harness runs a CPU-busy batch at
+// several morsel sizes and thread counts, fires the token from a second
+// thread at a fixed delay, and reports fire -> return latency.
+//
+// Exits nonzero if any configuration fails to cancel (returns OK) or
+// exceeds a generous latency ceiling — a regression guard, not a
+// microbenchmark.
+//
+//   ./bench_cancellation [batch_rows]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gov/cancellation.h"
+#include "ops/exec_context.h"
+
+namespace shareinsights {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// ~work_us microseconds of real CPU per call (no sleeping, so the
+// numbers reflect scheduling latency, not timer resolution).
+void Spin(int work_us) {
+  auto until = Clock::now() + std::chrono::microseconds(work_us);
+  volatile uint64_t sink = 0;
+  while (Clock::now() < until) sink += 1;
+  (void)sink;
+}
+
+struct Sample {
+  size_t threads;
+  size_t morsel_rows;
+  double fire_to_return_ms;  // token fired -> ForEachMorsel returned
+  double morsel_cost_ms;     // full cost of one morsel at this size
+  bool cancelled;
+};
+
+Sample RunOnce(size_t threads, size_t morsel_rows, size_t batch_rows,
+               int row_cost_us, double fire_after_ms) {
+  ThreadPool pool(threads);
+  CancellationToken token;
+  ExecContext ctx;
+  ctx.pool = &pool;
+  ctx.morsel_rows = morsel_rows;
+  ctx.cancel = &token;
+
+  Clock::time_point fired_at;
+  std::thread firer([&] {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(fire_after_ms));
+    fired_at = Clock::now();
+    token.Cancel("bench");
+  });
+
+  Status status = ForEachMorsel(ctx, batch_rows,
+                                [&](size_t, size_t begin, size_t end) {
+                                  Spin(static_cast<int>(end - begin) *
+                                       row_cost_us);
+                                  return Status::OK();
+                                });
+  double latency = MsSince(fired_at);
+  firer.join();
+
+  Sample sample;
+  sample.threads = threads;
+  sample.morsel_rows = morsel_rows;
+  sample.fire_to_return_ms = latency;
+  sample.morsel_cost_ms = morsel_rows * row_cost_us / 1000.0;
+  sample.cancelled = status.code() == StatusCode::kCancelled;
+  return sample;
+}
+
+}  // namespace
+}  // namespace shareinsights
+
+int main(int argc, char** argv) {
+  using namespace shareinsights;
+
+  size_t batch_rows = 200000;
+  if (argc > 1) batch_rows = static_cast<size_t>(std::atoll(argv[1]));
+  constexpr int kRowCostUs = 20;       // ~4s of single-threaded work
+  constexpr double kFireAfterMs = 25;  // mid-batch, well before completion
+
+  std::printf("cancellation latency: %zu rows x %dus/row, token fired at "
+              "%.0fms\n",
+              batch_rows, kRowCostUs, kFireAfterMs);
+  std::printf("%8s %12s %16s %18s\n", "threads", "morsel_rows",
+              "morsel_cost_ms", "fire_to_return_ms");
+
+  bool failed = false;
+  for (size_t threads : {1, 2, 4, 8}) {
+    for (size_t morsel_rows : {64, 256, 1024, 4096}) {
+      // Median of 3 to shrug off scheduler noise.
+      std::vector<Sample> runs;
+      for (int r = 0; r < 3; ++r) {
+        runs.push_back(RunOnce(threads, morsel_rows, batch_rows, kRowCostUs,
+                               kFireAfterMs));
+      }
+      std::sort(runs.begin(), runs.end(), [](const Sample& a,
+                                             const Sample& b) {
+        return a.fire_to_return_ms < b.fire_to_return_ms;
+      });
+      const Sample& median = runs[1];
+      std::printf("%8zu %12zu %16.2f %18.2f\n", median.threads,
+                  median.morsel_rows, median.morsel_cost_ms,
+                  median.fire_to_return_ms);
+      for (const Sample& run : runs) {
+        if (!run.cancelled) {
+          std::fprintf(stderr,
+                       "FAIL: threads=%zu morsel_rows=%zu finished instead "
+                       "of cancelling\n",
+                       run.threads, run.morsel_rows);
+          failed = true;
+        }
+      }
+      // Contract ceiling: fire -> return within the cost of the morsels
+      // in flight (one per worker) plus generous scheduling slack.
+      double ceiling_ms = median.morsel_cost_ms * 2 + 250;
+      if (median.fire_to_return_ms > ceiling_ms) {
+        std::fprintf(stderr,
+                     "FAIL: threads=%zu morsel_rows=%zu latency %.2fms over "
+                     "ceiling %.2fms\n",
+                     median.threads, median.morsel_rows,
+                     median.fire_to_return_ms, ceiling_ms);
+        failed = true;
+      }
+    }
+  }
+  return failed ? 1 : 0;
+}

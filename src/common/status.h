@@ -25,6 +25,8 @@ enum class StatusCode {
   kConflict,
   kUnavailable,
   kDeadlineExceeded,
+  kCancelled,
+  kResourceExhausted,
 };
 
 /// Returns the canonical lowercase name for a status code, e.g.
@@ -88,6 +90,12 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

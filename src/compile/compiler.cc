@@ -7,6 +7,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "common/value.h"
 #include "compile/optimizer.h"
 #include "obs/metrics.h"
 
@@ -48,6 +49,36 @@ namespace {
 
 // Resolution category for every data object referenced by the flows.
 enum class NodeOrigin { kSource, kFlow, kShared };
+
+/// Compile-time validation of the governance/robustness D-section params
+/// (`retry.*`, `timeout_ms`, `mem_budget`). The load path deliberately
+/// keeps fallback-on-malformed behaviour for schemaless connector params
+/// (NumericParam in io/connector.cc), so the compiler is where a typo'd
+/// or negative value becomes a hard, entity-named Diagnostics error
+/// instead of a silently clamped runtime surprise.
+Status ValidateGovernanceParams(const std::string& name,
+                                const DataSourceParams& params) {
+  constexpr const char* kNumericKeys[] = {
+      "retry.max_attempts", "retry.backoff_ms", "retry.backoff_multiplier",
+      "retry.jitter_seed",  "timeout_ms",       "mem_budget"};
+  for (const char* key : kNumericKeys) {
+    if (!params.Has(key)) continue;
+    const std::string text = params.Get(key);
+    Result<double> parsed = Value(text).ToDouble();
+    if (!parsed.ok() || *parsed < 0) {
+      return Status::InvalidArgument(
+          "data object '" + name + "': parameter '" + std::string(key) +
+          "' must be a non-negative number, got '" + text + "'");
+    }
+    if (std::string(key) == "retry.max_attempts" && *parsed < 1) {
+      return Status::InvalidArgument(
+          "data object '" + name +
+          "': 'retry.max_attempts' counts total attempts including the "
+          "first and must be at least 1, got '" + text + "'");
+    }
+  }
+  return Status::OK();
+}
 
 }  // namespace
 
@@ -99,6 +130,7 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
     }
     const DataObjectDecl* decl = file.FindData(name);
     if (decl != nullptr && decl->IsSource()) {
+      SI_RETURN_IF_ERROR(ValidateGovernanceParams(name, decl->params));
       origin[name] = NodeOrigin::kSource;
       plan.sources[name] = *decl;
       if (decl->columns.empty()) {
@@ -137,6 +169,7 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
   for (const DataObjectDecl& decl : file.data_objects) {
     if (decl.IsSource() && origin.count(decl.name) == 0 &&
         !decl.columns.empty()) {
+      SI_RETURN_IF_ERROR(ValidateGovernanceParams(decl.name, decl.params));
       origin[decl.name] = NodeOrigin::kSource;
       plan.sources[decl.name] = decl;
       plan.schemas[decl.name] = decl.DeclaredSchema();

@@ -146,25 +146,56 @@ Result<TablePtr> DataCube::Execute(const Query& query,
     query_span.AddAttribute("rows_in",
                             static_cast<int64_t>(table_->num_rows()));
   }
+  // Cooperative cancellation: probe at every stage boundary of the query
+  // pipeline (select -> filter materialize -> groupby -> sort -> limit)
+  // so an interactive query aborts quickly when its request is cancelled.
+  auto check_cancelled = [&]() -> Status {
+    Status live = ctx.CheckCancelled();
+    if (!live.ok()) {
+      if (tracer != nullptr && ctx.cancel != nullptr) {
+        query_span.AddAttribute("cancelled", ctx.cancel->reason());
+      }
+      MetricsRegistry::Default()
+          .GetCounter("queries_cancelled_total",
+                      "runs/queries aborted by cooperative cancellation")
+          ->Increment();
+    }
+    return live;
+  };
+  SI_RETURN_IF_ERROR(check_cancelled());
   SI_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRows(query.filters));
   query_span.AddAttribute("rows_selected", static_cast<int64_t>(rows.size()));
 
-  // Materialize the filtered slice.
+  // Materialize the filtered slice; charge the slice against the memory
+  // budget first (rows_selected x all columns is the cube's dominant
+  // per-query allocation).
+  SI_RETURN_IF_ERROR(check_cancelled());
+  MemoryReservation filter_reservation;
+  if (ctx.budget != nullptr) {
+    SI_ASSIGN_OR_RETURN(
+        filter_reservation,
+        ctx.budget->Reserve(
+            ApproxCellBytes(rows.size(), table_->num_columns()),
+            "cube:filter"));
+  }
   TableBuilder filtered_builder(table_->schema());
   for (uint32_t r : rows) filtered_builder.AppendRowFrom(*table_, r);
   SI_ASSIGN_OR_RETURN(TablePtr current, filtered_builder.Finish());
 
   if (!query.group_by.empty()) {
+    SI_RETURN_IF_ERROR(check_cancelled());
     SI_ASSIGN_OR_RETURN(TableOperatorPtr groupby,
                         GroupByOp::Create(query.group_by, query.aggregates,
                                           query.orderby_aggregates));
     SI_ASSIGN_OR_RETURN(current, groupby->Execute({current}, ctx));
   }
   if (!query.order_by.empty()) {
+    SI_RETURN_IF_ERROR(check_cancelled());
     SortOp sort(query.order_by);
     SI_ASSIGN_OR_RETURN(current, sort.Execute({current}, ctx));
   }
   if (query.limit > 0) {
+    SI_RETURN_IF_ERROR(check_cancelled());
     LimitOp limit(query.limit);
     SI_ASSIGN_OR_RETURN(current, limit.Execute({current}, ctx));
   }

@@ -408,11 +408,22 @@ ExecContext Dashboard::exec_context() const {
   if (interactive_pool_->num_threads() > 1) {
     ctx.pool = interactive_pool_.get();
   }
+  if (options_.morsel_rows > 0) ctx.morsel_rows = options_.morsel_rows;
+  if (options_.mem_budget_bytes > 0) {
+    if (interactive_budget_ == nullptr) {
+      interactive_budget_ = std::make_unique<MemoryBudget>(
+          "dashboard", options_.mem_budget_bytes, &MemoryBudget::Process());
+    }
+    ctx.budget = interactive_budget_.get();
+  } else {
+    ctx.budget = &MemoryBudget::Process();
+  }
   ctx.tracer = options_.tracer;
   return ctx;
 }
 
-Result<ExecutionStats> Dashboard::Run(Tracer* tracer) {
+Result<ExecutionStats> Dashboard::Run(Tracer* tracer,
+                                      CancellationToken* cancel) {
   ScopedSpan run_span(tracer, "dashboard.run");
   ExecuteOptions exec_options;
   exec_options.num_threads = options_.num_threads;
@@ -421,6 +432,9 @@ Result<ExecutionStats> Dashboard::Run(Tracer* tracer) {
   exec_options.connectors = options_.connectors;
   exec_options.formats = options_.formats;
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
+  exec_options.morsel_rows = options_.morsel_rows;
+  exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.cancel = cancel;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);
@@ -444,6 +458,8 @@ Result<ExecutionStats> Dashboard::RunIncremental(
   exec_options.connectors = options_.connectors;
   exec_options.formats = options_.formats;
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
+  exec_options.morsel_rows = options_.morsel_rows;
+  exec_options.mem_budget_bytes = options_.mem_budget_bytes;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);

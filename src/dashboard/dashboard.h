@@ -43,6 +43,14 @@ class Dashboard {
     /// Total attempts per flow on transient failures (see
     /// ExecuteOptions::flow_retry_attempts).
     int flow_retry_attempts = 1;
+    /// Target rows per operator morsel (0 = kDefaultMorselRows). Smaller
+    /// morsels tighten the cooperative-cancellation latency at the cost
+    /// of scheduling overhead; output is byte-identical for any value.
+    size_t morsel_rows = 0;
+    /// Memory cap in bytes for this dashboard's runs and interactive
+    /// queries (0 = none; materializations still charge the process
+    /// budget). See ExecuteOptions::mem_budget_bytes.
+    size_t mem_budget_bytes = 0;
     /// Observability sink for this dashboard: compile-phase spans at
     /// Create() time, run/cube spans for Run() and widget evaluation.
     /// Run(Tracer*) overrides it per run (the API server passes a fresh
@@ -66,8 +74,12 @@ class Dashboard {
 
   /// Run with an explicit tracer (overrides Options::tracer for this
   /// run). Records a dashboard.run root span with the executor's and
-  /// cube-build spans nested below.
-  Result<ExecutionStats> Run(Tracer* tracer);
+  /// cube-build spans nested below. A non-null `cancel` token makes the
+  /// run cooperatively cancellable (see ExecuteOptions::cancel): fired
+  /// mid-run, the executor aborts with kCancelled within one morsel's
+  /// latency.
+  Result<ExecutionStats> Run(Tracer* tracer,
+                             CancellationToken* cancel = nullptr);
 
   /// Incremental re-run after `dirty` data objects changed.
   Result<ExecutionStats> RunIncremental(const std::set<std::string>& dirty);
@@ -167,6 +179,9 @@ class Dashboard {
   bool ran_ = false;
   // Pool for interactive evaluation, created on first exec_context().
   mutable std::unique_ptr<ThreadPool> interactive_pool_;
+  // Budget for interactive queries when Options::mem_budget_bytes is set
+  // (reservations are transient, so a long-lived budget never fills up).
+  mutable std::unique_ptr<MemoryBudget> interactive_budget_;
 
   // Selection state per widget.
   std::map<std::string, WidgetValueResolver::Selection> selections_;

@@ -62,6 +62,8 @@ std::string ExecutionStats::ToString() const {
   if (flow_retries > 0) out << " flow_retries=" << flow_retries;
   if (sources_degraded > 0) out << " degraded=" << sources_degraded;
   if (rows_quarantined > 0) out << " quarantined=" << rows_quarantined;
+  if (flows_cancelled > 0) out << " cancelled=" << flows_cancelled;
+  if (mem_rejections > 0) out << " mem_rejections=" << mem_rejections;
   return out.str();
 }
 
@@ -145,6 +147,19 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
   {
     ScopedSpan load_span(tracer, "exec.load_sources", run_span.id());
     for (const auto& [name, decl] : plan.sources) {
+      // Source loads can block on slow providers; probe the token between
+      // them so a cancelled run stops ingesting.
+      if (options_.cancel != nullptr) {
+        Status live = options_.cancel->Check();
+        if (!live.ok()) {
+          run_span.AddAttribute("cancelled", options_.cancel->reason());
+          MetricsRegistry::Default()
+              .GetCounter("queries_cancelled_total",
+                          "runs/queries aborted by cooperative cancellation")
+              ->Increment();
+          return live;
+        }
+      }
       bool need = dirty == nullptr || !store->Has(name) ||
                   dirty->count(name) > 0;
       if (!need) continue;
@@ -247,6 +262,16 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
   }
   ThreadPool pool(threads);
 
+  // Memory account for this run: a dedicated per-query budget parented to
+  // the process budget when a cap is configured, else the process budget
+  // itself (pure accounting). Stack-local is safe — Run blocks until every
+  // submitted flow has completed.
+  MemoryBudget query_budget("query", options_.mem_budget_bytes,
+                            &MemoryBudget::Process());
+  MemoryBudget* budget = options_.mem_budget_bytes > 0
+                             ? &query_budget
+                             : &MemoryBudget::Process();
+
   std::mutex mu;
   std::condition_variable done_cv;
   size_t completed = 0;
@@ -272,6 +297,11 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
     for (size_t t = 0; t < flow.ops.size(); ++t) {
       std::vector<TablePtr> stage_inputs =
           t == 0 ? inputs : std::vector<TablePtr>{current};
+      // Cooperative cancellation point at the DAG-node boundary: a fired
+      // token stops the flow before its next task starts.
+      if (options_.cancel != nullptr) {
+        SI_RETURN_IF_ERROR(options_.cancel->Check());
+      }
       ScopedSpan task_span(tracer, "exec.task:" + flow.task_names[t],
                            flow_span.id());
       if (tracer != nullptr) {
@@ -301,6 +331,8 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       if (options_.morsel_rows > 0) exec_ctx.morsel_rows = options_.morsel_rows;
       exec_ctx.tracer = tracer;
       exec_ctx.trace_parent = task_span.id();
+      exec_ctx.cancel = options_.cancel;
+      exec_ctx.budget = budget;
       Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs, exec_ctx);
       if (!out.ok()) {
         return out.status().WithContext("executing task '" +
@@ -352,6 +384,11 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       std::unique_lock<std::mutex> lock(mu);
       stats.flow_retries += retries;
       if (!rows.ok()) {
+        if (rows.status().code() == StatusCode::kCancelled) {
+          ++stats.flows_cancelled;
+        } else if (rows.status().code() == StatusCode::kResourceExhausted) {
+          ++stats.mem_rejections;
+        }
         if (first_error.ok()) first_error = rows.status();
       } else {
         if (ran) {
@@ -391,7 +428,25 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
   }
   pool.WaitIdle();
   if (tracer != nullptr) tracer->EndSpan(flows_stage);
-  if (!first_error.ok()) return first_error;
+  if (!first_error.ok()) {
+    if (first_error.code() == StatusCode::kCancelled) {
+      run_span.AddAttribute("cancelled",
+                            options_.cancel != nullptr
+                                ? options_.cancel->reason()
+                                : first_error.message());
+      MetricsRegistry::Default()
+          .GetCounter("queries_cancelled_total",
+                      "runs/queries aborted by cooperative cancellation")
+          ->Increment();
+    }
+    if (first_error.code() == StatusCode::kResourceExhausted) {
+      MetricsRegistry::Default()
+          .GetCounter("mem_budget_failed_runs_total",
+                      "runs aborted by a refused memory reservation")
+          ->Increment();
+    }
+    return first_error;
+  }
 
   // Endpoint transfer accounting.
   {

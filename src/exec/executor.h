@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "compile/plan.h"
+#include "gov/cancellation.h"
+#include "gov/memory_budget.h"
 #include "io/connector.h"
 #include "obs/trace.h"
 #include "table/table.h"
@@ -69,6 +71,13 @@ struct ExecutionStats {
   /// Rows diverted to `<name>__quarantine` side tables by the
   /// `error_policy: quarantine` parse policy.
   int64_t rows_quarantined = 0;
+  /// Flows aborted by cooperative cancellation (deadline, client abort,
+  /// or server drain). A cancelled run returns kCancelled; this counter
+  /// is visible on the stats of partial runs retrieved by callers that
+  /// keep them.
+  int flows_cancelled = 0;
+  /// Flows refused a MemoryBudget reservation (kResourceExhausted).
+  int mem_rejections = 0;
   int64_t rows_produced = 0;
   /// Total bytes materialized at endpoint data objects — the proxy for
   /// "data transferred to the browser".
@@ -106,6 +115,20 @@ struct ExecuteOptions {
   ConnectorRegistry* connectors = nullptr;
   FormatRegistry* formats = nullptr;
   const SharedTableSource* shared = nullptr;
+
+  /// Cooperative cancellation for the whole run. Checked between source
+  /// loads, before every task of every flow (DAG-node boundary), and
+  /// between operator morsels (via ExecContext), so a fired token aborts
+  /// the run with kCancelled within one morsel's latency. Arm a deadline
+  /// on the token to bound the run's wall clock. Null = uncancellable.
+  CancellationToken* cancel = nullptr;
+  /// Per-query memory cap in bytes (0 = none). When set, the run charges
+  /// operator materializations against a dedicated "query" budget
+  /// parented to MemoryBudget::Process(); exceeding it fails the flow
+  /// with kResourceExhausted naming the operator instead of OOM-killing
+  /// the process. When unset, materializations still charge the process
+  /// budget (accounting, and any process-wide cap).
+  size_t mem_budget_bytes = 0;
 
   /// When set, the run records hierarchical spans — exec.run with
   /// per-stage children (load_sources / resolve_shared / flows /

@@ -1,0 +1,134 @@
+#include "gov/admission.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+namespace {
+
+Gauge* QueueDepthGauge() {
+  static Gauge* gauge = MetricsRegistry::Default().GetGauge(
+      "admission_queue_depth", "requests waiting for an in-flight slot");
+  return gauge;
+}
+
+Counter* RejectedCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "admission_rejected_total",
+      "requests shed because the admission queue was full");
+  return counter;
+}
+
+Counter* TimeoutCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "admission_timeouts_total",
+      "queued requests that timed out before getting a slot");
+  return counter;
+}
+
+}  // namespace
+
+AdmissionSlot& AdmissionSlot::operator=(AdmissionSlot&& other) noexcept {
+  if (this != &other) {
+    Release();
+    controller_ = other.controller_;
+    other.controller_ = nullptr;
+  }
+  return *this;
+}
+
+void AdmissionSlot::Release() {
+  if (controller_ != nullptr) controller_->Release();
+  controller_ = nullptr;
+}
+
+AdmissionController::AdmissionController(AdmissionOptions options)
+    : options_(options) {}
+
+Result<AdmissionSlot> AdmissionController::Admit() {
+  if (options_.max_in_flight == 0) return AdmissionSlot();  // disabled
+  std::unique_lock<std::mutex> lock(mu_);
+  if (shutting_down_) {
+    return Status::Unavailable("server is shutting down");
+  }
+  if (in_flight_ < options_.max_in_flight && waiters_.empty()) {
+    ++in_flight_;
+    return AdmissionSlot(this);
+  }
+  if (waiters_.size() >= options_.max_queue) {
+    RejectedCounter()->Increment();
+    return Status::ResourceExhausted(
+        "server at capacity: " + std::to_string(in_flight_) +
+        " requests in flight and " + std::to_string(waiters_.size()) +
+        " queued; retry later");
+  }
+  uint64_t ticket = next_ticket_++;
+  waiters_.push_back(ticket);
+  QueueDepthGauge()->Set(static_cast<double>(waiters_.size()));
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          std::max(0.0, options_.queue_timeout_ms)));
+  auto seated = [&] {
+    return shutting_down_ || (!waiters_.empty() && waiters_.front() == ticket &&
+                              in_flight_ < options_.max_in_flight);
+  };
+  bool ok = slot_freed_.wait_until(lock, deadline, seated);
+  // Leave the queue whatever happened.
+  auto it = std::find(waiters_.begin(), waiters_.end(), ticket);
+  if (it != waiters_.end()) waiters_.erase(it);
+  QueueDepthGauge()->Set(static_cast<double>(waiters_.size()));
+  if (shutting_down_) {
+    slot_freed_.notify_all();  // let the next waiter re-evaluate
+    return Status::Unavailable("server is shutting down");
+  }
+  if (!ok) {
+    TimeoutCounter()->Increment();
+    slot_freed_.notify_all();
+    return Status::Unavailable(
+        "request queued longer than " +
+        std::to_string(static_cast<int64_t>(options_.queue_timeout_ms)) +
+        " ms waiting for an in-flight slot");
+  }
+  ++in_flight_;
+  // The freed slot we consumed may not be the only one; wake the rest.
+  slot_freed_.notify_all();
+  return AdmissionSlot(this);
+}
+
+void AdmissionController::Release() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (in_flight_ > 0) --in_flight_;
+  slot_freed_.notify_all();
+  if (in_flight_ == 0) drained_.notify_all();
+}
+
+void AdmissionController::BeginShutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutting_down_ = true;
+  slot_freed_.notify_all();
+}
+
+bool AdmissionController::AwaitDrain(double deadline_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(
+                          std::max(0.0, deadline_ms)));
+  return drained_.wait_until(lock, deadline, [&] { return in_flight_ == 0; });
+}
+
+size_t AdmissionController::in_flight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return in_flight_;
+}
+
+size_t AdmissionController::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waiters_.size();
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,98 @@
+#ifndef SHAREINSIGHTS_GOV_ADMISSION_H_
+#define SHAREINSIGHTS_GOV_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace shareinsights {
+
+class AdmissionController;
+
+/// RAII in-flight slot handed out by AdmissionController::Admit; its
+/// destruction frees the slot and wakes the longest-waiting queued
+/// request. Movable, not copyable.
+class AdmissionSlot {
+ public:
+  AdmissionSlot() = default;
+  explicit AdmissionSlot(AdmissionController* controller)
+      : controller_(controller) {}
+  AdmissionSlot(AdmissionSlot&& other) noexcept
+      : controller_(other.controller_) {
+    other.controller_ = nullptr;
+  }
+  AdmissionSlot& operator=(AdmissionSlot&& other) noexcept;
+  AdmissionSlot(const AdmissionSlot&) = delete;
+  AdmissionSlot& operator=(const AdmissionSlot&) = delete;
+  ~AdmissionSlot() { Release(); }
+
+  void Release();
+
+ private:
+  AdmissionController* controller_ = nullptr;
+};
+
+/// Load-shedding knobs. max_in_flight 0 disables admission control
+/// entirely (every Admit succeeds immediately).
+struct AdmissionOptions {
+  /// Requests allowed to execute concurrently.
+  size_t max_in_flight = 0;
+  /// Requests allowed to wait for a slot; arrivals beyond
+  /// max_in_flight + max_queue are rejected immediately (load shedding).
+  size_t max_queue = 0;
+  /// How long one queued request may wait before giving up.
+  double queue_timeout_ms = 1000;
+};
+
+/// Server front door: bounds concurrent requests to `max_in_flight`,
+/// parks up to `max_queue` arrivals in a FIFO wait queue (per-entry
+/// timeout), and sheds everything beyond that with kResourceExhausted —
+/// the API layer answers 429 + Retry-After. FIFO is by ticket: a freed
+/// slot always goes to the longest-waiting request, so bursts drain in
+/// arrival order.
+///
+/// Observable via admission_queue_depth (gauge) and
+/// admission_rejected_total / admission_timeouts_total (counters).
+class AdmissionController {
+ public:
+  explicit AdmissionController(AdmissionOptions options);
+
+  /// Blocks until an in-flight slot is granted. Fails with:
+  ///   kResourceExhausted — queue full, request shed (HTTP 429);
+  ///   kUnavailable       — waited queue_timeout_ms without a slot, or
+  ///                        the controller is shutting down (HTTP 503).
+  Result<AdmissionSlot> Admit();
+
+  /// Stops admitting: queued waiters drain with kUnavailable, later
+  /// Admit calls fail immediately. In-flight slots are unaffected.
+  void BeginShutdown();
+
+  /// Blocks until no request is in flight or `deadline_ms` passes.
+  /// Returns true when fully drained.
+  bool AwaitDrain(double deadline_ms);
+
+  size_t in_flight() const;
+  size_t queue_depth() const;
+
+ private:
+  friend class AdmissionSlot;
+  void Release();
+
+  AdmissionOptions options_;
+  mutable std::mutex mu_;
+  std::condition_variable slot_freed_;
+  std::condition_variable drained_;
+  size_t in_flight_ = 0;
+  bool shutting_down_ = false;
+  // FIFO wait queue as ticket numbers; front() is next to be seated.
+  std::deque<uint64_t> waiters_;
+  uint64_t next_ticket_ = 0;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_GOV_ADMISSION_H_

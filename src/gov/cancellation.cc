@@ -1,0 +1,46 @@
+#include "gov/cancellation.h"
+
+namespace shareinsights {
+
+void CancellationToken::Cancel(std::string reason, CancelCause cause) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (cancelled_.load(std::memory_order_acquire)) return;
+  reason_ = std::move(reason);
+  cause_.store(cause, std::memory_order_release);
+  cancelled_.store(true, std::memory_order_release);
+}
+
+void CancellationToken::ArmDeadline(double deadline_ms) {
+  if (deadline_ms <= 0) return;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(deadline_ms));
+  deadline_armed_.store(true, std::memory_order_release);
+}
+
+void CancellationToken::FireDeadlineIfDue() const {
+  if (!deadline_armed_.load(std::memory_order_acquire)) return;
+  if (cancelled_.load(std::memory_order_acquire)) return;
+  if (std::chrono::steady_clock::now() < deadline_) return;
+  // Safe to cast away const: firing the armed deadline is a logically
+  // const state transition (any observer at this instant sees it fire).
+  const_cast<CancellationToken*>(this)->Cancel("deadline exceeded",
+                                               CancelCause::kDeadline);
+}
+
+bool CancellationToken::cancelled() const {
+  FireDeadlineIfDue();
+  return cancelled_.load(std::memory_order_acquire);
+}
+
+Status CancellationToken::Check() const {
+  if (!cancelled()) return Status::OK();
+  return Status::Cancelled(reason());
+}
+
+std::string CancellationToken::reason() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reason_;
+}
+
+}  // namespace shareinsights

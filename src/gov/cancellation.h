@@ -1,0 +1,78 @@
+#ifndef SHAREINSIGHTS_GOV_CANCELLATION_H_
+#define SHAREINSIGHTS_GOV_CANCELLATION_H_
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <string>
+
+#include "common/status.h"
+
+namespace shareinsights {
+
+/// Why a CancellationToken fired. Distinguishing the causes lets the API
+/// layer answer the right HTTP status: a blown deadline is a 504, a
+/// server drain is a 503, an explicit client abort is a plain
+/// cancellation.
+enum class CancelCause {
+  kNone = 0,
+  kClient,    // caller asked (disconnect, explicit abort)
+  kDeadline,  // armed deadline expired
+  kShutdown,  // server drain cancelled stragglers
+};
+
+/// Cooperative cancellation signal threaded through ExecContext /
+/// ExecuteOptions and checked at morsel, DAG-node, and cube-query
+/// boundaries. Fire-once: the first Cancel (or the first deadline check
+/// past the armed deadline) wins and later calls are no-ops, so the
+/// recorded cause/reason are stable once set.
+///
+/// Check() is the hot-path probe: one relaxed atomic load when no
+/// deadline is armed, plus a steady_clock read when one is. That is
+/// cheap enough to call between every morsel, which is what bounds
+/// cancellation latency to one morsel's execution time
+/// (bench/bench_cancellation.cc measures it).
+class CancellationToken {
+ public:
+  CancellationToken() = default;
+  CancellationToken(const CancellationToken&) = delete;
+  CancellationToken& operator=(const CancellationToken&) = delete;
+
+  /// Fires the token (first call wins). `reason` lands in the kCancelled
+  /// status message every subsequent Check() returns.
+  void Cancel(std::string reason = "cancelled",
+              CancelCause cause = CancelCause::kClient);
+
+  /// Arms a wall-clock deadline `deadline_ms` from now. The token fires
+  /// with CancelCause::kDeadline at the first Check()/cancelled() call at
+  /// or past the deadline — cancellation stays cooperative; no watchdog
+  /// thread exists.
+  void ArmDeadline(double deadline_ms);
+
+  /// True once fired (probes the armed deadline first).
+  bool cancelled() const;
+
+  /// OK while live; kCancelled with the recorded reason once fired. This
+  /// is THE check every cooperative boundary calls.
+  Status Check() const;
+
+  /// Cause recorded by the winning Cancel (kNone while live).
+  CancelCause cause() const { return cause_.load(std::memory_order_acquire); }
+
+  /// Reason recorded by the winning Cancel ("" while live).
+  std::string reason() const;
+
+ private:
+  void FireDeadlineIfDue() const;
+
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<CancelCause> cause_{CancelCause::kNone};
+  std::atomic<bool> deadline_armed_{false};
+  std::chrono::steady_clock::time_point deadline_{};
+  mutable std::mutex mu_;  // guards reason_ writes
+  mutable std::string reason_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_GOV_CANCELLATION_H_

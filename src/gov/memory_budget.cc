@@ -1,0 +1,105 @@
+#include "gov/memory_budget.h"
+
+#include "common/value.h"
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+namespace {
+
+Gauge* ReservedGauge() {
+  static Gauge* gauge = MetricsRegistry::Default().GetGauge(
+      "mem_reserved_bytes",
+      "bytes currently reserved against the process memory budget");
+  return gauge;
+}
+
+Counter* RejectionsCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "mem_budget_rejections_total",
+      "reservations refused by a memory budget");
+  return counter;
+}
+
+}  // namespace
+
+MemoryReservation& MemoryReservation::operator=(
+    MemoryReservation&& other) noexcept {
+  if (this != &other) {
+    Release();
+    budget_ = std::exchange(other.budget_, nullptr);
+    bytes_ = std::exchange(other.bytes_, 0);
+  }
+  return *this;
+}
+
+void MemoryReservation::Release() {
+  if (budget_ != nullptr && bytes_ > 0) {
+    budget_->ReleaseAll(bytes_);
+  }
+  budget_ = nullptr;
+  bytes_ = 0;
+}
+
+MemoryBudget& MemoryBudget::Process() {
+  static MemoryBudget* process = new MemoryBudget("process");
+  return *process;
+}
+
+Status MemoryBudget::ReserveLocal(size_t bytes, const std::string& op) {
+  size_t capacity = capacity_.load(std::memory_order_relaxed);
+  size_t current = reserved_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (capacity > 0 && current + bytes > capacity) {
+      RejectionsCounter()->Increment();
+      return Status::ResourceExhausted(
+          "operator '" + op + "' needs " + std::to_string(bytes) +
+          " bytes but the '" + name_ + "' memory budget has " +
+          std::to_string(capacity > current ? capacity - current : 0) +
+          " of " + std::to_string(capacity) + " bytes free");
+    }
+    if (reserved_.compare_exchange_weak(current, current + bytes,
+                                        std::memory_order_relaxed)) {
+      return Status::OK();
+    }
+  }
+}
+
+void MemoryBudget::ReleaseLocal(size_t bytes) {
+  reserved_.fetch_sub(bytes, std::memory_order_relaxed);
+  if (parent_ == nullptr) {
+    ReservedGauge()->Add(-static_cast<double>(bytes));
+  }
+}
+
+void MemoryBudget::ReleaseAll(size_t bytes) {
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    b->ReleaseLocal(bytes);
+  }
+}
+
+Result<MemoryReservation> MemoryBudget::Reserve(size_t bytes,
+                                                const std::string& op) {
+  if (bytes == 0) return MemoryReservation();
+  // Charge bottom-up; on a failure at any level, unwind the levels
+  // already charged so nothing leaks.
+  for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
+    Status charged = b->ReserveLocal(bytes, op);
+    if (!charged.ok()) {
+      for (MemoryBudget* undo = this; undo != b; undo = undo->parent_) {
+        undo->ReleaseLocal(bytes);
+      }
+      return charged;
+    }
+    if (b->parent_ == nullptr) {
+      ReservedGauge()->Add(static_cast<double>(bytes));
+    }
+  }
+  return MemoryReservation(this, bytes);
+}
+
+size_t ApproxCellBytes(size_t rows, size_t columns) {
+  return rows * columns * sizeof(Value);
+}
+
+}  // namespace shareinsights

@@ -5,6 +5,7 @@
 
 #include "common/fault.h"
 #include "common/string_util.h"
+#include "gov/memory_budget.h"
 #include "io/circuit_breaker.h"
 #include "io/csv.h"
 #include "io/json.h"
@@ -538,6 +539,25 @@ Result<TablePtr> LoadDataObject(const DataSourceParams& params,
               .GetCounter("rows_quarantined_total",
                           "rows diverted to quarantine side tables")
               ->Increment(quarantined);
+          // `mem_budget` D-section param: hard cap on what this source may
+          // materialize (main table + quarantine side table). The same
+          // bytes are charged transiently against the process budget so
+          // mem_reserved_bytes reflects ingestion and a process-wide cap
+          // can refuse oversized loads too.
+          size_t bytes = (*table)->ApproxBytes();
+          if (report != nullptr && report->quarantine != nullptr) {
+            bytes += report->quarantine->ApproxBytes();
+          }
+          double cap = NumericParam(params, "mem_budget", 0);
+          if (cap > 0 && static_cast<double>(bytes) > cap) {
+            return Status::ResourceExhausted(
+                "source '" + params.Get("source") + "' materialized " +
+                std::to_string(bytes) + " bytes, over its mem_budget of " +
+                std::to_string(static_cast<int64_t>(cap)) + " bytes");
+          }
+          Result<MemoryReservation> charged =
+              MemoryBudget::Process().Reserve(bytes, "source:load");
+          if (!charged.ok()) return charged.status();
           return table;
         }
         error = table.status();

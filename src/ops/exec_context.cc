@@ -36,6 +36,7 @@ Status ForEachMorsel(const ExecContext& ctx, size_t num_rows,
       ->Increment(static_cast<int64_t>(num_rows));
 
   if (ranges.size() == 1) {
+    SI_RETURN_IF_ERROR(ctx.CheckCancelled());
     return fn(0, ranges[0].begin, ranges[0].end);
   }
 
@@ -49,7 +50,11 @@ Status ForEachMorsel(const ExecContext& ctx, size_t num_rows,
 
   std::vector<Status> results(ranges.size());
   auto run_one = [&](size_t m) {
-    results[m] = fn(m, ranges[m].begin, ranges[m].end);
+    // Cooperative cancellation point: a fired token stops morsels that
+    // have not started yet; in-flight morsels run to completion.
+    Status live = ctx.CheckCancelled();
+    results[m] = live.ok() ? fn(m, ranges[m].begin, ranges[m].end)
+                           : std::move(live);
   };
   if (ctx.pool != nullptr) {
     ctx.pool->ParallelFor(ranges.size(), run_one);
@@ -57,17 +62,32 @@ Status ForEachMorsel(const ExecContext& ctx, size_t num_rows,
     for (size_t m = 0; m < ranges.size(); ++m) run_one(m);
   }
   // Report the lowest-indexed failure: the same error the sequential scan
-  // would have surfaced first.
+  // would have surfaced first. Real errors outrank kCancelled statuses
+  // from skipped morsels — cancellation must never mask a genuine error
+  // that raced with it.
+  Status cancelled;
   for (Status& status : results) {
-    if (!status.ok()) return std::move(status);
+    if (status.ok()) continue;
+    if (status.code() == StatusCode::kCancelled) {
+      if (cancelled.ok()) cancelled = std::move(status);
+      continue;
+    }
+    return std::move(status);
   }
-  return Status::OK();
+  return cancelled;
 }
 
 Result<TablePtr> GatherRows(const TablePtr& input,
                             const std::vector<size_t>& rows,
                             const ExecContext& ctx) {
   size_t num_columns = input->num_columns();
+  MemoryReservation reservation;
+  if (ctx.budget != nullptr) {
+    SI_ASSIGN_OR_RETURN(
+        reservation,
+        ctx.budget->Reserve(ApproxCellBytes(rows.size(), num_columns),
+                            "gather"));
+  }
   std::vector<std::vector<Value>> columns(num_columns);
   for (auto& column : columns) column.resize(rows.size());
   SI_RETURN_IF_ERROR(ForEachMorsel(

@@ -6,6 +6,8 @@
 
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "gov/cancellation.h"
+#include "gov/memory_budget.h"
 #include "obs/trace.h"
 #include "table/table.h"
 
@@ -36,6 +38,22 @@ struct ExecContext {
   /// multi-morsel batch under `trace_parent`.
   Tracer* tracer = nullptr;
   SpanId trace_parent = 0;
+  /// Cooperative cancellation. ForEachMorsel probes it before scheduling
+  /// each morsel, so a fired token (client abort, deadline, shutdown)
+  /// aborts a running operator within one morsel's latency — morsels
+  /// already in flight finish; nothing new starts. Null = uncancellable.
+  CancellationToken* cancel = nullptr;
+  /// Memory account charged at materialization points (GatherRows, hash
+  /// tables, builders). Null = unmetered. A refused reservation surfaces
+  /// as kResourceExhausted naming the operator, not as an OOM kill.
+  MemoryBudget* budget = nullptr;
+
+  /// OK while the run may proceed; the token's kCancelled once fired.
+  /// Operators call this at their own coarse boundaries (DAG nodes, cube
+  /// query stages) in addition to ForEachMorsel's per-morsel probe.
+  Status CheckCancelled() const {
+    return cancel != nullptr ? cancel->Check() : Status::OK();
+  }
 
   /// Workers available for morsel execution (1 = sequential).
   size_t parallelism() const {
@@ -62,6 +80,12 @@ std::vector<MorselRange> MorselRanges(size_t num_rows,
 /// every morsel has finished. On failure returns the error of the
 /// lowest-indexed failing morsel, so the reported error is the same one
 /// the sequential path would have hit first.
+///
+/// Cancellation: ctx.cancel is probed before each morsel runs; once
+/// fired, unstarted morsels are skipped (in-flight ones finish) and the
+/// batch returns kCancelled. When a real error and a cancellation race,
+/// the error wins: the lowest-indexed *non-cancelled* failure is
+/// returned, so cancelling never masks what actually went wrong.
 ///
 /// Records per-morsel engine metrics (ops_morsels_total,
 /// ops_parallel_batches_total, ops_morsel_rows_total) and, when tracing

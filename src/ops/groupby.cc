@@ -172,7 +172,18 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
     }
   }
 
-  // Materialize rows in group-encounter order.
+  // Materialize rows in group-encounter order. The output (group keys +
+  // finalized aggregates) is the operator's dominant allocation; charge it
+  // before building so an over-budget aggregation fails with a named
+  // kResourceExhausted instead of exhausting the process.
+  MemoryReservation reservation;
+  if (ctx.budget != nullptr) {
+    SI_ASSIGN_OR_RETURN(
+        reservation,
+        ctx.budget->Reserve(ApproxCellBytes(ordered_keys.size(),
+                                            keys_.size() + aggregates_.size()),
+                            "groupby"));
+  }
   TableBuilder builder(out_schema);
   for (const std::vector<Value>* group_key : ordered_keys) {
     Group& group = groups.at(*group_key);

@@ -134,6 +134,16 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
   // so per-key row lists keep scan order; partition count never changes
   // which rows land in a bucket, only which map holds it — output is
   // invariant to the partition count.
+  // The build index holds every build-side key plus one row id per row;
+  // charge it (approximated as keys + a row-id cell per build row) before
+  // building so an over-budget join fails cleanly instead of OOMing.
+  MemoryReservation build_reservation;
+  if (ctx.budget != nullptr) {
+    SI_ASSIGN_OR_RETURN(
+        build_reservation,
+        ctx.budget->Reserve(ApproxCellBytes(right->num_rows(), rk.size() + 1),
+                            "join:build"));
+  }
   using Index =
       std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash>;
   const size_t num_parts = std::max<size_t>(
@@ -185,6 +195,18 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
         return Status::OK();
       }));
 
+  // Charge the output materialization now that the matched-pair count is
+  // known (outer-join null rows for the right side are bounded by the
+  // build-side row count already charged above).
+  size_t emit_rows = 0;
+  for (const auto& morsel_pairs : pairs) emit_rows += morsel_pairs.size();
+  MemoryReservation emit_reservation;
+  if (ctx.budget != nullptr) {
+    SI_ASSIGN_OR_RETURN(
+        emit_reservation,
+        ctx.budget->Reserve(ApproxCellBytes(emit_rows, proj_idx.size()),
+                            "join:emit"));
+  }
   TableBuilder builder(out_schema);
   auto emit = [&](ptrdiff_t lrow, ptrdiff_t rrow) -> Status {
     std::vector<Value> row;

@@ -64,12 +64,13 @@ HttpResponse JsonResponse(int status, JsonValue body) {
 }
 
 /// True when the client may usefully retry the same request: transient
-/// I/O trouble, a tripped breaker (after Retry-After), or a blown
-/// deadline.
+/// I/O trouble, a tripped breaker (after Retry-After), a blown deadline,
+/// or load shedding (the 429/503 admission answers).
 bool IsClientRetryable(const Status& status) {
   return IsRetryable(status) ||
          status.code() == StatusCode::kUnavailable ||
-         status.code() == StatusCode::kDeadlineExceeded;
+         status.code() == StatusCode::kDeadlineExceeded ||
+         status.code() == StatusCode::kResourceExhausted;
 }
 
 HttpResponse ErrorResponse(const Status& status) {
@@ -97,10 +98,26 @@ HttpResponse ErrorResponse(const Status& status) {
     case StatusCode::kDeadlineExceeded:
       http = 504;
       break;
+    case StatusCode::kResourceExhausted:
+      // Load shed (admission queue full) or a refused memory budget:
+      // the request was never started, so retrying later is safe.
+      http = 429;
+      break;
+    case StatusCode::kCancelled:
+      // Client-abandoned request (nginx's 499); deadline- and
+      // shutdown-caused cancellations are re-mapped to 504/503 by the
+      // governed Handle() path before reaching the client.
+      http = 499;
+      break;
     default:
       http = 500;
   }
   HttpResponse response = JsonResponse(http, std::move(body));
+  if (http == 429) {
+    // Shed because the box is saturated right now; a slot frees as soon
+    // as a running request finishes, so probe again shortly.
+    response.headers["Retry-After"] = "1";
+  }
   if (http == 503) {
     // Hint when the tripped dependency will accept a probe again: the
     // longest cooldown across currently-open breakers, min 1 second.
@@ -233,21 +250,78 @@ HttpResponse ApiServer::Handle(const HttpRequest& request) {
                     "faults fired by the injection harness")
         ->Increment();
     response = ErrorResponse(*injected);
+  } else if ([&] {
+               std::lock_guard<std::mutex> lock(gov_mu_);
+               return draining_;
+             }()) {
+    // Shutdown() was called: shed before admission so drain progress is
+    // never delayed by new arrivals.
+    response = ErrorResponse(Status::Unavailable(
+        "server is shutting down; not accepting new requests"));
   } else {
-    response = Route(request);
-    double elapsed_ms = std::chrono::duration<double, std::milli>(
-                            std::chrono::steady_clock::now() - start)
-                            .count();
-    if (options_.request_deadline_ms > 0 &&
-        elapsed_ms > options_.request_deadline_ms) {
-      metrics
-          .GetCounter("http_deadline_exceeded_total",
-                      "requests answered 504 after blowing the deadline")
-          ->Increment();
-      response = ErrorResponse(Status::DeadlineExceeded(
-          "request exceeded deadline of " +
-          std::to_string(static_cast<int64_t>(options_.request_deadline_ms)) +
-          " ms"));
+    // Admission: bounded concurrency with a FIFO wait queue. A full
+    // queue answers 429 (+Retry-After); a queue timeout answers 503.
+    Result<AdmissionSlot> slot = admission_.Admit();
+    if (!slot.ok()) {
+      response = ErrorResponse(slot.status());
+    } else {
+      // Per-request cancellation token. The deadline is armed on it, so
+      // a request that outlives request_deadline_ms is genuinely aborted
+      // (kCancelled at the next morsel/task boundary), not merely
+      // re-labelled 504 after running to completion.
+      auto token = std::make_shared<CancellationToken>();
+      if (options_.request_deadline_ms > 0) {
+        token->ArmDeadline(options_.request_deadline_ms);
+      }
+      uint64_t request_id;
+      {
+        std::lock_guard<std::mutex> lock(gov_mu_);
+        request_id = next_request_id_++;
+        active_tokens_[request_id] = token;
+      }
+      response = Route(request, token.get());
+      {
+        std::lock_guard<std::mutex> lock(gov_mu_);
+        active_tokens_.erase(request_id);
+        if (active_tokens_.empty()) tokens_done_.notify_all();
+      }
+      // Map the cancellation cause onto the right HTTP answer: a fired
+      // deadline is the client's 504, a shutdown cancel is a 503. A
+      // plain client cancel keeps the 499 envelope from ErrorResponse.
+      if (token->cancelled() &&
+          token->cause() == CancelCause::kDeadline) {
+        metrics
+            .GetCounter("http_deadline_exceeded_total",
+                        "requests answered 504 after blowing the deadline")
+            ->Increment();
+        response = ErrorResponse(Status::DeadlineExceeded(
+            "request exceeded deadline of " +
+            std::to_string(
+                static_cast<int64_t>(options_.request_deadline_ms)) +
+            " ms: " + token->reason()));
+      } else if (token->cancelled() &&
+                 token->cause() == CancelCause::kShutdown) {
+        response = ErrorResponse(Status::Unavailable(
+            "request cancelled: server is shutting down"));
+      } else {
+        // Backstop for routes without cancellation points (e.g. a slow
+        // connector fetch): a blown deadline still answers 504.
+        double elapsed_ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - start)
+                                .count();
+        if (options_.request_deadline_ms > 0 &&
+            elapsed_ms > options_.request_deadline_ms) {
+          metrics
+              .GetCounter("http_deadline_exceeded_total",
+                          "requests answered 504 after blowing the deadline")
+              ->Increment();
+          response = ErrorResponse(Status::DeadlineExceeded(
+              "request exceeded deadline of " +
+              std::to_string(
+                  static_cast<int64_t>(options_.request_deadline_ms)) +
+              " ms"));
+        }
+      }
     }
   }
   metrics.GetCounter("http_requests_total", "API requests handled")
@@ -265,6 +339,41 @@ HttpResponse ApiServer::Handle(const HttpRequest& request) {
   return response;
 }
 
+ApiServer::ShutdownReport ApiServer::Shutdown(double drain_deadline_ms) {
+  {
+    std::lock_guard<std::mutex> lock(gov_mu_);
+    draining_ = true;
+  }
+  admission_.BeginShutdown();
+  ShutdownReport report;
+  std::unique_lock<std::mutex> lock(gov_mu_);
+  auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              std::max(0.0, drain_deadline_ms)));
+  report.drained = tokens_done_.wait_until(
+      lock, deadline, [&] { return active_tokens_.empty(); });
+  if (!report.drained) {
+    // Drain deadline blown: fire every straggler's token. Each aborts at
+    // its next cancellation point and answers 503.
+    for (auto& [id, token] : active_tokens_) {
+      token->Cancel("server shutting down", CancelCause::kShutdown);
+      ++report.stragglers_cancelled;
+    }
+    MetricsRegistry::Default()
+        .GetCounter("shutdown_stragglers_cancelled_total",
+                    "in-flight requests cancelled at the drain deadline")
+        ->Increment(report.stragglers_cancelled);
+  }
+  return report;
+}
+
+size_t ApiServer::in_flight() const {
+  std::lock_guard<std::mutex> lock(gov_mu_);
+  return active_tokens_.size();
+}
+
 std::string ApiServer::StoreTrace(std::string chrome_json) {
   std::lock_guard<std::mutex> lock(mu_);
   std::string run_id = "run-" + std::to_string(++run_counter_);
@@ -277,7 +386,8 @@ std::string ApiServer::StoreTrace(std::string chrome_json) {
   return run_id;
 }
 
-HttpResponse ApiServer::Route(const HttpRequest& request) {
+HttpResponse ApiServer::Route(const HttpRequest& request,
+                              CancellationToken* cancel) {
   std::vector<std::string> segments = PathSegments(request.path);
 
   // Canonical routes live under /api/v1; the bare paths are deprecated
@@ -291,19 +401,20 @@ HttpResponse ApiServer::Route(const HttpRequest& request) {
     segments.erase(segments.begin(), segments.begin() + 2);
     versioned = true;
   }
-  HttpResponse response = RouteV1(segments, request);
+  HttpResponse response = RouteV1(segments, request, cancel);
   if (!versioned) response.headers["Deprecation"] = "true";
   return response;
 }
 
 HttpResponse ApiServer::RouteV1(const std::vector<std::string>& segments,
-                                const HttpRequest& request) {
+                                const HttpRequest& request,
+                                CancellationToken* cancel) {
   if (segments.empty()) {
     return ErrorResponse(Status::NotFound("empty path"));
   }
 
   if (segments[0] == "dashboards") {
-    return HandleDashboards(segments, request);
+    return HandleDashboards(segments, request, cancel);
   }
 
   // /metrics — Prometheus-style exposition of the process registry.
@@ -357,12 +468,13 @@ HttpResponse ApiServer::RouteV1(const std::vector<std::string>& segments,
   // /<dashboard>/ds[...], /<dashboard>/explore/<dataset>
   Result<Dashboard*> dashboard = GetDashboard(segments[0]);
   if (!dashboard.ok()) return ErrorResponse(dashboard.status());
-  return HandleDatasets(*dashboard,
-                        {segments.begin() + 1, segments.end()}, request);
+  return HandleDatasets(*dashboard, {segments.begin() + 1, segments.end()},
+                        request, cancel);
 }
 
 HttpResponse ApiServer::HandleDashboards(
-    const std::vector<std::string>& segments, const HttpRequest& request) {
+    const std::vector<std::string>& segments, const HttpRequest& request,
+    CancellationToken* cancel) {
   if (segments.size() == 1) {
     if (request.method != "GET") return MethodNotAllowed(request, "GET");
     Result<size_t> limit = QuerySize(request, "limit", 0);
@@ -389,7 +501,7 @@ HttpResponse ApiServer::HandleDashboards(
     Result<Dashboard*> dashboard = GetDashboard(name);
     if (!dashboard.ok()) return ErrorResponse(dashboard.status());
     Tracer tracer;
-    Result<ExecutionStats> stats = (*dashboard)->Run(&tracer);
+    Result<ExecutionStats> stats = (*dashboard)->Run(&tracer, cancel);
     if (!stats.ok()) return ErrorResponse(stats.status());
     std::string run_id = StoreTrace(tracer.ToChromeJson());
     JsonValue body = JsonValue::MakeObject();
@@ -412,7 +524,8 @@ HttpResponse ApiServer::HandleDashboards(
 
 HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
                                        const std::vector<std::string>& segments,
-                                       const HttpRequest& request) {
+                                       const HttpRequest& request,
+                                       CancellationToken* cancel) {
   if (segments.empty()) {
     return ErrorResponse(Status::NotFound("unknown route"));
   }
@@ -456,6 +569,11 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
   if (!table.ok()) return ErrorResponse(table.status());
   TablePtr current = *table;
 
+  // Interactive ad-hoc work (filters / groupby below) runs under the
+  // request's token so a fired deadline aborts it mid-operator.
+  ExecContext interactive_ctx = dashboard->exec_context();
+  interactive_ctx.cancel = cancel;
+
   // Chained /filter/<col>/<op>/<value> segments narrow the dataset before
   // browsing or grouping (extended fig. 30 grammar). Values arrive
   // percent-encoded in the path; literals are type-inferred so numeric
@@ -472,8 +590,7 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
     if (!cmp.ok()) return ErrorResponse(cmp.status());
     Value literal = Value::Infer(PercentDecode(segments[next + 3]));
     FilterCompareOp filter(column, *cmp, std::move(literal));
-    Result<TablePtr> filtered =
-        filter.Execute({current}, dashboard->exec_context());
+    Result<TablePtr> filtered = filter.Execute({current}, interactive_ctx);
     if (!filtered.ok()) return ErrorResponse(filtered.status());
     current = std::move(*filtered);
     next += 4;
@@ -502,8 +619,7 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
         {group_col}, {AggregateSpec{agg_fn, agg_col,
                                     agg_fn + "_" + agg_col}});
     if (!groupby.ok()) return ErrorResponse(groupby.status());
-    Result<TablePtr> result =
-        (*groupby)->Execute({current}, dashboard->exec_context());
+    Result<TablePtr> result = (*groupby)->Execute({current}, interactive_ctx);
     if (!result.ok()) return ErrorResponse(result.status());
     Result<size_t> limit = QuerySize(request, "limit", 0);
     if (!limit.ok()) return ErrorResponse(limit.status());

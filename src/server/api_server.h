@@ -1,6 +1,8 @@
 #ifndef SHAREINSIGHTS_SERVER_API_SERVER_H_
 #define SHAREINSIGHTS_SERVER_API_SERVER_H_
 
+#include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -9,6 +11,8 @@
 #include <vector>
 
 #include "dashboard/dashboard.h"
+#include "gov/admission.h"
+#include "gov/cancellation.h"
 #include "io/json.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -86,10 +90,28 @@ struct HttpResponse {
 /// header; a request exceeding Options::request_deadline_ms answers 504
 /// (`deadline_exceeded`, retryable). The `server.request` fault site
 /// fires before routing.
+///
+/// Governance contract: each request runs under its own
+/// CancellationToken; `request_deadline_ms` arms a deadline on it, so a
+/// blown deadline genuinely aborts the underlying run (kCancelled within
+/// one morsel) instead of merely re-labelling a completed response.
+/// `max_in_flight`/`max_queue` bound concurrency at the front door —
+/// excess arrivals queue FIFO up to `queue_timeout_ms`, and everything
+/// beyond the queue is shed with 429 + Retry-After. Shutdown() stops
+/// admitting (503), drains in-flight requests, then cancels stragglers
+/// through their tokens.
 struct ApiServerOptions {
   /// Wall-clock budget for one request (0 = unlimited). Exceeding it
   /// turns the response into a 504 deadline_exceeded envelope.
   double request_deadline_ms = 0;
+  /// Requests allowed to execute concurrently (0 = unlimited, admission
+  /// control off).
+  size_t max_in_flight = 0;
+  /// Requests allowed to wait for an in-flight slot; arrivals beyond
+  /// max_in_flight + max_queue answer 429 immediately.
+  size_t max_queue = 0;
+  /// How long a queued request may wait before answering 503.
+  double queue_timeout_ms = 1000;
 };
 
 class ApiServer {
@@ -98,10 +120,31 @@ class ApiServer {
 
   explicit ApiServer(SharedDataRegistry* shared = nullptr,
                      Options options = {})
-      : shared_(shared), options_(options) {}
+      : shared_(shared),
+        options_(options),
+        admission_(AdmissionOptions{options.max_in_flight, options.max_queue,
+                                    options.queue_timeout_ms}) {}
 
   /// Routes one request, recording http_* request metrics around it.
   HttpResponse Handle(const HttpRequest& request);
+
+  /// Outcome of a graceful shutdown.
+  struct ShutdownReport {
+    /// True when every in-flight request finished within the deadline.
+    bool drained = false;
+    /// Requests still running at the deadline whose tokens were fired
+    /// (they answer 503 as soon as they hit a cancellation point).
+    int stragglers_cancelled = 0;
+  };
+
+  /// Graceful shutdown: stop accepting (new requests answer 503
+  /// immediately), wait up to `drain_deadline_ms` for in-flight requests
+  /// to finish, then cancel any stragglers through their tokens.
+  /// Idempotent; subsequent Handle calls keep answering 503.
+  ShutdownReport Shutdown(double drain_deadline_ms);
+
+  /// Requests currently executing (admitted, not yet answered).
+  size_t in_flight() const;
 
   /// Convenience wrappers mirroring curl usage in the paper's figures.
   HttpResponse Get(const std::string& url) {
@@ -119,17 +162,21 @@ class ApiServer {
   std::vector<std::string> DashboardNames() const;
 
  private:
-  /// The actual router; Handle() wraps it with request accounting.
-  /// Route() strips an optional /api/v1 prefix (stamping legacy paths
-  /// with a Deprecation header) and dispatches to RouteV1.
-  HttpResponse Route(const HttpRequest& request);
+  /// The actual router; Handle() wraps it with admission, cancellation,
+  /// and request accounting. Route() strips an optional /api/v1 prefix
+  /// (stamping legacy paths with a Deprecation header) and dispatches to
+  /// RouteV1. `cancel` is the per-request token (never null inside the
+  /// governed path).
+  HttpResponse Route(const HttpRequest& request, CancellationToken* cancel);
   HttpResponse RouteV1(const std::vector<std::string>& segments,
-                       const HttpRequest& request);
+                       const HttpRequest& request, CancellationToken* cancel);
   HttpResponse HandleDashboards(const std::vector<std::string>& segments,
-                                const HttpRequest& request);
+                                const HttpRequest& request,
+                                CancellationToken* cancel);
   HttpResponse HandleDatasets(Dashboard* dashboard,
                               const std::vector<std::string>& segments,
-                              const HttpRequest& request);
+                              const HttpRequest& request,
+                              CancellationToken* cancel);
 
   /// Stores one finished run's Chrome trace JSON; returns its run id
   /// ("run-N"). Keeps at most kMaxStoredTraces, dropping the oldest.
@@ -145,6 +192,16 @@ class ApiServer {
   int run_counter_ = 0;
   SharedDataRegistry* shared_;
   Options options_;
+
+  AdmissionController admission_;
+  // Governance state: the draining flag plus the registry of per-request
+  // tokens, used by Shutdown() to drain and then cancel stragglers. Kept
+  // on its own mutex so request bookkeeping never contends with mu_.
+  mutable std::mutex gov_mu_;
+  std::condition_variable tokens_done_;
+  bool draining_ = false;
+  std::map<uint64_t, std::shared_ptr<CancellationToken>> active_tokens_;
+  uint64_t next_request_id_ = 0;
 };
 
 /// Serializes table rows as a JSON array of objects (REST data shape),

@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "gov/cancellation.h"
+#include "gov/memory_budget.h"
+#include "ops/exec_context.h"
+
+namespace shareinsights {
+namespace {
+
+ExecContext MakeContext(ThreadPool* pool, size_t morsel_rows,
+                        CancellationToken* cancel) {
+  ExecContext ctx;
+  ctx.pool = pool;
+  ctx.morsel_rows = morsel_rows;
+  ctx.cancel = cancel;
+  return ctx;
+}
+
+TEST(MorselCancelTest, PreFiredTokenSkipsAllMorsels) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  token.Cancel("pre-fired");
+  ExecContext ctx = MakeContext(&pool, 10, &token);
+  std::atomic<int> executed{0};
+  Status status = ForEachMorsel(ctx, 1000, [&](size_t, size_t, size_t) {
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(executed.load(), 0);
+  EXPECT_NE(status.message().find("pre-fired"), std::string::npos);
+}
+
+TEST(MorselCancelTest, MidBatchCancelStopsNewMorselsInFlightFinish) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  ExecContext ctx = MakeContext(&pool, 10, &token);
+  std::atomic<int> started{0};
+  std::atomic<int> finished{0};
+  // 100 morsels of ~2ms each; fire the token from inside morsel 3 so the
+  // cancel lands mid-batch deterministically.
+  Status status = ForEachMorsel(ctx, 1000, [&](size_t m, size_t, size_t) {
+    started.fetch_add(1);
+    if (m == 3) token.Cancel("mid-batch");
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    finished.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  // Every started morsel ran to completion (in-flight work is never
+  // interrupted)...
+  EXPECT_EQ(started.load(), finished.load());
+  // ...but far fewer than all 100 morsels ever started.
+  EXPECT_LT(started.load(), 100);
+  EXPECT_GE(started.load(), 1);
+}
+
+TEST(MorselCancelTest, RealErrorOutranksRacingCancellation) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  ExecContext ctx = MakeContext(&pool, 10, &token);
+  // Morsel 5 fails for real and fires the token in the same breath:
+  // later morsels are skipped with kCancelled, but the batch must report
+  // the genuine error, never the cancellation that raced with it.
+  Status status = ForEachMorsel(ctx, 1000, [&](size_t m, size_t, size_t) {
+    if (m == 5) {
+      token.Cancel("racing cancel");
+      return Status::Internal("morsel 5 exploded");
+    }
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kInternal);
+  EXPECT_NE(status.message().find("morsel 5 exploded"), std::string::npos);
+}
+
+TEST(MorselCancelTest, LowestIndexedErrorWinsUnderCancellation) {
+  ThreadPool pool(4);
+  CancellationToken token;
+  ExecContext ctx = MakeContext(&pool, 10, &token);
+  // Two real failures plus a cancellation: the reported error must be
+  // the lowest-indexed real failure — the one a sequential scan hits
+  // first — regardless of scheduling order.
+  Status status = ForEachMorsel(ctx, 1000, [&](size_t m, size_t, size_t) {
+    if (m == 7) return Status::IoError("late failure");
+    if (m == 2) {
+      token.Cancel("cancel after early failure");
+      return Status::IoError("early failure");
+    }
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.message().find("early failure"), std::string::npos);
+}
+
+TEST(MorselCancelTest, ExternalCancelThreadAbortsBatch) {
+  ThreadPool pool(2);
+  CancellationToken token;
+  ExecContext ctx = MakeContext(&pool, 1, &token);
+  std::atomic<int> executed{0};
+  std::thread firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.Cancel("external");
+  });
+  // 10k one-row morsels of ~0.2ms each would take ~1s per worker; the
+  // external cancel must cut that short.
+  Status status = ForEachMorsel(ctx, 10000, [&](size_t, size_t, size_t) {
+    executed.fetch_add(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(200));
+    return Status::OK();
+  });
+  firer.join();
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_LT(executed.load(), 10000);
+}
+
+TEST(MorselCancelTest, SingleMorselPathChecksToken) {
+  CancellationToken token;
+  token.Cancel("single");
+  ExecContext ctx = MakeContext(nullptr, 1000, &token);
+  std::atomic<int> executed{0};
+  Status status = ForEachMorsel(ctx, 10, [&](size_t, size_t, size_t) {
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_EQ(status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(MorselCancelTest, NullTokenRunsEverythingUnchanged) {
+  ThreadPool pool(4);
+  ExecContext ctx = MakeContext(&pool, 10, nullptr);
+  std::atomic<int> executed{0};
+  Status status = ForEachMorsel(ctx, 1000, [&](size_t, size_t, size_t) {
+    executed.fetch_add(1);
+    return Status::OK();
+  });
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(executed.load(), 100);
+}
+
+TEST(MorselCancelTest, GatherRowsHonoursBudgetAndCancel) {
+  TableBuilder builder(Schema(
+      {Field{"a", ValueType::kInt64}, Field{"b", ValueType::kInt64}}));
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        builder.AppendRow({Value(int64_t{i}), Value(int64_t{i * 2})}).ok());
+  }
+  Result<TablePtr> table = builder.Finish();
+  ASSERT_TRUE(table.ok());
+  std::vector<size_t> rows;
+  for (size_t i = 0; i < 100; ++i) rows.push_back(i);
+
+  // A budget too small for 100x2 cells refuses the gather by name.
+  MemoryBudget tiny("query", 16);
+  ExecContext ctx;
+  ctx.budget = &tiny;
+  Result<TablePtr> gathered = GatherRows(*table, rows, ctx);
+  ASSERT_FALSE(gathered.ok());
+  EXPECT_EQ(gathered.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(gathered.status().message().find("gather"), std::string::npos);
+  EXPECT_EQ(tiny.reserved(), 0u);
+
+  // A fired token aborts the gather before any copying happens.
+  CancellationToken token;
+  token.Cancel("stop");
+  ExecContext cancelled_ctx;
+  cancelled_ctx.cancel = &token;
+  Result<TablePtr> aborted = GatherRows(*table, rows, cancelled_ctx);
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace shareinsights

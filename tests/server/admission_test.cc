@@ -1,0 +1,296 @@
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "ops/aggregate.h"
+#include "server/api_server.h"
+#include "share/shared_registry.h"
+
+namespace shareinsights {
+namespace {
+
+// A mergeable sum that sleeps ~1ms per row, so dashboard runs take a
+// tunable amount of wall clock while staying morsel-cancellable.
+class SlowSum : public Aggregator {
+ public:
+  Status Update(const Value& value) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    Result<double> d = value.ToDouble();
+    if (d.ok()) total_ += *d;
+    return Status::OK();
+  }
+  Result<Value> Finalize() override { return Value(total_); }
+  bool mergeable() const override { return true; }
+  Status Merge(const Aggregator& other) override {
+    total_ += static_cast<const SlowSum&>(other).total_;
+    return Status::OK();
+  }
+
+ private:
+  double total_ = 0;
+};
+
+AggregateRegistry* SlowRegistry() {
+  static AggregateRegistry* registry = [] {
+    auto* r = new AggregateRegistry();
+    Status s = r->Register(
+        "slow_sum", [] { return std::make_unique<SlowSum>(); });
+    EXPECT_TRUE(s.ok()) << s;
+    return r;
+  }();
+  return registry;
+}
+
+// Flow whose run spends roughly rows/2 milliseconds in the group-by
+// (2 worker threads x 1ms per row).
+std::string SlowFlowText(int rows) {
+  std::string csv = "key,value\n";
+  for (int i = 0; i < rows; ++i) {
+    csv += "k" + std::to_string(i % 8) + "," + std::to_string(i % 10) + "\n";
+  }
+  return std::string("D:\n") +
+         "  events: [key, value]\n"
+         "D.events:\n"
+         "  protocol: inline\n"
+         "  format: csv\n"
+         "  data: \"" + csv + "\"\n"
+         "F:\n"
+         "  D.totals: D.events | T.slow_totals\n"
+         "D.totals:\n"
+         "  endpoint: true\n"
+         "T:\n"
+         "  slow_totals:\n"
+         "    type: groupby\n"
+         "    groupby: [key]\n"
+         "    aggregates:\n"
+         "      - operator: slow_sum\n"
+         "        apply_on: value\n"
+         "        out_field: total\n";
+}
+
+Dashboard::Options SlowOptions() {
+  Dashboard::Options options;
+  options.aggregates = SlowRegistry();
+  options.num_threads = 2;
+  options.morsel_rows = 8;  // tight cancellation latency
+  return options;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+bool WaitUntil(const std::function<bool()>& pred, double timeout_ms = 5000) {
+  auto start = std::chrono::steady_clock::now();
+  while (!pred()) {
+    if (ElapsedMs(start) > timeout_ms) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// Satellite 1 regression: a request whose run would take >1s of wall
+// clock answers 504 in well under 200ms when request_deadline_ms = 50 —
+// the deadline genuinely aborts the run (kCancelled within one morsel),
+// it does not wait for completion and re-label the response.
+TEST(AdmissionServerTest, DeadlineAbortsLongRunNotJustRelabelsIt) {
+  SharedDataRegistry registry;
+  ApiServer::Options options;
+  options.request_deadline_ms = 50;
+  ApiServer server(&registry, options);
+  // 2400 rows x ~1ms across 2 workers ≈ 1.2s if left alone.
+  ASSERT_TRUE(
+      server.CreateDashboard("slow", SlowFlowText(2400), SlowOptions()).ok());
+
+  Counter* deadline_504s = MetricsRegistry::Default().GetCounter(
+      "http_deadline_exceeded_total",
+      "requests answered 504 after blowing the deadline");
+  int64_t before = deadline_504s->Value();
+
+  auto start = std::chrono::steady_clock::now();
+  HttpResponse response = server.Post("/api/v1/dashboards/slow/run", "");
+  double wall_ms = ElapsedMs(start);
+
+  EXPECT_EQ(response.status, 504);
+  EXPECT_LT(wall_ms, 200.0) << "deadline did not abort the run";
+  EXPECT_NE(response.body.find("\"error\": \"deadline_exceeded\""),
+            std::string::npos)
+      << response.body;
+  EXPECT_NE(response.body.find("\"retryable\": true"), std::string::npos);
+  EXPECT_EQ(deadline_504s->Value() - before, 1);
+  EXPECT_EQ(server.in_flight(), 0u);
+}
+
+// A burst of 6 against max_in_flight=2 / max_queue=2: two run, two
+// queue (and succeed once slots free up), two are shed immediately with
+// 429 + Retry-After.
+TEST(AdmissionServerTest, BurstSplitsIntoRunningQueuedShed) {
+  SharedDataRegistry registry;
+  ApiServer::Options options;
+  options.max_in_flight = 2;
+  options.max_queue = 2;
+  options.queue_timeout_ms = 10000;
+  ApiServer server(&registry, options);
+  // ~200ms per run.
+  ASSERT_TRUE(
+      server.CreateDashboard("slow", SlowFlowText(400), SlowOptions()).ok());
+
+  Counter* rejected = MetricsRegistry::Default().GetCounter(
+      "admission_rejected_total", "requests shed with a full wait queue");
+  int64_t rejected_before = rejected->Value();
+
+  std::vector<int> codes(4, 0);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 2; ++i) {
+    threads.emplace_back([&server, &codes, i] {
+      codes[i] = server.Post("/api/v1/dashboards/slow/run", "").status;
+    });
+  }
+  ASSERT_TRUE(WaitUntil([&] { return server.in_flight() == 2; }));
+
+  for (int i = 2; i < 4; ++i) {
+    threads.emplace_back([&server, &codes, i] {
+      codes[i] = server.Post("/api/v1/dashboards/slow/run", "").status;
+    });
+  }
+  Gauge* queue_depth = MetricsRegistry::Default().GetGauge(
+      "admission_queue_depth", "requests waiting for an in-flight slot");
+  ASSERT_TRUE(WaitUntil([&] { return queue_depth->Value() >= 2.0; }));
+
+  // Queue full: the next two arrivals are shed on the spot.
+  for (int i = 0; i < 2; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    HttpResponse shed = server.Post("/api/v1/dashboards/slow/run", "");
+    EXPECT_EQ(shed.status, 429);
+    EXPECT_LT(ElapsedMs(start), 100.0) << "shed answer must be immediate";
+    ASSERT_NE(shed.headers.find("Retry-After"), shed.headers.end());
+    EXPECT_EQ(shed.headers.at("Retry-After"), "1");
+    EXPECT_NE(shed.body.find("\"error\": \"resource_exhausted\""),
+              std::string::npos)
+        << shed.body;
+    EXPECT_NE(shed.body.find("\"retryable\": true"), std::string::npos);
+  }
+  EXPECT_EQ(rejected->Value() - rejected_before, 2);
+
+  for (auto& t : threads) t.join();
+  for (int code : codes) EXPECT_EQ(code, 200);
+  EXPECT_EQ(server.in_flight(), 0u);
+}
+
+// A queued request that outlives queue_timeout_ms answers 503 without
+// ever executing.
+TEST(AdmissionServerTest, QueueTimeoutAnswers503) {
+  SharedDataRegistry registry;
+  ApiServer::Options options;
+  options.max_in_flight = 1;
+  options.max_queue = 1;
+  options.queue_timeout_ms = 30;
+  ApiServer server(&registry, options);
+  ASSERT_TRUE(
+      server.CreateDashboard("slow", SlowFlowText(400), SlowOptions()).ok());
+
+  Counter* timeouts = MetricsRegistry::Default().GetCounter(
+      "admission_timeouts_total", "queued requests that timed out waiting");
+  int64_t before = timeouts->Value();
+
+  int slow_code = 0;
+  std::thread holder([&] {
+    slow_code = server.Post("/api/v1/dashboards/slow/run", "").status;
+  });
+  ASSERT_TRUE(WaitUntil([&] { return server.in_flight() == 1; }));
+
+  HttpResponse timed_out = server.Post("/api/v1/dashboards/slow/run", "");
+  EXPECT_EQ(timed_out.status, 503);
+  EXPECT_NE(timed_out.body.find("\"error\": \"unavailable\""),
+            std::string::npos)
+      << timed_out.body;
+  EXPECT_NE(timed_out.body.find("in-flight slot"), std::string::npos);
+  EXPECT_EQ(timeouts->Value() - before, 1);
+
+  holder.join();
+  EXPECT_EQ(slow_code, 200);
+}
+
+// Shutdown with a generous drain deadline lets in-flight work finish:
+// the report says drained, the request answers 200, and later arrivals
+// get an immediate 503.
+TEST(AdmissionServerTest, ShutdownDrainsInFlightWork) {
+  SharedDataRegistry registry;
+  ApiServer server(&registry);
+  ASSERT_TRUE(
+      server.CreateDashboard("slow", SlowFlowText(400), SlowOptions()).ok());
+
+  int code = 0;
+  std::thread runner([&] {
+    code = server.Post("/api/v1/dashboards/slow/run", "").status;
+  });
+  ASSERT_TRUE(WaitUntil([&] { return server.in_flight() == 1; }));
+
+  ApiServer::ShutdownReport report = server.Shutdown(10000);
+  EXPECT_TRUE(report.drained);
+  EXPECT_EQ(report.stragglers_cancelled, 0);
+  runner.join();
+  EXPECT_EQ(code, 200);
+
+  auto start = std::chrono::steady_clock::now();
+  HttpResponse refused = server.Post("/api/v1/dashboards/slow/run", "");
+  EXPECT_EQ(refused.status, 503);
+  EXPECT_LT(ElapsedMs(start), 100.0);
+  EXPECT_NE(refused.body.find("shutting down"), std::string::npos);
+}
+
+// Shutdown with a drain deadline too short for the in-flight request
+// cancels the straggler through its token: the report counts it, the
+// request answers 503 promptly (not after running to completion), and
+// the server stays in the refusing state.
+TEST(AdmissionServerTest, ShutdownCancelsStragglersPastTheDeadline) {
+  SharedDataRegistry registry;
+  ApiServer server(&registry);
+  // ≈1.2s if left alone — far longer than the 20ms drain below.
+  ASSERT_TRUE(
+      server.CreateDashboard("slow", SlowFlowText(2400), SlowOptions()).ok());
+
+  Counter* stragglers = MetricsRegistry::Default().GetCounter(
+      "shutdown_stragglers_cancelled_total",
+      "in-flight requests cancelled at the shutdown drain deadline");
+  int64_t before = stragglers->Value();
+
+  int code = 0;
+  std::string body;
+  std::thread runner([&] {
+    HttpResponse response = server.Post("/api/v1/dashboards/slow/run", "");
+    code = response.status;
+    body = response.body;
+  });
+  ASSERT_TRUE(WaitUntil([&] { return server.in_flight() == 1; }));
+
+  auto start = std::chrono::steady_clock::now();
+  ApiServer::ShutdownReport report = server.Shutdown(20);
+  EXPECT_FALSE(report.drained);
+  EXPECT_EQ(report.stragglers_cancelled, 1);
+  EXPECT_EQ(stragglers->Value() - before, 1);
+
+  runner.join();
+  double wall_ms = ElapsedMs(start);
+  EXPECT_EQ(code, 503);
+  EXPECT_NE(body.find("shutting down"), std::string::npos) << body;
+  EXPECT_LT(wall_ms, 300.0) << "straggler was not genuinely cancelled";
+
+  // Idempotent: nothing left to drain, still refusing new arrivals.
+  ApiServer::ShutdownReport again = server.Shutdown(10);
+  EXPECT_TRUE(again.drained);
+  EXPECT_EQ(again.stragglers_cancelled, 0);
+  EXPECT_EQ(server.Post("/api/v1/dashboards/slow/run", "").status, 503);
+}
+
+}  // namespace
+}  // namespace shareinsights
