@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/thread_pool.h"
 #include "gov/cancellation.h"
 #include "ops/exec_context.h"
@@ -120,6 +121,11 @@ int main(int argc, char** argv) {
       std::printf("%8zu %12zu %16.2f %18.2f\n", median.threads,
                   median.morsel_rows, median.morsel_cost_ms,
                   median.fire_to_return_ms);
+      benchjson::EmitBenchMillis(
+          "cancellation/fire_to_return",
+          "{\"threads\":" + std::to_string(median.threads) +
+              ",\"morsel_rows\":" + std::to_string(median.morsel_rows) + "}",
+          median.fire_to_return_ms);
       for (const Sample& run : runs) {
         if (!run.cancelled) {
           std::fprintf(stderr,

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include <sstream>
 
 #include "compile/compiler.h"
@@ -75,4 +76,4 @@ BENCHMARK(BM_SerializeFlowFile)->Arg(20)->Arg(320);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SI_BENCH_JSON_MAIN();

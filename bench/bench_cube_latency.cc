@@ -8,6 +8,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "cube/data_cube.h"
 #include "datagen/datagen.h"
 #include "ops/filter.h"
@@ -53,6 +54,7 @@ void BM_WidgetViaCube(benchmark::State& state) {
     auto out = cube->Execute(query);
     benchmark::DoNotOptimize(out);
   }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_WidgetViaCube)->Range(1 << 12, 1 << 19);
 
@@ -111,9 +113,10 @@ void BM_CubeRangeFilter(benchmark::State& state) {
     auto out = cube->Execute(query);
     benchmark::DoNotOptimize(out);
   }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_CubeRangeFilter)->Range(1 << 12, 1 << 18);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SI_BENCH_JSON_MAIN();

@@ -6,6 +6,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_json.h"
 #include "datagen/datagen.h"
 #include "expr/expr.h"
 #include "ops/project.h"
@@ -123,4 +124,4 @@ BENCHMARK(BM_Sort)->Range(1 << 12, 1 << 17);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+SI_BENCH_JSON_MAIN();

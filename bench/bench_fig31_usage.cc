@@ -8,10 +8,12 @@
 // as CSV, and analyze it with a flow file on the platform itself — then
 // print the two usage histograms.
 
+#include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/string_util.h"
 #include "dashboard/dashboard.h"
 #include "flow/flow_file.h"
@@ -100,7 +102,11 @@ void PrintHistogram(const std::string& title,
 int main() {
   std::cout << "=== Figure 31: Platform usage (Race2Insights) ===\n\n";
   HackathonOptions options;  // 52 teams, 6 hours, seeded
+  auto sim_start = std::chrono::steady_clock::now();
   auto result = SimulateHackathon(options);
+  double sim_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sim_start)
+                      .count();
   if (!result.ok()) {
     std::cerr << "simulation failed: " << result.status() << "\n";
     return EXIT_FAILURE;
@@ -108,6 +114,11 @@ int main() {
   std::cout << "teams: " << result->teams.size()
             << ", total dashboard runs: " << result->total_runs
             << ", execution errors: " << result->total_errors << "\n\n";
+  shareinsights::benchjson::EmitBenchMillis(
+      "fig31/simulate_hackathon",
+      "{\"teams\":" + std::to_string(result->teams.size()) +
+          ",\"runs\":" + std::to_string(result->total_runs) + "}",
+      sim_ms, static_cast<double>(result->total_runs));
 
   PrintHistogram("Popular operators (executions across all runs):",
                  result->operator_usage);

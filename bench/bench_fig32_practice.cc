@@ -6,11 +6,13 @@
 // checkable without eyeballing.
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "sim/hackathon.h"
 
 using namespace shareinsights;
@@ -45,7 +47,11 @@ double RankCorrelation(std::vector<double> a, std::vector<double> b) {
 
 int main() {
   std::cout << "=== Figure 32: Does practice matter? ===\n\n";
+  auto sim_start = std::chrono::steady_clock::now();
   auto result = SimulateHackathon(HackathonOptions{});
+  double sim_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sim_start)
+                      .count();
   if (!result.ok()) {
     std::cerr << "simulation failed: " << result.status() << "\n";
     return EXIT_FAILURE;
@@ -123,5 +129,8 @@ int main() {
                          other_practice / std::max(1, no);
   std::cout << "\npaper shape (practice correlates with success): "
             << (shape_holds ? "REPRODUCED" : "NOT REPRODUCED") << "\n";
+  benchjson::EmitBenchMillis(
+      "fig32/simulate_hackathon",
+      "{\"teams\":" + std::to_string(result->teams.size()) + "}", sim_ms);
   return shape_holds ? EXIT_SUCCESS : EXIT_FAILURE;
 }

@@ -5,11 +5,13 @@
 // around the sample dashboards' sizes. We print the per-team bar chart
 // (the figure's shape) and the cluster summary.
 
+#include <chrono>
 #include <cstdlib>
 #include <iomanip>
 #include <iostream>
 #include <map>
 
+#include "bench_json.h"
 #include "sim/hackathon.h"
 
 using namespace shareinsights;
@@ -17,7 +19,11 @@ using namespace shareinsights;
 int main() {
   std::cout << "=== Figure 35: Fork to go (flow-file size in bytes at "
                "competition start) ===\n\n";
+  auto sim_start = std::chrono::steady_clock::now();
   auto result = SimulateHackathon(HackathonOptions{});
+  double sim_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sim_start)
+                      .count();
   if (!result.ok()) {
     std::cerr << "simulation failed: " << result.status() << "\n";
     return EXIT_FAILURE;
@@ -61,5 +67,8 @@ int main() {
                     ? "REPRODUCED"
                     : "NOT REPRODUCED")
             << "\n";
+  benchjson::EmitBenchMillis(
+      "fig35/simulate_hackathon",
+      "{\"teams\":" + std::to_string(result->teams.size()) + "}", sim_ms);
   return EXIT_SUCCESS;
 }

@@ -13,6 +13,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "bench_json.h"
 #include "datagen/datagen.h"
 #include "exec/executor.h"
 #include "flow/flow_file.h"
@@ -89,6 +90,7 @@ int main() {
   std::cout << std::fixed << std::setprecision(2);
   std::cout << "full run: " << kBranches * kDepth << " flows, " << full_ms
             << " ms\n\n";
+  benchjson::EmitBenchMillis("incremental/full_run", "{}", full_ms);
   std::cout << std::left << std::setw(30) << "dirty node" << std::setw(14)
             << "flows rerun" << std::setw(14) << "flows skipped"
             << std::setw(12) << "wall ms" << "speedup vs full\n";
@@ -111,6 +113,9 @@ int main() {
               << last.flows_executed << std::setw(14) << last.flows_skipped
               << std::setw(12) << ms << (full_ms / std::max(0.001, ms))
               << "x\n";
+    benchjson::EmitBenchMillis(
+        "incremental/dirty_" + dirty,
+        "{\"flows_rerun\":" + std::to_string(last.flows_executed) + "}", ms);
   }
 
   std::cout << "\nshape check: editing deeper nodes re-runs strictly fewer "

@@ -13,6 +13,7 @@
 #include <iostream>
 
 #include "dashboard/dashboard.h"
+#include "bench_json.h"
 #include "datagen/datagen.h"
 #include "flow/flow_file.h"
 #include "io/csv.h"
@@ -193,6 +194,16 @@ int main() {
               << row.run_ms << std::setw(14) << row.widget_ms
               << std::setw(10) << row.filters_pushed << std::setw(10)
               << row.columns_pruned << "\n";
+    std::string slug = row.name;
+    for (char& c : slug) {
+      if (c == ' ') c = '_';
+    }
+    benchjson::EmitBenchMillis(
+        "optimizer_ablation/run/" + slug,
+        "{\"endpoint_bytes\":" + std::to_string(row.endpoint_bytes) + "}",
+        row.run_ms);
+    benchjson::EmitBenchMillis("optimizer_ablation/widget/" + slug, "{}",
+                               row.widget_ms);
   }
   double transfer_ratio =
       static_cast<double>(rows[0].endpoint_bytes) /

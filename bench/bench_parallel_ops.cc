@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_json.h"
 #include "common/thread_pool.h"
 #include "ops/exec_context.h"
 #include "ops/filter.h"
@@ -135,6 +136,10 @@ int main(int argc, char** argv) {
     std::printf("%-8s threads=1(seq) %9.1f ms  fingerprint=%016llx\n",
                 c.name.c_str(), base_ms,
                 static_cast<unsigned long long>(base_fp));
+    benchjson::EmitBenchMillis(
+        "parallel_ops/" + c.name,
+        "{\"rows\":" + std::to_string(num_rows) + ",\"threads\":0}", base_ms,
+        static_cast<double>(num_rows));
 
     double speedup_at_8 = 0.0;
     for (size_t threads : {1, 2, 4, 8}) {
@@ -150,6 +155,11 @@ int main(int argc, char** argv) {
       std::printf("%-8s threads=%zu      %9.1f ms  speedup=%5.2fx  %s\n",
                   c.name.c_str(), threads, ms, speedup,
                   match ? "output=identical" : "output=MISMATCH");
+      benchjson::EmitBenchMillis(
+          "parallel_ops/" + c.name,
+          "{\"rows\":" + std::to_string(num_rows) +
+              ",\"threads\":" + std::to_string(threads) + "}",
+          ms, static_cast<double>(num_rows));
       if (!match) ok = false;
     }
     if (c.gated && hw_threads >= 8 && speedup_at_8 < 3.0) {

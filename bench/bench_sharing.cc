@@ -11,6 +11,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "bench_json.h"
 #include "common/string_util.h"
 #include "dashboard/dashboard.h"
 #include "datagen/datagen.h"
@@ -203,6 +204,11 @@ int main() {
             << "consumer edit-feedback loop (ms)" << std::setw(18)
             << consumer_feedback_ms << std::setw(18) << mono_feedback_ms
             << "\n";
+  benchjson::EmitBenchMillis("sharing/group_total", "{}", group_ms);
+  benchjson::EmitBenchMillis("sharing/mono_total", "{}", mono_ms);
+  benchjson::EmitBenchMillis("sharing/consumer_feedback", "{}",
+                             consumer_feedback_ms);
+  benchjson::EmitBenchMillis("sharing/mono_feedback", "{}", mono_feedback_ms);
   std::cout << "\npaper shape (sharing avoids re-running long flows; "
                "consumers iterate much faster): "
             << (group_flows < mono_flows &&

@@ -24,6 +24,7 @@
 #include <map>
 
 #include "baseline/apache_glue.h"
+#include "bench_json.h"
 #include "common/string_util.h"
 #include "dashboard/dashboard.h"
 #include "datagen/datagen.h"
@@ -241,6 +242,10 @@ int main() {
       std::to_string(glue_ms));
   std::cout << "\nresult equivalence: " << compared << " projects compared, "
             << mismatches << " mismatches\n";
+  shareinsights::benchjson::EmitBenchMillis("unified_vs_glue/unified", "{}",
+                                            unified_ms);
+  shareinsights::benchjson::EmitBenchMillis("unified_vs_glue/glue", "{}",
+                                            glue_ms);
   double loc_ratio =
       static_cast<double>(glue.total_glue_loc()) / std::max(1, spec_lines);
   std::cout << "hand-written effort ratio (glue LOC / flow-file lines): "

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Runs every bench binary and collects their machine-readable result lines
+# (one JSON object per measurement, starting with {"bench") into a single
+# JSON array.
+#
+#   scripts/run_benches.sh [build_dir] [output_file] [bench...]
+#
+# Defaults: build_dir=build, output_file=BENCH_results.json, all binaries
+# in <build_dir>/bench. Use a Release build for meaningful numbers:
+#   cmake -B build-release -S . -DCMAKE_BUILD_TYPE=Release
+#   cmake --build build-release -j
+#   scripts/run_benches.sh build-release BENCH_results.json
+set -u
+
+BUILD_DIR="${1:-build}"
+OUT="${2:-BENCH_results.json}"
+shift $(( $# > 2 ? 2 : $# )) || true
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found (build the project first)" >&2
+  exit 1
+fi
+
+if [ "$#" -gt 0 ]; then
+  BENCHES=()
+  for name in "$@"; do
+    BENCHES+=("$BUILD_DIR/bench/$name")
+  done
+else
+  BENCHES=("$BUILD_DIR"/bench/*)
+fi
+
+LINES_FILE="$(mktemp)"
+trap 'rm -f "$LINES_FILE"' EXIT
+
+failed=0
+for bench in "${BENCHES[@]}"; do
+  [ -x "$bench" ] || continue
+  name="$(basename "$bench")"
+  echo "=== $name ===" >&2
+  output="$("$bench" 2>&1)"
+  status=$?
+  printf '%s\n' "$output" >&2
+  # Strip any ANSI escapes before matching, in case a binary colorized.
+  printf '%s\n' "$output" | sed 's/\x1b\[[0-9;]*m//g' \
+    | grep '^{"bench"' >> "$LINES_FILE" || true
+  if [ "$status" -ne 0 ]; then
+    echo "warning: $name exited nonzero ($status)" >&2
+    failed=1
+  fi
+done
+
+# Assemble the collected lines into a JSON array.
+{
+  echo "["
+  sed '$!s/$/,/' "$LINES_FILE"
+  echo "]"
+} > "$OUT"
+
+count="$(grep -c '^{"bench"' "$LINES_FILE" || true)"
+echo "wrote $count results to $OUT" >&2
+exit "$failed"

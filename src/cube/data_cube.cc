@@ -17,6 +17,27 @@ Result<std::shared_ptr<const DataCube>> DataCube::Build(
   auto cube = std::shared_ptr<DataCube>(new DataCube(std::move(table)));
   const Table& t = *cube->table_;
   for (size_t c = 0; c < t.num_columns(); ++c) {
+    const ColumnData& col = t.typed_column(c);
+    if (col.encoding() == ColumnEncoding::kDict) {
+      // Code-addressed index. The dictionary holds exactly the distinct
+      // strings present, so the column's cardinality (including null as
+      // one distinct value, like the generic index counts it) is known
+      // before scanning.
+      size_t cardinality = col.dict().size() + (col.has_nulls() ? 1 : 0);
+      if (cardinality > max_index_cardinality) continue;
+      DictIndex index;
+      index.code_rows.resize(col.dict().size());
+      const std::vector<uint32_t>& codes = col.codes();
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        if (col.IsNull(r)) {
+          index.null_rows.push_back(static_cast<uint32_t>(r));
+        } else {
+          index.code_rows[codes[r]].push_back(static_cast<uint32_t>(r));
+        }
+      }
+      cube->dict_indexes_.emplace(c, std::move(index));
+      continue;
+    }
     std::unordered_map<Value, std::vector<uint32_t>, ValueHash> index;
     bool too_wide = false;
     for (size_t r = 0; r < t.num_rows(); ++r) {
@@ -53,9 +74,28 @@ Result<std::vector<uint32_t>> DataCube::SelectRows(
     selected = std::move(out);
   };
 
+  // Scans with a per-row predicate, narrowing the current selection (or
+  // the whole table on the first filter). Row order stays ascending.
+  auto scan_keep = [&](auto keep) {
+    std::vector<uint32_t> rows;
+    if (initialized) {
+      for (uint32_t r : selected) {
+        if (keep(r)) rows.push_back(r);
+      }
+    } else {
+      for (size_t r = 0; r < t.num_rows(); ++r) {
+        if (keep(r)) rows.push_back(static_cast<uint32_t>(r));
+      }
+      initialized = true;
+    }
+    selected = std::move(rows);
+  };
+
   for (const Filter& filter : filters) {
     if (filter.values.empty()) continue;  // no constraint
-    SI_ASSIGN_OR_RETURN(size_t col, t.schema().RequireIndex(filter.column));
+    SI_ASSIGN_OR_RETURN(size_t col_idx,
+                        t.schema().RequireIndex(filter.column));
+    const ColumnData& col = t.typed_column(col_idx);
     if (filter.is_range) {
       if (filter.values.size() != 2) {
         return Status::InvalidArgument("range filter on '" + filter.column +
@@ -63,26 +103,73 @@ Result<std::vector<uint32_t>> DataCube::SelectRows(
       }
       const Value& lo = filter.values[0];
       const Value& hi = filter.values[1];
-      std::vector<uint32_t> rows;
-      if (initialized) {
-        for (uint32_t r : selected) {
-          const Value& v = t.at(r, col);
-          if (!v.is_null() && v >= lo && v <= hi) rows.push_back(r);
+      switch (col.encoding()) {
+        case ColumnEncoding::kDict: {
+          // The sorted dictionary turns the Value range into a contiguous
+          // code interval. Non-string bounds resolve by cross-type rank:
+          // strings sit above null/bool/numeric, so a non-string low
+          // bound keeps all strings and a non-string high bound none.
+          uint32_t lo_code =
+              lo.is_string() ? col.LowerBoundCode(lo.string_value()) : 0;
+          uint32_t hi_code =
+              hi.is_string() ? col.UpperBoundCode(hi.string_value()) : 0;
+          if (!hi.is_string()) lo_code = hi_code;  // empty interval
+          const uint32_t* codes = col.codes().data();
+          scan_keep([&, codes, lo_code, hi_code](size_t r) {
+            return !col.IsNull(r) && codes[r] >= lo_code &&
+                   codes[r] < hi_code;
+          });
+          break;
         }
-        selected = std::move(rows);
-      } else {
-        for (size_t r = 0; r < t.num_rows(); ++r) {
-          const Value& v = t.at(r, col);
-          if (!v.is_null() && v >= lo && v <= hi) {
-            rows.push_back(static_cast<uint32_t>(r));
-          }
+        case ColumnEncoding::kInt64: {
+          const int64_t* data = col.ints().data();
+          scan_keep([&, data](size_t r) {
+            return !col.IsNull(r) && CompareInt64Cell(data[r], lo) >= 0 &&
+                   CompareInt64Cell(data[r], hi) <= 0;
+          });
+          break;
         }
-        intersect_with(std::move(rows));
+        case ColumnEncoding::kDouble: {
+          const double* data = col.doubles().data();
+          scan_keep([&, data](size_t r) {
+            return !col.IsNull(r) && CompareDoubleCell(data[r], lo) >= 0 &&
+                   CompareDoubleCell(data[r], hi) <= 0;
+          });
+          break;
+        }
+        default:
+          scan_keep([&](size_t r) {
+            const Value& v = t.at(r, col_idx);
+            return !v.is_null() && v >= lo && v <= hi;
+          });
       }
       continue;
     }
     // Membership filter: use the inverted index when available.
-    auto index_it = indexes_.find(col);
+    auto dict_it = dict_indexes_.find(col_idx);
+    if (dict_it != dict_indexes_.end()) {
+      // Row lists addressed by dictionary code; non-string filter values
+      // (other than null) can never match a string cell.
+      const DictIndex& index = dict_it->second;
+      std::vector<uint32_t> rows;
+      for (const Value& v : filter.values) {
+        if (v.is_null()) {
+          rows.insert(rows.end(), index.null_rows.begin(),
+                      index.null_rows.end());
+        } else if (v.is_string()) {
+          uint32_t code = col.FindCode(v.string_value());
+          if (code != ColumnData::kNoCode) {
+            rows.insert(rows.end(), index.code_rows[code].begin(),
+                        index.code_rows[code].end());
+          }
+        }
+      }
+      std::sort(rows.begin(), rows.end());
+      rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
+      intersect_with(std::move(rows));
+      continue;
+    }
+    auto index_it = indexes_.find(col_idx);
     if (index_it != indexes_.end()) {
       std::vector<uint32_t> rows;
       for (const Value& v : filter.values) {
@@ -95,23 +182,28 @@ Result<std::vector<uint32_t>> DataCube::SelectRows(
       std::sort(rows.begin(), rows.end());
       rows.erase(std::unique(rows.begin(), rows.end()), rows.end());
       intersect_with(std::move(rows));
+    } else if (col.encoding() == ColumnEncoding::kDict) {
+      // Too-wide dictionary column (no index): test membership on raw
+      // codes via a per-code verdict bitmap.
+      std::vector<uint8_t> allowed_codes(col.dict().size(), 0);
+      bool null_allowed = false;
+      for (const Value& v : filter.values) {
+        if (v.is_null()) {
+          null_allowed = true;
+        } else if (v.is_string()) {
+          uint32_t code = col.FindCode(v.string_value());
+          if (code != ColumnData::kNoCode) allowed_codes[code] = 1;
+        }
+      }
+      const uint32_t* codes = col.codes().data();
+      scan_keep([&, codes](size_t r) {
+        return col.IsNull(r) ? null_allowed : allowed_codes[codes[r]] != 0;
+      });
     } else {
       std::unordered_set<Value, ValueHash> allowed(filter.values.begin(),
                                                    filter.values.end());
-      std::vector<uint32_t> rows;
-      if (initialized) {
-        for (uint32_t r : selected) {
-          if (allowed.count(t.at(r, col)) > 0) rows.push_back(r);
-        }
-        selected = std::move(rows);
-      } else {
-        for (size_t r = 0; r < t.num_rows(); ++r) {
-          if (allowed.count(t.at(r, col)) > 0) {
-            rows.push_back(static_cast<uint32_t>(r));
-          }
-        }
-        intersect_with(std::move(rows));
-      }
+      scan_keep(
+          [&](size_t r) { return allowed.count(t.at(r, col_idx)) > 0; });
     }
   }
 
@@ -178,9 +270,27 @@ Result<TablePtr> DataCube::Execute(const Query& query,
             ApproxCellBytes(rows.size(), table_->num_columns()),
             "cube:filter"));
   }
-  TableBuilder filtered_builder(table_->schema());
-  for (uint32_t r : rows) filtered_builder.AppendRowFrom(*table_, r);
-  SI_ASSIGN_OR_RETURN(TablePtr current, filtered_builder.Finish());
+  // Typed column-wise gather of the slice (already charged above as
+  // "cube:filter", so this does not route through GatherRows and its
+  // separate "gather" charge).
+  std::vector<size_t> row_idx(rows.begin(), rows.end());
+  std::vector<ColumnData> slice_columns;
+  slice_columns.reserve(table_->num_columns());
+  for (size_t c = 0; c < table_->num_columns(); ++c) {
+    slice_columns.push_back(
+        ColumnData::AllocateLike(table_->typed_column(c), row_idx.size()));
+  }
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, row_idx.size(), [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t c = 0; c < table_->num_columns(); ++c) {
+          slice_columns[c].GatherFrom(table_->typed_column(c), row_idx, begin,
+                                      end);
+        }
+        return Status::OK();
+      }));
+  SI_ASSIGN_OR_RETURN(
+      TablePtr current,
+      Table::FromColumnData(table_->schema(), std::move(slice_columns)));
 
   if (!query.group_by.empty()) {
     SI_RETURN_IF_ERROR(check_cancelled());

@@ -11,6 +11,7 @@
 #include "ops/aggregate.h"
 #include "ops/groupby.h"
 #include "ops/sort_ops.h"
+#include "table/column.h"
 #include "table/table.h"
 
 namespace shareinsights {
@@ -65,21 +66,34 @@ class DataCube {
   Result<TablePtr> Execute(const Query& query, const ExecContext& ctx) const;
 
   /// Number of indexed columns (exposed for tests/benches).
-  size_t num_indexed_columns() const { return indexes_.size(); }
+  size_t num_indexed_columns() const {
+    return indexes_.size() + dict_indexes_.size();
+  }
 
  private:
   explicit DataCube(TablePtr table) : table_(std::move(table)) {}
+
+  /// Inverted index over a dictionary-encoded column: row lists are
+  /// addressed by dictionary code (a vector lookup, no Value hashing),
+  /// and because the dictionary is sorted, range filters collapse to a
+  /// contiguous code interval.
+  struct DictIndex {
+    std::vector<std::vector<uint32_t>> code_rows;  // code -> sorted row ids
+    std::vector<uint32_t> null_rows;
+  };
 
   /// Rows selected by the query's filters, in ascending order.
   Result<std::vector<uint32_t>> SelectRows(
       const std::vector<Filter>& filters) const;
 
   TablePtr table_;
-  // column index -> (value -> sorted row ids)
+  // column index -> (value -> sorted row ids); non-dict columns only
   std::unordered_map<size_t,
                      std::unordered_map<Value, std::vector<uint32_t>,
                                         ValueHash>>
       indexes_;
+  // column index -> code-addressed index; dict columns only
+  std::unordered_map<size_t, DictIndex> dict_indexes_;
 };
 
 }  // namespace shareinsights

@@ -252,6 +252,7 @@ class JsonFormat : public Format {
     names.reserve(effective.size());
     for (const auto& m : effective) names.push_back(m.column);
     TableBuilder builder(Schema::FromNames(names));
+    builder.Reserve(records.size());
     auto reject = [&](size_t index, const JsonValue& record,
                       const std::string& reason) {
       if (report == nullptr) return;

@@ -131,6 +131,7 @@ Result<TablePtr> ReadCsvString(const std::string& payload,
       options.has_header ? rows[0].size() : schema.num_fields();
 
   TableBuilder builder(schema);
+  builder.Reserve(rows.size() - first_data_row);
   auto reject = [&](size_t data_row, const std::vector<std::string>& fields,
                     const std::string& reason) {
     if (options.error_policy == ParseErrorPolicy::kSkip) {

@@ -27,6 +27,7 @@ Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows) {
                  Field{"reason", ValueType::kString},
                  Field{"raw", ValueType::kString}});
   TableBuilder builder(schema);
+  builder.Reserve(rows.size());
   for (const QuarantinedRow& row : rows) {
     SI_RETURN_IF_ERROR(builder.AppendRow(
         {Value(row.row), Value(row.reason), Value(row.raw)}));

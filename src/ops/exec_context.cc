@@ -88,18 +88,23 @@ Result<TablePtr> GatherRows(const TablePtr& input,
         ctx.budget->Reserve(ApproxCellBytes(rows.size(), num_columns),
                             "gather"));
   }
-  std::vector<std::vector<Value>> columns(num_columns);
-  for (auto& column : columns) column.resize(rows.size());
+  // Gather on the encoded representation: primitive/code arrays copy
+  // directly (dictionaries are shared, not re-built), so no Value is
+  // constructed per cell.
+  std::vector<ColumnData> columns;
+  columns.reserve(num_columns);
+  for (size_t c = 0; c < num_columns; ++c) {
+    columns.push_back(
+        ColumnData::AllocateLike(input->typed_column(c), rows.size()));
+  }
   SI_RETURN_IF_ERROR(ForEachMorsel(
       ctx, rows.size(), [&](size_t, size_t begin, size_t end) -> Status {
         for (size_t c = 0; c < num_columns; ++c) {
-          const std::vector<Value>& src = input->column(c);
-          std::vector<Value>& dst = columns[c];
-          for (size_t i = begin; i < end; ++i) dst[i] = src[rows[i]];
+          columns[c].GatherFrom(input->typed_column(c), rows, begin, end);
         }
         return Status::OK();
       }));
-  return Table::Create(input->schema(), std::move(columns));
+  return Table::FromColumnData(input->schema(), std::move(columns));
 }
 
 std::vector<size_t> ConcatSelections(

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "table/column.h"
 
 namespace shareinsights {
 
@@ -45,6 +46,26 @@ Result<TablePtr> SelectRows(
   return GatherRows(input, ConcatSelections(selections), ctx);
 }
 
+/// Same skeleton for the typed kernels: `keep` is a statically-typed
+/// functor (inlined into the scan loop — no std::function dispatch, no
+/// Status plumbing per row).
+template <typename Keep>
+Result<TablePtr> SelectRowsKernel(const TablePtr& input,
+                                  const ExecContext& ctx, Keep keep) {
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<std::vector<size_t>> selections(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        std::vector<size_t>& selected = selections[m];
+        for (size_t r = begin; r < end; ++r) {
+          if (keep(r)) selected.push_back(r);
+        }
+        return Status::OK();
+      }));
+  return GatherRows(input, ConcatSelections(selections), ctx);
+}
+
 }  // namespace
 
 Result<TablePtr> FilterExpressionOp::Execute(
@@ -68,39 +89,177 @@ Result<Schema> FilterValuesOp::OutputSchema(
   return inputs[0];
 }
 
+namespace {
+
+/// One bound constraint of a FilterValuesOp, pre-compiled against the
+/// column's encoding. Typed columns test raw codes/primitives; kGeneric
+/// columns (and bool columns, too rare to matter) fall back to the Value
+/// path.
+struct BoundFilter {
+  const ColumnData* column = nullptr;
+  const FilterValuesOp::ColumnFilter* filter = nullptr;
+
+  enum class Kind {
+    kGenericSet,    // Value hash-set membership (fallback)
+    kGenericRange,  // Value range compare (fallback)
+    kDictSet,       // membership via per-code bitmap
+    kDictRange,     // contiguous code range [lo_code, hi_code)
+    kInt64Set,
+    kInt64Range,
+    kDoubleSet,
+    kDoubleRange,
+  };
+  Kind kind = Kind::kGenericSet;
+
+  // kGenericSet
+  std::unordered_set<Value, ValueHash> allowed;
+  // kDictSet: allowed_codes[code] != 0 keeps the row
+  std::vector<uint8_t> allowed_codes;
+  bool null_allowed = false;
+  // kDictRange
+  uint32_t lo_code = 0;
+  uint32_t hi_code = 0;
+  // kInt64Set / kDoubleSet (doubles as normalized bit patterns)
+  std::unordered_set<int64_t> allowed_ints;
+  std::unordered_set<uint64_t> allowed_bits;
+
+  bool Keep(size_t r) const {
+    const ColumnData& col = *column;
+    switch (kind) {
+      case Kind::kGenericSet:
+        return allowed.count(col.GetValue(r)) > 0;
+      case Kind::kGenericRange: {
+        Value v = col.GetValue(r);
+        return !v.is_null() && v >= filter->allowed[0] &&
+               v <= filter->allowed[1];
+      }
+      case Kind::kDictSet:
+        if (col.IsNull(r)) return null_allowed;
+        return allowed_codes[col.codes()[r]] != 0;
+      case Kind::kDictRange: {
+        if (col.IsNull(r)) return false;
+        uint32_t code = col.codes()[r];
+        return code >= lo_code && code < hi_code;
+      }
+      case Kind::kInt64Set: {
+        if (col.IsNull(r)) return null_allowed;
+        int64_t x = col.ints()[r];
+        if (allowed_ints.count(x) > 0) return true;
+        // Value::Compare tests int64-vs-double by converting the int64
+        // cell to double, so double allowed values match via bit pattern.
+        return !allowed_bits.empty() &&
+               allowed_bits.count(PackDoubleBits(static_cast<double>(x))) > 0;
+      }
+      case Kind::kInt64Range:
+        return !col.IsNull(r) &&
+               CompareInt64Cell(col.ints()[r], filter->allowed[0]) >= 0 &&
+               CompareInt64Cell(col.ints()[r], filter->allowed[1]) <= 0;
+      case Kind::kDoubleSet:
+        if (col.IsNull(r)) return null_allowed;
+        return allowed_bits.count(PackDoubleBits(col.doubles()[r])) > 0;
+      case Kind::kDoubleRange:
+        return !col.IsNull(r) &&
+               CompareDoubleCell(col.doubles()[r], filter->allowed[0]) >= 0 &&
+               CompareDoubleCell(col.doubles()[r], filter->allowed[1]) <= 0;
+    }
+    return false;
+  }
+};
+
+// Compiles one ColumnFilter against its column's encoding.
+BoundFilter CompileFilter(const ColumnData& column,
+                          const FilterValuesOp::ColumnFilter& filter) {
+  BoundFilter b;
+  b.column = &column;
+  b.filter = &filter;
+  const bool is_dict = column.encoding() == ColumnEncoding::kDict;
+  const bool is_int = column.encoding() == ColumnEncoding::kInt64;
+  const bool is_dbl = column.encoding() == ColumnEncoding::kDouble;
+
+  if (filter.is_range) {
+    const Value& lo = filter.allowed[0];
+    const Value& hi = filter.allowed[1];
+    if (is_dict) {
+      // Map the Value bounds onto a contiguous code range in the sorted
+      // dictionary. Non-string bounds resolve by cross-type rank: every
+      // string sorts above null/bool/numeric, so a non-string low bound
+      // keeps everything and a non-string high bound keeps nothing.
+      b.kind = BoundFilter::Kind::kDictRange;
+      b.lo_code = lo.is_string() ? column.LowerBoundCode(lo.string_value())
+                                 : 0;
+      b.hi_code = hi.is_string()
+                      ? column.UpperBoundCode(hi.string_value())
+                      : 0;
+      if (!hi.is_string()) b.lo_code = b.hi_code;  // empty range
+      return b;
+    }
+    if (is_int) {
+      b.kind = BoundFilter::Kind::kInt64Range;
+      return b;
+    }
+    if (is_dbl) {
+      b.kind = BoundFilter::Kind::kDoubleRange;
+      return b;
+    }
+    b.kind = BoundFilter::Kind::kGenericRange;
+    return b;
+  }
+
+  for (const Value& v : filter.allowed) {
+    if (v.is_null()) b.null_allowed = true;
+  }
+  if (is_dict) {
+    b.kind = BoundFilter::Kind::kDictSet;
+    b.allowed_codes.assign(column.dict().size(), 0);
+    for (const Value& v : filter.allowed) {
+      if (!v.is_string()) continue;  // non-strings never equal a string
+      uint32_t code = column.FindCode(v.string_value());
+      if (code != ColumnData::kNoCode) b.allowed_codes[code] = 1;
+    }
+    return b;
+  }
+  if (is_int) {
+    b.kind = BoundFilter::Kind::kInt64Set;
+    for (const Value& v : filter.allowed) {
+      if (v.is_int64()) {
+        b.allowed_ints.insert(v.int64_value());
+      } else if (v.is_double()) {
+        b.allowed_bits.insert(PackDoubleBits(v.double_value()));
+      }
+    }
+    return b;
+  }
+  if (is_dbl) {
+    b.kind = BoundFilter::Kind::kDoubleSet;
+    for (const Value& v : filter.allowed) {
+      if (v.is_numeric()) b.allowed_bits.insert(PackDoubleBits(v.AsDouble()));
+    }
+    return b;
+  }
+  b.kind = BoundFilter::Kind::kGenericSet;
+  b.allowed.insert(filter.allowed.begin(), filter.allowed.end());
+  return b;
+}
+
+}  // namespace
+
 Result<TablePtr> FilterValuesOp::Execute(
     const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
-  struct Bound {
-    size_t index;
-    const ColumnFilter* filter;
-    std::unordered_set<Value, ValueHash> allowed;
-  };
-  std::vector<Bound> bound;
+  std::vector<BoundFilter> bound;
   for (const ColumnFilter& f : filters_) {
     if (f.allowed.empty()) continue;  // no selection = no constraint
     SI_ASSIGN_OR_RETURN(size_t idx, input->schema().RequireIndex(f.column));
-    Bound b{idx, &f, {}};
-    if (!f.is_range) {
-      b.allowed.insert(f.allowed.begin(), f.allowed.end());
-    } else if (f.allowed.size() != 2) {
+    if (f.is_range && f.allowed.size() != 2) {
       return Status::InvalidArgument(
           "range filter on '" + f.column + "' needs exactly 2 bounds, got " +
           std::to_string(f.allowed.size()));
     }
-    bound.push_back(std::move(b));
+    bound.push_back(CompileFilter(input->typed_column(idx), f));
   }
-  return SelectRows(input, ctx, [&](size_t r) -> Result<bool> {
-    for (const Bound& b : bound) {
-      const Value& v = input->at(r, b.index);
-      if (b.filter->is_range) {
-        if (v.is_null() || v < b.filter->allowed[0] ||
-            v > b.filter->allowed[1]) {
-          return false;
-        }
-      } else if (b.allowed.count(v) == 0) {
-        return false;
-      }
+  return SelectRowsKernel(input, ctx, [&](size_t r) {
+    for (const BoundFilter& b : bound) {
+      if (!b.Keep(r)) return false;
     }
     return true;
   });
@@ -130,10 +289,119 @@ Result<Schema> FilterCompareOp::OutputSchema(
   return inputs[0];
 }
 
+namespace {
+
+// Which Compare outcomes (-1 / 0 / +1) a comparator keeps.
+struct CmpMask {
+  bool lt = false, eq = false, gt = false;
+  bool Keeps(int cmp) const { return cmp < 0 ? lt : cmp > 0 ? gt : eq; }
+};
+
+CmpMask MaskFor(FilterCompareOp::Cmp cmp) {
+  using Cmp = FilterCompareOp::Cmp;
+  switch (cmp) {
+    case Cmp::kEq:
+      return {false, true, false};
+    case Cmp::kNe:
+      return {true, false, true};
+    case Cmp::kLt:
+      return {true, false, false};
+    case Cmp::kLe:
+      return {true, true, false};
+    case Cmp::kGt:
+      return {false, false, true};
+    case Cmp::kGe:
+      return {false, true, true};
+    case Cmp::kContains:
+      break;
+  }
+  return {};
+}
+
+}  // namespace
+
 Result<TablePtr> FilterCompareOp::Execute(
     const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(size_t idx, input->schema().RequireIndex(column_));
+  const ColumnData& col = input->typed_column(idx);
+
+  if (cmp_ == Cmp::kContains && col.encoding() == ColumnEncoding::kDict) {
+    // Evaluate contains once per dictionary entry, then test rows by code.
+    std::string needle = literal_.ToString();
+    const ColumnData::Dictionary& dict = col.dict();
+    std::vector<uint8_t> verdict(dict.size(), 0);
+    for (size_t c = 0; c < dict.size(); ++c) {
+      verdict[c] = dict[c].find(needle) != std::string::npos ? 1 : 0;
+    }
+    const uint32_t* codes = col.codes().data();
+    return SelectRowsKernel(input, ctx, [&, codes](size_t r) {
+      return !col.IsNull(r) && verdict[codes[r]] != 0;
+    });
+  }
+
+  if (cmp_ != Cmp::kContains) {
+    const CmpMask mask = MaskFor(cmp_);
+    switch (col.encoding()) {
+      case ColumnEncoding::kDict: {
+        // Ordered compare against the sorted dictionary collapses to a
+        // code threshold: cmp(row) = -1 below lower_bound(literal), 0 on
+        // the exact literal code, +1 otherwise. Non-string literals rank
+        // below every string, so the comparison is the constant +1.
+        int64_t eq_code = -1;
+        uint32_t lb = 0;
+        bool literal_is_string = literal_.is_string();
+        if (literal_is_string) {
+          lb = col.LowerBoundCode(literal_.string_value());
+          uint32_t exact = col.FindCode(literal_.string_value());
+          if (exact != ColumnData::kNoCode) eq_code = exact;
+        }
+        const uint32_t* codes = col.codes().data();
+        return SelectRowsKernel(input, ctx, [&, codes](size_t r) {
+          if (col.IsNull(r)) return false;
+          int cmp;
+          if (!literal_is_string) {
+            cmp = 1;
+          } else {
+            uint32_t code = codes[r];
+            cmp = code < lb ? -1
+                  : static_cast<int64_t>(code) == eq_code ? 0
+                                                          : 1;
+          }
+          return mask.Keeps(cmp);
+        });
+      }
+      case ColumnEncoding::kInt64: {
+        const int64_t* data = col.ints().data();
+        const Value literal = literal_;
+        return SelectRowsKernel(input, ctx, [&, data](size_t r) {
+          return !col.IsNull(r) &&
+                 mask.Keeps(CompareInt64Cell(data[r], literal));
+        });
+      }
+      case ColumnEncoding::kDouble: {
+        const double* data = col.doubles().data();
+        const Value literal = literal_;
+        return SelectRowsKernel(input, ctx, [&, data](size_t r) {
+          return !col.IsNull(r) &&
+                 mask.Keeps(CompareDoubleCell(data[r], literal));
+        });
+      }
+      case ColumnEncoding::kBool: {
+        const uint8_t* data = col.bools().data();
+        const Value literal = literal_;
+        return SelectRowsKernel(input, ctx, [&, data](size_t r) {
+          return !col.IsNull(r) &&
+                 mask.Keeps(CompareBoolCell(data[r] != 0, literal));
+        });
+      }
+      case ColumnEncoding::kGeneric:
+        break;  // fall through to the Value path
+    }
+  }
+
+  // Generic fallback: kGeneric columns, and contains over non-dict
+  // encodings.
   return SelectRows(input, ctx, [&](size_t r) -> Result<bool> {
     const Value& v = input->at(r, idx);
     if (v.is_null()) return false;

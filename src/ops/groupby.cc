@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "ops/packed_key.h"
+
 namespace shareinsights {
 
 namespace {
@@ -76,16 +78,177 @@ Result<Schema> GroupByOp::OutputSchema(
 namespace {
 
 struct Group {
+  /// First input row of the group in scan order; group keys materialize
+  /// from it (ColumnData::GetValue round-trips the exact Value, so this
+  /// matches materializing from a stored Value key).
+  size_t first_row = 0;
   std::vector<std::unique_ptr<Aggregator>> aggs;
 };
 
 /// One morsel's partial aggregation state. `ordered_keys` records
 /// first-encounter order within the morsel, so merging locals in morsel
 /// order reproduces the global scan's first-encounter order exactly.
+template <typename Key, typename Hash>
 struct PartialGroups {
-  std::unordered_map<std::vector<Value>, Group, KeyHash> groups;
-  std::vector<const std::vector<Value>*> ordered_keys;
+  std::unordered_map<Key, Group, Hash> groups;
+  std::vector<const Key*> ordered_keys;
 };
+
+/// Hash-aggregates the whole input, keyed by whatever `fill_key` extracts
+/// per row (packed uint64 words on the fast path, Value vectors on the
+/// generic path). Returns the merged groups in global first-encounter
+/// order — the same order for both key representations, since packed-word
+/// equality coincides with Value equality.
+/// Decoded Value pointers for each aggregate's input column, hoisted out
+/// of the per-row loop (Table::at re-checks the lazy decode cache on
+/// every call; the pointers are stable for the table's lifetime).
+std::vector<const Value*> AggregateInputs(const TablePtr& input,
+                                          const std::vector<size_t>& agg_idx,
+                                          size_t count_col) {
+  std::vector<const Value*> agg_vals;
+  agg_vals.reserve(agg_idx.size());
+  for (size_t idx : agg_idx) {
+    agg_vals.push_back(
+        input->column(idx == SIZE_MAX ? count_col : idx).data());
+  }
+  return agg_vals;
+}
+
+template <typename Key, typename Hash, typename FillKey>
+Result<std::vector<Group>> AggregateByKey(
+    const TablePtr& input, const ExecContext& ctx,
+    const std::vector<AggregatorFactory>& factories,
+    const std::vector<size_t>& agg_idx, size_t count_col,
+    const Key& proto_key, FillKey fill_key) {
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<PartialGroups<Key, Hash>> partials(ranges.size());
+  std::vector<const Value*> agg_vals =
+      AggregateInputs(input, agg_idx, count_col);
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        PartialGroups<Key, Hash>& local = partials[m];
+        Key key = proto_key;
+        for (size_t r = begin; r < end; ++r) {
+          fill_key(r, key);
+          auto [it, inserted] = local.groups.try_emplace(key);
+          if (inserted) {
+            it->second.first_row = r;
+            local.ordered_keys.push_back(&it->first);
+            for (const AggregatorFactory& factory : factories) {
+              it->second.aggs.push_back(factory());
+            }
+          }
+          for (size_t a = 0; a < agg_idx.size(); ++a) {
+            SI_RETURN_IF_ERROR(it->second.aggs[a]->Update(agg_vals[a][r]));
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge partials in morsel order. Each local's keys are visited in its
+  // first-encounter order, so global first-encounter order equals the
+  // sequential scan's, and Merge always receives later-row state.
+  std::unordered_map<Key, Group, Hash> groups;
+  std::vector<const Key*> ordered_keys;
+  for (PartialGroups<Key, Hash>& local : partials) {
+    for (const Key* local_key : local.ordered_keys) {
+      auto node = local.groups.extract(*local_key);
+      auto [it, inserted] =
+          groups.try_emplace(std::move(node.key()), std::move(node.mapped()));
+      if (inserted) {
+        ordered_keys.push_back(&it->first);
+      } else {
+        for (size_t a = 0; a < it->second.aggs.size(); ++a) {
+          SI_RETURN_IF_ERROR(
+              it->second.aggs[a]->Merge(*node.mapped().aggs[a]));
+        }
+      }
+    }
+  }
+  std::vector<Group> ordered;
+  ordered.reserve(ordered_keys.size());
+  for (const Key* key : ordered_keys) {
+    ordered.push_back(std::move(groups.at(*key)));
+  }
+  return ordered;
+}
+
+/// Dense fast path for a single low-cardinality dictionary key: groups
+/// index directly by dictionary code (nulls take the one-past-the-end
+/// slot), so the per-row cost is an array lookup instead of a hash-table
+/// probe. First-encounter order per morsel and the morsel-order merge are
+/// identical to the hash paths, so the output rows match byte for byte.
+constexpr size_t kDenseDictGroups = 4096;
+
+struct DensePartial {
+  std::vector<int32_t> slot;         // code -> index into groups, or -1
+  std::vector<Group> groups;         // in first-encounter order
+  std::vector<uint32_t> group_codes; // code per group
+};
+
+Result<std::vector<Group>> AggregateByDictCode(
+    const TablePtr& input, const ExecContext& ctx,
+    const std::vector<AggregatorFactory>& factories,
+    const std::vector<size_t>& agg_idx, size_t count_col,
+    const ColumnData& key_col) {
+  const uint32_t null_code = static_cast<uint32_t>(key_col.dict().size());
+  const size_t slots = null_code + 1;
+  const uint32_t* codes = key_col.codes().data();
+  const uint8_t* nulls =
+      key_col.has_nulls() ? key_col.nulls().data() : nullptr;
+  std::vector<const Value*> agg_vals =
+      AggregateInputs(input, agg_idx, count_col);
+
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<DensePartial> partials(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        DensePartial& local = partials[m];
+        local.slot.assign(slots, -1);
+        for (size_t r = begin; r < end; ++r) {
+          uint32_t code =
+              (nulls != nullptr && nulls[r] != 0) ? null_code : codes[r];
+          int32_t g = local.slot[code];
+          if (g < 0) {
+            g = static_cast<int32_t>(local.groups.size());
+            local.slot[code] = g;
+            local.groups.emplace_back();
+            local.groups[g].first_row = r;
+            for (const AggregatorFactory& factory : factories) {
+              local.groups[g].aggs.push_back(factory());
+            }
+            local.group_codes.push_back(code);
+          }
+          Group& group = local.groups[g];
+          for (size_t a = 0; a < agg_idx.size(); ++a) {
+            SI_RETURN_IF_ERROR(group.aggs[a]->Update(agg_vals[a][r]));
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge partials in morsel order (same contract as the hash paths).
+  std::vector<int32_t> slot(slots, -1);
+  std::vector<Group> ordered;
+  for (DensePartial& local : partials) {
+    for (size_t i = 0; i < local.groups.size(); ++i) {
+      uint32_t code = local.group_codes[i];
+      int32_t g = slot[code];
+      if (g < 0) {
+        slot[code] = static_cast<int32_t>(ordered.size());
+        ordered.push_back(std::move(local.groups[i]));
+      } else {
+        for (size_t a = 0; a < ordered[g].aggs.size(); ++a) {
+          SI_RETURN_IF_ERROR(
+              ordered[g].aggs[a]->Merge(*local.groups[i].aggs[a]));
+        }
+      }
+    }
+  }
+  return ordered;
+}
 
 }  // namespace
 
@@ -123,53 +286,38 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
     }
   }
 
-  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), effective);
-  std::vector<PartialGroups> partials(ranges.size());
-  SI_RETURN_IF_ERROR(ForEachMorsel(
-      effective, input->num_rows(),
-      [&](size_t m, size_t begin, size_t end) -> Status {
-        PartialGroups& local = partials[m];
-        std::vector<Value> key(keys_.size());
-        for (size_t r = begin; r < end; ++r) {
-          for (size_t k = 0; k < key_idx.size(); ++k) {
-            key[k] = input->at(r, key_idx[k]);
-          }
-          auto [it, inserted] = local.groups.try_emplace(key);
-          if (inserted) {
-            local.ordered_keys.push_back(&it->first);
-            for (const AggregatorFactory& factory : factories) {
-              it->second.aggs.push_back(factory());
-            }
-          }
-          for (size_t a = 0; a < aggregates_.size(); ++a) {
-            const Value& v = agg_idx[a] == SIZE_MAX
-                                 ? input->at(r, key_idx[0])
-                                 : input->at(r, agg_idx[a]);
-            SI_RETURN_IF_ERROR(it->second.aggs[a]->Update(v));
-          }
-        }
-        return Status::OK();
-      }));
-
-  // Merge partials in morsel order. Each local's keys are visited in its
-  // first-encounter order, so global first-encounter order equals the
-  // sequential scan's, and Merge always receives later-row state.
-  std::unordered_map<std::vector<Value>, Group, KeyHash> groups;
-  std::vector<const std::vector<Value>*> ordered_keys;
-  for (PartialGroups& local : partials) {
-    for (const std::vector<Value>* local_key : local.ordered_keys) {
-      auto node = local.groups.extract(*local_key);
-      auto [it, inserted] =
-          groups.try_emplace(std::move(node.key()), std::move(node.mapped()));
-      if (inserted) {
-        ordered_keys.push_back(&it->first);
-      } else {
-        for (size_t a = 0; a < aggregates_.size(); ++a) {
-          SI_RETURN_IF_ERROR(
-              it->second.aggs[a]->Merge(*node.mapped().aggs[a]));
-        }
-      }
-    }
+  // Fast path: every key column has a packed representation, so the hash
+  // table keys on raw uint64 words (dictionary codes for strings) instead
+  // of Value vectors.
+  std::optional<KeyPacker> packer = KeyPacker::Create(*input, key_idx);
+  std::vector<Group> ordered;
+  const ColumnData& first_key = input->typed_column(key_idx[0]);
+  if (key_idx.size() == 1 &&
+      first_key.encoding() == ColumnEncoding::kDict &&
+      first_key.dict().size() <= kDenseDictGroups) {
+    SI_ASSIGN_OR_RETURN(ordered,
+                        AggregateByDictCode(input, effective, factories,
+                                            agg_idx, key_idx[0], first_key));
+  } else if (packer.has_value()) {
+    SI_ASSIGN_OR_RETURN(
+        ordered,
+        (AggregateByKey<std::vector<uint64_t>, PackedKeyHash>(
+            input, effective, factories, agg_idx, key_idx[0],
+            std::vector<uint64_t>(packer->stride()),
+            [&](size_t r, std::vector<uint64_t>& key) {
+              packer->PackRow(r, key);
+            })));
+  } else {
+    SI_ASSIGN_OR_RETURN(
+        ordered,
+        (AggregateByKey<std::vector<Value>, KeyHash>(
+            input, effective, factories, agg_idx, key_idx[0],
+            std::vector<Value>(keys_.size()),
+            [&](size_t r, std::vector<Value>& key) {
+              for (size_t k = 0; k < key_idx.size(); ++k) {
+                key[k] = input->at(r, key_idx[k]);
+              }
+            })));
   }
 
   // Materialize rows in group-encounter order. The output (group keys +
@@ -180,14 +328,18 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
   if (ctx.budget != nullptr) {
     SI_ASSIGN_OR_RETURN(
         reservation,
-        ctx.budget->Reserve(ApproxCellBytes(ordered_keys.size(),
+        ctx.budget->Reserve(ApproxCellBytes(ordered.size(),
                                             keys_.size() + aggregates_.size()),
                             "groupby"));
   }
   TableBuilder builder(out_schema);
-  for (const std::vector<Value>* group_key : ordered_keys) {
-    Group& group = groups.at(*group_key);
-    std::vector<Value> row = *group_key;
+  builder.Reserve(ordered.size());
+  for (Group& group : ordered) {
+    std::vector<Value> row;
+    row.reserve(keys_.size() + aggregates_.size());
+    for (size_t k = 0; k < key_idx.size(); ++k) {
+      row.push_back(input->typed_column(key_idx[k]).GetValue(group.first_row));
+    }
     for (auto& agg : group.aggs) {
       SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
       row.push_back(std::move(v));
@@ -205,6 +357,7 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
       return result->at(b, agg_col) < result->at(a, agg_col);
     });
     TableBuilder sorted(result->schema());
+    sorted.Reserve(order.size());
     for (size_t i : order) sorted.AppendRowFrom(*result, i);
     return sorted.Finish();
   }

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <optional>
 #include <unordered_map>
 #include <utility>
 
 #include "common/string_util.h"
+#include "ops/packed_key.h"
 
 namespace shareinsights {
 
@@ -91,6 +93,85 @@ struct KeyHash {
   }
 };
 
+/// The three hash-join phases, generic over the key representation:
+/// packed uint64 words when both sides share a packed domain, Value
+/// vectors otherwise. Matching is identical either way (packed-word
+/// equality coincides with Value equality, including null == null, which
+/// this engine's joins preserve), so probe output does not depend on the
+/// chosen path.
+///
+/// Phase 1 hashes every build-side row in parallel (keys are rebuilt
+/// cheaply during the partitioned insert; hashing dominates). Phase 2
+/// builds the hash index as independent partitions (by key hash modulo
+/// partition count); each partition scans build rows in row order, so
+/// per-key row lists keep scan order, and the partition count never
+/// changes which rows land in a bucket — output is invariant to it.
+/// Phase 3 probes left morsels concurrently, buffering matched row pairs
+/// per morsel; -1 marks the null side of an outer-join row.
+template <typename Key, typename Hash, typename FillLeft, typename FillRight>
+Status BuildAndProbe(
+    const TablePtr& left, const TablePtr& right, const ExecContext& ctx,
+    bool keep_unmatched_left, const Key& proto_key, FillLeft fill_left,
+    FillRight fill_right,
+    std::vector<std::vector<std::pair<ptrdiff_t, ptrdiff_t>>>* pairs,
+    std::vector<std::atomic<bool>>* right_matched) {
+  std::vector<size_t> right_hashes(right->num_rows());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, right->num_rows(),
+      [&](size_t, size_t begin, size_t end) -> Status {
+        Key key = proto_key;
+        for (size_t r = begin; r < end; ++r) {
+          fill_right(r, key);
+          right_hashes[r] = Hash{}(key);
+        }
+        return Status::OK();
+      }));
+
+  using Index = std::unordered_map<Key, std::vector<size_t>, Hash>;
+  const size_t num_parts =
+      std::max<size_t>(ctx.pool == nullptr ? 1 : ctx.parallelism(), 1);
+  std::vector<Index> index(num_parts);
+  auto build_part = [&](size_t p) {
+    Key key = proto_key;
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      if (right_hashes[r] % num_parts != p) continue;
+      fill_right(r, key);
+      index[p][key].push_back(r);
+    }
+  };
+  if (ctx.pool != nullptr && num_parts > 1) {
+    ctx.pool->ParallelFor(num_parts, build_part);
+  } else {
+    for (size_t p = 0; p < num_parts; ++p) build_part(p);
+  }
+
+  std::vector<MorselRange> ranges = MorselRanges(left->num_rows(), ctx);
+  pairs->resize(ranges.size());
+  return ForEachMorsel(
+      ctx, left->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        Key key = proto_key;
+        std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& out = (*pairs)[m];
+        for (size_t l = begin; l < end; ++l) {
+          fill_left(l, key);
+          const Index& part = index[Hash{}(key) % num_parts];
+          auto it = part.find(key);
+          if (it == part.end()) {
+            if (keep_unmatched_left) {
+              out.emplace_back(static_cast<ptrdiff_t>(l), -1);
+            }
+            continue;
+          }
+          for (size_t r : it->second) {
+            (*right_matched)[r].store(true, std::memory_order_relaxed);
+            out.emplace_back(static_cast<ptrdiff_t>(l),
+                             static_cast<ptrdiff_t>(r));
+          }
+        }
+        return Status::OK();
+      });
+}
+
 }  // namespace
 
 Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
@@ -115,25 +196,6 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
     proj_idx.emplace_back(p.side, idx);
   }
 
-  // Phase 1: hash every build-side row in parallel (keys are rebuilt
-  // cheaply during the partitioned insert below; hashing dominates).
-  std::vector<size_t> right_hashes(right->num_rows());
-  SI_RETURN_IF_ERROR(ForEachMorsel(
-      ctx, right->num_rows(),
-      [&](size_t, size_t begin, size_t end) -> Status {
-        std::vector<Value> key(rk.size());
-        for (size_t r = begin; r < end; ++r) {
-          for (size_t k = 0; k < rk.size(); ++k) key[k] = right->at(r, rk[k]);
-          right_hashes[r] = KeyHash{}(key);
-        }
-        return Status::OK();
-      }));
-
-  // Phase 2: build the hash index as independent partitions (by key hash
-  // modulo partition count). Each partition scans build rows in row order,
-  // so per-key row lists keep scan order; partition count never changes
-  // which rows land in a bucket, only which map holds it — output is
-  // invariant to the partition count.
   // The build index holds every build-side key plus one row id per row;
   // charge it (approximated as keys + a row-id cell per build row) before
   // building so an over-budget join fails cleanly instead of OOMing.
@@ -144,99 +206,114 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
         ctx.budget->Reserve(ApproxCellBytes(right->num_rows(), rk.size() + 1),
                             "join:build"));
   }
-  using Index =
-      std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash>;
-  const size_t num_parts = std::max<size_t>(
-      ctx.pool == nullptr ? 1 : ctx.parallelism(), 1);
-  std::vector<Index> index(num_parts);
-  auto build_part = [&](size_t p) {
-    std::vector<Value> key(rk.size());
-    for (size_t r = 0; r < right->num_rows(); ++r) {
-      if (right_hashes[r] % num_parts != p) continue;
-      for (size_t k = 0; k < rk.size(); ++k) key[k] = right->at(r, rk[k]);
-      index[p][key].push_back(r);
-    }
-  };
-  if (ctx.pool != nullptr && num_parts > 1) {
-    ctx.pool->ParallelFor(num_parts, build_part);
-  } else {
-    for (size_t p = 0; p < num_parts; ++p) build_part(p);
-  }
 
-  // Phase 3: probe left morsels concurrently, buffering matched row pairs
-  // per morsel; -1 marks the null side of an outer-join row.
   std::vector<std::atomic<bool>> right_matched(right->num_rows());
-  std::vector<MorselRange> ranges = MorselRanges(left->num_rows(), ctx);
-  std::vector<std::vector<std::pair<ptrdiff_t, ptrdiff_t>>> pairs(
-      ranges.size());
+  std::vector<std::vector<std::pair<ptrdiff_t, ptrdiff_t>>> pairs;
   const bool keep_unmatched_left =
       kind_ == JoinKind::kLeftOuter || kind_ == JoinKind::kFullOuter;
-  SI_RETURN_IF_ERROR(ForEachMorsel(
-      ctx, left->num_rows(),
-      [&](size_t m, size_t begin, size_t end) -> Status {
-        std::vector<Value> key(lk.size());
-        std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& out = pairs[m];
-        for (size_t l = begin; l < end; ++l) {
-          for (size_t k = 0; k < lk.size(); ++k) key[k] = left->at(l, lk[k]);
-          const Index& part = index[KeyHash{}(key) % num_parts];
-          auto it = part.find(key);
-          if (it == part.end()) {
-            if (keep_unmatched_left) {
-              out.emplace_back(static_cast<ptrdiff_t>(l), -1);
-            }
-            continue;
-          }
-          for (size_t r : it->second) {
-            right_matched[r].store(true, std::memory_order_relaxed);
-            out.emplace_back(static_cast<ptrdiff_t>(l),
-                             static_cast<ptrdiff_t>(r));
-          }
-        }
-        return Status::OK();
-      }));
 
-  // Charge the output materialization now that the matched-pair count is
-  // known (outer-join null rows for the right side are bounded by the
-  // build-side row count already charged above).
-  size_t emit_rows = 0;
-  for (const auto& morsel_pairs : pairs) emit_rows += morsel_pairs.size();
+  // Fast path: when every key pair shares a packed domain, the index keys
+  // on raw uint64 words — the probe side packs into the build side's
+  // dictionary codes, so no string is hashed or compared during the join.
+  std::optional<KeyPacker> probe_packer;
+  std::optional<KeyPacker> build_packer;
+  if (KeyPacker::CreatePair(*left, lk, *right, rk, &probe_packer,
+                            &build_packer)) {
+    SI_RETURN_IF_ERROR(
+        (BuildAndProbe<std::vector<uint64_t>, PackedKeyHash>(
+            left, right, ctx, keep_unmatched_left,
+            std::vector<uint64_t>(build_packer->stride()),
+            [&](size_t l, std::vector<uint64_t>& key) {
+              probe_packer->PackRow(l, key);
+            },
+            [&](size_t r, std::vector<uint64_t>& key) {
+              build_packer->PackRow(r, key);
+            },
+            &pairs, &right_matched)));
+  } else {
+    SI_RETURN_IF_ERROR(
+        (BuildAndProbe<std::vector<Value>, KeyHash>(
+            left, right, ctx, keep_unmatched_left,
+            std::vector<Value>(lk.size()),
+            [&](size_t l, std::vector<Value>& key) {
+              for (size_t k = 0; k < lk.size(); ++k) {
+                key[k] = left->at(l, lk[k]);
+              }
+            },
+            [&](size_t r, std::vector<Value>& key) {
+              for (size_t k = 0; k < rk.size(); ++k) {
+                key[k] = right->at(r, rk[k]);
+              }
+            },
+            &pairs, &right_matched)));
+  }
+
+  // Flatten the row-pair lists in morsel order — identical row order to
+  // the sequential probe — then the unmatched build rows for right/full
+  // outer joins.
+  const bool keep_unmatched_right =
+      kind_ == JoinKind::kRightOuter || kind_ == JoinKind::kFullOuter;
+  size_t total_rows = 0;
+  for (const auto& morsel_pairs : pairs) total_rows += morsel_pairs.size();
+  size_t unmatched_right = 0;
+  if (keep_unmatched_right) {
+    for (size_t r = 0; r < right->num_rows(); ++r) {
+      if (!right_matched[r].load(std::memory_order_relaxed)) {
+        ++unmatched_right;
+      }
+    }
+    total_rows += unmatched_right;
+  }
   MemoryReservation emit_reservation;
   if (ctx.budget != nullptr) {
     SI_ASSIGN_OR_RETURN(
         emit_reservation,
-        ctx.budget->Reserve(ApproxCellBytes(emit_rows, proj_idx.size()),
+        ctx.budget->Reserve(ApproxCellBytes(total_rows, proj_idx.size()),
                             "join:emit"));
   }
-  TableBuilder builder(out_schema);
-  auto emit = [&](ptrdiff_t lrow, ptrdiff_t rrow) -> Status {
-    std::vector<Value> row;
-    row.reserve(proj_idx.size());
-    for (const auto& [side, idx] : proj_idx) {
-      if (side == 0) {
-        row.push_back(lrow < 0 ? Value::Null()
-                               : left->at(static_cast<size_t>(lrow), idx));
-      } else {
-        row.push_back(rrow < 0 ? Value::Null()
-                               : right->at(static_cast<size_t>(rrow), idx));
-      }
-    }
-    return builder.AppendRow(std::move(row));
-  };
-
-  // Emit in morsel order — identical row order to the sequential probe.
+  std::vector<ptrdiff_t> lrows;
+  std::vector<ptrdiff_t> rrows;
+  lrows.reserve(total_rows);
+  rrows.reserve(total_rows);
   for (const auto& morsel_pairs : pairs) {
     for (const auto& [lrow, rrow] : morsel_pairs) {
-      SI_RETURN_IF_ERROR(emit(lrow, rrow));
+      lrows.push_back(lrow);
+      rrows.push_back(rrow);
     }
   }
-  if (kind_ == JoinKind::kRightOuter || kind_ == JoinKind::kFullOuter) {
+  if (keep_unmatched_right) {
     for (size_t r = 0; r < right->num_rows(); ++r) {
       if (!right_matched[r].load(std::memory_order_relaxed)) {
-        SI_RETURN_IF_ERROR(emit(-1, static_cast<ptrdiff_t>(r)));
+        lrows.push_back(-1);
+        rrows.push_back(static_cast<ptrdiff_t>(r));
       }
     }
   }
-  return builder.Finish();
+
+  // Typed emit: every output column gathers straight from its source
+  // column, preserving encodings and sharing dictionaries instead of
+  // re-encoding the output through the row-at-a-time builder. A side that
+  // can be absent (outer joins) gets a forced null map for its -1 rows.
+  std::vector<ColumnData> out_cols;
+  out_cols.reserve(proj_idx.size());
+  for (const auto& [side, idx] : proj_idx) {
+    const ColumnData& src =
+        (side == 0 ? left : right)->typed_column(idx);
+    const bool may_null =
+        side == 0 ? keep_unmatched_right : keep_unmatched_left;
+    out_cols.push_back(ColumnData::AllocateLike(src, total_rows, may_null));
+  }
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, total_rows, [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t c = 0; c < proj_idx.size(); ++c) {
+          const auto& [side, idx] = proj_idx[c];
+          out_cols[c].GatherFromSigned(
+              (side == 0 ? left : right)->typed_column(idx),
+              side == 0 ? lrows : rrows, begin, end);
+        }
+        return Status::OK();
+      }));
+  return Table::FromColumnData(std::move(out_schema), std::move(out_cols));
 }
 
 }  // namespace shareinsights

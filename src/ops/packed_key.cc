@@ -1,0 +1,118 @@
+#include "ops/packed_key.h"
+
+#include <algorithm>
+
+namespace shareinsights {
+
+namespace {
+
+/// Probe-side sentinel for "string absent from the build dictionary":
+/// wider than any uint32 code, so it can never equal a build-side word.
+constexpr uint64_t kNoMatchWord = ~0ULL;
+
+}  // namespace
+
+std::optional<KeyPacker::Col> KeyPacker::BindColumn(const ColumnData& column) {
+  Col col;
+  col.enc = column.encoding();
+  col.nulls = column.has_nulls() ? column.nulls().data() : nullptr;
+  switch (column.encoding()) {
+    case ColumnEncoding::kGeneric:
+      return std::nullopt;
+    case ColumnEncoding::kInt64:
+      col.ints = column.ints().data();
+      return col;
+    case ColumnEncoding::kDouble:
+      col.dbls = column.doubles().data();
+      return col;
+    case ColumnEncoding::kBool:
+      col.bools = column.bools().data();
+      return col;
+    case ColumnEncoding::kDict:
+      col.codes = column.codes().data();
+      return col;
+  }
+  return std::nullopt;
+}
+
+std::optional<KeyPacker> KeyPacker::Create(const Table& table,
+                                           const std::vector<size_t>& cols) {
+  KeyPacker packer;
+  packer.cols_.reserve(cols.size());
+  for (size_t c : cols) {
+    std::optional<Col> bound = BindColumn(table.typed_column(c));
+    if (!bound.has_value()) return std::nullopt;
+    packer.cols_.push_back(std::move(*bound));
+  }
+  return packer;
+}
+
+bool KeyPacker::CreatePair(const Table& probe,
+                           const std::vector<size_t>& probe_cols,
+                           const Table& build,
+                           const std::vector<size_t>& build_cols,
+                           std::optional<KeyPacker>* probe_out,
+                           std::optional<KeyPacker>* build_out) {
+  std::optional<KeyPacker> p = Create(probe, probe_cols);
+  std::optional<KeyPacker> b = Create(build, build_cols);
+  if (!p.has_value() || !b.has_value()) return false;
+  for (size_t k = 0; k < probe_cols.size(); ++k) {
+    Col& pc = p->cols_[k];
+    const Col& bc = b->cols_[k];
+    // Mixed encodings can still compare equal under Value semantics
+    // (int64 vs double); only identical encodings share a packed domain.
+    if (pc.enc != bc.enc) return false;
+    if (pc.enc == ColumnEncoding::kDict) {
+      const ColumnData& pcol = probe.typed_column(probe_cols[k]);
+      const ColumnData& bcol = build.typed_column(build_cols[k]);
+      const ColumnData::Dictionary& pdict = pcol.dict();
+      pc.translate.resize(pdict.size());
+      for (size_t i = 0; i < pdict.size(); ++i) {
+        pc.translate[i] = bcol.FindCode(pdict[i]);
+      }
+    }
+  }
+  *probe_out = std::move(p);
+  *build_out = std::move(b);
+  return true;
+}
+
+void KeyPacker::PackRow(size_t row, uint64_t* out) const {
+  uint64_t null_mask = 0;
+  for (size_t k = 0; k < cols_.size(); ++k) {
+    const Col& col = cols_[k];
+    if (col.nulls != nullptr && col.nulls[row] != 0) {
+      null_mask |= 1ULL << k;
+      out[k] = 0;
+      continue;
+    }
+    switch (col.enc) {
+      case ColumnEncoding::kInt64:
+        out[k] = static_cast<uint64_t>(col.ints[row]);
+        break;
+      case ColumnEncoding::kDouble:
+        out[k] = PackDoubleBits(col.dbls[row]);
+        break;
+      case ColumnEncoding::kBool:
+        out[k] = col.bools[row] != 0 ? 1 : 0;
+        break;
+      case ColumnEncoding::kDict: {
+        uint32_t code = col.codes[row];
+        if (col.translate.empty()) {
+          out[k] = code;
+        } else {
+          uint32_t translated = col.translate[code];
+          out[k] = translated == ColumnData::kNoCode ? kNoMatchWord
+                                                     : translated;
+        }
+        break;
+      }
+      case ColumnEncoding::kGeneric:
+        out[k] = 0;  // unreachable: Create rejects generic columns
+        break;
+    }
+  }
+  out[cols_.size()] = null_mask;
+}
+
+}  // namespace shareinsights

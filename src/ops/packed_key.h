@@ -1,0 +1,95 @@
+#ifndef SHAREINSIGHTS_OPS_PACKED_KEY_H_
+#define SHAREINSIGHTS_OPS_PACKED_KEY_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "table/column.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Packs a row's key columns into fixed-stride uint64 words so group-by /
+/// join / distinct / topn hash tables key on raw machine words instead of
+/// std::vector<Value> (no variant dispatch, no string hashing):
+///
+///   word k       payload of key column k — int64 bits, normalized double
+///                bits (PackDoubleBits), bool 0/1, or the dictionary code
+///   word n_keys  null mask (bit k set when key column k is null)
+///
+/// Packed-word equality coincides exactly with Value::Compare(...) == 0
+/// for the supported encodings, so a packed hash table groups/joins the
+/// same rows as the generic Value path. Columns with kGeneric encoding —
+/// and join key pairs whose two sides don't share a packed domain (e.g.
+/// int64 vs double, which CAN compare equal numerically) — are rejected
+/// at Create time and the operator falls back to the generic path.
+class KeyPacker {
+ public:
+  /// Packer over one table's key columns, or nullopt when any key column
+  /// has no packed representation.
+  static std::optional<KeyPacker> Create(const Table& table,
+                                         const std::vector<size_t>& cols);
+
+  /// Packers for a hash join: `build` packs natively; `probe` packs into
+  /// the build side's domain (dictionary codes translated probe-dict ->
+  /// build-dict, strings absent from the build dictionary mapping to a
+  /// sentinel word that matches nothing). Returns false when any key pair
+  /// can't be packed compatibly (generic columns or mixed encodings).
+  static bool CreatePair(const Table& probe,
+                         const std::vector<size_t>& probe_cols,
+                         const Table& build,
+                         const std::vector<size_t>& build_cols,
+                         std::optional<KeyPacker>* probe_out,
+                         std::optional<KeyPacker>* build_out);
+
+  size_t num_keys() const { return cols_.size(); }
+  /// Words per packed key: one payload word per key column + null mask.
+  size_t stride() const { return cols_.size() + 1; }
+
+  /// Packs row `row` into `out[0..stride())`.
+  void PackRow(size_t row, uint64_t* out) const;
+
+  /// Convenience: packs into a pre-sized vector.
+  void PackRow(size_t row, std::vector<uint64_t>& out) const {
+    PackRow(row, out.data());
+  }
+
+ private:
+  struct Col {
+    ColumnEncoding enc = ColumnEncoding::kGeneric;
+    const int64_t* ints = nullptr;
+    const double* dbls = nullptr;
+    const uint8_t* bools = nullptr;
+    const uint32_t* codes = nullptr;
+    const uint8_t* nulls = nullptr;  // nullptr = column has no nulls
+    /// kDict with cross-dictionary translation: probe code -> build code
+    /// (ColumnData::kNoCode = absent). Empty = identity.
+    std::vector<uint32_t> translate;
+  };
+
+  static std::optional<Col> BindColumn(const ColumnData& column);
+
+  std::vector<Col> cols_;
+};
+
+/// Hash over packed key words (splitmix64 per word, boost-style combine).
+struct PackedKeyHash {
+  static uint64_t Mix(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+  size_t operator()(const std::vector<uint64_t>& key) const {
+    uint64_t h = 0x243f6a8885a308d3ULL;
+    for (uint64_t w : key) {
+      h ^= Mix(w) + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_PACKED_KEY_H_

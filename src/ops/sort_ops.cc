@@ -1,10 +1,12 @@
 #include "ops/sort_ops.h"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "ops/packed_key.h"
 
 namespace shareinsights {
 
@@ -75,6 +77,60 @@ Result<std::vector<std::pair<size_t, bool>>> BindSortKeys(
     out.emplace_back(idx, key.descending);
   }
   return out;
+}
+
+/// Partitions rows by key, generic over the key representation (packed
+/// uint64 words or Value vectors — same partitions either way). Returns
+/// each group's row list, groups in first-encounter order, rows in scan
+/// order.
+template <typename Key, typename Hash, typename FillKey>
+std::vector<std::vector<size_t>> PartitionRows(size_t num_rows,
+                                               const Key& proto_key,
+                                               FillKey fill_key) {
+  std::unordered_map<Key, size_t, Hash> group_of;
+  std::vector<std::vector<size_t>> groups;
+  Key key = proto_key;
+  for (size_t r = 0; r < num_rows; ++r) {
+    fill_key(r, key);
+    auto [it, inserted] = group_of.try_emplace(key, groups.size());
+    if (inserted) groups.emplace_back();
+    groups[it->second].push_back(r);
+  }
+  return groups;
+}
+
+/// The distinct scan, generic over the key representation: morsel-local
+/// dedup first (cheap, parallel); the survivors — first occurrence per
+/// key within each morsel — then dedup globally in morsel order, which
+/// keeps exactly the rows the sequential scan keeps.
+template <typename Key, typename Hash, typename FillKey>
+Result<std::vector<size_t>> DistinctRows(const TablePtr& input,
+                                         const ExecContext& ctx,
+                                         const Key& proto_key,
+                                         FillKey fill_key) {
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<std::vector<size_t>> candidates(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        std::unordered_set<Key, Hash> local;
+        Key key = proto_key;
+        for (size_t r = begin; r < end; ++r) {
+          fill_key(r, key);
+          if (local.insert(key).second) candidates[m].push_back(r);
+        }
+        return Status::OK();
+      }));
+  std::unordered_set<Key, Hash> seen;
+  std::vector<size_t> kept;
+  Key key = proto_key;
+  for (const std::vector<size_t>& morsel : candidates) {
+    for (size_t r : morsel) {
+      fill_key(r, key);
+      if (seen.insert(key).second) kept.push_back(r);
+    }
+  }
+  return kept;
 }
 
 }  // namespace
@@ -160,17 +216,24 @@ Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs,
                       ResolveColumns(input->schema(), group_keys_));
   SI_ASSIGN_OR_RETURN(auto bound, BindSortKeys(input->schema(), orderby_));
 
-  // Partition rows by group (first-encounter order preserved).
-  std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash> groups;
-  std::vector<const std::vector<Value>*> ordered_keys;
-  std::vector<Value> key(group_idx.size());
-  for (size_t r = 0; r < input->num_rows(); ++r) {
-    for (size_t k = 0; k < group_idx.size(); ++k) {
-      key[k] = input->at(r, group_idx[k]);
-    }
-    auto [it, inserted] = groups.try_emplace(key);
-    if (inserted) ordered_keys.push_back(&it->first);
-    it->second.push_back(r);
+  // Partition rows by group (first-encounter order preserved), hashing
+  // packed key words when every group column has a typed encoding.
+  std::optional<KeyPacker> packer = KeyPacker::Create(*input, group_idx);
+  std::vector<std::vector<size_t>> groups;
+  if (packer.has_value()) {
+    groups = PartitionRows<std::vector<uint64_t>, PackedKeyHash>(
+        input->num_rows(), std::vector<uint64_t>(packer->stride()),
+        [&](size_t r, std::vector<uint64_t>& key) {
+          packer->PackRow(r, key);
+        });
+  } else {
+    groups = PartitionRows<std::vector<Value>, KeyHash>(
+        input->num_rows(), std::vector<Value>(group_idx.size()),
+        [&](size_t r, std::vector<Value>& key) {
+          for (size_t k = 0; k < group_idx.size(); ++k) {
+            key[k] = input->at(r, group_idx[k]);
+          }
+        });
   }
 
   // partial_sort is not stable: break ties by row index explicitly so the
@@ -183,21 +246,25 @@ Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs,
   };
   // Each group's row list is independent: sort them across the pool.
   auto sort_group = [&](size_t g) {
-    std::vector<size_t>& rows = groups.at(*ordered_keys[g]);
+    std::vector<size_t>& rows = groups[g];
     size_t keep = std::min(limit_, rows.size());
     std::partial_sort(rows.begin(),
                       rows.begin() + static_cast<ptrdiff_t>(keep), rows.end(),
                       less);
   };
-  if (ctx.pool != nullptr && ordered_keys.size() > 1) {
-    ctx.pool->ParallelFor(ordered_keys.size(), sort_group);
+  if (ctx.pool != nullptr && groups.size() > 1) {
+    ctx.pool->ParallelFor(groups.size(), sort_group);
   } else {
-    for (size_t g = 0; g < ordered_keys.size(); ++g) sort_group(g);
+    for (size_t g = 0; g < groups.size(); ++g) sort_group(g);
   }
 
+  size_t emit_rows = 0;
+  for (const std::vector<size_t>& rows : groups) {
+    emit_rows += std::min(limit_, rows.size());
+  }
   TableBuilder builder(input->schema());
-  for (const std::vector<Value>* group_key : ordered_keys) {
-    const std::vector<size_t>& rows = groups.at(*group_key);
+  builder.Reserve(emit_rows);
+  for (const std::vector<size_t>& rows : groups) {
     size_t keep = std::min(limit_, rows.size());
     for (size_t i = 0; i < keep; ++i) builder.AppendRowFrom(*input, rows[i]);
   }
@@ -225,32 +292,25 @@ Result<TablePtr> DistinctOp::Execute(const std::vector<TablePtr>& inputs,
   } else {
     SI_ASSIGN_OR_RETURN(cols, ResolveColumns(input->schema(), columns_));
   }
-  // Morsel-local dedup first (cheap, parallel); the survivors — first
-  // occurrence per key within each morsel — then dedup globally in morsel
-  // order, which keeps exactly the rows the sequential scan keeps.
-  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
-  std::vector<std::vector<size_t>> candidates(ranges.size());
-  SI_RETURN_IF_ERROR(ForEachMorsel(
-      ctx, input->num_rows(),
-      [&](size_t m, size_t begin, size_t end) -> Status {
-        std::unordered_set<std::vector<Value>, KeyHash> local;
-        std::vector<Value> key(cols.size());
-        for (size_t r = begin; r < end; ++r) {
-          for (size_t k = 0; k < cols.size(); ++k) {
-            key[k] = input->at(r, cols[k]);
-          }
-          if (local.insert(key).second) candidates[m].push_back(r);
-        }
-        return Status::OK();
-      }));
-  std::unordered_set<std::vector<Value>, KeyHash> seen;
+  // Dedup on packed key words when every column has a typed encoding.
+  std::optional<KeyPacker> packer = KeyPacker::Create(*input, cols);
   std::vector<size_t> kept;
-  std::vector<Value> key(cols.size());
-  for (const std::vector<size_t>& morsel : candidates) {
-    for (size_t r : morsel) {
-      for (size_t k = 0; k < cols.size(); ++k) key[k] = input->at(r, cols[k]);
-      if (seen.insert(key).second) kept.push_back(r);
-    }
+  if (packer.has_value()) {
+    SI_ASSIGN_OR_RETURN(
+        kept, (DistinctRows<std::vector<uint64_t>, PackedKeyHash>(
+                  input, ctx, std::vector<uint64_t>(packer->stride()),
+                  [&](size_t r, std::vector<uint64_t>& key) {
+                    packer->PackRow(r, key);
+                  })));
+  } else {
+    SI_ASSIGN_OR_RETURN(
+        kept, (DistinctRows<std::vector<Value>, KeyHash>(
+                  input, ctx, std::vector<Value>(cols.size()),
+                  [&](size_t r, std::vector<Value>& key) {
+                    for (size_t k = 0; k < cols.size(); ++k) {
+                      key[k] = input->at(r, cols[k]);
+                    }
+                  })));
   }
   return GatherRows(input, kept, ctx);
 }

@@ -5,8 +5,41 @@
 
 namespace shareinsights {
 
+Table::Table(Schema schema, std::vector<ColumnData> columns, size_t num_rows)
+    : schema_(std::move(schema)),
+      typed_(std::move(columns)),
+      num_rows_(num_rows),
+      view_(typed_.size()),
+      view_once_(typed_.empty() ? nullptr
+                                : std::make_unique<std::once_flag[]>(
+                                      typed_.size())) {}
+
 Result<TablePtr> Table::Create(Schema schema,
-                               std::vector<std::vector<Value>> columns) {
+                               std::vector<std::vector<Value>> columns,
+                               bool force_generic) {
+  if (columns.size() != schema.num_fields()) {
+    return Status::SchemaError(
+        "column count " + std::to_string(columns.size()) +
+        " does not match schema arity " + std::to_string(schema.num_fields()));
+  }
+  size_t rows = columns.empty() ? 0 : columns[0].size();
+  for (const auto& col : columns) {
+    if (col.size() != rows) {
+      return Status::SchemaError("ragged columns: expected " +
+                                 std::to_string(rows) + " rows, got " +
+                                 std::to_string(col.size()));
+    }
+  }
+  std::vector<ColumnData> typed;
+  typed.reserve(columns.size());
+  for (auto& col : columns) {
+    typed.push_back(ColumnData::Encode(std::move(col), force_generic));
+  }
+  return TablePtr(new Table(std::move(schema), std::move(typed), rows));
+}
+
+Result<TablePtr> Table::FromColumnData(Schema schema,
+                                       std::vector<ColumnData> columns) {
   if (columns.size() != schema.num_fields()) {
     return Status::SchemaError(
         "column count " + std::to_string(columns.size()) +
@@ -24,31 +57,33 @@ Result<TablePtr> Table::Create(Schema schema,
 }
 
 TablePtr Table::Empty(Schema schema) {
-  std::vector<std::vector<Value>> columns(schema.num_fields());
+  std::vector<ColumnData> columns(schema.num_fields());
   return TablePtr(new Table(std::move(schema), std::move(columns), 0));
+}
+
+const std::vector<Value>& Table::column(size_t i) const {
+  const ColumnData& typed = typed_[i];
+  if (typed.encoding() == ColumnEncoding::kGeneric) return typed.generic();
+  std::call_once(view_once_[i], [&] { view_[i] = typed.Decode(); });
+  return view_[i];
 }
 
 Result<const std::vector<Value>*> Table::ColumnByName(
     const std::string& name) const {
   SI_ASSIGN_OR_RETURN(size_t idx, schema_.RequireIndex(name));
-  return &columns_[idx];
+  return &column(idx);
 }
 
 std::vector<Value> Table::Row(size_t row) const {
   std::vector<Value> out;
-  out.reserve(columns_.size());
-  for (const auto& col : columns_) out.push_back(col[row]);
+  out.reserve(typed_.size());
+  for (const auto& col : typed_) out.push_back(col.GetValue(row));
   return out;
 }
 
 size_t Table::ApproxBytes() const {
   size_t bytes = 0;
-  for (const auto& col : columns_) {
-    for (const Value& v : col) {
-      bytes += sizeof(Value);
-      if (v.is_string()) bytes += v.string_value().size();
-    }
-  }
+  for (const auto& col : typed_) bytes += col.ApproxBytes();
   return bytes;
 }
 
@@ -99,6 +134,10 @@ std::string Table::ToDisplayString(size_t max_rows) const {
 
 TableBuilder::TableBuilder(Schema schema) : schema_(std::move(schema)) {
   columns_.resize(schema_.num_fields());
+}
+
+void TableBuilder::Reserve(size_t rows) {
+  for (auto& col : columns_) col.reserve(num_rows_ + rows);
 }
 
 Status TableBuilder::AppendRow(std::vector<Value> row) {

@@ -2,11 +2,13 @@
 #define SHAREINSIGHTS_TABLE_TABLE_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/result.h"
 #include "common/value.h"
+#include "table/column.h"
 #include "table/schema.h"
 
 namespace shareinsights {
@@ -18,24 +20,44 @@ using TablePtr = std::shared_ptr<const Table>;
 /// (source, sink, endpoint) in a flow. Tables are immutable once built;
 /// operators produce new tables, which makes caching and concurrent reads
 /// by the executor and the data cube safe without locking.
+///
+/// Storage is typed per column (see ColumnData): primitives as raw
+/// arrays, strings dictionary-encoded, mixed-type columns as generic
+/// Value vectors. Hot operator kernels read the typed storage via
+/// typed_column(); the Value-based at()/column() API remains as a
+/// compatibility view, decoded lazily per column and cached (thread-safe,
+/// decoded at most once).
 class Table {
  public:
   /// Builds a table from columns. Every column must match num_rows.
+  /// `force_generic` pins every column to the legacy Value representation
+  /// — the encoding-equivalence suite's oracle path.
   static Result<TablePtr> Create(Schema schema,
-                                 std::vector<std::vector<Value>> columns);
+                                 std::vector<std::vector<Value>> columns,
+                                 bool force_generic = false);
+
+  /// Builds a table directly from encoded columns (gather/slice paths
+  /// that preserve encodings and share dictionaries).
+  static Result<TablePtr> FromColumnData(Schema schema,
+                                         std::vector<ColumnData> columns);
 
   /// Zero-row table with the given schema.
   static TablePtr Empty(Schema schema);
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
-  size_t num_columns() const { return columns_.size(); }
+  size_t num_columns() const { return typed_.size(); }
 
-  const std::vector<Value>& column(size_t i) const { return columns_[i]; }
+  /// Encoded storage of column `i` — the fast path for typed kernels.
+  const ColumnData& typed_column(size_t i) const { return typed_[i]; }
 
-  /// Cell accessor. Bounds are the caller's responsibility (operators
-  /// iterate within num_rows/num_columns).
-  const Value& at(size_t row, size_t col) const { return columns_[col][row]; }
+  /// Decoded Value view of column `i` (lazy, cached; generic columns are
+  /// returned directly without copying).
+  const std::vector<Value>& column(size_t i) const;
+
+  /// Cell accessor over the decoded view. Bounds are the caller's
+  /// responsibility (operators iterate within num_rows/num_columns).
+  const Value& at(size_t row, size_t col) const { return column(col)[row]; }
 
   /// Column by name, or kSchemaError.
   Result<const std::vector<Value>*> ColumnByName(const std::string& name) const;
@@ -43,8 +65,12 @@ class Table {
   /// Copies one row out (test/display convenience).
   std::vector<Value> Row(size_t row) const;
 
-  /// Approximate in-memory footprint, used by the optimizer's transfer-
-  /// minimization cost model and the sharing benchmarks.
+  /// Approximate in-memory footprint of the *encoded* representation
+  /// (codes + dictionary for dict columns, raw arrays for primitives),
+  /// used by the optimizer's transfer-minimization cost model and the
+  /// sharing benchmarks. Lazily-decoded compatibility views are not
+  /// charged — they exist only while a generic-path operator touches the
+  /// table.
   size_t ApproxBytes() const;
 
   /// Renders up to `max_rows` rows as an aligned ASCII table (the data
@@ -52,15 +78,16 @@ class Table {
   std::string ToDisplayString(size_t max_rows = 20) const;
 
  private:
-  Table(Schema schema, std::vector<std::vector<Value>> columns,
-        size_t num_rows)
-      : schema_(std::move(schema)),
-        columns_(std::move(columns)),
-        num_rows_(num_rows) {}
+  Table(Schema schema, std::vector<ColumnData> columns, size_t num_rows);
 
   Schema schema_;
-  std::vector<std::vector<Value>> columns_;
+  std::vector<ColumnData> typed_;
   size_t num_rows_ = 0;
+
+  // Lazily-decoded Value views (compatibility path). view_once_[i] guards
+  // the one-time decode of view_[i]; kGeneric columns bypass the cache.
+  mutable std::vector<std::vector<Value>> view_;
+  mutable std::unique_ptr<std::once_flag[]> view_once_;
 };
 
 /// Row-at-a-time builder used by readers, generators, and operators.
@@ -70,6 +97,11 @@ class TableBuilder {
 
   const Schema& schema() const { return schema_; }
   size_t num_rows() const { return num_rows_; }
+
+  /// Pre-allocates room for `rows` additional rows in every column, so
+  /// bulk loads (CSV/JSON readers, operator materialization) append
+  /// without repeated vector reallocation.
+  void Reserve(size_t rows);
 
   /// Appends a row; must have exactly one value per schema field.
   Status AppendRow(std::vector<Value> row);

@@ -282,7 +282,9 @@ TEST(SortTest, MultiKeyStableSort) {
 }
 
 TEST(SortTest, ParseSortKeyVariants) {
-  EXPECT_FALSE(ParseSortKey("")->descending);
+  // An empty key is a parse error; dereferencing it would be UB (only
+  // unnoticed in NDEBUG builds where Result's assert is compiled out).
+  EXPECT_FALSE(ParseSortKey("").ok());
   EXPECT_TRUE(ParseSortKey("count DESC")->descending);
   EXPECT_FALSE(ParseSortKey("count ASC")->descending);
   // Direction keywords are case-insensitive.

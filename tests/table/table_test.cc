@@ -105,6 +105,44 @@ TEST(TableTest, ApproxBytesGrowsWithData) {
   EXPECT_LT((*small.Finish())->ApproxBytes(), (*large.Finish())->ApproxBytes());
 }
 
+// Regression: a low-cardinality string column must be charged for its
+// encoded form (uint32 codes + one dictionary copy of each distinct
+// string), not for the decoded per-row string payloads. With 10k rows of
+// 9 distinct ~40-byte strings, the decoded accounting would be ~100x the
+// encoded one.
+TEST(TableTest, ApproxBytesChargesDictionaryEncoding) {
+  constexpr size_t kRows = 10000;
+  const std::string suffix(40, 'x');
+  std::vector<Value> cells;
+  cells.reserve(kRows);
+  size_t decoded_payload = 0;
+  for (size_t i = 0; i < kRows; ++i) {
+    std::string s = "category" + std::to_string(i % 9) + suffix;
+    decoded_payload += s.size();
+    cells.push_back(Value(std::move(s)));
+  }
+  auto table =
+      *Table::Create(Schema({Field{"cat", ValueType::kString}}), {cells});
+  ASSERT_EQ(table->typed_column(0).encoding(), ColumnEncoding::kDict);
+
+  size_t encoded = table->ApproxBytes();
+  // Codes dominate: 4 bytes per row plus the 9-entry dictionary, far below
+  // the ~500KB of decoded string payloads (let alone sizeof(Value) per row).
+  EXPECT_GE(encoded, kRows * sizeof(uint32_t));
+  EXPECT_LT(encoded, kRows * sizeof(uint32_t) + 16 * 1024);
+  EXPECT_LT(encoded, decoded_payload / 4);
+
+  // The generic (oracle) representation of the same data IS charged per
+  // row, so it must dwarf the encoded footprint.
+  auto generic = *Table::Create(Schema({Field{"cat", ValueType::kString}}),
+                                {cells}, /*force_generic=*/true);
+  EXPECT_GT(generic->ApproxBytes(), encoded * 10);
+
+  // Decoding the compatibility view must not change the accounting.
+  (void)table->column(0);
+  EXPECT_EQ(table->ApproxBytes(), encoded);
+}
+
 TEST(TableTest, InferColumnTypesIntColumn) {
   TableBuilder builder(Schema::FromNames({"n", "mixed", "f"}));
   (void)builder.AppendRow({Value("1"), Value("2"), Value("1.5")});
