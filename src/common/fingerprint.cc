@@ -1,0 +1,56 @@
+#include "common/fingerprint.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace shareinsights {
+
+void Fingerprinter::Mix(const void* data, size_t n) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    hash_ ^= bytes[i];
+    hash_ *= 1099511628211ULL;  // FNV prime
+  }
+}
+
+Fingerprinter& Fingerprinter::Add(std::string_view s) {
+  uint64_t len = s.size();
+  Mix(&len, sizeof(len));
+  Mix(s.data(), s.size());
+  return *this;
+}
+
+Fingerprinter& Fingerprinter::Add(uint64_t v) {
+  unsigned char tag = 'u';
+  Mix(&tag, 1);
+  Mix(&v, sizeof(v));
+  return *this;
+}
+
+std::string Fingerprinter::FingerprintValueKey(const Value& v) {
+  switch (v.type()) {
+    case ValueType::kNull:
+      return "n";
+    case ValueType::kBool:
+      return v.bool_value() ? "b1" : "b0";
+    case ValueType::kInt64:
+      return "i" + std::to_string(v.int64_value());
+    case ValueType::kDouble: {
+      // Bit-exact: -0.0 and NaN canonicalized the same way packed keys do,
+      // so values that compare equal fingerprint equal.
+      double d = v.double_value();
+      if (std::isnan(d)) d = std::numeric_limits<double>::quiet_NaN();
+      if (d == 0.0) d = 0.0;
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return "d" + std::to_string(bits);
+    }
+    case ValueType::kString:
+      return "s" + std::to_string(v.string_value().size()) + ":" +
+             v.string_value();
+  }
+  return "?";
+}
+
+}  // namespace shareinsights

@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "common/value.h"
+#include "compile/fingerprint.h"
 #include "compile/optimizer.h"
 #include "obs/metrics.h"
 
@@ -321,6 +322,10 @@ Result<ExecutionPlan> CompileFlowFile(const FlowFile& file,
     opt.endpoint_columns = options.endpoint_columns;
     SI_RETURN_IF_ERROR(OptimizePlan(&plan, opt));
   }
+
+  // Fingerprint the settled operator chains (the optimizer mutates them,
+  // so this must come last) for the shared result cache.
+  ComputePlanFingerprints(&plan);
 
   MetricsRegistry& metrics = MetricsRegistry::Default();
   metrics.GetCounter("compiles_total", "flow files compiled successfully")

@@ -1,0 +1,29 @@
+#include "compile/fingerprint.h"
+
+#include "common/fingerprint.h"
+
+namespace shareinsights {
+
+uint64_t FlowFingerprint(const CompiledFlow& flow) {
+  Fingerprinter fp;
+  fp.Add("flow/v1");
+  // Inputs participate positionally: the cache key pairs this fingerprint
+  // with the version of the table bound to each position, so input
+  // *names* are deliberately excluded — two dashboards consuming the same
+  // shared table under different local names still share cache entries.
+  fp.Add(static_cast<uint64_t>(flow.inputs.size()));
+  for (const TableOperatorPtr& op : flow.ops) {
+    std::string key = op->CacheKey();
+    if (key.empty()) return 0;  // opaque operator: flow is uncacheable
+    fp.Add(key);
+  }
+  return fp.Digest();
+}
+
+void ComputePlanFingerprints(ExecutionPlan* plan) {
+  for (CompiledFlow& flow : plan->flows) {
+    flow.fingerprint = FlowFingerprint(flow);
+  }
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,27 @@
+#ifndef SHAREINSIGHTS_COMPILE_FINGERPRINT_H_
+#define SHAREINSIGHTS_COMPILE_FINGERPRINT_H_
+
+#include <cstdint>
+
+#include "compile/plan.h"
+
+namespace shareinsights {
+
+/// Canonical fingerprint of one compiled flow: a stable 64-bit hash over
+/// the flow's input arity and the normalized parameters of every operator
+/// in its (post-optimization) chain. Two flows with equal fingerprints
+/// compute the same function of their positional inputs, so
+/// (fingerprint, input-table versions) keys the shared result cache —
+/// including across dashboards that compiled the same subplan
+/// independently. Returns 0 when any operator is opaque
+/// (TableOperator::CacheKey() == ""), marking the flow uncacheable.
+uint64_t FlowFingerprint(const CompiledFlow& flow);
+
+/// Fills CompiledFlow::fingerprint for every flow of the plan. Called at
+/// the end of CompileFlowFile, after the optimizer has settled the final
+/// operator chains.
+void ComputePlanFingerprints(ExecutionPlan* plan);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_COMPILE_FINGERPRINT_H_

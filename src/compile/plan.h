@@ -22,6 +22,13 @@ struct CompiledFlow {
   std::vector<TableOperatorPtr> ops;     // after optimization
   Schema output_schema;
 
+  /// Canonical fingerprint of the post-optimization operator chain
+  /// (compile/fingerprint.h), or 0 when any operator is opaque
+  /// (not fingerprintable). Identical flows — even compiled from
+  /// different dashboards — share a fingerprint; paired with the input
+  /// tables' versions it keys the shared result cache.
+  uint64_t fingerprint = 0;
+
   std::string ToString() const;
 };
 

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "common/string_util.h"
+#include "cube/shared_scan.h"
 #include "obs/metrics.h"
 
 namespace shareinsights {
@@ -224,48 +225,36 @@ Result<TablePtr> DataCube::Execute(const Query& query, Tracer* tracer,
   return Execute(query, ctx);
 }
 
-Result<TablePtr> DataCube::Execute(const Query& query,
-                                   const ExecContext& ctx) const {
-  Tracer* tracer = ctx.tracer;
-  auto query_start = std::chrono::steady_clock::now();
-  ScopedSpan query_span(tracer, "cube.query", ctx.trace_parent);
-  if (tracer != nullptr) {
-    query_span.AddAttribute("filters",
-                            static_cast<int64_t>(query.filters.size()));
-    if (!query.group_by.empty()) {
-      query_span.AddAttribute("group_by", Join(query.group_by, ","));
-    }
-    query_span.AddAttribute("rows_in",
-                            static_cast<int64_t>(table_->num_rows()));
+namespace {
+
+// Cooperative-cancellation probe shared by the query stages; increments
+// the cancellation metric once per aborted probe.
+Status CheckQueryCancelled(const ExecContext& ctx) {
+  Status live = ctx.CheckCancelled();
+  if (!live.ok()) {
+    MetricsRegistry::Default()
+        .GetCounter("queries_cancelled_total",
+                    "runs/queries aborted by cooperative cancellation")
+        ->Increment();
   }
-  // Cooperative cancellation: probe at every stage boundary of the query
-  // pipeline (select -> filter materialize -> groupby -> sort -> limit)
-  // so an interactive query aborts quickly when its request is cancelled.
-  auto check_cancelled = [&]() -> Status {
-    Status live = ctx.CheckCancelled();
-    if (!live.ok()) {
-      if (tracer != nullptr && ctx.cancel != nullptr) {
-        query_span.AddAttribute("cancelled", ctx.cancel->reason());
-      }
-      MetricsRegistry::Default()
-          .GetCounter("queries_cancelled_total",
-                      "runs/queries aborted by cooperative cancellation")
-          ->Increment();
-    }
-    return live;
-  };
-  SI_RETURN_IF_ERROR(check_cancelled());
-  SI_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRows(query.filters));
-  query_span.AddAttribute("rows_selected", static_cast<int64_t>(rows.size()));
+  return live;
+}
+
+}  // namespace
+
+Result<DataCube::Slice> DataCube::MaterializeSlice(
+    const std::vector<Filter>& filters, const ExecContext& ctx) const {
+  SI_RETURN_IF_ERROR(CheckQueryCancelled(ctx));
+  SI_ASSIGN_OR_RETURN(std::vector<uint32_t> rows, SelectRows(filters));
 
   // Materialize the filtered slice; charge the slice against the memory
   // budget first (rows_selected x all columns is the cube's dominant
   // per-query allocation).
-  SI_RETURN_IF_ERROR(check_cancelled());
-  MemoryReservation filter_reservation;
+  SI_RETURN_IF_ERROR(CheckQueryCancelled(ctx));
+  Slice slice;
   if (ctx.budget != nullptr) {
     SI_ASSIGN_OR_RETURN(
-        filter_reservation,
+        slice.reservation,
         ctx.budget->Reserve(
             ApproxCellBytes(rows.size(), table_->num_columns()),
             "cube:filter"));
@@ -289,26 +278,53 @@ Result<TablePtr> DataCube::Execute(const Query& query,
         return Status::OK();
       }));
   SI_ASSIGN_OR_RETURN(
-      TablePtr current,
+      slice.table,
       Table::FromColumnData(table_->schema(), std::move(slice_columns)));
+  return slice;
+}
 
+Result<TablePtr> DataCube::FinishQuery(TablePtr slice, const Query& query,
+                                       const ExecContext& ctx) const {
+  TablePtr current = std::move(slice);
   if (!query.group_by.empty()) {
-    SI_RETURN_IF_ERROR(check_cancelled());
+    SI_RETURN_IF_ERROR(CheckQueryCancelled(ctx));
     SI_ASSIGN_OR_RETURN(TableOperatorPtr groupby,
                         GroupByOp::Create(query.group_by, query.aggregates,
                                           query.orderby_aggregates));
     SI_ASSIGN_OR_RETURN(current, groupby->Execute({current}, ctx));
   }
   if (!query.order_by.empty()) {
-    SI_RETURN_IF_ERROR(check_cancelled());
+    SI_RETURN_IF_ERROR(CheckQueryCancelled(ctx));
     SortOp sort(query.order_by);
     SI_ASSIGN_OR_RETURN(current, sort.Execute({current}, ctx));
   }
   if (query.limit > 0) {
-    SI_RETURN_IF_ERROR(check_cancelled());
+    SI_RETURN_IF_ERROR(CheckQueryCancelled(ctx));
     LimitOp limit(query.limit);
     SI_ASSIGN_OR_RETURN(current, limit.Execute({current}, ctx));
   }
+  return current;
+}
+
+Result<TablePtr> DataCube::Execute(const Query& query,
+                                   const ExecContext& ctx) const {
+  Tracer* tracer = ctx.tracer;
+  auto query_start = std::chrono::steady_clock::now();
+  ScopedSpan query_span(tracer, "cube.query", ctx.trace_parent);
+  if (tracer != nullptr) {
+    query_span.AddAttribute("filters",
+                            static_cast<int64_t>(query.filters.size()));
+    if (!query.group_by.empty()) {
+      query_span.AddAttribute("group_by", Join(query.group_by, ","));
+    }
+    query_span.AddAttribute("rows_in",
+                            static_cast<int64_t>(table_->num_rows()));
+  }
+  SI_ASSIGN_OR_RETURN(Slice slice, MaterializeSlice(query.filters, ctx));
+  query_span.AddAttribute("rows_selected",
+                          static_cast<int64_t>(slice.table->num_rows()));
+  SI_ASSIGN_OR_RETURN(TablePtr current,
+                      FinishQuery(slice.table, query, ctx));
   query_span.AddAttribute("rows_out",
                           static_cast<int64_t>(current->num_rows()));
   MetricsRegistry& metrics = MetricsRegistry::Default();
@@ -321,6 +337,56 @@ Result<TablePtr> DataCube::Execute(const Query& query,
                     std::chrono::steady_clock::now() - query_start)
                     .count());
   return current;
+}
+
+Result<std::vector<TablePtr>> DataCube::ExecuteBatch(
+    const std::vector<const Query*>& queries, const ExecContext& ctx) const {
+  std::vector<TablePtr> results(queries.size());
+  if (queries.empty()) return results;
+  ScopedSpan batch_span(ctx.tracer, "cube.batch", ctx.trace_parent);
+
+  // Group queries by their canonical filter serialization (collision-free
+  // by construction, unlike a hash) — each group shares one select+gather.
+  std::unordered_map<std::string, std::vector<size_t>> groups;
+  std::vector<const std::string*> order;  // deterministic group order
+  std::vector<std::string> keys(queries.size());
+  for (size_t i = 0; i < queries.size(); ++i) {
+    keys[i] = CanonicalFilterKey(queries[i]->filters);
+    auto [it, inserted] = groups.emplace(keys[i], std::vector<size_t>{});
+    if (inserted) order.push_back(&it->first);
+    it->second.push_back(i);
+  }
+
+  for (const std::string* key : order) {
+    const std::vector<size_t>& members = groups[*key];
+    SI_ASSIGN_OR_RETURN(
+        Slice slice, MaterializeSlice(queries[members[0]]->filters, ctx));
+    for (size_t i : members) {
+      SI_ASSIGN_OR_RETURN(results[i],
+                          FinishQuery(slice.table, *queries[i], ctx));
+    }
+  }
+
+  batch_span.AddAttribute("queries", static_cast<int64_t>(queries.size()));
+  batch_span.AddAttribute("scans", static_cast<int64_t>(order.size()));
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics
+      .GetCounter("shared_scan_batches_total",
+                  "shared-scan batch executions")
+      ->Increment();
+  metrics
+      .GetCounter("shared_scan_dedup_total",
+                  "scans saved by shared-scan filter grouping")
+      ->Increment(static_cast<int64_t>(queries.size() - order.size()));
+  metrics
+      .GetHistogram("shared_scan_batch_size",
+                    {1, 2, 4, 8, 16, 32, 64, 128},
+                    "queries coalesced into one shared-scan batch")
+      ->Observe(static_cast<double>(queries.size()));
+  metrics
+      .GetCounter("cube_queries_total", "DataCube query evaluations")
+      ->Increment(static_cast<int64_t>(queries.size()));
+  return results;
 }
 
 }  // namespace shareinsights

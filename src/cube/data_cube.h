@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "gov/memory_budget.h"
 #include "obs/trace.h"
 #include "ops/aggregate.h"
 #include "ops/groupby.h"
@@ -65,6 +66,18 @@ class DataCube {
   /// `ctx.pool` (results identical to the sequential overload).
   Result<TablePtr> Execute(const Query& query, const ExecContext& ctx) const;
 
+  /// Executes several queries as shared scans: queries with the same
+  /// filter set (canonical serialization, cube/shared_scan.h) are grouped
+  /// so the select + slice-gather — the dominant per-query cost — runs
+  /// once per distinct filter set instead of once per query; each group
+  /// member then applies its own group-by / sort / limit to the shared
+  /// slice. Results are positionally aligned with `queries` and byte-
+  /// identical to calling Execute on each query alone. Feeds the
+  /// shared_scan_batches_total / shared_scan_dedup_total counters and the
+  /// shared_scan_batch_size histogram.
+  Result<std::vector<TablePtr>> ExecuteBatch(
+      const std::vector<const Query*>& queries, const ExecContext& ctx) const;
+
   /// Number of indexed columns (exposed for tests/benches).
   size_t num_indexed_columns() const {
     return indexes_.size() + dict_indexes_.size();
@@ -85,6 +98,22 @@ class DataCube {
   /// Rows selected by the query's filters, in ascending order.
   Result<std::vector<uint32_t>> SelectRows(
       const std::vector<Filter>& filters) const;
+
+  /// The filtered slice of the cube table, gathered column-wise, with the
+  /// memory charge held for as long as the slice is referenced.
+  struct Slice {
+    TablePtr table;
+    MemoryReservation reservation;
+  };
+
+  /// Select + budget charge + typed gather for one filter set — the part
+  /// of a query that shared scans run once per distinct filter set.
+  Result<Slice> MaterializeSlice(const std::vector<Filter>& filters,
+                                 const ExecContext& ctx) const;
+
+  /// The per-query tail: group-by / sort / limit applied to a slice.
+  Result<TablePtr> FinishQuery(TablePtr slice, const Query& query,
+                               const ExecContext& ctx) const;
 
   TablePtr table_;
   // column index -> (value -> sorted row ids); non-dict columns only

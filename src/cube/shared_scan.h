@@ -1,0 +1,92 @@
+#ifndef SHAREINSIGHTS_CUBE_SHARED_SCAN_H_
+#define SHAREINSIGHTS_CUBE_SHARED_SCAN_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cube/data_cube.h"
+#include "share/result_cache.h"
+
+namespace shareinsights {
+
+/// Canonical, length-prefixed serialization of a filter set: equal keys
+/// exactly when the filter sets are semantically identical (same columns,
+/// values, range-ness, in order; unconstrained filters with no values are
+/// dropped). DataCube::ExecuteBatch groups queries on it so each
+/// distinct filter set is scanned once.
+std::string CanonicalFilterKey(const std::vector<DataCube::Filter>& filters);
+
+/// Stable 64-bit fingerprint of a filter set (hash of CanonicalFilterKey).
+uint64_t FilterFingerprint(const std::vector<DataCube::Filter>& filters);
+
+/// Stable 64-bit fingerprint of a whole cube query — filters, group-by,
+/// aggregates, ordering, limit. Never 0. Paired with the cube table's
+/// Table::version() it forms the ResultCache key for interactive widget
+/// queries: a rebuilt cube has a new table version, so results cached
+/// against the old data can never be served again.
+uint64_t QueryFingerprint(const DataCube::Query& query);
+
+/// Coalesces concurrent cube queries into shared-scan batches and
+/// memoizes their results in a ResultCache.
+///
+/// Protocol: an arriving query first consults the cache (key =
+/// QueryFingerprint + cube table version). On a miss it joins the batch
+/// queue; the first thread to find no active leader becomes the leader,
+/// drains the queue, runs DataCube::ExecuteBatch (one scan per distinct
+/// filter set), publishes every result, then re-checks the queue for
+/// queries that arrived while it was scanning. Followers wait on a
+/// condition variable for their slot to fill. A solitary query therefore
+/// runs immediately — batching adds no idle latency — while under
+/// concurrency every query that lands during an in-flight scan is
+/// coalesced into the next batch: the ShareInsights sharing story
+/// (§3.4) applied to the interactive widget path.
+///
+/// Thread-safe. Results are byte-identical to cube()->Execute(query, ctx)
+/// (pinned by the shared-scan equivalence tests, including under TSan).
+class SharedScanBatcher {
+ public:
+  /// `cache` may be null: batching without memoization.
+  SharedScanBatcher(std::shared_ptr<const DataCube> cube,
+                    ResultCache* cache = nullptr);
+
+  /// Executes `query` via cache, shared batch, or directly as the batch
+  /// leader. `cache_hit` (optional) reports whether the result was
+  /// answered from the cache without scanning.
+  ///
+  /// The batch a query joins runs under the leader's ExecContext, so a
+  /// follower's cancellation token cannot abort a scan already shared
+  /// with other queries (it is still honored before joining).
+  Result<TablePtr> Execute(const DataCube::Query& query,
+                           const ExecContext& ctx,
+                           bool* cache_hit = nullptr);
+
+  const std::shared_ptr<const DataCube>& cube() const { return cube_; }
+
+ private:
+  struct Pending {
+    const DataCube::Query* query = nullptr;
+    std::optional<ResultCache::Key> key;  // set when memoizable
+    std::optional<Result<TablePtr>> outcome;
+  };
+
+  /// Runs every queued entry as one ExecuteBatch; mu_ is held on entry
+  /// and exit, released around the scan itself.
+  void RunBatchLocked(std::unique_lock<std::mutex>& lock,
+                      const ExecContext& ctx);
+
+  std::shared_ptr<const DataCube> cube_;
+  ResultCache* cache_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Pending*> queue_;
+  bool leader_active_ = false;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_CUBE_SHARED_SCAN_H_

@@ -434,6 +434,7 @@ Result<ExecutionStats> Dashboard::Run(Tracer* tracer,
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.morsel_rows = options_.morsel_rows;
   exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.result_cache = options_.result_cache;
   exec_options.cancel = cancel;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
@@ -460,6 +461,7 @@ Result<ExecutionStats> Dashboard::RunIncremental(
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.morsel_rows = options_.morsel_rows;
   exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.result_cache = options_.result_cache;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
   Executor executor(exec_options);
@@ -472,17 +474,26 @@ Result<ExecutionStats> Dashboard::RunIncremental(
 Status Dashboard::RebuildCubes(Tracer* tracer, SpanId trace_parent) {
   if (!options_.use_cube) {
     cubes_.clear();
+    batchers_.clear();
     return Status::OK();
   }
   ScopedSpan build_span(tracer, "cube.rebuild", trace_parent);
   for (const std::string& endpoint : plan_.endpoints) {
     Result<TablePtr> table = store_.Get(endpoint);
     if (!table.ok()) continue;  // endpoint not materialized (no producer)
+    if (auto it = cubes_.find(endpoint);
+        it != cubes_.end() && it->second->table() == *table) {
+      continue;  // same table instance — cube (and cached results) still valid
+    }
     ScopedSpan endpoint_span(tracer, "cube.build:" + endpoint,
                              build_span.id());
     endpoint_span.AddAttribute("rows",
                                static_cast<int64_t>((*table)->num_rows()));
     SI_ASSIGN_OR_RETURN(auto cube, DataCube::Build(*table));
+    // The batcher pins its cube; queries against a replaced endpoint key
+    // to the new table version, so stale cache entries never match.
+    batchers_[endpoint] =
+        std::make_shared<SharedScanBatcher>(cube, options_.result_cache);
     cubes_[endpoint] = std::move(cube);
   }
   return Status::OK();
@@ -656,9 +667,30 @@ Result<std::optional<TablePtr>> Dashboard::TryCube(const WidgetDecl& widget) {
     // Anything else (map, join, per-group topn, ...) falls back to ops.
     return std::optional<TablePtr>{};
   }
+  // Route through the endpoint's batcher so widget storms share scans and
+  // repeated interactions hit the result cache.
+  if (auto batcher_it = batchers_.find(widget.source.root);
+      batcher_it != batchers_.end()) {
+    SI_ASSIGN_OR_RETURN(TablePtr result,
+                        batcher_it->second->Execute(query, exec_context()));
+    return std::optional<TablePtr>(std::move(result));
+  }
   SI_ASSIGN_OR_RETURN(TablePtr result,
                       cube_it->second->Execute(query, exec_context()));
   return std::optional<TablePtr>(std::move(result));
+}
+
+Result<Dashboard::CubeQueryResult> Dashboard::CubeQuery(
+    const std::string& endpoint, const DataCube::Query& query) {
+  auto batcher_it = batchers_.find(endpoint);
+  if (batcher_it == batchers_.end()) {
+    return Status::NotFound("no data cube for endpoint '" + endpoint + "'");
+  }
+  CubeQueryResult out;
+  SI_ASSIGN_OR_RETURN(
+      out.table,
+      batcher_it->second->Execute(query, exec_context(), &out.cache_hit));
+  return out;
 }
 
 Result<TablePtr> Dashboard::EvaluateWidgetFlow(const WidgetDecl& widget) {

@@ -10,6 +10,7 @@
 #include "common/thread_pool.h"
 #include "compile/compiler.h"
 #include "cube/data_cube.h"
+#include "cube/shared_scan.h"
 #include "dashboard/widget.h"
 #include "exec/executor.h"
 #include "flow/flow_file.h"
@@ -56,6 +57,12 @@ class Dashboard {
     /// Run(Tracer*) overrides it per run (the API server passes a fresh
     /// tracer per /run request).
     Tracer* tracer = nullptr;
+    /// Shared result cache (null = caching off). Wired into every
+    /// Run/RunIncremental (flow-level memoization, see
+    /// ExecuteOptions::result_cache) and into the per-endpoint
+    /// SharedScanBatchers (cube-query memoization). Typically
+    /// &ResultCache::Process() so dashboards share one cache.
+    ResultCache* result_cache = nullptr;
   };
 
   /// Compiles the flow file (validating widgets, layout, and interaction
@@ -105,6 +112,22 @@ class Dashboard {
 
   /// Materialized endpoint data object (post-batch).
   Result<TablePtr> EndpointData(const std::string& name) const;
+
+  /// An interactive cube query answered with full sharing machinery.
+  struct CubeQueryResult {
+    TablePtr table;
+    /// True when the result came from the result cache (no scan ran).
+    bool cache_hit = false;
+  };
+
+  /// Runs `query` against the endpoint's DataCube through its
+  /// SharedScanBatcher: cached results are served without scanning, and
+  /// concurrent callers with coinciding filter sets share one scan. This
+  /// is the entry point the /api/v1 ad-hoc dataset route lowers eligible
+  /// queries onto. Fails kNotFound when the endpoint has no cube (not an
+  /// endpoint, not materialized, or Options::use_cube is false).
+  Result<CubeQueryResult> CubeQuery(const std::string& endpoint,
+                                    const DataCube::Query& query);
 
   /// Re-evaluates every data-bearing widget; returns name -> data.
   Result<std::map<std::string, TablePtr>> RefreshAll();
@@ -187,6 +210,8 @@ class Dashboard {
   std::map<std::string, WidgetValueResolver::Selection> selections_;
   // Endpoint cubes (rebuilt after each Run).
   std::map<std::string, std::shared_ptr<const DataCube>> cubes_;
+  // Per-endpoint shared-scan batchers over cubes_ (rebuilt alongside).
+  std::map<std::string, std::shared_ptr<SharedScanBatcher>> batchers_;
   // widget -> widgets whose flows reference its selection.
   std::map<std::string, std::vector<std::string>> dependents_;
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <optional>
 #include <sstream>
 #include <thread>
 #include <unordered_map>
@@ -56,8 +57,9 @@ std::vector<std::string> DataStore::Names() const {
 std::string ExecutionStats::ToString() const {
   std::ostringstream out;
   out << "sources=" << sources_loaded << " flows=" << flows_executed
-      << " skipped=" << flows_skipped << " rows=" << rows_produced
-      << " endpoint_bytes=" << endpoint_bytes << " wall_ms=" << wall_ms;
+      << " skipped=" << flows_skipped << " rows=" << rows_produced;
+  if (flows_cached > 0) out << " cached=" << flows_cached;
+  out << " endpoint_bytes=" << endpoint_bytes << " wall_ms=" << wall_ms;
   if (io_retries > 0) out << " io_retries=" << io_retries;
   if (flow_retries > 0) out << " flow_retries=" << flow_retries;
   if (sources_degraded > 0) out << " degraded=" << sources_degraded;
@@ -283,6 +285,10 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
                            ? tracer->StartSpan("exec.flows", run_span.id())
                            : 0;
 
+  // Set by run_flow when the flow was answered by the result cache
+  // (single writer per index; read after completion under `mu`).
+  std::vector<uint8_t> flow_was_cached(n, 0);
+
   // Runs one flow; returns its row count on success.
   auto run_flow = [&](size_t index) -> Result<int64_t> {
     const CompiledFlow& flow = plan.flows[index];
@@ -292,6 +298,30 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
     for (const std::string& input : flow.inputs) {
       SI_ASSIGN_OR_RETURN(TablePtr table, store->Get(input));
       inputs.push_back(std::move(table));
+    }
+    // Result-cache lookup: a fingerprintable flow over exactly these
+    // input table instances may have run before (shared tables, repeated
+    // incremental runs, sibling dashboards). Operators are pure, so a hit
+    // is byte-identical to re-execution.
+    std::optional<ResultCache::Key> cache_key;
+    if (options_.result_cache != nullptr && flow.fingerprint != 0) {
+      ResultCache::Key key;
+      key.plan_hash = flow.fingerprint;
+      for (const TablePtr& input : inputs) {
+        key.input_versions.push_back(input->version());
+      }
+      if (std::optional<TablePtr> hit =
+              options_.result_cache->Lookup(key)) {
+        for (const std::string& output : flow.outputs) {
+          store->Put(output, *hit);
+        }
+        flow_was_cached[index] = 1;
+        flow_span.AddAttribute("cache", "hit");
+        flow_span.AddAttribute("rows_out",
+                               static_cast<int64_t>((*hit)->num_rows()));
+        return static_cast<int64_t>((*hit)->num_rows());
+      }
+      cache_key = std::move(key);
     }
     TablePtr current;
     for (size_t t = 0; t < flow.ops.size(); ++t) {
@@ -346,6 +376,9 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
     for (const std::string& output : flow.outputs) {
       store->Put(output, current);
     }
+    if (cache_key.has_value()) {
+      options_.result_cache->Insert(*cache_key, current);
+    }
     flow_span.AddAttribute("rows_out",
                            static_cast<int64_t>(current->num_rows()));
     return static_cast<int64_t>(current->num_rows());
@@ -391,7 +424,10 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
         }
         if (first_error.ok()) first_error = rows.status();
       } else {
-        if (ran) {
+        if (ran && flow_was_cached[index]) {
+          ++stats.flows_cached;
+          stats.rows_produced += *rows;
+        } else if (ran) {
           ++stats.flows_executed;
           stats.rows_produced += *rows;
           stats.flow_timings.push_back(
@@ -478,6 +514,10 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       .GetCounter("flows_skipped_total",
                   "flows reused unchanged by incremental runs")
       ->Increment(stats.flows_skipped);
+  metrics
+      .GetCounter("flows_cached_total",
+                  "flows answered by the shared result cache")
+      ->Increment(stats.flows_cached);
   metrics
       .GetCounter("sources_loaded_total", "source data objects materialized")
       ->Increment(stats.sources_loaded);

@@ -13,6 +13,7 @@
 #include "gov/memory_budget.h"
 #include "io/connector.h"
 #include "obs/trace.h"
+#include "share/result_cache.h"
 #include "table/table.h"
 
 namespace shareinsights {
@@ -60,6 +61,10 @@ struct ExecutionStats {
   int sources_loaded = 0;
   int flows_executed = 0;
   int flows_skipped = 0;  // clean in an incremental run
+  /// Flows answered by the shared result cache (plan fingerprint +
+  /// input-table versions matched a previous execution) instead of
+  /// running their operators. Disjoint from flows_executed.
+  int flows_cached = 0;
   /// Extra fetch+parse attempts spent on source loads (0 = every source
   /// loaded first try).
   int io_retries = 0;
@@ -115,6 +120,16 @@ struct ExecuteOptions {
   ConnectorRegistry* connectors = nullptr;
   FormatRegistry* formats = nullptr;
   const SharedTableSource* shared = nullptr;
+
+  /// Shared result cache consulted per flow (null = caching off). A flow
+  /// whose CompiledFlow::fingerprint is non-zero looks up (fingerprint,
+  /// input-table versions) before executing and stores its output after;
+  /// a hit skips execution entirely (counted in ExecutionStats::
+  /// flows_cached, byte-identical by operator purity). Invalidation is
+  /// automatic: reloaded/republished/appended inputs are new Table
+  /// instances with new versions, so stale entries never match. Typically
+  /// &ResultCache::Process().
+  ResultCache* result_cache = nullptr;
 
   /// Cooperative cancellation for the whole run. Checked between source
   /// loads, before every task of every flow (DAG-node boundary), and

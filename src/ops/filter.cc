@@ -4,6 +4,7 @@
 
 #include "common/string_util.h"
 #include "table/column.h"
+#include "common/fingerprint.h"
 
 namespace shareinsights {
 
@@ -427,6 +428,32 @@ Result<TablePtr> FilterCompareOp::Execute(
     }
     return false;
   });
+}
+
+
+std::string FilterExpressionOp::CacheKey() const {
+  return "filter_by(" + Fingerprinter::Field(expr_->ToString()) + ")";
+}
+
+std::string FilterValuesOp::CacheKey() const {
+  std::string key = "filter_values(";
+  for (const ColumnFilter& filter : filters_) {
+    key += Fingerprinter::Field(filter.column);
+    key += filter.is_range ? "r[" : "v[";
+    for (const Value& v : filter.allowed) {
+      key += Fingerprinter::FingerprintValueKey(v);
+      key += ',';
+    }
+    key += "];";
+  }
+  key += ')';
+  return key;
+}
+
+std::string FilterCompareOp::CacheKey() const {
+  return "filter_cmp(" + Fingerprinter::Field(column_) + "," +
+         std::to_string(static_cast<int>(cmp_)) + "," +
+         Fingerprinter::FingerprintValueKey(literal_) + ")";
 }
 
 }  // namespace shareinsights

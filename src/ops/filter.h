@@ -24,6 +24,7 @@ class FilterExpressionOp : public TableOperator {
                            const ExecContext& ctx) const override;
 
   const ExprPtr& expression() const { return expr_; }
+  std::string CacheKey() const override;
 
  private:
   explicit FilterExpressionOp(ExprPtr expr) : expr_(std::move(expr)) {}
@@ -55,6 +56,7 @@ class FilterValuesOp : public TableOperator {
                            const ExecContext& ctx) const override;
 
   const std::vector<ColumnFilter>& filters() const { return filters_; }
+  std::string CacheKey() const override;
 
  private:
   std::vector<ColumnFilter> filters_;
@@ -80,6 +82,8 @@ class FilterCompareOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+
+  std::string CacheKey() const override;
 
  private:
   std::string column_;

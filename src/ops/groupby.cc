@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "ops/packed_key.h"
+#include "common/fingerprint.h"
 
 namespace shareinsights {
 
@@ -362,6 +363,22 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
     return sorted.Finish();
   }
   return result;
+}
+
+
+std::string GroupByOp::CacheKey() const {
+  // A custom aggregate registry may bind the same name ("sum") to
+  // different semantics, so only default-registry group-bys fingerprint.
+  if (registry_ != &AggregateRegistry::Default()) return "";
+  std::string key = "groupby(";
+  for (const std::string& k : keys_) key += Fingerprinter::Field(k) + ",";
+  key += ';';
+  for (const AggregateSpec& agg : aggregates_) {
+    key += Fingerprinter::Field(agg.op) + Fingerprinter::Field(agg.apply_on) +
+           Fingerprinter::Field(agg.out_field) + ",";
+  }
+  key += orderby_aggregates_ ? ";ob)" : ";)";
+  return key;
 }
 
 }  // namespace shareinsights

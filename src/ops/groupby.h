@@ -43,6 +43,9 @@ class GroupByOp : public TableOperator {
 
   const std::vector<std::string>& keys() const { return keys_; }
   const std::vector<AggregateSpec>& aggregates() const { return aggregates_; }
+  /// Fingerprintable only with the default aggregate registry: a custom
+  /// registry may bind the same aggregate name to different semantics.
+  std::string CacheKey() const override;
 
  private:
   GroupByOp(std::vector<std::string> keys,

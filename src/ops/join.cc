@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "ops/packed_key.h"
+#include "common/fingerprint.h"
 
 namespace shareinsights {
 
@@ -314,6 +315,21 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
         return Status::OK();
       }));
   return Table::FromColumnData(std::move(out_schema), std::move(out_cols));
+}
+
+
+std::string JoinOp::CacheKey() const {
+  std::string key = "join(" + std::to_string(static_cast<int>(kind_)) + ";";
+  for (const std::string& k : left_keys_) key += Fingerprinter::Field(k) + ",";
+  key += ';';
+  for (const std::string& k : right_keys_) key += Fingerprinter::Field(k) + ",";
+  key += ';';
+  for (const Projection& p : projections_) {
+    key += std::to_string(p.side) + Fingerprinter::Field(p.column) +
+           Fingerprinter::Field(p.output) + ",";
+  }
+  key += ')';
+  return key;
 }
 
 }  // namespace shareinsights

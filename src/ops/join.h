@@ -53,6 +53,7 @@ class JoinOp : public TableOperator {
                            const ExecContext& ctx) const override;
 
   JoinKind kind() const { return kind_; }
+  std::string CacheKey() const override;
 
  private:
   JoinOp(std::vector<std::string> left_keys,

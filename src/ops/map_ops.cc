@@ -5,6 +5,7 @@
 #include "common/date_util.h"
 #include "common/string_util.h"
 #include "io/csv.h"
+#include "common/fingerprint.h"
 
 namespace shareinsights {
 
@@ -352,6 +353,53 @@ Result<TablePtr> ParallelOp::Execute(const std::vector<TablePtr>& inputs,
     table = std::move(*next);
   }
   return table;
+}
+
+
+uint64_t Dictionary::ContentsHash() const {
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(aliases_.size()));
+  for (const auto& [alias, canonical] : aliases_) {  // std::map: sorted
+    fp.Add(std::string_view(alias));
+    fp.Add(std::string_view(canonical));
+  }
+  return fp.Digest();
+}
+
+std::string MapDateOp::CacheKey() const {
+  return "map_date(" + Fingerprinter::Field(transform_column_) +
+         Fingerprinter::Field(input_format_) +
+         Fingerprinter::Field(output_format_) +
+         Fingerprinter::Field(output_column_) + ")";
+}
+
+std::string MapExtractOp::CacheKey() const {
+  return "map_extract(" + Fingerprinter::Field(transform_column_) +
+         Fingerprinter::Field(output_column_) + "," +
+         std::to_string(dict_.ContentsHash()) + ")";
+}
+
+std::string MapExtractLocationOp::CacheKey() const {
+  return "map_extract_location(" + Fingerprinter::Field(transform_column_) +
+         Fingerprinter::Field(output_column_) + "," +
+         std::to_string(gazetteer_.ContentsHash()) + ")";
+}
+
+std::string MapExtractWordsOp::CacheKey() const {
+  return "map_words(" + Fingerprinter::Field(transform_column_) +
+         Fingerprinter::Field(output_column_) + "," +
+         std::to_string(min_length_) + ")";
+}
+
+std::string ParallelOp::CacheKey() const {
+  std::string key = "parallel(";
+  for (const TableOperatorPtr& member : members_) {
+    std::string member_key = member->CacheKey();
+    if (member_key.empty()) return "";  // opaque member: not fingerprintable
+    key += Fingerprinter::Field(member_key) + ",";
+  }
+  key += ')';
+  return key;
 }
 
 }  // namespace shareinsights

@@ -35,6 +35,9 @@ class Dictionary {
 
   size_t size() const { return aliases_.size(); }
 
+  /// Stable hash of the alias->canonical contents (plan fingerprinting).
+  uint64_t ContentsHash() const;
+
  private:
   // alias (lowercase) -> canonical.
   std::map<std::string, std::string> aliases_;
@@ -56,6 +59,7 @@ class MapDateOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::string transform_column_;
@@ -81,6 +85,7 @@ class MapExtractOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::string transform_column_;
@@ -104,6 +109,7 @@ class MapExtractLocationOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::string transform_column_;
@@ -126,6 +132,7 @@ class MapExtractWordsOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::string transform_column_;
@@ -176,6 +183,8 @@ class ParallelOp : public TableOperator {
                            const ExecContext& ctx) const override;
 
   const std::vector<TableOperatorPtr>& members() const { return members_; }
+  /// Fingerprintable iff every member is.
+  std::string CacheKey() const override;
 
  private:
   std::vector<TableOperatorPtr> members_;

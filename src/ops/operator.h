@@ -48,6 +48,19 @@ class TableOperator {
   virtual Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                                    const ExecContext& ctx) const = 0;
 
+  /// Canonical description of this operator's full configuration, used
+  /// for plan fingerprinting (share/result_cache.h): two operators with
+  /// equal CacheKey() MUST produce byte-identical output from identical
+  /// inputs. Every normalized parameter — columns, literals, expressions,
+  /// dictionary contents — must be folded in; name() alone is NOT enough
+  /// (two filter_by ops with different predicates share a name).
+  ///
+  /// Returns "" when the operator cannot be described canonically
+  /// (opaque user functions: native map-reduce jobs, scalar-op lambdas) —
+  /// a flow containing such an operator is never result-cached, which is
+  /// always correct.
+  virtual std::string CacheKey() const { return ""; }
+
   /// Sequential convenience: Execute with a pool-less context. Derived
   /// classes re-export it with `using TableOperator::Execute;`.
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const {

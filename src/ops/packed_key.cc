@@ -65,6 +65,11 @@ bool KeyPacker::CreatePair(const Table& probe,
     if (pc.enc == ColumnEncoding::kDict) {
       const ColumnData& pcol = probe.typed_column(probe_cols[k]);
       const ColumnData& bcol = build.typed_column(build_cols[k]);
+      // Interned dictionaries make the common same-domain case free:
+      // pointer equality certifies content equality, so probe codes are
+      // already build codes and the translation is the identity (an empty
+      // translate vector, per PackRow's contract).
+      if (pcol.shared_dict() == bcol.shared_dict()) continue;
       const ColumnData::Dictionary& pdict = pcol.dict();
       pc.translate.resize(pdict.size());
       for (size_t i = 0; i < pdict.size(); ++i) {

@@ -1,4 +1,5 @@
 #include "ops/project.h"
+#include "common/fingerprint.h"
 
 namespace shareinsights {
 
@@ -100,6 +101,21 @@ Result<TablePtr> ExpressionColumnOp::Execute(
     columns.push_back(std::move(computed));
   }
   return Table::Create(Schema(std::move(fields)), std::move(columns));
+}
+
+
+std::string ProjectOp::CacheKey() const {
+  std::string key = "project(";
+  for (const Mapping& m : mappings_) {
+    key += Fingerprinter::Field(m.input) + Fingerprinter::Field(m.output) + ",";
+  }
+  key += ')';
+  return key;
+}
+
+std::string ExpressionColumnOp::CacheKey() const {
+  return "map_expr(" + Fingerprinter::Field(output_column_) + "," +
+         Fingerprinter::Field(expr_->ToString()) + ")";
 }
 
 }  // namespace shareinsights

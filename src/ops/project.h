@@ -32,6 +32,7 @@ class ProjectOp : public TableOperator {
                            const ExecContext& ctx) const override;
 
   const std::vector<Mapping>& mappings() const { return mappings_; }
+  std::string CacheKey() const override;
 
  private:
   std::vector<Mapping> mappings_;
@@ -49,6 +50,7 @@ class ExpressionColumnOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   ExpressionColumnOp(std::string output_column, ExprPtr expr)

@@ -7,6 +7,7 @@
 
 #include "common/string_util.h"
 #include "ops/packed_key.h"
+#include "common/fingerprint.h"
 
 namespace shareinsights {
 
@@ -383,6 +384,43 @@ Result<TablePtr> UnionOp::Execute(const std::vector<TablePtr>& inputs,
     offset += input->num_rows();
   }
   return Table::Create(std::move(out_schema), std::move(columns));
+}
+
+
+std::string SortOp::CacheKey() const {
+  std::string key = "orderby(";
+  for (const SortKey& k : keys_) {
+    key += Fingerprinter::Field(k.column) + (k.descending ? "D" : "A");
+  }
+  key += ')';
+  return key;
+}
+
+std::string TopNOp::CacheKey() const {
+  std::string key = "topn(";
+  for (const std::string& k : group_keys_) key += Fingerprinter::Field(k) + ",";
+  key += ';';
+  for (const SortKey& k : orderby_) {
+    key += Fingerprinter::Field(k.column) + (k.descending ? "D" : "A");
+  }
+  key += ";" + std::to_string(limit_) + ")";
+  return key;
+}
+
+std::string DistinctOp::CacheKey() const {
+  std::string key = "distinct(";
+  for (const std::string& c : columns_) key += Fingerprinter::Field(c) + ",";
+  key += ')';
+  return key;
+}
+
+std::string LimitOp::CacheKey() const {
+  return "limit(" + std::to_string(count_) + "," + std::to_string(offset_) +
+         ")";
+}
+
+std::string UnionOp::CacheKey() const {
+  return "union(" + std::to_string(num_inputs_) + ")";
 }
 
 }  // namespace shareinsights

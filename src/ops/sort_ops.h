@@ -27,6 +27,7 @@ class SortOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::vector<SortKey> keys_;
@@ -48,6 +49,7 @@ class TopNOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::vector<std::string> group_keys_;
@@ -67,6 +69,7 @@ class DistinctOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   std::vector<std::string> columns_;
@@ -83,6 +86,7 @@ class LimitOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   size_t count_;
@@ -101,6 +105,7 @@ class UnionOp : public TableOperator {
   using TableOperator::Execute;
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
+  std::string CacheKey() const override;
 
  private:
   size_t num_inputs_;

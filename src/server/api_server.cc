@@ -213,6 +213,9 @@ Status ApiServer::CreateDashboard(const std::string& name,
     options.shared_schemas = shared_;
     options.shared_tables = shared_;
   }
+  if (options.result_cache == nullptr && options_.enable_result_cache) {
+    options.result_cache = &ResultCache::Process();
+  }
   SI_ASSIGN_OR_RETURN(std::unique_ptr<Dashboard> dashboard,
                       Dashboard::Create(std::move(file), std::move(options)));
   std::lock_guard<std::mutex> lock(mu_);
@@ -507,6 +510,13 @@ HttpResponse ApiServer::HandleDashboards(
     JsonValue body = JsonValue::MakeObject();
     body.Set("flows_executed",
              JsonValue::MakeNumber(stats->flows_executed));
+    body.Set("flows_cached", JsonValue::MakeNumber(stats->flows_cached));
+    // hit: every flow answered from cache; partial: some; miss: none.
+    const char* cache_state =
+        stats->flows_cached == 0
+            ? "miss"
+            : (stats->flows_executed == 0 ? "hit" : "partial");
+    body.Set("cache", JsonValue::MakeString(cache_state));
     body.Set("rows_produced", JsonValue::MakeNumber(
                                   static_cast<double>(stats->rows_produced)));
     body.Set("wall_ms", JsonValue::MakeNumber(stats->wall_ms));
@@ -579,21 +589,79 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
   // percent-encoded in the path; literals are type-inferred so numeric
   // comparisons work against numeric columns.
   size_t next = 2;
+  struct ParsedFilter {
+    std::string column;
+    FilterCompareOp::Cmp cmp;
+    Value literal;
+  };
+  std::vector<ParsedFilter> filters;
   while (next < segments.size() && segments[next] == "filter") {
     if (segments.size() - next < 4) {
       return ErrorResponse(Status::InvalidArgument(
           "filter needs /filter/<column>/<op>/<value>"));
     }
-    const std::string column = PercentDecode(segments[next + 1]);
+    ParsedFilter parsed;
+    parsed.column = PercentDecode(segments[next + 1]);
     Result<FilterCompareOp::Cmp> cmp =
         FilterCompareOp::ParseCmp(segments[next + 2]);
     if (!cmp.ok()) return ErrorResponse(cmp.status());
-    Value literal = Value::Infer(PercentDecode(segments[next + 3]));
-    FilterCompareOp filter(column, *cmp, std::move(literal));
+    parsed.cmp = *cmp;
+    parsed.literal = Value::Infer(PercentDecode(segments[next + 3]));
+    filters.push_back(std::move(parsed));
+    next += 4;
+  }
+
+  // Sharing fast path: a chain of string-equality filters ending in a
+  // groupby is exactly the cube's query shape, so serve it through the
+  // endpoint's SharedScanBatcher — repeated queries answer from the
+  // result cache and concurrent ones coalesce into shared scans. Only
+  // string literals lower: FilterCompareOp's eq uses Value::Compare
+  // (int 3 matches double 3.0) while cube membership uses hash equality,
+  // and the two agree only within one type. Any miss here falls through
+  // to the operator path below, which handles every shape.
+  if (segments.size() == next + 4 && segments[next] == "groupby") {
+    bool cube_eligible = true;
+    for (const ParsedFilter& filter : filters) {
+      if (filter.cmp != FilterCompareOp::Cmp::kEq ||
+          !filter.literal.is_string()) {
+        cube_eligible = false;
+        break;
+      }
+    }
+    if (cube_eligible) {
+      DataCube::Query cube_query;
+      for (const ParsedFilter& filter : filters) {
+        cube_query.filters.push_back(
+            DataCube::Filter{filter.column, {filter.literal}, false});
+      }
+      const std::string group_col = PercentDecode(segments[next + 1]);
+      const std::string& agg_fn = segments[next + 2];
+      const std::string agg_col = PercentDecode(segments[next + 3]);
+      cube_query.group_by = {group_col};
+      cube_query.aggregates = {
+          AggregateSpec{agg_fn, agg_col, agg_fn + "_" + agg_col}};
+      Result<Dashboard::CubeQueryResult> from_cube =
+          dashboard->CubeQuery(dataset, cube_query);
+      if (from_cube.ok()) {
+        Result<size_t> limit = QuerySize(request, "limit", 0);
+        if (!limit.ok()) return ErrorResponse(limit.status());
+        Result<size_t> offset = QuerySize(request, "offset", 0);
+        if (!offset.ok()) return ErrorResponse(offset.status());
+        JsonValue body = JsonValue::MakeObject();
+        body.Set("rows", TableToJson(*from_cube->table, *limit, *offset));
+        body.Set("cache", JsonValue::MakeString(
+                              from_cube->cache_hit ? "hit" : "miss"));
+        AddPageMeta(&body, *limit, *offset, from_cube->table->num_rows());
+        return JsonResponse(200, std::move(body));
+      }
+    }
+  }
+
+  for (const ParsedFilter& parsed : filters) {
+    FilterCompareOp filter(parsed.column, parsed.cmp, parsed.literal);
     Result<TablePtr> filtered = filter.Execute({current}, interactive_ctx);
     if (!filtered.ok()) return ErrorResponse(filtered.status());
     current = std::move(*filtered);
-    next += 4;
   }
 
   // /<dash>/ds/<dataset>[/filter...] — browse rows (fig. 28).

@@ -112,6 +112,13 @@ struct ApiServerOptions {
   size_t max_queue = 0;
   /// How long a queued request may wait before answering 503.
   double queue_timeout_ms = 1000;
+  /// When true (the default), dashboards created through this server
+  /// share the process-wide ResultCache: flow outputs and interactive
+  /// cube queries are memoized by plan fingerprint + input-table version
+  /// (docs/SHARING.md). Run envelopes report `cache: hit|partial|miss`
+  /// and `flows_cached`; the ds groupby route reports `cache: hit|miss`.
+  /// A Dashboard::Options with an explicit result_cache wins.
+  bool enable_result_cache = true;
 };
 
 class ApiServer {

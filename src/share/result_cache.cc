@@ -1,0 +1,130 @@
+#include "share/result_cache.h"
+
+#include "common/fingerprint.h"
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+namespace {
+
+Counter* CacheCounter(const char* name, const char* help) {
+  return MetricsRegistry::Default().GetCounter(name, help);
+}
+
+void UpdateGauges(size_t bytes, size_t entries) {
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetGauge("cache_bytes", "bytes held by the shared result cache")
+      ->Set(static_cast<double>(bytes));
+  metrics.GetGauge("cache_entries", "entries in the shared result cache")
+      ->Set(static_cast<double>(entries));
+}
+
+}  // namespace
+
+size_t ResultCache::KeyHash::operator()(const Key& key) const {
+  Fingerprinter fp;
+  fp.Add(key.plan_hash);
+  for (uint64_t version : key.input_versions) fp.Add(version);
+  return static_cast<size_t>(fp.Digest());
+}
+
+ResultCache& ResultCache::Process() {
+  static ResultCache* cache = new ResultCache();
+  return *cache;
+}
+
+ResultCache::ResultCache(size_t capacity_bytes, MemoryBudget* parent)
+    : budget_("result_cache", capacity_bytes, parent) {}
+
+std::optional<TablePtr> ResultCache::Lookup(const Key& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    CacheCounter("cache_misses_total", "result-cache lookups that missed")
+        ->Increment();
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  CacheCounter("cache_hits_total",
+               "result-cache lookups answered without re-execution")
+      ->Increment();
+  return it->second->table;
+}
+
+bool ResultCache::EvictOneLocked() {
+  if (lru_.empty()) return false;
+  Entry& victim = lru_.back();
+  bytes_ -= victim.bytes;
+  index_.erase(victim.key);
+  lru_.pop_back();  // releases the reservation
+  ++evictions_;
+  CacheCounter("cache_evictions_total",
+               "result-cache entries evicted by the LRU bound")
+      ->Increment();
+  return true;
+}
+
+void ResultCache::Insert(const Key& key, TablePtr table) {
+  if (table == nullptr) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Operators are pure, so an existing entry is already this result;
+    // just refresh its recency.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  size_t bytes = table->ApproxBytes();
+  // Make room: evict LRU entries until the reservation fits. The budget
+  // also answers to its parent, so process-wide pressure can refuse an
+  // insert even below our own capacity — then we just don't cache.
+  Result<MemoryReservation> reservation = budget_.Reserve(bytes, "cache");
+  while (!reservation.ok()) {
+    if (!EvictOneLocked()) return;  // empty and still refused: skip caching
+    reservation = budget_.Reserve(bytes, "cache");
+  }
+  Entry entry;
+  entry.key = key;
+  entry.table = std::move(table);
+  entry.bytes = bytes;
+  entry.reservation = std::move(*reservation);
+  lru_.push_front(std::move(entry));
+  index_[key] = lru_.begin();
+  bytes_ += bytes;
+  ++insertions_;
+  CacheCounter("cache_insertions_total", "result-cache entries inserted")
+      ->Increment();
+  UpdateGauges(bytes_, lru_.size());
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  bytes_ = 0;
+  UpdateGauges(0, 0);
+}
+
+void ResultCache::set_capacity(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  budget_.set_capacity(bytes);
+  while (bytes_ > bytes && EvictOneLocked()) {
+  }
+  UpdateGauges(bytes_, lru_.size());
+}
+
+ResultCache::Stats ResultCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats stats;
+  stats.hits = hits_;
+  stats.misses = misses_;
+  stats.insertions = insertions_;
+  stats.evictions = evictions_;
+  stats.bytes = bytes_;
+  stats.entries = lru_.size();
+  return stats;
+}
+
+}  // namespace shareinsights

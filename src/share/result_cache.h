@@ -1,0 +1,115 @@
+#ifndef SHAREINSIGHTS_SHARE_RESULT_CACHE_H_
+#define SHAREINSIGHTS_SHARE_RESULT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "gov/memory_budget.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Shared result cache: memoizes the output table of a pure computation
+/// keyed on (plan fingerprint, input-table versions).
+///
+/// - `plan_hash` is a canonical fingerprint of the computation — a
+///   compiled flow's operator chain (compile/fingerprint.h) or a cube
+///   query (cube/shared_scan.h). Equal hashes mean "same pure function".
+/// - `input_versions` are the process-unique Table::version() ids of the
+///   inputs, in positional order. Tables are immutable, so a version
+///   pins exact input content; a republish or append materializes a new
+///   Table with a new version, which makes invalidation automatic — the
+///   same dirty-set propagation that drives incremental runs produces new
+///   tables, and entries keyed on dead versions simply never match again
+///   and age out of the LRU.
+///
+/// Entries are LRU-bounded by a dedicated gov::MemoryBudget child (each
+/// entry charges its table's ApproxBytes), so cached results show up in
+/// the process memory accounting like any other materialization. All
+/// operators are pure functions of their inputs, so a hit is byte-
+/// identical to re-execution (pinned by the cache equivalence suite).
+///
+/// Thread-safe; shared freely between executors, dashboards, and the API
+/// server. Metrics: cache_hits_total / cache_misses_total /
+/// cache_insertions_total / cache_evictions_total and the cache_bytes /
+/// cache_entries gauges.
+class ResultCache {
+ public:
+  struct Key {
+    uint64_t plan_hash = 0;
+    std::vector<uint64_t> input_versions;
+
+    bool operator==(const Key& other) const {
+      return plan_hash == other.plan_hash &&
+             input_versions == other.input_versions;
+    }
+  };
+
+  /// Default capacity of the process-wide instance (bytes).
+  static constexpr size_t kDefaultCapacityBytes = 256ULL << 20;
+
+  /// The process-wide cache, parented to MemoryBudget::Process(). Opt-in:
+  /// callers pass it via ExecuteOptions / Dashboard::Options; nothing
+  /// routes through it implicitly.
+  static ResultCache& Process();
+
+  explicit ResultCache(size_t capacity_bytes = kDefaultCapacityBytes,
+                       MemoryBudget* parent = &MemoryBudget::Process());
+
+  /// The cached table for `key`, refreshing its LRU position — or nullopt.
+  std::optional<TablePtr> Lookup(const Key& key);
+
+  /// Caches `table` under `key`, evicting least-recently-used entries
+  /// until it fits. A table larger than the whole capacity is not cached.
+  /// Re-inserting an existing key refreshes its LRU position.
+  void Insert(const Key& key, TablePtr table);
+
+  /// Drops every entry (tests / memory pressure).
+  void Clear();
+
+  /// Resizes the budget; evicts immediately when shrinking below use.
+  void set_capacity(size_t bytes);
+
+  struct Stats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+    int64_t insertions = 0;
+    int64_t evictions = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    Key key;
+    TablePtr table;
+    size_t bytes = 0;
+    MemoryReservation reservation;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const;
+  };
+
+  /// Evicts the LRU entry; mu_ must be held. Returns false when empty.
+  bool EvictOneLocked();
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  MemoryBudget budget_;
+  int64_t hits_ = 0;
+  int64_t misses_ = 0;
+  int64_t insertions_ = 0;
+  int64_t evictions_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_SHARE_RESULT_CACHE_H_

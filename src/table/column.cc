@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "table/dict_interner.h"
+
 namespace shareinsights {
 
 const char* ColumnEncodingName(ColumnEncoding encoding) {
@@ -151,7 +153,10 @@ ColumnData ColumnData::Encode(std::vector<Value> values, bool force_generic) {
         }
       }
     }
-    col.dict_ = std::make_shared<const Dictionary>(std::move(dict));
+    // Dictionaries are deduplicated process-wide by content: columns over
+    // the same distinct-string set share one instance, and downstream
+    // packed-key kernels treat pointer equality as content equality.
+    col.dict_ = DictionaryInterner::Process().Intern(std::move(dict));
     return col;
   }
   if (has_double) {

@@ -1,0 +1,75 @@
+#include "table/dict_interner.h"
+
+#include <algorithm>
+
+#include "common/fingerprint.h"
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+DictionaryInterner& DictionaryInterner::Process() {
+  static DictionaryInterner* interner = new DictionaryInterner();
+  return *interner;
+}
+
+uint64_t DictionaryInterner::ContentsHash(const ColumnData::Dictionary& dict) {
+  Fingerprinter fp;
+  fp.Add(static_cast<uint64_t>(dict.size()));
+  for (const std::string& s : dict) fp.Add(std::string_view(s));
+  return fp.Digest();
+}
+
+ColumnData::DictionaryPtr DictionaryInterner::Intern(
+    ColumnData::Dictionary dict) {
+  uint64_t hash = ContentsHash(dict);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!enabled_) {
+    return std::make_shared<const ColumnData::Dictionary>(std::move(dict));
+  }
+  auto& candidates = by_hash_[hash];
+  // Prune expired entries while scanning for a content match.
+  ColumnData::DictionaryPtr found;
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](const std::weak_ptr<const ColumnData::Dictionary>&
+                             weak) {
+                       ColumnData::DictionaryPtr live = weak.lock();
+                       if (live == nullptr) return true;
+                       if (found == nullptr && *live == dict) found = live;
+                       return false;
+                     }),
+      candidates.end());
+  if (found != nullptr) {
+    MetricsRegistry::Default()
+        .GetCounter("dicts_interned_total",
+                    "column dictionaries deduplicated to a shared instance")
+        ->Increment();
+    return found;
+  }
+  auto shared = std::make_shared<const ColumnData::Dictionary>(std::move(dict));
+  candidates.push_back(shared);
+  return shared;
+}
+
+void DictionaryInterner::set_enabled(bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  enabled_ = enabled;
+}
+
+bool DictionaryInterner::enabled() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return enabled_;
+}
+
+size_t DictionaryInterner::live_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t live = 0;
+  for (const auto& [hash, candidates] : by_hash_) {
+    for (const auto& weak : candidates) {
+      if (!weak.expired()) ++live;
+    }
+  }
+  return live;
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,60 @@
+#ifndef SHAREINSIGHTS_TABLE_DICT_INTERNER_H_
+#define SHAREINSIGHTS_TABLE_DICT_INTERNER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "table/column.h"
+
+namespace shareinsights {
+
+/// Process-wide registry deduplicating per-column string dictionaries by
+/// content. Every column built by ColumnData::Encode offers its freshly
+/// sorted dictionary here; columns over the same distinct-string set —
+/// snapshots, SharedDataRegistry republishes, cube rebuild slices, join
+/// sides over the same domain — end up holding the *same*
+/// `shared_ptr<const Dictionary>`. Besides the memory win, pointer
+/// equality of two dictionaries certifies content equality, which lets
+/// packed-key join/group kernels skip cross-table code translation (the
+/// probe->build translate vector becomes the identity).
+///
+/// The registry holds weak references: a dictionary no column references
+/// anymore is dropped at the next Intern() touching its bucket, so the
+/// interner never extends dictionary lifetimes.
+class DictionaryInterner {
+ public:
+  /// The process-wide instance used by ColumnData::Encode.
+  static DictionaryInterner& Process();
+
+  /// Returns the canonical shared dictionary for `dict`'s contents:
+  /// an existing registered dictionary with identical contents when one
+  /// is alive (counted by dicts_interned_total), else a new shared
+  /// dictionary adopted from `dict`.
+  ColumnData::DictionaryPtr Intern(ColumnData::Dictionary dict);
+
+  /// Stable content hash of a dictionary (exposed for tests).
+  static uint64_t ContentsHash(const ColumnData::Dictionary& dict);
+
+  /// Disables interning (Encode falls back to private per-column
+  /// dictionaries) — the equivalence suite's oracle switch.
+  void set_enabled(bool enabled);
+  bool enabled() const;
+
+  /// Live registered dictionaries (expired entries not counted).
+  size_t live_entries() const;
+
+ private:
+  mutable std::mutex mu_;
+  bool enabled_ = true;
+  // Content hash -> candidates. Collisions resolved by full content
+  // comparison; expired weak_ptrs pruned on access.
+  std::unordered_map<uint64_t,
+                     std::vector<std::weak_ptr<const ColumnData::Dictionary>>>
+      by_hash_;
+};
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_TABLE_DICT_INTERNER_H_

@@ -1,14 +1,25 @@
 #include "table/table.h"
 
 #include <algorithm>
+#include <atomic>
 #include <sstream>
 
 namespace shareinsights {
+
+namespace {
+
+uint64_t NextTableVersion() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+}  // namespace
 
 Table::Table(Schema schema, std::vector<ColumnData> columns, size_t num_rows)
     : schema_(std::move(schema)),
       typed_(std::move(columns)),
       num_rows_(num_rows),
+      version_(NextTableVersion()),
       view_(typed_.size()),
       view_once_(typed_.empty() ? nullptr
                                 : std::make_unique<std::once_flag[]>(

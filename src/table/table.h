@@ -48,6 +48,15 @@ class Table {
   size_t num_rows() const { return num_rows_; }
   size_t num_columns() const { return typed_.size(); }
 
+  /// Process-unique monotonic id assigned at construction. Because tables
+  /// are immutable, the version doubles as the "input-table version" of
+  /// the result cache: a republished or appended data object is a *new*
+  /// Table with a new version, so cache entries keyed on the old version
+  /// can never be served again and age out of the LRU. Versions are not
+  /// stable across processes — they identify a table instance, not its
+  /// content.
+  uint64_t version() const { return version_; }
+
   /// Encoded storage of column `i` — the fast path for typed kernels.
   const ColumnData& typed_column(size_t i) const { return typed_[i]; }
 
@@ -83,6 +92,7 @@ class Table {
   Schema schema_;
   std::vector<ColumnData> typed_;
   size_t num_rows_ = 0;
+  uint64_t version_ = 0;
 
   // Lazily-decoded Value views (compatibility path). view_once_[i] guards
   // the one-time decode of view_[i]; kGeneric columns bypass the cache.

@@ -1,0 +1,176 @@
+// Dictionary-interning suite: columns over the same distinct-string set
+// share one dictionary instance process-wide, the interner never extends
+// dictionary lifetimes (weak registry), and — the contract that lets
+// packed-key kernels treat pointer equality as content equality —
+// results of groupby/join/cube queries are byte-identical with interning
+// on (shared dictionaries) and off (private per-column dictionaries).
+
+#include "table/dict_interner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "cube/data_cube.h"
+#include "ops/groupby.h"
+#include "ops/join.h"
+#include "table/column.h"
+#include "table/table.h"
+
+namespace shareinsights {
+namespace {
+
+TablePtr CategoryTable(int rows, const std::string& other_col) {
+  TableBuilder builder(Schema::FromNames({"cat", other_col}));
+  const char* cats[] = {"alpha", "beta", "gamma", "delta"};
+  for (int i = 0; i < rows; ++i) {
+    (void)builder.AppendRow(
+        {Value(std::string(cats[i % 4])), Value(static_cast<int64_t>(i))});
+  }
+  return *builder.Finish();
+}
+
+const ColumnData& CatColumn(const TablePtr& table) {
+  return table->typed_column(*table->schema().RequireIndex("cat"));
+}
+
+std::string TableRows(const Table& table) {
+  std::string out;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      out += table.at(r, c).ToString();
+      out += "|";
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+// RAII guard so a failing test cannot leave interning disabled for the
+// rest of the process.
+struct InterningOff {
+  InterningOff() { DictionaryInterner::Process().set_enabled(false); }
+  ~InterningOff() { DictionaryInterner::Process().set_enabled(true); }
+};
+
+TEST(DictInternerTest, SameContentsShareOneDictionary) {
+  TablePtr a = CategoryTable(40, "va");
+  TablePtr b = CategoryTable(60, "vb");  // same distinct strings
+  ASSERT_EQ(CatColumn(a).encoding(), ColumnEncoding::kDict);
+  ASSERT_EQ(CatColumn(b).encoding(), ColumnEncoding::kDict);
+  EXPECT_EQ(CatColumn(a).shared_dict(), CatColumn(b).shared_dict())
+      << "identical dictionaries were not interned to one instance";
+}
+
+TEST(DictInternerTest, DifferentContentsStayDistinct) {
+  TablePtr a = CategoryTable(40, "va");
+  TableBuilder builder(Schema::FromNames({"cat", "v"}));
+  (void)builder.AppendRow({Value("alpha"), Value(static_cast<int64_t>(1))});
+  (void)builder.AppendRow({Value("omega"), Value(static_cast<int64_t>(2))});
+  TablePtr b = *builder.Finish();
+  ASSERT_EQ(CatColumn(b).encoding(), ColumnEncoding::kDict);
+  EXPECT_NE(CatColumn(a).shared_dict(), CatColumn(b).shared_dict());
+  // Contents hash agrees with equality: equal dicts hash equal.
+  EXPECT_EQ(DictionaryInterner::ContentsHash(*CatColumn(a).shared_dict()),
+            DictionaryInterner::ContentsHash(*CatColumn(a).shared_dict()));
+  EXPECT_NE(DictionaryInterner::ContentsHash(*CatColumn(a).shared_dict()),
+            DictionaryInterner::ContentsHash(*CatColumn(b).shared_dict()));
+}
+
+TEST(DictInternerTest, DisabledInterningGivesPrivateDictionaries) {
+  InterningOff off;
+  TablePtr a = CategoryTable(10, "va");
+  TablePtr b = CategoryTable(10, "vb");
+  ASSERT_EQ(CatColumn(a).encoding(), ColumnEncoding::kDict);
+  EXPECT_NE(CatColumn(a).shared_dict(), CatColumn(b).shared_dict());
+  EXPECT_EQ(*CatColumn(a).shared_dict(), *CatColumn(b).shared_dict());
+}
+
+TEST(DictInternerTest, WeakRegistryDoesNotPinDictionaries) {
+  ColumnData::DictionaryPtr first;
+  {
+    TablePtr a = CategoryTable(10, "unique_col_weak");
+    first = CatColumn(a).shared_dict();
+  }
+  // Only our local reference remains; after dropping it the interner's
+  // weak entry expires and a fresh intern of the same contents registers
+  // a brand-new dictionary.
+  const ColumnData::Dictionary contents = *first;
+  first.reset();
+  ColumnData::DictionaryPtr fresh =
+      DictionaryInterner::Process().Intern(contents);
+  ASSERT_NE(fresh, nullptr);
+  EXPECT_EQ(*fresh, contents);
+}
+
+TEST(DictInternerTest, RepeatedInternReturnsCanonicalInstance) {
+  TablePtr keeper = CategoryTable(10, "keeper");
+  ColumnData::DictionaryPtr canonical = CatColumn(keeper).shared_dict();
+  ColumnData::DictionaryPtr again =
+      DictionaryInterner::Process().Intern(*canonical);
+  EXPECT_EQ(again, canonical);
+}
+
+// ---------------------------------------------------------------------
+// Equivalence: interned (pointer-shared, packed-key identity fast path)
+// vs private dictionaries must be byte-identical across the kernels that
+// exploit sharing.
+// ---------------------------------------------------------------------
+
+TablePtr RunGroupBy(const TablePtr& input) {
+  auto op = GroupByOp::Create(
+      {"cat"}, {AggregateSpec{"sum", input->schema().names()[1],
+                              "total"}});
+  EXPECT_TRUE(op.ok()) << op.status();
+  auto out = (*op)->Execute({input});
+  EXPECT_TRUE(out.ok()) << out.status();
+  return *out;
+}
+
+TablePtr RunJoin(const TablePtr& left, const TablePtr& right) {
+  auto op = JoinOp::Create({"cat"}, {"cat"}, JoinKind::kInner, {});
+  EXPECT_TRUE(op.ok()) << op.status();
+  auto out = (*op)->Execute({left, right});
+  EXPECT_TRUE(out.ok()) << out.status();
+  return *out;
+}
+
+TablePtr RunCubeQuery(const TablePtr& input) {
+  auto cube = DataCube::Build(input);
+  EXPECT_TRUE(cube.ok()) << cube.status();
+  DataCube::Query query;
+  query.filters.push_back({"cat", {Value("beta"), Value("delta")}, false});
+  query.group_by = {"cat"};
+  query.aggregates = {AggregateSpec{"sum", input->schema().names()[1],
+                                    "total"}};
+  auto out = (*cube)->Execute(query);
+  EXPECT_TRUE(out.ok()) << out.status();
+  return *out;
+}
+
+TEST(DictInternerEquivalenceTest, KernelsMatchPrivateDictOracle) {
+  // Interned path: both tables share the "cat" dictionary, so the join's
+  // packed-key translation is the identity shortcut.
+  TablePtr left = CategoryTable(120, "va");
+  TablePtr right = CategoryTable(90, "vb");
+  ASSERT_EQ(CatColumn(left).shared_dict(), CatColumn(right).shared_dict());
+  std::string grouped = TableRows(*RunGroupBy(left));
+  std::string joined = TableRows(*RunJoin(left, right));
+  std::string cubed = TableRows(*RunCubeQuery(left));
+
+  // Oracle: same data with private dictionaries (translation vector path).
+  {
+    InterningOff off;
+    TablePtr oracle_left = CategoryTable(120, "va");
+    TablePtr oracle_right = CategoryTable(90, "vb");
+    ASSERT_NE(CatColumn(oracle_left).shared_dict(),
+              CatColumn(oracle_right).shared_dict());
+    EXPECT_EQ(grouped, TableRows(*RunGroupBy(oracle_left)));
+    EXPECT_EQ(joined, TableRows(*RunJoin(oracle_left, oracle_right)));
+    EXPECT_EQ(cubed, TableRows(*RunCubeQuery(oracle_left)));
+  }
+}
+
+}  // namespace
+}  // namespace shareinsights
