@@ -4,11 +4,12 @@
 # never drift from the compiler. Wired into ctest as
 # docs_operator_snippets.
 #
-# usage: check_docs.sh <shareinsights-binary> <markdown-file>
+# usage: check_docs.sh <shareinsights-binary> <markdown-file> [min-snippets]
 set -u
 
 CLI="${1:?usage: check_docs.sh <shareinsights-binary> <markdown-file>}"
 DOC="${2:?usage: check_docs.sh <shareinsights-binary> <markdown-file>}"
+MIN_SNIPPETS="${3:-12}"
 
 if [ ! -x "$CLI" ]; then
   echo "error: '$CLI' is not executable" >&2
@@ -54,9 +55,9 @@ for flow in "$TMP"/snippet_*.flow; do
   fi
 done
 
-# Every operator section carries at least one runnable snippet; a sharp
-# drop means the extraction regex or the doc structure broke.
-MIN_SNIPPETS=12
+# Every section carries at least one runnable snippet; a sharp drop
+# means the extraction regex or the doc structure broke. Shorter guides
+# pass their own floor as the third argument.
 if [ "$count" -lt "$MIN_SNIPPETS" ]; then
   echo "error: extracted only $count snippets from $DOC (expected >= $MIN_SNIPPETS)" >&2
   exit 1

@@ -56,6 +56,93 @@ Result<std::shared_ptr<const DataCube>> DataCube::Build(
   return std::shared_ptr<const DataCube>(cube);
 }
 
+Result<std::shared_ptr<const DataCube>> DataCube::Append(
+    const std::shared_ptr<const DataCube>& base, TablePtr grown,
+    size_t max_index_cardinality) {
+  if (base == nullptr || grown == nullptr) {
+    return Status::InvalidArgument("DataCube::Append requires a base and a "
+                                   "grown table");
+  }
+  const size_t base_rows = base->table_->num_rows();
+  if (grown->num_rows() < base_rows ||
+      !(grown->schema() == base->table_->schema())) {
+    return Status::InvalidArgument(
+        "DataCube::Append: grown table is not base plus appended rows");
+  }
+  auto cube = std::shared_ptr<DataCube>(new DataCube(std::move(grown)));
+  const Table& t = *cube->table_;
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    const ColumnData& col = t.typed_column(c);
+    const ColumnData& base_col = base->table_->typed_column(c);
+    if (col.encoding() == ColumnEncoding::kDict) {
+      size_t cardinality = col.dict().size() + (col.has_nulls() ? 1 : 0);
+      if (cardinality > max_index_cardinality) continue;
+      auto base_index = base->dict_indexes_.find(c);
+      if (base_index == base->dict_indexes_.end() &&
+          base_col.encoding() == ColumnEncoding::kDict) {
+        // Over the cardinality cap before the append; dictionaries only
+        // grow, so it still is (the check above caught shrinkage cases).
+        continue;
+      }
+      DictIndex index;
+      index.code_rows.resize(col.dict().size());
+      const std::vector<uint32_t>& codes = col.codes();
+      size_t scan_from = 0;
+      if (base_index != base->dict_indexes_.end()) {
+        // Copy-extend: base postings land at their remapped codes (the
+        // merged dictionary is a sorted superset, so old code -> new code
+        // is a binary search per DISTINCT value, not per row).
+        const ColumnData::Dictionary& old_dict = base_col.dict();
+        std::vector<uint32_t> remap(old_dict.size());
+        for (size_t code = 0; code < old_dict.size(); ++code) {
+          remap[code] = col.FindCode(old_dict[code]);
+        }
+        for (size_t code = 0; code < old_dict.size(); ++code) {
+          index.code_rows[remap[code]] = base_index->second.code_rows[code];
+        }
+        index.null_rows = base_index->second.null_rows;
+        scan_from = base_rows;
+      }
+      // Only the appended rows (or every row when the column just became
+      // dict-encoded, e.g. an all-null column that received strings).
+      for (size_t r = scan_from; r < t.num_rows(); ++r) {
+        if (col.IsNull(r)) {
+          index.null_rows.push_back(static_cast<uint32_t>(r));
+        } else {
+          index.code_rows[codes[r]].push_back(static_cast<uint32_t>(r));
+        }
+      }
+      cube->dict_indexes_.emplace(c, std::move(index));
+      continue;
+    }
+    auto base_index = base->indexes_.find(c);
+    std::unordered_map<Value, std::vector<uint32_t>, ValueHash> index;
+    size_t scan_from = 0;
+    if (base_index != base->indexes_.end()) {
+      index = base_index->second;  // copy-extend
+      scan_from = base_rows;
+    } else if (base_col.encoding() == col.encoding()) {
+      // Same encoding and no base index: the column was too wide to
+      // index before the append and can only have grown.
+      continue;
+    }
+    bool too_wide = false;
+    for (size_t r = scan_from; r < t.num_rows(); ++r) {
+      index[t.at(r, c)].push_back(static_cast<uint32_t>(r));
+      if (index.size() > max_index_cardinality) {
+        too_wide = true;
+        break;
+      }
+    }
+    if (!too_wide) cube->indexes_.emplace(c, std::move(index));
+  }
+  MetricsRegistry::Default()
+      .GetCounter("cube_appends_total",
+                  "DataCube streaming appends (copy-extended indexes)")
+      ->Increment();
+  return std::shared_ptr<const DataCube>(cube);
+}
+
 Result<std::vector<uint32_t>> DataCube::SelectRows(
     const std::vector<Filter>& filters) const {
   const Table& t = *table_;

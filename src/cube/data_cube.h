@@ -54,6 +54,18 @@ class DataCube {
   static Result<std::shared_ptr<const DataCube>> Build(
       TablePtr table, size_t max_index_cardinality = 10000);
 
+  /// Streaming rebuild: `grown` must be `base->table()` plus appended rows
+  /// (the executor's encoding-preserving concat). Returns a NEW immutable
+  /// cube whose inverted indexes are copy-extended — base postings are
+  /// copied (remapped through the merged dictionary where it grew) and
+  /// only the appended rows are scanned — instead of re-indexing every
+  /// row. Queries against the result are byte-identical to queries
+  /// against Build(grown); columns crossing `max_index_cardinality` drop
+  /// their index exactly as a cold build would skip them.
+  static Result<std::shared_ptr<const DataCube>> Append(
+      const std::shared_ptr<const DataCube>& base, TablePtr grown,
+      size_t max_index_cardinality = 10000);
+
   const TablePtr& table() const { return table_; }
 
   /// Executes a query against the cube. With a tracer, evaluation is

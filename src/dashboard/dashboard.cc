@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "dashboard/render.h"
 #include "expr/expr.h"
+#include "table/append.h"
 
 namespace shareinsights {
 
@@ -396,6 +397,7 @@ Status Dashboard::ValidateWidgets() {
 // ---------------------------------------------------------------------
 
 ExecContext Dashboard::exec_context() const {
+  std::lock_guard<std::mutex> lock(exec_init_mu_);
   if (interactive_pool_ == nullptr) {
     size_t threads = options_.num_threads;
     if (threads == 0) {
@@ -471,8 +473,112 @@ Result<ExecutionStats> Dashboard::RunIncremental(
   return stats;
 }
 
+Result<Dashboard::AppendResult> Dashboard::AppendToObject(
+    const std::string& object, const std::vector<std::vector<Value>>& rows,
+    uint64_t expected_version) {
+  Result<TablePtr> base = store_.Get(object);
+  if (!base.ok()) {
+    return base.status().WithContext("appending to '" + object +
+                                     "' (run the dashboard first)");
+  }
+  SI_ASSIGN_OR_RETURN(TablePtr delta, MakeAppendBatch(**base, rows));
+  return AppendDelta(object, std::move(delta), expected_version);
+}
+
+Result<Dashboard::AppendResult> Dashboard::AppendDelta(
+    const std::string& object, TablePtr delta, uint64_t expected_version) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  Result<TablePtr> base = store_.Get(object);
+  if (!base.ok()) {
+    return base.status().WithContext("appending to '" + object +
+                                     "' (run the dashboard first)");
+  }
+  if (expected_version != 0 && (*base)->version() != expected_version) {
+    return Status::Conflict(
+        "object '" + object + "' is at version " +
+        std::to_string((*base)->version()) + ", not the expected " +
+        std::to_string(expected_version));
+  }
+
+  Tracer* tracer = options_.tracer;
+  ScopedSpan run_span(tracer, "dashboard.append");
+  run_span.AddAttribute("object", object);
+  ExecuteOptions exec_options;
+  exec_options.num_threads = options_.num_threads;
+  exec_options.base_dir = options_.base_dir;
+  exec_options.shared = options_.shared_tables;
+  exec_options.connectors = options_.connectors;
+  exec_options.formats = options_.formats;
+  exec_options.flow_retry_attempts = options_.flow_retry_attempts;
+  exec_options.morsel_rows = options_.morsel_rows;
+  exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.result_cache = options_.result_cache;
+  exec_options.tracer = tracer;
+  exec_options.trace_parent = run_span.id();
+  Executor executor(exec_options);
+  size_t rows_appended = delta->num_rows();
+  SI_ASSIGN_OR_RETURN(
+      AppendOutcome outcome,
+      executor.ExecuteAppend(plan_, &store_, object, delta, &append_state_));
+  SI_RETURN_IF_ERROR(
+      RefreshCubesAfterAppend(outcome, tracer, run_span.id()));
+
+  AppendResult result;
+  SI_ASSIGN_OR_RETURN(TablePtr grown, store_.Get(object));
+  result.version = grown->version();
+  result.rows_appended = rows_appended;
+  result.stats = std::move(outcome.stats);
+  result.deltas = std::move(outcome.deltas);
+  result.full_changed = std::move(outcome.full_changed);
+  result.prev_versions = std::move(outcome.prev_versions);
+  return result;
+}
+
+Status Dashboard::RefreshCubesAfterAppend(const AppendOutcome& outcome,
+                                          Tracer* tracer,
+                                          SpanId trace_parent) {
+  if (!options_.use_cube) return Status::OK();
+  ScopedSpan refresh_span(tracer, "cube.append_refresh", trace_parent);
+  for (const std::string& endpoint : plan_.endpoints) {
+    Result<TablePtr> table = store_.Get(endpoint);
+    if (!table.ok()) continue;
+    std::shared_ptr<const DataCube> prev;
+    {
+      std::lock_guard<std::mutex> lock(cube_mu_);
+      auto it = cubes_.find(endpoint);
+      if (it != cubes_.end()) prev = it->second;
+    }
+    if (prev != nullptr && prev->table() == *table) {
+      continue;  // untouched by this append
+    }
+    std::shared_ptr<const DataCube> cube;
+    // Copy-extend when this endpoint took the delta path and the cube
+    // still covers the pre-append prefix; otherwise a cold rebuild.
+    if (prev != nullptr && outcome.deltas.count(endpoint) > 0 &&
+        prev->table()->num_rows() <= (*table)->num_rows()) {
+      ScopedSpan span(tracer, "cube.append:" + endpoint, refresh_span.id());
+      span.AddAttribute(
+          "rows_appended",
+          static_cast<int64_t>((*table)->num_rows() -
+                               prev->table()->num_rows()));
+      SI_ASSIGN_OR_RETURN(cube, DataCube::Append(prev, *table));
+    } else {
+      ScopedSpan span(tracer, "cube.build:" + endpoint, refresh_span.id());
+      span.AddAttribute("rows", static_cast<int64_t>((*table)->num_rows()));
+      SI_ASSIGN_OR_RETURN(cube, DataCube::Build(*table));
+    }
+    auto batcher =
+        std::make_shared<SharedScanBatcher>(cube, options_.result_cache);
+    std::lock_guard<std::mutex> lock(cube_mu_);
+    batchers_[endpoint] = std::move(batcher);
+    cubes_[endpoint] = std::move(cube);
+  }
+  return Status::OK();
+}
+
 Status Dashboard::RebuildCubes(Tracer* tracer, SpanId trace_parent) {
   if (!options_.use_cube) {
+    std::lock_guard<std::mutex> lock(cube_mu_);
     cubes_.clear();
     batchers_.clear();
     return Status::OK();
@@ -481,9 +587,12 @@ Status Dashboard::RebuildCubes(Tracer* tracer, SpanId trace_parent) {
   for (const std::string& endpoint : plan_.endpoints) {
     Result<TablePtr> table = store_.Get(endpoint);
     if (!table.ok()) continue;  // endpoint not materialized (no producer)
-    if (auto it = cubes_.find(endpoint);
-        it != cubes_.end() && it->second->table() == *table) {
-      continue;  // same table instance — cube (and cached results) still valid
+    {
+      std::lock_guard<std::mutex> lock(cube_mu_);
+      if (auto it = cubes_.find(endpoint);
+          it != cubes_.end() && it->second->table() == *table) {
+        continue;  // same table instance — cube (and cache) still valid
+      }
     }
     ScopedSpan endpoint_span(tracer, "cube.build:" + endpoint,
                              build_span.id());
@@ -492,8 +601,10 @@ Status Dashboard::RebuildCubes(Tracer* tracer, SpanId trace_parent) {
     SI_ASSIGN_OR_RETURN(auto cube, DataCube::Build(*table));
     // The batcher pins its cube; queries against a replaced endpoint key
     // to the new table version, so stale cache entries never match.
-    batchers_[endpoint] =
+    auto batcher =
         std::make_shared<SharedScanBatcher>(cube, options_.result_cache);
+    std::lock_guard<std::mutex> lock(cube_mu_);
+    batchers_[endpoint] = std::move(batcher);
     cubes_[endpoint] = std::move(cube);
   }
   return Status::OK();
@@ -587,8 +698,16 @@ std::vector<std::string> Dashboard::Dependents(
 
 Result<std::optional<TablePtr>> Dashboard::TryCube(const WidgetDecl& widget) {
   if (!options_.use_cube) return std::optional<TablePtr>{};
-  auto cube_it = cubes_.find(widget.source.root);
-  if (cube_it == cubes_.end()) return std::optional<TablePtr>{};
+  std::shared_ptr<const DataCube> cube;
+  std::shared_ptr<SharedScanBatcher> batcher;
+  {
+    std::lock_guard<std::mutex> lock(cube_mu_);
+    auto cube_it = cubes_.find(widget.source.root);
+    if (cube_it == cubes_.end()) return std::optional<TablePtr>{};
+    cube = cube_it->second;
+    auto batcher_it = batchers_.find(widget.source.root);
+    if (batcher_it != batchers_.end()) batcher = batcher_it->second;
+  }
 
   SelectionResolver resolver(this);
   DataCube::Query query;
@@ -669,27 +788,29 @@ Result<std::optional<TablePtr>> Dashboard::TryCube(const WidgetDecl& widget) {
   }
   // Route through the endpoint's batcher so widget storms share scans and
   // repeated interactions hit the result cache.
-  if (auto batcher_it = batchers_.find(widget.source.root);
-      batcher_it != batchers_.end()) {
+  if (batcher != nullptr) {
     SI_ASSIGN_OR_RETURN(TablePtr result,
-                        batcher_it->second->Execute(query, exec_context()));
+                        batcher->Execute(query, exec_context()));
     return std::optional<TablePtr>(std::move(result));
   }
-  SI_ASSIGN_OR_RETURN(TablePtr result,
-                      cube_it->second->Execute(query, exec_context()));
+  SI_ASSIGN_OR_RETURN(TablePtr result, cube->Execute(query, exec_context()));
   return std::optional<TablePtr>(std::move(result));
 }
 
 Result<Dashboard::CubeQueryResult> Dashboard::CubeQuery(
     const std::string& endpoint, const DataCube::Query& query) {
-  auto batcher_it = batchers_.find(endpoint);
-  if (batcher_it == batchers_.end()) {
+  std::shared_ptr<SharedScanBatcher> batcher;
+  {
+    std::lock_guard<std::mutex> lock(cube_mu_);
+    auto batcher_it = batchers_.find(endpoint);
+    if (batcher_it != batchers_.end()) batcher = batcher_it->second;
+  }
+  if (batcher == nullptr) {
     return Status::NotFound("no data cube for endpoint '" + endpoint + "'");
   }
   CubeQueryResult out;
-  SI_ASSIGN_OR_RETURN(
-      out.table,
-      batcher_it->second->Execute(query, exec_context(), &out.cache_hit));
+  SI_ASSIGN_OR_RETURN(out.table, batcher->Execute(query, exec_context(),
+                                                  &out.cache_hit));
   return out;
 }
 

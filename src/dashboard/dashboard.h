@@ -91,6 +91,45 @@ class Dashboard {
   /// Incremental re-run after `dirty` data objects changed.
   Result<ExecutionStats> RunIncremental(const std::set<std::string>& dirty);
 
+  // --- streaming appends ----------------------------------------------
+
+  /// What one append did: the object's new version (its grown table's
+  /// Table::version(), which doubles as the API ETag), the delta each
+  /// downstream object received when delta maintenance applied, and the
+  /// objects that had to be fully re-derived instead.
+  struct AppendResult {
+    /// New version of the appended object after the grow.
+    uint64_t version = 0;
+    size_t rows_appended = 0;
+    ExecutionStats stats;
+    /// object name -> appended rows, for every object (the target and
+    /// downstream outputs) maintained via the delta path. The caller
+    /// forwards these to SharedDataRegistry::PublishAppend so
+    /// subscribers patch instead of refetch.
+    std::map<std::string, TablePtr> deltas;
+    /// Objects rewritten by a full re-run (non-incrementalizable flows);
+    /// subscribers of these must refetch.
+    std::set<std::string> full_changed;
+    /// Object -> version it had before this append (subscriber cursors).
+    std::map<std::string, uint64_t> prev_versions;
+  };
+
+  /// Appends JSON-shaped rows (row-major Values, coerced to the object's
+  /// schema) to a materialized data object and incrementally maintains
+  /// everything downstream: delta-capable flows absorb just the delta
+  /// (Executor::ExecuteAppend), endpoint cubes are copy-extended via
+  /// DataCube::Append, and widget/result caches stay precise. Appends
+  /// are serialized per dashboard; `expected_version` non-zero asserts
+  /// optimistic concurrency (kConflict when the object moved — the API
+  /// layer's 412).
+  Result<AppendResult> AppendToObject(const std::string& object,
+                                      const std::vector<std::vector<Value>>& rows,
+                                      uint64_t expected_version = 0);
+
+  /// Same, with an already-typed delta batch (e.g. from LoadAppendBatch).
+  Result<AppendResult> AppendDelta(const std::string& object, TablePtr delta,
+                                   uint64_t expected_version = 0);
+
   // --- widget selection (interaction) ---------------------------------
 
   /// Sets the selection of a selection-capable widget (e.g. clicking a
@@ -186,6 +225,11 @@ class Dashboard {
   Status ApplyDefaultSelections();
   Status RebuildCubes(Tracer* tracer, SpanId trace_parent);
 
+  /// Cube maintenance after an append: endpoints that took a delta are
+  /// copy-extended (DataCube::Append); fully-rewritten ones rebuild.
+  Status RefreshCubesAfterAppend(const AppendOutcome& outcome, Tracer* tracer,
+                                 SpanId trace_parent);
+
   /// Evaluates a widget source chain against its root table.
   Result<TablePtr> EvaluateWidgetFlow(const WidgetDecl& widget);
 
@@ -200,6 +244,18 @@ class Dashboard {
   ExecutionPlan plan_;
   DataStore store_;
   bool ran_ = false;
+  // Serializes appends and guards append_state_ (reads of the store from
+  // other threads keep working: tables are immutable, Put swaps pointers).
+  std::mutex append_mu_;
+  // Operator delta state carried across appends (groupby accumulators).
+  IncrementalState append_state_;
+  // Guards cubes_/batchers_: appends swap entries while interactive
+  // queries read them. Held only for map access — cube builds and query
+  // execution run outside it (cubes and batchers are immutable /
+  // internally synchronized once published).
+  mutable std::mutex cube_mu_;
+  // Guards the lazy creation of interactive_pool_/interactive_budget_.
+  mutable std::mutex exec_init_mu_;
   // Pool for interactive evaluation, created on first exec_context().
   mutable std::unique_ptr<ThreadPool> interactive_pool_;
   // Budget for interactive queries when Options::mem_budget_bytes is set

@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "ops/exec_context.h"
+#include "table/append.h"
 
 namespace shareinsights {
 
@@ -66,6 +67,8 @@ std::string ExecutionStats::ToString() const {
   if (rows_quarantined > 0) out << " quarantined=" << rows_quarantined;
   if (flows_cancelled > 0) out << " cancelled=" << flows_cancelled;
   if (mem_rejections > 0) out << " mem_rejections=" << mem_rejections;
+  if (flows_delta > 0) out << " delta=" << flows_delta;
+  if (flows_full_fallback > 0) out << " full_fallback=" << flows_full_fallback;
   return out.str();
 }
 
@@ -535,6 +538,443 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
 
   SI_LOG(kInfo) << "executed plan: " << stats.ToString();
   return stats;
+}
+
+Result<AppendOutcome> Executor::ExecuteAppend(const ExecutionPlan& plan,
+                                              DataStore* store,
+                                              const std::string& object,
+                                              const TablePtr& delta_rows,
+                                              IncrementalState* inc) {
+  auto start = std::chrono::steady_clock::now();
+  AppendOutcome outcome;
+  ExecutionStats& stats = outcome.stats;
+  Tracer* tracer = options_.tracer;
+  ScopedSpan run_span(tracer, "exec.append", options_.trace_parent);
+  run_span.AddAttribute("object", object);
+
+  if (delta_rows == nullptr) {
+    return Status::InvalidArgument("append batch is null");
+  }
+  SI_ASSIGN_OR_RETURN(TablePtr base, store->Get(object));
+  if (!(delta_rows->schema() == base->schema())) {
+    return Status::SchemaError("append batch does not match the schema of '" +
+                               object + "'");
+  }
+  run_span.AddAttribute("rows",
+                        static_cast<int64_t>(delta_rows->num_rows()));
+  if (delta_rows->num_rows() == 0) {
+    // Nothing to do — and nothing to invalidate: ConcatTables would hand
+    // back the base instance, so replacing it would retire a version that
+    // is in fact still live.
+    return outcome;
+  }
+
+  // Accumulator state is only valid against the plan it was seeded from;
+  // a recompiled plan (new ops, reordered flows) resets it, and the next
+  // append re-seeds from the store.
+  if (inc != nullptr) {
+    std::vector<std::string> tags;
+    tags.reserve(plan.flows.size());
+    for (const CompiledFlow& flow : plan.flows) tags.push_back(flow.ToString());
+    if (inc->flow_tags != tags) {
+      inc->Clear();
+      inc->flow_tags = std::move(tags);
+    }
+  }
+
+  // Same memory account as Run(): a dedicated per-query budget when a cap
+  // is configured, else the process budget.
+  MemoryBudget query_budget("query", options_.mem_budget_bytes,
+                            &MemoryBudget::Process());
+  MemoryBudget* budget = options_.mem_budget_bytes > 0
+                             ? &query_budget
+                             : &MemoryBudget::Process();
+
+  // Unified failure tail: mirrors Run()'s cancellation / budget metrics so
+  // callers observe appends and full runs identically.
+  auto fail = [&](Status status) -> Status {
+    if (status.code() == StatusCode::kCancelled) {
+      run_span.AddAttribute("cancelled", options_.cancel != nullptr
+                                             ? options_.cancel->reason()
+                                             : status.message());
+      MetricsRegistry::Default()
+          .GetCounter("queries_cancelled_total",
+                      "runs/queries aborted by cooperative cancellation")
+          ->Increment();
+    }
+    if (status.code() == StatusCode::kResourceExhausted) {
+      MetricsRegistry::Default()
+          .GetCounter("mem_budget_failed_runs_total",
+                      "runs aborted by a refused memory reservation")
+          ->Increment();
+    }
+    return status;
+  };
+  auto check_cancel = [&]() -> Status {
+    return options_.cancel != nullptr ? options_.cancel->Check()
+                                      : Status::OK();
+  };
+  SI_RETURN_IF_ERROR(fail(check_cancel()));
+
+  // The delta itself is a materialization this run is responsible for;
+  // charge it up front so a flood of appends hits the budget before the
+  // allocator.
+  Result<MemoryReservation> delta_res =
+      budget->Reserve(delta_rows->ApproxBytes(), "append:delta");
+  if (!delta_res.ok()) return fail(delta_res.status());
+
+  // Tables replaced by this append: pre-append instance (for seeding) and
+  // dead version (for precise result-cache invalidation).
+  std::map<std::string, TablePtr> prev_tables;
+  std::vector<uint64_t> dead_versions;
+  auto replace_object = [&](const std::string& name, TablePtr table) {
+    Result<TablePtr> old = store->Get(name);
+    if (old.ok()) {
+      prev_tables.emplace(name, *old);
+      outcome.prev_versions.emplace(name, (*old)->version());
+      dead_versions.push_back((*old)->version());
+    }
+    store->Put(name, std::move(table));
+  };
+
+  {
+    // Concat transiently holds base + delta alongside the result.
+    Result<MemoryReservation> concat_res = budget->Reserve(
+        base->ApproxBytes() + delta_rows->ApproxBytes(), "append:concat");
+    if (!concat_res.ok()) return fail(concat_res.status());
+    Result<TablePtr> grown = ConcatTables(base, delta_rows);
+    if (!grown.ok()) return fail(grown.status());
+    replace_object(object, std::move(*grown));
+  }
+  outcome.deltas[object] = delta_rows;
+
+  size_t threads = options_.num_threads;
+  if (threads == 0) {
+    threads = std::max<size_t>(1, std::thread::hardware_concurrency());
+  }
+  ThreadPool pool(threads);
+  auto make_ctx = [&](SpanId parent) {
+    ExecContext ctx;
+    ctx.pool = &pool;
+    if (options_.morsel_rows > 0) ctx.morsel_rows = options_.morsel_rows;
+    ctx.tracer = tracer;
+    ctx.trace_parent = parent;
+    ctx.cancel = options_.cancel;
+    ctx.budget = budget;
+    return ctx;
+  };
+
+  // Full re-run of one flow over the (already grown) store contents — the
+  // always-correct fallback; same task loop as Run()'s run_flow.
+  auto run_full = [&](size_t index) -> Result<TablePtr> {
+    const CompiledFlow& flow = plan.flows[index];
+    ScopedSpan flow_span(tracer, "exec.flow:" + Join(flow.outputs, ","),
+                         run_span.id());
+    std::vector<TablePtr> inputs;
+    for (const std::string& input : flow.inputs) {
+      SI_ASSIGN_OR_RETURN(TablePtr table, store->Get(input));
+      inputs.push_back(std::move(table));
+    }
+    std::optional<ResultCache::Key> cache_key;
+    if (options_.result_cache != nullptr && flow.fingerprint != 0) {
+      ResultCache::Key key;
+      key.plan_hash = flow.fingerprint;
+      for (const TablePtr& input : inputs) {
+        key.input_versions.push_back(input->version());
+      }
+      if (std::optional<TablePtr> hit = options_.result_cache->Lookup(key)) {
+        flow_span.AddAttribute("cache", "hit");
+        return *hit;
+      }
+      cache_key = std::move(key);
+    }
+    TablePtr current;
+    for (size_t t = 0; t < flow.ops.size(); ++t) {
+      std::vector<TablePtr> stage_inputs =
+          t == 0 ? inputs : std::vector<TablePtr>{current};
+      SI_RETURN_IF_ERROR(check_cancel());
+      std::optional<Status> injected =
+          FaultInjector::Get().Check(kFaultExecNode);
+      if (injected.has_value()) {
+        MetricsRegistry::Default()
+            .GetCounter("faults_injected_total",
+                        "faults fired by the injection harness")
+            ->Increment();
+        return injected->WithContext("executing task '" + flow.task_names[t] +
+                                     "' of flow '" + flow.ToString() + "'");
+      }
+      ScopedSpan task_span(tracer, "exec.task:" + flow.task_names[t],
+                           flow_span.id());
+      Result<TablePtr> out =
+          flow.ops[t]->Execute(stage_inputs, make_ctx(task_span.id()));
+      if (!out.ok()) {
+        return out.status().WithContext("executing task '" +
+                                        flow.task_names[t] + "' of flow '" +
+                                        flow.ToString() + "'");
+      }
+      current = std::move(*out);
+    }
+    if (cache_key.has_value()) {
+      options_.result_cache->Insert(*cache_key, current);
+    }
+    return current;
+  };
+
+  // Delta propagation through one flow's operator chain. Returns nullopt
+  // when the chain hits a non-incrementalizable node (caller re-runs
+  // fully); otherwise {table, is_delta}: an output delta to concatenate
+  // (all pass-through) or the whole new output (an accumulator re-emit).
+  auto run_delta =
+      [&](size_t index) -> Result<std::optional<std::pair<TablePtr, bool>>> {
+    const CompiledFlow& flow = plan.flows[index];
+    ScopedSpan flow_span(tracer, "exec.delta:" + Join(flow.outputs, ","),
+                         run_span.id());
+    std::vector<TablePtr> stage_inputs;
+    std::vector<bool> changed(flow.inputs.size(), false);
+    for (size_t j = 0; j < flow.inputs.size(); ++j) {
+      auto it = outcome.deltas.find(flow.inputs[j]);
+      if (it != outcome.deltas.end()) {
+        changed[j] = true;
+        stage_inputs.push_back(it->second);
+      } else {
+        SI_ASSIGN_OR_RETURN(TablePtr table, store->Get(flow.inputs[j]));
+        stage_inputs.push_back(std::move(table));
+      }
+    }
+    TablePtr current;
+    bool is_delta = true;
+    for (size_t t = 0; t < flow.ops.size(); ++t) {
+      if (t > 0) {
+        stage_inputs = {current};
+        changed = {true};
+      }
+      SI_RETURN_IF_ERROR(check_cancel());
+      // Same `exec.node` injection site as the full path: a fault on the
+      // delta path aborts it, and the caller falls back to a full re-run.
+      std::optional<Status> injected =
+          FaultInjector::Get().Check(kFaultExecNode);
+      if (injected.has_value()) {
+        MetricsRegistry::Default()
+            .GetCounter("faults_injected_total",
+                        "faults fired by the injection harness")
+            ->Increment();
+        return injected->WithContext("delta task '" + flow.task_names[t] +
+                                     "' of flow '" + flow.ToString() + "'");
+      }
+      ScopedSpan task_span(tracer, "exec.delta_task:" + flow.task_names[t],
+                           flow_span.id());
+      ExecContext ctx = make_ctx(task_span.id());
+      if (!is_delta) {
+        // An upstream accumulator already re-emitted the full table; the
+        // rest of the chain runs normally over it.
+        Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs, ctx);
+        if (!out.ok()) {
+          return out.status().WithContext("delta task '" + flow.task_names[t] +
+                                          "' of flow '" + flow.ToString() +
+                                          "'");
+        }
+        current = std::move(*out);
+        continue;
+      }
+      DeltaMode mode = flow.ops[t]->delta_mode(changed);
+      if (mode == DeltaMode::kNone) {
+        return std::optional<std::pair<TablePtr, bool>>();
+      }
+      OperatorStatePtr op_state;
+      if (mode == DeltaMode::kAccumulate) {
+        std::pair<size_t, size_t> key{index, t};
+        if (inc != nullptr) {
+          auto it = inc->op_states.find(key);
+          if (it != inc->op_states.end()) op_state = it->second;
+        }
+        if (op_state == nullptr) {
+          // Seed from the PRE-append inputs: replay the (pass-through)
+          // prefix of the chain over the previous table instances.
+          std::vector<TablePtr> seed_inputs;
+          for (const std::string& input : flow.inputs) {
+            auto prev = prev_tables.find(input);
+            if (prev != prev_tables.end()) {
+              seed_inputs.push_back(prev->second);
+            } else {
+              SI_ASSIGN_OR_RETURN(TablePtr table, store->Get(input));
+              seed_inputs.push_back(std::move(table));
+            }
+          }
+          TablePtr seed_current;
+          for (size_t u = 0; u < t; ++u) {
+            Result<TablePtr> out = flow.ops[u]->Execute(
+                u == 0 ? seed_inputs : std::vector<TablePtr>{seed_current},
+                ctx);
+            if (!out.ok()) return out.status();
+            seed_current = std::move(*out);
+          }
+          Result<OperatorStatePtr> seeded = flow.ops[t]->SeedDeltaState(
+              t == 0 ? seed_inputs : std::vector<TablePtr>{seed_current},
+              ctx);
+          if (!seeded.ok()) return seeded.status();
+          op_state = std::move(*seeded);
+          if (inc != nullptr) inc->op_states[key] = op_state;
+        }
+        // Accumulator growth is retained memory; account for it.
+        Result<MemoryReservation> state_res =
+            budget->Reserve(op_state->ApproxBytes(), "append:state");
+        if (!state_res.ok()) return state_res.status();
+        is_delta = false;
+      }
+      Result<TablePtr> out = flow.ops[t]->ExecuteDelta(stage_inputs, changed,
+                                                       op_state.get(), ctx);
+      if (!out.ok()) {
+        return out.status().WithContext("delta task '" + flow.task_names[t] +
+                                        "' of flow '" + flow.ToString() +
+                                        "'");
+      }
+      current = std::move(*out);
+    }
+    return std::optional<std::pair<TablePtr, bool>>(
+        std::make_pair(std::move(current), is_delta));
+  };
+
+  // Forward sweep over the topologically ordered flows, propagating
+  // deltas (or full-change marks) object by object.
+  for (size_t i = 0; i < plan.flows.size(); ++i) {
+    const CompiledFlow& flow = plan.flows[i];
+    bool any_delta = false;
+    bool any_full = false;
+    for (const std::string& input : flow.inputs) {
+      if (outcome.deltas.count(input) > 0) any_delta = true;
+      if (outcome.full_changed.count(input) > 0) any_full = true;
+    }
+    bool outputs_ok = true;
+    for (const std::string& output : flow.outputs) {
+      if (!store->Has(output)) outputs_ok = false;
+    }
+    if (!any_delta && !any_full && outputs_ok) {
+      ++stats.flows_skipped;
+      continue;
+    }
+    SI_RETURN_IF_ERROR(fail(check_cancel()));
+
+    // A full-changed or missing input rules the delta path out; a fault
+    // or transient failure on the delta path falls back to a full re-run
+    // (the state for this flow is dropped so the next append re-seeds
+    // from consistent store contents).
+    bool fell_back = false;
+    if (any_delta && !any_full && outputs_ok) {
+      Result<std::optional<std::pair<TablePtr, bool>>> maintained =
+          run_delta(i);
+      if (maintained.ok() && maintained->has_value()) {
+        auto& [table, is_delta] = **maintained;
+        if (is_delta) {
+          Result<TablePtr> prev_out = store->Get(flow.outputs[0]);
+          if (!prev_out.ok()) return fail(prev_out.status());
+          Result<MemoryReservation> concat_res = budget->Reserve(
+              (*prev_out)->ApproxBytes() + table->ApproxBytes(),
+              "append:concat");
+          if (!concat_res.ok()) return fail(concat_res.status());
+          Result<TablePtr> grown = ConcatTables(*prev_out, table);
+          if (!grown.ok()) return fail(grown.status());
+          for (const std::string& output : flow.outputs) {
+            replace_object(output, *grown);
+            outcome.deltas[output] = table;
+          }
+          stats.rows_produced += static_cast<int64_t>(table->num_rows());
+        } else {
+          for (const std::string& output : flow.outputs) {
+            replace_object(output, table);
+            outcome.full_changed.insert(output);
+          }
+          stats.rows_produced += static_cast<int64_t>(table->num_rows());
+        }
+        ++stats.flows_delta;
+        if (options_.result_cache != nullptr && flow.fingerprint != 0) {
+          // The maintained output is byte-identical to a cold run over
+          // the grown inputs, so it is a valid entry under the new input
+          // versions — sibling dashboards get append-fresh cache hits.
+          ResultCache::Key key;
+          key.plan_hash = flow.fingerprint;
+          bool keyable = true;
+          for (const std::string& input : flow.inputs) {
+            Result<TablePtr> in_table = store->Get(input);
+            if (!in_table.ok()) {
+              keyable = false;
+              break;
+            }
+            key.input_versions.push_back((*in_table)->version());
+          }
+          Result<TablePtr> out_table = store->Get(flow.outputs[0]);
+          if (keyable && out_table.ok()) {
+            options_.result_cache->Insert(key, *out_table);
+          }
+        }
+        continue;
+      }
+      if (!maintained.ok() && !IsRetryable(maintained.status())) {
+        return fail(maintained.status());
+      }
+      fell_back = true;
+    }
+
+    // Full re-run fallback (with the same transient-retry loop as Run).
+    if (inc != nullptr) {
+      for (size_t t = 0; t < flow.ops.size(); ++t) {
+        inc->op_states.erase({i, t});
+      }
+    }
+    if (fell_back || any_delta) ++stats.flows_full_fallback;
+    int max_attempts = std::max(1, options_.flow_retry_attempts);
+    Result<TablePtr> full(nullptr);
+    for (int attempt = 1;; ++attempt) {
+      full = run_full(i);
+      if (full.ok() || attempt >= max_attempts ||
+          !IsRetryable(full.status())) {
+        break;
+      }
+      ++stats.flow_retries;
+      MetricsRegistry::Default()
+          .GetCounter("flow_retries_total",
+                      "flows re-run after transient failures")
+          ->Increment();
+      SI_LOG(kWarning) << "retrying flow '" << flow.ToString()
+                       << "' after transient failure: " << full.status();
+    }
+    if (!full.ok()) return fail(full.status());
+    for (const std::string& output : flow.outputs) {
+      replace_object(output, *full);
+      outcome.full_changed.insert(output);
+    }
+    stats.rows_produced += static_cast<int64_t>((*full)->num_rows());
+    ++stats.flows_executed;
+  }
+
+  // Precise invalidation: every table instance this append replaced is
+  // dead as a cache input; entries over still-live versions survive.
+  if (options_.result_cache != nullptr) {
+    for (uint64_t version : dead_versions) {
+      options_.result_cache->InvalidateInputVersion(version);
+    }
+  }
+
+  stats.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - start)
+                      .count();
+  run_span.AddAttribute("flows_delta",
+                        static_cast<int64_t>(stats.flows_delta));
+  run_span.AddAttribute("flows_full_fallback",
+                        static_cast<int64_t>(stats.flows_full_fallback));
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  metrics.GetCounter("appends_total", "streaming append batches applied")
+      ->Increment();
+  metrics
+      .GetCounter("flows_delta_total",
+                  "flows maintained by delta propagation")
+      ->Increment(stats.flows_delta);
+  metrics
+      .GetHistogram("append_ms", Histogram::LatencyBoundsMs(),
+                    "wall time of one streaming append")
+      ->Observe(stats.wall_ms);
+  SI_LOG(kInfo) << "applied append to '" << object
+                << "': " << stats.ToString();
+  return outcome;
 }
 
 }  // namespace shareinsights

@@ -76,6 +76,14 @@ struct ExecutionStats {
   /// Rows diverted to `<name>__quarantine` side tables by the
   /// `error_policy: quarantine` parse policy.
   int64_t rows_quarantined = 0;
+  /// Flows maintained by the streaming delta path (ExecuteAppend):
+  /// operators processed only the appended rows (or absorbed them into
+  /// persistent accumulators) instead of re-running over the full input.
+  int flows_delta = 0;
+  /// Append-path flows that fell back to a full re-run (non-
+  /// incrementalizable operator, missing previous output, or a fault on
+  /// the delta path).
+  int flows_full_fallback = 0;
   /// Flows aborted by cooperative cancellation (deadline, client abort,
   /// or server drain). A cancelled run returns kCancelled; this counter
   /// is visible on the stats of partial runs retrieved by callers that
@@ -155,6 +163,43 @@ struct ExecuteOptions {
   SpanId trace_parent = 0;
 };
 
+/// Carry-over state for a stream of ExecuteAppend calls against one
+/// (plan, store) pair: persistent operator accumulators (live group-by
+/// state) keyed by (flow index, op index). Opaque to callers; reset
+/// automatically when the plan shape changes, or explicitly via Clear()
+/// (always safe — the next append re-seeds from the store, trading one
+/// O(base) scan for correctness).
+class IncrementalState {
+ public:
+  void Clear() {
+    op_states.clear();
+    flow_tags.clear();
+  }
+
+ private:
+  friend class Executor;
+  std::map<std::pair<size_t, size_t>, OperatorStatePtr> op_states;
+  /// CompiledFlow::ToString() per flow at seed time; a mismatch means the
+  /// plan was recompiled and every accumulator is stale.
+  std::vector<std::string> flow_tags;
+};
+
+/// What one ExecuteAppend changed, for the publication layer: objects
+/// with an append-only delta (subscribers can patch incrementally) vs
+/// objects rewritten wholesale (subscribers must refetch).
+struct AppendOutcome {
+  ExecutionStats stats;
+  /// Object -> the appended rows (output deltas for pass-through flows,
+  /// the input batch for the appended object itself).
+  std::map<std::string, TablePtr> deltas;
+  /// Objects replaced without an append-only delta (accumulating or
+  /// fully re-run flows).
+  std::set<std::string> full_changed;
+  /// Object -> the Table::version() it had before this append replaced
+  /// it (its subscribers' resume cursor).
+  std::map<std::string, uint64_t> prev_versions;
+};
+
 /// Suffix of the side table holding rows a source's parse quarantined
 /// (`error_policy: quarantine`): source `events` materializes rejected
 /// rows as `events__quarantine` (columns row/reason/raw).
@@ -188,6 +233,27 @@ class Executor {
   Result<ExecutionStats> ExecuteIncremental(const ExecutionPlan& plan,
                                             DataStore* store,
                                             const std::set<std::string>& dirty);
+
+  /// Streaming append: `delta_rows` (same schema as the materialized
+  /// `object`) is concatenated onto the object encoding-preservingly, and
+  /// the change propagates ALONG the flow DAG as deltas — pass-through
+  /// operators (filter/project/map, probe-side joins) execute only the
+  /// appended rows and their outputs are concatenated onto the previous
+  /// results; accumulating operators (group-by) absorb the rows into
+  /// persistent state carried in `state` and re-emit; anything else falls
+  /// back to a full re-run of that flow. Results are byte-identical to
+  /// Execute() over the grown inputs (the delta-equivalence suite checks
+  /// this oracle). Deltas charge the memory budget ("append:*"
+  /// reservations) and probe the cancellation token like any morsel.
+  /// Replaced table versions are precisely invalidated in the result
+  /// cache and fresh outputs inserted under their new input versions.
+  /// `state` may be null (group-bys then re-run fully each append); when
+  /// provided it must be used with this plan/store pair only.
+  Result<AppendOutcome> ExecuteAppend(const ExecutionPlan& plan,
+                                      DataStore* store,
+                                      const std::string& object,
+                                      const TablePtr& delta_rows,
+                                      IncrementalState* state);
 
  private:
   Result<ExecutionStats> Run(const ExecutionPlan& plan, DataStore* store,

@@ -591,4 +591,34 @@ Result<TablePtr> LoadDataObject(const DataSourceParams& params,
   }
 }
 
+Result<TablePtr> LoadAppendBatch(const DataSourceParams& params,
+                                 const TablePtr& base,
+                                 const std::vector<ColumnMapping>& mappings,
+                                 ConnectorRegistry* connectors,
+                                 FormatRegistry* formats, Tracer* tracer,
+                                 SpanId trace_parent, LoadReport* report) {
+  if (base == nullptr) {
+    return Status::InvalidArgument(
+        "LoadAppendBatch needs the base table to append onto");
+  }
+  // Parsing with the base schema declared is what keeps the batch typed:
+  // the format readers coerce cells to the declared column types and
+  // build dictionary-encoded string columns through the shared interner,
+  // so ConcatTables can splice dictionaries instead of re-encoding.
+  SI_ASSIGN_OR_RETURN(
+      TablePtr batch,
+      LoadDataObject(params, base->schema(), mappings, connectors, formats,
+                     tracer, trace_parent, report));
+  if (!(batch->schema() == base->schema())) {
+    return Status::SchemaError(
+        "append batch for source '" + params.Get("source") +
+        "' parsed to a different schema than the base object");
+  }
+  MetricsRegistry::Default()
+      .GetCounter("io_append_batches_total",
+                  "typed append batches ingested for streaming appends")
+      ->Increment();
+  return batch;
+}
+
 }  // namespace shareinsights

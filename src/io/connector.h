@@ -215,6 +215,25 @@ Result<TablePtr> LoadDataObject(const DataSourceParams& params,
                                 SpanId trace_parent = 0,
                                 LoadReport* report = nullptr);
 
+/// Streaming ingestion of one append batch for an already-loaded data
+/// object: same fetch/retry/fault-injection path as LoadDataObject, but
+/// the payload is parsed against `base`'s schema, so the batch comes out
+/// as typed columns — dictionary-encoded string columns intern through
+/// the same sorted-dictionary scheme as the base — instead of a
+/// re-inferred whole-table reload. The result is a delta table whose
+/// schema is byte-equal to `base->schema()`, ready for ConcatTables /
+/// Executor::ExecuteAppend; a payload that parses to a different schema
+/// is rejected with SchemaError rather than silently widening the base.
+/// Feeds io_append_batches_total on top of the usual io_* metrics.
+Result<TablePtr> LoadAppendBatch(const DataSourceParams& params,
+                                 const TablePtr& base,
+                                 const std::vector<ColumnMapping>& mappings,
+                                 ConnectorRegistry* connectors = nullptr,
+                                 FormatRegistry* formats = nullptr,
+                                 Tracer* tracer = nullptr,
+                                 SpanId trace_parent = 0,
+                                 LoadReport* report = nullptr);
+
 }  // namespace shareinsights
 
 #endif  // SHAREINSIGHTS_IO_CONNECTOR_H_

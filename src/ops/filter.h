@@ -26,6 +26,12 @@ class FilterExpressionOp : public TableOperator {
   const ExprPtr& expression() const { return expr_; }
   std::string CacheKey() const override;
 
+  /// Row-wise and order-preserving: filtering the appended rows alone
+  /// yields exactly the suffix a full re-run would add.
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
+
  private:
   explicit FilterExpressionOp(ExprPtr expr) : expr_(std::move(expr)) {}
   ExprPtr expr_;
@@ -58,6 +64,10 @@ class FilterValuesOp : public TableOperator {
   const std::vector<ColumnFilter>& filters() const { return filters_; }
   std::string CacheKey() const override;
 
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
+
  private:
   std::vector<ColumnFilter> filters_;
 };
@@ -84,6 +94,10 @@ class FilterCompareOp : public TableOperator {
                            const ExecContext& ctx) const override;
 
   std::string CacheKey() const override;
+
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
 
  private:
   std::string column_;

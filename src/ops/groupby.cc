@@ -366,6 +366,167 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
 }
 
 
+namespace {
+
+/// Persistent accumulator state for the streaming append path: one live
+/// Aggregator set per group, in global first-encounter order. Keys are
+/// the materialized first-encounter-row Values, so emission matches the
+/// cold path's GetValue(first_row) bit for bit (0.0 vs -0.0 etc.).
+class GroupByDeltaState : public OperatorState {
+ public:
+  struct StateGroup {
+    std::vector<Value> key;
+    std::vector<std::unique_ptr<Aggregator>> aggs;
+  };
+
+  std::unordered_map<std::vector<Value>, size_t, KeyHash> index;
+  std::vector<StateGroup> ordered;
+  size_t num_cells = 0;  // groups * (keys + aggregates), for ApproxBytes
+
+  size_t ApproxBytes() const override { return ApproxCellBytes(1, num_cells); }
+};
+
+/// Sequentially folds every row of `input` into the state. Sequential
+/// Value-keyed accumulation reproduces the parallel paths' group order
+/// and aggregate values exactly: morsel-merge order equals sequential
+/// scan order (repo invariant), packed-word/dense-code equality
+/// coincides with Value equality, and Update-in-row-order equals
+/// Update-then-Merge for every built-in aggregate.
+Status AbsorbRows(GroupByDeltaState& state, const TablePtr& input,
+                  const std::vector<size_t>& key_idx,
+                  const std::vector<size_t>& agg_idx,
+                  const std::vector<AggregatorFactory>& factories,
+                  const ExecContext& ctx) {
+  std::vector<const Value*> agg_vals =
+      AggregateInputs(input, agg_idx, key_idx[0]);
+  std::vector<Value> key(key_idx.size());
+  for (size_t r = 0; r < input->num_rows(); ++r) {
+    if ((r & 4095) == 0) SI_RETURN_IF_ERROR(ctx.CheckCancelled());
+    for (size_t k = 0; k < key_idx.size(); ++k) {
+      key[k] = input->at(r, key_idx[k]);
+    }
+    auto [it, inserted] = state.index.try_emplace(key, state.ordered.size());
+    if (inserted) {
+      GroupByDeltaState::StateGroup group;
+      group.key = key;
+      for (const AggregatorFactory& factory : factories) {
+        group.aggs.push_back(factory());
+      }
+      state.ordered.push_back(std::move(group));
+      state.num_cells += key_idx.size() + agg_idx.size();
+    }
+    std::vector<std::unique_ptr<Aggregator>>& aggs =
+        state.ordered[it->second].aggs;
+    for (size_t a = 0; a < agg_idx.size(); ++a) {
+      SI_RETURN_IF_ERROR(aggs[a]->Update(agg_vals[a][r]));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+DeltaMode GroupByOp::delta_mode(const std::vector<bool>&) const {
+  // Custom registries may bind aggregates with destructive Finalize; the
+  // live-state re-emit calls Finalize once per append, so only the
+  // default registry (audited non-destructive) accumulates.
+  return registry_ == &AggregateRegistry::Default() ? DeltaMode::kAccumulate
+                                                    : DeltaMode::kNone;
+}
+
+Result<OperatorStatePtr> GroupByOp::SeedDeltaState(
+    const std::vector<TablePtr>& base_inputs, const ExecContext& ctx) const {
+  const TablePtr& input = base_inputs[0];
+  std::vector<size_t> key_idx(keys_.size());
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    SI_ASSIGN_OR_RETURN(key_idx[k], input->schema().RequireIndex(keys_[k]));
+  }
+  std::vector<size_t> agg_idx(aggregates_.size(), SIZE_MAX);
+  std::vector<AggregatorFactory> factories;
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (!aggregates_[a].apply_on.empty()) {
+      SI_ASSIGN_OR_RETURN(
+          agg_idx[a], input->schema().RequireIndex(aggregates_[a].apply_on));
+    }
+    SI_ASSIGN_OR_RETURN(AggregatorFactory factory,
+                        registry_->Get(aggregates_[a].op));
+    factories.push_back(std::move(factory));
+  }
+  auto state = std::make_shared<GroupByDeltaState>();
+  SI_RETURN_IF_ERROR(
+      AbsorbRows(*state, input, key_idx, agg_idx, factories, ctx));
+  return OperatorStatePtr(std::move(state));
+}
+
+Result<TablePtr> GroupByOp::ExecuteDelta(const std::vector<TablePtr>& inputs,
+                                         const std::vector<bool>&,
+                                         OperatorState* state,
+                                         const ExecContext& ctx) const {
+  auto* gb_state = dynamic_cast<GroupByDeltaState*>(state);
+  if (gb_state == nullptr) {
+    return Status::Internal("groupby ExecuteDelta without seeded state");
+  }
+  const TablePtr& delta = inputs[0];
+  SI_ASSIGN_OR_RETURN(Schema out_schema, OutputSchema({delta->schema()}));
+
+  std::vector<size_t> key_idx(keys_.size());
+  for (size_t k = 0; k < keys_.size(); ++k) {
+    SI_ASSIGN_OR_RETURN(key_idx[k], delta->schema().RequireIndex(keys_[k]));
+  }
+  std::vector<size_t> agg_idx(aggregates_.size(), SIZE_MAX);
+  std::vector<AggregatorFactory> factories;
+  for (size_t a = 0; a < aggregates_.size(); ++a) {
+    if (!aggregates_[a].apply_on.empty()) {
+      SI_ASSIGN_OR_RETURN(
+          agg_idx[a], delta->schema().RequireIndex(aggregates_[a].apply_on));
+    }
+    SI_ASSIGN_OR_RETURN(AggregatorFactory factory,
+                        registry_->Get(aggregates_[a].op));
+    factories.push_back(std::move(factory));
+  }
+  SI_RETURN_IF_ERROR(
+      AbsorbRows(*gb_state, delta, key_idx, agg_idx, factories, ctx));
+
+  // Re-emit the whole output from live state — the same materialization
+  // (and optional descending re-sort) as the cold path's tail.
+  MemoryReservation reservation;
+  if (ctx.budget != nullptr) {
+    SI_ASSIGN_OR_RETURN(
+        reservation,
+        ctx.budget->Reserve(
+            ApproxCellBytes(gb_state->ordered.size(),
+                            keys_.size() + aggregates_.size()),
+            "groupby"));
+  }
+  TableBuilder builder(out_schema);
+  builder.Reserve(gb_state->ordered.size());
+  for (GroupByDeltaState::StateGroup& group : gb_state->ordered) {
+    std::vector<Value> row;
+    row.reserve(keys_.size() + aggregates_.size());
+    for (const Value& k : group.key) row.push_back(k);
+    for (auto& agg : group.aggs) {
+      SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+      row.push_back(std::move(v));
+    }
+    SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
+  }
+  SI_ASSIGN_OR_RETURN(TablePtr result, builder.Finish());
+
+  if (orderby_aggregates_ && !aggregates_.empty()) {
+    size_t agg_col = keys_.size();
+    std::vector<size_t> order(result->num_rows());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return result->at(b, agg_col) < result->at(a, agg_col);
+    });
+    TableBuilder sorted(result->schema());
+    sorted.Reserve(order.size());
+    for (size_t i : order) sorted.AppendRowFrom(*result, i);
+    return sorted.Finish();
+  }
+  return result;
+}
+
 std::string GroupByOp::CacheKey() const {
   // A custom aggregate registry may bind the same name ("sum") to
   // different semantics, so only default-registry group-bys fingerprint.

@@ -47,6 +47,23 @@ class GroupByOp : public TableOperator {
   /// registry may bind the same aggregate name to different semantics.
   std::string CacheKey() const override;
 
+  /// Accumulating streaming: persistent per-group aggregators absorb
+  /// appended rows and the whole output is re-emitted — byte-identical to
+  /// Execute(base ++ delta) because group first-encounter order over
+  /// base ++ delta is "old groups in old order, then new groups", and
+  /// sequential Value-keyed accumulation reproduces the morsel-merge
+  /// order exactly (repo invariant). Restricted to the default aggregate
+  /// registry: custom aggregators may have destructive Finalize, which
+  /// the live-state re-emit would corrupt.
+  DeltaMode delta_mode(const std::vector<bool>&) const override;
+  Result<OperatorStatePtr> SeedDeltaState(
+      const std::vector<TablePtr>& base_inputs,
+      const ExecContext& ctx) const override;
+  Result<TablePtr> ExecuteDelta(const std::vector<TablePtr>& inputs,
+                                const std::vector<bool>& input_changed,
+                                OperatorState* state,
+                                const ExecContext& ctx) const override;
+
  private:
   GroupByOp(std::vector<std::string> keys,
             std::vector<AggregateSpec> aggregates, bool orderby_aggregates,

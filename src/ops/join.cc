@@ -332,4 +332,13 @@ std::string JoinOp::CacheKey() const {
   return key;
 }
 
+DeltaMode JoinOp::delta_mode(const std::vector<bool>& input_changed) const {
+  const bool right_changed = input_changed.size() > 1 && input_changed[1];
+  if (right_changed) return DeltaMode::kNone;
+  if (kind_ == JoinKind::kInner || kind_ == JoinKind::kLeftOuter) {
+    return DeltaMode::kPassThrough;
+  }
+  return DeltaMode::kNone;
+}
+
 }  // namespace shareinsights

@@ -55,6 +55,14 @@ class JoinOp : public TableOperator {
   JoinKind kind() const { return kind_; }
   std::string CacheKey() const override;
 
+  /// Probe-side streaming: inner/left-outer output is purely
+  /// probe(left)-row-ordered, so appended left rows against an unchanged
+  /// build side emit exactly the output suffix (the delta re-probes a
+  /// hash index built over the full build side). Build-side growth, or a
+  /// right/full outer join (whose unmatched-right tail would re-order),
+  /// falls back to full re-run.
+  DeltaMode delta_mode(const std::vector<bool>& input_changed) const override;
+
  private:
   JoinOp(std::vector<std::string> left_keys,
          std::vector<std::string> right_keys, JoinKind kind,

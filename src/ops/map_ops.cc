@@ -402,4 +402,14 @@ std::string ParallelOp::CacheKey() const {
   return key;
 }
 
+DeltaMode ParallelOp::delta_mode(
+    const std::vector<bool>& input_changed) const {
+  for (const TableOperatorPtr& member : members_) {
+    if (member->delta_mode(input_changed) != DeltaMode::kPassThrough) {
+      return DeltaMode::kNone;
+    }
+  }
+  return DeltaMode::kPassThrough;
+}
+
 }  // namespace shareinsights

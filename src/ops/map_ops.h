@@ -61,6 +61,10 @@ class MapDateOp : public TableOperator {
                            const ExecContext& ctx) const override;
   std::string CacheKey() const override;
 
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
+
  private:
   std::string transform_column_;
   std::string input_format_;
@@ -87,6 +91,12 @@ class MapExtractOp : public TableOperator {
                            const ExecContext& ctx) const override;
   std::string CacheKey() const override;
 
+  /// Row-expanding but per-input-row order-preserving, so delta rows
+  /// produce exactly the suffix a full re-run would append.
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
+
  private:
   std::string transform_column_;
   Dictionary dict_;
@@ -111,6 +121,10 @@ class MapExtractLocationOp : public TableOperator {
                            const ExecContext& ctx) const override;
   std::string CacheKey() const override;
 
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
+
  private:
   std::string transform_column_;
   Dictionary gazetteer_;
@@ -133,6 +147,10 @@ class MapExtractWordsOp : public TableOperator {
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
   std::string CacheKey() const override;
+
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
 
  private:
   std::string transform_column_;
@@ -185,6 +203,10 @@ class ParallelOp : public TableOperator {
   const std::vector<TableOperatorPtr>& members() const { return members_; }
   /// Fingerprintable iff every member is.
   std::string CacheKey() const override;
+
+  /// Pass-through iff every member is pass-through (evaluated
+  /// left-to-right, each member row-wise ⇒ the composition is row-wise).
+  DeltaMode delta_mode(const std::vector<bool>& input_changed) const override;
 
  private:
   std::vector<TableOperatorPtr> members_;

@@ -14,6 +14,38 @@
 
 namespace shareinsights {
 
+/// How an operator behaves when one input grows by an append-only delta
+/// (streaming path, exec/executor.h ExecuteAppend). The contract for every
+/// mode is byte-identity with the full re-run oracle:
+/// Execute(base ++ delta) must equal the incrementally maintained result.
+enum class DeltaMode {
+  /// Not incrementalizable (sort, topn, opaque scalar ops): the executor
+  /// falls back to a full re-run of this flow.
+  kNone,
+  /// Output for the delta rows is Execute(delta) appended after the
+  /// previous output — holds for any operator that maps each input row to
+  /// zero or more output rows independently, in input order (filter,
+  /// project, map, probe-side join extension).
+  kPassThrough,
+  /// The operator keeps mergeable state (OperatorState) that absorbs the
+  /// delta and re-emits the whole output (group-by accumulators). The
+  /// output is NOT an append to the previous output.
+  kAccumulate,
+};
+
+/// Opaque per-flow-node state carried across appends by the executor for
+/// kAccumulate operators (e.g. live group-by accumulators). Owned by the
+/// executor's IncrementalState; operators downcast to their own type.
+class OperatorState {
+ public:
+  virtual ~OperatorState() = default;
+
+  /// Bytes retained by this state, charged against the query MemoryBudget.
+  virtual size_t ApproxBytes() const { return 0; }
+};
+
+using OperatorStatePtr = std::shared_ptr<OperatorState>;
+
 /// A bound, executable transformation: the run-time form of a T-section
 /// task. Operators are pure functions from input tables to an output
 /// table; the executor may run independent operators concurrently, so
@@ -65,6 +97,43 @@ class TableOperator {
   /// classes re-export it with `using TableOperator::Execute;`.
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs) const {
     return Execute(inputs, ExecContext());
+  }
+
+  // --- Streaming delta protocol (exec ExecuteAppend) -------------------
+
+  /// How this operator can be maintained when the inputs flagged true in
+  /// `input_changed` grew by append-only deltas. Default: not
+  /// incrementalizable, executor re-runs the flow (always correct).
+  virtual DeltaMode delta_mode(const std::vector<bool>& input_changed) const {
+    (void)input_changed;
+    return DeltaMode::kNone;
+  }
+
+  /// For kAccumulate operators: builds state equivalent to having absorbed
+  /// `base_inputs` (the pre-append inputs). Called lazily on the first
+  /// append through this node. Default: no state.
+  virtual Result<OperatorStatePtr> SeedDeltaState(
+      const std::vector<TablePtr>& base_inputs, const ExecContext& ctx) const {
+    (void)base_inputs;
+    (void)ctx;
+    return Status::Internal(name() + " does not support delta state");
+  }
+
+  /// Incremental step. For kPassThrough: `inputs` carries the DELTA rows
+  /// for changed inputs (and full tables for unchanged ones); the return
+  /// value is the output delta, which the executor appends to the previous
+  /// output. For kAccumulate: `inputs` likewise carries deltas; `state`
+  /// (from SeedDeltaState) absorbs them and the return value is the WHOLE
+  /// new output. Must honor ctx cancellation/budget like Execute.
+  virtual Result<TablePtr> ExecuteDelta(const std::vector<TablePtr>& inputs,
+                                        const std::vector<bool>& input_changed,
+                                        OperatorState* state,
+                                        const ExecContext& ctx) const {
+    (void)input_changed;
+    (void)state;
+    // kPassThrough operators get this default: the delta simply flows
+    // through the ordinary row-wise Execute.
+    return Execute(inputs, ctx);
   }
 };
 

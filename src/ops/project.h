@@ -34,6 +34,10 @@ class ProjectOp : public TableOperator {
   const std::vector<Mapping>& mappings() const { return mappings_; }
   std::string CacheKey() const override;
 
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
+
  private:
   std::vector<Mapping> mappings_;
 };
@@ -51,6 +55,10 @@ class ExpressionColumnOp : public TableOperator {
   Result<TablePtr> Execute(const std::vector<TablePtr>& inputs,
                            const ExecContext& ctx) const override;
   std::string CacheKey() const override;
+
+  DeltaMode delta_mode(const std::vector<bool>&) const override {
+    return DeltaMode::kPassThrough;
+  }
 
  private:
   ExpressionColumnOp(std::string output_column, ExprPtr expr)

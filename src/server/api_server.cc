@@ -191,6 +191,70 @@ void AddPageMeta(JsonValue* body, size_t limit, size_t offset, size_t total) {
   body->Set("total_rows", JsonValue::MakeNumber(static_cast<double>(total)));
 }
 
+/// Strong-validator ETag for an object version: `"<version>"`.
+std::string VersionETag(uint64_t version) {
+  return "\"" + std::to_string(version) + "\"";
+}
+
+/// Parses a conditional header value: `"<version>"`, a bare number, or
+/// `*` (any, returned as 0). nullopt on anything else.
+std::optional<uint64_t> ParseETagVersion(const std::string& text) {
+  std::string t = Trim(text);
+  if (t == "*") return 0;
+  if (t.size() >= 2 && t.front() == '"' && t.back() == '"') {
+    t = t.substr(1, t.size() - 2);
+  }
+  Result<int64_t> parsed = Value(t).ToInt64();
+  if (!parsed.ok() || *parsed <= 0) return std::nullopt;
+  return static_cast<uint64_t>(*parsed);
+}
+
+/// Decodes an append body — a JSON array of row objects, or an object
+/// wrapping one under "rows" — into schema-ordered row-major Values.
+/// Unknown columns are the caller's error; absent columns become nulls.
+Result<std::vector<std::vector<Value>>> RowsFromJsonBody(
+    const std::string& body, const Schema& schema) {
+  SI_ASSIGN_OR_RETURN(JsonValue doc, ParseJson(body));
+  const std::vector<JsonValue>* records = nullptr;
+  if (doc.is_array()) {
+    records = &doc.array_items();
+  } else if (doc.is_object()) {
+    const JsonValue* rows = doc.Find("rows");
+    if (rows == nullptr || !rows->is_array()) {
+      return Status::InvalidArgument(
+          "append body must be a JSON array of row objects or "
+          "{\"rows\": [...]}");
+    }
+    records = &rows->array_items();
+  } else {
+    return Status::InvalidArgument(
+        "append body must be a JSON array of row objects");
+  }
+  std::vector<std::vector<Value>> out;
+  out.reserve(records->size());
+  for (const JsonValue& record : *records) {
+    if (!record.is_object()) {
+      return Status::InvalidArgument(
+          "each appended row must be a JSON object");
+    }
+    for (const auto& [key, cell] : record.members()) {
+      (void)cell;
+      if (!schema.Contains(key)) {
+        return Status::InvalidArgument("appended row has unknown column '" +
+                                       key + "'");
+      }
+    }
+    std::vector<Value> values;
+    values.reserve(schema.num_fields());
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      const JsonValue* cell = record.Find(schema.field(c).name);
+      values.push_back(cell == nullptr ? Value() : cell->ToTableValue());
+    }
+    out.push_back(std::move(values));
+  }
+  return out;
+}
+
 /// Slices a list of names per limit/offset into a JSON array.
 JsonValue NamesPage(const std::vector<std::string>& names, size_t limit,
                     size_t offset) {
@@ -523,6 +587,13 @@ HttpResponse ApiServer::HandleDashboards(
     body.Set("trace_id", JsonValue::MakeString(run_id));
     return JsonResponse(200, std::move(body));
   }
+  if (segments.size() >= 3 && segments[2] == "objects") {
+    Result<Dashboard*> dashboard = GetDashboard(name);
+    if (!dashboard.ok()) return ErrorResponse(dashboard.status());
+    return HandleObjects(name, *dashboard,
+                         {segments.begin() + 3, segments.end()}, request,
+                         cancel);
+  }
   if (segments.size() == 2) {
     if (request.method != "GET") return MethodNotAllowed(request, "GET");
     Result<Dashboard*> dashboard = GetDashboard(name);
@@ -530,6 +601,242 @@ HttpResponse ApiServer::HandleDashboards(
     return TextResponse((*dashboard)->flow_file().ToText());
   }
   return ErrorResponse(Status::NotFound("unknown dashboards route"));
+}
+
+HttpResponse ApiServer::HandleObjects(const std::string& dash_name,
+                                      Dashboard* dashboard,
+                                      const std::vector<std::string>& segments,
+                                      const HttpRequest& request,
+                                      CancellationToken* cancel) {
+  (void)cancel;  // appends run under the dashboard's own governance
+  const DataStore& store = dashboard->store();
+
+  // GET /dashboards/<d>/objects — materialized objects with versions.
+  if (segments.empty()) {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    Result<size_t> limit = QuerySize(request, "limit", 0);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
+    std::vector<std::string> names = store.Names();
+    JsonValue list = JsonValue::MakeArray();
+    size_t end = names.size();
+    if (*limit > 0) end = std::min(end, *offset + *limit);
+    for (size_t i = *offset; i < end; ++i) {
+      Result<TablePtr> table = store.Get(names[i]);
+      if (!table.ok()) continue;
+      JsonValue item = JsonValue::MakeObject();
+      item.Set("name", JsonValue::MakeString(names[i]));
+      item.Set("version", JsonValue::MakeNumber(
+                              static_cast<double>((*table)->version())));
+      item.Set("rows", JsonValue::MakeNumber(
+                           static_cast<double>((*table)->num_rows())));
+      list.Append(std::move(item));
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("objects", std::move(list));
+    AddPageMeta(&body, *limit, *offset, names.size());
+    return JsonResponse(200, std::move(body));
+  }
+
+  std::string head = PercentDecode(segments[0]);
+
+  // POST /objects/<name>:append — JSON rows in, 202 + new version out,
+  // with incremental maintenance of everything downstream.
+  const std::string kAppend = ":append";
+  if (head.size() > kAppend.size() && EndsWith(head, kAppend)) {
+    if (segments.size() != 1) {
+      return ErrorResponse(Status::NotFound("unknown objects route"));
+    }
+    if (request.method != "POST") return MethodNotAllowed(request, "POST");
+    const std::string object = head.substr(0, head.size() - kAppend.size());
+    Result<TablePtr> base = store.Get(object);
+    if (!base.ok()) return ErrorResponse(base.status());
+    uint64_t base_version = (*base)->version();
+
+    // Optimistic concurrency: If-Match pins the version the writer saw.
+    uint64_t expected_version = 0;
+    auto if_match = request.headers.find("If-Match");
+    if (if_match != request.headers.end()) {
+      std::optional<uint64_t> parsed = ParseETagVersion(if_match->second);
+      if (!parsed.has_value()) {
+        return ErrorResponse(Status::InvalidArgument(
+            "If-Match must be \"<version>\" or *, got '" + if_match->second +
+            "'"));
+      }
+      expected_version = *parsed;
+    }
+
+    Result<std::vector<std::vector<Value>>> rows =
+        RowsFromJsonBody(request.body, (*base)->schema());
+    if (!rows.ok()) return ErrorResponse(rows.status());
+
+    Result<Dashboard::AppendResult> appended =
+        dashboard->AppendToObject(object, *rows, expected_version);
+    if (!appended.ok()) {
+      if (appended.status().code() == StatusCode::kConflict &&
+          expected_version != 0) {
+        // The If-Match precondition failed: 412 with the current version
+        // so the writer can re-read, rebase, and retry.
+        HttpResponse response = ErrorResponse(appended.status());
+        response.status = 412;
+        Result<TablePtr> current = store.Get(object);
+        if (current.ok()) {
+          response.headers["ETag"] = VersionETag((*current)->version());
+        }
+        return response;
+      }
+      return ErrorResponse(appended.status());
+    }
+
+    // Publication: record every changed object's delta in the changelog
+    // feeding /changes subscribers, and forward published outputs into
+    // the shared registry so other dashboards patch instead of refetch.
+    for (const auto& [changed, delta] : appended->deltas) {
+      Result<TablePtr> grown = store.Get(changed);
+      if (!grown.ok()) continue;
+      uint64_t prev = 0;
+      if (auto it = appended->prev_versions.find(changed);
+          it != appended->prev_versions.end()) {
+        prev = it->second;
+      }
+      object_log_.PublishAppend(dash_name + "/" + changed, *grown, delta,
+                                dash_name, prev);
+    }
+    for (const std::string& changed : appended->full_changed) {
+      Result<TablePtr> rebuilt = store.Get(changed);
+      if (!rebuilt.ok()) continue;
+      object_log_.Publish(dash_name + "/" + changed, *rebuilt, dash_name);
+    }
+    if (shared_ != nullptr) {
+      for (const auto& [publish_name, data_name] :
+           dashboard->plan().published) {
+        if (!shared_->Contains(publish_name)) continue;  // never published
+        Result<TablePtr> grown = store.Get(data_name);
+        if (!grown.ok()) continue;
+        if (auto it = appended->deltas.find(data_name);
+            it != appended->deltas.end()) {
+          uint64_t prev = 0;
+          if (auto pv = appended->prev_versions.find(data_name);
+              pv != appended->prev_versions.end()) {
+            prev = pv->second;
+          }
+          shared_->PublishAppend(publish_name, *grown, it->second, dash_name,
+                                 prev);
+        } else if (appended->full_changed.count(data_name) > 0) {
+          shared_->Publish(publish_name, *grown, dash_name);
+        }
+      }
+    }
+
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("object", JsonValue::MakeString(object));
+    body.Set("version", JsonValue::MakeNumber(
+                            static_cast<double>(appended->version)));
+    body.Set("previous_version",
+             JsonValue::MakeNumber(static_cast<double>(base_version)));
+    body.Set("rows_appended", JsonValue::MakeNumber(static_cast<double>(
+                                  appended->rows_appended)));
+    body.Set("flows_delta",
+             JsonValue::MakeNumber(appended->stats.flows_delta));
+    body.Set("flows_full_fallback",
+             JsonValue::MakeNumber(appended->stats.flows_full_fallback));
+    body.Set("wall_ms", JsonValue::MakeNumber(appended->stats.wall_ms));
+    JsonValue changed_list = JsonValue::MakeArray();
+    for (const auto& [changed, delta] : appended->deltas) {
+      (void)delta;
+      changed_list.Append(JsonValue::MakeString(changed));
+    }
+    body.Set("delta_objects", std::move(changed_list));
+    JsonValue rebuilt_list = JsonValue::MakeArray();
+    for (const std::string& changed : appended->full_changed) {
+      rebuilt_list.Append(JsonValue::MakeString(changed));
+    }
+    body.Set("rebuilt_objects", std::move(rebuilt_list));
+    HttpResponse response = JsonResponse(202, std::move(body));
+    response.headers["ETag"] = VersionETag(appended->version);
+    return response;
+  }
+
+  const std::string& object = head;
+  Result<TablePtr> table = store.Get(object);
+  if (!table.ok()) return ErrorResponse(table.status());
+
+  // GET /objects/<name> — versioned read; 304 when If-None-Match holds.
+  if (segments.size() == 1) {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    const std::string etag = VersionETag((*table)->version());
+    auto inm = request.headers.find("If-None-Match");
+    if (inm != request.headers.end()) {
+      std::optional<uint64_t> parsed = ParseETagVersion(inm->second);
+      if (parsed.has_value() &&
+          (*parsed == 0 || *parsed == (*table)->version())) {
+        HttpResponse response;
+        response.status = 304;
+        response.headers["ETag"] = etag;
+        return response;
+      }
+    }
+    Result<size_t> limit = QuerySize(request, "limit", 100);
+    if (!limit.ok()) return ErrorResponse(limit.status());
+    Result<size_t> offset = QuerySize(request, "offset", 0);
+    if (!offset.ok()) return ErrorResponse(offset.status());
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("name", JsonValue::MakeString(object));
+    body.Set("version", JsonValue::MakeNumber(
+                            static_cast<double>((*table)->version())));
+    body.Set("rows", TableToJson(**table, *limit, *offset));
+    AddPageMeta(&body, *limit, *offset, (*table)->num_rows());
+    HttpResponse response = JsonResponse(200, std::move(body));
+    response.headers["ETag"] = etag;
+    return response;
+  }
+
+  // GET /objects/<name>/changes?since=<version>[&timeout_ms=<ms>] — the
+  // subscriber long-poll: versioned deltas strictly after the cursor.
+  if (segments.size() == 2 && segments[1] == "changes") {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    Result<size_t> since = QuerySize(request, "since", 0);
+    if (!since.ok()) return ErrorResponse(since.status());
+    Result<size_t> timeout = QuerySize(request, "timeout_ms", 0);
+    if (!timeout.ok()) return ErrorResponse(timeout.status());
+    const std::string key = dash_name + "/" + object;
+    // First contact seeds the changelog with the current table so a
+    // caught-up subscriber can park on the change condition variable.
+    if (object_log_.Version(key) == 0) {
+      object_log_.Publish(key, *table, dash_name);
+    }
+    int64_t wait_ms =
+        static_cast<int64_t>(std::min<size_t>(*timeout, 30000));
+    SharedDataRegistry::Changes changes =
+        wait_ms > 0
+            ? object_log_.WaitForChange(key, *since, wait_ms)
+            : object_log_.ChangesSince(key, *since);
+    JsonValue events = JsonValue::MakeArray();
+    for (const SharedDataRegistry::ChangeEvent& event : changes.events) {
+      JsonValue item = JsonValue::MakeObject();
+      item.Set("version", JsonValue::MakeNumber(
+                              static_cast<double>(event.version)));
+      item.Set("append", JsonValue::MakeBool(event.append));
+      if (event.append && event.delta != nullptr) {
+        item.Set("rows", TableToJson(*event.delta));
+      } else {
+        item.Set("rows", JsonValue());  // full rewrite: refetch the object
+      }
+      events.Append(std::move(item));
+    }
+    JsonValue body = JsonValue::MakeObject();
+    body.Set("object", JsonValue::MakeString(object));
+    body.Set("since",
+             JsonValue::MakeNumber(static_cast<double>(*since)));
+    body.Set("version", JsonValue::MakeNumber(
+                            static_cast<double>(object_log_.Version(key))));
+    body.Set("contiguous", JsonValue::MakeBool(changes.contiguous));
+    body.Set("events", std::move(events));
+    return JsonResponse(200, std::move(body));
+  }
+
+  return ErrorResponse(Status::NotFound("unknown objects route"));
 }
 
 HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
@@ -635,7 +942,7 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
             DataCube::Filter{filter.column, {filter.literal}, false});
       }
       const std::string group_col = PercentDecode(segments[next + 1]);
-      const std::string& agg_fn = segments[next + 2];
+      const std::string agg_fn = PercentDecode(segments[next + 2]);
       const std::string agg_col = PercentDecode(segments[next + 3]);
       cube_query.group_by = {group_col};
       cube_query.aggregates = {
@@ -681,7 +988,7 @@ HttpResponse ApiServer::HandleDatasets(Dashboard* dashboard,
   // query language), over the filtered rows.
   if (segments.size() == next + 4 && segments[next] == "groupby") {
     const std::string group_col = PercentDecode(segments[next + 1]);
-    const std::string& agg_fn = segments[next + 2];
+    const std::string agg_fn = PercentDecode(segments[next + 2]);
     const std::string agg_col = PercentDecode(segments[next + 3]);
     Result<TableOperatorPtr> groupby = GroupByOp::Create(
         {group_col}, {AggregateSpec{agg_fn, agg_col,

@@ -28,6 +28,11 @@ struct HttpRequest {
   std::string path;  // e.g. "/apache/ds/projects/groupby/category/count/project"
   std::map<std::string, std::string> query;
   std::string body;
+  /// Request headers the conditional routes read: `If-None-Match` (object
+  /// GET answers 304 when the ETag still matches) and `If-Match` (append
+  /// answers 412 when the object moved past the asserted version). Header
+  /// names are matched exactly as written here.
+  std::map<std::string, std::string> headers;
 
   /// Parses "path?k=v&k2=v2" into path + query. Query keys and values are
   /// percent-decoded ("New%20York" and "New+York" both arrive as
@@ -63,6 +68,20 @@ struct HttpResponse {
 ///                                                         ad-hoc query
 ///   GET  /api/v1/<dash>/explore/<dataset>                 data explorer
 ///   GET  /api/v1/shared                                   shared objects
+///
+/// Resource-oriented object surface (write-and-subscribe):
+///
+///   GET  /api/v1/dashboards/<d>/objects                   objects + versions
+///   GET  /api/v1/dashboards/<d>/objects/<name>            rows; answers with
+///        `ETag: "<version>"`, and 304 when `If-None-Match` still matches
+///   POST /api/v1/dashboards/<d>/objects/<name>:append     JSON rows appended
+///        with incremental downstream maintenance; 202 + new version in the
+///        body; `If-Match: "<version>"` asserts optimistic concurrency and
+///        answers 412 when the object has moved
+///   GET  /api/v1/dashboards/<d>/objects/<name>/changes?since=<version>
+///        [&timeout_ms=<ms>]                               versioned deltas
+///        since the cursor (long-polls up to timeout_ms when caught up);
+///        `contiguous: false` tells the subscriber to refetch
 ///   GET  /api/v1/metrics                                  Prometheus text
 ///   GET  /api/v1/trace/<run-id>                           Chrome trace JSON
 ///
@@ -184,6 +203,14 @@ class ApiServer {
                               const std::vector<std::string>& segments,
                               const HttpRequest& request,
                               CancellationToken* cancel);
+  /// The /dashboards/<d>/objects/... surface: versioned reads (ETag /
+  /// If-None-Match), appends (:append, If-Match/412), and the
+  /// /changes?since= long-poll. `segments` starts after "objects".
+  HttpResponse HandleObjects(const std::string& dash_name,
+                             Dashboard* dashboard,
+                             const std::vector<std::string>& segments,
+                             const HttpRequest& request,
+                             CancellationToken* cancel);
 
   /// Stores one finished run's Chrome trace JSON; returns its run id
   /// ("run-N"). Keeps at most kMaxStoredTraces, dropping the oldest.
@@ -199,6 +226,11 @@ class ApiServer {
   int run_counter_ = 0;
   SharedDataRegistry* shared_;
   Options options_;
+  // Per-dashboard-object changelog backing the /objects/<name>/changes
+  // long-poll, keyed "<dashboard>/<object>". Appends record their delta
+  // here (and full rewrites a refetch marker) so subscribers patch in
+  // milliseconds instead of re-downloading the object.
+  SharedDataRegistry object_log_;
 
   AdmissionController admission_;
   // Governance state: the draining flag plus the registry of per-request

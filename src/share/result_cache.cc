@@ -99,6 +99,36 @@ void ResultCache::Insert(const Key& key, TablePtr table) {
   UpdateGauges(bytes_, lru_.size());
 }
 
+size_t ResultCache::InvalidateInputVersion(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    const std::vector<uint64_t>& versions = it->key.input_versions;
+    bool dead = false;
+    for (uint64_t v : versions) {
+      if (v == version) {
+        dead = true;
+        break;
+      }
+    }
+    if (dead) {
+      bytes_ -= it->bytes;
+      index_.erase(it->key);
+      it = lru_.erase(it);  // releases the reservation
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  if (dropped > 0) {
+    CacheCounter("cache_invalidations_total",
+                 "result-cache entries dropped by precise invalidation")
+        ->Increment(static_cast<int64_t>(dropped));
+    UpdateGauges(bytes_, lru_.size());
+  }
+  return dropped;
+}
+
 void ResultCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   index_.clear();

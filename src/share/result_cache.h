@@ -69,6 +69,14 @@ class ResultCache {
   /// Re-inserting an existing key refreshes its LRU position.
   void Insert(const Key& key, TablePtr table);
 
+  /// Precise invalidation for streaming appends: drops every entry keyed
+  /// on `version` as an input. Dead versions never match again anyway
+  /// (new tables get new versions), but appends retire versions at a much
+  /// higher rate than republishes, and eagerly dropping their entries
+  /// frees budget for live results instead of waiting out the LRU.
+  /// Returns the number of entries dropped.
+  size_t InvalidateInputVersion(uint64_t version);
+
   /// Drops every entry (tests / memory pressure).
   void Clear();
 

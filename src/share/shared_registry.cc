@@ -1,6 +1,7 @@
 #include "share/shared_registry.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "dashboard/dashboard.h"
 
@@ -12,22 +13,144 @@ Status SharedDataRegistry::Publish(const std::string& name, TablePtr table,
     return Status::InvalidArgument("cannot publish a null table as '" + name +
                                    "'");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_[name] = Published{std::move(table), publisher};
+  ChangeEvent event;
+  event.version = table->version();
+  event.append = false;
+  std::vector<SubscriberFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Published& entry = entries_[name];
+    entry.table = std::move(table);
+    entry.publisher = publisher;
+    entry.changelog.push_back(event);
+    while (entry.changelog.size() > kMaxChangeLog) entry.changelog.pop_front();
+    for (const auto& [id, fn] : subscribers_) fns.push_back(fn);
+  }
+  change_cv_.notify_all();
+  for (const SubscriberFn& fn : fns) fn(name, event);
   return Status::OK();
 }
 
-Status SharedDataRegistry::Unpublish(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (entries_.erase(name) == 0) {
-    return Status::NotFound("no shared data object named '" + name + "'");
+Status SharedDataRegistry::PublishAppend(const std::string& name,
+                                         TablePtr grown, TablePtr delta,
+                                         const std::string& publisher,
+                                         uint64_t prev_version) {
+  if (grown == nullptr || delta == nullptr) {
+    return Status::InvalidArgument(
+        "PublishAppend of '" + name + "' needs the grown table and its delta");
   }
+  ChangeEvent event;
+  event.version = grown->version();
+  event.prev_version = prev_version;
+  event.delta = std::move(delta);
+  event.append = true;
+  std::vector<SubscriberFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Published& entry = entries_[name];
+    if (event.prev_version == 0 && entry.table != nullptr) {
+      event.prev_version = entry.table->version();
+    }
+    entry.table = std::move(grown);
+    entry.publisher = publisher;
+    entry.changelog.push_back(event);
+    while (entry.changelog.size() > kMaxChangeLog) entry.changelog.pop_front();
+    for (const auto& [id, fn] : subscribers_) fns.push_back(fn);
+  }
+  change_cv_.notify_all();
+  for (const SubscriberFn& fn : fns) fn(name, event);
+  return Status::OK();
+}
+
+uint64_t SharedDataRegistry::Version(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.table->version();
+}
+
+namespace {
+
+SharedDataRegistry::Changes ChangesFromLog(
+    const std::deque<SharedDataRegistry::ChangeEvent>& changelog,
+    uint64_t current_version, uint64_t since) {
+  SharedDataRegistry::Changes out;
+  if (since == current_version) {
+    out.contiguous = true;  // caught up; nothing to replay
+    return out;
+  }
+  // The cursor must itself appear in the retained changelog (or be the
+  // current version, handled above) for the replay to be complete.
+  bool cursor_found = false;
+  for (const SharedDataRegistry::ChangeEvent& event : changelog) {
+    if (event.version == since) {
+      cursor_found = true;
+      continue;
+    }
+    // An append that grew from exactly the cursor also anchors it.
+    if (event.prev_version != 0 && event.prev_version == since) {
+      cursor_found = true;
+    }
+    if (event.version > since) out.events.push_back(event);
+  }
+  out.contiguous = cursor_found;
+  return out;
+}
+
+}  // namespace
+
+SharedDataRegistry::Changes SharedDataRegistry::ChangesSince(
+    const std::string& name, uint64_t since) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Changes{};
+  return ChangesFromLog(it->second.changelog, it->second.table->version(),
+                        since);
+}
+
+SharedDataRegistry::Changes SharedDataRegistry::WaitForChange(
+    const std::string& name, uint64_t since, int64_t timeout_ms) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  change_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms), [&] {
+    auto it = entries_.find(name);
+    // A vanished object is a change too; the caller sees non-contiguous
+    // empty history and refetches (getting the 404).
+    return it == entries_.end() || it->second.table->version() != since;
+  });
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return Changes{};
+  return ChangesFromLog(it->second.changelog, it->second.table->version(),
+                        since);
+}
+
+int SharedDataRegistry::Subscribe(SubscriberFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_subscriber_id_++;
+  subscribers_[id] = std::move(fn);
+  return id;
+}
+
+void SharedDataRegistry::Unsubscribe(int id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(id);
+}
+
+Status SharedDataRegistry::Unpublish(const std::string& name) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entries_.erase(name) == 0) {
+      return Status::NotFound("no shared data object named '" + name + "'");
+    }
+  }
+  change_cv_.notify_all();
   return Status::OK();
 }
 
 void SharedDataRegistry::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
-  entries_.clear();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
+  change_cv_.notify_all();
 }
 
 std::optional<Schema> SharedDataRegistry::SharedSchema(

@@ -1,6 +1,10 @@
 #ifndef SHAREINSIGHTS_SHARE_SHARED_REGISTRY_H_
 #define SHAREINSIGHTS_SHARE_SHARED_REGISTRY_H_
 
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -29,9 +33,69 @@ class SharedDataRegistry : public SharedSchemaSource,
     size_t approx_bytes = 0;
   };
 
-  /// Publishes (or republishes) a table under `name`.
+  /// One versioned change to a shared data object. `version` is the
+  /// Table::version() of the object AFTER the change, so it is both the
+  /// subscriber's resume cursor and the object's ETag.
+  struct ChangeEvent {
+    uint64_t version = 0;
+    /// Version the object had just before this change (0 = unknown).
+    /// Lets a subscriber whose cursor predates the retained log still
+    /// patch contiguously when the first retained event grew from
+    /// exactly their cursor.
+    uint64_t prev_version = 0;
+    /// The appended rows when `append` is true; null for a full rewrite
+    /// (subscribers must refetch).
+    TablePtr delta;
+    bool append = false;
+  };
+
+  /// What ChangesSince found. When `contiguous` is false the retained
+  /// changelog no longer reaches back to the requested cursor (or the
+  /// object was fully republished in between) and the caller must refetch
+  /// the whole object instead of patching.
+  struct Changes {
+    std::vector<ChangeEvent> events;  // oldest first, versions > since
+    bool contiguous = false;
+  };
+
+  /// Callback invoked after every publish/append, outside the registry
+  /// lock. Must be thread-safe; keep it cheap (it runs on the
+  /// publisher's thread).
+  using SubscriberFn =
+      std::function<void(const std::string& name, const ChangeEvent& event)>;
+
+  /// Publishes (or republishes) a table under `name`. Records a
+  /// full-rewrite ChangeEvent and wakes subscribers/waiters.
   Status Publish(const std::string& name, TablePtr table,
                  const std::string& publisher);
+
+  /// Streaming publication: `grown` is the previous table plus the rows
+  /// in `delta` (the executor's append outcome). Subscribers receive the
+  /// delta and can patch their copies — including ResultCache users, who
+  /// patch or precisely invalidate instead of discarding — in
+  /// milliseconds instead of refetching the object.
+  /// `prev_version` (when non-zero) records the version the object grew
+  /// from; otherwise it is inferred from the registry's current entry.
+  Status PublishAppend(const std::string& name, TablePtr grown,
+                       TablePtr delta, const std::string& publisher,
+                       uint64_t prev_version = 0);
+
+  /// Current version of an object (its table's version), 0 when absent.
+  uint64_t Version(const std::string& name) const;
+
+  /// The changes to `name` strictly after version `since`, oldest first.
+  Changes ChangesSince(const std::string& name, uint64_t since) const;
+
+  /// Blocks until Version(name) > since, a change event lands, or
+  /// `timeout_ms` elapses — the long-poll primitive behind the
+  /// /changes?since= API route. Returns the (possibly empty /
+  /// non-contiguous) changes at wake-up time.
+  Changes WaitForChange(const std::string& name, uint64_t since,
+                        int64_t timeout_ms) const;
+
+  /// Registers a subscriber; returns an id for Unsubscribe.
+  int Subscribe(SubscriberFn fn);
+  void Unsubscribe(int id);
 
   Status Unpublish(const std::string& name);
   void Clear();
@@ -61,12 +125,23 @@ class SharedDataRegistry : public SharedSchemaSource,
   std::vector<DiscoveryMatch> Discover(const Schema& schema) const;
 
  private:
+  /// Changelog entries retained per object; older appends fall off and
+  /// force lagging subscribers onto the refetch path.
+  static constexpr size_t kMaxChangeLog = 64;
+
   mutable std::mutex mu_;
+  mutable std::condition_variable change_cv_;
   struct Published {
     TablePtr table;
     std::string publisher;
+    /// Versions this object moved through, oldest first. The head's
+    /// `append` flag also tells whether history is patchable from just
+    /// before it.
+    std::deque<ChangeEvent> changelog;
   };
   std::map<std::string, Published> entries_;
+  std::map<int, SubscriberFn> subscribers_;
+  int next_subscriber_id_ = 1;
 };
 
 /// Publishes every `publish:`-flagged output of a ran dashboard into the

@@ -220,6 +220,211 @@ ColumnData ColumnData::AllocateLike(const ColumnData& like, size_t rows,
   return col;
 }
 
+namespace {
+
+// An all-null column (every row null) carries no type information: its
+// kInt64 storage is just the canonical layout Encode picks, so a concat
+// may adopt the other side's encoding for it.
+bool IsAllNull(const ColumnData& col) {
+  if (col.size() == 0) return true;
+  if (!col.has_nulls()) return false;
+  for (size_t r = 0; r < col.size(); ++r) {
+    if (!col.IsNull(r)) return false;
+  }
+  return true;
+}
+
+// Concatenated null map for `out` (empty when neither side has nulls).
+std::vector<uint8_t> ConcatNulls(const ColumnData& base,
+                                 const ColumnData& delta) {
+  if (!base.has_nulls() && !delta.has_nulls()) return {};
+  std::vector<uint8_t> nulls(base.size() + delta.size(), 0);
+  if (base.has_nulls()) {
+    std::copy(base.nulls().begin(), base.nulls().end(), nulls.begin());
+  }
+  if (delta.has_nulls()) {
+    std::copy(delta.nulls().begin(), delta.nulls().end(),
+              nulls.begin() + base.size());
+  }
+  return nulls;
+}
+
+// Reshapes `col` to `like`'s encoding assuming every row of `col` is
+// null (payload default-filled; the null map carries the content — a
+// GatherFromSigned over all-negative rows writes exactly that).
+ColumnData AllNullAs(const ColumnData& col, const ColumnData& like) {
+  ColumnData out = ColumnData::AllocateLike(like, col.size(),
+                                            /*force_nulls=*/true);
+  std::vector<ptrdiff_t> rows(col.size(), -1);
+  out.GatherFromSigned(like, rows, 0, col.size());
+  return out;
+}
+
+}  // namespace
+
+ColumnData ColumnData::Concat(const ColumnData& base,
+                              const ColumnData& delta) {
+  // An all-null side has no type of its own; let it adopt the other
+  // side's encoding so typed columns survive all-null batches.
+  if (base.encoding_ != delta.encoding_) {
+    if (IsAllNull(base) && delta.encoding_ != ColumnEncoding::kGeneric) {
+      return Concat(AllNullAs(base, delta), delta);
+    }
+    if (IsAllNull(delta) && base.encoding_ != ColumnEncoding::kGeneric) {
+      return Concat(base, AllNullAs(delta, base));
+    }
+  }
+
+  if (base.encoding_ != delta.encoding_ ||
+      base.encoding_ == ColumnEncoding::kGeneric) {
+    // Mixed or generic: re-encode the concatenated values — exactly what
+    // a cold build of the combined column would produce.
+    std::vector<Value> values = base.Decode();
+    std::vector<Value> tail = delta.Decode();
+    values.insert(values.end(), std::make_move_iterator(tail.begin()),
+                  std::make_move_iterator(tail.end()));
+    return Encode(std::move(values),
+                  base.encoding_ == ColumnEncoding::kGeneric &&
+                      delta.encoding_ == ColumnEncoding::kGeneric);
+  }
+
+  ColumnData out;
+  out.encoding_ = base.encoding_;
+  out.size_ = base.size_ + delta.size_;
+  out.nulls_ = ConcatNulls(base, delta);
+  switch (base.encoding_) {
+    case ColumnEncoding::kGeneric:
+      break;  // handled above
+    case ColumnEncoding::kBool:
+      out.bools_ = base.bools_;
+      out.bools_.insert(out.bools_.end(), delta.bools_.begin(),
+                        delta.bools_.end());
+      break;
+    case ColumnEncoding::kInt64:
+      out.ints_ = base.ints_;
+      out.ints_.insert(out.ints_.end(), delta.ints_.begin(),
+                       delta.ints_.end());
+      break;
+    case ColumnEncoding::kDouble:
+      out.doubles_ = base.doubles_;
+      out.doubles_.insert(out.doubles_.end(), delta.doubles_.begin(),
+                          delta.doubles_.end());
+      break;
+    case ColumnEncoding::kDict: {
+      if (base.dict_ == delta.dict_ || *base.dict_ == *delta.dict_) {
+        out.dict_ = base.dict_;
+        out.codes_ = base.codes_;
+        out.codes_.insert(out.codes_.end(), delta.codes_.begin(),
+                          delta.codes_.end());
+        break;
+      }
+      // Sorted-union merge: the merged dictionary is exactly the sorted
+      // distinct set a cold re-encode of base++delta would build, so the
+      // interner dedups it against any such column.
+      const Dictionary& a = *base.dict_;
+      const Dictionary& b = *delta.dict_;
+      Dictionary merged;
+      merged.reserve(a.size() + b.size());
+      std::vector<uint32_t> remap_a(a.size()), remap_b(b.size());
+      size_t i = 0, j = 0;
+      while (i < a.size() || j < b.size()) {
+        if (j >= b.size() || (i < a.size() && a[i] < b[j])) {
+          remap_a[i++] = static_cast<uint32_t>(merged.size());
+          merged.push_back(a[i - 1]);
+        } else if (i >= a.size() || b[j] < a[i]) {
+          remap_b[j++] = static_cast<uint32_t>(merged.size());
+          merged.push_back(b[j - 1]);
+        } else {
+          remap_a[i++] = remap_b[j] = static_cast<uint32_t>(merged.size());
+          merged.push_back(b[j]);
+          ++j;
+        }
+      }
+      out.dict_ = DictionaryInterner::Process().Intern(std::move(merged));
+      out.codes_.reserve(out.size_);
+      for (size_t r = 0; r < base.size_; ++r) {
+        out.codes_.push_back(base.IsNull(r) ? 0 : remap_a[base.codes_[r]]);
+      }
+      for (size_t r = 0; r < delta.size_; ++r) {
+        out.codes_.push_back(delta.IsNull(r) ? 0 : remap_b[delta.codes_[r]]);
+      }
+      break;
+    }
+  }
+  return out;
+}
+
+void ColumnData::AppendValue(const Value& v) {
+  auto ensure_nulls = [&](bool is_null) {
+    if (nulls_.empty() && is_null) nulls_.assign(size_, 0);
+    if (!nulls_.empty()) nulls_.push_back(is_null ? 1 : 0);
+  };
+  auto degrade_to_generic = [&] {
+    generic_ = Decode();
+    encoding_ = ColumnEncoding::kGeneric;
+    nulls_.clear();
+    ints_.clear();
+    doubles_.clear();
+    bools_.clear();
+    codes_.clear();
+    dict_.reset();
+    generic_.push_back(v);
+    ++size_;
+  };
+  switch (encoding_) {
+    case ColumnEncoding::kGeneric:
+      generic_.push_back(v);
+      ++size_;
+      return;
+    case ColumnEncoding::kBool:
+      if (!v.is_null() && !v.is_bool()) return degrade_to_generic();
+      ensure_nulls(v.is_null());
+      bools_.push_back(!v.is_null() && v.bool_value() ? 1 : 0);
+      ++size_;
+      return;
+    case ColumnEncoding::kInt64:
+      if (!v.is_null() && !v.is_int64()) return degrade_to_generic();
+      ensure_nulls(v.is_null());
+      ints_.push_back(v.is_null() ? 0 : v.int64_value());
+      ++size_;
+      return;
+    case ColumnEncoding::kDouble:
+      if (!v.is_null() && !v.is_double()) return degrade_to_generic();
+      ensure_nulls(v.is_null());
+      doubles_.push_back(v.is_null() ? 0.0 : v.double_value());
+      ++size_;
+      return;
+    case ColumnEncoding::kDict: {
+      if (!v.is_null() && !v.is_string()) return degrade_to_generic();
+      ensure_nulls(v.is_null());
+      if (v.is_null()) {
+        codes_.push_back(0);
+        ++size_;
+        return;
+      }
+      uint32_t code = FindCode(v.string_value());
+      if (code == kNoCode) {
+        // Splice the new string into the sorted dictionary and shift the
+        // codes at or above its insertion point — the resulting column is
+        // identical to a cold re-encode including the new row.
+        Dictionary next = *dict_;
+        auto it = std::lower_bound(next.begin(), next.end(),
+                                   v.string_value());
+        uint32_t at = static_cast<uint32_t>(it - next.begin());
+        next.insert(it, v.string_value());
+        for (uint32_t& c : codes_) {
+          if (c >= at) ++c;
+        }
+        dict_ = DictionaryInterner::Process().Intern(std::move(next));
+        code = at;
+      }
+      codes_.push_back(code);
+      ++size_;
+      return;
+    }
+  }
+}
+
 Value ColumnData::GetValue(size_t row) const {
   if (IsNull(row)) return Value::Null();
   switch (encoding_) {

@@ -85,6 +85,28 @@ class ColumnData {
   static ColumnData AllocateLike(const ColumnData& like, size_t rows,
                                  bool force_nulls = false);
 
+  /// Encoding-preserving concatenation `base ++ delta` — the storage
+  /// kernel of the streaming append path. Same-encoding primitives extend
+  /// their raw arrays; two dictionary columns merge into the sorted union
+  /// dictionary (the same distinct-set-sorted dictionary a cold re-encode
+  /// would build, re-interned through the DictionaryInterner) with both
+  /// code arrays remapped; an all-null side adopts the other side's
+  /// encoding. Only genuinely mixed-type combinations fall back to a
+  /// generic re-encode. Decoded content is always exactly
+  /// `base.Decode() ++ delta.Decode()`.
+  static ColumnData Concat(const ColumnData& base, const ColumnData& delta);
+
+  /// Appends one cell in place, preserving the typed encoding: primitives
+  /// push onto their raw arrays, and a dictionary column either reuses an
+  /// existing code or splices the new string into the sorted dictionary
+  /// (remapping existing codes, re-interning). A type-consistent append
+  /// therefore NEVER degrades the column to kGeneric; only a cell whose
+  /// type genuinely conflicts with the encoding converts the column to
+  /// generic storage — the same representation a cold Encode of the mixed
+  /// column would pick. Must only be called on a column not yet owned by
+  /// a Table (tables are immutable).
+  void AppendValue(const Value& v);
+
   ColumnEncoding encoding() const { return encoding_; }
   size_t size() const { return size_; }
 

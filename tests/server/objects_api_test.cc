@@ -1,0 +1,461 @@
+// Contract tests for the resource-oriented /api/v1 objects surface:
+// versioned reads (ETag / If-None-Match / 304), streaming appends
+// (:append, 202, If-Match / 412), the /changes?since= subscriber
+// long-poll, forwarding of append deltas into the shared registry, 405
+// + Allow on wrong methods, percent-decoding of ad-hoc groupby
+// segments, and byte-compatibility of the legacy (unversioned) route
+// aliases.
+
+#include "server/api_server.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "io/json.h"
+#include "share/shared_registry.h"
+
+namespace shareinsights {
+namespace {
+
+constexpr const char* kFlow = R"(
+D:
+  items: [category, name, price]
+D.items:
+  protocol: inline
+  format: csv
+  data: "category,name,price
+fruit,apple,3
+fruit,pear,4
+tool,hammer,12
+"
+F:
+  D.by_category: D.items | T.agg
+D.by_category:
+  endpoint: true
+D.items:
+  endpoint: true
+T:
+  agg:
+    type: groupby
+    groupby: [category]
+    aggregates:
+      - operator: sum
+        apply_on: price
+        out_field: total
+)";
+
+class ObjectsApiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(
+        server_.CreateDashboard("shop", kFlow, Dashboard::Options()).ok());
+    ASSERT_TRUE(server_.Post("/api/v1/dashboards/shop/run", "").ok());
+  }
+
+  // Current version of an object, read off the resource representation.
+  uint64_t Version(const std::string& object) {
+    HttpResponse response =
+        server_.Get("/api/v1/dashboards/shop/objects/" + object);
+    EXPECT_EQ(response.status, 200) << response.body;
+    Result<JsonValue> body = ParseJson(response.body);
+    EXPECT_TRUE(body.ok());
+    return static_cast<uint64_t>(body->Find("version")->number_value());
+  }
+
+  static std::string Etag(uint64_t version) {
+    return "\"" + std::to_string(version) + "\"";
+  }
+
+  // The byte-compat assertions repeat identical queries, so the shared
+  // result cache would flip the envelope's `cache` field between calls;
+  // run these contract tests uncached.
+  static ApiServer::Options NoCacheOptions() {
+    ApiServer::Options options;
+    options.enable_result_cache = false;
+    return options;
+  }
+
+  SharedDataRegistry registry_;
+  ApiServer server_{&registry_, NoCacheOptions()};
+};
+
+TEST_F(ObjectsApiTest, ListsObjectsWithVersions) {
+  HttpResponse response = server_.Get("/api/v1/dashboards/shop/objects");
+  ASSERT_EQ(response.status, 200);
+  Result<JsonValue> body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok()) << body.status();
+  ASSERT_NE(body->Find("total_rows"), nullptr);  // pagination envelope
+  bool saw_items = false, saw_agg = false;
+  for (const JsonValue& item : body->Find("objects")->array_items()) {
+    const std::string& name = item.Find("name")->string_value();
+    if (name == "items") {
+      saw_items = true;
+      EXPECT_EQ(item.Find("rows")->number_value(), 3);
+      EXPECT_GT(item.Find("version")->number_value(), 0);
+    }
+    if (name == "by_category") saw_agg = true;
+  }
+  EXPECT_TRUE(saw_items);
+  EXPECT_TRUE(saw_agg);
+  EXPECT_EQ(server_.Get("/api/v1/dashboards/shop/objects/nope").status, 404);
+}
+
+TEST_F(ObjectsApiTest, GetObjectCarriesEtagAndHonorsIfNoneMatch) {
+  HttpResponse response =
+      server_.Get("/api/v1/dashboards/shop/objects/items");
+  ASSERT_EQ(response.status, 200);
+  ASSERT_EQ(response.headers.count("ETag"), 1u);
+  const std::string etag = response.headers.at("ETag");
+  Result<JsonValue> body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok());
+  uint64_t version =
+      static_cast<uint64_t>(body->Find("version")->number_value());
+  EXPECT_EQ(etag, Etag(version));
+  EXPECT_EQ(body->Find("rows")->array_items().size(), 3u);
+
+  // A matching validator answers 304 with no body; `*` matches any.
+  HttpRequest conditional =
+      HttpRequest::Get("/api/v1/dashboards/shop/objects/items");
+  conditional.headers["If-None-Match"] = etag;
+  HttpResponse not_modified = server_.Handle(conditional);
+  EXPECT_EQ(not_modified.status, 304);
+  EXPECT_TRUE(not_modified.body.empty());
+  EXPECT_EQ(not_modified.headers.at("ETag"), etag);
+  conditional.headers["If-None-Match"] = "*";
+  EXPECT_EQ(server_.Handle(conditional).status, 304);
+
+  // A stale validator gets the full representation again.
+  conditional.headers["If-None-Match"] = Etag(version + 999);
+  EXPECT_EQ(server_.Handle(conditional).status, 200);
+}
+
+TEST_F(ObjectsApiTest, AppendReturns202AndMaintainsDownstream) {
+  uint64_t before = Version("items");
+  uint64_t agg_before = Version("by_category");
+  HttpResponse response = server_.Post(
+      "/api/v1/dashboards/shop/objects/items:append",
+      R"({"rows": [{"category": "fruit", "name": "kiwi", "price": 7},
+                   {"category": "tool", "name": "saw", "price": 9}]})");
+  ASSERT_EQ(response.status, 202) << response.body;
+  Result<JsonValue> body = ParseJson(response.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("object")->string_value(), "items");
+  EXPECT_EQ(body->Find("rows_appended")->number_value(), 2);
+  EXPECT_EQ(static_cast<uint64_t>(
+                body->Find("previous_version")->number_value()),
+            before);
+  uint64_t after =
+      static_cast<uint64_t>(body->Find("version")->number_value());
+  EXPECT_GT(after, before);
+  ASSERT_EQ(response.headers.count("ETag"), 1u);
+  EXPECT_EQ(response.headers.at("ETag"), Etag(after));
+  EXPECT_EQ(Version("items"), after);
+  EXPECT_GT(Version("by_category"), agg_before);
+
+  // The groupby flow absorbed the rows via the delta path (no full
+  // re-run), but its OUTPUT updates group rows in place — it is not an
+  // appendable patch, so it reports as rebuilt (subscribers refetch)
+  // while the target object itself is a true delta.
+  EXPECT_GE(body->Find("flows_delta")->number_value(), 1);
+  EXPECT_EQ(body->Find("flows_full_fallback")->number_value(), 0);
+  bool items_delta = false, agg_rebuilt = false;
+  for (const JsonValue& name : body->Find("delta_objects")->array_items()) {
+    if (name.string_value() == "items") items_delta = true;
+  }
+  for (const JsonValue& name : body->Find("rebuilt_objects")->array_items()) {
+    if (name.string_value() == "by_category") agg_rebuilt = true;
+  }
+  EXPECT_TRUE(items_delta) << response.body;
+  EXPECT_TRUE(agg_rebuilt) << response.body;
+
+  // The grown object serves the appended rows, and the group-by output
+  // was maintained (fruit: 3 + 4 + 7 = 14, tool: 12 + 9 = 21).
+  HttpResponse items = server_.Get("/api/v1/dashboards/shop/objects/items");
+  EXPECT_NE(items.body.find("kiwi"), std::string::npos);
+  HttpResponse agg = server_.Get("/api/v1/shop/ds/by_category");
+  EXPECT_NE(agg.body.find("14"), std::string::npos) << agg.body;
+  EXPECT_NE(agg.body.find("21"), std::string::npos) << agg.body;
+}
+
+TEST_F(ObjectsApiTest, AppendRejectsBadInput) {
+  // Wrong method on the :append action.
+  HttpResponse wrong =
+      server_.Get("/api/v1/dashboards/shop/objects/items:append");
+  EXPECT_EQ(wrong.status, 405);
+  EXPECT_EQ(wrong.headers.at("Allow"), "POST");
+  // Unknown object, malformed JSON, unknown column, non-object record.
+  EXPECT_EQ(server_
+                .Post("/api/v1/dashboards/shop/objects/ghost:append",
+                      R"({"rows": []})")
+                .status,
+            404);
+  EXPECT_EQ(server_
+                .Post("/api/v1/dashboards/shop/objects/items:append",
+                      "{nonsense")
+                .status,
+            400);
+  EXPECT_EQ(server_
+                .Post("/api/v1/dashboards/shop/objects/items:append",
+                      R"({"rows": [{"no_such_column": 1}]})")
+                .status,
+            400);
+  EXPECT_EQ(server_
+                .Post("/api/v1/dashboards/shop/objects/items:append",
+                      R"({"rows": [42]})")
+                .status,
+            400);
+  // Nothing above changed the object.
+  HttpResponse list = server_.Get("/api/v1/dashboards/shop/objects/items");
+  Result<JsonValue> body = ParseJson(list.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("rows")->array_items().size(), 3u);
+}
+
+TEST_F(ObjectsApiTest, IfMatchEnforcesOptimisticConcurrency) {
+  uint64_t current = Version("items");
+
+  // Asserting the version the writer saw succeeds; the body may also be
+  // a bare JSON array of row objects.
+  HttpRequest append = HttpRequest::Post(
+      "/api/v1/dashboards/shop/objects/items:append",
+      R"([{"category": "fruit", "name": "fig", "price": 2}])");
+  append.headers["If-Match"] = Etag(current);
+  HttpResponse first = server_.Handle(append);
+  ASSERT_EQ(first.status, 202) << first.body;
+
+  // Re-asserting the now-stale version is a 412 carrying the current
+  // ETag so the writer can re-read, rebase, and retry; the object is
+  // left untouched.
+  uint64_t moved = Version("items");
+  ASSERT_GT(moved, current);
+  HttpResponse stale = server_.Handle(append);
+  EXPECT_EQ(stale.status, 412);
+  ASSERT_EQ(stale.headers.count("ETag"), 1u);
+  EXPECT_EQ(stale.headers.at("ETag"), Etag(moved));
+  EXPECT_EQ(Version("items"), moved);
+
+  // Garbage validators are a 400; `*` means "any version".
+  append.headers["If-Match"] = "banana";
+  EXPECT_EQ(server_.Handle(append).status, 400);
+  append.headers["If-Match"] = "*";
+  EXPECT_EQ(server_.Handle(append).status, 202);
+}
+
+TEST_F(ObjectsApiTest, ChangesFeedDeliversContiguousDeltas) {
+  // First contact seeds the changelog at the current version.
+  HttpResponse seed =
+      server_.Get("/api/v1/dashboards/shop/objects/items/changes?since=0");
+  ASSERT_EQ(seed.status, 200);
+  Result<JsonValue> body = ParseJson(seed.body);
+  ASSERT_TRUE(body.ok());
+  uint64_t cursor =
+      static_cast<uint64_t>(body->Find("version")->number_value());
+  EXPECT_EQ(cursor, Version("items"));
+
+  ASSERT_EQ(server_
+                .Post("/api/v1/dashboards/shop/objects/items:append",
+                      R"([{"category": "fruit", "name": "plum", "price": 5}])")
+                .status,
+            202);
+
+  // Polling from the pre-append cursor yields exactly the appended rows.
+  HttpResponse changes =
+      server_.Get("/api/v1/dashboards/shop/objects/items/changes?since=" +
+                  std::to_string(cursor));
+  ASSERT_EQ(changes.status, 200);
+  body = ParseJson(changes.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_EQ(body->Find("object")->string_value(), "items");
+  EXPECT_TRUE(body->Find("contiguous")->bool_value()) << changes.body;
+  const std::vector<JsonValue>& events = body->Find("events")->array_items();
+  ASSERT_EQ(events.size(), 1u) << changes.body;
+  EXPECT_TRUE(events[0].Find("append")->bool_value());
+  EXPECT_EQ(events[0].Find("rows")->array_items().size(), 1u);
+  EXPECT_NE(changes.body.find("plum"), std::string::npos);
+  uint64_t new_version =
+      static_cast<uint64_t>(events[0].Find("version")->number_value());
+  EXPECT_EQ(new_version, Version("items"));
+
+  // Caught-up subscribers see an empty, contiguous feed.
+  HttpResponse tail =
+      server_.Get("/api/v1/dashboards/shop/objects/items/changes?since=" +
+                  std::to_string(new_version));
+  body = ParseJson(tail.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_TRUE(body->Find("contiguous")->bool_value());
+  EXPECT_TRUE(body->Find("events")->array_items().empty());
+
+  // A cursor the retained log cannot anchor reports non-contiguous: the
+  // subscriber must refetch the object.
+  HttpResponse lost = server_.Get(
+      "/api/v1/dashboards/shop/objects/items/changes?since=999999999");
+  body = ParseJson(lost.body);
+  ASSERT_TRUE(body.ok());
+  EXPECT_FALSE(body->Find("contiguous")->bool_value());
+
+  // Downstream outputs publish into the feed too. The groupby's rows
+  // update in place, so its feed carries a full-rewrite event (append:
+  // false, rows: null) telling subscribers to refetch.
+  HttpResponse agg = server_.Get(
+      "/api/v1/dashboards/shop/objects/by_category/changes?since=0");
+  ASSERT_EQ(agg.status, 200);
+  body = ParseJson(agg.body);
+  ASSERT_TRUE(body.ok());
+  bool saw_rewrite = false;
+  for (const JsonValue& event : body->Find("events")->array_items()) {
+    if (!event.Find("append")->bool_value()) {
+      EXPECT_TRUE(event.Find("rows")->is_null());
+      saw_rewrite = true;
+    }
+  }
+  EXPECT_TRUE(saw_rewrite) << agg.body;
+}
+
+TEST_F(ObjectsApiTest, ChangesLongPollWakesOnAppend) {
+  HttpResponse seed =
+      server_.Get("/api/v1/dashboards/shop/objects/items/changes?since=0");
+  Result<JsonValue> seeded = ParseJson(seed.body);
+  ASSERT_TRUE(seeded.ok());
+  uint64_t cursor =
+      static_cast<uint64_t>(seeded->Find("version")->number_value());
+
+  std::thread appender([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    HttpResponse response = server_.Post(
+        "/api/v1/dashboards/shop/objects/items:append",
+        R"([{"category": "tool", "name": "axe", "price": 20}])");
+    EXPECT_EQ(response.status, 202) << response.body;
+  });
+  auto start = std::chrono::steady_clock::now();
+  HttpResponse poll =
+      server_.Get("/api/v1/dashboards/shop/objects/items/changes?since=" +
+                  std::to_string(cursor) + "&timeout_ms=5000");
+  double waited_ms = std::chrono::duration<double, std::milli>(
+                         std::chrono::steady_clock::now() - start)
+                         .count();
+  appender.join();
+  ASSERT_EQ(poll.status, 200);
+  Result<JsonValue> body = ParseJson(poll.body);
+  ASSERT_TRUE(body.ok());
+  ASSERT_EQ(body->Find("events")->array_items().size(), 1u) << poll.body;
+  EXPECT_NE(poll.body.find("axe"), std::string::npos);
+  // The poll parked until the append landed instead of burning the full
+  // timeout.
+  EXPECT_LT(waited_ms, 4900);
+}
+
+TEST_F(ObjectsApiTest, AppendForwardsDeltaToSharedRegistry) {
+  constexpr const char* kPublishFlow = R"(
+D:
+  items: [category, name, price]
+D.items:
+  protocol: inline
+  format: csv
+  data: "category,name,price
+fruit,apple,3
+tool,hammer,12
+"
+  endpoint: true
+  publish: pub_items
+F:
+  D.by_category: D.items | T.agg
+D.by_category:
+  endpoint: true
+T:
+  agg:
+    type: groupby
+    groupby: [category]
+    aggregates:
+      - operator: sum
+        apply_on: price
+        out_field: total
+)";
+  ASSERT_TRUE(
+      server_.CreateDashboard("pub", kPublishFlow, Dashboard::Options()).ok());
+  ASSERT_TRUE(server_.Post("/api/v1/dashboards/pub/run", "").ok());
+  Result<Dashboard*> dashboard = server_.GetDashboard("pub");
+  ASSERT_TRUE(dashboard.ok());
+  ASSERT_TRUE(PublishDashboardOutputs(**dashboard, &registry_).ok());
+  uint64_t cursor = registry_.Version("pub_items");
+  ASSERT_GT(cursor, 0u);
+
+  HttpResponse response = server_.Post(
+      "/api/v1/dashboards/pub/objects/items:append",
+      R"([{"category": "fruit", "name": "date", "price": 6}])");
+  ASSERT_EQ(response.status, 202) << response.body;
+
+  // Subscribers of the shared name patch with the appended rows instead
+  // of refetching the grown object.
+  EXPECT_GT(registry_.Version("pub_items"), cursor);
+  SharedDataRegistry::Changes changes =
+      registry_.ChangesSince("pub_items", cursor);
+  EXPECT_TRUE(changes.contiguous);
+  ASSERT_EQ(changes.events.size(), 1u);
+  EXPECT_TRUE(changes.events[0].append);
+  ASSERT_NE(changes.events[0].delta, nullptr);
+  EXPECT_EQ(changes.events[0].delta->num_rows(), 1u);
+  Result<TablePtr> shared = registry_.SharedTable("pub_items");
+  ASSERT_TRUE(shared.ok());
+  EXPECT_EQ((*shared)->num_rows(), 3u);
+}
+
+// ---------------------------------------------------------------------
+// Legacy-route compatibility and the /ds contract fixes riding along
+// ---------------------------------------------------------------------
+
+TEST_F(ObjectsApiTest, LegacyRoutesAreByteCompatibleWithDeprecation) {
+  for (const std::string& path :
+       {std::string("/shop/ds"), std::string("/shop/ds/items"),
+        std::string("/shop/ds/by_category/groupby/category/sum/total"),
+        std::string("/dashboards/shop/objects"),
+        std::string("/dashboards/shop/objects/items")}) {
+    HttpResponse legacy = server_.Get(path);
+    HttpResponse versioned = server_.Get("/api/v1" + path);
+    EXPECT_EQ(legacy.status, versioned.status) << path;
+    EXPECT_EQ(legacy.body, versioned.body) << path;
+    ASSERT_EQ(legacy.headers.count("Deprecation"), 1u) << path;
+    EXPECT_EQ(legacy.headers.at("Deprecation"), "true") << path;
+    EXPECT_EQ(versioned.headers.count("Deprecation"), 0u) << path;
+  }
+}
+
+TEST_F(ObjectsApiTest, DsAggregateSegmentsArePercentDecoded) {
+  // "su%6D" percent-decodes to "sum": both spellings must answer the
+  // same aggregate.
+  HttpResponse plain =
+      server_.Get("/api/v1/shop/ds/items/groupby/category/sum/price");
+  HttpResponse encoded =
+      server_.Get("/api/v1/shop/ds/items/groupby/category/su%6D/price");
+  ASSERT_EQ(plain.status, 200) << plain.body;
+  EXPECT_EQ(encoded.status, 200) << encoded.body;
+  EXPECT_EQ(plain.body, encoded.body);
+}
+
+TEST_F(ObjectsApiTest, DsRoutesAnswer405WithAllowOnWrongMethod) {
+  for (const std::string& path :
+       {std::string("/api/v1/shop/ds"), std::string("/api/v1/shop/ds/items"),
+        std::string("/api/v1/shop/ds/by_category/groupby/category/sum/total"),
+        std::string("/api/v1/shop/explore/items")}) {
+    HttpResponse response = server_.Post(path, "{}");
+    EXPECT_EQ(response.status, 405) << path;
+    ASSERT_EQ(response.headers.count("Allow"), 1u) << path;
+    EXPECT_EQ(response.headers.at("Allow"), "GET") << path;
+    EXPECT_NE(response.body.find("MethodNotAllowed"), std::string::npos);
+  }
+  // Objects reads reject writes the same way.
+  EXPECT_EQ(server_.Post("/api/v1/dashboards/shop/objects", "{}").status,
+            405);
+  EXPECT_EQ(
+      server_.Post("/api/v1/dashboards/shop/objects/items", "{}").status,
+      405);
+  EXPECT_EQ(server_
+                .Post("/api/v1/dashboards/shop/objects/items/changes", "{}")
+                .status,
+            405);
+}
+
+}  // namespace
+}  // namespace shareinsights
