@@ -1,0 +1,184 @@
+// Spill-path cost harness: how much does graceful degradation cost when
+// a group-by's working set is 10x its memory budget? Runs the same
+// group-by flow unbudgeted (in-memory fast path) and with
+// mem_budget_bytes = working set / 10 (compressed on-disk spill +
+// stream merge, docs/ROBUSTNESS.md), reports both wall times, and
+// verifies the spilled output is identical to the in-memory one.
+//
+// Exits nonzero if the budgeted run fails, never spills, or produces a
+// different table — a regression guard as much as a benchmark.
+//
+//   ./bench_spill [rows]
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "bench_json.h"
+#include "compile/compiler.h"
+#include "exec/executor.h"
+#include "flow/flow_file.h"
+#include "gov/memory_budget.h"
+
+namespace shareinsights {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+std::string GroupByFlowText(size_t rows, size_t keys) {
+  std::string events = "key,value,city\n";
+  events.reserve(rows * 16);
+  for (size_t i = 0; i < rows; ++i) {
+    events += "k" + std::to_string(i % keys) + "," +
+              std::to_string((i * 37) % 1000) + ",c" +
+              std::to_string(i % 17) + "\n";
+  }
+  return std::string("D:\n") +
+         "  events: [key, value, city]\n"
+         "D.events:\n"
+         "  protocol: inline\n"
+         "  format: csv\n"
+         "  data: \"" + events + "\"\n"
+         "F:\n"
+         "  D.sums: D.events | T.sum_by_key\n"
+         "D.sums:\n"
+         "  endpoint: true\n"
+         "T:\n"
+         "  sum_by_key:\n"
+         "    type: groupby\n"
+         "    groupby: [key, city]\n"
+         "    aggregates:\n"
+         "      - operator: sum\n"
+         "        apply_on: value\n"
+         "        out_field: total\n"
+         "      - operator: count\n"
+         "        apply_on: value\n"
+         "        out_field: n\n";
+}
+
+size_t WorkingSetBytes(const DataStore& store) {
+  size_t total = 0;
+  for (const std::string& name : store.Names()) {
+    total += (*store.Get(name))->ApproxBytes();
+  }
+  return total;
+}
+
+bool TablesEqual(const TablePtr& a, const TablePtr& b) {
+  if (a->num_rows() != b->num_rows() || a->num_columns() != b->num_columns()) {
+    return false;
+  }
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      if (!(a->at(r, c) == b->at(r, c))) return false;
+    }
+  }
+  return true;
+}
+
+struct RunResult {
+  double wall_ms = 0;
+  int spills = 0;
+  bool ok = false;
+};
+
+RunResult RunOnce(const ExecutionPlan& plan, size_t budget_bytes,
+                  DataStore* store) {
+  ExecuteOptions options;
+  options.num_threads = 4;
+  options.mem_budget_bytes = budget_bytes;
+  RunResult result;
+  Clock::time_point start = Clock::now();
+  auto stats = Executor(options).Execute(plan, store);
+  result.wall_ms = MsSince(start);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "FAIL: run (budget=%zu) failed: %s\n", budget_bytes,
+                 stats.status().ToString().c_str());
+    return result;
+  }
+  result.spills = stats->spills;
+  result.ok = true;
+  return result;
+}
+
+}  // namespace
+}  // namespace shareinsights
+
+int main(int argc, char** argv) {
+  using namespace shareinsights;
+
+  size_t rows = 120000;
+  if (argc > 1) rows = static_cast<size_t>(std::atoll(argv[1]));
+  const size_t keys = std::max<size_t>(64, rows / 64);
+
+  auto file = ParseFlowFile(GroupByFlowText(rows, keys), "bench_spill");
+  if (!file.ok()) {
+    std::fprintf(stderr, "parse: %s\n", file.status().ToString().c_str());
+    return 1;
+  }
+  auto plan = CompileFlowFile(*file);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "compile: %s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  // Unbudgeted baseline: pins the working set and the reference output.
+  DataStore clean;
+  RunResult in_memory = RunOnce(*plan, 0, &clean);
+  if (!in_memory.ok) return 1;
+  size_t working_set = WorkingSetBytes(clean);
+  size_t budget = working_set / 10;
+
+  std::printf("spill cost: %zu rows x %zu keys, working set %zu bytes, "
+              "budget %zu bytes (1/10)\n",
+              rows, keys, working_set, budget);
+  std::printf("%14s %12s %8s\n", "mode", "wall_ms", "spills");
+  std::printf("%14s %12.2f %8d\n", "in_memory", in_memory.wall_ms,
+              in_memory.spills);
+
+  // Median of 3 budgeted runs; each must spill and match the baseline.
+  bool failed = false;
+  std::vector<double> walls;
+  for (int rep = 0; rep < 3; ++rep) {
+    DataStore budgeted;
+    RunResult spilled = RunOnce(*plan, budget, &budgeted);
+    if (!spilled.ok) return 1;
+    walls.push_back(spilled.wall_ms);
+    if (spilled.spills == 0) {
+      std::fprintf(stderr, "FAIL: budgeted run never spilled\n");
+      failed = true;
+    }
+    for (const std::string& name : clean.Names()) {
+      if (!budgeted.Has(name) ||
+          !TablesEqual(*clean.Get(name), *budgeted.Get(name))) {
+        std::fprintf(stderr, "FAIL: table '%s' differs from in-memory run\n",
+                     name.c_str());
+        failed = true;
+      }
+    }
+  }
+  if (MemoryBudget::Process().reserved() != 0) {
+    std::fprintf(stderr, "FAIL: process ledger left at %zu bytes\n",
+                 MemoryBudget::Process().reserved());
+    failed = true;
+  }
+  std::sort(walls.begin(), walls.end());
+  double median = walls[walls.size() / 2];
+  std::printf("%14s %12.2f %8s\n", "spilled_10x", median, ">0");
+
+  std::string params = "{\"rows\":" + std::to_string(rows) +
+                       ",\"budget_bytes\":" + std::to_string(budget) + "}";
+  benchjson::EmitBenchMillis("spill/groupby_in_memory_ms", params,
+                             in_memory.wall_ms, static_cast<double>(rows));
+  benchjson::EmitBenchMillis("spill/groupby_10x_ram_ms", params, median,
+                             static_cast<double>(rows));
+  return failed ? 1 : 0;
+}

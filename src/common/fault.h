@@ -18,10 +18,16 @@ namespace shareinsights {
 /// FaultInjector::Check; tests arm them to exercise failure paths.
 ///   io.fetch       - connector payload fetch (LoadDataObject)
 ///   io.parse       - payload parse into a Table (LoadDataObject)
+///   io.spill       - spill-partition write/read (WriteSpillBlock /
+///                    ReadSpillBlock): arm with a retryable status for
+///                    write-fail / short-write, a non-retryable one
+///                    (e.g. kResourceExhausted) for disk-full, or use
+///                    read passes to simulate on-disk corruption
 ///   exec.node      - one task of one flow in the executor
 ///   server.request - ApiServer::Handle, before routing
 inline constexpr const char* kFaultIoFetch = "io.fetch";
 inline constexpr const char* kFaultIoParse = "io.parse";
+inline constexpr const char* kFaultIoSpill = "io.spill";
 inline constexpr const char* kFaultExecNode = "exec.node";
 inline constexpr const char* kFaultServerRequest = "server.request";
 

@@ -436,6 +436,8 @@ Result<ExecutionStats> Dashboard::Run(Tracer* tracer,
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.morsel_rows = options_.morsel_rows;
   exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.enable_spill = options_.enable_spill;
+  exec_options.spill_dir = options_.spill_dir;
   exec_options.result_cache = options_.result_cache;
   exec_options.cancel = cancel;
   exec_options.tracer = tracer;
@@ -463,6 +465,8 @@ Result<ExecutionStats> Dashboard::RunIncremental(
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.morsel_rows = options_.morsel_rows;
   exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.enable_spill = options_.enable_spill;
+  exec_options.spill_dir = options_.spill_dir;
   exec_options.result_cache = options_.result_cache;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();
@@ -512,6 +516,8 @@ Result<Dashboard::AppendResult> Dashboard::AppendDelta(
   exec_options.flow_retry_attempts = options_.flow_retry_attempts;
   exec_options.morsel_rows = options_.morsel_rows;
   exec_options.mem_budget_bytes = options_.mem_budget_bytes;
+  exec_options.enable_spill = options_.enable_spill;
+  exec_options.spill_dir = options_.spill_dir;
   exec_options.result_cache = options_.result_cache;
   exec_options.tracer = tracer;
   exec_options.trace_parent = run_span.id();

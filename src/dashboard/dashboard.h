@@ -52,6 +52,12 @@ class Dashboard {
     /// queries (0 = none; materializations still charge the process
     /// budget). See ExecuteOptions::mem_budget_bytes.
     size_t mem_budget_bytes = 0;
+    /// When true, over-budget materializations in this dashboard's runs
+    /// spill to compressed on-disk partitions and complete instead of
+    /// failing. See ExecuteOptions::enable_spill.
+    bool enable_spill = true;
+    /// Directory for spill partitions (empty = system temp dir).
+    std::string spill_dir;
     /// Observability sink for this dashboard: compile-phase spans at
     /// Create() time, run/cube spans for Run() and widget evaluation.
     /// Run(Tracer*) overrides it per run (the API server passes a fresh

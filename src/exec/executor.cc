@@ -14,6 +14,7 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "ops/exec_context.h"
+#include "ops/spill.h"
 #include "table/append.h"
 
 namespace shareinsights {
@@ -67,6 +68,10 @@ std::string ExecutionStats::ToString() const {
   if (rows_quarantined > 0) out << " quarantined=" << rows_quarantined;
   if (flows_cancelled > 0) out << " cancelled=" << flows_cancelled;
   if (mem_rejections > 0) out << " mem_rejections=" << mem_rejections;
+  if (spills > 0) {
+    out << " spills=" << spills << " spill_written=" << spill_bytes_written
+        << " spill_read=" << spill_bytes_read;
+  }
   if (flows_delta > 0) out << " delta=" << flows_delta;
   if (flows_full_fallback > 0) out << " full_fallback=" << flows_full_fallback;
   return out.str();
@@ -277,6 +282,19 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
                              ? &query_budget
                              : &MemoryBudget::Process();
 
+  // Per-run spill area: when enabled, operators facing a refused
+  // reservation degrade to compressed on-disk partitions instead of
+  // failing (ops/spill.h). Stack-local like the budget; its scratch
+  // directory — and any partitions an error or cancel left behind — is
+  // removed when the run returns.
+  std::unique_ptr<SpillScratch> spill_scratch;
+  if (options_.enable_spill) {
+    SpillScratch::Options spill_options;
+    spill_options.base_dir = options_.spill_dir;
+    spill_options.chunk_rows = options_.spill_chunk_rows;
+    spill_scratch = std::make_unique<SpillScratch>(spill_options);
+  }
+
   std::mutex mu;
   std::condition_variable done_cv;
   size_t completed = 0;
@@ -366,6 +384,7 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
       exec_ctx.trace_parent = task_span.id();
       exec_ctx.cancel = options_.cancel;
       exec_ctx.budget = budget;
+      exec_ctx.spill = spill_scratch.get();
       Result<TablePtr> out = flow.ops[t]->Execute(stage_inputs, exec_ctx);
       if (!out.ok()) {
         return out.status().WithContext("executing task '" +
@@ -500,6 +519,14 @@ Result<ExecutionStats> Executor::Run(const ExecutionPlan& plan,
     endpoints_span.AddAttribute("endpoint_bytes", stats.endpoint_bytes);
   }
 
+  if (spill_scratch != nullptr && spill_scratch->spills() > 0) {
+    stats.spills = static_cast<int>(spill_scratch->spills());
+    stats.spill_bytes_written = spill_scratch->bytes_written();
+    stats.spill_bytes_read = spill_scratch->bytes_read();
+    run_span.AddAttribute("spills",
+                          static_cast<int64_t>(spill_scratch->spills()));
+  }
+
   stats.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();
@@ -590,6 +617,16 @@ Result<AppendOutcome> Executor::ExecuteAppend(const ExecutionPlan& plan,
                              ? &query_budget
                              : &MemoryBudget::Process();
 
+  // Spill area, as in Run(): pressured materializations on the delta or
+  // fallback paths degrade to on-disk partitions instead of failing.
+  std::unique_ptr<SpillScratch> spill_scratch;
+  if (options_.enable_spill) {
+    SpillScratch::Options spill_options;
+    spill_options.base_dir = options_.spill_dir;
+    spill_options.chunk_rows = options_.spill_chunk_rows;
+    spill_scratch = std::make_unique<SpillScratch>(spill_options);
+  }
+
   // Unified failure tail: mirrors Run()'s cancellation / budget metrics so
   // callers observe appends and full runs identically.
   auto fail = [&](Status status) -> Status {
@@ -661,6 +698,7 @@ Result<AppendOutcome> Executor::ExecuteAppend(const ExecutionPlan& plan,
     ctx.trace_parent = parent;
     ctx.cancel = options_.cancel;
     ctx.budget = budget;
+    ctx.spill = spill_scratch.get();
     return ctx;
   };
 
@@ -954,6 +992,13 @@ Result<AppendOutcome> Executor::ExecuteAppend(const ExecutionPlan& plan,
     }
   }
 
+  if (spill_scratch != nullptr && spill_scratch->spills() > 0) {
+    stats.spills = static_cast<int>(spill_scratch->spills());
+    stats.spill_bytes_written = spill_scratch->bytes_written();
+    stats.spill_bytes_read = spill_scratch->bytes_read();
+    run_span.AddAttribute("spills",
+                          static_cast<int64_t>(spill_scratch->spills()));
+  }
   stats.wall_ms = std::chrono::duration<double, std::milli>(
                       std::chrono::steady_clock::now() - start)
                       .count();

@@ -91,6 +91,15 @@ struct ExecutionStats {
   int flows_cancelled = 0;
   /// Flows refused a MemoryBudget reservation (kResourceExhausted).
   int mem_rejections = 0;
+  /// Materializations that degraded to compressed on-disk spill
+  /// partitions instead of failing when the memory budget refused their
+  /// staging reservation (ops/spill.h). A run with spills > 0 completed
+  /// correctly under memory pressure; outputs are identical to an
+  /// unbudgeted run.
+  int spills = 0;
+  /// Compressed bytes written to / read back from spill partitions.
+  int64_t spill_bytes_written = 0;
+  int64_t spill_bytes_read = 0;
   int64_t rows_produced = 0;
   /// Total bytes materialized at endpoint data objects — the proxy for
   /// "data transferred to the browser".
@@ -152,6 +161,22 @@ struct ExecuteOptions {
   /// the process. When unset, materializations still charge the process
   /// budget (accounting, and any process-wide cap).
   size_t mem_budget_bytes = 0;
+  /// When true (the default), a refused materialization reservation in a
+  /// spill-capable operator (group-by, join, sort/distinct/limit/top-n
+  /// gathers) degrades to compressed on-disk spill partitions that are
+  /// stream-merged back in order — the run completes, slower, with
+  /// ExecutionStats::spills > 0 and outputs identical to an unbudgeted
+  /// run. When false, an over-budget materialization keeps the hard-fail
+  /// contract: kResourceExhausted naming the operator.
+  bool enable_spill = true;
+  /// Directory for spill partition files (empty = the system temp dir).
+  /// Each run creates its own scratch subdirectory and removes it — and
+  /// any partitions still inside — on completion, error, or cancel.
+  std::string spill_dir;
+  /// Target rows per spill partition (0 = kDefaultSpillChunkRows). The
+  /// actual staging charge additionally shrinks to what the budget has
+  /// free, so this only caps partition granularity.
+  size_t spill_chunk_rows = 0;
 
   /// When set, the run records hierarchical spans — exec.run with
   /// per-stage children (load_sources / resolve_shared / flows /

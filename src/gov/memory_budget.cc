@@ -1,5 +1,7 @@
 #include "gov/memory_budget.h"
 
+#include <cstdlib>
+
 #include "common/value.h"
 #include "obs/metrics.h"
 
@@ -42,16 +44,33 @@ void MemoryReservation::Release() {
 }
 
 MemoryBudget& MemoryBudget::Process() {
-  static MemoryBudget* process = new MemoryBudget("process");
+  // SI_PROCESS_MEM_BUDGET_BYTES pins the root capacity from the
+  // environment at first use, so a container or CI job can cap every
+  // query in the process without code changes. Unset, empty, or
+  // non-numeric values leave the budget unlimited; set_capacity() can
+  // still override later.
+  static MemoryBudget* process = [] {
+    auto* budget = new MemoryBudget("process");
+    const char* env = std::getenv("SI_PROCESS_MEM_BUDGET_BYTES");
+    if (env != nullptr && *env != '\0') {
+      char* end = nullptr;
+      unsigned long long bytes = std::strtoull(env, &end, 10);
+      if (end != nullptr && *end == '\0') {
+        budget->set_capacity(static_cast<size_t>(bytes));
+      }
+    }
+    return budget;
+  }();
   return *process;
 }
 
-Status MemoryBudget::ReserveLocal(size_t bytes, const std::string& op) {
+Status MemoryBudget::ReserveLocal(size_t bytes, const std::string& op,
+                                  bool count_rejection) {
   size_t capacity = capacity_.load(std::memory_order_relaxed);
   size_t current = reserved_.load(std::memory_order_relaxed);
   for (;;) {
     if (capacity > 0 && current + bytes > capacity) {
-      RejectionsCounter()->Increment();
+      if (count_rejection) RejectionsCounter()->Increment();
       return Status::ResourceExhausted(
           "operator '" + op + "' needs " + std::to_string(bytes) +
           " bytes but the '" + name_ + "' memory budget has " +
@@ -78,13 +97,14 @@ void MemoryBudget::ReleaseAll(size_t bytes) {
   }
 }
 
-Result<MemoryReservation> MemoryBudget::Reserve(size_t bytes,
-                                                const std::string& op) {
+Result<MemoryReservation> MemoryBudget::ReserveInternal(size_t bytes,
+                                                        const std::string& op,
+                                                        bool count_rejection) {
   if (bytes == 0) return MemoryReservation();
   // Charge bottom-up; on a failure at any level, unwind the levels
   // already charged so nothing leaks.
   for (MemoryBudget* b = this; b != nullptr; b = b->parent_) {
-    Status charged = b->ReserveLocal(bytes, op);
+    Status charged = b->ReserveLocal(bytes, op, count_rejection);
     if (!charged.ok()) {
       for (MemoryBudget* undo = this; undo != b; undo = undo->parent_) {
         undo->ReleaseLocal(bytes);
@@ -96,6 +116,26 @@ Result<MemoryReservation> MemoryBudget::Reserve(size_t bytes,
     }
   }
   return MemoryReservation(this, bytes);
+}
+
+Result<MemoryReservation> MemoryBudget::Reserve(size_t bytes,
+                                                const std::string& op) {
+  return ReserveInternal(bytes, op, /*count_rejection=*/true);
+}
+
+MemoryBudget::PressureResult MemoryBudget::TryReserveOrSpill(
+    size_t bytes, const std::string& op) {
+  Result<MemoryReservation> reserved =
+      ReserveInternal(bytes, op, /*count_rejection=*/false);
+  if (reserved.ok()) {
+    return PressureResult{std::move(*reserved), /*pressure=*/false};
+  }
+  static Counter* pressure_counter = MetricsRegistry::Default().GetCounter(
+      "mem_pressure_spills_total",
+      "operator materializations degraded to on-disk spill under memory "
+      "pressure");
+  pressure_counter->Increment();
+  return PressureResult{MemoryReservation(), /*pressure=*/true};
 }
 
 size_t ApproxCellBytes(size_t rows, size_t columns) {

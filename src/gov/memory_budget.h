@@ -61,7 +61,9 @@ class MemoryBudget {
   MemoryBudget& operator=(const MemoryBudget&) = delete;
 
   /// Process-global budget. Unlimited by default; tests and deployments
-  /// cap it with set_capacity(). Per-query budgets parent here.
+  /// cap it with set_capacity(), or from the environment via
+  /// SI_PROCESS_MEM_BUDGET_BYTES (read once, at first use). Per-query
+  /// budgets parent here.
   static MemoryBudget& Process();
 
   /// Reserves `bytes` against this budget and every ancestor. On
@@ -69,6 +71,23 @@ class MemoryBudget {
   /// `op` and the exhausted budget. Feeds mem_reserved_bytes /
   /// mem_budget_rejections_total.
   Result<MemoryReservation> Reserve(size_t bytes, const std::string& op);
+
+  /// What TryReserveOrSpill found: either the granted reservation
+  /// (pressure false) or, when the bytes would not fit, an empty
+  /// reservation with pressure true — the caller's signal to degrade to
+  /// its spill path instead of failing the query.
+  struct PressureResult {
+    MemoryReservation reservation;
+    bool pressure = false;
+  };
+
+  /// Spill-capable variant of Reserve: a reservation that fits is
+  /// granted exactly as Reserve would; one that would overflow reports
+  /// memory pressure instead of kResourceExhausted (counted in
+  /// mem_pressure_spills_total, not in mem_budget_rejections_total —
+  /// pressure the engine absorbs is not a refusal). Never exceeds any
+  /// level's capacity.
+  PressureResult TryReserveOrSpill(size_t bytes, const std::string& op);
 
   /// Current reservations at this level.
   size_t reserved() const { return reserved_.load(std::memory_order_relaxed); }
@@ -84,7 +103,13 @@ class MemoryBudget {
   friend class MemoryReservation;
 
   /// Charges this level only; kResourceExhausted on overflow.
-  Status ReserveLocal(size_t bytes, const std::string& op);
+  /// `count_rejection` feeds mem_budget_rejections_total (false on the
+  /// pressure-probing TryReserveOrSpill path).
+  Status ReserveLocal(size_t bytes, const std::string& op,
+                      bool count_rejection);
+  Result<MemoryReservation> ReserveInternal(size_t bytes,
+                                            const std::string& op,
+                                            bool count_rejection);
   void ReleaseLocal(size_t bytes);
   /// Releases at this level and every ancestor.
   void ReleaseAll(size_t bytes);

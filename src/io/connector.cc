@@ -532,8 +532,13 @@ Result<TablePtr> LoadDataObject(const DataSourceParams& params,
           if (report != nullptr) {
             report->rows_quarantined = quarantined;
             if (quarantined > 0) {
+              // Huge quarantines stage through compressed spill blocks
+              // instead of doubling the load's resident footprint
+              // (docs/ROBUSTNESS.md, "Spilling to disk").
+              constexpr size_t kQuarantineStagingRows = 64 * 1024;
               SI_ASSIGN_OR_RETURN(report->quarantine,
-                                  QuarantineTable(parse_report.quarantined));
+                                  QuarantineTable(parse_report.quarantined,
+                                                  kQuarantineStagingRows));
             }
           }
           metrics

@@ -1,5 +1,13 @@
 #include "io/error_policy.h"
 
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "io/spill_file.h"
+
 namespace shareinsights {
 
 Result<ParseErrorPolicy> ParseErrorPolicyFromString(const std::string& text) {
@@ -22,17 +30,73 @@ const char* ParseErrorPolicyName(ParseErrorPolicy policy) {
   return "unknown";
 }
 
-Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows) {
-  Schema schema({Field{"row", ValueType::kInt64},
+namespace {
+
+Schema QuarantineSchema() {
+  return Schema({Field{"row", ValueType::kInt64},
                  Field{"reason", ValueType::kString},
                  Field{"raw", ValueType::kString}});
+}
+
+Status AppendQuarantineRows(const std::vector<QuarantinedRow>& rows,
+                            size_t begin, size_t end, TableBuilder* builder) {
+  for (size_t r = begin; r < end; ++r) {
+    SI_RETURN_IF_ERROR(builder->AppendRow(
+        {Value(rows[r].row), Value(rows[r].reason), Value(rows[r].raw)}));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows) {
+  Schema schema = QuarantineSchema();
   TableBuilder builder(schema);
   builder.Reserve(rows.size());
-  for (const QuarantinedRow& row : rows) {
-    SI_RETURN_IF_ERROR(builder.AppendRow(
-        {Value(row.row), Value(row.reason), Value(row.raw)}));
-  }
+  SI_RETURN_IF_ERROR(AppendQuarantineRows(rows, 0, rows.size(), &builder));
   return builder.Finish();
+}
+
+Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows,
+                                 size_t staging_threshold) {
+  if (staging_threshold == 0 || rows.size() < staging_threshold) {
+    return QuarantineTable(rows);
+  }
+  Schema schema = QuarantineSchema();
+  // Stage through compressed blocks in a guarded scratch dir; the guard
+  // removes the directory — staged blocks included — on every return.
+  SI_ASSIGN_OR_RETURN(TempDirGuard scratch,
+                      TempDirGuard::Create("", "si-quarantine"));
+  const RetryPolicy retry = DefaultSpillRetryPolicy();
+  const size_t chunk = staging_threshold;
+  std::vector<std::string> blocks;
+  for (size_t begin = 0; begin < rows.size(); begin += chunk) {
+    size_t end = std::min(rows.size(), begin + chunk);
+    TableBuilder staged(schema);
+    staged.Reserve(end - begin);
+    SI_RETURN_IF_ERROR(AppendQuarantineRows(rows, begin, end, &staged));
+    SI_ASSIGN_OR_RETURN(TablePtr block, staged.Finish());
+    std::string path =
+        scratch.path() + "/q." + std::to_string(blocks.size()) + ".spill";
+    SI_RETURN_IF_ERROR(WriteSpillBlock(path, *block, retry).status());
+    blocks.push_back(std::move(path));
+  }
+  TableBuilder out(schema);
+  out.Reserve(rows.size());
+  for (const std::string& path : blocks) {
+    SI_ASSIGN_OR_RETURN(std::vector<std::vector<Value>> cols,
+                        ReadSpillBlock(path, retry));
+    size_t block_rows = cols.empty() ? 0 : cols[0].size();
+    for (size_t r = 0; r < block_rows; ++r) {
+      std::vector<Value> row;
+      row.reserve(cols.size());
+      for (std::vector<Value>& col : cols) row.push_back(std::move(col[r]));
+      SI_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+    std::error_code ec;
+    std::filesystem::remove(path, ec);  // eager; the guard backstops
+  }
+  return out.Finish();
 }
 
 }  // namespace shareinsights

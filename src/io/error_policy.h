@@ -41,6 +41,18 @@ struct ParseReport {
 /// reason:string, raw:string).
 Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows);
 
+/// As above, but when `rows.size() >= staging_threshold` the side table
+/// is staged through compressed spill blocks in a TempDirGuard scratch
+/// directory (io/spill_file.h) instead of being built in one resident
+/// pass — the same graceful-degradation discipline the operators use, so
+/// a poisoned source that quarantines millions of rows does not double
+/// the load's memory footprint. The scratch directory and every staged
+/// block are removed on all exit paths (success, I/O failure, fault
+/// injection via the io.spill site). `staging_threshold` = 0 disables
+/// staging. Output is identical to the in-memory variant.
+Result<TablePtr> QuarantineTable(const std::vector<QuarantinedRow>& rows,
+                                 size_t staging_threshold);
+
 }  // namespace shareinsights
 
 #endif  // SHAREINSIGHTS_IO_ERROR_POLICY_H_

@@ -1,0 +1,506 @@
+#include "io/spill_file.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+#include "common/fault.h"
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// 8-byte file magic; a version bump changes the last byte.
+constexpr char kSpillMagic[8] = {'S', 'I', 'S', 'P', 'I', 'L', 'L', '1'};
+
+constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr uint64_t kFnvPrime = 1099511628211ULL;
+
+uint64_t Fnv1a(const char* data, size_t len) {
+  uint64_t h = kFnvOffset;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= static_cast<unsigned char>(data[i]);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(const char** p, const char* end, uint64_t* v) {
+  uint64_t result = 0;
+  int shift = 0;
+  while (*p < end && shift < 64) {
+    uint8_t byte = static_cast<uint8_t>(**p);
+    ++*p;
+    result |= static_cast<uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t v) {
+  return static_cast<int64_t>((v >> 1) ^ (~(v & 1) + 1));
+}
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, sizeof(buf));
+  out->append(buf, sizeof(buf));
+}
+
+bool GetFixed64(const char** p, const char* end, uint64_t* v) {
+  if (end - *p < 8) return false;
+  std::memcpy(v, *p, 8);
+  *p += 8;
+  return true;
+}
+
+void PutString(std::string* out, const std::string& s) {
+  PutVarint(out, s.size());
+  out->append(s);
+}
+
+bool GetString(const char** p, const char* end, std::string* s) {
+  uint64_t len = 0;
+  if (!GetVarint(p, end, &len)) return false;
+  if (static_cast<uint64_t>(end - *p) < len) return false;
+  s->assign(*p, static_cast<size_t>(len));
+  *p += len;
+  return true;
+}
+
+void PutBitmap(std::string* out, const std::vector<uint8_t>& bytes,
+               size_t rows) {
+  for (size_t r = 0; r < rows; r += 8) {
+    uint8_t packed = 0;
+    for (size_t b = 0; b < 8 && r + b < rows; ++b) {
+      if (bytes[r + b] != 0) packed |= static_cast<uint8_t>(1u << b);
+    }
+    out->push_back(static_cast<char>(packed));
+  }
+}
+
+bool GetBitmap(const char** p, const char* end, size_t rows,
+               std::vector<uint8_t>* bytes) {
+  size_t packed_len = (rows + 7) / 8;
+  if (static_cast<size_t>(end - *p) < packed_len) return false;
+  bytes->assign(rows, 0);
+  for (size_t r = 0; r < rows; ++r) {
+    uint8_t packed = static_cast<uint8_t>((*p)[r / 8]);
+    (*bytes)[r] = (packed >> (r % 8)) & 1;
+  }
+  *p += packed_len;
+  return true;
+}
+
+/// Value type tags for kGeneric payloads (stable on-disk ids).
+enum GenericTag : uint8_t {
+  kTagNull = 0,
+  kTagBool = 1,
+  kTagInt64 = 2,
+  kTagDouble = 3,
+  kTagString = 4,
+};
+
+void SerializeColumn(const ColumnData& col, size_t rows, std::string* out) {
+  out->push_back(static_cast<char>(col.encoding()));
+  out->push_back(col.has_nulls() ? 1 : 0);
+  if (col.has_nulls()) PutBitmap(out, col.nulls(), rows);
+  switch (col.encoding()) {
+    case ColumnEncoding::kInt64: {
+      // Frame of reference: store the minimum once, then small unsigned
+      // deltas as varints (unsigned wrap-around keeps full-range columns
+      // correct).
+      int64_t min = 0;
+      for (size_t r = 0; r < rows; ++r) {
+        int64_t v = col.ints()[r];
+        if (r == 0 || v < min) min = v;
+      }
+      PutVarint(out, ZigZag(min));
+      for (size_t r = 0; r < rows; ++r) {
+        PutVarint(out, static_cast<uint64_t>(col.ints()[r]) -
+                           static_cast<uint64_t>(min));
+      }
+      break;
+    }
+    case ColumnEncoding::kDouble:
+      // Raw bit patterns: bit-exact round trip (-0.0, NaN payloads).
+      for (size_t r = 0; r < rows; ++r) {
+        uint64_t bits;
+        std::memcpy(&bits, &col.doubles()[r], sizeof(bits));
+        PutFixed64(out, bits);
+      }
+      break;
+    case ColumnEncoding::kBool:
+      PutBitmap(out, col.bools(), rows);
+      break;
+    case ColumnEncoding::kDict: {
+      PutVarint(out, col.dict().size());
+      for (const std::string& s : col.dict()) PutString(out, s);
+      for (size_t r = 0; r < rows; ++r) PutVarint(out, col.codes()[r]);
+      break;
+    }
+    case ColumnEncoding::kGeneric:
+      for (size_t r = 0; r < rows; ++r) {
+        const Value& v = col.generic()[r];
+        if (v.is_null()) {
+          out->push_back(static_cast<char>(kTagNull));
+        } else if (v.is_bool()) {
+          out->push_back(static_cast<char>(kTagBool));
+          out->push_back(v.bool_value() ? 1 : 0);
+        } else if (v.is_int64()) {
+          out->push_back(static_cast<char>(kTagInt64));
+          PutVarint(out, ZigZag(v.int64_value()));
+        } else if (v.is_double()) {
+          out->push_back(static_cast<char>(kTagDouble));
+          uint64_t bits;
+          double d = v.double_value();
+          std::memcpy(&bits, &d, sizeof(bits));
+          PutFixed64(out, bits);
+        } else {
+          out->push_back(static_cast<char>(kTagString));
+          PutString(out, v.string_value());
+        }
+      }
+      break;
+  }
+}
+
+Status CorruptError(const std::string& path) {
+  return Status::IoError("spill block '" + path +
+                         "' is corrupt (truncated or checksum mismatch)");
+}
+
+Result<std::vector<Value>> DeserializeColumn(const char** p, const char* end,
+                                             size_t rows,
+                                             const std::string& path) {
+  if (end - *p < 2) return CorruptError(path);
+  uint8_t encoding = static_cast<uint8_t>(**p);
+  ++*p;
+  bool has_nulls = **p != 0;
+  ++*p;
+  std::vector<uint8_t> nulls;
+  if (has_nulls && !GetBitmap(p, end, rows, &nulls)) return CorruptError(path);
+
+  std::vector<Value> out(rows);
+  auto is_null = [&](size_t r) { return has_nulls && nulls[r] != 0; };
+  switch (static_cast<ColumnEncoding>(encoding)) {
+    case ColumnEncoding::kInt64: {
+      uint64_t zmin = 0;
+      if (!GetVarint(p, end, &zmin)) return CorruptError(path);
+      int64_t min = UnZigZag(zmin);
+      for (size_t r = 0; r < rows; ++r) {
+        uint64_t delta = 0;
+        if (!GetVarint(p, end, &delta)) return CorruptError(path);
+        if (!is_null(r)) {
+          out[r] = Value(static_cast<int64_t>(static_cast<uint64_t>(min) +
+                                              delta));
+        }
+      }
+      break;
+    }
+    case ColumnEncoding::kDouble:
+      for (size_t r = 0; r < rows; ++r) {
+        uint64_t bits = 0;
+        if (!GetFixed64(p, end, &bits)) return CorruptError(path);
+        if (!is_null(r)) {
+          double d;
+          std::memcpy(&d, &bits, sizeof(d));
+          out[r] = Value(d);
+        }
+      }
+      break;
+    case ColumnEncoding::kBool: {
+      std::vector<uint8_t> bits;
+      if (!GetBitmap(p, end, rows, &bits)) return CorruptError(path);
+      for (size_t r = 0; r < rows; ++r) {
+        if (!is_null(r)) out[r] = Value(bits[r] != 0);
+      }
+      break;
+    }
+    case ColumnEncoding::kDict: {
+      uint64_t dict_size = 0;
+      if (!GetVarint(p, end, &dict_size)) return CorruptError(path);
+      std::vector<std::string> dict(static_cast<size_t>(dict_size));
+      for (std::string& s : dict) {
+        if (!GetString(p, end, &s)) return CorruptError(path);
+      }
+      for (size_t r = 0; r < rows; ++r) {
+        uint64_t code = 0;
+        if (!GetVarint(p, end, &code)) return CorruptError(path);
+        if (is_null(r)) continue;
+        if (code >= dict.size()) return CorruptError(path);
+        out[r] = Value(dict[static_cast<size_t>(code)]);
+      }
+      break;
+    }
+    case ColumnEncoding::kGeneric:
+      for (size_t r = 0; r < rows; ++r) {
+        if (*p >= end) return CorruptError(path);
+        uint8_t tag = static_cast<uint8_t>(**p);
+        ++*p;
+        switch (tag) {
+          case kTagNull:
+            break;
+          case kTagBool:
+            if (*p >= end) return CorruptError(path);
+            out[r] = Value(**p != 0);
+            ++*p;
+            break;
+          case kTagInt64: {
+            uint64_t z = 0;
+            if (!GetVarint(p, end, &z)) return CorruptError(path);
+            out[r] = Value(UnZigZag(z));
+            break;
+          }
+          case kTagDouble: {
+            uint64_t bits = 0;
+            if (!GetFixed64(p, end, &bits)) return CorruptError(path);
+            double d;
+            std::memcpy(&d, &bits, sizeof(d));
+            out[r] = Value(d);
+            break;
+          }
+          case kTagString: {
+            std::string s;
+            if (!GetString(p, end, &s)) return CorruptError(path);
+            out[r] = Value(std::move(s));
+            break;
+          }
+          default:
+            return CorruptError(path);
+        }
+      }
+      break;
+    default:
+      return CorruptError(path);
+  }
+  return out;
+}
+
+Status WriteFileOnce(const std::string& path, const std::string& payload) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open spill file '" + path +
+                           "' for writing: " + std::strerror(errno));
+  }
+  size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  int flush_err = std::fflush(f);
+  bool nospace = errno == ENOSPC;
+  std::fclose(f);
+  if (written != payload.size() || flush_err != 0) {
+    std::error_code ec;
+    fs::remove(path, ec);  // never leave a torn partition behind
+    if (nospace) {
+      return Status::ResourceExhausted("no space left on device writing '" +
+                                       path + "'");
+    }
+    return Status::IoError("short write to spill file '" + path + "' (" +
+                           std::to_string(written) + " of " +
+                           std::to_string(payload.size()) + " bytes)");
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFileOnce(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open spill file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string data;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IoError("read error on spill file '" + path + "'");
+  }
+  return data;
+}
+
+Counter* SpillFaultsCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "faults_injected_total", "faults fired by the FaultInjector");
+  return counter;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+Result<TempDirGuard> TempDirGuard::Create(const std::string& base,
+                                          const std::string& prefix) {
+  static std::atomic<uint64_t> seq{0};
+  std::error_code ec;
+  fs::path root = base.empty() ? fs::temp_directory_path(ec) : fs::path(base);
+  if (ec) {
+    return Status::IoError("no temp directory available: " + ec.message());
+  }
+  fs::create_directories(root, ec);  // ok if it already exists
+  fs::path dir =
+      root / (prefix + "." + std::to_string(::getpid()) + "." +
+              std::to_string(seq.fetch_add(1, std::memory_order_relaxed)));
+  ec.clear();
+  if (!fs::create_directory(dir, ec) || ec) {
+    return Status::IoError("cannot create scratch directory '" +
+                           dir.string() + "': " + ec.message());
+  }
+  return TempDirGuard(dir.string());
+}
+
+TempDirGuard::TempDirGuard(TempDirGuard&& other) noexcept
+    : path_(std::exchange(other.path_, std::string())) {}
+
+TempDirGuard& TempDirGuard::operator=(TempDirGuard&& other) noexcept {
+  if (this != &other) {
+    Remove();
+    path_ = std::exchange(other.path_, std::string());
+  }
+  return *this;
+}
+
+void TempDirGuard::Remove() {
+  if (path_.empty()) return;
+  std::error_code ec;
+  fs::remove_all(path_, ec);
+  path_.clear();
+}
+
+RetryPolicy DefaultSpillRetryPolicy() {
+  RetryPolicy policy;
+  policy.max_attempts = 3;
+  policy.backoff_ms = 1;
+  policy.backoff_multiplier = 2.0;
+  policy.jitter_seed = 0x51;
+  return policy;
+}
+
+Result<size_t> WriteSpillBlock(const std::string& path, const Table& block,
+                               const RetryPolicy& retry) {
+  std::string payload(kSpillMagic, sizeof(kSpillMagic));
+  PutVarint(&payload, block.num_columns());
+  PutVarint(&payload, block.num_rows());
+  for (size_t c = 0; c < block.num_columns(); ++c) {
+    SerializeColumn(block.typed_column(c), block.num_rows(), &payload);
+  }
+  PutFixed64(&payload, Fnv1a(payload.data() + sizeof(kSpillMagic),
+                             payload.size() - sizeof(kSpillMagic)));
+
+  RetryState state(retry);
+  auto start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    Status status;
+    if (auto injected = FaultInjector::Get().Check(kFaultIoSpill)) {
+      SpillFaultsCounter()->Increment();
+      status = *injected;
+    } else {
+      status = WriteFileOnce(path, payload);
+    }
+    if (status.ok()) {
+      MetricsRegistry::Default()
+          .GetCounter("spill_bytes_written_total",
+                      "compressed bytes written to spill partitions")
+          ->Increment(static_cast<int64_t>(payload.size()));
+      return payload.size();
+    }
+    if (!state.ShouldRetryAfter(status, attempts, ElapsedMs(start))) {
+      return status;
+    }
+  }
+}
+
+Result<std::vector<std::vector<Value>>> ReadSpillBlock(
+    const std::string& path, const RetryPolicy& retry) {
+  RetryState state(retry);
+  auto start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    Status status;
+    if (auto injected = FaultInjector::Get().Check(kFaultIoSpill)) {
+      SpillFaultsCounter()->Increment();
+      status = *injected;
+    } else {
+      Result<std::string> data = ReadFileOnce(path);
+      if (data.ok()) {
+        const std::string& buf = *data;
+        status = CorruptError(path);  // until the parse proves otherwise
+        if (buf.size() >= sizeof(kSpillMagic) + 8 &&
+            std::memcmp(buf.data(), kSpillMagic, sizeof(kSpillMagic)) == 0) {
+          const char* p = buf.data() + sizeof(kSpillMagic);
+          const char* end = buf.data() + buf.size() - 8;
+          uint64_t stored = 0;
+          const char* cp = end;
+          GetFixed64(&cp, buf.data() + buf.size(), &stored);
+          if (stored == Fnv1a(buf.data() + sizeof(kSpillMagic),
+                              buf.size() - sizeof(kSpillMagic) - 8)) {
+            uint64_t num_columns = 0;
+            uint64_t num_rows = 0;
+            if (GetVarint(&p, end, &num_columns) &&
+                GetVarint(&p, end, &num_rows)) {
+              std::vector<std::vector<Value>> columns;
+              columns.reserve(static_cast<size_t>(num_columns));
+              Status parse = Status::OK();
+              for (uint64_t c = 0; c < num_columns; ++c) {
+                Result<std::vector<Value>> col = DeserializeColumn(
+                    &p, end, static_cast<size_t>(num_rows), path);
+                if (!col.ok()) {
+                  parse = col.status();
+                  break;
+                }
+                columns.push_back(std::move(*col));
+              }
+              if (parse.ok()) {
+                MetricsRegistry::Default()
+                    .GetCounter("spill_bytes_read_total",
+                                "compressed bytes read back from spill "
+                                "partitions")
+                    ->Increment(static_cast<int64_t>(buf.size()));
+                return columns;
+              }
+              status = parse;
+            }
+          }
+        }
+      } else {
+        status = data.status();
+      }
+    }
+    if (!state.ShouldRetryAfter(status, attempts, ElapsedMs(start))) {
+      return status;
+    }
+  }
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,78 @@
+#ifndef SHAREINSIGHTS_IO_SPILL_FILE_H_
+#define SHAREINSIGHTS_IO_SPILL_FILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// RAII scratch directory: creates a process-unique directory under
+/// `base` and removes it — recursively, best-effort — on destruction, so
+/// runs that error or are cancelled leave no stray temp files behind.
+/// Used by the spill subsystem (ops/spill.h) and the quarantine
+/// side-table writer. Movable, not copyable; a default-constructed guard
+/// owns nothing.
+class TempDirGuard {
+ public:
+  /// Creates `<base>/<prefix>.<pid>.<seq>` (base empty = the system temp
+  /// directory). Fails with kIoError when the directory cannot be made.
+  static Result<TempDirGuard> Create(const std::string& base,
+                                     const std::string& prefix);
+
+  TempDirGuard() = default;
+  TempDirGuard(TempDirGuard&& other) noexcept;
+  TempDirGuard& operator=(TempDirGuard&& other) noexcept;
+  TempDirGuard(const TempDirGuard&) = delete;
+  TempDirGuard& operator=(const TempDirGuard&) = delete;
+  ~TempDirGuard() { Remove(); }
+
+  /// Absolute path of the guarded directory; empty for an empty guard.
+  const std::string& path() const { return path_; }
+  bool valid() const { return !path_.empty(); }
+
+  /// Deletes the directory tree now (destructor becomes a no-op).
+  /// Idempotent; never throws — cleanup failures are swallowed, matching
+  /// destructor semantics.
+  void Remove();
+
+ private:
+  explicit TempDirGuard(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+};
+
+/// Retry schedule spill I/O runs under: a handful of quick,
+/// deterministically-jittered attempts, mirroring the `io.fetch`
+/// discipline in LoadDataObject. Transient failures (kIoError — real or
+/// injected at the `io.spill` site) are retried; permanent ones
+/// (disk-full kResourceExhausted, cancellation) fail the first time.
+RetryPolicy DefaultSpillRetryPolicy();
+
+/// Writes `block`'s rows to `path` as one compressed spill partition.
+/// The on-disk format works per column on the *encoded* representation
+/// (the same typed arrays the engine computes on): int64 columns store
+/// frame-of-reference + varint deltas, dictionary strings store the
+/// dictionary once plus varint codes, doubles store raw bit patterns
+/// (bit-exact round trip, -0.0 and NaN included), bools bit-pack. A
+/// trailing FNV-1a checksum detects torn or corrupted files at read
+/// time. Consults FaultInjector site `io.spill` per attempt and retries
+/// transient failures per `retry`. Returns the bytes written (also
+/// recorded in spill_bytes_written_total).
+Result<size_t> WriteSpillBlock(const std::string& path, const Table& block,
+                               const RetryPolicy& retry);
+
+/// Reads a spill partition back as decoded column Values — exactly the
+/// Values `block` held when written (ColumnData::GetValue round-trip).
+/// Verifies magic and checksum (kIoError on mismatch), consults the
+/// `io.spill` fault site per attempt, and retries transient failures per
+/// `retry`. Feeds spill_bytes_read_total.
+Result<std::vector<std::vector<Value>>> ReadSpillBlock(
+    const std::string& path, const RetryPolicy& retry);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_IO_SPILL_FILE_H_

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "ops/spill.h"
 
 namespace shareinsights {
 
@@ -81,30 +82,41 @@ Result<TablePtr> GatherRows(const TablePtr& input,
                             const std::vector<size_t>& rows,
                             const ExecContext& ctx) {
   size_t num_columns = input->num_columns();
-  MemoryReservation reservation;
-  if (ctx.budget != nullptr) {
-    SI_ASSIGN_OR_RETURN(
-        reservation,
-        ctx.budget->Reserve(ApproxCellBytes(rows.size(), num_columns),
-                            "gather"));
-  }
-  // Gather on the encoded representation: primitive/code arrays copy
-  // directly (dictionaries are shared, not re-built), so no Value is
-  // constructed per cell.
-  std::vector<ColumnData> columns;
-  columns.reserve(num_columns);
-  for (size_t c = 0; c < num_columns; ++c) {
-    columns.push_back(
-        ColumnData::AllocateLike(input->typed_column(c), rows.size()));
-  }
-  SI_RETURN_IF_ERROR(ForEachMorsel(
-      ctx, rows.size(), [&](size_t, size_t begin, size_t end) -> Status {
-        for (size_t c = 0; c < num_columns; ++c) {
-          columns[c].GatherFrom(input->typed_column(c), rows, begin, end);
+  // The whole-output gather is the budget-gated fast path; under memory
+  // pressure with a spill area, MaterializeChunksWithSpill re-invokes
+  // the same kernel per chunk of `rows` and stream-merges the spilled
+  // partitions — which is how sort / distinct / limit materializations
+  // degrade gracefully instead of failing.
+  return MaterializeChunksWithSpill(
+      input->schema(), rows.size(), num_columns, ctx, "gather",
+      [&](size_t chunk_begin, size_t chunk_end) -> Result<TablePtr> {
+        const bool full = chunk_begin == 0 && chunk_end == rows.size();
+        std::vector<size_t> slice;
+        if (!full) {
+          slice.assign(rows.begin() + static_cast<ptrdiff_t>(chunk_begin),
+                       rows.begin() + static_cast<ptrdiff_t>(chunk_end));
         }
-        return Status::OK();
-      }));
-  return Table::FromColumnData(input->schema(), std::move(columns));
+        const std::vector<size_t>& gather_rows = full ? rows : slice;
+        // Gather on the encoded representation: primitive/code arrays
+        // copy directly (dictionaries are shared, not re-built), so no
+        // Value is constructed per cell.
+        std::vector<ColumnData> columns;
+        columns.reserve(num_columns);
+        for (size_t c = 0; c < num_columns; ++c) {
+          columns.push_back(ColumnData::AllocateLike(input->typed_column(c),
+                                                     gather_rows.size()));
+        }
+        SI_RETURN_IF_ERROR(ForEachMorsel(
+            ctx, gather_rows.size(),
+            [&](size_t, size_t begin, size_t end) -> Status {
+              for (size_t c = 0; c < num_columns; ++c) {
+                columns[c].GatherFrom(input->typed_column(c), gather_rows,
+                                      begin, end);
+              }
+              return Status::OK();
+            }));
+        return Table::FromColumnData(input->schema(), std::move(columns));
+      });
 }
 
 std::vector<size_t> ConcatSelections(

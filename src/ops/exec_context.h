@@ -13,6 +13,8 @@
 
 namespace shareinsights {
 
+class SpillScratch;
+
 /// Default target rows per morsel. Tables at or below this size run as a
 /// single morsel, which is exactly the pre-morsel sequential code path.
 inline constexpr size_t kDefaultMorselRows = 16 * 1024;
@@ -47,6 +49,13 @@ struct ExecContext {
   /// tables, builders). Null = unmetered. A refused reservation surfaces
   /// as kResourceExhausted naming the operator, not as an OOM kill.
   MemoryBudget* budget = nullptr;
+  /// Per-run spill area (ops/spill.h). When set, spill-capable operators
+  /// (group-by, join, the shared gather kernel behind sort / distinct /
+  /// limit) degrade to compressed on-disk partitions instead of failing
+  /// when a `budget` reservation reports pressure. Null = spilling
+  /// disabled; over-budget materializations keep the PR4 hard-fail
+  /// (kResourceExhausted) behavior.
+  SpillScratch* spill = nullptr;
 
   /// OK while the run may proceed; the token's kCancelled once fired.
   /// Operators call this at their own coarse boundaries (DAG nodes, cube

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "ops/packed_key.h"
+#include "ops/spill.h"
 #include "common/fingerprint.h"
 
 namespace shareinsights {
@@ -324,30 +325,31 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
   // Materialize rows in group-encounter order. The output (group keys +
   // finalized aggregates) is the operator's dominant allocation; charge it
   // before building so an over-budget aggregation fails with a named
-  // kResourceExhausted instead of exhausting the process.
-  MemoryReservation reservation;
-  if (ctx.budget != nullptr) {
-    SI_ASSIGN_OR_RETURN(
-        reservation,
-        ctx.budget->Reserve(ApproxCellBytes(ordered.size(),
-                                            keys_.size() + aggregates_.size()),
-                            "groupby"));
-  }
-  TableBuilder builder(out_schema);
-  builder.Reserve(ordered.size());
-  for (Group& group : ordered) {
-    std::vector<Value> row;
-    row.reserve(keys_.size() + aggregates_.size());
-    for (size_t k = 0; k < key_idx.size(); ++k) {
-      row.push_back(input->typed_column(key_idx[k]).GetValue(group.first_row));
-    }
-    for (auto& agg : group.aggs) {
-      SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
-      row.push_back(std::move(v));
-    }
-    SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
-  }
-  SI_ASSIGN_OR_RETURN(TablePtr result, builder.Finish());
+  // kResourceExhausted — or, when the run has a spill area, degrades to
+  // chunked compressed spill partitions merged back in group order.
+  // Chunks partition the group range, so each Finalize still runs once.
+  SI_ASSIGN_OR_RETURN(
+      TablePtr result,
+      MaterializeRowsWithSpill(
+          out_schema, ordered.size(), keys_.size() + aggregates_.size(), ctx,
+          "groupby",
+          [&](size_t begin, size_t end, TableBuilder* builder) -> Status {
+            for (size_t g = begin; g < end; ++g) {
+              Group& group = ordered[g];
+              std::vector<Value> row;
+              row.reserve(keys_.size() + aggregates_.size());
+              for (size_t k = 0; k < key_idx.size(); ++k) {
+                row.push_back(
+                    input->typed_column(key_idx[k]).GetValue(group.first_row));
+              }
+              for (auto& agg : group.aggs) {
+                SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+                row.push_back(std::move(v));
+              }
+              SI_RETURN_IF_ERROR(builder->AppendRow(std::move(row)));
+            }
+            return Status::OK();
+          }));
 
   if (orderby_aggregates_ && !aggregates_.empty()) {
     // Sort descending by the first aggregate column.
@@ -488,29 +490,27 @@ Result<TablePtr> GroupByOp::ExecuteDelta(const std::vector<TablePtr>& inputs,
       AbsorbRows(*gb_state, delta, key_idx, agg_idx, factories, ctx));
 
   // Re-emit the whole output from live state — the same materialization
-  // (and optional descending re-sort) as the cold path's tail.
-  MemoryReservation reservation;
-  if (ctx.budget != nullptr) {
-    SI_ASSIGN_OR_RETURN(
-        reservation,
-        ctx.budget->Reserve(
-            ApproxCellBytes(gb_state->ordered.size(),
-                            keys_.size() + aggregates_.size()),
-            "groupby"));
-  }
-  TableBuilder builder(out_schema);
-  builder.Reserve(gb_state->ordered.size());
-  for (GroupByDeltaState::StateGroup& group : gb_state->ordered) {
-    std::vector<Value> row;
-    row.reserve(keys_.size() + aggregates_.size());
-    for (const Value& k : group.key) row.push_back(k);
-    for (auto& agg : group.aggs) {
-      SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
-      row.push_back(std::move(v));
-    }
-    SI_RETURN_IF_ERROR(builder.AppendRow(std::move(row)));
-  }
-  SI_ASSIGN_OR_RETURN(TablePtr result, builder.Finish());
+  // (and optional descending re-sort) as the cold path's tail, including
+  // its graceful degradation to spill under memory pressure.
+  SI_ASSIGN_OR_RETURN(
+      TablePtr result,
+      MaterializeRowsWithSpill(
+          out_schema, gb_state->ordered.size(),
+          keys_.size() + aggregates_.size(), ctx, "groupby",
+          [&](size_t begin, size_t end, TableBuilder* builder) -> Status {
+            for (size_t g = begin; g < end; ++g) {
+              GroupByDeltaState::StateGroup& group = gb_state->ordered[g];
+              std::vector<Value> row;
+              row.reserve(keys_.size() + aggregates_.size());
+              for (const Value& k : group.key) row.push_back(k);
+              for (auto& agg : group.aggs) {
+                SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+                row.push_back(std::move(v));
+              }
+              SI_RETURN_IF_ERROR(builder->AppendRow(std::move(row)));
+            }
+            return Status::OK();
+          }));
 
   if (orderby_aggregates_ && !aggregates_.empty()) {
     size_t agg_col = keys_.size();

@@ -8,6 +8,7 @@
 
 #include "common/string_util.h"
 #include "ops/packed_key.h"
+#include "ops/spill.h"
 #include "common/fingerprint.h"
 
 namespace shareinsights {
@@ -109,11 +110,24 @@ struct KeyHash {
 /// changes which rows land in a bucket — output is invariant to it.
 /// Phase 3 probes left morsels concurrently, buffering matched row pairs
 /// per morsel; -1 marks the null side of an outer-join row.
+///
+/// `build_passes` is the grace-join degradation under memory pressure
+/// (1 = the in-memory fast path). With K passes, pass k indexes only the
+/// build rows whose key hash ≡ k (mod K), so the resident index holds
+/// ~1/K of the build side at a time; left rows probe only in the single
+/// pass their own key hash selects, which is also where their unmatched
+/// status is decided. Per-morsel pair lists from all passes are then
+/// stable-sorted by probe row, reproducing the single-pass (and
+/// sequential) emission order exactly — the pass count never changes the
+/// output. The build side is already resident and immutable, so unlike a
+/// textbook grace join nothing is re-written to disk here; pressure only
+/// bounds the *additional* index memory, and each pass's index charge is
+/// reserved (best effort) and released before the next pass.
 template <typename Key, typename Hash, typename FillLeft, typename FillRight>
 Status BuildAndProbe(
     const TablePtr& left, const TablePtr& right, const ExecContext& ctx,
-    bool keep_unmatched_left, const Key& proto_key, FillLeft fill_left,
-    FillRight fill_right,
+    bool keep_unmatched_left, size_t build_passes, size_t build_charge_cols,
+    const Key& proto_key, FillLeft fill_left, FillRight fill_right,
     std::vector<std::vector<std::pair<ptrdiff_t, ptrdiff_t>>>* pairs,
     std::vector<std::atomic<bool>>* right_matched) {
   std::vector<size_t> right_hashes(right->num_rows());
@@ -131,46 +145,107 @@ Status BuildAndProbe(
   using Index = std::unordered_map<Key, std::vector<size_t>, Hash>;
   const size_t num_parts =
       std::max<size_t>(ctx.pool == nullptr ? 1 : ctx.parallelism(), 1);
-  std::vector<Index> index(num_parts);
-  auto build_part = [&](size_t p) {
-    Key key = proto_key;
-    for (size_t r = 0; r < right->num_rows(); ++r) {
-      if (right_hashes[r] % num_parts != p) continue;
-      fill_right(r, key);
-      index[p][key].push_back(r);
-    }
-  };
-  if (ctx.pool != nullptr && num_parts > 1) {
-    ctx.pool->ParallelFor(num_parts, build_part);
-  } else {
-    for (size_t p = 0; p < num_parts; ++p) build_part(p);
-  }
-
+  const size_t passes = std::max<size_t>(build_passes, 1);
   std::vector<MorselRange> ranges = MorselRanges(left->num_rows(), ctx);
   pairs->resize(ranges.size());
-  return ForEachMorsel(
-      ctx, left->num_rows(),
-      [&](size_t m, size_t begin, size_t end) -> Status {
-        Key key = proto_key;
-        std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& out = (*pairs)[m];
-        for (size_t l = begin; l < end; ++l) {
-          fill_left(l, key);
-          const Index& part = index[Hash{}(key) % num_parts];
-          auto it = part.find(key);
-          if (it == part.end()) {
-            if (keep_unmatched_left) {
-              out.emplace_back(static_cast<ptrdiff_t>(l), -1);
+  std::vector<std::vector<std::vector<std::pair<ptrdiff_t, ptrdiff_t>>>>
+      pass_pairs;
+  if (passes > 1) {
+    pass_pairs.assign(passes, std::vector<std::vector<
+                                  std::pair<ptrdiff_t, ptrdiff_t>>>(
+                                  ranges.size()));
+  }
+
+  for (size_t pass = 0; pass < passes; ++pass) {
+    SI_RETURN_IF_ERROR(ctx.CheckCancelled());
+    // Per-pass index charge (~1/K of the whole build). Best effort: under
+    // a pathologically small budget the pass proceeds uncharged rather
+    // than failing — the reservation itself never exceeds the budget.
+    MemoryReservation pass_reservation;
+    if (passes > 1 && ctx.budget != nullptr) {
+      MemoryBudget::PressureResult staged = ctx.budget->TryReserveOrSpill(
+          ApproxCellBytes(right->num_rows(), build_charge_cols) / passes,
+          "join:build");
+      if (!staged.pressure) pass_reservation = std::move(staged.reservation);
+    }
+
+    std::vector<Index> index(num_parts);
+    auto build_part = [&](size_t p) {
+      Key key = proto_key;
+      for (size_t r = 0; r < right->num_rows(); ++r) {
+        if (passes > 1 && right_hashes[r] % passes != pass) continue;
+        if (right_hashes[r] % num_parts != p) continue;
+        fill_right(r, key);
+        index[p][key].push_back(r);
+      }
+    };
+    if (ctx.pool != nullptr && num_parts > 1) {
+      ctx.pool->ParallelFor(num_parts, build_part);
+    } else {
+      for (size_t p = 0; p < num_parts; ++p) build_part(p);
+    }
+
+    SI_RETURN_IF_ERROR(ForEachMorsel(
+        ctx, left->num_rows(),
+        [&](size_t m, size_t begin, size_t end) -> Status {
+          Key key = proto_key;
+          std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& out =
+              passes > 1 ? pass_pairs[pass][m] : (*pairs)[m];
+          for (size_t l = begin; l < end; ++l) {
+            fill_left(l, key);
+            size_t h = Hash{}(key);
+            // A key lives only in its own pass's index; probing it
+            // elsewhere could mis-report it unmatched.
+            if (passes > 1 && h % passes != pass) continue;
+            const Index& part = index[h % num_parts];
+            auto it = part.find(key);
+            if (it == part.end()) {
+              if (keep_unmatched_left) {
+                out.emplace_back(static_cast<ptrdiff_t>(l), -1);
+              }
+              continue;
             }
-            continue;
+            for (size_t r : it->second) {
+              (*right_matched)[r].store(true, std::memory_order_relaxed);
+              out.emplace_back(static_cast<ptrdiff_t>(l),
+                               static_cast<ptrdiff_t>(r));
+            }
           }
-          for (size_t r : it->second) {
-            (*right_matched)[r].store(true, std::memory_order_relaxed);
-            out.emplace_back(static_cast<ptrdiff_t>(l),
-                             static_cast<ptrdiff_t>(r));
+          return Status::OK();
+        }));
+  }
+
+  if (passes > 1) {
+    // Re-interleave each morsel's per-pass lists by probe row. Every left
+    // row's pairs live in exactly one pass (contiguous, in build scan
+    // order), so a stable sort on the probe row reconstructs the
+    // single-pass emission order exactly.
+    SI_RETURN_IF_ERROR(ForEachMorsel(
+        ctx, ranges.size(), [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t m = begin; m < end; ++m) {
+            std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& out = (*pairs)[m];
+            size_t total = 0;
+            for (size_t pass = 0; pass < passes; ++pass) {
+              total += pass_pairs[pass][m].size();
+            }
+            out.reserve(total);
+            for (size_t pass = 0; pass < passes; ++pass) {
+              std::vector<std::pair<ptrdiff_t, ptrdiff_t>>& src =
+                  pass_pairs[pass][m];
+              out.insert(out.end(), src.begin(), src.end());
+              src.clear();
+              src.shrink_to_fit();
+            }
+            std::stable_sort(out.begin(), out.end(),
+                             [](const std::pair<ptrdiff_t, ptrdiff_t>& a,
+                                const std::pair<ptrdiff_t, ptrdiff_t>& b) {
+                               return a.first < b.first;
+                             });
           }
-        }
-        return Status::OK();
-      });
+          return Status::OK();
+        }));
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -200,12 +275,33 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
   // The build index holds every build-side key plus one row id per row;
   // charge it (approximated as keys + a row-id cell per build row) before
   // building so an over-budget join fails cleanly instead of OOMing.
+  // With a spill area configured, pressure degrades to a grace-style
+  // partitioned build instead: K passes each index ~1/K of the build
+  // side (see BuildAndProbe), keeping the resident index under budget.
+  // K depends only on the charge and the budget capacity — never on the
+  // thread count — so outputs stay deterministic.
+  const size_t build_charge_cols = rk.size() + 1;
+  const size_t build_bytes =
+      ApproxCellBytes(right->num_rows(), build_charge_cols);
   MemoryReservation build_reservation;
+  size_t build_passes = 1;
   if (ctx.budget != nullptr) {
-    SI_ASSIGN_OR_RETURN(
-        build_reservation,
-        ctx.budget->Reserve(ApproxCellBytes(right->num_rows(), rk.size() + 1),
-                            "join:build"));
+    if (ctx.spill == nullptr) {
+      SI_ASSIGN_OR_RETURN(build_reservation,
+                          ctx.budget->Reserve(build_bytes, "join:build"));
+    } else {
+      MemoryBudget::PressureResult reserved =
+          ctx.budget->TryReserveOrSpill(build_bytes, "join:build");
+      if (reserved.pressure) {
+        size_t capacity = ctx.budget->capacity();
+        size_t target = capacity > 0 ? std::max<size_t>(capacity / 2, 1)
+                                     : build_bytes / 8 + 1;
+        build_passes = std::clamp<size_t>(
+            (build_bytes + target - 1) / target, 2, 64);
+      } else {
+        build_reservation = std::move(reserved.reservation);
+      }
+    }
   }
 
   std::vector<std::atomic<bool>> right_matched(right->num_rows());
@@ -222,7 +318,8 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
                             &build_packer)) {
     SI_RETURN_IF_ERROR(
         (BuildAndProbe<std::vector<uint64_t>, PackedKeyHash>(
-            left, right, ctx, keep_unmatched_left,
+            left, right, ctx, keep_unmatched_left, build_passes,
+            build_charge_cols,
             std::vector<uint64_t>(build_packer->stride()),
             [&](size_t l, std::vector<uint64_t>& key) {
               probe_packer->PackRow(l, key);
@@ -234,7 +331,8 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
   } else {
     SI_RETURN_IF_ERROR(
         (BuildAndProbe<std::vector<Value>, KeyHash>(
-            left, right, ctx, keep_unmatched_left,
+            left, right, ctx, keep_unmatched_left, build_passes,
+            build_charge_cols,
             std::vector<Value>(lk.size()),
             [&](size_t l, std::vector<Value>& key) {
               for (size_t k = 0; k < lk.size(); ++k) {
@@ -265,13 +363,6 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
     }
     total_rows += unmatched_right;
   }
-  MemoryReservation emit_reservation;
-  if (ctx.budget != nullptr) {
-    SI_ASSIGN_OR_RETURN(
-        emit_reservation,
-        ctx.budget->Reserve(ApproxCellBytes(total_rows, proj_idx.size()),
-                            "join:emit"));
-  }
   std::vector<ptrdiff_t> lrows;
   std::vector<ptrdiff_t> rrows;
   lrows.reserve(total_rows);
@@ -295,26 +386,45 @@ Result<TablePtr> JoinOp::Execute(const std::vector<TablePtr>& inputs,
   // column, preserving encodings and sharing dictionaries instead of
   // re-encoding the output through the row-at-a-time builder. A side that
   // can be absent (outer joins) gets a forced null map for its -1 rows.
-  std::vector<ColumnData> out_cols;
-  out_cols.reserve(proj_idx.size());
-  for (const auto& [side, idx] : proj_idx) {
-    const ColumnData& src =
-        (side == 0 ? left : right)->typed_column(idx);
-    const bool may_null =
-        side == 0 ? keep_unmatched_right : keep_unmatched_left;
-    out_cols.push_back(ColumnData::AllocateLike(src, total_rows, may_null));
-  }
-  SI_RETURN_IF_ERROR(ForEachMorsel(
-      ctx, total_rows, [&](size_t, size_t begin, size_t end) -> Status {
-        for (size_t c = 0; c < proj_idx.size(); ++c) {
-          const auto& [side, idx] = proj_idx[c];
-          out_cols[c].GatherFromSigned(
-              (side == 0 ? left : right)->typed_column(idx),
-              side == 0 ? lrows : rrows, begin, end);
+  // The emit charge is spill-gated: under memory pressure the same
+  // gather runs per chunk of the pair lists, staged through compressed
+  // spill partitions and merged back in pair order.
+  return MaterializeChunksWithSpill(
+      out_schema, total_rows, proj_idx.size(), ctx, "join:emit",
+      [&](size_t chunk_begin, size_t chunk_end) -> Result<TablePtr> {
+        const bool full = chunk_begin == 0 && chunk_end == total_rows;
+        std::vector<ptrdiff_t> lslice;
+        std::vector<ptrdiff_t> rslice;
+        if (!full) {
+          lslice.assign(lrows.begin() + static_cast<ptrdiff_t>(chunk_begin),
+                        lrows.begin() + static_cast<ptrdiff_t>(chunk_end));
+          rslice.assign(rrows.begin() + static_cast<ptrdiff_t>(chunk_begin),
+                        rrows.begin() + static_cast<ptrdiff_t>(chunk_end));
         }
-        return Status::OK();
-      }));
-  return Table::FromColumnData(std::move(out_schema), std::move(out_cols));
+        const std::vector<ptrdiff_t>& lr = full ? lrows : lslice;
+        const std::vector<ptrdiff_t>& rr = full ? rrows : rslice;
+        std::vector<ColumnData> out_cols;
+        out_cols.reserve(proj_idx.size());
+        for (const auto& [side, idx] : proj_idx) {
+          const ColumnData& src =
+              (side == 0 ? left : right)->typed_column(idx);
+          const bool may_null =
+              side == 0 ? keep_unmatched_right : keep_unmatched_left;
+          out_cols.push_back(
+              ColumnData::AllocateLike(src, lr.size(), may_null));
+        }
+        SI_RETURN_IF_ERROR(ForEachMorsel(
+            ctx, lr.size(), [&](size_t, size_t begin, size_t end) -> Status {
+              for (size_t c = 0; c < proj_idx.size(); ++c) {
+                const auto& [side, idx] = proj_idx[c];
+                out_cols[c].GatherFromSigned(
+                    (side == 0 ? left : right)->typed_column(idx),
+                    side == 0 ? lr : rr, begin, end);
+              }
+              return Status::OK();
+            }));
+        return Table::FromColumnData(out_schema, std::move(out_cols));
+      });
 }
 
 

@@ -259,17 +259,22 @@ Result<TablePtr> TopNOp::Execute(const std::vector<TablePtr>& inputs,
     for (size_t g = 0; g < groups.size(); ++g) sort_group(g);
   }
 
+  // Materialize through the shared gather kernel: the kept rows inherit
+  // the input's encodings (dictionaries shared, not re-built), the
+  // output charge is metered, and under memory pressure the gather
+  // degrades to compressed spill partitions like sort/distinct/limit.
   size_t emit_rows = 0;
   for (const std::vector<size_t>& rows : groups) {
     emit_rows += std::min(limit_, rows.size());
   }
-  TableBuilder builder(input->schema());
-  builder.Reserve(emit_rows);
+  std::vector<size_t> kept;
+  kept.reserve(emit_rows);
   for (const std::vector<size_t>& rows : groups) {
     size_t keep = std::min(limit_, rows.size());
-    for (size_t i = 0; i < keep; ++i) builder.AppendRowFrom(*input, rows[i]);
+    kept.insert(kept.end(), rows.begin(),
+                rows.begin() + static_cast<ptrdiff_t>(keep));
   }
-  return builder.Finish();
+  return GatherRows(input, kept, ctx);
 }
 
 Result<Schema> DistinctOp::OutputSchema(

@@ -1,0 +1,166 @@
+#include "ops/spill.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <filesystem>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+#include "gov/memory_budget.h"
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+namespace {
+
+std::string SanitizeForFileName(const std::string& op) {
+  std::string out = op;
+  for (char& c : out) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') {
+      c = '_';
+    }
+  }
+  return out;
+}
+
+/// The pressure path: produce output rows [0, total_rows) in chunks,
+/// each staged under its own (shrunk-to-fit) reservation, compressed to
+/// a spill partition, and released; then stream-merge the partitions
+/// back in row order. See MaterializeChunksWithSpill for the contract.
+Result<TablePtr> SpillAndMerge(
+    const Schema& schema, size_t total_rows, size_t charge_cols,
+    const ExecContext& ctx, const std::string& op,
+    const std::function<Result<TablePtr>(size_t, size_t)>& make_chunk) {
+  SpillScratch* scratch = ctx.spill;
+  scratch->RecordSpill();
+  ScopedSpan span(ctx.tracer, "exec.spill", ctx.trace_parent);
+  span.AddAttribute("op", op);
+  span.AddAttribute("rows", static_cast<int64_t>(total_rows));
+
+  MetricsRegistry& metrics = MetricsRegistry::Default();
+  Counter* partitions_total = metrics.GetCounter(
+      "spill_partitions_total", "spill partitions written under pressure");
+  const RetryPolicy retry = DefaultSpillRetryPolicy();
+  auto degrade = [&](const Status& error) {
+    // Spilling IS the degraded mode; when even the disk refuses
+    // (ENOSPC, persistent I/O failure, corruption) the run fails with a
+    // clean, non-retryable kUnavailable naming the operator.
+    return Status::Unavailable("spill for operator '" + op +
+                               "' failed: " + error.message());
+  };
+
+  // Write phase: chunk, stage, compress, release.
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  while (begin < total_rows) {
+    SI_RETURN_IF_ERROR(ctx.CheckCancelled());
+    size_t len = std::min(scratch->chunk_rows(), total_rows - begin);
+    // Fit the staging reservation to whatever the budget has free,
+    // halving the chunk until it fits. A budget too small for even one
+    // row cannot be honored by any execution; stage that sliver
+    // uncharged rather than failing — the accounted reservation still
+    // never exceeds the budget.
+    MemoryReservation stage;
+    for (;;) {
+      MemoryBudget::PressureResult staged = ctx.budget->TryReserveOrSpill(
+          ApproxCellBytes(len, charge_cols), op);
+      if (!staged.pressure) {
+        stage = std::move(staged.reservation);
+        break;
+      }
+      if (len <= 1) break;
+      len = (len + 1) / 2;
+    }
+    size_t end = begin + len;
+    SI_ASSIGN_OR_RETURN(TablePtr block, make_chunk(begin, end));
+    SI_ASSIGN_OR_RETURN(std::string path, scratch->NextPartitionPath(op));
+    Result<size_t> written = WriteSpillBlock(path, *block, retry);
+    if (!written.ok()) return degrade(written.status());
+    scratch->RecordPartition(*written);
+    partitions_total->Increment();
+    parts.push_back(std::move(path));
+    begin = end;
+  }
+
+  // Merge phase: stream partitions back in write order, so the decoded
+  // row sequence equals the fast path's single materialization.
+  auto merge_start = std::chrono::steady_clock::now();
+  TableBuilder out(schema);
+  out.Reserve(total_rows);
+  for (const std::string& path : parts) {
+    SI_RETURN_IF_ERROR(ctx.CheckCancelled());
+    std::error_code ec;
+    uintmax_t file_bytes = std::filesystem::file_size(path, ec);
+    Result<std::vector<std::vector<Value>>> cols = ReadSpillBlock(path, retry);
+    if (!cols.ok()) return degrade(cols.status());
+    if (!ec) scratch->RecordRead(static_cast<size_t>(file_bytes));
+    size_t rows = cols->empty() ? 0 : (*cols)[0].size();
+    for (size_t r = 0; r < rows; ++r) {
+      std::vector<Value> row;
+      row.reserve(cols->size());
+      for (std::vector<Value>& col : *cols) row.push_back(std::move(col[r]));
+      SI_RETURN_IF_ERROR(out.AppendRow(std::move(row)));
+    }
+    std::filesystem::remove(path, ec);  // eager; the scratch guard backstops
+  }
+  double merge_ms =
+      std::chrono::duration<double, std::milli>(
+          std::chrono::steady_clock::now() - merge_start)
+          .count();
+  scratch->RecordMergeMs(merge_ms);
+  metrics
+      .GetHistogram("spill_merge_ms", Histogram::LatencyBoundsMs(),
+                    "time stream-merging spill partitions back in order")
+      ->Observe(merge_ms);
+  span.AddAttribute("partitions", static_cast<int64_t>(parts.size()));
+  return out.Finish();
+}
+
+}  // namespace
+
+Result<std::string> SpillScratch::NextPartitionPath(const std::string& op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!guard_.valid()) {
+    SI_ASSIGN_OR_RETURN(guard_,
+                        TempDirGuard::Create(options_.base_dir, "si-spill"));
+  }
+  return guard_.path() + "/" + SanitizeForFileName(op) + "." +
+         std::to_string(next_partition_++) + ".spill";
+}
+
+Result<TablePtr> MaterializeChunksWithSpill(
+    const Schema& schema, size_t total_rows, size_t charge_cols,
+    const ExecContext& ctx, const std::string& op,
+    const std::function<Result<TablePtr>(size_t, size_t)>& make_chunk) {
+  if (ctx.budget == nullptr) return make_chunk(0, total_rows);
+  const size_t bytes = ApproxCellBytes(total_rows, charge_cols);
+  if (ctx.spill == nullptr) {
+    // No spill area: the PR4 contract — a refused reservation fails the
+    // operator with kResourceExhausted naming it.
+    SI_ASSIGN_OR_RETURN(MemoryReservation reservation,
+                        ctx.budget->Reserve(bytes, op));
+    return make_chunk(0, total_rows);
+  }
+  MemoryBudget::PressureResult reserved =
+      ctx.budget->TryReserveOrSpill(bytes, op);
+  if (!reserved.pressure) return make_chunk(0, total_rows);
+  return SpillAndMerge(schema, total_rows, charge_cols, ctx, op, make_chunk);
+}
+
+Result<TablePtr> MaterializeRowsWithSpill(
+    const Schema& schema, size_t total_rows, size_t charge_cols,
+    const ExecContext& ctx, const std::string& op,
+    const std::function<Status(size_t, size_t, TableBuilder*)>& emit) {
+  return MaterializeChunksWithSpill(
+      schema, total_rows, charge_cols, ctx, op,
+      [&](size_t begin, size_t end) -> Result<TablePtr> {
+        TableBuilder builder(schema);
+        builder.Reserve(end - begin);
+        SI_RETURN_IF_ERROR(emit(begin, end, &builder));
+        return builder.Finish();
+      });
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,130 @@
+#ifndef SHAREINSIGHTS_OPS_SPILL_H_
+#define SHAREINSIGHTS_OPS_SPILL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "io/spill_file.h"
+#include "ops/exec_context.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// Default rows per spill partition chunk. Small enough that one chunk's
+/// staging reservation fits comfortably under any realistic budget,
+/// large enough that the varint/frame-of-reference encoding amortizes.
+inline constexpr size_t kDefaultSpillChunkRows = 64 * 1024;
+
+/// Per-run spill area shared by every spill-capable operator of one
+/// executor run: the scratch directory (created lazily on the first
+/// spill, removed — even on error or cancel — by TempDirGuard RAII when
+/// the run finishes), the chunking policy, and the run's spill counters
+/// surfaced in ExecutionStats. Thread-safe; flows of one run spill
+/// concurrently.
+class SpillScratch {
+ public:
+  struct Options {
+    /// Parent directory for the run's scratch dir (empty = system temp).
+    std::string base_dir;
+    /// Rows per spill chunk (0 = kDefaultSpillChunkRows).
+    size_t chunk_rows = 0;
+  };
+
+  explicit SpillScratch(Options options) : options_(std::move(options)) {}
+
+  size_t chunk_rows() const {
+    return options_.chunk_rows > 0 ? options_.chunk_rows
+                                   : kDefaultSpillChunkRows;
+  }
+
+  /// A fresh partition file path inside the run's scratch directory,
+  /// creating the directory on first use. `op` is embedded in the file
+  /// name for debuggability only.
+  Result<std::string> NextPartitionPath(const std::string& op);
+
+  // Run counters (relaxed atomics; read after the run for stats).
+  int64_t spills() const { return spills_.load(std::memory_order_relaxed); }
+  int64_t partitions() const {
+    return partitions_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_written() const {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+  double merge_ms() const {
+    return static_cast<double>(
+               merge_micros_.load(std::memory_order_relaxed)) /
+           1000.0;
+  }
+
+  void RecordSpill() { spills_.fetch_add(1, std::memory_order_relaxed); }
+  void RecordPartition(size_t bytes) {
+    partitions_.fetch_add(1, std::memory_order_relaxed);
+    bytes_written_.fetch_add(static_cast<int64_t>(bytes),
+                             std::memory_order_relaxed);
+  }
+  void RecordRead(size_t bytes) {
+    bytes_read_.fetch_add(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+  }
+  void RecordMergeMs(double ms) {
+    merge_micros_.fetch_add(static_cast<int64_t>(ms * 1000.0),
+                            std::memory_order_relaxed);
+  }
+
+ private:
+  Options options_;
+  std::mutex mu_;
+  TempDirGuard guard_;
+  uint64_t next_partition_ = 0;
+
+  std::atomic<int64_t> spills_{0};
+  std::atomic<int64_t> partitions_{0};
+  std::atomic<int64_t> bytes_written_{0};
+  std::atomic<int64_t> bytes_read_{0};
+  std::atomic<int64_t> merge_micros_{0};
+};
+
+/// Budget gate + graceful degradation for gather-style materializations
+/// (`total_rows` x `charge_cols` cells named `op`). The fast path
+/// reserves the whole output and calls `make_chunk(0, total_rows)` —
+/// exactly the pre-spill engine. Under memory pressure with a spill area
+/// configured (ctx.spill), output rows are produced in chunks instead:
+/// each chunk is reserved (shrinking until it fits), written to a
+/// compressed spill partition, and released, then the partitions are
+/// stream-merged back in row order — so the decoded output is identical
+/// to the fast path's while the *accounted* staging charge stays under
+/// the budget (the finished table itself is not metered in either
+/// engine, matching the repo's transient-reservation accounting). With
+/// no spill area the original kResourceExhausted surfaces unchanged.
+///
+/// `make_chunk(begin, end)` returns a table holding output rows
+/// [begin, end); it must be pure so chunked production equals one-shot
+/// production. Cancellation is probed between chunks; spill I/O failures
+/// degrade to kUnavailable naming `op`; partition files are removed
+/// eagerly after merge and by the scratch guard on any exit path.
+Result<TablePtr> MaterializeChunksWithSpill(
+    const Schema& schema, size_t total_rows, size_t charge_cols,
+    const ExecContext& ctx, const std::string& op,
+    const std::function<Result<TablePtr>(size_t begin, size_t end)>&
+        make_chunk);
+
+/// Builder-style variant: `emit(begin, end, builder)` appends output
+/// rows [begin, end) to `builder`. The fast path is one builder over all
+/// rows — byte-identical to the pre-spill operators' materialization
+/// tails; the pressure path chunks through MaterializeChunksWithSpill.
+Result<TablePtr> MaterializeRowsWithSpill(
+    const Schema& schema, size_t total_rows, size_t charge_cols,
+    const ExecContext& ctx, const std::string& op,
+    const std::function<Status(size_t begin, size_t end,
+                               TableBuilder* builder)>& emit);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_OPS_SPILL_H_

@@ -584,6 +584,11 @@ HttpResponse ApiServer::HandleDashboards(
     body.Set("rows_produced", JsonValue::MakeNumber(
                                   static_cast<double>(stats->rows_produced)));
     body.Set("wall_ms", JsonValue::MakeNumber(stats->wall_ms));
+    // True when the run completed by spilling some materialization to
+    // disk under memory pressure — previously these runs 500'd with
+    // kResourceExhausted.
+    body.Set("spilled", JsonValue::MakeBool(stats->spills > 0));
+    body.Set("spills", JsonValue::MakeNumber(stats->spills));
     body.Set("trace_id", JsonValue::MakeString(run_id));
     return JsonResponse(200, std::move(body));
   }

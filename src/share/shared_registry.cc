@@ -7,6 +7,47 @@
 
 namespace shareinsights {
 
+size_t SharedDataRegistry::EventBytes(const ChangeEvent& event) {
+  // Fixed overhead keeps delta-less full-rewrite markers from pinning
+  // the log forever; the delta payload is what retention really bounds.
+  constexpr size_t kEventOverheadBytes = 64;
+  return kEventOverheadBytes +
+         (event.delta != nullptr ? event.delta->ApproxBytes() : 0);
+}
+
+void SharedDataRegistry::TrimChangeLog(Published* entry) {
+  // Oldest events fall off first; the newest always survives so a
+  // subscriber at the immediately preceding version can still patch.
+  while (entry->changelog.size() > 1 &&
+         entry->changelog_bytes > changelog_retention_bytes_) {
+    entry->changelog_bytes -= EventBytes(entry->changelog.front());
+    entry->changelog.pop_front();
+  }
+}
+
+void SharedDataRegistry::set_changelog_retention_bytes(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  changelog_retention_bytes_ = bytes;
+  for (auto& [name, entry] : entries_) TrimChangeLog(&entry);
+}
+
+size_t SharedDataRegistry::changelog_retention_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return changelog_retention_bytes_;
+}
+
+size_t SharedDataRegistry::ChangeLogBytes(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.changelog_bytes;
+}
+
+size_t SharedDataRegistry::ChangeLogDepth(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.changelog.size();
+}
+
 Status SharedDataRegistry::Publish(const std::string& name, TablePtr table,
                                    const std::string& publisher) {
   if (table == nullptr) {
@@ -23,7 +64,8 @@ Status SharedDataRegistry::Publish(const std::string& name, TablePtr table,
     entry.table = std::move(table);
     entry.publisher = publisher;
     entry.changelog.push_back(event);
-    while (entry.changelog.size() > kMaxChangeLog) entry.changelog.pop_front();
+    entry.changelog_bytes += EventBytes(event);
+    TrimChangeLog(&entry);
     for (const auto& [id, fn] : subscribers_) fns.push_back(fn);
   }
   change_cv_.notify_all();
@@ -54,7 +96,8 @@ Status SharedDataRegistry::PublishAppend(const std::string& name,
     entry.table = std::move(grown);
     entry.publisher = publisher;
     entry.changelog.push_back(event);
-    while (entry.changelog.size() > kMaxChangeLog) entry.changelog.pop_front();
+    entry.changelog_bytes += EventBytes(event);
+    TrimChangeLog(&entry);
     for (const auto& [id, fn] : subscribers_) fns.push_back(fn);
   }
   change_cv_.notify_all();

@@ -124,10 +124,32 @@ class SharedDataRegistry : public SharedSchemaSource,
   /// first.
   std::vector<DiscoveryMatch> Discover(const Schema& schema) const;
 
+  /// Changelog retention is byte-based: each object's log is trimmed
+  /// oldest-first once the retained deltas exceed this cap, so retention
+  /// tracks actual memory held (a thousand one-row appends are cheap to
+  /// keep; a handful of wide ones are not) instead of a fixed event
+  /// count. The newest event always survives, whatever its size —
+  /// subscribers at the previous version must still be able to patch.
+  /// Trimmed-away history pushes lagging subscribers onto the refetch
+  /// path (ChangesSince reports non-contiguous), never into corruption.
+  void set_changelog_retention_bytes(size_t bytes);
+  size_t changelog_retention_bytes() const;
+
+  /// Approximate bytes currently retained in `name`'s changelog
+  /// (0 when absent) — observability for the retention tests and the
+  /// /shared listing.
+  size_t ChangeLogBytes(const std::string& name) const;
+  /// Events currently retained in `name`'s changelog (0 when absent).
+  size_t ChangeLogDepth(const std::string& name) const;
+
+  /// Default per-object changelog retention (see
+  /// set_changelog_retention_bytes).
+  static constexpr size_t kDefaultChangeLogRetentionBytes = 4 * 1024 * 1024;
+
  private:
-  /// Changelog entries retained per object; older appends fall off and
-  /// force lagging subscribers onto the refetch path.
-  static constexpr size_t kMaxChangeLog = 64;
+  /// Ledger charge of one retained event: the delta's payload plus a
+  /// fixed overhead so delta-less full-rewrite markers still age out.
+  static size_t EventBytes(const ChangeEvent& event);
 
   mutable std::mutex mu_;
   mutable std::condition_variable change_cv_;
@@ -138,7 +160,14 @@ class SharedDataRegistry : public SharedSchemaSource,
     /// `append` flag also tells whether history is patchable from just
     /// before it.
     std::deque<ChangeEvent> changelog;
+    /// Sum of EventBytes over `changelog` (maintained incrementally).
+    size_t changelog_bytes = 0;
   };
+  /// Trims `entry.changelog` oldest-first to the retention cap, always
+  /// keeping the newest event. Callers hold `mu_`.
+  void TrimChangeLog(Published* entry);
+
+  size_t changelog_retention_bytes_ = kDefaultChangeLogRetentionBytes;
   std::map<std::string, Published> entries_;
   std::map<int, SubscriberFn> subscribers_;
   int next_subscriber_id_ = 1;

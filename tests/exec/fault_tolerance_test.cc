@@ -1,9 +1,16 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <system_error>
+
 #include "common/fault.h"
 #include "compile/compiler.h"
 #include "exec/executor.h"
 #include "flow/flow_file.h"
+#include "gov/memory_budget.h"
 #include "io/circuit_breaker.h"
 #include "obs/metrics.h"
 
@@ -284,17 +291,170 @@ T:
   EXPECT_EQ((*side)->at(1, 2), Value("b,2,extra"));
 }
 
+// ------------------------------------------------------------------
+// io.spill injection (ISSUE 8 satellite): spilling runs disturbed by
+// transient spill-file faults still produce outputs identical to the
+// undisturbed, unbudgeted engine; a full disk degrades to a clean
+// kUnavailable naming the operator; scratch dirs never leak.
+// ------------------------------------------------------------------
+
+// Wider diamond so the budgeted run genuinely spills: 600 rows through
+// two group-bys and a join.
+std::string WideDiamond() {
+  std::string csv = "key,value\n";
+  for (int i = 0; i < 600; ++i) {
+    csv += "k" + std::to_string(i % 24) + "," + std::to_string(i % 50) + "\n";
+  }
+  return std::string("D:\n") +
+         "  src: [key, value]\n"
+         "D.src:\n"
+         "  protocol: inline\n"
+         "  format: csv\n"
+         "  data: \"" + csv + "\"\n"
+         "F:\n"
+         "  D.sums: D.src | T.sum_by_key\n"
+         "  D.counts: D.src | T.count_by_key\n"
+         "  D.joined: (D.sums, D.counts) | T.join_both\n"
+         "D.joined:\n"
+         "  endpoint: true\n"
+         "T:\n"
+         "  sum_by_key:\n"
+         "    type: groupby\n"
+         "    groupby: [key]\n"
+         "    aggregates:\n"
+         "      - operator: sum\n"
+         "        apply_on: value\n"
+         "        out_field: total\n"
+         "  count_by_key:\n"
+         "    type: groupby\n"
+         "    groupby: [key]\n"
+         "    aggregates:\n"
+         "      - operator: count\n"
+         "        apply_on: value\n"
+         "        out_field: n\n"
+         "  join_both:\n"
+         "    type: join\n"
+         "    left: sums by key\n"
+         "    right: counts by key\n"
+         "    join_condition: inner\n"
+         "    project:\n"
+         "      sums_key: key\n"
+         "      sums_total: total\n"
+         "      counts_n: n\n";
+}
+
+// A test-private spill base dir, so scratch-hygiene assertions cannot
+// race with other spill tests sharing the system temp dir under a
+// parallel ctest run.
+class PrivateSpillDir {
+ public:
+  explicit PrivateSpillDir(const std::string& tag) {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("si-fault-test." + tag + "." +
+              std::to_string(::getpid())))
+                .string();
+    std::filesystem::create_directories(path_);
+  }
+  ~PrivateSpillDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  bool empty() const { return std::filesystem::is_empty(path_); }
+
+ private:
+  std::string path_;
+};
+
+// Transient io.spill faults across several seeds and thread counts: the
+// per-attempt retry inside WriteSpillBlock/ReadSpillBlock absorbs them
+// and the spilled outputs stay identical to the clean unbudgeted run.
+TEST_F(FaultToleranceTest, SpillFaultsAcrossSeedsStayByteIdentical) {
+  ExecutionPlan plan = Compile(WideDiamond());
+
+  DataStore clean;
+  ExecuteOptions clean_opts;
+  clean_opts.num_threads = 1;
+  ASSERT_TRUE(Executor(clean_opts).Execute(plan, &clean).ok());
+  PrivateSpillDir spill_dir("faults");
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    for (size_t threads : {1u, 4u, 8u}) {
+      SCOPED_TRACE("seed " + std::to_string(seed) + " threads " +
+                   std::to_string(threads));
+      FaultSpec spec;
+      spec.probability = 0.3;
+      spec.max_fires = 2;  // within one retry schedule, so runs always win
+      spec.status = Status::IoError("injected spill fault");
+      spec.seed = seed;
+      FaultInjector::Get().Arm(kFaultIoSpill, spec);
+
+      DataStore faulted;
+      ExecuteOptions opts;
+      opts.num_threads = threads;
+      opts.morsel_rows = 64;
+      opts.mem_budget_bytes = 512;  // far under the working set: spill on
+      opts.spill_dir = spill_dir.path();
+      auto stats = Executor(opts).Execute(plan, &faulted);
+      FaultInjector::Get().Reset();
+      ASSERT_TRUE(stats.ok()) << stats.status();
+      EXPECT_GT(stats->spills, 0);
+
+      for (const std::string& name : clean.Names()) {
+        SCOPED_TRACE("table " + name);
+        ASSERT_TRUE(faulted.Has(name));
+        ExpectTablesEqual(*clean.Get(name), *faulted.Get(name));
+      }
+      EXPECT_EQ(MemoryBudget::Process().reserved(), 0u);
+      EXPECT_TRUE(spill_dir.empty());
+    }
+  }
+}
+
+// A full disk (non-retryable kResourceExhausted at the io.spill site)
+// degrades the run to a clean kUnavailable naming the operator — no
+// retry storm, no stray scratch files, ledger unwound.
+TEST_F(FaultToleranceTest, SpillDiskFullDegradesToUnavailable) {
+  ExecutionPlan plan = Compile(WideDiamond());
+  PrivateSpillDir spill_dir("enospc");
+
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.status = Status::ResourceExhausted("injected ENOSPC");
+  FaultInjector::Get().Arm(kFaultIoSpill, spec);
+
+  DataStore store;
+  ExecuteOptions opts;
+  opts.mem_budget_bytes = 512;
+  opts.spill_dir = spill_dir.path();
+  opts.flow_retry_attempts = 3;  // must NOT be consumed: kUnavailable
+  auto stats = Executor(opts).Execute(plan, &store);
+  FaultInjector::Get().Reset();
+
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(stats.status().message().find("spill for operator"),
+            std::string::npos)
+      << stats.status();
+  EXPECT_TRUE(spill_dir.empty());
+  EXPECT_EQ(MemoryBudget::Process().reserved(), 0u);
+}
+
 TEST_F(FaultToleranceTest, StatsToStringReportsRobustnessCounters) {
   ExecutionStats stats;
   stats.io_retries = 2;
   stats.flow_retries = 1;
   stats.sources_degraded = 1;
   stats.rows_quarantined = 4;
+  stats.spills = 2;
+  stats.spill_bytes_written = 1024;
+  stats.spill_bytes_read = 1024;
   std::string text = stats.ToString();
   EXPECT_NE(text.find("io_retries"), std::string::npos);
   EXPECT_NE(text.find("flow_retries"), std::string::npos);
   EXPECT_NE(text.find("degraded"), std::string::npos);
   EXPECT_NE(text.find("quarantined"), std::string::npos);
+  EXPECT_NE(text.find("spills=2"), std::string::npos);
 }
 
 }  // namespace

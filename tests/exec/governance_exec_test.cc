@@ -179,6 +179,7 @@ TEST(GovernanceExecTest, MemBudgetFailsQueryNamingOperatorThenRecovers) {
 
   ExecuteOptions options;
   options.mem_budget_bytes = 64;  // 8 groups x 2 cells won't fit
+  options.enable_spill = false;   // keep the hard-fail contract under test
   DataStore store;
   auto stats = Executor(options).Execute(plan, &store);
   ASSERT_FALSE(stats.ok());
@@ -198,6 +199,32 @@ TEST(GovernanceExecTest, MemBudgetFailsQueryNamingOperatorThenRecovers) {
   auto ok_stats = Executor(unbounded).Execute(plan, &second_store);
   ASSERT_TRUE(ok_stats.ok()) << ok_stats.status();
   EXPECT_EQ((*second_store.Get("totals"))->num_rows(), 8u);
+  EXPECT_EQ(MemoryBudget::Process().reserved(), baseline);
+}
+
+// The same starved budget with spilling enabled (the default) completes
+// the run instead of failing: the group-by degrades to compressed
+// on-disk partitions, the output matches the unbudgeted run, the stats
+// report the spill, and the ledger unwinds to baseline.
+TEST(GovernanceExecTest, MemBudgetSpillsAndCompletesWhenEnabled) {
+  ExecutionPlan plan = CompileSlowFlow(64, "sum", nullptr);
+  size_t baseline = MemoryBudget::Process().reserved();
+
+  ExecuteOptions unbounded;
+  DataStore reference_store;
+  auto reference = Executor(unbounded).Execute(plan, &reference_store);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  ExecuteOptions options;
+  options.mem_budget_bytes = 64;  // same cap that hard-fails above
+  DataStore store;
+  auto stats = Executor(options).Execute(plan, &store);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->spills, 0);
+  EXPECT_GT(stats->spill_bytes_written, 0);
+  EXPECT_EQ(stats->spill_bytes_read, stats->spill_bytes_written);
+  EXPECT_EQ((*store.Get("totals"))->ToDisplayString(1000),
+            (*reference_store.Get("totals"))->ToDisplayString(1000));
   EXPECT_EQ(MemoryBudget::Process().reserved(), baseline);
 }
 

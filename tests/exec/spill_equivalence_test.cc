@@ -1,0 +1,274 @@
+// Spill equivalence suite: runs a plan exercising every spill-capable
+// operator (group-by, hash join, sort, distinct, top-n) with a memory
+// budget a tenth of the working set, across thread counts, and checks
+// the outputs are identical to the unbudgeted engine's — the ISSUE 8
+// acceptance oracle. Also verifies the accounted reservation never
+// exceeds the budget while the run is in flight, and that the scratch
+// directory never outlives a run.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <system_error>
+#include <thread>
+#include <vector>
+
+#include "compile/compiler.h"
+#include "exec/executor.h"
+#include "flow/flow_file.h"
+#include "gov/memory_budget.h"
+
+namespace shareinsights {
+namespace {
+
+namespace fs = std::filesystem;
+
+// One source plus a small dimension table, fanned through every
+// spill-capable operator shape.
+std::string SpillFlowText(int rows, int keys) {
+  std::string events = "key,value,city\n";
+  for (int i = 0; i < rows; ++i) {
+    events += "k" + std::to_string(i % keys) + "," +
+              std::to_string((i * 37) % 1000) + ",c" +
+              std::to_string(i % 11) + "\n";
+  }
+  std::string dims = "key,label\n";
+  for (int k = 0; k < keys; ++k) {
+    dims += "k" + std::to_string(k) + ",label-" + std::to_string(k) + "\n";
+  }
+  return std::string("D:\n") +
+         "  events: [key, value, city]\n"
+         "  dims: [key, label]\n"
+         "D.events:\n"
+         "  protocol: inline\n"
+         "  format: csv\n"
+         "  data: \"" + events + "\"\n"
+         "D.dims:\n"
+         "  protocol: inline\n"
+         "  format: csv\n"
+         "  data: \"" + dims + "\"\n"
+         "F:\n"
+         "  D.sums: D.events | T.sum_by_key\n"
+         "  D.joined: (D.events, D.dims) | T.join_dims\n"
+         "  D.sorted: D.events | T.by_value\n"
+         "  D.uniq: D.events | T.keep\n"
+         "  D.top: D.events | T.top_per_city\n"
+         "D.sums:\n"
+         "  endpoint: true\n"
+         "D.joined:\n"
+         "  endpoint: true\n"
+         "D.sorted:\n"
+         "  endpoint: true\n"
+         "D.uniq:\n"
+         "  endpoint: true\n"
+         "D.top:\n"
+         "  endpoint: true\n"
+         "T:\n"
+         "  sum_by_key:\n"
+         "    type: groupby\n"
+         "    groupby: [key, city]\n"
+         "    aggregates:\n"
+         "      - operator: sum\n"
+         "        apply_on: value\n"
+         "        out_field: total\n"
+         "      - operator: count\n"
+         "        apply_on: value\n"
+         "        out_field: n\n"
+         "  join_dims:\n"
+         "    type: join\n"
+         "    left: events by key\n"
+         "    right: dims by key\n"
+         "    join_condition: inner\n"
+         "    project:\n"
+         "      events_key: key\n"
+         "      events_value: value\n"
+         "      dims_label: label\n"
+         "  by_value:\n"
+         "    type: orderby\n"
+         "    orderby: [value desc, key]\n"
+         "  keep:\n"
+         "    type: distinct\n"
+         "    columns: [key, city]\n"
+         "  top_per_city:\n"
+         "    type: topn\n"
+         "    groupby: [city]\n"
+         "    orderby_column: [value desc]\n"
+         "    limit: 3\n";
+}
+
+ExecutionPlan Compile(const std::string& text) {
+  auto file = ParseFlowFile(text, "spill_equivalence");
+  EXPECT_TRUE(file.ok()) << file.status();
+  auto plan = CompileFlowFile(*file);
+  EXPECT_TRUE(plan.ok()) << plan.status();
+  return *plan;
+}
+
+void ExpectTablesEqual(const TablePtr& a, const TablePtr& b) {
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  for (size_t r = 0; r < a->num_rows(); ++r) {
+    for (size_t c = 0; c < a->num_columns(); ++c) {
+      EXPECT_EQ(a->at(r, c), b->at(r, c)) << "row " << r << " col " << c;
+    }
+  }
+}
+
+size_t WorkingSetBytes(const DataStore& store) {
+  size_t total = 0;
+  for (const std::string& name : store.Names()) {
+    total += (*store.Get(name))->ApproxBytes();
+  }
+  return total;
+}
+
+// A test-private spill base dir, so scratch-hygiene assertions cannot
+// race with other spill tests sharing the system temp dir under a
+// parallel ctest run.
+class PrivateSpillDir {
+ public:
+  explicit PrivateSpillDir(const std::string& tag) {
+    path_ = (fs::temp_directory_path() /
+             ("si-equiv-test." + tag + "." + std::to_string(::getpid())))
+                .string();
+    fs::create_directories(path_);
+  }
+  ~PrivateSpillDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  const std::string& path() const { return path_; }
+  bool empty() const { return fs::is_empty(path_); }
+
+ private:
+  std::string path_;
+};
+
+// The acceptance oracle: budget = working set / 10, thread counts
+// {1, 4, 8}, every endpoint identical to the unbudgeted run, spills
+// reported, process ledger back to baseline, scratch dirs gone.
+TEST(SpillEquivalenceTest, TenthOfWorkingSetMatchesUnbudgetedAcrossThreads) {
+  ExecutionPlan plan = Compile(SpillFlowText(4000, 64));
+
+  DataStore clean;
+  ExecuteOptions clean_opts;
+  clean_opts.num_threads = 1;
+  auto clean_stats = Executor(clean_opts).Execute(plan, &clean);
+  ASSERT_TRUE(clean_stats.ok()) << clean_stats.status();
+  EXPECT_EQ(clean_stats->spills, 0);
+
+  size_t budget = WorkingSetBytes(clean) / 10;
+  ASSERT_GT(budget, 0u);
+  size_t baseline = MemoryBudget::Process().reserved();
+  PrivateSpillDir spill_dir("tenth");
+
+  for (size_t threads : {1u, 4u, 8u}) {
+    SCOPED_TRACE("threads " + std::to_string(threads));
+    ExecuteOptions opts;
+    opts.num_threads = threads;
+    opts.morsel_rows = 256;
+    opts.mem_budget_bytes = budget;
+    opts.spill_dir = spill_dir.path();
+
+    // Sample the process ledger while the run is in flight: the
+    // accounted reservation must never exceed baseline + budget — the
+    // "mem_reserved_bytes never exceeds the budget" acceptance bound.
+    std::atomic<bool> done{false};
+    std::atomic<size_t> max_seen{0};
+    std::thread sampler([&] {
+      while (!done.load(std::memory_order_relaxed)) {
+        size_t now = MemoryBudget::Process().reserved();
+        size_t prev = max_seen.load(std::memory_order_relaxed);
+        while (now > prev &&
+               !max_seen.compare_exchange_weak(prev, now,
+                                               std::memory_order_relaxed)) {
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    DataStore budgeted;
+    auto stats = Executor(opts).Execute(plan, &budgeted);
+    done.store(true, std::memory_order_relaxed);
+    sampler.join();
+
+    ASSERT_TRUE(stats.ok()) << stats.status();
+    EXPECT_GT(stats->spills, 0);
+    EXPECT_GT(stats->spill_bytes_written, 0);
+    EXPECT_EQ(stats->spill_bytes_read, stats->spill_bytes_written);
+    EXPECT_LE(max_seen.load(), baseline + budget);
+
+    for (const std::string& name : clean.Names()) {
+      SCOPED_TRACE("table " + name);
+      ASSERT_TRUE(budgeted.Has(name));
+      ExpectTablesEqual(*clean.Get(name), *budgeted.Get(name));
+    }
+    EXPECT_EQ(MemoryBudget::Process().reserved(), baseline);
+    EXPECT_TRUE(spill_dir.empty());
+  }
+}
+
+// spill_chunk_rows is a pure granularity knob: tiny chunks mean many
+// more partitions, same bytes out.
+TEST(SpillEquivalenceTest, ChunkSizeOnlyChangesGranularity) {
+  ExecutionPlan plan = Compile(SpillFlowText(1500, 32));
+  DataStore clean;
+  ASSERT_TRUE(Executor().Execute(plan, &clean).ok());
+  size_t budget = WorkingSetBytes(clean) / 10;
+
+  ExecuteOptions opts;
+  opts.num_threads = 2;
+  opts.mem_budget_bytes = budget;
+  opts.spill_chunk_rows = 64;
+  DataStore tiny_chunks;
+  auto stats = Executor(opts).Execute(plan, &tiny_chunks);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->spills, 0);
+  for (const std::string& name : clean.Names()) {
+    SCOPED_TRACE("table " + name);
+    ExpectTablesEqual(*clean.Get(name), *tiny_chunks.Get(name));
+  }
+}
+
+// A custom spill_dir is honored and cleaned out afterwards.
+TEST(SpillEquivalenceTest, CustomSpillDirIsUsedAndCleaned) {
+  ExecutionPlan plan = Compile(SpillFlowText(1500, 32));
+  DataStore clean;
+  ASSERT_TRUE(Executor().Execute(plan, &clean).ok());
+
+  std::string dir =
+      (fs::temp_directory_path() / "si-spill-custom-dir").string();
+  fs::create_directories(dir);
+  ExecuteOptions opts;
+  opts.mem_budget_bytes = WorkingSetBytes(clean) / 10;
+  opts.spill_dir = dir;
+  DataStore budgeted;
+  auto stats = Executor(opts).Execute(plan, &budgeted);
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->spills, 0);
+  EXPECT_TRUE(fs::is_empty(dir));
+  fs::remove_all(dir);
+}
+
+// With enable_spill=false the budgeted run keeps the hard-fail
+// contract end to end.
+TEST(SpillEquivalenceTest, DisabledSpillStillHardFails) {
+  ExecutionPlan plan = Compile(SpillFlowText(1500, 32));
+  DataStore clean;
+  ASSERT_TRUE(Executor().Execute(plan, &clean).ok());
+
+  ExecuteOptions opts;
+  opts.mem_budget_bytes = WorkingSetBytes(clean) / 10;
+  opts.enable_spill = false;
+  DataStore store;
+  auto stats = Executor(opts).Execute(plan, &store);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,43 @@
+// SI_PROCESS_MEM_BUDGET_BYTES pins the process budget's capacity at
+// first use. This lives in its own test binary on purpose: the env var
+// must be set before anything touches MemoryBudget::Process(), and
+// sharing a binary with other governance tests would leave that
+// ordering to gtest's whims.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "gov/memory_budget.h"
+
+namespace shareinsights {
+namespace {
+
+TEST(EnvBudgetTest, EnvVarCapsProcessBudgetAtFirstUse) {
+  ASSERT_EQ(setenv("SI_PROCESS_MEM_BUDGET_BYTES", "4096", /*overwrite=*/1), 0);
+  EXPECT_EQ(MemoryBudget::Process().capacity(), 4096u);
+
+  // The cap is live, not just recorded: a larger reservation is refused
+  // at the process level and nothing stays charged.
+  auto refused = MemoryBudget::Process().Reserve(8192, "env_test");
+  EXPECT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(MemoryBudget::Process().reserved(), 0u);
+
+  // A fitting reservation is granted and releases cleanly.
+  auto granted = MemoryBudget::Process().Reserve(1024, "env_test");
+  ASSERT_TRUE(granted.ok());
+  EXPECT_EQ(MemoryBudget::Process().reserved(), 1024u);
+  granted->Release();
+  EXPECT_EQ(MemoryBudget::Process().reserved(), 0u);
+
+  // Read once: changing the env var later does nothing; set_capacity
+  // still can.
+  ASSERT_EQ(setenv("SI_PROCESS_MEM_BUDGET_BYTES", "9999", 1), 0);
+  EXPECT_EQ(MemoryBudget::Process().capacity(), 4096u);
+  MemoryBudget::Process().set_capacity(0);
+  EXPECT_EQ(MemoryBudget::Process().capacity(), 0u);
+}
+
+}  // namespace
+}  // namespace shareinsights

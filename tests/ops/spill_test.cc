@@ -1,0 +1,372 @@
+// Unit tests for the spill subsystem: the compressed spill-block file
+// format (exact Value round-trip across every column encoding),
+// TempDirGuard hygiene, io.spill fault injection (transient retry,
+// disk-full fail-fast, corruption detection), the SpillScratch run
+// area, and the pressure path of MaterializeChunksWithSpill producing
+// output identical to the in-memory fast path. Also covers the
+// quarantine side-table writer's staged variant, which shares the
+// scratch-dir discipline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "gov/memory_budget.h"
+#include "io/error_policy.h"
+#include "io/spill_file.h"
+#include "ops/exec_context.h"
+#include "ops/spill.h"
+#include "table/table.h"
+
+namespace shareinsights {
+namespace {
+
+namespace fs = std::filesystem;
+
+// NaN-aware Value comparison (NaN == NaN for round-trip purposes).
+void ExpectValueEq(const Value& a, const Value& b, const std::string& where) {
+  if (a.is_double() && b.is_double() && std::isnan(a.double_value()) &&
+      std::isnan(b.double_value())) {
+    return;
+  }
+  EXPECT_EQ(a.ToString(), b.ToString()) << where;
+}
+
+void ExpectSameTable(const TablePtr& a, const TablePtr& b) {
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  ASSERT_EQ(a->num_columns(), b->num_columns());
+  for (size_t c = 0; c < a->num_columns(); ++c) {
+    for (size_t r = 0; r < a->num_rows(); ++r) {
+      ExpectValueEq(a->at(r, c), b->at(r, c),
+                    "row " + std::to_string(r) + " col " + std::to_string(c));
+    }
+  }
+}
+
+// A table exercising every encoding: int64 (wide range, negatives,
+// nulls), double (-0.0, NaN, infinities, nulls), bool (nulls), dict
+// strings (repeats, empty string, nulls), and a generic mixed column.
+TablePtr EveryEncodingTable() {
+  std::vector<Value> ints, doubles, bools, strings, mixed;
+  for (int64_t i = 0; i < 300; ++i) {
+    if (i % 17 == 0) {
+      ints.push_back(Value::Null());
+    } else {
+      ints.push_back(Value(i * 1000003 - 150 * 1000003));
+    }
+    if (i % 13 == 0) {
+      doubles.push_back(Value::Null());
+    } else if (i % 13 == 1) {
+      doubles.push_back(Value(-0.0));
+    } else if (i % 13 == 2) {
+      doubles.push_back(Value(std::nan("")));
+    } else if (i % 13 == 3) {
+      doubles.push_back(Value(std::numeric_limits<double>::infinity()));
+    } else {
+      doubles.push_back(Value(static_cast<double>(i) * 0.3125 - 40.0));
+    }
+    bools.push_back(i % 11 == 0 ? Value::Null() : Value(i % 2 == 0));
+    if (i % 19 == 0) {
+      strings.push_back(Value::Null());
+    } else if (i % 19 == 1) {
+      strings.push_back(Value(""));
+    } else {
+      strings.push_back(Value("city-" + std::to_string(i % 7)));
+    }
+    switch (i % 5) {
+      case 0: mixed.push_back(Value::Null()); break;
+      case 1: mixed.push_back(Value(i)); break;
+      case 2: mixed.push_back(Value(static_cast<double>(i) + 0.5)); break;
+      case 3: mixed.push_back(Value(i % 2 == 1)); break;
+      default: mixed.push_back(Value("m" + std::to_string(i))); break;
+    }
+  }
+  return *Table::Create(
+      Schema::FromNames({"i", "d", "b", "s", "m"}),
+      {std::move(ints), std::move(doubles), std::move(bools),
+       std::move(strings), std::move(mixed)});
+}
+
+TEST(SpillFileTest, BlockRoundTripsEveryEncoding) {
+  auto scratch = TempDirGuard::Create("", "si-spill-test");
+  ASSERT_TRUE(scratch.ok()) << scratch.status();
+  TablePtr table = EveryEncodingTable();
+  std::string path = scratch->path() + "/block.spill";
+
+  auto written = WriteSpillBlock(path, *table, DefaultSpillRetryPolicy());
+  ASSERT_TRUE(written.ok()) << written.status();
+  EXPECT_GT(*written, 0u);
+  // The encoded format beats one Value per cell by a wide margin.
+  EXPECT_LT(*written, table->num_rows() * table->num_columns() * 16);
+
+  auto cols = ReadSpillBlock(path, DefaultSpillRetryPolicy());
+  ASSERT_TRUE(cols.ok()) << cols.status();
+  ASSERT_EQ(cols->size(), table->num_columns());
+  for (size_t c = 0; c < table->num_columns(); ++c) {
+    ASSERT_EQ((*cols)[c].size(), table->num_rows());
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      ExpectValueEq((*cols)[c][r], table->at(r, c),
+                    "col " + std::to_string(c) + " row " + std::to_string(r));
+    }
+  }
+}
+
+TEST(SpillFileTest, DoubleBitPatternsSurviveExactly) {
+  auto scratch = TempDirGuard::Create("", "si-spill-test");
+  ASSERT_TRUE(scratch.ok());
+  TablePtr table = EveryEncodingTable();
+  std::string path = scratch->path() + "/doubles.spill";
+  ASSERT_TRUE(WriteSpillBlock(path, *table, DefaultSpillRetryPolicy()).ok());
+  auto cols = ReadSpillBlock(path, DefaultSpillRetryPolicy());
+  ASSERT_TRUE(cols.ok());
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    const Value& original = table->at(r, 1);
+    const Value& decoded = (*cols)[1][r];
+    if (original.is_null()) {
+      EXPECT_TRUE(decoded.is_null());
+      continue;
+    }
+    uint64_t a, b;
+    double da = original.double_value(), db = decoded.double_value();
+    std::memcpy(&a, &da, sizeof(a));
+    std::memcpy(&b, &db, sizeof(b));
+    EXPECT_EQ(a, b) << "row " << r;  // -0.0 and NaN payloads included
+  }
+}
+
+TEST(SpillFileTest, CorruptedBlockIsDetected) {
+  auto scratch = TempDirGuard::Create("", "si-spill-test");
+  ASSERT_TRUE(scratch.ok());
+  TablePtr table = EveryEncodingTable();
+  std::string path = scratch->path() + "/corrupt.spill";
+  auto written = WriteSpillBlock(path, *table, DefaultSpillRetryPolicy());
+  ASSERT_TRUE(written.ok());
+
+  // Flip one byte in the middle of the payload.
+  {
+    std::fstream file(path, std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(static_cast<std::streamoff>(*written / 2));
+    char byte = 0;
+    file.seekg(static_cast<std::streamoff>(*written / 2));
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(static_cast<std::streamoff>(*written / 2));
+    file.write(&byte, 1);
+  }
+  auto cols = ReadSpillBlock(path, DefaultSpillRetryPolicy());
+  ASSERT_FALSE(cols.ok());
+  EXPECT_EQ(cols.status().code(), StatusCode::kIoError);
+}
+
+TEST(SpillFileTest, TransientWriteFaultsAreRetried) {
+  FaultInjector::Get().Reset();
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.max_fires = 2;  // DefaultSpillRetryPolicy allows 3 attempts
+  spec.status = Status::IoError("injected spill write failure");
+  spec.seed = 7;
+  FaultInjector::Get().Arm(kFaultIoSpill, spec);
+
+  auto scratch = TempDirGuard::Create("", "si-spill-test");
+  ASSERT_TRUE(scratch.ok());
+  TablePtr table = EveryEncodingTable();
+  std::string path = scratch->path() + "/retried.spill";
+  auto written = WriteSpillBlock(path, *table, DefaultSpillRetryPolicy());
+  EXPECT_TRUE(written.ok()) << written.status();
+  EXPECT_EQ(FaultInjector::Get().fires(kFaultIoSpill), 2);
+  FaultInjector::Get().Reset();
+
+  auto cols = ReadSpillBlock(path, DefaultSpillRetryPolicy());
+  ASSERT_TRUE(cols.ok()) << cols.status();
+  EXPECT_EQ((*cols)[0].size(), table->num_rows());
+}
+
+TEST(SpillFileTest, DiskFullFailsFastWithoutRetries) {
+  FaultInjector::Get().Reset();
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.status = Status::ResourceExhausted("injected ENOSPC");
+  FaultInjector::Get().Arm(kFaultIoSpill, spec);
+
+  auto scratch = TempDirGuard::Create("", "si-spill-test");
+  ASSERT_TRUE(scratch.ok());
+  TablePtr table = EveryEncodingTable();
+  std::string path = scratch->path() + "/enospc.spill";
+  auto written = WriteSpillBlock(path, *table, DefaultSpillRetryPolicy());
+  ASSERT_FALSE(written.ok());
+  EXPECT_EQ(written.status().code(), StatusCode::kResourceExhausted);
+  // Non-retryable: exactly one attempt consumed the site.
+  EXPECT_EQ(FaultInjector::Get().fires(kFaultIoSpill), 1);
+  FaultInjector::Get().Reset();
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(TempDirGuardTest, RemovesDirectoryTreeOnDestruction) {
+  std::string path;
+  {
+    auto guard = TempDirGuard::Create("", "si-guard-test");
+    ASSERT_TRUE(guard.ok()) << guard.status();
+    path = guard->path();
+    ASSERT_TRUE(fs::is_directory(path));
+    std::ofstream(path + "/stray.bin") << "leftover partition bytes";
+    ASSERT_TRUE(fs::exists(path + "/stray.bin"));
+  }
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST(TempDirGuardTest, MoveTransfersOwnership) {
+  auto guard = TempDirGuard::Create("", "si-guard-test");
+  ASSERT_TRUE(guard.ok());
+  std::string path = guard->path();
+  TempDirGuard moved = std::move(*guard);
+  EXPECT_FALSE(guard->valid());
+  EXPECT_TRUE(moved.valid());
+  EXPECT_TRUE(fs::is_directory(path));
+  moved.Remove();
+  EXPECT_FALSE(fs::exists(path));
+  EXPECT_FALSE(moved.valid());
+}
+
+TEST(SpillScratchTest, LazyDirectoryAndCountersCleanUp) {
+  std::string dir;
+  {
+    SpillScratch scratch(SpillScratch::Options{});
+    EXPECT_EQ(scratch.chunk_rows(), kDefaultSpillChunkRows);
+    auto path = scratch.NextPartitionPath("join:emit");
+    ASSERT_TRUE(path.ok()) << path.status();
+    dir = fs::path(*path).parent_path().string();
+    EXPECT_TRUE(fs::is_directory(dir));
+    // Op names are sanitized for the file name.
+    EXPECT_EQ(path->find(':'), std::string::npos);
+
+    scratch.RecordSpill();
+    scratch.RecordPartition(100);
+    scratch.RecordPartition(50);
+    scratch.RecordRead(150);
+    EXPECT_EQ(scratch.spills(), 1);
+    EXPECT_EQ(scratch.partitions(), 2);
+    EXPECT_EQ(scratch.bytes_written(), 150);
+    EXPECT_EQ(scratch.bytes_read(), 150);
+  }
+  EXPECT_FALSE(fs::exists(dir));
+}
+
+// The pressure path of MaterializeChunksWithSpill: a budget a tenth of
+// the output's charge forces spilling, and the merged result carries
+// exactly the values of the unconstrained gather. The accounted
+// reservation never exceeds the budget, and everything unwinds.
+TEST(SpillPressureTest, GatherUnderPressureMatchesFastPath) {
+  TablePtr input = EveryEncodingTable();
+  std::vector<size_t> rows;
+  for (size_t r = input->num_rows(); r > 0; --r) rows.push_back(r - 1);
+
+  ExecContext plain;
+  auto reference = GatherRows(input, rows, plain);
+  ASSERT_TRUE(reference.ok()) << reference.status();
+
+  MemoryBudget budget("query", ApproxCellBytes(rows.size(), 5) / 10,
+                      &MemoryBudget::Process());
+  SpillScratch scratch(SpillScratch::Options{});
+  ExecContext pressured;
+  pressured.budget = &budget;
+  pressured.spill = &scratch;
+  auto spilled = GatherRows(input, rows, pressured);
+  ASSERT_TRUE(spilled.ok()) << spilled.status();
+
+  ExpectSameTable(*reference, *spilled);
+  EXPECT_EQ(scratch.spills(), 1);
+  EXPECT_GT(scratch.partitions(), 1);
+  EXPECT_GT(scratch.bytes_written(), 0);
+  EXPECT_EQ(scratch.bytes_read(), scratch.bytes_written());
+  EXPECT_EQ(budget.reserved(), 0u);
+}
+
+// Without a spill area the same pressure keeps the PR4 hard-fail
+// contract: kResourceExhausted naming the operator.
+TEST(SpillPressureTest, NoSpillAreaKeepsHardFail) {
+  TablePtr input = EveryEncodingTable();
+  std::vector<size_t> rows(input->num_rows());
+  for (size_t r = 0; r < rows.size(); ++r) rows[r] = r;
+
+  MemoryBudget budget("query", 64, &MemoryBudget::Process());
+  ExecContext ctx;
+  ctx.budget = &budget;
+  auto result = GatherRows(input, rows, ctx);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(result.status().message().find("gather"), std::string::npos);
+  EXPECT_EQ(budget.reserved(), 0u);
+}
+
+std::vector<QuarantinedRow> ManyQuarantinedRows(size_t n) {
+  std::vector<QuarantinedRow> rows;
+  for (size_t i = 0; i < n; ++i) {
+    QuarantinedRow row;
+    row.row = static_cast<int64_t>(i);
+    row.reason = "bad field count";
+    row.raw = "r" + std::to_string(i) + ",x,,y";
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+size_t CountScratchDirs(const std::string& prefix) {
+  size_t count = 0;
+  for (const auto& entry : fs::directory_iterator(fs::temp_directory_path())) {
+    if (entry.path().filename().string().rfind(prefix, 0) == 0) ++count;
+  }
+  return count;
+}
+
+// Satellite 2: the staged quarantine writer produces the identical side
+// table and leaves the scratch area empty — across several fault seeds
+// firing transient io.spill failures mid-staging.
+TEST(QuarantineStagingTest, StagedWriterMatchesAndLeavesNoScratch) {
+  std::vector<QuarantinedRow> rows = ManyQuarantinedRows(200);
+  auto reference = QuarantineTable(rows);
+  ASSERT_TRUE(reference.ok());
+  size_t dirs_before = CountScratchDirs("si-quarantine.");
+
+  auto staged = QuarantineTable(rows, 32);
+  ASSERT_TRUE(staged.ok()) << staged.status();
+  ExpectSameTable(*reference, *staged);
+
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    FaultInjector::Get().Reset();
+    FaultSpec spec;
+    spec.probability = 0.4;
+    spec.status = Status::IoError("injected staging failure");
+    spec.seed = seed;
+    FaultInjector::Get().Arm(kFaultIoSpill, spec);
+    auto faulted = QuarantineTable(rows, 32);
+    FaultInjector::Get().Reset();
+    // p=0.4 with 3 attempts per block can still exhaust retries; either
+    // way the scratch directory must be gone (checked below).
+    if (faulted.ok()) ExpectSameTable(*reference, *faulted);
+  }
+
+  EXPECT_EQ(CountScratchDirs("si-quarantine."), dirs_before);
+}
+
+// Below the threshold the staged variant is the in-memory one: an armed
+// io.spill fault never fires because no staging I/O happens at all.
+TEST(QuarantineStagingTest, BelowThresholdStaysInMemory) {
+  std::vector<QuarantinedRow> rows = ManyQuarantinedRows(8);
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.status = Status::IoError("must not be reached");
+  FaultInjector::Get().Arm(kFaultIoSpill, spec);
+  auto table = QuarantineTable(rows, 1000);
+  FaultInjector::Get().Reset();
+  ASSERT_TRUE(table.ok()) << table.status();
+  EXPECT_EQ((*table)->num_rows(), 8u);
+}
+
+}  // namespace
+}  // namespace shareinsights

@@ -1,0 +1,130 @@
+// Regression tests for byte-based changelog retention in the shared
+// data registry: the per-object log is bounded by the bytes its deltas
+// hold, not by a fixed event count, so many small appends stay fully
+// replayable while a few wide ones age out quickly. Trimmed history
+// degrades lagging subscribers to the refetch path (non-contiguous
+// ChangesSince) — never to a corrupt patch.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "share/shared_registry.h"
+#include "table/table.h"
+
+namespace shareinsights {
+namespace {
+
+TablePtr RowsTable(size_t rows, const std::string& tag) {
+  TableBuilder builder(Schema::FromNames({"k", "v"}));
+  for (size_t r = 0; r < rows; ++r) {
+    (void)builder.AppendRow(
+        {Value(tag + std::to_string(r)), Value(static_cast<int64_t>(r))});
+  }
+  return *builder.Finish();
+}
+
+// Many small appends: a count cap of 64 would truncate the replay; the
+// byte cap retains all of them because they are tiny.
+TEST(ChangelogRetentionTest, SmallAppendsOutliveTheOldCountCap) {
+  SharedDataRegistry registry;
+  TablePtr base = RowsTable(1, "base");
+  uint64_t cursor = base->version();
+  ASSERT_TRUE(registry.Publish("obj", base, "d1").ok());
+
+  uint64_t prev = cursor;
+  for (int i = 0; i < 100; ++i) {
+    TablePtr grown = RowsTable(2 + static_cast<size_t>(i), "g");
+    ASSERT_TRUE(
+        registry.PublishAppend("obj", grown, RowsTable(1, "d"), "d1", prev)
+            .ok());
+    prev = grown->version();
+  }
+
+  EXPECT_EQ(registry.ChangeLogDepth("obj"), 101u);  // publish + 100 appends
+  SharedDataRegistry::Changes changes = registry.ChangesSince("obj", cursor);
+  EXPECT_TRUE(changes.contiguous);
+  EXPECT_EQ(changes.events.size(), 100u);
+  for (const SharedDataRegistry::ChangeEvent& event : changes.events) {
+    EXPECT_TRUE(event.append);
+    ASSERT_NE(event.delta, nullptr);
+  }
+}
+
+// A tiny byte cap keeps only the newest event; older cursors are pushed
+// onto the refetch path while the immediately preceding version can
+// still patch (the newest event always survives).
+TEST(ChangelogRetentionTest, TinyByteCapRetainsOnlyNewestEvent) {
+  SharedDataRegistry registry;
+  registry.set_changelog_retention_bytes(1);
+
+  TablePtr base = RowsTable(4, "base");
+  uint64_t old_cursor = base->version();
+  ASSERT_TRUE(registry.Publish("obj", base, "d1").ok());
+
+  TablePtr mid = RowsTable(8, "mid");
+  ASSERT_TRUE(
+      registry.PublishAppend("obj", mid, RowsTable(4, "d1"), "d1", old_cursor)
+          .ok());
+  TablePtr last = RowsTable(12, "last");
+  ASSERT_TRUE(registry
+                  .PublishAppend("obj", last, RowsTable(4, "d2"), "d1",
+                                 mid->version())
+                  .ok());
+
+  EXPECT_EQ(registry.ChangeLogDepth("obj"), 1u);
+
+  // The original publish cursor no longer reaches the log: refetch.
+  SharedDataRegistry::Changes stale = registry.ChangesSince("obj", old_cursor);
+  EXPECT_FALSE(stale.contiguous);
+
+  // The version just before the retained event still patches.
+  SharedDataRegistry::Changes fresh =
+      registry.ChangesSince("obj", mid->version());
+  EXPECT_TRUE(fresh.contiguous);
+  ASSERT_EQ(fresh.events.size(), 1u);
+  EXPECT_EQ(fresh.events[0].version, last->version());
+}
+
+// The byte ledger is maintained incrementally and a lowered cap trims
+// retroactively.
+TEST(ChangelogRetentionTest, LoweringTheCapTrimsExistingLogs) {
+  SharedDataRegistry registry;
+  ASSERT_TRUE(registry.Publish("obj", RowsTable(1, "b"), "d1").ok());
+  size_t after_publish = registry.ChangeLogBytes("obj");
+  EXPECT_GT(after_publish, 0u);
+
+  uint64_t prev = 0;
+  for (int i = 0; i < 8; ++i) {
+    TablePtr grown = RowsTable(64, "g");
+    ASSERT_TRUE(
+        registry.PublishAppend("obj", grown, RowsTable(64, "d"), "d1", prev)
+            .ok());
+    prev = grown->version();
+  }
+  EXPECT_EQ(registry.ChangeLogDepth("obj"), 9u);
+  EXPECT_GT(registry.ChangeLogBytes("obj"), after_publish);
+
+  registry.set_changelog_retention_bytes(1);
+  EXPECT_EQ(registry.ChangeLogDepth("obj"), 1u);
+
+  // An oversized newest event never trims to zero.
+  EXPECT_GT(registry.ChangeLogBytes("obj"), 1u);
+}
+
+// Full republish events (no delta) also age out under the byte cap —
+// the fixed per-event overhead keeps delta-less markers from pinning
+// the log.
+TEST(ChangelogRetentionTest, RewriteMarkersAgeOutToo) {
+  SharedDataRegistry registry;
+  registry.set_changelog_retention_bytes(100);  // ~1 marker's overhead
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(registry.Publish("obj", RowsTable(1, "p"), "d1").ok());
+  }
+  EXPECT_LE(registry.ChangeLogDepth("obj"), 2u);
+  EXPECT_GE(registry.ChangeLogDepth("obj"), 1u);
+}
+
+}  // namespace
+}  // namespace shareinsights
