@@ -23,11 +23,17 @@ namespace shareinsights {
 ///                    write-fail / short-write, a non-retryable one
 ///                    (e.g. kResourceExhausted) for disk-full, or use
 ///                    read passes to simulate on-disk corruption
+///   io.wal         - write-ahead-log record append (WalWriter::Append):
+///                    retryable statuses exercise the WAL retry loop, a
+///                    kResourceExhausted simulates disk-full — either way
+///                    the durability layer degrades to read-only +
+///                    kUnavailable instead of crashing or corrupting
 ///   exec.node      - one task of one flow in the executor
 ///   server.request - ApiServer::Handle, before routing
 inline constexpr const char* kFaultIoFetch = "io.fetch";
 inline constexpr const char* kFaultIoParse = "io.parse";
 inline constexpr const char* kFaultIoSpill = "io.spill";
+inline constexpr const char* kFaultIoWal = "io.wal";
 inline constexpr const char* kFaultExecNode = "exec.node";
 inline constexpr const char* kFaultServerRequest = "server.request";
 

@@ -7,6 +7,7 @@
 #include "common/string_util.h"
 #include "dashboard/render.h"
 #include "expr/expr.h"
+#include "store/durability.h"
 #include "table/append.h"
 
 namespace shareinsights {
@@ -449,6 +450,20 @@ Result<ExecutionStats> Dashboard::Run(Tracer* tracer,
     SI_RETURN_IF_ERROR(ApplyDefaultSelections());
     ran_ = true;
   }
+  if (options_.durability != nullptr && !options_.durability->read_only()) {
+    // Snapshot the freshly materialized store so a crash right after the
+    // run recovers it without replay. A snapshot failure flips the store
+    // read-only (recorded there); the run itself still succeeded.
+    std::map<std::string, TablePtr> objects;
+    for (const std::string& name : store_.Names()) {
+      Result<TablePtr> table = store_.Get(name);
+      if (table.ok()) objects[name] = std::move(*table);
+    }
+    Status snapped =
+        options_.durability->SnapshotDashboard(options_.durability_name,
+                                               objects);
+    (void)snapped;
+  }
   return stats;
 }
 
@@ -492,6 +507,10 @@ Result<Dashboard::AppendResult> Dashboard::AppendToObject(
 Result<Dashboard::AppendResult> Dashboard::AppendDelta(
     const std::string& object, TablePtr delta, uint64_t expected_version) {
   std::lock_guard<std::mutex> lock(append_mu_);
+  if (options_.durability != nullptr && options_.durability->read_only()) {
+    return Status::Unavailable("durable store is read-only: " +
+                               options_.durability->read_only_reason());
+  }
   Result<TablePtr> base = store_.Get(object);
   if (!base.ok()) {
     return base.status().WithContext("appending to '" + object +
@@ -537,7 +556,74 @@ Result<Dashboard::AppendResult> Dashboard::AppendDelta(
   result.deltas = std::move(outcome.deltas);
   result.full_changed = std::move(outcome.full_changed);
   result.prev_versions = std::move(outcome.prev_versions);
+
+  if (options_.durability != nullptr) {
+    std::vector<DurabilityManager::LoggedChange> changes;
+    for (const auto& [name, obj_delta] : result.deltas) {
+      Result<TablePtr> table = store_.Get(name);
+      if (!table.ok()) continue;
+      DurabilityManager::LoggedChange change;
+      change.object = name;
+      change.table = std::move(*table);
+      change.delta = obj_delta;
+      change.version = change.table->version();
+      auto prev = result.prev_versions.find(name);
+      change.prev_version =
+          prev != result.prev_versions.end() ? prev->second : 0;
+      changes.push_back(std::move(change));
+    }
+    for (const std::string& name : result.full_changed) {
+      if (result.deltas.count(name) > 0) continue;
+      Result<TablePtr> table = store_.Get(name);
+      if (!table.ok()) continue;
+      DurabilityManager::LoggedChange change;
+      change.object = name;
+      change.table = std::move(*table);
+      change.version = change.table->version();
+      auto prev = result.prev_versions.find(name);
+      change.prev_version =
+          prev != result.prev_versions.end() ? prev->second : 0;
+      changes.push_back(std::move(change));
+    }
+    Status logged = options_.durability->LogAppendCycle(
+        options_.durability_name, changes);
+    if (!logged.ok()) {
+      // The in-memory state advanced, but the cycle was never committed
+      // durably and the store is now read-only (no further appends), so
+      // the durable state stays a consistent committed prefix — this
+      // unacknowledged append is what recovery would lose.
+      return Status::Unavailable(
+          "append applied in memory but could not be made durable: " +
+          logged.message());
+    }
+    if (options_.durability->ShouldSnapshot(options_.durability_name)) {
+      std::map<std::string, TablePtr> objects;
+      for (const std::string& name : store_.Names()) {
+        Result<TablePtr> table = store_.Get(name);
+        if (table.ok()) objects[name] = std::move(*table);
+      }
+      Status snapped = options_.durability->SnapshotDashboard(
+          options_.durability_name, objects);
+      (void)snapped;  // failure is recorded as read-only by the manager
+    }
+  }
   return result;
+}
+
+Status Dashboard::RestoreObjects(
+    const std::map<std::string, TablePtr>& objects) {
+  std::lock_guard<std::mutex> lock(append_mu_);
+  for (const auto& [name, table] : objects) {
+    store_.Put(name, table);
+  }
+  Tracer* tracer = options_.tracer;
+  ScopedSpan restore_span(tracer, "dashboard.restore");
+  SI_RETURN_IF_ERROR(RebuildCubes(tracer, restore_span.id()));
+  if (!ran_) {
+    SI_RETURN_IF_ERROR(ApplyDefaultSelections());
+    ran_ = true;
+  }
+  return Status::OK();
 }
 
 Status Dashboard::RefreshCubesAfterAppend(const AppendOutcome& outcome,

@@ -17,6 +17,8 @@
 
 namespace shareinsights {
 
+class DurabilityManager;
+
 /// A running dashboard instance: the compiled flow file, its
 /// materialized data store, per-endpoint data cubes, widget selection
 /// state, and the interaction machinery that re-evaluates widget flows
@@ -69,6 +71,14 @@ class Dashboard {
     /// SharedScanBatchers (cube-query memoization). Typically
     /// &ResultCache::Process() so dashboards share one cache.
     ResultCache* result_cache = nullptr;
+    /// Durable object store (null = durability off). Every append cycle
+    /// is write-ahead logged under `durability_name` before it is
+    /// acknowledged, batch runs snapshot the materialized store, and a
+    /// read-only durable store rejects appends with kUnavailable.
+    DurabilityManager* durability = nullptr;
+    /// Name this dashboard's WAL/snapshots are filed under (the API
+    /// server's dashboard name).
+    std::string durability_name;
   };
 
   /// Compiles the flow file (validating widgets, layout, and interaction
@@ -96,6 +106,13 @@ class Dashboard {
 
   /// Incremental re-run after `dirty` data objects changed.
   Result<ExecutionStats> RunIncremental(const std::set<std::string>& dirty);
+
+  /// Recovery-only (crash restart): installs recovered object states
+  /// directly into the store — versions already restamped — then builds
+  /// cubes and default selections as if Run() had produced them. Nothing
+  /// is logged or snapshotted; the recovered dashboard serves reads and
+  /// accepts appends exactly where the pre-crash one left off.
+  Status RestoreObjects(const std::map<std::string, TablePtr>& objects);
 
   // --- streaming appends ----------------------------------------------
 

@@ -173,9 +173,13 @@ struct ExecuteOptions {
   /// Each run creates its own scratch subdirectory and removes it — and
   /// any partitions still inside — on completion, error, or cancel.
   std::string spill_dir;
-  /// Target rows per spill partition (0 = kDefaultSpillChunkRows). The
-  /// actual staging charge additionally shrinks to what the budget has
-  /// free, so this only caps partition granularity.
+  /// Target rows per spill partition. 0 = adaptive: the first chunk of
+  /// a run uses kDefaultSpillChunkRows, later ones are sized from the
+  /// observed encoded row width toward kTargetSpillChunkBytes per
+  /// partition (clamped to [kMinSpillChunkRows, kMaxSpillChunkRows]).
+  /// An explicit value is used verbatim. The actual staging charge
+  /// additionally shrinks to what the budget has free, so this only
+  /// caps partition granularity.
   size_t spill_chunk_rows = 0;
 
   /// When set, the run records hierarchical spans — exec.run with

@@ -14,15 +14,12 @@
 
 namespace shareinsights {
 
+namespace wire {
+
 namespace {
-
-namespace fs = std::filesystem;
-
-/// 8-byte file magic; a version bump changes the last byte.
-constexpr char kSpillMagic[8] = {'S', 'I', 'S', 'P', 'I', 'L', 'L', '1'};
-
 constexpr uint64_t kFnvOffset = 1469598103934665603ULL;
 constexpr uint64_t kFnvPrime = 1099511628211ULL;
+}  // namespace
 
 uint64_t Fnv1a(const char* data, size_t len) {
   uint64_t h = kFnvOffset;
@@ -92,6 +89,25 @@ bool GetString(const char** p, const char* end, std::string* s) {
   return true;
 }
 
+}  // namespace wire
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// 8-byte file magic; a version bump changes the last byte.
+constexpr char kSpillMagic[8] = {'S', 'I', 'S', 'P', 'I', 'L', 'L', '1'};
+
+using wire::Fnv1a;
+using wire::GetFixed64;
+using wire::GetString;
+using wire::GetVarint;
+using wire::PutFixed64;
+using wire::PutString;
+using wire::PutVarint;
+using wire::UnZigZag;
+using wire::ZigZag;
+
 void PutBitmap(std::string* out, const std::vector<uint8_t>& bytes,
                size_t rows) {
   for (size_t r = 0; r < rows; r += 8) {
@@ -158,9 +174,28 @@ void SerializeColumn(const ColumnData& col, size_t rows, std::string* out) {
       PutBitmap(out, col.bools(), rows);
       break;
     case ColumnEncoding::kDict: {
-      PutVarint(out, col.dict().size());
-      for (const std::string& s : col.dict()) PutString(out, s);
-      for (size_t r = 0; r < rows; ++r) PutVarint(out, col.codes()[r]);
+      // Prune the dictionary to the entries these rows reference and
+      // remap the codes: a block shares its column's interned
+      // dictionary, which can be arbitrarily larger than the block
+      // (a one-row WAL append delta over a table with 100k distinct
+      // strings must not re-serialize all 100k of them).
+      constexpr uint32_t kUnmapped = 0xffffffffu;
+      const std::vector<std::string>& dict = col.dict();
+      std::vector<uint32_t> remap(dict.size(), kUnmapped);
+      std::vector<uint32_t> used;
+      for (size_t r = 0; r < rows; ++r) {
+        uint32_t code = col.codes()[r];
+        if (code < remap.size() && remap[code] == kUnmapped) {
+          remap[code] = static_cast<uint32_t>(used.size());
+          used.push_back(code);
+        }
+      }
+      PutVarint(out, used.size());
+      for (uint32_t code : used) PutString(out, dict[code]);
+      for (size_t r = 0; r < rows; ++r) {
+        uint32_t code = col.codes()[r];
+        PutVarint(out, code < remap.size() ? remap[code] : 0);
+      }
       break;
     }
     case ColumnEncoding::kGeneric:
@@ -357,6 +392,32 @@ double ElapsedMs(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
+void EncodeSpillTablePayload(const Table& block, std::string* out) {
+  PutVarint(out, block.num_columns());
+  PutVarint(out, block.num_rows());
+  for (size_t c = 0; c < block.num_columns(); ++c) {
+    SerializeColumn(block.typed_column(c), block.num_rows(), out);
+  }
+}
+
+Result<std::vector<std::vector<Value>>> DecodeSpillTablePayload(
+    const char** p, const char* end, const std::string& context) {
+  uint64_t num_columns = 0;
+  uint64_t num_rows = 0;
+  if (!GetVarint(p, end, &num_columns) || !GetVarint(p, end, &num_rows)) {
+    return CorruptError(context);
+  }
+  std::vector<std::vector<Value>> columns;
+  columns.reserve(static_cast<size_t>(num_columns));
+  for (uint64_t c = 0; c < num_columns; ++c) {
+    SI_ASSIGN_OR_RETURN(
+        std::vector<Value> col,
+        DeserializeColumn(p, end, static_cast<size_t>(num_rows), context));
+    columns.push_back(std::move(col));
+  }
+  return columns;
+}
+
 Result<TempDirGuard> TempDirGuard::Create(const std::string& base,
                                           const std::string& prefix) {
   static std::atomic<uint64_t> seq{0};
@@ -407,11 +468,7 @@ RetryPolicy DefaultSpillRetryPolicy() {
 Result<size_t> WriteSpillBlock(const std::string& path, const Table& block,
                                const RetryPolicy& retry) {
   std::string payload(kSpillMagic, sizeof(kSpillMagic));
-  PutVarint(&payload, block.num_columns());
-  PutVarint(&payload, block.num_rows());
-  for (size_t c = 0; c < block.num_columns(); ++c) {
-    SerializeColumn(block.typed_column(c), block.num_rows(), &payload);
-  }
+  EncodeSpillTablePayload(block, &payload);
   PutFixed64(&payload, Fnv1a(payload.data() + sizeof(kSpillMagic),
                              payload.size() - sizeof(kSpillMagic)));
 
@@ -465,32 +522,17 @@ Result<std::vector<std::vector<Value>>> ReadSpillBlock(
           GetFixed64(&cp, buf.data() + buf.size(), &stored);
           if (stored == Fnv1a(buf.data() + sizeof(kSpillMagic),
                               buf.size() - sizeof(kSpillMagic) - 8)) {
-            uint64_t num_columns = 0;
-            uint64_t num_rows = 0;
-            if (GetVarint(&p, end, &num_columns) &&
-                GetVarint(&p, end, &num_rows)) {
-              std::vector<std::vector<Value>> columns;
-              columns.reserve(static_cast<size_t>(num_columns));
-              Status parse = Status::OK();
-              for (uint64_t c = 0; c < num_columns; ++c) {
-                Result<std::vector<Value>> col = DeserializeColumn(
-                    &p, end, static_cast<size_t>(num_rows), path);
-                if (!col.ok()) {
-                  parse = col.status();
-                  break;
-                }
-                columns.push_back(std::move(*col));
-              }
-              if (parse.ok()) {
-                MetricsRegistry::Default()
-                    .GetCounter("spill_bytes_read_total",
-                                "compressed bytes read back from spill "
-                                "partitions")
-                    ->Increment(static_cast<int64_t>(buf.size()));
-                return columns;
-              }
-              status = parse;
+            Result<std::vector<std::vector<Value>>> columns =
+                DecodeSpillTablePayload(&p, end, path);
+            if (columns.ok()) {
+              MetricsRegistry::Default()
+                  .GetCounter("spill_bytes_read_total",
+                              "compressed bytes read back from spill "
+                              "partitions")
+                  ->Increment(static_cast<int64_t>(buf.size()));
+              return columns;
             }
+            status = columns.status();
           }
         }
       } else {

@@ -45,6 +45,38 @@ class TempDirGuard {
   std::string path_;
 };
 
+/// Low-level wire primitives shared by the SISPILL1 spill format and the
+/// durability layer's WAL/snapshot files (io/wal_file.h): varints,
+/// little-endian fixed64, length-prefixed strings, and the FNV-1a hash
+/// every frame is checksummed with. Readers return false on truncation
+/// and leave *p unspecified.
+namespace wire {
+
+uint64_t Fnv1a(const char* data, size_t len);
+void PutVarint(std::string* out, uint64_t v);
+bool GetVarint(const char** p, const char* end, uint64_t* v);
+uint64_t ZigZag(int64_t v);
+int64_t UnZigZag(uint64_t v);
+void PutFixed64(std::string* out, uint64_t v);
+bool GetFixed64(const char** p, const char* end, uint64_t* v);
+void PutString(std::string* out, const std::string& s);
+bool GetString(const char** p, const char* end, std::string* s);
+
+}  // namespace wire
+
+/// Appends `block`'s SISPILL1 column payload to `out`: varint column
+/// count, varint row count, then each column in its encoded
+/// representation — exactly the bytes WriteSpillBlock frames with magic
+/// and checksum. The WAL and snapshot writers reuse this codec so spill
+/// partitions and durable records share one on-disk encoding.
+void EncodeSpillTablePayload(const Table& block, std::string* out);
+
+/// Parses a payload produced by EncodeSpillTablePayload from `*p`
+/// (advancing it past the consumed bytes) and returns the decoded column
+/// Values. `context` names the file in parse errors.
+Result<std::vector<std::vector<Value>>> DecodeSpillTablePayload(
+    const char** p, const char* end, const std::string& context);
+
 /// Retry schedule spill I/O runs under: a handful of quick,
 /// deterministically-jittered attempts, mirroring the `io.fetch`
 /// discipline in LoadDataObject. Transient failures (kIoError — real or

@@ -1,0 +1,397 @@
+#include "io/wal_file.h"
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+#include <unistd.h>
+
+#include "common/fault.h"
+#include "io/spill_file.h"
+#include "obs/metrics.h"
+
+namespace shareinsights {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// 8-byte file magic for WAL files; snapshots reuse the record framing
+/// under their own magic (store/durability.cc).
+constexpr char kWalMagic[8] = {'S', 'I', 'W', 'A', 'L', 'O', 'G', '1'};
+
+Status WalCorruptError(const std::string& path) {
+  return Status::IoError("WAL record in '" + path +
+                         "' is corrupt (checksum passed but the payload "
+                         "does not decode)");
+}
+
+Counter* WalFaultsCounter() {
+  static Counter* counter = MetricsRegistry::Default().GetCounter(
+      "faults_injected_total", "faults fired by the FaultInjector");
+  return counter;
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+Result<std::string> ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL file '" + path +
+                           "': " + std::strerror(errno));
+  }
+  std::string data;
+  char buf[64 * 1024];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) data.append(buf, n);
+  bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  if (failed) {
+    return Status::IoError("read error on WAL file '" + path + "'");
+  }
+  return data;
+}
+
+}  // namespace
+
+bool CrashPointArmed(const char* point) {
+  const char* armed = std::getenv("SI_CRASH_POINT");
+  return armed != nullptr && std::strcmp(armed, point) == 0;
+}
+
+void MaybeCrashAtPoint(const char* point) {
+  if (!CrashPointArmed(point)) return;
+  // One shared hit counter: SI_CRASH_POINT names a single point per
+  // process, so counting its hits alone is unambiguous.
+  static std::atomic<long> hits{0};
+  long skip = 0;
+  if (const char* s = std::getenv("SI_CRASH_SKIP")) skip = std::atol(s);
+  if (hits.fetch_add(1, std::memory_order_relaxed) >= skip) {
+    std::_Exit(137);  // no stdio flush, no destructors: kill -9 semantics
+  }
+}
+
+void AppendFramedRecord(const WalRecord& record, std::string* out) {
+  std::string payload;
+  payload.push_back(static_cast<char>(record.type));
+  wire::PutString(&payload, record.object);
+  wire::PutVarint(&payload, record.version);
+  wire::PutVarint(&payload, record.prev_version);
+  wire::PutString(&payload, record.publisher);
+  if (record.type == WalRecord::Type::kPublish ||
+      record.type == WalRecord::Type::kAppend) {
+    const Schema& schema = record.table->schema();
+    wire::PutVarint(&payload, schema.num_fields());
+    for (const Field& field : schema.fields()) {
+      wire::PutString(&payload, field.name);
+      payload.push_back(static_cast<char>(field.type));
+    }
+    EncodeSpillTablePayload(*record.table, &payload);
+  }
+  wire::PutVarint(out, payload.size());
+  wire::PutFixed64(out, wire::Fnv1a(payload.data(), payload.size()));
+  out->append(payload);
+}
+
+Result<std::optional<WalRecord>> ReadFramedRecord(const char** p,
+                                                  const char* end,
+                                                  const std::string& path) {
+  const char* start = *p;
+  uint64_t len = 0;
+  uint64_t stored = 0;
+  if (!wire::GetVarint(p, end, &len) || !wire::GetFixed64(p, end, &stored) ||
+      static_cast<uint64_t>(end - *p) < len) {
+    *p = start;
+    return std::optional<WalRecord>();  // torn tail
+  }
+  const char* payload = *p;
+  const char* payload_end = payload + len;
+  if (stored != wire::Fnv1a(payload, static_cast<size_t>(len))) {
+    *p = start;
+    return std::optional<WalRecord>();  // torn tail (partial overwrite)
+  }
+  *p = payload_end;
+
+  // From here on the frame is checksummed clean: any decode failure is
+  // corruption, not a torn write.
+  WalRecord record;
+  const char* q = payload;
+  if (q >= payload_end) return WalCorruptError(path);
+  uint8_t type = static_cast<uint8_t>(*q++);
+  if (type < 1 || type > 4) return WalCorruptError(path);
+  record.type = static_cast<WalRecord::Type>(type);
+  uint64_t version = 0;
+  uint64_t prev_version = 0;
+  if (!wire::GetString(&q, payload_end, &record.object) ||
+      !wire::GetVarint(&q, payload_end, &version) ||
+      !wire::GetVarint(&q, payload_end, &prev_version) ||
+      !wire::GetString(&q, payload_end, &record.publisher)) {
+    return WalCorruptError(path);
+  }
+  record.version = version;
+  record.prev_version = prev_version;
+  if (record.type == WalRecord::Type::kPublish ||
+      record.type == WalRecord::Type::kAppend) {
+    uint64_t num_fields = 0;
+    if (!wire::GetVarint(&q, payload_end, &num_fields)) {
+      return WalCorruptError(path);
+    }
+    std::vector<Field> fields;
+    fields.reserve(static_cast<size_t>(num_fields));
+    for (uint64_t i = 0; i < num_fields; ++i) {
+      Field field;
+      if (!wire::GetString(&q, payload_end, &field.name) ||
+          q >= payload_end) {
+        return WalCorruptError(path);
+      }
+      uint8_t tag = static_cast<uint8_t>(*q++);
+      if (tag > static_cast<uint8_t>(ValueType::kString)) {
+        return WalCorruptError(path);
+      }
+      field.type = static_cast<ValueType>(tag);
+      fields.push_back(std::move(field));
+    }
+    Result<std::vector<std::vector<Value>>> columns =
+        DecodeSpillTablePayload(&q, payload_end, path);
+    if (!columns.ok()) return WalCorruptError(path);
+    Result<TablePtr> table =
+        Table::Create(Schema(std::move(fields)), std::move(*columns));
+    if (!table.ok()) return WalCorruptError(path);
+    record.table = std::move(*table);
+  }
+  return std::optional<WalRecord>(std::move(record));
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(const std::string& path,
+                                                   RetryPolicy retry) {
+  std::error_code ec;
+  bool fresh = !fs::exists(path, ec) || fs::file_size(path, ec) == 0;
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open WAL file '" + path +
+                           "' for appending: " + std::strerror(errno));
+  }
+  if (fresh) {
+    errno = 0;
+    size_t written = std::fwrite(kWalMagic, 1, sizeof(kWalMagic), f);
+    int flush_err = std::fflush(f);
+    bool nospace = errno == ENOSPC;
+    if (written != sizeof(kWalMagic) || flush_err != 0) {
+      std::fclose(f);
+      fs::remove(path, ec);
+      if (nospace) {
+        return Status::ResourceExhausted(
+            "no space left on device writing WAL header to '" + path + "'");
+      }
+      return Status::IoError("cannot write WAL header to '" + path + "'");
+    }
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(f, path, retry));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::WriteFrameOnce(const std::string& frame) {
+  long offset = std::ftell(file_);
+  if (offset < 0) {
+    return Status::IoError("cannot position in WAL file '" + path_ + "'");
+  }
+  errno = 0;
+  size_t written = 0;
+  if (CrashPointArmed("wal.mid_record")) {
+    // Stage half the frame through to the OS before the crash point so a
+    // fired crash leaves a genuinely torn record on disk.
+    size_t half = frame.size() / 2;
+    written = std::fwrite(frame.data(), 1, half, file_);
+    std::fflush(file_);
+    MaybeCrashAtPoint("wal.mid_record");
+    written += std::fwrite(frame.data() + half, 1, frame.size() - half, file_);
+  } else {
+    written = std::fwrite(frame.data(), 1, frame.size(), file_);
+  }
+  int flush_err = std::fflush(file_);
+  bool nospace = errno == ENOSPC;
+  if (written != frame.size() || flush_err != 0) {
+    // Truncate back to the record boundary: a failed append must never
+    // leave a torn frame mid-file for later appends to bury.
+    ::ftruncate(fileno(file_), offset);
+    std::fseek(file_, 0, SEEK_END);
+    std::clearerr(file_);
+    if (nospace) {
+      return Status::ResourceExhausted(
+          "no space left on device appending to WAL '" + path_ + "'");
+    }
+    return Status::IoError("short write appending to WAL '" + path_ + "' (" +
+                           std::to_string(written) + " of " +
+                           std::to_string(frame.size()) + " bytes)");
+  }
+  MaybeCrashAtPoint("wal.before_fsync");
+  return Status::OK();
+}
+
+Result<size_t> WalWriter::Append(const WalRecord& record) {
+  std::string frame;
+  AppendFramedRecord(record, &frame);
+
+  RetryState state(retry_);
+  auto start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    Status status;
+    if (auto injected = FaultInjector::Get().Check(kFaultIoWal)) {
+      WalFaultsCounter()->Increment();
+      status = *injected;
+    } else {
+      status = WriteFrameOnce(frame);
+    }
+    if (status.ok()) {
+      appended_bytes_ += frame.size();
+      MetricsRegistry& metrics = MetricsRegistry::Default();
+      metrics
+          .GetCounter("wal_records_written_total",
+                      "records appended to write-ahead logs")
+          ->Increment();
+      metrics
+          .GetCounter("wal_bytes_written_total",
+                      "bytes appended to write-ahead logs")
+          ->Increment(static_cast<int64_t>(frame.size()));
+      return frame.size();
+    }
+    if (!state.ShouldRetryAfter(status, attempts, ElapsedMs(start))) {
+      return status;
+    }
+  }
+}
+
+Status WalWriter::Sync() {
+  // fdatasync: the WAL only needs its data and size durable, not
+  // timestamps — skipping the metadata flush roughly halves the sync
+  // cost on journaling filesystems.
+  if (::fdatasync(fileno(file_)) != 0) {
+    return Status::IoError("fsync failed on WAL '" + path_ +
+                           "': " + std::strerror(errno));
+  }
+  MetricsRegistry::Default()
+      .GetCounter("wal_fsyncs_total", "fsync calls on write-ahead logs")
+      ->Increment();
+  return Status::OK();
+}
+
+Result<WalReadResult> ReadWalFile(const std::string& path,
+                                  const RetryPolicy& retry) {
+  RetryState state(retry);
+  auto start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    Status status;
+    if (auto injected = FaultInjector::Get().Check(kFaultIoWal)) {
+      WalFaultsCounter()->Increment();
+      status = *injected;
+    } else {
+      std::error_code ec;
+      if (!fs::exists(path, ec)) return WalReadResult{};  // empty log
+      Result<std::string> data = ReadWholeFile(path);
+      if (data.ok()) {
+        const std::string& buf = *data;
+        if (buf.size() < sizeof(kWalMagic)) {
+          // Crash during header creation: nothing was ever logged.
+          WalReadResult result;
+          result.torn_bytes = buf.size();
+          return result;
+        }
+        if (std::memcmp(buf.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+          status = Status::IoError("'" + path + "' is not a WAL file");
+        } else {
+          WalReadResult result;
+          const char* p = buf.data() + sizeof(kWalMagic);
+          const char* end = buf.data() + buf.size();
+          Status parse = Status::OK();
+          for (;;) {
+            if (p >= end) break;
+            Result<std::optional<WalRecord>> record =
+                ReadFramedRecord(&p, end, path);
+            if (!record.ok()) {
+              parse = record.status();
+              break;
+            }
+            if (!record->has_value()) break;  // torn tail: stop cleanly
+            result.records.push_back(std::move(**record));
+          }
+          if (parse.ok()) {
+            result.valid_bytes = static_cast<size_t>(p - buf.data());
+            result.torn_bytes = buf.size() - result.valid_bytes;
+            return result;
+          }
+          status = parse;
+        }
+      } else {
+        status = data.status();
+      }
+    }
+    if (!state.ShouldRetryAfter(status, attempts, ElapsedMs(start))) {
+      return status;
+    }
+  }
+}
+
+Status ResetWalFile(const std::string& path, const RetryPolicy& retry) {
+  RetryState state(retry);
+  auto start = std::chrono::steady_clock::now();
+  int attempts = 0;
+  for (;;) {
+    ++attempts;
+    Status status;
+    if (auto injected = FaultInjector::Get().Check(kFaultIoWal)) {
+      WalFaultsCounter()->Increment();
+      status = *injected;
+    } else {
+      status = [&]() -> Status {
+        const std::string tmp = path + ".tmp";
+        std::FILE* f = std::fopen(tmp.c_str(), "wb");
+        if (f == nullptr) {
+          return Status::IoError("cannot open '" + tmp +
+                                 "' for writing: " + std::strerror(errno));
+        }
+        errno = 0;
+        size_t written = std::fwrite(kWalMagic, 1, sizeof(kWalMagic), f);
+        int flush_err = std::fflush(f);
+        bool nospace = errno == ENOSPC;
+        int sync_err = ::fsync(fileno(f));
+        std::fclose(f);
+        std::error_code ec;
+        if (written != sizeof(kWalMagic) || flush_err != 0 || sync_err != 0) {
+          fs::remove(tmp, ec);
+          if (nospace) {
+            return Status::ResourceExhausted(
+                "no space left on device resetting WAL '" + path + "'");
+          }
+          return Status::IoError("cannot reset WAL '" + path + "'");
+        }
+        fs::rename(tmp, path, ec);
+        if (ec) {
+          fs::remove(tmp, ec);
+          return Status::IoError("cannot rename '" + tmp + "' over '" + path +
+                                 "': " + ec.message());
+        }
+        return Status::OK();
+      }();
+    }
+    if (status.ok()) return status;
+    if (!state.ShouldRetryAfter(status, attempts, ElapsedMs(start))) {
+      return status;
+    }
+  }
+}
+
+}  // namespace shareinsights

@@ -1,0 +1,142 @@
+#ifndef SHAREINSIGHTS_IO_WAL_FILE_H_
+#define SHAREINSIGHTS_IO_WAL_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/retry.h"
+#include "table/schema.h"
+#include "table/table.h"
+
+namespace shareinsights {
+
+/// One durable state change of one data object. Records are framed on
+/// disk as `[varint payload_len][fixed64 FNV-1a(payload)][payload]`;
+/// the payload carries the record type, object identity, the version
+/// chain (version / prev_version — Table::version() values, which double
+/// as API ETags), and for publish/append records the object's schema
+/// plus its rows in the SISPILL1 column encoding
+/// (EncodeSpillTablePayload). kCommit records close one atomic append
+/// cycle: recovery replays a cycle only when its commit marker made it
+/// to disk, so a crash mid-cycle can never leave half an append visible.
+struct WalRecord {
+  enum class Type : uint8_t {
+    kPublish = 1,  // full object state (table = the whole object)
+    kAppend = 2,   // delta rows grown onto prev_version (table = delta)
+    kDelete = 3,   // object removed
+    kCommit = 4,   // end of one atomic append cycle
+  };
+
+  Type type = Type::kPublish;
+  std::string object;
+  uint64_t version = 0;
+  uint64_t prev_version = 0;
+  std::string publisher;
+  /// Decoded rows for kPublish (full state) / kAppend (the delta);
+  /// null for kDelete and kCommit.
+  TablePtr table;
+};
+
+/// Appends one framed record to `out` (in-memory; no I/O). Shared by the
+/// WAL writer and the snapshot writer so both file kinds parse with
+/// ReadFramedRecord.
+void AppendFramedRecord(const WalRecord& record, std::string* out);
+
+/// Reads the next framed record at `*p`, advancing it. Returns nullopt
+/// when the remaining bytes do not contain one complete, checksummed
+/// frame — a torn tail, the normal outcome of a crash mid-write.
+/// Returns kIoError when a frame passes its checksum but cannot be
+/// decoded: that is real corruption (or a format skew), not a torn
+/// write, and the caller must degrade rather than silently drop state.
+Result<std::optional<WalRecord>> ReadFramedRecord(const char** p,
+                                                  const char* end,
+                                                  const std::string& path);
+
+/// Append-only writer over one WAL file (created with an 8-byte
+/// "SIWALOG1" header when absent). Append() consults the `io.wal` fault
+/// site per attempt and retries transient failures per the policy; a
+/// failed or short write truncates the file back to the record boundary
+/// so no torn frame is ever left mid-file (torn *tails* can still happen
+/// on power loss — the reader handles those). ENOSPC surfaces as
+/// kResourceExhausted; the durability manager maps any exhausted retry
+/// to read-only + kUnavailable. Not thread-safe; the durability manager
+/// serializes access per dashboard.
+class WalWriter {
+ public:
+  /// Opens (or creates) the WAL at `path` for appending.
+  static Result<std::unique_ptr<WalWriter>> Open(const std::string& path,
+                                                 RetryPolicy retry);
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record (flushed to the OS, not yet fsynced).
+  /// Returns the frame's size in bytes; feeds wal_records_written /
+  /// wal_bytes_written_total.
+  Result<size_t> Append(const WalRecord& record);
+
+  /// fsyncs the file (fsync-policy kAlways/kInterval call this; kOff
+  /// never does). Feeds wal_fsyncs_total.
+  Status Sync();
+
+  /// Bytes appended since this writer opened the file — the signal the
+  /// durability manager's snapshot threshold watches.
+  size_t appended_bytes() const { return appended_bytes_; }
+
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::FILE* file, std::string path, RetryPolicy retry)
+      : file_(file), path_(std::move(path)), retry_(retry) {}
+
+  Status WriteFrameOnce(const std::string& frame);
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  RetryPolicy retry_;
+  size_t appended_bytes_ = 0;
+};
+
+/// Everything a WAL file yielded: the records whose frames checksummed
+/// clean, plus how much trailing garbage (torn frame bytes) was ignored.
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  /// Byte offset of the first torn/incomplete frame (= file size when
+  /// the whole file parsed).
+  size_t valid_bytes = 0;
+  /// Bytes after valid_bytes that were discarded as a torn tail.
+  size_t torn_bytes = 0;
+};
+
+/// Reads the WAL at `path` tolerantly: a missing file is an empty log, a
+/// torn tail yields every record before it. A wrong magic or a
+/// checksum-clean-but-undecodable frame is kIoError (real corruption).
+/// Consults the `io.wal` fault site per attempt and retries per policy.
+Result<WalReadResult> ReadWalFile(const std::string& path,
+                                  const RetryPolicy& retry);
+
+/// Atomically replaces the WAL at `path` with an empty one (fresh header
+/// written to a temp file, fsynced, renamed over) — the truncation step
+/// after a snapshot bounds recovery cost. ENOSPC → kResourceExhausted.
+Status ResetWalFile(const std::string& path, const RetryPolicy& retry);
+
+/// Test-only crash points for the crash-recovery matrix. When the
+/// SI_CRASH_POINT environment variable equals `point`, the process
+/// _exits immediately (after the SI_CRASH_SKIP'th earlier hit of that
+/// point passed through) — indistinguishable from kill -9 for on-disk
+/// state, since nothing buffered in user space survives. No-op (one
+/// getenv) when unset, so production call sites can stay unconditional.
+void MaybeCrashAtPoint(const char* point);
+
+/// True when SI_CRASH_POINT names `point` — call sites that must stage a
+/// half-written frame before crashing check this first.
+bool CrashPointArmed(const char* point);
+
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_IO_WAL_FILE_H_

@@ -79,6 +79,12 @@ Result<TablePtr> SpillAndMerge(
     Result<size_t> written = WriteSpillBlock(path, *block, retry);
     if (!written.ok()) return degrade(written.status());
     scratch->RecordPartition(*written);
+    // Feed the adaptive chunk sizer with this chunk's in-memory encoded
+    // width; len is recomputed per iteration, so the size correction
+    // applies within this spill, not just the next one.
+    if (block->num_rows() > 0) {
+      scratch->ObserveChunk(block->num_rows(), block->ApproxBytes());
+    }
     partitions_total->Increment();
     parts.push_back(std::move(path));
     begin = end;
@@ -119,6 +125,21 @@ Result<TablePtr> SpillAndMerge(
 }
 
 }  // namespace
+
+size_t SpillScratch::chunk_rows() const {
+  if (options_.chunk_rows > 0) return options_.chunk_rows;
+  size_t rows = observed_rows_.load(std::memory_order_relaxed);
+  if (rows == 0) return kDefaultSpillChunkRows;
+  size_t bytes = observed_bytes_.load(std::memory_order_relaxed);
+  size_t row_width = std::max<size_t>(1, bytes / rows);
+  return std::clamp(kTargetSpillChunkBytes / row_width, kMinSpillChunkRows,
+                    kMaxSpillChunkRows);
+}
+
+void SpillScratch::ObserveChunk(size_t rows, size_t bytes) {
+  observed_rows_.fetch_add(rows, std::memory_order_relaxed);
+  observed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+}
 
 Result<std::string> SpillScratch::NextPartitionPath(const std::string& op) {
   std::lock_guard<std::mutex> lock(mu_);

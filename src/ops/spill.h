@@ -19,6 +19,17 @@ namespace shareinsights {
 /// large enough that the varint/frame-of-reference encoding amortizes.
 inline constexpr size_t kDefaultSpillChunkRows = 64 * 1024;
 
+/// Target encoded bytes per adaptively sized spill chunk, and the row
+/// bounds the adaptive size is clamped to. Rows alone are a poor proxy
+/// for chunk cost: 64k rows of wide string columns stage hundreds of
+/// megabytes while 64k rows of a single int column stage half a
+/// megabyte. After the first chunk of a run is written, chunk_rows() is
+/// derived from the observed bytes-per-row so every subsequent chunk
+/// lands near the target regardless of schema width.
+inline constexpr size_t kTargetSpillChunkBytes = 16 * 1024 * 1024;
+inline constexpr size_t kMinSpillChunkRows = 1024;
+inline constexpr size_t kMaxSpillChunkRows = 1024 * 1024;
+
 /// Per-run spill area shared by every spill-capable operator of one
 /// executor run: the scratch directory (created lazily on the first
 /// spill, removed — even on error or cancel — by TempDirGuard RAII when
@@ -30,16 +41,22 @@ class SpillScratch {
   struct Options {
     /// Parent directory for the run's scratch dir (empty = system temp).
     std::string base_dir;
-    /// Rows per spill chunk (0 = kDefaultSpillChunkRows).
+    /// Rows per spill chunk. 0 = adaptive: the first chunk uses
+    /// kDefaultSpillChunkRows, later ones are sized from the observed
+    /// encoded row width toward kTargetSpillChunkBytes per chunk.
+    /// Explicitly set, the value is used verbatim (no adaptation).
     size_t chunk_rows = 0;
   };
 
   explicit SpillScratch(Options options) : options_(std::move(options)) {}
 
-  size_t chunk_rows() const {
-    return options_.chunk_rows > 0 ? options_.chunk_rows
-                                   : kDefaultSpillChunkRows;
-  }
+  /// Rows for the next spill chunk (see Options::chunk_rows).
+  size_t chunk_rows() const;
+
+  /// Feeds the adaptive sizing with one written chunk's row count and
+  /// in-memory encoded size (thread-safe; totals aggregate across the
+  /// run's concurrent spillers).
+  void ObserveChunk(size_t rows, size_t bytes);
 
   /// A fresh partition file path inside the run's scratch directory,
   /// creating the directory on first use. `op` is embedded in the file
@@ -83,6 +100,10 @@ class SpillScratch {
   std::mutex mu_;
   TempDirGuard guard_;
   uint64_t next_partition_ = 0;
+
+  // Adaptive chunk sizing inputs (rows/bytes of chunks written so far).
+  std::atomic<size_t> observed_rows_{0};
+  std::atomic<size_t> observed_bytes_{0};
 
   std::atomic<int64_t> spills_{0};
   std::atomic<int64_t> partitions_{0};

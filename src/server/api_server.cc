@@ -272,6 +272,14 @@ JsonValue NamesPage(const std::vector<std::string>& names, size_t limit,
 Status ApiServer::CreateDashboard(const std::string& name,
                                   const std::string& flow_text,
                                   Dashboard::Options options) {
+  return CreateDashboardInternal(name, flow_text, std::move(options),
+                                 /*persist=*/true);
+}
+
+Status ApiServer::CreateDashboardInternal(const std::string& name,
+                                          const std::string& flow_text,
+                                          Dashboard::Options options,
+                                          bool persist) {
   SI_ASSIGN_OR_RETURN(FlowFile file, ParseFlowFile(flow_text, name));
   if (options.shared_schemas == nullptr && shared_ != nullptr) {
     options.shared_schemas = shared_;
@@ -280,11 +288,72 @@ Status ApiServer::CreateDashboard(const std::string& name,
   if (options.result_cache == nullptr && options_.enable_result_cache) {
     options.result_cache = &ResultCache::Process();
   }
+  if (durability_ != nullptr && options.durability == nullptr) {
+    options.durability = durability_.get();
+    options.durability_name = name;
+  }
   SI_ASSIGN_OR_RETURN(std::unique_ptr<Dashboard> dashboard,
                       Dashboard::Create(std::move(file), std::move(options)));
-  std::lock_guard<std::mutex> lock(mu_);
-  dashboards_[name] = std::move(dashboard);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    dashboards_[name] = std::move(dashboard);
+  }
+  if (persist && durability_ != nullptr && !durability_->read_only()) {
+    // Persist the identity so a restart can recreate the dashboard. A
+    // failure flips the store read-only (recorded there); the in-memory
+    // dashboard still works.
+    Status persisted = durability_->PersistDashboard(name, flow_text);
+    (void)persisted;
+  }
   return Status::OK();
+}
+
+void ApiServer::InitDurability() {
+  if (options_.durability.dir.empty()) return;
+  durability_ = DurabilityManager::Open(options_.durability);
+  Result<DurabilityManager::RecoveryReport> report = durability_->Recover();
+  if (!report.ok()) {
+    durability_->MarkReadOnly("recovery failed: " +
+                              report.status().message());
+    return;
+  }
+  for (const DurabilityManager::RecoveredDashboard& dash :
+       report->dashboards) {
+    Status created = CreateDashboardInternal(
+        dash.name, dash.flow_text, Dashboard::Options(), /*persist=*/false);
+    if (!created.ok()) {
+      durability_->MarkReadOnly("recovering dashboard '" + dash.name +
+                                "' failed: " + created.message());
+      continue;
+    }
+    Result<Dashboard*> dashboard = GetDashboard(dash.name);
+    if (!dashboard.ok()) continue;
+    Status restored = (*dashboard)->RestoreObjects(dash.objects);
+    if (!restored.ok()) {
+      durability_->MarkReadOnly("restoring objects of dashboard '" +
+                                dash.name + "' failed: " +
+                                restored.message());
+      continue;
+    }
+    // Re-seed the /changes changelog so cursors issued before the crash
+    // keep patching contiguously: base states first, then the committed
+    // WAL tail as append events. Safe to replay through the registry —
+    // a freshly constructed server has no subscribers yet.
+    for (const auto& [object, table] : dash.base_tables) {
+      Status seeded =
+          object_log_.Publish(dash.name + "/" + object, table, dash.name);
+      (void)seeded;
+    }
+    for (const DurabilityManager::RecoveredEvent& event : dash.tail) {
+      const std::string key = dash.name + "/" + event.object;
+      Status seeded =
+          event.delta != nullptr
+              ? object_log_.PublishAppend(key, event.table, event.delta,
+                                          dash.name, event.prev_version)
+              : object_log_.Publish(key, event.table, dash.name);
+      (void)seeded;
+    }
+  }
 }
 
 Result<Dashboard*> ApiServer::GetDashboard(const std::string& name) {
@@ -484,6 +553,47 @@ HttpResponse ApiServer::RouteV1(const std::vector<std::string>& segments,
     return HandleDashboards(segments, request, cancel);
   }
 
+  // /health — liveness plus the durable store's status. `storage` is
+  // always present: `durable: false` when durability is off, otherwise
+  // the WAL/snapshot/recovery counters and the read-only reason (if any).
+  if (segments[0] == "health" && segments.size() == 1) {
+    if (request.method != "GET") return MethodNotAllowed(request, "GET");
+    JsonValue body = JsonValue::MakeObject();
+    bool read_only = durability_ != nullptr && durability_->read_only();
+    body.Set("status", JsonValue::MakeString(read_only ? "read_only" : "ok"));
+    body.Set("dashboards", JsonValue::MakeNumber(
+                               static_cast<double>(DashboardNames().size())));
+    JsonValue storage = JsonValue::MakeObject();
+    if (durability_ == nullptr) {
+      storage.Set("durable", JsonValue::MakeBool(false));
+    } else {
+      DurabilityManager::Stats stats = durability_->stats();
+      storage.Set("durable", JsonValue::MakeBool(true));
+      storage.Set("read_only", JsonValue::MakeBool(stats.read_only));
+      if (stats.read_only) {
+        storage.Set("read_only_reason",
+                    JsonValue::MakeString(stats.read_only_reason));
+      }
+      storage.Set("wal_records_written",
+                  JsonValue::MakeNumber(
+                      static_cast<double>(stats.wal_records_written)));
+      storage.Set("wal_bytes_written",
+                  JsonValue::MakeNumber(
+                      static_cast<double>(stats.wal_bytes_written)));
+      storage.Set("wal_fsyncs", JsonValue::MakeNumber(
+                                    static_cast<double>(stats.wal_fsyncs)));
+      storage.Set("snapshots_written",
+                  JsonValue::MakeNumber(
+                      static_cast<double>(stats.snapshots_written)));
+      storage.Set("recovery_replayed_records",
+                  JsonValue::MakeNumber(static_cast<double>(
+                      stats.recovery_replayed_records)));
+      storage.Set("recovery_ms", JsonValue::MakeNumber(stats.recovery_ms));
+    }
+    body.Set("storage", std::move(storage));
+    return JsonResponse(200, std::move(body));
+  }
+
   // /metrics — Prometheus-style exposition of the process registry.
   if (segments[0] == "metrics" && segments.size() == 1) {
     if (request.method != "GET") return MethodNotAllowed(request, "GET");
@@ -590,6 +700,21 @@ HttpResponse ApiServer::HandleDashboards(
     body.Set("spilled", JsonValue::MakeBool(stats->spills > 0));
     body.Set("spills", JsonValue::MakeNumber(stats->spills));
     body.Set("trace_id", JsonValue::MakeString(run_id));
+    // Storage block only when durability is on, so envelopes of
+    // non-durable servers stay byte-identical to the pre-durability API.
+    if (durability_ != nullptr) {
+      DurabilityManager::Stats storage_stats = durability_->stats();
+      JsonValue storage = JsonValue::MakeObject();
+      storage.Set("durable", JsonValue::MakeBool(true));
+      storage.Set("read_only", JsonValue::MakeBool(storage_stats.read_only));
+      storage.Set("snapshots_written",
+                  JsonValue::MakeNumber(static_cast<double>(
+                      storage_stats.snapshots_written)));
+      storage.Set("wal_records_written",
+                  JsonValue::MakeNumber(static_cast<double>(
+                      storage_stats.wal_records_written)));
+      body.Set("storage", std::move(storage));
+    }
     return JsonResponse(200, std::move(body));
   }
   if (segments.size() >= 3 && segments[2] == "objects") {

@@ -17,6 +17,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "share/shared_registry.h"
+#include "store/durability.h"
 
 namespace shareinsights {
 
@@ -138,6 +139,16 @@ struct ApiServerOptions {
   /// and `flows_cached`; the ds groupby route reports `cache: hit|miss`.
   /// A Dashboard::Options with an explicit result_cache wins.
   bool enable_result_cache = true;
+  /// Durable object store configuration. A non-empty `durability.dir`
+  /// turns durability on: the server recovers every dashboard (flow text,
+  /// materialized objects with their pre-crash versions, changelog
+  /// cursors) from that directory at construction, write-ahead logs every
+  /// append before acknowledging it, and snapshots periodically. ETags
+  /// and /changes?since= cursors issued before a crash remain valid after
+  /// the restart. On unrecoverable corruption or persistent write
+  /// failures (e.g. ENOSPC) the store degrades to read-only: reads keep
+  /// serving, writes answer 503, and GET /health names the reason.
+  DurabilityOptions durability;
 };
 
 class ApiServer {
@@ -147,9 +158,12 @@ class ApiServer {
   explicit ApiServer(SharedDataRegistry* shared = nullptr,
                      Options options = {})
       : shared_(shared),
-        options_(options),
-        admission_(AdmissionOptions{options.max_in_flight, options.max_queue,
-                                    options.queue_timeout_ms}) {}
+        options_(std::move(options)),
+        admission_(AdmissionOptions{options_.max_in_flight,
+                                    options_.max_queue,
+                                    options_.queue_timeout_ms}) {
+    InitDurability();
+  }
 
   /// Routes one request, recording http_* request metrics around it.
   HttpResponse Handle(const HttpRequest& request);
@@ -187,7 +201,20 @@ class ApiServer {
   Result<Dashboard*> GetDashboard(const std::string& name);
   std::vector<std::string> DashboardNames() const;
 
+  /// The durable store, or null when Options::durability.dir is empty.
+  DurabilityManager* durability() const { return durability_.get(); }
+
  private:
+  /// Opens the durable store and synchronously recovers every persisted
+  /// dashboard (called from the constructor when durability is on).
+  void InitDurability();
+
+  /// CreateDashboard body; `persist` is false on the recovery path so a
+  /// recovered dashboard is not re-persisted mid-restore.
+  Status CreateDashboardInternal(const std::string& name,
+                                 const std::string& flow_text,
+                                 Dashboard::Options options, bool persist);
+
   /// The actual router; Handle() wraps it with admission, cancellation,
   /// and request accounting. Route() strips an optional /api/v1 prefix
   /// (stamping legacy paths with a Deprecation header) and dispatches to
@@ -226,6 +253,8 @@ class ApiServer {
   int run_counter_ = 0;
   SharedDataRegistry* shared_;
   Options options_;
+  // Durable object store (WAL + snapshots); null when durability is off.
+  std::unique_ptr<DurabilityManager> durability_;
   // Per-dashboard-object changelog backing the /objects/<name>/changes
   // long-poll, keyed "<dashboard>/<object>". Appends record their delta
   // here (and full rewrites a refetch marker) so subscribers patch in

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "dashboard/dashboard.h"
+#include "obs/metrics.h"
 
 namespace shareinsights {
 
@@ -18,10 +19,20 @@ size_t SharedDataRegistry::EventBytes(const ChangeEvent& event) {
 void SharedDataRegistry::TrimChangeLog(Published* entry) {
   // Oldest events fall off first; the newest always survives so a
   // subscriber at the immediately preceding version can still patch.
+  int64_t trimmed = 0;
   while (entry->changelog.size() > 1 &&
          entry->changelog_bytes > changelog_retention_bytes_) {
     entry->changelog_bytes -= EventBytes(entry->changelog.front());
     entry->changelog.pop_front();
+    ++trimmed;
+  }
+  if (trimmed > 0) {
+    // Growth of this counter means subscribers polling slower than the
+    // retention window are being pushed onto the refetch path.
+    MetricsRegistry::Default()
+        .GetCounter("changelog_trimmed_events_total",
+                    "change events dropped from retention-bounded changelogs")
+        ->Increment(trimmed);
   }
 }
 

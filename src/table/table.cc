@@ -8,12 +8,29 @@ namespace shareinsights {
 
 namespace {
 
-uint64_t NextTableVersion() {
+std::atomic<uint64_t>& TableVersionCounter() {
   static std::atomic<uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return counter;
+}
+
+uint64_t NextTableVersion() {
+  return TableVersionCounter().fetch_add(1, std::memory_order_relaxed) + 1;
 }
 
 }  // namespace
+
+void Table::RestampVersionForRecovery(const TablePtr& table,
+                                      uint64_t version) {
+  // Safe only because replay owns the table exclusively: nothing has
+  // read version_ yet, and the table is published to stores/registries
+  // (with their own synchronization) only afterwards.
+  const_cast<Table*>(table.get())->version_ = version;
+  std::atomic<uint64_t>& counter = TableVersionCounter();
+  uint64_t seen = counter.load(std::memory_order_relaxed);
+  while (seen < version && !counter.compare_exchange_weak(
+                               seen, version, std::memory_order_relaxed)) {
+  }
+}
 
 Table::Table(Schema schema, std::vector<ColumnData> columns, size_t num_rows)
     : schema_(std::move(schema)),

@@ -57,6 +57,16 @@ class Table {
   /// content.
   uint64_t version() const { return version_; }
 
+  /// Recovery-only (store/durability): re-stamps `table` — freshly
+  /// rebuilt during WAL replay and not yet visible to any other thread —
+  /// with the version it carried in the previous process, and advances
+  /// the process-wide version counter past it. Restored ETags and
+  /// changelog `prev_version` cursors stay valid across a restart, and
+  /// every table built afterwards still gets a strictly larger version
+  /// (no two live tables ever share one).
+  static void RestampVersionForRecovery(const TablePtr& table,
+                                        uint64_t version);
+
   /// Encoded storage of column `i` — the fast path for typed kernels.
   const ColumnData& typed_column(size_t i) const { return typed_[i]; }
 

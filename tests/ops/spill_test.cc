@@ -257,6 +257,42 @@ TEST(SpillScratchTest, LazyDirectoryAndCountersCleanUp) {
   EXPECT_FALSE(fs::exists(dir));
 }
 
+// Adaptive chunk sizing: before any observation the default row count
+// holds; afterwards chunk_rows() targets kTargetSpillChunkBytes from
+// the observed bytes-per-row, clamped to the row bounds.
+TEST(SpillScratchTest, AdaptiveChunkRowsTracksObservedRowWidth) {
+  SpillScratch scratch(SpillScratch::Options{});
+  EXPECT_EQ(scratch.chunk_rows(), kDefaultSpillChunkRows);
+
+  // 1 KiB rows: 16 MiB target / 1 KiB = 16384 rows per chunk.
+  scratch.ObserveChunk(1024, 1024 * 1024);
+  EXPECT_EQ(scratch.chunk_rows(), kTargetSpillChunkBytes / 1024);
+
+  // Totals aggregate: another chunk at the same width changes nothing.
+  scratch.ObserveChunk(1024, 1024 * 1024);
+  EXPECT_EQ(scratch.chunk_rows(), kTargetSpillChunkBytes / 1024);
+}
+
+TEST(SpillScratchTest, AdaptiveChunkRowsClampsToBounds) {
+  // 4-byte rows would target 4M rows per chunk — clamped to the max.
+  SpillScratch narrow(SpillScratch::Options{});
+  narrow.ObserveChunk(1000, 4000);
+  EXPECT_EQ(narrow.chunk_rows(), kMaxSpillChunkRows);
+
+  // 1 MiB rows would target 16 rows per chunk — clamped to the min.
+  SpillScratch wide(SpillScratch::Options{});
+  wide.ObserveChunk(4, 4 * 1024 * 1024);
+  EXPECT_EQ(wide.chunk_rows(), kMinSpillChunkRows);
+}
+
+TEST(SpillScratchTest, ExplicitChunkRowsDisablesAdaptation) {
+  SpillScratch::Options options;
+  options.chunk_rows = 777;
+  SpillScratch scratch(options);
+  scratch.ObserveChunk(10, 64 * 1024 * 1024);
+  EXPECT_EQ(scratch.chunk_rows(), 777u);
+}
+
 // The pressure path of MaterializeChunksWithSpill: a budget a tenth of
 // the output's charge forces spilling, and the merged result carries
 // exactly the values of the unconstrained gather. The accounted

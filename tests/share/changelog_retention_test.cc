@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "share/shared_registry.h"
 #include "table/table.h"
 
@@ -124,6 +125,32 @@ TEST(ChangelogRetentionTest, RewriteMarkersAgeOutToo) {
   }
   EXPECT_LE(registry.ChangeLogDepth("obj"), 2u);
   EXPECT_GE(registry.ChangeLogDepth("obj"), 1u);
+}
+
+// Every event dropped by retention shows up in the process-wide
+// changelog_trimmed_events_total counter — the observable signal that
+// slow subscribers are being pushed onto the refetch path.
+TEST(ChangelogRetentionTest, TrimmingIncrementsTheDroppedEventsCounter) {
+  Counter* trimmed = MetricsRegistry::Default().GetCounter(
+      "changelog_trimmed_events_total");
+  const int64_t before = trimmed->Value();
+
+  SharedDataRegistry registry;
+  registry.set_changelog_retention_bytes(1);
+  TablePtr base = RowsTable(4, "base");
+  ASSERT_TRUE(registry.Publish("obj", base, "d1").ok());
+  uint64_t prev = base->version();
+  for (int i = 0; i < 5; ++i) {
+    TablePtr grown = RowsTable(8 + static_cast<size_t>(i), "g");
+    ASSERT_TRUE(
+        registry.PublishAppend("obj", grown, RowsTable(4, "d"), "d1", prev)
+            .ok());
+    prev = grown->version();
+  }
+
+  // 6 events entered a log that retains only the newest one.
+  EXPECT_EQ(registry.ChangeLogDepth("obj"), 1u);
+  EXPECT_GE(trimmed->Value() - before, 5);
 }
 
 }  // namespace

@@ -1,0 +1,371 @@
+// Unit tests for the DurabilityManager: snapshot + WAL recovery with
+// version restamping, committed-cycle semantics (uncommitted tails are
+// dropped), read-only degradation on injected io.wal faults and ENOSPC,
+// fsync policies, the recovery cancellation probe and memory budget,
+// corruption handling, stats/metrics, and ParseFsyncPolicy.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "gov/cancellation.h"
+#include "io/spill_file.h"
+#include "store/durability.h"
+#include "table/table.h"
+
+namespace shareinsights {
+namespace {
+
+namespace fs = std::filesystem;
+
+TablePtr RowsTable(int64_t from, int64_t count) {
+  std::vector<Value> ids, labels;
+  for (int64_t i = from; i < from + count; ++i) {
+    ids.push_back(Value(i));
+    labels.push_back(Value("label-" + std::to_string(i)));
+  }
+  return *Table::Create(
+      Schema({Field{"id", ValueType::kInt64},
+              Field{"label", ValueType::kString}}),
+      {std::move(ids), std::move(labels)});
+}
+
+DurabilityOptions TestOptions(const std::string& dir) {
+  DurabilityOptions options;
+  options.dir = dir;
+  options.fsync_policy = DurabilityOptions::FsyncPolicy::kOff;
+  return options;
+}
+
+// Path of the (single) WAL file under `root`/wal.
+std::string FirstWalPath(const std::string& root) {
+  for (const auto& entry :
+       fs::directory_iterator(fs::path(root) / "wal")) {
+    if (entry.is_regular_file()) return entry.path().string();
+  }
+  return std::string();
+}
+
+DurabilityManager::LoggedChange Change(const std::string& object,
+                                       TablePtr table, TablePtr delta,
+                                       uint64_t prev_version) {
+  DurabilityManager::LoggedChange change;
+  change.object = object;
+  change.version = table->version();
+  change.prev_version = prev_version;
+  change.table = std::move(table);
+  change.delta = std::move(delta);
+  return change;
+}
+
+TEST(ParseFsyncPolicyTest, ParsesKnownValuesOnly) {
+  EXPECT_EQ(ParseFsyncPolicy("always"),
+            DurabilityOptions::FsyncPolicy::kAlways);
+  EXPECT_EQ(ParseFsyncPolicy("interval"),
+            DurabilityOptions::FsyncPolicy::kInterval);
+  EXPECT_EQ(ParseFsyncPolicy("off"), DurabilityOptions::FsyncPolicy::kOff);
+  EXPECT_FALSE(ParseFsyncPolicy("sometimes").has_value());
+  EXPECT_FALSE(ParseFsyncPolicy("").has_value());
+}
+
+TEST(DurabilityTest, RecoversDashboardFromSnapshotAndWalTail) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok()) << scratch.status();
+
+  TablePtr base = RowsTable(0, 10);
+  TablePtr delta = RowsTable(10, 3);
+  uint64_t base_version = base->version();
+
+  {
+    auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+    ASSERT_FALSE(manager->read_only()) << manager->read_only_reason();
+    ASSERT_TRUE(manager->PersistDashboard("sales", "flow-text-here").ok());
+    ASSERT_TRUE(
+        manager->SnapshotDashboard("sales", {{"items", base}}).ok());
+    // One committed append cycle on top of the snapshot.
+    TablePtr grown = RowsTable(0, 13);
+    ASSERT_TRUE(manager
+                    ->LogAppendCycle("sales", {Change("items", grown, delta,
+                                                      base_version)})
+                    .ok());
+  }
+
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  auto report = manager->Recover();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(manager->read_only()) << manager->read_only_reason();
+  ASSERT_EQ(report->dashboards.size(), 1u);
+  const auto& dash = report->dashboards[0];
+  EXPECT_EQ(dash.name, "sales");
+  EXPECT_EQ(dash.flow_text, "flow-text-here");
+  ASSERT_EQ(dash.objects.count("items"), 1u);
+  const TablePtr& items = dash.objects.at("items");
+  EXPECT_EQ(items->num_rows(), 13u);
+  // The WAL tail was replayed and delivered as an event.
+  ASSERT_EQ(dash.tail.size(), 1u);
+  EXPECT_EQ(dash.tail[0].object, "items");
+  EXPECT_EQ(dash.tail[0].prev_version, base_version);
+  ASSERT_NE(dash.tail[0].delta, nullptr);
+  EXPECT_EQ(dash.tail[0].delta->num_rows(), 3u);
+  EXPECT_EQ(report->replayed_records, 1u);
+  // Versions restamped: the recovered table carries its pre-crash
+  // version, and the process counter moved past it so new tables are
+  // strictly newer.
+  EXPECT_GT(items->version(), base_version);
+  EXPECT_GT(RowsTable(0, 1)->version(), items->version());
+  // Row content survives byte-for-byte.
+  for (size_t r = 0; r < 13; ++r) {
+    EXPECT_EQ(items->at(r, 0).ToString(), std::to_string(r));
+  }
+}
+
+TEST(DurabilityTest, UncommittedTrailingCycleIsDropped) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+
+  TablePtr base = RowsTable(0, 4);
+  {
+    auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+    ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+    ASSERT_TRUE(manager->SnapshotDashboard("d", {{"o", base}}).ok());
+    ASSERT_TRUE(manager
+                    ->LogAppendCycle("d", {Change("o", RowsTable(0, 6),
+                                                  RowsTable(4, 2),
+                                                  base->version())})
+                    .ok());
+  }
+  // Simulate a crash mid-cycle: append a publish record with no commit
+  // marker after it.
+  {
+    auto writer =
+        WalWriter::Open(FirstWalPath(scratch->path()), DefaultSpillRetryPolicy());
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    WalRecord uncommitted;
+    uncommitted.type = WalRecord::Type::kPublish;
+    uncommitted.object = "o";
+    uncommitted.version = 999999;
+    uncommitted.publisher = "d";
+    uncommitted.table = RowsTable(100, 2);
+    ASSERT_TRUE((*writer)->Append(uncommitted).ok());
+  }
+
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  auto report = manager->Recover();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_FALSE(manager->read_only()) << manager->read_only_reason();
+  ASSERT_EQ(report->dashboards.size(), 1u);
+  // The committed cycle applied (6 rows); the uncommitted publish did not.
+  EXPECT_EQ(report->dashboards[0].objects.at("o")->num_rows(), 6u);
+  EXPECT_EQ(report->replayed_records, 1u);
+}
+
+TEST(DurabilityTest, WalFaultDegradesToReadOnlyNotCrash) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+
+  FaultInjector::Get().Reset();
+  FaultSpec spec;
+  spec.probability = 1.0;  // every attempt fails; retries exhaust
+  spec.status = Status::IoError("injected persistent WAL failure");
+  FaultInjector::Get().Arm(kFaultIoWal, spec);
+
+  TablePtr table = RowsTable(0, 3);
+  Status logged =
+      manager->LogAppendCycle("d", {Change("o", table, nullptr, 0)});
+  FaultInjector::Get().Reset();
+  ASSERT_FALSE(logged.ok());
+  EXPECT_EQ(logged.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(manager->read_only());
+  EXPECT_FALSE(manager->read_only_reason().empty());
+
+  // Sticky: later writes answer kUnavailable without touching disk.
+  Status again =
+      manager->LogAppendCycle("d", {Change("o", table, nullptr, 0)});
+  EXPECT_EQ(again.code(), StatusCode::kUnavailable);
+  Status snap = manager->SnapshotDashboard("d", {{"o", table}});
+  EXPECT_EQ(snap.code(), StatusCode::kUnavailable);
+}
+
+TEST(DurabilityTest, EnospcDegradesToReadOnly) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+
+  FaultInjector::Get().Reset();
+  FaultSpec spec;
+  spec.probability = 1.0;
+  spec.status = Status::ResourceExhausted("injected ENOSPC");
+  FaultInjector::Get().Arm(kFaultIoWal, spec);
+
+  Status logged = manager->LogAppendCycle(
+      "d", {Change("o", RowsTable(0, 3), nullptr, 0)});
+  // Fail-fast: exactly one pass through the site (no retries on ENOSPC).
+  EXPECT_EQ(FaultInjector::Get().fires(kFaultIoWal), 1);
+  FaultInjector::Get().Reset();
+  ASSERT_FALSE(logged.ok());
+  EXPECT_EQ(logged.code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(manager->read_only());
+}
+
+TEST(DurabilityTest, CorruptSnapshotRecoversReadOnly) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  {
+    auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+    ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+    ASSERT_TRUE(
+        manager->SnapshotDashboard("d", {{"o", RowsTable(0, 5)}}).ok());
+  }
+  // Flip a byte inside the snapshot payload.
+  for (const auto& entry : fs::recursive_directory_iterator(
+           fs::path(scratch->path()) / "snapshots")) {
+    if (!entry.is_regular_file()) continue;
+    std::fstream file(entry.path(),
+                      std::ios::in | std::ios::out | std::ios::binary);
+    file.seekp(20);
+    char byte = 0x5A;
+    file.write(&byte, 1);
+  }
+
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  auto report = manager->Recover();
+  ASSERT_TRUE(report.ok()) << report.status();  // partial report, not error
+  EXPECT_TRUE(manager->read_only());
+  EXPECT_FALSE(manager->read_only_reason().empty());
+}
+
+TEST(DurabilityTest, RecoveryHonorsCancellation) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  {
+    auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+    ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+    ASSERT_TRUE(manager
+                    ->LogAppendCycle(
+                        "d", {Change("o", RowsTable(0, 3), nullptr, 0)})
+                    .ok());
+  }
+  CancellationToken cancel;
+  cancel.Cancel("test cancel");
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  auto report = manager->Recover(&cancel);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.status().code(), StatusCode::kCancelled);
+}
+
+TEST(DurabilityTest, ReplayMemoryBudgetRefusalDegradesReadOnly) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  {
+    auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+    ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+    ASSERT_TRUE(manager
+                    ->LogAppendCycle(
+                        "d", {Change("o", RowsTable(0, 500), nullptr, 0)})
+                    .ok());
+  }
+  DurabilityOptions options = TestOptions(scratch->path());
+  options.replay_mem_budget_bytes = 1;  // refuses any real table
+  auto manager = DurabilityManager::Open(options);
+  auto report = manager->Recover();
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(manager->read_only());
+}
+
+TEST(DurabilityTest, SnapshotTruncatesWalAndBoundsReplay) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  DurabilityOptions options = TestOptions(scratch->path());
+  options.snapshot_wal_bytes = 1;  // every append trips the threshold
+  {
+    auto manager = DurabilityManager::Open(options);
+    ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+    TablePtr table = RowsTable(0, 5);
+    ASSERT_TRUE(
+        manager->LogAppendCycle("d", {Change("o", table, nullptr, 0)}).ok());
+    EXPECT_TRUE(manager->ShouldSnapshot("d"));
+    ASSERT_TRUE(manager->SnapshotDashboard("d", {{"o", table}}).ok());
+    // Snapshot reset the WAL: the threshold is no longer tripped.
+    EXPECT_FALSE(manager->ShouldSnapshot("d"));
+    EXPECT_GE(manager->stats().snapshots_written, 1);
+  }
+  auto manager = DurabilityManager::Open(options);
+  auto report = manager->Recover();
+  ASSERT_TRUE(report.ok()) << report.status();
+  // Nothing to replay — state lives in the snapshot.
+  EXPECT_EQ(report->replayed_records, 0u);
+  ASSERT_EQ(report->dashboards.size(), 1u);
+  EXPECT_EQ(report->dashboards[0].objects.at("o")->num_rows(), 5u);
+}
+
+TEST(DurabilityTest, DeleteRecordsRemoveObjects) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  {
+    auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+    ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+    TablePtr table = RowsTable(0, 3);
+    ASSERT_TRUE(
+        manager->LogAppendCycle("d", {Change("o", table, nullptr, 0)}).ok());
+    // The manager API logs publishes/appends; deletes ride through the
+    // WAL layer directly, exercised here for the recovery path.
+    auto writer = WalWriter::Open(FirstWalPath(scratch->path()),
+                                  DefaultSpillRetryPolicy());
+    ASSERT_TRUE(writer.ok());
+    WalRecord del;
+    del.type = WalRecord::Type::kDelete;
+    del.object = "o";
+    del.publisher = "d";
+    ASSERT_TRUE((*writer)->Append(del).ok());
+    WalRecord commit;
+    commit.type = WalRecord::Type::kCommit;
+    commit.publisher = "d";
+    ASSERT_TRUE((*writer)->Append(commit).ok());
+  }
+  auto manager = DurabilityManager::Open(TestOptions(scratch->path()));
+  auto report = manager->Recover();
+  ASSERT_TRUE(report.ok()) << report.status();
+  ASSERT_EQ(report->dashboards.size(), 1u);
+  EXPECT_EQ(report->dashboards[0].objects.count("o"), 0u);
+}
+
+TEST(DurabilityTest, StatsReflectActivity) {
+  auto scratch = TempDirGuard::Create("", "si-dur-test");
+  ASSERT_TRUE(scratch.ok());
+  DurabilityOptions options = TestOptions(scratch->path());
+  options.fsync_policy = DurabilityOptions::FsyncPolicy::kAlways;
+  auto manager = DurabilityManager::Open(options);
+  ASSERT_TRUE(manager->PersistDashboard("d", "flow").ok());
+
+  auto before = manager->stats();
+  TablePtr table = RowsTable(0, 3);
+  ASSERT_TRUE(
+      manager->LogAppendCycle("d", {Change("o", table, nullptr, 0)}).ok());
+  auto after = manager->stats();
+  // One publish + one commit marker.
+  EXPECT_EQ(after.wal_records_written - before.wal_records_written, 2);
+  EXPECT_GT(after.wal_bytes_written, before.wal_bytes_written);
+  // kAlways policy fsyncs every cycle.
+  EXPECT_GE(after.wal_fsyncs - before.wal_fsyncs, 1);
+  EXPECT_FALSE(after.read_only);
+}
+
+TEST(DurabilityTest, UnusableDirectoryOpensReadOnly) {
+  DurabilityOptions options;
+  options.dir = "/proc/definitely-not-writable/si-durability";
+  auto manager = DurabilityManager::Open(options);
+  ASSERT_NE(manager, nullptr);
+  EXPECT_TRUE(manager->read_only());
+  EXPECT_FALSE(manager->read_only_reason().empty());
+}
+
+}  // namespace
+}  // namespace shareinsights
