@@ -1,10 +1,14 @@
 #include "ops/filter.h"
 
+#include <algorithm>
+#include <cmath>
+#include <optional>
 #include <unordered_set>
 
-#include "common/string_util.h"
-#include "table/column.h"
 #include "common/fingerprint.h"
+#include "common/string_util.h"
+#include "simd/kernels.h"
+#include "table/column.h"
 
 namespace shareinsights {
 
@@ -47,24 +51,275 @@ Result<TablePtr> SelectRows(
   return GatherRows(input, ConcatSelections(selections), ctx);
 }
 
-/// Same skeleton for the typed kernels: `keep` is a statically-typed
-/// functor (inlined into the scan loop — no std::function dispatch, no
-/// Status plumbing per row).
-template <typename Keep>
-Result<TablePtr> SelectRowsKernel(const TablePtr& input,
-                                  const ExecContext& ctx, Keep keep) {
+/// Columnar skeleton: `apply(begin, end, sel)` ANDs its verdicts into a
+/// byte-per-row selection mask (pre-set to all-selected) one morsel at a
+/// time; the mask then compresses back to gather indexes. Byte-identical
+/// to SelectRows for any `apply` computing the same per-row verdicts,
+/// across thread counts (per-morsel selections concatenate in morsel
+/// order).
+template <typename Apply>
+Result<TablePtr> SelectRowsColumnar(const TablePtr& input,
+                                    const ExecContext& ctx, Apply apply) {
   std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
   std::vector<std::vector<size_t>> selections(ranges.size());
   SI_RETURN_IF_ERROR(ForEachMorsel(
       ctx, input->num_rows(),
       [&](size_t m, size_t begin, size_t end) -> Status {
-        std::vector<size_t>& selected = selections[m];
-        for (size_t r = begin; r < end; ++r) {
-          if (keep(r)) selected.push_back(r);
-        }
+        std::vector<uint8_t> sel(end - begin, 1);
+        apply(begin, end, sel.data());
+        simd::CompressMask(sel.data(), end - begin, begin, selections[m]);
         return Status::OK();
       }));
   return GatherRows(input, ConcatSelections(selections), ctx);
+}
+
+// Which Compare outcomes (-1 / 0 / +1) a comparator keeps.
+struct CmpMask {
+  bool lt = false, eq = false, gt = false;
+  bool Keeps(int cmp) const { return cmp < 0 ? lt : cmp > 0 ? gt : eq; }
+};
+
+CmpMask MaskFor(FilterCompareOp::Cmp cmp) {
+  using Cmp = FilterCompareOp::Cmp;
+  switch (cmp) {
+    case Cmp::kEq:
+      return {false, true, false};
+    case Cmp::kNe:
+      return {true, false, true};
+    case Cmp::kLt:
+      return {true, false, false};
+    case Cmp::kLe:
+      return {true, true, false};
+    case Cmp::kGt:
+      return {false, false, true};
+    case Cmp::kGe:
+      return {false, true, true};
+    case Cmp::kContains:
+      break;
+  }
+  return {};
+}
+
+/// Columnar plan for `column <cmp> literal`: one kernel pass per morsel
+/// with all per-row dispatch hoisted to compile time. The mode encodes
+/// Value::Compare's cross-type rules — cases a lane-replicated compare
+/// can't express exactly (int64 cells converting to double, NaN literals
+/// against double cells) compile to typed scalar loops instead of
+/// kernels, so the result is bit-identical to the per-row oracle.
+struct ColumnarCompare {
+  enum class Mode {
+    kConst,        // verdict decided by type rank alone
+    kInt64Lit,     // int64 cells vs int64 literal (kernel)
+    kInt64Value,   // int64 cells vs double literal: CompareInt64Cell
+                   // converts the cell to double — scalar loop
+    kDoubleLit,    // double cells vs non-NaN numeric literal (kernel)
+    kDoubleValue,  // double cells vs NaN literal — total-order scalar
+    kCode,         // dict codes vs string literal, code threshold (kernel)
+    kBool,         // bool cells vs any literal — scalar loop
+  };
+  Mode mode = Mode::kConst;
+  const ColumnData* col = nullptr;
+  CmpMask mask;
+  bool null_keep = false;
+  bool const_keep = false;
+  int64_t int_lit = 0;
+  double dbl_lit = 0.0;
+  uint32_t lower_bound = 0;
+  bool has_exact = false;
+  Value literal;
+
+  void Apply(size_t begin, size_t end, uint8_t* sel) const {
+    const size_t n = end - begin;
+    const uint8_t* nulls =
+        col->has_nulls() ? col->nulls().data() + begin : nullptr;
+    switch (mode) {
+      case Mode::kConst:
+        simd::AndConst(nulls, null_keep, const_keep, sel, n);
+        return;
+      case Mode::kInt64Lit:
+        simd::AndInt64Cmp(col->ints().data() + begin, nulls, null_keep,
+                          int_lit, mask.lt, mask.eq, mask.gt, sel, n);
+        return;
+      case Mode::kInt64Value: {
+        const int64_t* v = col->ints().data() + begin;
+        for (size_t i = 0; i < n; ++i) {
+          bool keep = nulls != nullptr && nulls[i] != 0
+                          ? null_keep
+                          : mask.Keeps(CompareInt64Cell(v[i], literal));
+          if (!keep) sel[i] = 0;
+        }
+        return;
+      }
+      case Mode::kDoubleLit:
+        simd::AndDoubleCmp(col->doubles().data() + begin, nulls, null_keep,
+                           dbl_lit, mask.lt, mask.eq, mask.gt, sel, n);
+        return;
+      case Mode::kDoubleValue: {
+        const double* v = col->doubles().data() + begin;
+        for (size_t i = 0; i < n; ++i) {
+          bool keep = nulls != nullptr && nulls[i] != 0
+                          ? null_keep
+                          : mask.Keeps(CompareDoubleCell(v[i], literal));
+          if (!keep) sel[i] = 0;
+        }
+        return;
+      }
+      case Mode::kCode:
+        simd::AndCodeCmp(col->codes().data() + begin, nulls, null_keep,
+                         lower_bound, has_exact, mask.lt, mask.eq, mask.gt,
+                         sel, n);
+        return;
+      case Mode::kBool: {
+        const uint8_t* v = col->bools().data() + begin;
+        for (size_t i = 0; i < n; ++i) {
+          bool keep = nulls != nullptr && nulls[i] != 0
+                          ? null_keep
+                          : mask.Keeps(CompareBoolCell(v[i] != 0, literal));
+          if (!keep) sel[i] = 0;
+        }
+        return;
+      }
+    }
+  }
+};
+
+/// Compiles `column <cmp> literal` to a columnar plan, or nullopt for
+/// kGeneric columns (Value path). `nulls_compare` selects the null-cell
+/// semantics: true replicates expression comparisons, where null cells
+/// still compare by type rank (null equals null, null below everything
+/// else); false replicates FilterCompareOp, where null cells never match.
+std::optional<ColumnarCompare> CompileColumnarCompare(const ColumnData& col,
+                                                      CmpMask mask,
+                                                      const Value& literal,
+                                                      bool nulls_compare) {
+  if (col.encoding() == ColumnEncoding::kGeneric) return std::nullopt;
+  ColumnarCompare cc;
+  cc.col = &col;
+  cc.mask = mask;
+  cc.literal = literal;
+  cc.null_keep = nulls_compare && mask.Keeps(literal.is_null() ? 0 : -1);
+  if (literal.is_null()) {
+    // Non-null cells rank above the null literal: constant +1 verdict.
+    cc.mode = ColumnarCompare::Mode::kConst;
+    cc.const_keep = mask.gt;
+    return cc;
+  }
+  switch (col.encoding()) {
+    case ColumnEncoding::kInt64:
+      if (literal.is_int64()) {
+        cc.mode = ColumnarCompare::Mode::kInt64Lit;
+        cc.int_lit = literal.int64_value();
+        return cc;
+      }
+      if (literal.is_double()) {
+        if (std::isnan(literal.double_value())) {
+          // Converted cells are never NaN, and NaN orders after every
+          // number: constant -1 verdict.
+          cc.mode = ColumnarCompare::Mode::kConst;
+          cc.const_keep = mask.lt;
+          return cc;
+        }
+        cc.mode = ColumnarCompare::Mode::kInt64Value;
+        return cc;
+      }
+      // bool/string literal: the outcome is fixed by type rank.
+      cc.mode = ColumnarCompare::Mode::kConst;
+      cc.const_keep = mask.Keeps(CompareInt64Cell(0, literal));
+      return cc;
+    case ColumnEncoding::kDouble:
+      if (literal.is_numeric()) {
+        double d = literal.AsDouble();
+        if (std::isnan(d)) {
+          // NaN literal: non-NaN cells order below it, NaN cells equal
+          // it — two outcomes, so the total-order scalar loop decides.
+          cc.mode = ColumnarCompare::Mode::kDoubleValue;
+          return cc;
+        }
+        cc.mode = ColumnarCompare::Mode::kDoubleLit;
+        cc.dbl_lit = d;
+        return cc;
+      }
+      cc.mode = ColumnarCompare::Mode::kConst;
+      cc.const_keep = mask.Keeps(CompareDoubleCell(0.0, literal));
+      return cc;
+    case ColumnEncoding::kDict:
+      if (literal.is_string()) {
+        cc.mode = ColumnarCompare::Mode::kCode;
+        cc.lower_bound = col.LowerBoundCode(literal.string_value());
+        cc.has_exact =
+            col.FindCode(literal.string_value()) != ColumnData::kNoCode;
+        return cc;
+      }
+      // Strings rank above null/bool/numeric literals: constant +1.
+      cc.mode = ColumnarCompare::Mode::kConst;
+      cc.const_keep = mask.gt;
+      return cc;
+    case ColumnEncoding::kBool:
+      cc.mode = ColumnarCompare::Mode::kBool;
+      return cc;
+    case ColumnEncoding::kGeneric:
+      break;
+  }
+  return std::nullopt;
+}
+
+/// Recognizes `column <cmp> literal` (either operand order) at the top
+/// of a filter expression so the dominant filter shape can run on the
+/// columnar compare plan instead of per-row expression evaluation. Any
+/// other shape returns nullopt and takes the generic EvalPredicate path.
+struct LoweredCompare {
+  size_t col_idx = 0;
+  CmpMask mask;
+  Value literal;
+};
+
+std::optional<LoweredCompare> TryLowerComparison(const Expr& expr,
+                                                 const Schema& schema) {
+  if (expr.kind() != Expr::Kind::kBinary) return std::nullopt;
+  const auto& bin = static_cast<const BinaryExpr&>(expr);
+  CmpMask mask;
+  switch (bin.op()) {
+    case ExprOp::kEq:
+      mask = {false, true, false};
+      break;
+    case ExprOp::kNe:
+      mask = {true, false, true};
+      break;
+    case ExprOp::kLt:
+      mask = {true, false, false};
+      break;
+    case ExprOp::kLe:
+      mask = {true, true, false};
+      break;
+    case ExprOp::kGt:
+      mask = {false, false, true};
+      break;
+    case ExprOp::kGe:
+      mask = {false, true, true};
+      break;
+    default:
+      return std::nullopt;
+  }
+  const Expr* l = bin.left().get();
+  const Expr* r = bin.right().get();
+  const ColumnExpr* column = nullptr;
+  const LiteralExpr* literal = nullptr;
+  if (l->kind() == Expr::Kind::kColumn &&
+      r->kind() == Expr::Kind::kLiteral) {
+    column = static_cast<const ColumnExpr*>(l);
+    literal = static_cast<const LiteralExpr*>(r);
+  } else if (l->kind() == Expr::Kind::kLiteral &&
+             r->kind() == Expr::Kind::kColumn) {
+    column = static_cast<const ColumnExpr*>(r);
+    literal = static_cast<const LiteralExpr*>(l);
+    // `lit cmp col` is `col cmp' lit` with the orientation flipped.
+    std::swap(mask.lt, mask.gt);
+  } else {
+    return std::nullopt;
+  }
+  Result<size_t> idx = schema.RequireIndex(column->name());
+  if (!idx.ok()) return std::nullopt;
+  return LoweredCompare{*idx, mask, literal->value()};
 }
 
 }  // namespace
@@ -74,6 +329,20 @@ Result<TablePtr> FilterExpressionOp::Execute(
   const TablePtr& input = inputs[0];
   SI_ASSIGN_OR_RETURN(BoundExpr bound,
                       BoundExpr::Bind(expr_, input->schema()));
+  // Expression comparisons rank null cells below every non-null value
+  // (they go through Value::Compare), hence nulls_compare=true.
+  if (std::optional<LoweredCompare> lowered =
+          TryLowerComparison(*expr_, input->schema())) {
+    std::optional<ColumnarCompare> cc = CompileColumnarCompare(
+        input->typed_column(lowered->col_idx), lowered->mask,
+        lowered->literal, /*nulls_compare=*/true);
+    if (cc.has_value()) {
+      return SelectRowsColumnar(input, ctx,
+                                [&](size_t begin, size_t end, uint8_t* sel) {
+                                  cc->Apply(begin, end, sel);
+                                });
+    }
+  }
   return SelectRows(input, ctx, [&](size_t r) -> Result<bool> {
     return bound.EvalPredicate(*input, r);
   });
@@ -114,7 +383,8 @@ struct BoundFilter {
 
   // kGenericSet
   std::unordered_set<Value, ValueHash> allowed;
-  // kDictSet: allowed_codes[code] != 0 keeps the row
+  // kDictSet: allowed_codes[code] != 0 keeps the row (padded for the
+  // AndCodeSet gather, see kCodeSetPadding)
   std::vector<uint8_t> allowed_codes;
   bool null_allowed = false;
   // kDictRange
@@ -165,6 +435,65 @@ struct BoundFilter {
     }
     return false;
   }
+
+  /// One columnar AND pass over rows [begin, end) with the kind dispatch
+  /// hoisted out of the row loop. Kernel-representable kinds call the
+  /// simd library; set-membership and mixed-type range kinds keep
+  /// per-row verdicts (hash probes / Value compares don't vectorize) but
+  /// still skip already-dropped rows and share the hoisted dispatch.
+  void ApplyColumnar(size_t begin, size_t end, uint8_t* sel) const {
+    const ColumnData& col = *column;
+    const size_t n = end - begin;
+    const uint8_t* nulls =
+        col.has_nulls() ? col.nulls().data() + begin : nullptr;
+    switch (kind) {
+      case Kind::kDictSet:
+        simd::AndCodeSet(col.codes().data() + begin, nulls, null_allowed,
+                         allowed_codes.data(), sel, n);
+        return;
+      case Kind::kDictRange:
+        simd::AndCodeRange(col.codes().data() + begin, nulls,
+                           /*null_keep=*/false, lo_code, hi_code, sel, n);
+        return;
+      case Kind::kInt64Range: {
+        const Value& lo = filter->allowed[0];
+        const Value& hi = filter->allowed[1];
+        // CompareInt64Cell against non-int64 bounds converts the cell to
+        // double, which an int64 lane compare can't replicate — those
+        // stay on the scalar loop below.
+        if (lo.is_int64() && hi.is_int64()) {
+          simd::AndInt64Range(col.ints().data() + begin, nulls,
+                              /*null_keep=*/false, lo.int64_value(),
+                              hi.int64_value(), sel, n);
+          return;
+        }
+        break;
+      }
+      case Kind::kDoubleRange: {
+        const Value& lo = filter->allowed[0];
+        const Value& hi = filter->allowed[1];
+        // CompareDoubleCell converts numeric bounds with AsDouble, which
+        // the kernel replicates exactly (NaN cells order above hi and
+        // drop); NaN bounds need total-order semantics — scalar.
+        if (lo.is_numeric() && hi.is_numeric()) {
+          double lo_d = lo.AsDouble();
+          double hi_d = hi.AsDouble();
+          if (!std::isnan(lo_d) && !std::isnan(hi_d)) {
+            simd::AndDoubleRange(col.doubles().data() + begin, nulls,
+                                 /*null_keep=*/false, lo_d, hi_d, sel, n);
+            return;
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    for (size_t r = begin; r < end; ++r) {
+      uint8_t& s = sel[r - begin];
+      if (s != 0 && !Keep(r)) s = 0;
+    }
+  }
 };
 
 // Compiles one ColumnFilter against its column's encoding.
@@ -211,7 +540,10 @@ BoundFilter CompileFilter(const ColumnData& column,
   }
   if (is_dict) {
     b.kind = BoundFilter::Kind::kDictSet;
-    b.allowed_codes.assign(column.dict().size(), 0);
+    // Size at least 1 so the kernel's word gather at code 0 (what null
+    // rows store) stays in bounds even for a degenerate empty dictionary.
+    b.allowed_codes.assign(
+        std::max<size_t>(column.dict().size(), 1) + simd::kCodeSetPadding, 0);
     for (const Value& v : filter.allowed) {
       if (!v.is_string()) continue;  // non-strings never equal a string
       uint32_t code = column.FindCode(v.string_value());
@@ -258,12 +590,13 @@ Result<TablePtr> FilterValuesOp::Execute(
     }
     bound.push_back(CompileFilter(input->typed_column(idx), f));
   }
-  return SelectRowsKernel(input, ctx, [&](size_t r) {
-    for (const BoundFilter& b : bound) {
-      if (!b.Keep(r)) return false;
-    }
-    return true;
-  });
+  // A conjunction is one columnar AND pass per bound filter.
+  return SelectRowsColumnar(input, ctx,
+                            [&](size_t begin, size_t end, uint8_t* sel) {
+                              for (const BoundFilter& b : bound) {
+                                b.ApplyColumnar(begin, end, sel);
+                              }
+                            });
 }
 
 Result<FilterCompareOp::Cmp> FilterCompareOp::ParseCmp(
@@ -290,37 +623,6 @@ Result<Schema> FilterCompareOp::OutputSchema(
   return inputs[0];
 }
 
-namespace {
-
-// Which Compare outcomes (-1 / 0 / +1) a comparator keeps.
-struct CmpMask {
-  bool lt = false, eq = false, gt = false;
-  bool Keeps(int cmp) const { return cmp < 0 ? lt : cmp > 0 ? gt : eq; }
-};
-
-CmpMask MaskFor(FilterCompareOp::Cmp cmp) {
-  using Cmp = FilterCompareOp::Cmp;
-  switch (cmp) {
-    case Cmp::kEq:
-      return {false, true, false};
-    case Cmp::kNe:
-      return {true, false, true};
-    case Cmp::kLt:
-      return {true, false, false};
-    case Cmp::kLe:
-      return {true, true, false};
-    case Cmp::kGt:
-      return {false, false, true};
-    case Cmp::kGe:
-      return {false, true, true};
-    case Cmp::kContains:
-      break;
-  }
-  return {};
-}
-
-}  // namespace
-
 Result<TablePtr> FilterCompareOp::Execute(
     const std::vector<TablePtr>& inputs, const ExecContext& ctx) const {
   const TablePtr& input = inputs[0];
@@ -328,76 +630,36 @@ Result<TablePtr> FilterCompareOp::Execute(
   const ColumnData& col = input->typed_column(idx);
 
   if (cmp_ == Cmp::kContains && col.encoding() == ColumnEncoding::kDict) {
-    // Evaluate contains once per dictionary entry, then test rows by code.
+    // Evaluate contains once per dictionary entry, then test rows by
+    // code through the set kernel (null cells never match).
     std::string needle = literal_.ToString();
     const ColumnData::Dictionary& dict = col.dict();
-    std::vector<uint8_t> verdict(dict.size(), 0);
+    std::vector<uint8_t> verdict(
+        std::max<size_t>(dict.size(), 1) + simd::kCodeSetPadding, 0);
     for (size_t c = 0; c < dict.size(); ++c) {
       verdict[c] = dict[c].find(needle) != std::string::npos ? 1 : 0;
     }
     const uint32_t* codes = col.codes().data();
-    return SelectRowsKernel(input, ctx, [&, codes](size_t r) {
-      return !col.IsNull(r) && verdict[codes[r]] != 0;
-    });
+    const uint8_t* nulls = col.has_nulls() ? col.nulls().data() : nullptr;
+    return SelectRowsColumnar(
+        input, ctx, [&](size_t begin, size_t end, uint8_t* sel) {
+          simd::AndCodeSet(codes + begin,
+                           nulls != nullptr ? nulls + begin : nullptr,
+                           /*null_keep=*/false, verdict.data(), sel,
+                           end - begin);
+        });
   }
 
   if (cmp_ != Cmp::kContains) {
-    const CmpMask mask = MaskFor(cmp_);
-    switch (col.encoding()) {
-      case ColumnEncoding::kDict: {
-        // Ordered compare against the sorted dictionary collapses to a
-        // code threshold: cmp(row) = -1 below lower_bound(literal), 0 on
-        // the exact literal code, +1 otherwise. Non-string literals rank
-        // below every string, so the comparison is the constant +1.
-        int64_t eq_code = -1;
-        uint32_t lb = 0;
-        bool literal_is_string = literal_.is_string();
-        if (literal_is_string) {
-          lb = col.LowerBoundCode(literal_.string_value());
-          uint32_t exact = col.FindCode(literal_.string_value());
-          if (exact != ColumnData::kNoCode) eq_code = exact;
-        }
-        const uint32_t* codes = col.codes().data();
-        return SelectRowsKernel(input, ctx, [&, codes](size_t r) {
-          if (col.IsNull(r)) return false;
-          int cmp;
-          if (!literal_is_string) {
-            cmp = 1;
-          } else {
-            uint32_t code = codes[r];
-            cmp = code < lb ? -1
-                  : static_cast<int64_t>(code) == eq_code ? 0
-                                                          : 1;
-          }
-          return mask.Keeps(cmp);
-        });
-      }
-      case ColumnEncoding::kInt64: {
-        const int64_t* data = col.ints().data();
-        const Value literal = literal_;
-        return SelectRowsKernel(input, ctx, [&, data](size_t r) {
-          return !col.IsNull(r) &&
-                 mask.Keeps(CompareInt64Cell(data[r], literal));
-        });
-      }
-      case ColumnEncoding::kDouble: {
-        const double* data = col.doubles().data();
-        const Value literal = literal_;
-        return SelectRowsKernel(input, ctx, [&, data](size_t r) {
-          return !col.IsNull(r) &&
-                 mask.Keeps(CompareDoubleCell(data[r], literal));
-        });
-      }
-      case ColumnEncoding::kBool: {
-        const uint8_t* data = col.bools().data();
-        const Value literal = literal_;
-        return SelectRowsKernel(input, ctx, [&, data](size_t r) {
-          return !col.IsNull(r) &&
-                 mask.Keeps(CompareBoolCell(data[r] != 0, literal));
-        });
-      }
-      case ColumnEncoding::kGeneric:
-        break;  // fall through to the Value path
+    // Comparators run on the columnar plan; null cells never match
+    // (nulls_compare=false), unlike expression comparisons.
+    std::optional<ColumnarCompare> cc = CompileColumnarCompare(
+        col, MaskFor(cmp_), literal_, /*nulls_compare=*/false);
+    if (cc.has_value()) {
+      return SelectRowsColumnar(input, ctx,
+                                [&](size_t begin, size_t end, uint8_t* sel) {
+                                  cc->Apply(begin, end, sel);
+                                });
     }
   }
 

@@ -1,11 +1,14 @@
 #include "ops/groupby.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdint>
 #include <unordered_map>
 
+#include "common/fingerprint.h"
 #include "ops/packed_key.h"
 #include "ops/spill.h"
-#include "common/fingerprint.h"
+#include "simd/kernels.h"
 
 namespace shareinsights {
 
@@ -116,6 +119,37 @@ std::vector<const Value*> AggregateInputs(const TablePtr& input,
   return agg_vals;
 }
 
+/// Merge partials in morsel order. Each local's keys are visited in its
+/// first-encounter order, so global first-encounter order equals the
+/// sequential scan's, and Merge always receives later-row state.
+template <typename Key, typename Hash>
+Result<std::vector<Group>> MergePartials(
+    std::vector<PartialGroups<Key, Hash>> partials) {
+  std::unordered_map<Key, Group, Hash> groups;
+  std::vector<const Key*> ordered_keys;
+  for (PartialGroups<Key, Hash>& local : partials) {
+    for (const Key* local_key : local.ordered_keys) {
+      auto node = local.groups.extract(*local_key);
+      auto [it, inserted] =
+          groups.try_emplace(std::move(node.key()), std::move(node.mapped()));
+      if (inserted) {
+        ordered_keys.push_back(&it->first);
+      } else {
+        for (size_t a = 0; a < it->second.aggs.size(); ++a) {
+          SI_RETURN_IF_ERROR(
+              it->second.aggs[a]->Merge(*node.mapped().aggs[a]));
+        }
+      }
+    }
+  }
+  std::vector<Group> ordered;
+  ordered.reserve(ordered_keys.size());
+  for (const Key* key : ordered_keys) {
+    ordered.push_back(std::move(groups.at(*key)));
+  }
+  return ordered;
+}
+
 template <typename Key, typename Hash, typename FillKey>
 Result<std::vector<Group>> AggregateByKey(
     const TablePtr& input, const ExecContext& ctx,
@@ -147,33 +181,74 @@ Result<std::vector<Group>> AggregateByKey(
         }
         return Status::OK();
       }));
+  return MergePartials(std::move(partials));
+}
 
-  // Merge partials in morsel order. Each local's keys are visited in its
-  // first-encounter order, so global first-encounter order equals the
-  // sequential scan's, and Merge always receives later-row state.
-  std::unordered_map<Key, Group, Hash> groups;
-  std::vector<const Key*> ordered_keys;
-  for (PartialGroups<Key, Hash>& local : partials) {
-    for (const Key* local_key : local.ordered_keys) {
-      auto node = local.groups.extract(*local_key);
-      auto [it, inserted] =
-          groups.try_emplace(std::move(node.key()), std::move(node.mapped()));
-      if (inserted) {
-        ordered_keys.push_back(&it->first);
-      } else {
-        for (size_t a = 0; a < it->second.aggs.size(); ++a) {
-          SI_RETURN_IF_ERROR(
-              it->second.aggs[a]->Merge(*node.mapped().aggs[a]));
+/// Packed key with its hash precomputed by the batched kernel, so the
+/// hash table never re-mixes words row by row.
+struct PackedKey {
+  std::vector<uint64_t> words;
+  uint64_t hash = 0;
+  bool operator==(const PackedKey& other) const {
+    return words == other.words;
+  }
+};
+
+struct PrecomputedHash {
+  size_t operator()(const PackedKey& key) const {
+    return static_cast<size_t>(key.hash);
+  }
+};
+
+/// Rows packed and hashed per block before probing: PackBlock hoists the
+/// per-column encoding switch out of the row loop and HashPackedKeysBlock
+/// mixes several keys' words at once (AVX2 gathers on x86), leaving only
+/// the hash-table probe itself on the per-row path.
+constexpr size_t kPackBlockRows = 1024;
+
+Result<std::vector<Group>> AggregateByPackedKey(
+    const TablePtr& input, const ExecContext& ctx,
+    const std::vector<AggregatorFactory>& factories,
+    const std::vector<size_t>& agg_idx, size_t count_col,
+    const KeyPacker& packer) {
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<PartialGroups<PackedKey, PrecomputedHash>> partials(
+      ranges.size());
+  std::vector<const Value*> agg_vals =
+      AggregateInputs(input, agg_idx, count_col);
+  const size_t stride = packer.stride();
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        PartialGroups<PackedKey, PrecomputedHash>& local = partials[m];
+        std::vector<uint64_t> words(kPackBlockRows * stride);
+        std::vector<uint64_t> hashes(kPackBlockRows);
+        PackedKey key;
+        for (size_t block = begin; block < end; block += kPackBlockRows) {
+          const size_t bn = std::min(kPackBlockRows, end - block);
+          packer.PackBlock(block, block + bn, words.data());
+          simd::HashPackedKeysBlock(words.data(), stride, bn, hashes.data());
+          for (size_t i = 0; i < bn; ++i) {
+            const size_t r = block + i;
+            key.words.assign(words.begin() + i * stride,
+                             words.begin() + (i + 1) * stride);
+            key.hash = hashes[i];
+            auto [it, inserted] = local.groups.try_emplace(key);
+            if (inserted) {
+              it->second.first_row = r;
+              local.ordered_keys.push_back(&it->first);
+              for (const AggregatorFactory& factory : factories) {
+                it->second.aggs.push_back(factory());
+              }
+            }
+            for (size_t a = 0; a < agg_idx.size(); ++a) {
+              SI_RETURN_IF_ERROR(it->second.aggs[a]->Update(agg_vals[a][r]));
+            }
+          }
         }
-      }
-    }
-  }
-  std::vector<Group> ordered;
-  ordered.reserve(ordered_keys.size());
-  for (const Key* key : ordered_keys) {
-    ordered.push_back(std::move(groups.at(*key)));
-  }
-  return ordered;
+        return Status::OK();
+      }));
+  return MergePartials(std::move(partials));
 }
 
 /// Dense fast path for a single low-cardinality dictionary key: groups
@@ -252,6 +327,413 @@ Result<std::vector<Group>> AggregateByDictCode(
   return ordered;
 }
 
+// ---------------------------------------------------------------------------
+// Typed dense path: the dense dict-code layout above, but with the
+// per-row Aggregator virtual calls (and the decoded Value arrays they
+// consume) compiled away. Each aggregate spec lowers to a typed
+// accumulator over the column's raw array; commutative kinds (count,
+// int64 sum, int64/code min-max) run on the striped simd kernels, while
+// order-sensitive double accumulation (sum/avg/min-max ties like
+// -0.0 vs 0.0) stays on in-order scalar loops. Group discovery order,
+// morsel-order merging, and every Aggregator merge quirk (conditional vs
+// unconditional double adds, strict-compare keep-first ties) are
+// replicated exactly, so the output is byte-identical to the Aggregator
+// path.
+// ---------------------------------------------------------------------------
+
+// Mirrors value.cc's CompareDoubles: total order with NaN equal to itself
+// and after every number (what Value's min/max comparisons use).
+int CompareDoublesTotalOrder(double a, double b) {
+  bool a_nan = std::isnan(a);
+  bool b_nan = std::isnan(b);
+  if (a_nan || b_nan) {
+    if (a_nan == b_nan) return 0;
+    return a_nan ? 1 : -1;
+  }
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+struct TypedAggSpec {
+  enum class Kind {
+    kCount,         // non-null rows (any typed encoding: needs only nulls)
+    kSumInt64,      // striped wrap-add kernel
+    kSumDouble,     // in-order scalar (double addition is order-sensitive)
+    kAvgInt64,      // in-order scalar double sum + count
+    kAvgDouble,
+    kMinMaxInt64,   // striped kernel (ties are bit-identical)
+    kMinMaxDouble,  // in-order scalar (keep-first ties: -0.0 vs 0.0)
+    kMinMaxCode,    // striped kernel over sorted-dict codes
+  };
+  Kind kind = Kind::kCount;
+  bool is_min = false;
+  const ColumnData* col = nullptr;
+};
+
+/// Lowers the aggregate specs to typed accumulators, or nullopt when any
+/// spec has no typed form (first/last/count_distinct, kGeneric or bool
+/// inputs, sum/avg over strings, ...) — those keep the Aggregator dense
+/// path, preserving its exact error behavior too.
+std::optional<std::vector<TypedAggSpec>> CompileTypedAggs(
+    const TablePtr& input, const std::vector<AggregateSpec>& aggregates,
+    const std::vector<size_t>& agg_idx, size_t count_col) {
+  std::vector<TypedAggSpec> typed;
+  typed.reserve(aggregates.size());
+  for (size_t a = 0; a < aggregates.size(); ++a) {
+    TypedAggSpec spec;
+    const ColumnData& col =
+        input->typed_column(agg_idx[a] == SIZE_MAX ? count_col : agg_idx[a]);
+    spec.col = &col;
+    const ColumnEncoding enc = col.encoding();
+    const std::string& op = aggregates[a].op;
+    if (op == "count") {
+      if (enc == ColumnEncoding::kGeneric) return std::nullopt;
+      spec.kind = TypedAggSpec::Kind::kCount;
+    } else if (op == "sum") {
+      if (enc == ColumnEncoding::kInt64) {
+        spec.kind = TypedAggSpec::Kind::kSumInt64;
+      } else if (enc == ColumnEncoding::kDouble) {
+        spec.kind = TypedAggSpec::Kind::kSumDouble;
+      } else {
+        return std::nullopt;
+      }
+    } else if (op == "avg") {
+      if (enc == ColumnEncoding::kInt64) {
+        spec.kind = TypedAggSpec::Kind::kAvgInt64;
+      } else if (enc == ColumnEncoding::kDouble) {
+        spec.kind = TypedAggSpec::Kind::kAvgDouble;
+      } else {
+        return std::nullopt;
+      }
+    } else if (op == "min" || op == "max") {
+      spec.is_min = op == "min";
+      if (enc == ColumnEncoding::kInt64) {
+        spec.kind = TypedAggSpec::Kind::kMinMaxInt64;
+      } else if (enc == ColumnEncoding::kDouble) {
+        spec.kind = TypedAggSpec::Kind::kMinMaxDouble;
+      } else if (enc == ColumnEncoding::kDict) {
+        spec.kind = TypedAggSpec::Kind::kMinMaxCode;
+      } else {
+        return std::nullopt;
+      }
+    } else {
+      return std::nullopt;
+    }
+    typed.push_back(spec);
+  }
+  return typed;
+}
+
+/// One aggregate's accumulator arrays, indexed by local (per-morsel) or
+/// global group id. Which members are live depends on the kind.
+struct TypedAccum {
+  std::vector<int64_t> i64;    // count; int64 min/max
+  std::vector<uint64_t> u64;   // int64 sum (wrap-add)
+  std::vector<double> dbl;     // double sum; avg sum; double min/max
+  std::vector<int64_t> cnt;    // avg count
+  std::vector<uint32_t> code;  // code min/max
+  std::vector<uint8_t> seen;
+};
+
+struct TypedDensePartial {
+  std::vector<uint32_t> group_codes;  // per local group, encounter order
+  std::vector<size_t> first_rows;
+  std::vector<TypedAccum> aggs;  // one per spec
+};
+
+Result<TablePtr> AggregateDenseTyped(const TablePtr& input,
+                                     const ExecContext& ctx,
+                                     const Schema& out_schema,
+                                     const std::vector<TypedAggSpec>& specs,
+                                     const ColumnData& key_col,
+                                     size_t num_out_cols) {
+  const uint32_t null_code = static_cast<uint32_t>(key_col.dict().size());
+  const size_t slots = null_code + 1;
+  const uint32_t* key_codes = key_col.codes().data();
+  const uint8_t* key_nulls =
+      key_col.has_nulls() ? key_col.nulls().data() : nullptr;
+
+  std::vector<MorselRange> ranges = MorselRanges(input->num_rows(), ctx);
+  std::vector<TypedDensePartial> partials(ranges.size());
+  SI_RETURN_IF_ERROR(ForEachMorsel(
+      ctx, input->num_rows(),
+      [&](size_t m, size_t begin, size_t end) -> Status {
+        TypedDensePartial& local = partials[m];
+        const size_t n = end - begin;
+        // Pass 1 (kernel): group slot per row. Pass 2: compact slots to
+        // local group ids in first-encounter order, rewriting the buffer
+        // in place so the accumulation kernels index a dense range.
+        std::vector<uint32_t> rows(n);
+        simd::GroupIndexes(key_codes + begin,
+                           key_nulls != nullptr ? key_nulls + begin : nullptr,
+                           null_code, rows.data(), n);
+        std::vector<int32_t> slot(slots, -1);
+        for (size_t i = 0; i < n; ++i) {
+          int32_t g = slot[rows[i]];
+          if (g < 0) {
+            g = static_cast<int32_t>(local.group_codes.size());
+            slot[rows[i]] = g;
+            local.group_codes.push_back(rows[i]);
+            local.first_rows.push_back(begin + i);
+          }
+          rows[i] = static_cast<uint32_t>(g);
+        }
+        const size_t ng = local.group_codes.size();
+        local.aggs.resize(specs.size());
+        for (size_t a = 0; a < specs.size(); ++a) {
+          const TypedAggSpec& spec = specs[a];
+          TypedAccum& acc = local.aggs[a];
+          const ColumnData& col = *spec.col;
+          const uint8_t* nulls =
+              col.has_nulls() ? col.nulls().data() + begin : nullptr;
+          switch (spec.kind) {
+            case TypedAggSpec::Kind::kCount:
+              acc.i64.assign(simd::kDenseStripes * ng, 0);
+              simd::DenseCount(rows.data(), nulls, n, ng, acc.i64.data());
+              simd::ReduceStripesAddI64(acc.i64.data(), ng);
+              acc.i64.resize(ng);
+              break;
+            case TypedAggSpec::Kind::kSumInt64:
+              acc.u64.assign(simd::kDenseStripes * ng, 0);
+              acc.seen.assign(ng, 0);
+              simd::DenseSumInt64(rows.data(), col.ints().data() + begin,
+                                  nulls, n, ng, acc.u64.data(),
+                                  acc.seen.data());
+              simd::ReduceStripesAddU64(acc.u64.data(), ng);
+              acc.u64.resize(ng);
+              break;
+            case TypedAggSpec::Kind::kSumDouble: {
+              acc.dbl.assign(ng, 0.0);
+              acc.seen.assign(ng, 0);
+              const double* v = col.doubles().data() + begin;
+              for (size_t i = 0; i < n; ++i) {
+                if (nulls != nullptr && nulls[i] != 0) continue;
+                acc.dbl[rows[i]] += v[i];
+                acc.seen[rows[i]] = 1;
+              }
+              break;
+            }
+            case TypedAggSpec::Kind::kAvgInt64: {
+              acc.dbl.assign(ng, 0.0);
+              acc.cnt.assign(ng, 0);
+              const int64_t* v = col.ints().data() + begin;
+              for (size_t i = 0; i < n; ++i) {
+                if (nulls != nullptr && nulls[i] != 0) continue;
+                acc.dbl[rows[i]] += static_cast<double>(v[i]);
+                acc.cnt[rows[i]] += 1;
+              }
+              break;
+            }
+            case TypedAggSpec::Kind::kAvgDouble: {
+              acc.dbl.assign(ng, 0.0);
+              acc.cnt.assign(ng, 0);
+              const double* v = col.doubles().data() + begin;
+              for (size_t i = 0; i < n; ++i) {
+                if (nulls != nullptr && nulls[i] != 0) continue;
+                acc.dbl[rows[i]] += v[i];
+                acc.cnt[rows[i]] += 1;
+              }
+              break;
+            }
+            case TypedAggSpec::Kind::kMinMaxInt64:
+              acc.i64.assign(simd::kDenseStripes * ng,
+                             spec.is_min ? INT64_MAX : INT64_MIN);
+              acc.seen.assign(ng, 0);
+              simd::DenseMinMaxInt64(rows.data(), col.ints().data() + begin,
+                                     nulls, spec.is_min, n, ng,
+                                     acc.i64.data(), acc.seen.data());
+              simd::ReduceStripesMinMaxI64(acc.i64.data(), ng, spec.is_min);
+              acc.i64.resize(ng);
+              break;
+            case TypedAggSpec::Kind::kMinMaxDouble: {
+              acc.dbl.assign(ng, 0.0);
+              acc.seen.assign(ng, 0);
+              const double* v = col.doubles().data() + begin;
+              for (size_t i = 0; i < n; ++i) {
+                if (nulls != nullptr && nulls[i] != 0) continue;
+                uint32_t g = rows[i];
+                if (acc.seen[g] == 0) {
+                  acc.dbl[g] = v[i];
+                  acc.seen[g] = 1;
+                } else {
+                  int cmp = CompareDoublesTotalOrder(v[i], acc.dbl[g]);
+                  if (spec.is_min ? cmp < 0 : cmp > 0) acc.dbl[g] = v[i];
+                }
+              }
+              break;
+            }
+            case TypedAggSpec::Kind::kMinMaxCode:
+              acc.code.assign(simd::kDenseStripes * ng,
+                              spec.is_min ? UINT32_MAX : 0);
+              acc.seen.assign(ng, 0);
+              simd::DenseMinMaxCode(rows.data(), col.codes().data() + begin,
+                                    nulls, spec.is_min, n, ng,
+                                    acc.code.data(), acc.seen.data());
+              simd::ReduceStripesMinMaxU32(acc.code.data(), ng, spec.is_min);
+              acc.code.resize(ng);
+              break;
+          }
+        }
+        return Status::OK();
+      }));
+
+  // Merge partials in morsel order. First encounter copies the partial's
+  // accumulator (the Aggregator path moves the first partial unmerged —
+  // adding it to an identity element instead would turn e.g. a -0.0
+  // double sum into +0.0); later partials merge with each Aggregator's
+  // exact rule: double sums add conditionally on the peer having seen a
+  // row, avg adds unconditionally, min/max strict-compares so the
+  // earlier row's value wins ties.
+  std::vector<int32_t> slot(slots, -1);
+  std::vector<uint32_t> group_codes;
+  std::vector<size_t> first_rows;
+  std::vector<TypedAccum> global(specs.size());
+  for (TypedDensePartial& local : partials) {
+    const size_t lng = local.group_codes.size();
+    for (size_t i = 0; i < lng; ++i) {
+      int32_t g = slot[local.group_codes[i]];
+      const bool fresh = g < 0;
+      if (fresh) {
+        g = static_cast<int32_t>(group_codes.size());
+        slot[local.group_codes[i]] = g;
+        group_codes.push_back(local.group_codes[i]);
+        first_rows.push_back(local.first_rows[i]);
+      }
+      for (size_t a = 0; a < specs.size(); ++a) {
+        const TypedAggSpec& spec = specs[a];
+        TypedAccum& acc = global[a];
+        const TypedAccum& part = local.aggs[a];
+        switch (spec.kind) {
+          case TypedAggSpec::Kind::kCount:
+            if (fresh) {
+              acc.i64.push_back(part.i64[i]);
+            } else {
+              acc.i64[g] += part.i64[i];
+            }
+            break;
+          case TypedAggSpec::Kind::kSumInt64:
+            if (fresh) {
+              acc.u64.push_back(part.u64[i]);
+              acc.seen.push_back(part.seen[i]);
+            } else {
+              acc.u64[g] += part.u64[i];
+              acc.seen[g] |= part.seen[i];
+            }
+            break;
+          case TypedAggSpec::Kind::kSumDouble:
+            if (fresh) {
+              acc.dbl.push_back(part.dbl[i]);
+              acc.seen.push_back(part.seen[i]);
+            } else if (part.seen[i] != 0) {
+              acc.dbl[g] += part.dbl[i];
+              acc.seen[g] = 1;
+            }
+            break;
+          case TypedAggSpec::Kind::kAvgInt64:
+          case TypedAggSpec::Kind::kAvgDouble:
+            if (fresh) {
+              acc.dbl.push_back(part.dbl[i]);
+              acc.cnt.push_back(part.cnt[i]);
+            } else {
+              acc.dbl[g] += part.dbl[i];
+              acc.cnt[g] += part.cnt[i];
+            }
+            break;
+          case TypedAggSpec::Kind::kMinMaxInt64:
+            if (fresh) {
+              acc.i64.push_back(part.i64[i]);
+              acc.seen.push_back(part.seen[i]);
+            } else if (part.seen[i] != 0 &&
+                       (acc.seen[g] == 0 ||
+                        (spec.is_min ? part.i64[i] < acc.i64[g]
+                                     : part.i64[i] > acc.i64[g]))) {
+              acc.i64[g] = part.i64[i];
+              acc.seen[g] = 1;
+            }
+            break;
+          case TypedAggSpec::Kind::kMinMaxDouble:
+            if (fresh) {
+              acc.dbl.push_back(part.dbl[i]);
+              acc.seen.push_back(part.seen[i]);
+            } else if (part.seen[i] != 0) {
+              int cmp = CompareDoublesTotalOrder(part.dbl[i], acc.dbl[g]);
+              if (acc.seen[g] == 0 || (spec.is_min ? cmp < 0 : cmp > 0)) {
+                acc.dbl[g] = part.dbl[i];
+                acc.seen[g] = 1;
+              }
+            }
+            break;
+          case TypedAggSpec::Kind::kMinMaxCode:
+            if (fresh) {
+              acc.code.push_back(part.code[i]);
+              acc.seen.push_back(part.seen[i]);
+            } else if (part.seen[i] != 0 &&
+                       (acc.seen[g] == 0 ||
+                        (spec.is_min ? part.code[i] < acc.code[g]
+                                     : part.code[i] > acc.code[g]))) {
+              acc.code[g] = part.code[i];
+              acc.seen[g] = 1;
+            }
+            break;
+        }
+      }
+    }
+  }
+
+  // Finalize straight into the output table (same spill-aware tail as
+  // the Aggregator paths).
+  return MaterializeRowsWithSpill(
+      out_schema, group_codes.size(), num_out_cols, ctx, "groupby",
+      [&](size_t begin, size_t end, TableBuilder* builder) -> Status {
+        for (size_t g = begin; g < end; ++g) {
+          std::vector<Value> row;
+          row.reserve(num_out_cols);
+          row.push_back(key_col.GetValue(first_rows[g]));
+          for (size_t a = 0; a < specs.size(); ++a) {
+            const TypedAggSpec& spec = specs[a];
+            const TypedAccum& acc = global[a];
+            switch (spec.kind) {
+              case TypedAggSpec::Kind::kCount:
+                row.push_back(Value(acc.i64[g]));
+                break;
+              case TypedAggSpec::Kind::kSumInt64:
+                row.push_back(acc.seen[g] != 0
+                                  ? Value(static_cast<int64_t>(acc.u64[g]))
+                                  : Value::Null());
+                break;
+              case TypedAggSpec::Kind::kSumDouble:
+                row.push_back(acc.seen[g] != 0 ? Value(acc.dbl[g])
+                                               : Value::Null());
+                break;
+              case TypedAggSpec::Kind::kAvgInt64:
+              case TypedAggSpec::Kind::kAvgDouble:
+                row.push_back(acc.cnt[g] == 0
+                                  ? Value::Null()
+                                  : Value(acc.dbl[g] /
+                                          static_cast<double>(acc.cnt[g])));
+                break;
+              case TypedAggSpec::Kind::kMinMaxInt64:
+                row.push_back(acc.seen[g] != 0 ? Value(acc.i64[g])
+                                               : Value::Null());
+                break;
+              case TypedAggSpec::Kind::kMinMaxDouble:
+                row.push_back(acc.seen[g] != 0 ? Value(acc.dbl[g])
+                                               : Value::Null());
+                break;
+              case TypedAggSpec::Kind::kMinMaxCode:
+                row.push_back(acc.seen[g] != 0
+                                  ? Value(spec.col->dict()[acc.code[g]])
+                                  : Value::Null());
+                break;
+            }
+          }
+          SI_RETURN_IF_ERROR(builder->AppendRow(std::move(row)));
+        }
+        return Status::OK();
+      });
+}
+
 }  // namespace
 
 Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
@@ -288,68 +770,78 @@ Result<TablePtr> GroupByOp::Execute(const std::vector<TablePtr>& inputs,
     }
   }
 
-  // Fast path: every key column has a packed representation, so the hash
-  // table keys on raw uint64 words (dictionary codes for strings) instead
-  // of Value vectors.
+  // Fast paths, most specialized first: a single low-cardinality dict key
+  // with fully typed aggregates runs the kernel-backed dense path; the
+  // same key shape with untyped aggregates keeps the dense Aggregator
+  // path; any fully packable key set hashes raw uint64 words; otherwise
+  // the hash table keys on Value vectors.
   std::optional<KeyPacker> packer = KeyPacker::Create(*input, key_idx);
-  std::vector<Group> ordered;
   const ColumnData& first_key = input->typed_column(key_idx[0]);
-  if (key_idx.size() == 1 &&
-      first_key.encoding() == ColumnEncoding::kDict &&
-      first_key.dict().size() <= kDenseDictGroups) {
-    SI_ASSIGN_OR_RETURN(ordered,
-                        AggregateByDictCode(input, effective, factories,
-                                            agg_idx, key_idx[0], first_key));
-  } else if (packer.has_value()) {
-    SI_ASSIGN_OR_RETURN(
-        ordered,
-        (AggregateByKey<std::vector<uint64_t>, PackedKeyHash>(
-            input, effective, factories, agg_idx, key_idx[0],
-            std::vector<uint64_t>(packer->stride()),
-            [&](size_t r, std::vector<uint64_t>& key) {
-              packer->PackRow(r, key);
-            })));
-  } else {
-    SI_ASSIGN_OR_RETURN(
-        ordered,
-        (AggregateByKey<std::vector<Value>, KeyHash>(
-            input, effective, factories, agg_idx, key_idx[0],
-            std::vector<Value>(keys_.size()),
-            [&](size_t r, std::vector<Value>& key) {
-              for (size_t k = 0; k < key_idx.size(); ++k) {
-                key[k] = input->at(r, key_idx[k]);
-              }
-            })));
+  const bool dense_key = key_idx.size() == 1 &&
+                         first_key.encoding() == ColumnEncoding::kDict &&
+                         first_key.dict().size() <= kDenseDictGroups;
+  TablePtr result;
+  std::optional<std::vector<TypedAggSpec>> typed;
+  if (dense_key && registry_ == &AggregateRegistry::Default()) {
+    typed = CompileTypedAggs(input, aggregates_, agg_idx, key_idx[0]);
   }
+  if (typed.has_value()) {
+    SI_ASSIGN_OR_RETURN(
+        result, AggregateDenseTyped(input, effective, out_schema, *typed,
+                                    first_key,
+                                    keys_.size() + aggregates_.size()));
+  } else {
+    std::vector<Group> ordered;
+    if (dense_key) {
+      SI_ASSIGN_OR_RETURN(ordered, AggregateByDictCode(input, effective,
+                                                       factories, agg_idx,
+                                                       key_idx[0], first_key));
+    } else if (packer.has_value()) {
+      SI_ASSIGN_OR_RETURN(
+          ordered, AggregateByPackedKey(input, effective, factories, agg_idx,
+                                        key_idx[0], *packer));
+    } else {
+      SI_ASSIGN_OR_RETURN(
+          ordered,
+          (AggregateByKey<std::vector<Value>, KeyHash>(
+              input, effective, factories, agg_idx, key_idx[0],
+              std::vector<Value>(keys_.size()),
+              [&](size_t r, std::vector<Value>& key) {
+                for (size_t k = 0; k < key_idx.size(); ++k) {
+                  key[k] = input->at(r, key_idx[k]);
+                }
+              })));
+    }
 
-  // Materialize rows in group-encounter order. The output (group keys +
-  // finalized aggregates) is the operator's dominant allocation; charge it
-  // before building so an over-budget aggregation fails with a named
-  // kResourceExhausted — or, when the run has a spill area, degrades to
-  // chunked compressed spill partitions merged back in group order.
-  // Chunks partition the group range, so each Finalize still runs once.
-  SI_ASSIGN_OR_RETURN(
-      TablePtr result,
-      MaterializeRowsWithSpill(
-          out_schema, ordered.size(), keys_.size() + aggregates_.size(), ctx,
-          "groupby",
-          [&](size_t begin, size_t end, TableBuilder* builder) -> Status {
-            for (size_t g = begin; g < end; ++g) {
-              Group& group = ordered[g];
-              std::vector<Value> row;
-              row.reserve(keys_.size() + aggregates_.size());
-              for (size_t k = 0; k < key_idx.size(); ++k) {
-                row.push_back(
-                    input->typed_column(key_idx[k]).GetValue(group.first_row));
+    // Materialize rows in group-encounter order. The output (group keys +
+    // finalized aggregates) is the operator's dominant allocation; charge
+    // it before building so an over-budget aggregation fails with a named
+    // kResourceExhausted — or, when the run has a spill area, degrades to
+    // chunked compressed spill partitions merged back in group order.
+    // Chunks partition the group range, so each Finalize still runs once.
+    SI_ASSIGN_OR_RETURN(
+        result,
+        MaterializeRowsWithSpill(
+            out_schema, ordered.size(), keys_.size() + aggregates_.size(),
+            ctx, "groupby",
+            [&](size_t begin, size_t end, TableBuilder* builder) -> Status {
+              for (size_t g = begin; g < end; ++g) {
+                Group& group = ordered[g];
+                std::vector<Value> row;
+                row.reserve(keys_.size() + aggregates_.size());
+                for (size_t k = 0; k < key_idx.size(); ++k) {
+                  row.push_back(input->typed_column(key_idx[k])
+                                    .GetValue(group.first_row));
+                }
+                for (auto& agg : group.aggs) {
+                  SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
+                  row.push_back(std::move(v));
+                }
+                SI_RETURN_IF_ERROR(builder->AppendRow(std::move(row)));
               }
-              for (auto& agg : group.aggs) {
-                SI_ASSIGN_OR_RETURN(Value v, agg->Finalize());
-                row.push_back(std::move(v));
-              }
-              SI_RETURN_IF_ERROR(builder->AppendRow(std::move(row)));
-            }
-            return Status::OK();
-          }));
+              return Status::OK();
+            }));
+  }
 
   if (orderby_aggregates_ && !aggregates_.empty()) {
     // Sort descending by the first aggregate column.

@@ -120,4 +120,80 @@ void KeyPacker::PackRow(size_t row, uint64_t* out) const {
   out[cols_.size()] = null_mask;
 }
 
+void KeyPacker::PackBlock(size_t begin, size_t end, uint64_t* out) const {
+  const size_t n = end - begin;
+  const size_t stride = this->stride();
+  const size_t mask_word = cols_.size();
+  for (size_t i = 0; i < n; ++i) out[i * stride + mask_word] = 0;
+  std::vector<uint64_t> packed_dbls;  // scratch for the double fast path
+  for (size_t k = 0; k < cols_.size(); ++k) {
+    const Col& col = cols_[k];
+    const uint8_t* nulls = col.nulls != nullptr ? col.nulls + begin : nullptr;
+    const uint64_t null_bit = 1ULL << k;
+    uint64_t* dst = out + k;
+    switch (col.enc) {
+      case ColumnEncoding::kInt64: {
+        const int64_t* v = col.ints + begin;
+        for (size_t i = 0; i < n; ++i, dst += stride) {
+          if (nulls != nullptr && nulls[i] != 0) {
+            *dst = 0;
+            dst[mask_word - k] |= null_bit;
+          } else {
+            *dst = static_cast<uint64_t>(v[i]);
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kDouble: {
+        packed_dbls.resize(n);
+        simd::PackDoubleBitsBlock(col.dbls + begin, packed_dbls.data(), n);
+        for (size_t i = 0; i < n; ++i, dst += stride) {
+          if (nulls != nullptr && nulls[i] != 0) {
+            *dst = 0;
+            dst[mask_word - k] |= null_bit;
+          } else {
+            *dst = packed_dbls[i];
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kBool: {
+        const uint8_t* v = col.bools + begin;
+        for (size_t i = 0; i < n; ++i, dst += stride) {
+          if (nulls != nullptr && nulls[i] != 0) {
+            *dst = 0;
+            dst[mask_word - k] |= null_bit;
+          } else {
+            *dst = v[i] != 0 ? 1 : 0;
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kDict: {
+        const uint32_t* v = col.codes + begin;
+        const uint32_t* translate =
+            col.translate.empty() ? nullptr : col.translate.data();
+        for (size_t i = 0; i < n; ++i, dst += stride) {
+          if (nulls != nullptr && nulls[i] != 0) {
+            *dst = 0;
+            dst[mask_word - k] |= null_bit;
+          } else if (translate == nullptr) {
+            *dst = v[i];
+          } else {
+            uint32_t translated = translate[v[i]];
+            *dst = translated == ColumnData::kNoCode ? kNoMatchWord
+                                                     : translated;
+          }
+        }
+        break;
+      }
+      case ColumnEncoding::kGeneric:
+        for (size_t i = 0; i < n; ++i, dst += stride) {
+          *dst = 0;  // unreachable: Create rejects generic columns
+        }
+        break;
+    }
+  }
+}
+
 }  // namespace shareinsights

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "simd/kernels.h"
 #include "table/column.h"
 #include "table/table.h"
 
@@ -55,6 +56,11 @@ class KeyPacker {
     PackRow(row, out.data());
   }
 
+  /// Packs rows [begin, end) row-major into `out` at stride() words per
+  /// row, with the per-column encoding switch hoisted out of the row loop
+  /// (one columnar pass per key column). Bit-identical to PackRow.
+  void PackBlock(size_t begin, size_t end, uint64_t* out) const;
+
  private:
   struct Col {
     ColumnEncoding enc = ColumnEncoding::kGeneric;
@@ -75,12 +81,7 @@ class KeyPacker {
 
 /// Hash over packed key words (splitmix64 per word, boost-style combine).
 struct PackedKeyHash {
-  static uint64_t Mix(uint64_t x) {
-    x += 0x9e3779b97f4a7c15ULL;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-    return x ^ (x >> 31);
-  }
+  static uint64_t Mix(uint64_t x) { return simd::PackedKeyHashMix(x); }
   size_t operator()(const std::vector<uint64_t>& key) const {
     uint64_t h = 0x243f6a8885a308d3ULL;
     for (uint64_t w : key) {

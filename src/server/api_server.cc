@@ -9,6 +9,7 @@
 #include "common/string_util.h"
 #include "io/circuit_breaker.h"
 #include "ops/filter.h"
+#include "simd/dispatch.h"
 #include "ops/groupby.h"
 
 namespace shareinsights {
@@ -563,6 +564,10 @@ HttpResponse ApiServer::RouteV1(const std::vector<std::string>& segments,
     body.Set("status", JsonValue::MakeString(read_only ? "read_only" : "ok"));
     body.Set("dashboards", JsonValue::MakeNumber(
                                static_cast<double>(DashboardNames().size())));
+    // Which kernel variant the columnar filter/aggregate library selected
+    // at startup (avx2/neon/scalar, overridable with SI_SIMD).
+    body.Set("simd_isa",
+             JsonValue::MakeString(simd::IsaName(simd::SelectedIsa())));
     JsonValue storage = JsonValue::MakeObject();
     if (durability_ == nullptr) {
       storage.Set("durable", JsonValue::MakeBool(false));
@@ -699,6 +704,8 @@ HttpResponse ApiServer::HandleDashboards(
     // kResourceExhausted.
     body.Set("spilled", JsonValue::MakeBool(stats->spills > 0));
     body.Set("spills", JsonValue::MakeNumber(stats->spills));
+    body.Set("simd_isa",
+             JsonValue::MakeString(simd::IsaName(simd::SelectedIsa())));
     body.Set("trace_id", JsonValue::MakeString(run_id));
     // Storage block only when durability is on, so envelopes of
     // non-durable servers stay byte-identical to the pre-durability API.

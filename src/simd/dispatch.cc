@@ -1,0 +1,116 @@
+#include "simd/dispatch.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+
+namespace shareinsights {
+namespace simd {
+
+namespace {
+
+Isa DetectBestIsa() {
+#if defined(__x86_64__) || defined(_M_X64)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  return Isa::kScalar;
+#elif defined(__aarch64__)
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+Isa ResolveFromEnvironment() {
+  if (const char* env = std::getenv("SI_SIMD")) {
+    if (auto forced = ParseIsaName(env)) {
+      return IsaSupported(*forced) ? *forced : Isa::kScalar;
+    }
+  }
+  return DetectBestIsa();
+}
+
+// kNumIsas sentinel = "not resolved yet"; resolved lazily so tests and
+// the env override run before any kernel executes.
+std::atomic<int> g_selected{kNumIsas};
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+  }
+  return "scalar";
+}
+
+std::optional<Isa> ParseIsaName(const std::string& name) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) lower.push_back(c >= 'A' && c <= 'Z' ? c + 32 : c);
+  if (lower == "scalar") return Isa::kScalar;
+  if (lower == "avx2") return Isa::kAvx2;
+  if (lower == "neon") return Isa::kNeon;
+  return std::nullopt;
+}
+
+bool IsaSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+    case Isa::kAvx2:
+#if defined(__x86_64__) || defined(_M_X64)
+      return __builtin_cpu_supports("avx2");
+#else
+      return false;
+#endif
+    case Isa::kNeon:
+#if defined(__aarch64__)
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+Isa SelectedIsa() {
+  int cur = g_selected.load(std::memory_order_acquire);
+  if (cur != kNumIsas) return static_cast<Isa>(cur);
+  Isa resolved = ResolveFromEnvironment();
+  int expected = kNumIsas;
+  // First resolver wins; concurrent resolvers compute the same value
+  // (environment and CPUID are stable), so the race is benign.
+  g_selected.compare_exchange_strong(expected, static_cast<int>(resolved),
+                                     std::memory_order_acq_rel);
+  return static_cast<Isa>(g_selected.load(std::memory_order_acquire));
+}
+
+void RecordKernelDispatch() {
+  // Resolved per call (one registry mutex hop per columnar pass, not per
+  // row) because MetricsRegistry::Clear() in tests invalidates cached
+  // pointers.
+  Isa isa = SelectedIsa();
+  std::string name = std::string("simd_kernel_dispatch_total{isa=\"") +
+                     IsaName(isa) + "\"}";
+  MetricsRegistry::Default()
+      .GetCounter(name, "columnar kernel batches dispatched per ISA")
+      ->Increment();
+}
+
+ScopedIsaForTesting::ScopedIsaForTesting(Isa isa) {
+  previous_ = SelectedIsa();
+  Isa effective = IsaSupported(isa) ? isa : Isa::kScalar;
+  g_selected.store(static_cast<int>(effective), std::memory_order_release);
+}
+
+ScopedIsaForTesting::~ScopedIsaForTesting() {
+  g_selected.store(static_cast<int>(previous_), std::memory_order_release);
+}
+
+}  // namespace simd
+}  // namespace shareinsights

@@ -1,0 +1,65 @@
+#ifndef SHAREINSIGHTS_SIMD_DISPATCH_H_
+#define SHAREINSIGHTS_SIMD_DISPATCH_H_
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace shareinsights {
+namespace simd {
+
+/// Instruction-set variants the kernel library ships. Exactly one is
+/// selected per process (at first use) and every kernel entry point
+/// routes through it, so a run is deterministic in which code path it
+/// takes — and, because every variant is pinned byte-identical to the
+/// scalar reference by the equivalence suites, deterministic in output
+/// regardless of which one runs.
+enum class Isa {
+  kScalar = 0,  // portable C++, always available (and the oracle)
+  kAvx2 = 1,    // x86-64 with AVX2 (4x int64/double, 8x u32 lanes)
+  kNeon = 2,    // aarch64 NEON (2x int64/double, 4x u32 lanes)
+};
+
+inline constexpr int kNumIsas = 3;
+
+/// Canonical lowercase name ("scalar", "avx2", "neon").
+const char* IsaName(Isa isa);
+
+/// Parses an ISA name (the SI_SIMD env values); nullopt when unknown.
+std::optional<Isa> ParseIsaName(const std::string& name);
+
+/// True when this host can execute `isa` kernels (CPUID probe on x86;
+/// NEON is baseline on aarch64; scalar always).
+bool IsaSupported(Isa isa);
+
+/// The ISA every kernel dispatches to. Resolved once, at first call:
+/// `SI_SIMD=avx2|neon|scalar` forces a variant (falling back to scalar
+/// when the host can't run the requested one, never crashing), otherwise
+/// the best supported variant is probed. Stable for the process lifetime
+/// except under ScopedIsaForTesting.
+Isa SelectedIsa();
+
+/// Bumps `simd_kernel_dispatch_total{isa="<selected>"}` — one count per
+/// kernel batch (a columnar pass over one morsel), not per row. Called by
+/// every dispatching kernel entry point; exposed for custom kernels.
+void RecordKernelDispatch();
+
+/// Test-only override of the selected ISA, restored on destruction.
+/// Unsupported requests degrade to scalar (same contract as SI_SIMD).
+/// Set it before handing work to a thread pool; flipping it while
+/// kernels run on other threads is a test bug.
+class ScopedIsaForTesting {
+ public:
+  explicit ScopedIsaForTesting(Isa isa);
+  ~ScopedIsaForTesting();
+  ScopedIsaForTesting(const ScopedIsaForTesting&) = delete;
+  ScopedIsaForTesting& operator=(const ScopedIsaForTesting&) = delete;
+
+ private:
+  Isa previous_;
+};
+
+}  // namespace simd
+}  // namespace shareinsights
+
+#endif  // SHAREINSIGHTS_SIMD_DISPATCH_H_
